@@ -1,0 +1,53 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race cover bench repro fuzz fmt vet clean figures
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One testing.B entry per paper claim (E1..E15) and ablation (A1..A3),
+# plus hot-path microbenchmarks.
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Regenerate every quantitative claim in the paper.
+repro:
+	$(GO) run ./cmd/spsbench -exp all
+
+fuzz:
+	$(GO) test -fuzz=FuzzBatcherUnbatcher -fuzztime=30s ./internal/packet/
+	$(GO) test -fuzz=FuzzFrameAssembler -fuzztime=30s ./internal/packet/
+	$(GO) test -fuzz=FuzzTraceReader -fuzztime=30s ./internal/traffic/
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...
+
+# Figure-style CSV series + ASCII charts into results/.
+figures:
+	mkdir -p results
+	$(GO) run ./cmd/spssweep -sweep latency-load > results/latency_load.csv
+	$(GO) run ./cmd/spssweep -sweep throughput-speedup > results/throughput_speedup.csv
+	$(GO) run ./cmd/spssweep -sweep latency-framesize > results/latency_framesize.csv
+	$(GO) run ./cmd/spssweep -sweep latency-cdf > results/latency_cdf.csv
+	$(GO) run ./cmd/spssweep -sweep mesh-load > results/mesh_load.csv
+	$(GO) run ./cmd/spssweep -sweep latency-load -plot > results/latency_load.txt
+	$(GO) run ./cmd/spssweep -sweep mesh-load -plot > results/mesh_load.txt

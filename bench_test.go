@@ -1,0 +1,154 @@
+package pbrouter
+
+// One benchmark per experiment (the paper has no numbered data tables
+// or result figures; E1..E15 index its quantitative claims, see
+// DESIGN.md), plus microbenchmarks of the hot simulation paths. Run:
+//
+//	go test -bench=. -benchmem
+//
+// The E* benchmarks execute the same code paths as `spsbench -exp
+// <id> -quick`; their wall time is the cost of regenerating that
+// claim, and key reproduced quantities are attached as custom metrics.
+
+import (
+	"testing"
+
+	"pbrouter/internal/hbm"
+	"pbrouter/internal/hbmswitch"
+	"pbrouter/internal/packet"
+	"pbrouter/internal/sim"
+	"pbrouter/internal/traffic"
+	"pbrouter/router"
+)
+
+// benchExperiment runs one registry experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := router.RunExperiment(id, router.Options{Quick: true, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkE1_Capacity(b *testing.B)         { benchExperiment(b, "E1") }
+func BenchmarkE2_MeshWorstCase(b *testing.B)    { benchExperiment(b, "E2") }
+func BenchmarkE3_RandomAccessLoss(b *testing.B) { benchExperiment(b, "E3") }
+func BenchmarkE4_PFIPeakRate(b *testing.B)      { benchExperiment(b, "E4") }
+func BenchmarkE5_Throughput(b *testing.B)       { benchExperiment(b, "E5") }
+func BenchmarkE6_OQMimic(b *testing.B)          { benchExperiment(b, "E6") }
+func BenchmarkE7_BufferSizing(b *testing.B)     { benchExperiment(b, "E7") }
+func BenchmarkE8_SRAMSizing(b *testing.B)       { benchExperiment(b, "E8") }
+func BenchmarkE9_Power(b *testing.B)            { benchExperiment(b, "E9") }
+func BenchmarkE10_Area(b *testing.B)            { benchExperiment(b, "E10") }
+func BenchmarkE11_SplitBalance(b *testing.B)    { benchExperiment(b, "E11") }
+func BenchmarkE12_LatencyBypass(b *testing.B)   { benchExperiment(b, "E12") }
+func BenchmarkE13_CapacityPerArea(b *testing.B) { benchExperiment(b, "E13") }
+func BenchmarkE14_Roadmap(b *testing.B)         { benchExperiment(b, "E14") }
+func BenchmarkE15_DCFrames(b *testing.B)        { benchExperiment(b, "E15") }
+
+// Ablation benches for the design choices DESIGN.md calls out.
+func BenchmarkA1_StaticVsDynamic(b *testing.B)    { benchExperiment(b, "A1") }
+func BenchmarkA2_GammaSegmentSweep(b *testing.B)  { benchExperiment(b, "A2") }
+func BenchmarkA3_InterconnectEnergy(b *testing.B) { benchExperiment(b, "A3") }
+
+// ---- Microbenchmarks of the hot paths --------------------------------
+
+// BenchmarkHBMChannelClosedPage measures the per-access cost of the
+// command-level channel model (the inner loop of the E3 baselines).
+func BenchmarkHBMChannelClosedPage(b *testing.B) {
+	mem := hbm.MustMemory(hbm.HBM4Geometry(1), hbm.HBM4Timing())
+	ch := mem.Channels[0]
+	var cursor sim.Time
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		end, err := ch.AccessClosedPage(i%64, i%1024, hbm.Write, 1500, cursor)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cursor = end
+	}
+}
+
+// BenchmarkPFIFrameWrite measures one full staggered-bank-interleaved
+// frame write (mirrored channels), the inner loop of the switch's HBM
+// path.
+func BenchmarkPFIFrameWrite(b *testing.B) {
+	mem := hbm.MustMemory(hbm.HBM4Geometry(4), hbm.HBM4Timing())
+	e, err := hbm.NewFrameEngine(mem, 4, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.SetMirror(true)
+	var cursor sim.Time
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, end, err := e.WriteFrame(i%e.Groups(), i%1000, cursor)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cursor = end
+	}
+	b.SetBytes(int64(e.FrameBytes()))
+}
+
+// BenchmarkBatcher measures packet-to-batch assembly throughput.
+func BenchmarkBatcher(b *testing.B) {
+	var id uint64
+	batcher := packet.NewBatcher(0, 0, 4096, func() uint64 { id++; return id })
+	p := &packet.Packet{ID: 1, Size: 1500, Output: 0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batcher.Add(p)
+	}
+	b.SetBytes(1500)
+}
+
+// BenchmarkSwitchSimulation measures end-to-end simulated-microseconds
+// per wall-second of the full HBM-switch pipeline at high load.
+func BenchmarkSwitchSimulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := hbmswitch.Reference()
+		cfg.Speedup = 1.1
+		sw, err := hbmswitch.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := traffic.Uniform(16, 0.9)
+		srcs := traffic.UniformSources(m, cfg.PortRate, traffic.Poisson, traffic.Fixed(1500), sim.NewRNG(uint64(i+1)))
+		rep, err := sw.Run(traffic.NewMux(srcs), 10*sim.Microsecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Errors) > 0 {
+			b.Fatal(rep.Errors[0])
+		}
+		b.SetBytes(rep.DeliveredBytes)
+	}
+}
+
+// BenchmarkTrafficSource measures arrival-stream generation.
+func BenchmarkTrafficSource(b *testing.B) {
+	var id uint64
+	src := traffic.NewSource(traffic.SourceConfig{
+		Input: 0, LineRate: 2560 * sim.Gbps, Kind: traffic.Poisson,
+		Row: []float64{0.9}, Sizes: traffic.IMIX(), RNG: sim.NewRNG(1),
+		NextID: func() uint64 { id++; return id },
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Next()
+	}
+}
+
+// BenchmarkFlowHash measures the egress ECMP/LAG hash.
+func BenchmarkFlowHash(b *testing.B) {
+	ft := packet.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6}
+	for i := 0; i < b.N; i++ {
+		ft.Member(uint32(i), 64)
+	}
+}

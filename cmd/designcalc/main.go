@@ -1,0 +1,81 @@
+// Command designcalc prints the §4 design-analysis numbers (power,
+// area, buffering, SRAM, capacity) for the reference design or a
+// variant.
+//
+// Usage:
+//
+//	designcalc                     # everything, reference design
+//	designcalc -report power -stacks 2
+//	designcalc -report buffer -rtt 100ms -flows 1000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"pbrouter/internal/cli"
+	"pbrouter/internal/power"
+	"pbrouter/router"
+)
+
+func main() {
+	var (
+		report   = flag.String("report", "all", "capacity|power|area|buffer|sram|roadmap|all")
+		stacks   = flag.Int("stacks", 4, "HBM stacks per switch")
+		switches = flag.Int("switches", 16, "HBM switches per package (H)")
+		rtt      = flag.String("rtt", "50ms", "RTT for buffer-sizing comparisons")
+		flows    = flag.Int("flows", 100000, "long-lived flow count for the Stanford model")
+	)
+	flag.Parse()
+
+	cfg := router.Reference()
+	cfg.Switch.Geometry.Stacks = *stacks
+	cfg.Switch.PFI.Channels = cfg.Switch.Geometry.Channels()
+	cfg.SPS.H = *switches
+	// Rescale the per-switch port rate if H changed: P = F/H · W · R.
+	if *switches != 16 {
+		cfg.Switch.PortRate = cfg.SPS.PortRate()
+	}
+	r, err := router.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	rttT, err := cli.ParseDuration(*rtt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	want := func(name string) bool { return *report == "all" || *report == name }
+
+	if want("capacity") {
+		c := r.Capacity()
+		fmt.Printf("== capacity (§2.2)\n")
+		fmt.Printf("fibers %d x %d wavelengths; per direction %v; total %v\n",
+			c.Fibers, c.Wavelengths, c.PerDirection, c.Total)
+		fmt.Printf("per-switch I/O %v; port rate %v\n\n", c.PerSwitchIO, c.PortRate)
+	}
+	if want("power") {
+		fmt.Printf("== power (§4)\n%s\n\n", r.PowerModel().Breakdown())
+	}
+	if want("area") {
+		fmt.Printf("== area (§4)\n%s\n\n", r.AreaModel())
+	}
+	if want("buffer") {
+		fmt.Printf("== buffering (§4)\n%s\n\n", r.BufferReport(rttT, *flows))
+	}
+	if want("sram") {
+		fmt.Printf("== SRAM (§4)\n%s\n\n", r.SRAMSizing().Breakdown())
+	}
+	if want("roadmap") {
+		fmt.Printf("== roadmap (§5)\n")
+		base := r.PowerModel()
+		for _, s := range power.Roadmap() {
+			m := s.Apply(base)
+			fmt.Printf("%-22s %d stack(s)/switch, %.0f W/switch, %.1f kW/router\n",
+				s.Name, m.Stacks, m.SwitchWatts(), m.RouterWatts()/1000)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Command spsbench regenerates the paper's quantitative claims. Each
+// experiment id (E1..E15, catalogued in DESIGN.md) prints a
+// paper-versus-measured table.
+//
+// Usage:
+//
+//	spsbench -exp all            # run everything
+//	spsbench -exp E3,E4 -quick   # selected experiments, short horizons
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pbrouter/router"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "all", "comma-separated experiment ids (E1..E15) or 'all'")
+		quick   = flag.Bool("quick", false, "short simulation horizons (smoke mode)")
+		seed    = flag.Uint64("seed", 1, "random seed for stochastic experiments")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		format  = flag.String("format", "table", "output format: table|md")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range router.Experiments() {
+			fmt.Printf("%-4s %s\n     %s\n", e.ID, e.Title, e.Claim)
+		}
+		return
+	}
+
+	var ids []string
+	if *expFlag == "all" {
+		for _, e := range router.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	opt := router.Options{Quick: *quick, Seed: *seed}
+	failed := false
+	for _, id := range ids {
+		e := router.Lookup(id)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			failed = true
+			continue
+		}
+		res, err := e.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+			failed = true
+			continue
+		}
+		if *format == "md" {
+			fmt.Printf("### %s: %s\n\n> %s\n\n%s\n", e.ID, e.Title, e.Claim, res.Markdown())
+		} else {
+			fmt.Printf("== %s: %s\nclaim: %s\n\n%s\n", e.ID, e.Title, e.Claim, res.Format())
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,129 @@
+// Command spssim runs one packet-level HBM-switch simulation with
+// configurable traffic and prints the measurement report. It is the
+// interactive tool behind the E5/E6/E12 experiments.
+//
+// Examples:
+//
+//	spssim -load 0.95 -matrix uniform -sizes imix -horizon 50us
+//	spssim -load 0.9 -matrix diagonal -shadow -speedup 1.1
+//	spssim -load 0.05 -bypass=false -pad=false   # feel the frame-fill latency
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"pbrouter/internal/cli"
+	"pbrouter/internal/core"
+	"pbrouter/internal/hbmswitch"
+	"pbrouter/internal/sim"
+	"pbrouter/internal/traffic"
+)
+
+func main() {
+	var (
+		load    = flag.Float64("load", 0.9, "offered load per input in [0,1]")
+		matrix  = flag.String("matrix", "uniform", "traffic matrix: uniform|diagonal|hotspot")
+		sizes   = flag.String("sizes", "imix", "packet sizes: imix|64|1500|uniform")
+		arrival = flag.String("arrival", "poisson", "arrival process: poisson|bursty")
+		horizon = flag.String("horizon", "50us", "simulated duration, e.g. 20us, 1ms")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		speedup = flag.Float64("speedup", 1.1, "HBM speedup factor")
+		shadow  = flag.Bool("shadow", false, "run the ideal OQ shadow and report relative delay")
+		pad     = flag.Bool("pad", true, "enable frame padding")
+		bypass  = flag.Bool("bypass", true, "enable HBM bypass")
+		stacks  = flag.Int("stacks", 4, "HBM stacks (4 = reference; 1 = scaled switch)")
+		trace   = flag.String("trace", "", "replay a trafficgen trace instead of generating traffic")
+		refresh = flag.Bool("refresh", false, "enable the REFsb refresh scheduler")
+	)
+	flag.Parse()
+
+	hz, err := cli.ParseDuration(*horizon)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cfg := hbmswitch.Reference()
+	if *stacks != 4 {
+		cfg = hbmswitch.Scaled(*stacks, sim.Rate(float64(cfg.PortRate)*float64(*stacks)/4))
+	}
+	cfg.Speedup = *speedup
+	cfg.Shadow = *shadow
+	cfg.Policy = core.Policy{PadFrames: *pad, BypassHBM: *bypass}
+	cfg.FlushTimeout = 100 * sim.Nanosecond
+	cfg.EnableRefresh = *refresh
+
+	m, err := cli.Matrix(*matrix, cfg.PFI.N, *load)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	dist, err := cli.Sizes(*sizes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	kind, err := cli.Arrival(*arrival)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	sw, err := hbmswitch.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var stream traffic.Stream
+	if *trace != "" {
+		f, err := os.Open(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		ts, err := traffic.NewTraceStream(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if ts.Header().N != cfg.PFI.N {
+			fmt.Fprintf(os.Stderr, "trace has %d ports, switch has %d\n", ts.Header().N, cfg.PFI.N)
+			os.Exit(1)
+		}
+		stream = ts
+	} else {
+		srcs := traffic.UniformSources(m, cfg.PortRate, kind, dist, sim.NewRNG(*seed))
+		stream = traffic.NewMux(srcs)
+	}
+	rep, err := sw.Run(stream, hz)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if ts, ok := stream.(*traffic.TraceStream); ok && ts.Err() != nil {
+		fmt.Fprintln(os.Stderr, "trace read error:", ts.Err())
+		os.Exit(1)
+	}
+
+	fmt.Printf("HBM switch: %d ports x %v, %d stacks, speedup %.2f, pad=%v bypass=%v\n",
+		cfg.PFI.N, cfg.PortRate, cfg.Geometry.Stacks, cfg.Speedup, *pad, *bypass)
+	fmt.Printf("workload:   %s matrix, load %.2f, %s sizes, %s arrivals, %v horizon\n\n",
+		*matrix, *load, *sizes, *arrival, hz)
+	fmt.Println(rep)
+	fmt.Printf("\nlatency:    mean %v  p50 %v  p99 %v  max %v\n",
+		rep.LatencyMean, rep.LatencyP50, rep.LatencyP99, rep.LatencyMax)
+	fmt.Printf("SRAM high water: tail %.2f MB, head %.2f MB; HBM max region fill %d frames\n",
+		float64(rep.TailHighWater)/(1<<20), float64(rep.HeadHighWater)/(1<<20), rep.MaxRegionFill)
+	if rep.ShadowRun {
+		fmt.Printf("vs ideal OQ: throughput %.1f%%, relative delay mean %v p99 %v max %v\n",
+			100*rep.Throughput/rep.ShadowThroughput, rep.RelDelayMean, rep.RelDelayP99, rep.RelDelayMax)
+	}
+	for _, e := range rep.Errors {
+		fmt.Fprintf(os.Stderr, "invariant violation: %v\n", e)
+	}
+	if len(rep.Errors) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,260 @@
+// Command spssweep produces figure-style data series — latency versus
+// load under the three §4 latency policies, throughput versus HBM
+// speedup, latency versus frame size (the §5 datacenter knob), the
+// latency CDF, and mesh throughput versus load for the §2.1 baseline —
+// as CSV (default) or as an ASCII chart (-plot).
+//
+//	spssweep -sweep latency-load > latency.csv
+//	spssweep -sweep throughput-speedup -plot
+//	spssweep -sweep mesh-load -plot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pbrouter/internal/baseline"
+	"pbrouter/internal/core"
+	"pbrouter/internal/hbmswitch"
+	"pbrouter/internal/plot"
+	"pbrouter/internal/sim"
+	"pbrouter/internal/traffic"
+)
+
+// sweepData is a generic long-format result: one row per (series, x).
+type sweepData struct {
+	xLabel, yLabel string
+	cols           []string // extra CSV columns beyond x/series/y
+	rows           []sweepRow
+}
+
+type sweepRow struct {
+	series string
+	x, y   float64
+	extra  []string
+}
+
+func main() {
+	var (
+		sweep   = flag.String("sweep", "latency-load", "latency-load|throughput-speedup|latency-framesize|mesh-load|latency-cdf")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		quick   = flag.Bool("quick", false, "shorter horizons")
+		asChart = flag.Bool("plot", false, "render an ASCII chart instead of CSV")
+	)
+	flag.Parse()
+
+	horizon := 40 * sim.Microsecond
+	if *quick {
+		horizon = 10 * sim.Microsecond
+	}
+
+	var data *sweepData
+	var err error
+	switch *sweep {
+	case "latency-load":
+		data, err = latencyLoad(horizon, *seed)
+	case "throughput-speedup":
+		data, err = throughputSpeedup(horizon, *seed)
+	case "latency-framesize":
+		data, err = latencyFrameSize(horizon, *seed)
+	case "mesh-load":
+		data, err = meshLoad(*quick, *seed)
+	case "latency-cdf":
+		data, err = latencyCDF(horizon, *seed)
+	default:
+		err = fmt.Errorf("unknown sweep %q", *sweep)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *asChart {
+		fmt.Print(renderChart(*sweep, data))
+	} else {
+		printCSV(data)
+	}
+}
+
+func printCSV(d *sweepData) {
+	fmt.Printf("%s,series,%s", d.xLabel, d.yLabel)
+	for _, c := range d.cols {
+		fmt.Printf(",%s", c)
+	}
+	fmt.Println()
+	for _, r := range d.rows {
+		fmt.Printf("%g,%s,%g", r.x, r.series, r.y)
+		for _, e := range r.extra {
+			fmt.Printf(",%s", e)
+		}
+		fmt.Println()
+	}
+}
+
+func renderChart(title string, d *sweepData) string {
+	var c plot.Chart
+	c.Title = title
+	c.XLabel = d.xLabel
+	c.YLabel = d.yLabel
+	byName := map[string]*plot.Series{}
+	var order []string
+	for _, r := range d.rows {
+		s := byName[r.series]
+		if s == nil {
+			s = &plot.Series{Name: r.series}
+			byName[r.series] = s
+			order = append(order, r.series)
+		}
+		s.X = append(s.X, r.x)
+		s.Y = append(s.Y, r.y)
+	}
+	for _, name := range order {
+		if err := c.Add(*byName[name]); err != nil {
+			return err.Error()
+		}
+	}
+	return c.Render()
+}
+
+func runSwitch(cfg hbmswitch.Config, load float64, horizon sim.Time, seed uint64) (*hbmswitch.Report, *hbmswitch.Switch, error) {
+	sw, err := hbmswitch.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	srcs := traffic.UniformSources(traffic.Uniform(cfg.PFI.N, load), cfg.PortRate,
+		traffic.Poisson, traffic.IMIX(), sim.NewRNG(seed))
+	rep, err := sw.Run(traffic.NewMux(srcs), horizon)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(rep.Errors) > 0 {
+		return nil, nil, rep.Errors[0]
+	}
+	return rep, sw, nil
+}
+
+func latencyLoad(horizon sim.Time, seed uint64) (*sweepData, error) {
+	d := &sweepData{xLabel: "load", yLabel: "p50_ns", cols: []string{"p99_ns", "mean_ns"}}
+	policies := []struct {
+		name string
+		pol  core.Policy
+	}{
+		{"none", core.Policy{}},
+		{"pad", core.Policy{PadFrames: true}},
+		{"pad+bypass", core.Policy{PadFrames: true, BypassHBM: true}},
+	}
+	for _, load := range []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95} {
+		for _, p := range policies {
+			cfg := hbmswitch.Reference()
+			cfg.Speedup = 1.1
+			cfg.Policy = p.pol
+			cfg.FlushTimeout = 100 * sim.Nanosecond
+			cfg.PadTimeout = 200 * sim.Nanosecond
+			rep, _, err := runSwitch(cfg, load, horizon, seed)
+			if err != nil {
+				return nil, err
+			}
+			d.rows = append(d.rows, sweepRow{
+				series: p.name, x: load, y: rep.LatencyP50.Nanoseconds(),
+				extra: []string{
+					fmt.Sprintf("%.1f", rep.LatencyP99.Nanoseconds()),
+					fmt.Sprintf("%.1f", rep.LatencyMean.Nanoseconds()),
+				},
+			})
+		}
+	}
+	return d, nil
+}
+
+func throughputSpeedup(horizon sim.Time, seed uint64) (*sweepData, error) {
+	d := &sweepData{xLabel: "speedup", yLabel: "throughput_vs_ideal"}
+	for _, sp := range []float64{0.98, 1.0, 1.02, 1.05, 1.1, 1.2, 1.3} {
+		cfg := hbmswitch.Reference()
+		cfg.Speedup = sp
+		cfg.Policy = core.Policy{} // all traffic through the HBM
+		cfg.Shadow = true
+		if err := cfg.Validate(); err != nil {
+			continue // below ~0.97 the memory cannot carry 2x line rate
+		}
+		rep, _, err := runSwitch(cfg, 0.99, horizon, seed)
+		if err != nil {
+			return nil, err
+		}
+		d.rows = append(d.rows, sweepRow{series: "load 0.99", x: sp,
+			y: rep.Throughput / rep.ShadowThroughput})
+	}
+	return d, nil
+}
+
+func latencyFrameSize(horizon sim.Time, seed uint64) (*sweepData, error) {
+	d := &sweepData{xLabel: "frame_kb", yLabel: "p50_ns", cols: []string{"p99_ns"}}
+	for _, seg := range []int{1024, 512} {
+		cfg := hbmswitch.Scaled(1, 640*sim.Gbps)
+		cfg.PFI.SegBytes = seg
+		cfg.Policy = core.Policy{BypassHBM: true}
+		cfg.FlushTimeout = 100 * sim.Nanosecond
+		rep, _, err := runSwitch(cfg, 0.6, 2*horizon, seed)
+		if err != nil {
+			return nil, err
+		}
+		d.rows = append(d.rows, sweepRow{
+			series: "load 0.6", x: float64(cfg.PFI.FrameBytes() / 1024),
+			y:     rep.LatencyP50.Nanoseconds(),
+			extra: []string{fmt.Sprintf("%.1f", rep.LatencyP99.Nanoseconds())},
+		})
+	}
+	return d, nil
+}
+
+func latencyCDF(horizon sim.Time, seed uint64) (*sweepData, error) {
+	d := &sweepData{xLabel: "percentile", yLabel: "latency_ns"}
+	for _, load := range []float64{0.3, 0.9} {
+		cfg := hbmswitch.Reference()
+		cfg.Speedup = 1.1
+		cfg.FlushTimeout = 100 * sim.Nanosecond
+		_, sw, err := runSwitch(cfg, load, horizon, seed)
+		if err != nil {
+			return nil, err
+		}
+		h := sw.LatencyHistogram()
+		for _, p := range []float64{0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0} {
+			d.rows = append(d.rows, sweepRow{
+				series: fmt.Sprintf("load %.1f", load), x: p,
+				y: h.PercentileTime(p).Nanoseconds(),
+			})
+		}
+	}
+	return d, nil
+}
+
+func meshLoad(quick bool, seed uint64) (*sweepData, error) {
+	d := &sweepData{xLabel: "load", yLabel: "throughput", cols: []string{"p99_ns"}}
+	horizon := 2 * sim.Millisecond
+	if quick {
+		horizon = sim.Millisecond
+	}
+	for _, load := range []float64{0.1, 0.2, 0.25, 0.3, 0.4} {
+		for _, pattern := range []string{"uniform", "worst"} {
+			ms, err := baseline.NewMeshSim(8, 10*sim.Gbps)
+			if err != nil {
+				return nil, err
+			}
+			var tm *traffic.Matrix
+			if pattern == "uniform" {
+				tm = traffic.Uniform(64, load)
+			} else {
+				m, _ := baseline.NewMesh(8)
+				tm = m.WorstCaseMatrix().Scale(load)
+			}
+			rep, err := ms.Run(tm, traffic.Fixed(1500), horizon, seed)
+			if err != nil {
+				return nil, err
+			}
+			d.rows = append(d.rows, sweepRow{
+				series: pattern, x: load, y: rep.Throughput,
+				extra: []string{fmt.Sprintf("%.1f", rep.LatencyP99.Nanoseconds())},
+			})
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,123 @@
+// Command trafficgen generates repeatable workload traces for the
+// switch simulators and inspects existing ones.
+//
+// Generate:
+//
+//	trafficgen -out core.trace -ports 16 -load 0.9 -matrix uniform \
+//	           -sizes imix -arrival bursty -horizon 100us -seed 7
+//
+// Inspect:
+//
+//	trafficgen -stats core.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"pbrouter/internal/cli"
+	"pbrouter/internal/sim"
+	"pbrouter/internal/traffic"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "", "trace file to write")
+		stats   = flag.String("stats", "", "trace file to inspect")
+		ports   = flag.Int("ports", 16, "switch port count N")
+		rate    = flag.Float64("rate", 2560, "port line rate in Gb/s")
+		load    = flag.Float64("load", 0.9, "offered load per input")
+		matrix  = flag.String("matrix", "uniform", "uniform|diagonal|hotspot")
+		sizes   = flag.String("sizes", "imix", "imix|64|1500|uniform")
+		arrival = flag.String("arrival", "poisson", "poisson|bursty")
+		horizon = flag.String("horizon", "100us", "trace duration")
+		seed    = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *stats != "":
+		if err := inspect(*stats); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *out != "":
+		if err := generate(*out, *ports, *rate, *load, *matrix, *sizes, *arrival, *horizon, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "need -out (generate) or -stats (inspect); see -h")
+		os.Exit(2)
+	}
+}
+
+func generate(path string, ports int, rateGbps, load float64, matrix, sizes, arrival, horizon string, seed uint64) error {
+	hz, err := cli.ParseDuration(horizon)
+	if err != nil {
+		return err
+	}
+	m, err := cli.Matrix(matrix, ports, load)
+	if err != nil {
+		return err
+	}
+	dist, err := cli.Sizes(sizes)
+	if err != nil {
+		return err
+	}
+	kind, err := cli.Arrival(arrival)
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tw, err := traffic.NewTraceWriter(f, ports)
+	if err != nil {
+		return err
+	}
+	lineRate := sim.Rate(rateGbps) * sim.Gbps
+	srcs := traffic.UniformSources(m, lineRate, kind, dist, sim.NewRNG(seed))
+	mux := traffic.NewMux(srcs)
+	for {
+		p, at := mux.Next()
+		if p == nil || at > hz {
+			break
+		}
+		if err := tw.Add(p); err != nil {
+			return err
+		}
+	}
+	n, err := tw.Finish()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d packets over %v to %s\n", n, hz, path)
+	return nil
+}
+
+func inspect(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := traffic.ScanTrace(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("packets: %d (%.2f MB), span %v, sizes %d..%d B\n",
+		st.Packets, float64(st.Bytes)/1e6, st.Duration(), st.MinSize, st.MaxSize)
+	fmt.Printf("busiest input mean rate: %v\n", st.MeanRatePerInput())
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "port\tin bytes\tout bytes")
+	for i := range st.PerInput {
+		fmt.Fprintf(w, "%d\t%d\t%d\n", i, st.PerInput[i], st.PerOutput[i])
+	}
+	return w.Flush()
+}

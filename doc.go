@@ -1,0 +1,15 @@
+// Package pbrouter reproduces "Petabit Router-in-a-Package: Rethinking
+// Internet Routers in the Age of In-Packaged Optics and Heterogeneous
+// Integration" (Keslassy & Lin, HotNets '25) as a Go library.
+//
+// The public API is in pbrouter/router; the substrates (HBM4 timing
+// model, optical front end, SRAM stages, crossbars, traffic
+// generators, baseline architectures, discrete-event kernel) are under
+// internal/. The executables under cmd/ regenerate the paper's
+// quantitative claims (spsbench), run interactive simulations
+// (spssim), and print the design analysis (designcalc).
+//
+// The benchmarks in bench_test.go provide one testing.B entry per
+// experiment, E1 through E15 — the per-claim evaluation index defined
+// in DESIGN.md — plus microbenchmarks of the hot simulation paths.
+package pbrouter

@@ -1,0 +1,75 @@
+// Core-router scenario: the workload the paper's introduction
+// motivates — an internet core router absorbing bursty traffic and a
+// transient hotspot overload. Shows where the HBM's 4 TB of buffering
+// (51 ms at line rate, §4) earns its keep versus the 5-18 ms of a
+// conventional linecard.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pbrouter/router"
+)
+
+func main() {
+	r, err := router.New(router.Reference())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Part 1: heavy bursty traffic at 85% load — Pareto-sized packet
+	// trains, the stress case for buffering.
+	fmt.Println("== bursty core traffic, load 0.85 (one HBM switch)")
+	rep, err := r.SimulateSwitch(router.SimOptions{
+		Matrix:  router.UniformMatrix(16, 0.85),
+		Arrival: router.Bursty,
+		Sizes:   router.IMIXSizes(),
+		Horizon: 40 * router.Microsecond,
+		Seed:    7,
+		Shadow:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delivered %.3f of capacity (offered %.3f); latency p99 %v\n",
+		rep.Throughput, rep.OfferedLoad, rep.LatencyP99)
+	fmt.Printf("tail SRAM high water %.2f MB of the 8 MB budget; HBM regions peaked at %d frames\n",
+		float64(rep.TailHighWater)/(1<<20), rep.MaxRegionFill)
+
+	// Part 2: a transient hotspot — every input redirects 10% of its
+	// traffic to output 0 on top of 85% background, pushing output 0
+	// to ~110% for the duration of the run. The excess lands in the
+	// HBM region of output 0 instead of being dropped.
+	fmt.Println("\n== transient 110% hotspot on one output")
+	m := router.UniformMatrix(16, 0).Scale(0) // start empty
+	for i := 0; i < 16; i++ {
+		m.Rates[i][0] = 1.10 / 16
+		for j := 1; j < 16; j++ {
+			m.Rates[i][j] = 0.70 / 16
+		}
+	}
+	rep2, err := r.SimulateSwitch(router.SimOptions{
+		Matrix:  m,
+		Arrival: router.Poisson,
+		Sizes:   router.FixedSize(1500),
+		Horizon: 40 * router.Microsecond,
+		Seed:    8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	frameKB := 512
+	backlogMB := float64(rep2.MaxRegionFill) * float64(frameKB) / 1024
+	fmt.Printf("hot output's HBM backlog peaked at %.1f MB — absorbed, not dropped\n", backlogMB)
+	fmt.Printf("packets delivered: %d of %d offered (store-and-forward, zero loss)\n",
+		rep2.DeliveredPackets, rep2.OfferedPackets)
+
+	// Part 3: how long could that overload persist? The §4 buffer
+	// analysis, specialized to a 10% overload.
+	br := r.BufferReport(50*router.Millisecond, 100_000)
+	fmt.Println("\n== buffering headroom (§4 analysis)")
+	fmt.Println(br)
+	fmt.Printf("a sustained 10%% overload of the whole router takes ~500 ms to exhaust the HBM;\n")
+	fmt.Printf("a 5 ms linecard buffer (Cisco 8201-32FH) would overflow 100x sooner\n")
+}

@@ -1,0 +1,3 @@
+module pbrouter
+
+go 1.22

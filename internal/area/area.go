@@ -1,0 +1,66 @@
+// Package area implements the §4 area estimate: per-HBM-switch
+// footprint from the processing chiplet and HBM stacks, package total
+// across H switches, and panel-substrate utilization.
+package area
+
+import "fmt"
+
+// Published reference footprints (§1, §4).
+const (
+	// ProcessingChipletMM2 is the conservative per-switch processing
+	// area, anchored to the Broadcom Tomahawk 5 die estimate.
+	ProcessingChipletMM2 = 800.0
+	// HBMStackMM2 is one HBM stack's footprint (11 mm x 11 mm).
+	HBMStackMM2 = 121.0
+	// PanelEdgeMM is the demonstrated panel-scale glass substrate edge
+	// (500 mm).
+	PanelEdgeMM = 500.0
+)
+
+// Model parameterizes the estimate.
+type Model struct {
+	Stacks      int     // B HBM stacks per switch
+	Switches    int     // H switches per package
+	ChipletMM2  float64 // processing chiplet area per switch
+	StackMM2    float64 // per-stack footprint
+	PanelEdgeMM float64
+}
+
+// Reference returns the paper's design point: B=4, H=16, 800 mm²
+// chiplet, 121 mm² stacks, 500 mm panel.
+func Reference() Model {
+	return Model{
+		Stacks:      4,
+		Switches:    16,
+		ChipletMM2:  ProcessingChipletMM2,
+		StackMM2:    HBMStackMM2,
+		PanelEdgeMM: PanelEdgeMM,
+	}
+}
+
+// SwitchMM2 returns one HBM switch's footprint
+// (800 + 4·121 = 1284 mm² in the reference design).
+func (m Model) SwitchMM2() float64 {
+	return m.ChipletMM2 + float64(m.Stacks)*m.StackMM2
+}
+
+// PackageMM2 returns the silicon footprint across H switches
+// (20 544 mm² in the reference design).
+func (m Model) PackageMM2() float64 {
+	return float64(m.Switches) * m.SwitchMM2()
+}
+
+// PanelMM2 returns the panel substrate area (250 000 mm²).
+func (m Model) PanelMM2() float64 { return m.PanelEdgeMM * m.PanelEdgeMM }
+
+// PanelUtilization returns the fraction of the panel the switches
+// occupy — "under 10%" in §4, so area is not the scaling bottleneck.
+func (m Model) PanelUtilization() float64 {
+	return m.PackageMM2() / m.PanelMM2()
+}
+
+// String formats the §4 estimate.
+func (m Model) String() string {
+	return fmt.Sprintf("switch %.0f mm²; package %.0f mm²; panel %.0f mm² (%.1f%% used)",
+		m.SwitchMM2(), m.PackageMM2(), m.PanelMM2(), 100*m.PanelUtilization())
+}

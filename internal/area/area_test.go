@@ -1,0 +1,42 @@
+package area
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReferenceAreaMatchesPaper(t *testing.T) {
+	m := Reference()
+	// §4: 800 + 4·121 = 1284 mm² per switch; 16·1284 = 20 544 mm²;
+	// "under 10%" of the 250 000 mm² panel.
+	if got := m.SwitchMM2(); got != 1284 {
+		t.Fatalf("switch area %.0f want 1284", got)
+	}
+	if got := m.PackageMM2(); got != 20544 {
+		t.Fatalf("package area %.0f want 20544", got)
+	}
+	if got := m.PanelMM2(); got != 250000 {
+		t.Fatalf("panel area %.0f want 250000", got)
+	}
+	util := m.PanelUtilization()
+	if util >= 0.10 {
+		t.Fatalf("panel utilization %.4f not under 10%%", util)
+	}
+	if math.Abs(util-20544.0/250000) > 1e-12 {
+		t.Fatalf("utilization %.6f", util)
+	}
+}
+
+func TestFewerStacksShrinkFootprint(t *testing.T) {
+	m := Reference()
+	m.Stacks = 1 // §5 roadmap: 4x/10x stacks
+	if m.SwitchMM2() != 921 {
+		t.Fatalf("1-stack switch area %.0f want 921", m.SwitchMM2())
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	if Reference().String() == "" {
+		t.Fatal("empty string")
+	}
+}

@@ -1,0 +1,101 @@
+package baseline
+
+import (
+	"testing"
+
+	"pbrouter/internal/packet"
+	"pbrouter/internal/sim"
+	"pbrouter/internal/traffic"
+)
+
+func runIQ(t *testing.T, m *traffic.Matrix, iters int, horizon sim.Time, seed uint64) (float64, *IQSwitch) {
+	t.Helper()
+	rate := 10 * sim.Gbps
+	sw, err := NewIQSwitch(m.N, rate, 64, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := traffic.UniformSources(m, rate, traffic.Poisson, traffic.Fixed(512), sim.NewRNG(seed))
+	mux := traffic.NewMux(srcs)
+	tput := sw.Run(mux.Next, horizon)
+	return tput, sw
+}
+
+func TestIQSwitchUniformHighLoad(t *testing.T) {
+	// iSLIP's celebrated result: ~100% throughput for uniform traffic.
+	tput, _ := runIQ(t, traffic.Uniform(8, 0.9), 1, 2*sim.Millisecond, 1)
+	if tput < 0.85 {
+		t.Fatalf("uniform throughput %.3f want ~0.9", tput)
+	}
+}
+
+func TestIQSwitchDeliversEverythingAtModerateLoad(t *testing.T) {
+	rate := 10 * sim.Gbps
+	sw, _ := NewIQSwitch(4, rate, 64, 1)
+	m := traffic.Uniform(4, 0.5)
+	srcs := traffic.UniformSources(m, rate, traffic.Poisson, traffic.Fixed(512), sim.NewRNG(2))
+	mux := traffic.NewMux(srcs)
+	var offered int64
+	next := func() (*packet.Packet, sim.Time) {
+		p, at := mux.Next()
+		if p != nil && at <= 2*sim.Millisecond {
+			offered++
+		}
+		return p, at
+	}
+	sw.Run(next, 2*sim.Millisecond)
+	if sw.Delivered.Packets != offered {
+		t.Fatalf("delivered %d of %d", sw.Delivered.Packets, offered)
+	}
+	if sw.Latency.N() == 0 {
+		t.Fatal("no latency samples")
+	}
+}
+
+func TestIQSwitchDiagonalIsEasy(t *testing.T) {
+	// A permutation matrix is iSLIP-friendly (no contention): near
+	// full delivery.
+	tput, _ := runIQ(t, traffic.Diagonal(8, 0.9, 3), 1, 2*sim.Millisecond, 3)
+	if tput < 0.85 {
+		t.Fatalf("diagonal throughput %.3f", tput)
+	}
+}
+
+func TestIQSwitchMoreIterationsHelpUnbalanced(t *testing.T) {
+	// A log-diagonal-style unbalanced pattern stresses single-iteration
+	// iSLIP; extra iterations recover matches within a slot.
+	m := traffic.NewMatrix(8)
+	for i := 0; i < 8; i++ {
+		m.Rates[i][i] = 0.5
+		m.Rates[i][(i+1)%8] = 0.25
+		m.Rates[i][(i+2)%8] = 0.2
+	}
+	one, swOne := runIQ(t, m, 1, sim.Millisecond, 4)
+	four, _ := runIQ(t, m, 4, sim.Millisecond, 4)
+	if four+0.02 < one {
+		t.Fatalf("more iterations hurt: %.3f -> %.3f", one, four)
+	}
+	if swOne.MaxVOQCells() == 0 {
+		t.Fatal("VOQ occupancy not tracked")
+	}
+}
+
+func TestSchedulerDecisionRateArgument(t *testing.T) {
+	// §2.1 Challenge 1 made quantitative: at the HBM switch's
+	// 2.56 Tb/s port rate, a 64 B-cell scheduler must decide every
+	// 200 ps — 5 billion request-grant-accept rounds per second.
+	perSec := SchedulerDecisionsPerSecond(2560*sim.Gbps, 64)
+	if perSec != 5e9 {
+		t.Fatalf("decisions/s %.3g want 5e9", perSec)
+	}
+	// PFI's cyclical crossbar needs zero scheduling decisions.
+}
+
+func TestIQSwitchRejectsBadParams(t *testing.T) {
+	if _, err := NewIQSwitch(0, sim.Gbps, 64, 1); err == nil {
+		t.Fatal("0 ports accepted")
+	}
+	if _, err := NewIQSwitch(4, sim.Gbps, 0, 1); err == nil {
+		t.Fatal("0 cell accepted")
+	}
+}

@@ -1,0 +1,155 @@
+package baseline
+
+import (
+	"fmt"
+
+	"pbrouter/internal/traffic"
+)
+
+// Mesh models §2.1 Design 2: H = k² smaller switches arranged in a
+// k×k grid, each with one external port, connected to grid neighbors
+// by links of one port's capacity, routed XY (dimension order:
+// columns first, then rows). The model is flow-level: given a traffic
+// matrix it computes per-link loads along XY routes and reports the
+// saturation throughput, average hop count (the §2.1 capacity/power
+// waste), and the worst-case guaranteed capacity.
+type Mesh struct {
+	K int // grid side; the mesh has K*K nodes/external ports
+}
+
+// NewMesh returns a k×k mesh.
+func NewMesh(k int) (*Mesh, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("mesh: side %d too small", k)
+	}
+	return &Mesh{K: k}, nil
+}
+
+// Nodes returns the number of nodes (and external ports).
+func (m *Mesh) Nodes() int { return m.K * m.K }
+
+// linkIndex identifies a directed grid link. Horizontal links are
+// (r,c)->(r,c+1) (dir 0) and (r,c+1)->(r,c) (dir 1); vertical links
+// are (r,c)->(r+1,c) (dir 2) and reverse (dir 3).
+func (m *Mesh) linkIndex(r, c, dir int) int {
+	return ((r*m.K+c)*4 + dir)
+}
+
+// route accumulates the XY route of one src->dst flow of the given
+// rate onto loads. XY: move along the source row to the destination
+// column, then along that column to the destination row.
+func (m *Mesh) route(src, dst int, rate float64, loads []float64) int {
+	sr, sc := src/m.K, src%m.K
+	dr, dc := dst/m.K, dst%m.K
+	hops := 0
+	r, c := sr, sc
+	for c != dc {
+		if dc > c {
+			loads[m.linkIndex(r, c, 0)] += rate
+			c++
+		} else {
+			loads[m.linkIndex(r, c-1, 1)] += rate
+			c--
+		}
+		hops++
+	}
+	for r != dr {
+		if dr > r {
+			loads[m.linkIndex(r, c, 2)] += rate
+			r++
+		} else {
+			loads[m.linkIndex(r-1, c, 3)] += rate
+			r--
+		}
+		hops++
+	}
+	return hops
+}
+
+// LinkLoads returns the per-directed-link load (in units of link
+// capacity) induced by the traffic matrix under XY routing, plus the
+// traffic-weighted average hop count.
+func (m *Mesh) LinkLoads(tm *traffic.Matrix) (loads []float64, avgHops float64) {
+	if tm.N != m.Nodes() {
+		panic(fmt.Sprintf("mesh: matrix is %d x %d, mesh has %d ports", tm.N, tm.N, m.Nodes()))
+	}
+	loads = make([]float64, m.Nodes()*4)
+	var hopSum, rateSum float64
+	for s := 0; s < tm.N; s++ {
+		for d := 0; d < tm.N; d++ {
+			rate := tm.Rates[s][d]
+			if rate == 0 || s == d {
+				continue
+			}
+			h := m.route(s, d, rate, loads)
+			hopSum += float64(h) * rate
+			rateSum += rate
+		}
+	}
+	if rateSum > 0 {
+		avgHops = hopSum / rateSum
+	}
+	return loads, avgHops
+}
+
+// Throughput returns the fraction of the offered matrix the mesh can
+// sustain: 1/maxLinkLoad, capped at 1. A value of 0.2 means the mesh
+// delivers only 20% of the admissible demand before an internal link
+// saturates.
+func (m *Mesh) Throughput(tm *traffic.Matrix) float64 {
+	loads, _ := m.LinkLoads(tm)
+	var max float64
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	if max <= 1 {
+		return 1
+	}
+	return 1 / max
+}
+
+// WorstCaseMatrix returns the admissible pattern that §2.1/[61] use to
+// exhibit the mesh's guaranteed-capacity collapse: every node in the
+// left half sends its full rate uniformly to the right half (and the
+// right half symmetrically to the left), forcing all traffic across
+// the k bisection links per direction.
+func (m *Mesh) WorstCaseMatrix() *traffic.Matrix {
+	n := m.Nodes()
+	tm := traffic.NewMatrix(n)
+	half := m.K / 2
+	rightCount := m.K - half
+	for s := 0; s < n; s++ {
+		sc := s % m.K
+		for d := 0; d < n; d++ {
+			dc := d % m.K
+			if sc < half && dc >= half {
+				tm.Rates[s][d] = 1.0 / float64(m.K*rightCount)
+			} else if sc >= half && dc < half {
+				tm.Rates[s][d] = 1.0 / float64(m.K*half)
+			}
+		}
+	}
+	return tm
+}
+
+// GuaranteedCapacity returns the mesh's worst-case sustainable
+// fraction under XY routing, measured on the worst-case matrix. For a
+// 10×10 mesh this is the paper's "at most 20% of the total capacity".
+func (m *Mesh) GuaranteedCapacity() float64 {
+	return m.Throughput(m.WorstCaseMatrix())
+}
+
+// GuaranteedCapacityBound returns the analytic bisection bound 2/k:
+// k²/2 ports' worth of traffic can be forced across k links per
+// direction, so no routing scheme can guarantee more than 2/k.
+func GuaranteedCapacityBound(k int) float64 { return 2 / float64(k) }
+
+// InternalTrafficFactor returns the traffic-weighted average hops for
+// the matrix — every hop beyond the first duplicates link capacity
+// and switching energy, the §2.1 Challenge 2 waste.
+func (m *Mesh) InternalTrafficFactor(tm *traffic.Matrix) float64 {
+	_, hops := m.LinkLoads(tm)
+	return hops
+}

@@ -1,0 +1,90 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"pbrouter/internal/sim"
+	"pbrouter/internal/traffic"
+)
+
+func TestMeshSimLowLoadLatencyIsHopCount(t *testing.T) {
+	// At negligible load there is no queueing: latency = (hops+1)
+	// store-and-forward transfers (internal hops plus ejection).
+	ms, err := NewMeshSim(4, 10*sim.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := traffic.Uniform(16, 0.02)
+	rep, err := ms.Run(tm, traffic.Fixed(1500), 2*sim.Millisecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := sim.TransferTime(1500*8, 10*sim.Gbps)
+	wantP50 := float64((rep.MeanHops + 1)) * float64(tx)
+	if math.Abs(float64(rep.LatencyP50)-wantP50)/wantP50 > 0.5 {
+		t.Fatalf("p50 %v vs unloaded estimate %v (hops %.2f)", rep.LatencyP50, sim.Time(wantP50), rep.MeanHops)
+	}
+	// Uniform XY mean hops on 4x4 is ~2k/3 = 2.67 (excluding self
+	// traffic it is slightly higher).
+	if rep.MeanHops < 2 || rep.MeanHops > 3.5 {
+		t.Fatalf("mean hops %.2f", rep.MeanHops)
+	}
+}
+
+func TestMeshSimDeliversLightUniformLoad(t *testing.T) {
+	ms, _ := NewMeshSim(4, 10*sim.Gbps)
+	tm := traffic.Uniform(16, 0.3)
+	rep, err := ms.Run(tm, traffic.IMIX(), 2*sim.Millisecond, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DeliveredFrac < 0.999 {
+		t.Fatalf("delivered %.4f of packets", rep.DeliveredFrac)
+	}
+	if math.Abs(rep.Throughput-rep.OfferedLoad) > 0.03 {
+		t.Fatalf("throughput %.3f vs offered %.3f", rep.Throughput, rep.OfferedLoad)
+	}
+}
+
+func TestMeshSimCollapsesOnWorstCase(t *testing.T) {
+	// The queueing simulation must reproduce the flow-level bound: on
+	// the worst-case admissible pattern at full load, an 8x8 mesh
+	// delivers only ~2/k = 25% and its bisection links saturate.
+	ms, _ := NewMeshSim(8, 10*sim.Gbps)
+	tm := ms.flow.WorstCaseMatrix()
+	rep, err := ms.Run(tm, traffic.Fixed(1500), 2*sim.Millisecond, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := GuaranteedCapacityBound(8) // 0.25
+	if rep.Throughput > bound*1.15 {
+		t.Fatalf("throughput %.3f exceeds the 2/k bound %.3f", rep.Throughput, bound)
+	}
+	if rep.Throughput < bound*0.75 {
+		t.Fatalf("throughput %.3f far below the achievable %.3f", rep.Throughput, bound)
+	}
+	if rep.MaxLinkUtil < 0.95 {
+		t.Fatalf("bisection links not saturated: max util %.3f", rep.MaxLinkUtil)
+	}
+	// Most offered packets are still stuck in queues at the end.
+	if rep.DeliveredFrac > 0.6 {
+		t.Fatalf("delivered fraction %.3f too high for a collapsed mesh", rep.DeliveredFrac)
+	}
+}
+
+func TestMeshSimLatencyGrowsWithLoad(t *testing.T) {
+	run := func(load float64) sim.Time {
+		ms, _ := NewMeshSim(4, 10*sim.Gbps)
+		rep, err := ms.Run(traffic.Uniform(16, load), traffic.Fixed(1500), 2*sim.Millisecond, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.LatencyP99
+	}
+	lo := run(0.1)
+	hi := run(0.38) // near the 4x4 uniform saturation point (~0.4 with XY)
+	if hi <= lo {
+		t.Fatalf("p99 did not grow with load: %v -> %v", lo, hi)
+	}
+}

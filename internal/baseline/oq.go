@@ -1,0 +1,90 @@
+// Package baseline implements the architectures the paper compares
+// against, so that every §2/§3 comparison is measured rather than
+// quoted:
+//
+//   - OQSwitch: the ideal output-queued shared-memory switch — "the
+//     holy grail of router architectures" (§1) and the reference an
+//     HBM switch with small speedup must mimic (§3.2 (6)).
+//   - SpraySwitch: random packet spraying across memory channels with
+//     an output resequencer (§3.1's statistical alternative), charged
+//     with worst-case random access times.
+//   - Mesh: the √H×√H mesh of smaller switches (§2.1 Design 2) with XY
+//     routing, whose guaranteed capacity collapses to 2/k (20% for a
+//     10×10 mesh).
+//   - PPS: the three-stage load-balanced / parallel-packet-switch
+//     approach (§2.1 Design 3), which needs per-packet electronic load
+//     balancing, three OEO stages and output resequencing.
+package baseline
+
+import (
+	"pbrouter/internal/packet"
+	"pbrouter/internal/sim"
+	"pbrouter/internal/stats"
+)
+
+// OQSwitch is an ideal N×N output-queued shared-memory switch:
+// infinite memory, every packet is enqueued at its output the instant
+// its last bit arrives, and each output drains at line rate. Its
+// departure times are the benchmark that defines both work
+// conservation and the mimicking target of §3.2 (6).
+type OQSwitch struct {
+	n         int
+	rate      sim.Rate
+	busyUntil []sim.Time
+
+	// Instrumentation.
+	Delivered  stats.Counter
+	Occupancy  []int64 // current queued bytes per output
+	HighWater  []int64
+	totalQueue int64
+}
+
+// NewOQSwitch returns an ideal switch with the given per-port rate.
+func NewOQSwitch(n int, rate sim.Rate) *OQSwitch {
+	return &OQSwitch{
+		n:         n,
+		rate:      rate,
+		busyUntil: make([]sim.Time, n),
+		Occupancy: make([]int64, n),
+		HighWater: make([]int64, n),
+	}
+}
+
+// Arrive processes one packet (packets must be fed in nondecreasing
+// arrival order) and returns its ideal departure time: the time its
+// last bit leaves the output port.
+func (s *OQSwitch) Arrive(p *packet.Packet) sim.Time {
+	out := p.Output
+	tx := sim.TransferTime(int64(p.Size)*8, s.rate)
+	start := p.Arrival
+	if s.busyUntil[out] > start {
+		start = s.busyUntil[out]
+	}
+	depart := start + tx
+	s.busyUntil[out] = depart
+	s.Delivered.Add(p.Size)
+
+	// Occupancy accounting at arrival instants (exact for the
+	// high-water in FIFO order since queue drains are linear).
+	queued := s.busyUntil[out] - p.Arrival
+	bytes := int64(sim.BitsIn(queued, s.rate) / 8)
+	s.Occupancy[out] = bytes
+	if bytes > s.HighWater[out] {
+		s.HighWater[out] = bytes
+	}
+	return depart
+}
+
+// BusyUntil returns when the given output's queue drains.
+func (s *OQSwitch) BusyUntil(output int) sim.Time { return s.busyUntil[output] }
+
+// MaxHighWater returns the largest per-output backlog seen, in bytes.
+func (s *OQSwitch) MaxHighWater() int64 {
+	var m int64
+	for _, h := range s.HighWater {
+		if h > m {
+			m = h
+		}
+	}
+	return m
+}

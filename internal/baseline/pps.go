@@ -1,0 +1,88 @@
+package baseline
+
+import (
+	"sort"
+
+	"pbrouter/internal/packet"
+	"pbrouter/internal/sim"
+	"pbrouter/internal/stats"
+)
+
+// PPS models §2.1 Design 3: a three-stage load-balanced /
+// parallel-packet-switch architecture. Each input sprays packets
+// packet-by-packet (round-robin) across H middle switches, each an
+// ideal OQ switch running at (speedup/H) of the external port rate;
+// outputs must resequence. The model measures the two §2.1 Challenge 3
+// costs that SPS avoids: the output reordering buffer and the three
+// OEO conversion stages (each packet crosses input stage, middle
+// switch, and output stage electronics).
+type PPS struct {
+	n       int
+	h       int
+	rate    sim.Rate // external port rate
+	middles []*OQSwitch
+	rr      []int // per-input round-robin pointer
+
+	inflight []sprayed
+	Tracker  *stats.ReorderTracker
+
+	Delivered stats.Counter
+	lastDone  sim.Time
+}
+
+// OEOStages is the number of optical-electrical boundary pairs a
+// packet crosses in a three-stage architecture (§2.1 Challenge 3:
+// "three OEO conversion stages"), versus 1 for SPS.
+const OEOStages = 3
+
+// NewPPS builds a three-stage switch with H middle planes at the
+// given internal speedup (1.0 means the aggregate middle capacity
+// exactly matches the external capacity).
+func NewPPS(n, h int, rate sim.Rate, speedup float64) *PPS {
+	p := &PPS{
+		n:       n,
+		h:       h,
+		rate:    rate,
+		rr:      make([]int, n),
+		Tracker: stats.NewReorderTracker(),
+	}
+	midRate := sim.Rate(float64(rate) * speedup / float64(h))
+	for i := 0; i < h; i++ {
+		p.middles = append(p.middles, NewOQSwitch(n, midRate))
+	}
+	return p
+}
+
+// Arrive load-balances one packet to a middle switch and returns when
+// that middle switch delivers it to the output stage. Packets must be
+// fed in arrival order.
+func (p *PPS) Arrive(pk *packet.Packet) sim.Time {
+	m := p.rr[pk.Input]
+	p.rr[pk.Input] = (m + 1) % p.h
+	done := p.middles[m].Arrive(pk)
+	p.inflight = append(p.inflight, sprayed{done: done, p: pk})
+	if done > p.lastDone {
+		p.lastDone = done
+	}
+	return done
+}
+
+// Finish resequences the output side and returns the delivered
+// aggregate rate.
+func (p *PPS) Finish() sim.Rate {
+	sort.SliceStable(p.inflight, func(i, j int) bool {
+		return p.inflight[i].done < p.inflight[j].done
+	})
+	for _, e := range p.inflight {
+		pair := uint64(e.p.Input)<<32 | uint64(uint32(e.p.Output))
+		p.Tracker.Observe(pair, e.p.Seq, e.p.Size)
+		p.Delivered.Add(e.p.Size)
+	}
+	if p.lastDone == 0 {
+		return 0
+	}
+	return sim.RateOf(p.Delivered.Bits(), p.lastDone)
+}
+
+// PeakReorderBufferBytes returns the output resequencing high-water.
+func (p *PPS) PeakReorderBufferBytes() int64 { return p.Tracker.PeakBufferBytes() }

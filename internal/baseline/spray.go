@@ -1,0 +1,91 @@
+package baseline
+
+import (
+	"sort"
+
+	"pbrouter/internal/hbm"
+	"pbrouter/internal/packet"
+	"pbrouter/internal/sim"
+	"pbrouter/internal/stats"
+)
+
+// SpraySwitch models the statistical shared-memory alternative of
+// §3.1: each packet is written to a uniformly random HBM channel,
+// paying the worst-case random access cost (activate + transfer +
+// precharge, with full timing rules), and the output must resequence
+// packets that overtake each other on faster channels. It quantifies
+// the two costs SPS+PFI avoid: the random-access throughput loss and
+// the reordering buffer (§4 "SRAM sizing": "an order of magnitude
+// higher" than the frame-assembly SRAM).
+type SpraySwitch struct {
+	geo hbm.Geometry
+	tim hbm.Timing
+	rng *sim.RNG
+
+	chanBusy []sim.Time
+	inflight []sprayed
+
+	Tracker   *stats.ReorderTracker
+	Delivered stats.Counter
+	lastDone  sim.Time
+}
+
+type sprayed struct {
+	done sim.Time
+	p    *packet.Packet
+}
+
+// NewSpraySwitch returns a spraying switch over the given memory
+// organization.
+func NewSpraySwitch(geo hbm.Geometry, tim hbm.Timing, rng *sim.RNG) *SpraySwitch {
+	return &SpraySwitch{
+		geo:      geo,
+		tim:      tim,
+		rng:      rng,
+		chanBusy: make([]sim.Time, geo.Channels()),
+		Tracker:  stats.NewReorderTracker(),
+	}
+}
+
+// Arrive sprays one packet onto a random channel and returns the time
+// its memory access completes. Packets must be fed in arrival order.
+func (s *SpraySwitch) Arrive(p *packet.Packet) sim.Time {
+	ch := s.rng.Intn(len(s.chanBusy))
+	tx := sim.TransferTime(int64(p.Size)*8, s.geo.ChannelRate())
+	cost := s.tim.TRCD + tx + s.tim.TRP
+	start := p.Arrival
+	if s.chanBusy[ch] > start {
+		start = s.chanBusy[ch]
+	}
+	done := start + cost
+	s.chanBusy[ch] = done
+	s.inflight = append(s.inflight, sprayed{done: done, p: p})
+	if done > s.lastDone {
+		s.lastDone = done
+	}
+	return done
+}
+
+// Finish resequences everything: it replays memory completions in
+// time order through the reorder tracker and returns the achieved
+// aggregate memory throughput.
+func (s *SpraySwitch) Finish() sim.Rate {
+	sort.SliceStable(s.inflight, func(i, j int) bool {
+		return s.inflight[i].done < s.inflight[j].done
+	})
+	for _, e := range s.inflight {
+		pair := uint64(e.p.Input)<<32 | uint64(uint32(e.p.Output))
+		s.Tracker.Observe(pair, e.p.Seq, e.p.Size)
+		s.Delivered.Add(e.p.Size)
+	}
+	if s.lastDone == 0 {
+		return 0
+	}
+	return sim.RateOf(s.Delivered.Bits(), s.lastDone)
+}
+
+// PeakReorderBufferBytes returns the resequencing buffer high-water
+// the outputs needed.
+func (s *SpraySwitch) PeakReorderBufferBytes() int64 {
+	return s.Tracker.PeakBufferBytes()
+}

@@ -1,0 +1,106 @@
+// Package buffer implements the §4 router-buffer-sizing models: the
+// raw milliseconds of buffering the HBM capacity provides, the Van
+// Jacobson bandwidth-delay-product rule, the Stanford C·RTT/√n model,
+// and the Cisco linecard reference points the paper compares against.
+// §5 argues this "memory glut" should reopen buffer sizing research.
+package buffer
+
+import (
+	"fmt"
+	"math"
+
+	"pbrouter/internal/sim"
+)
+
+// Cisco linecard buffering reference points (§4).
+var CiscoLinecards = []struct {
+	Name string
+	Ms   float64
+}{
+	{"Cisco Q100 linecard", 18},
+	{"Cisco Q200 linecard", 13},
+	{"Cisco 8201-32FH", 5},
+}
+
+// CiscoRecommendedRange is the "core router buffering in the range of
+// 5-10 msec" white-paper recommendation (§4).
+var CiscoRecommendedRange = [2]float64{5, 10}
+
+// MillisecondsOfBuffering returns how long the given buffer capacity
+// can absorb traffic at the given aggregate rate — the §4 arithmetic
+// (H·B·64 GB)·8 / (N·F·W·R) ≈ 51.2 ms.
+func MillisecondsOfBuffering(capacityBytes int64, rate sim.Rate) float64 {
+	return float64(capacityBytes) * 8 / float64(rate) * 1000
+}
+
+// BDP returns the Van Jacobson rule-of-thumb buffer: one
+// bandwidth-delay product (rate × RTT), in bytes.
+func BDP(rate sim.Rate, rtt sim.Time) int64 {
+	return int64(float64(rate) * rtt.Seconds() / 8)
+}
+
+// Stanford returns the Appenzeller-Keslassy-McKeown small-buffer
+// size, BDP/√n for n long-lived flows, in bytes.
+func Stanford(rate sim.Rate, rtt sim.Time, flows int) int64 {
+	if flows <= 0 {
+		flows = 1
+	}
+	return int64(float64(BDP(rate, rtt)) / math.Sqrt(float64(flows)))
+}
+
+// Report compares a router's buffering against the classical models.
+type Report struct {
+	CapacityBytes int64
+	Rate          sim.Rate
+	RTT           sim.Time
+	Flows         int
+
+	Milliseconds float64
+	BDPBytes     int64
+	StanfordB    int64
+	// VersusBDP is capacity / BDP (>1 means more than Van Jacobson's
+	// rule requires).
+	VersusBDP float64
+	// VersusStanford is capacity / Stanford buffer.
+	VersusStanford float64
+}
+
+// Analyze builds the comparison for a router with the given total
+// buffer capacity serving the given aggregate rate.
+func Analyze(capacityBytes int64, rate sim.Rate, rtt sim.Time, flows int) Report {
+	r := Report{
+		CapacityBytes: capacityBytes,
+		Rate:          rate,
+		RTT:           rtt,
+		Flows:         flows,
+		Milliseconds:  MillisecondsOfBuffering(capacityBytes, rate),
+		BDPBytes:      BDP(rate, rtt),
+		StanfordB:     Stanford(rate, rtt, flows),
+	}
+	if r.BDPBytes > 0 {
+		r.VersusBDP = float64(capacityBytes) / float64(r.BDPBytes)
+	}
+	if r.StanfordB > 0 {
+		r.VersusStanford = float64(capacityBytes) / float64(r.StanfordB)
+	}
+	return r
+}
+
+// String formats the comparison.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"%.1f ms of buffering (%.2f TB at %v); %.2fx the VJ BDP (RTT %v), %.0fx the Stanford buffer (n=%d)",
+		r.Milliseconds, float64(r.CapacityBytes)/1e12, r.Rate,
+		r.VersusBDP, r.RTT, r.VersusStanford, r.Flows)
+}
+
+// FillTime returns how long a sustained overload of the given
+// fraction of the rate takes to fill the buffer — the overload lens
+// on §4's 51.2 ms figure (e.g. a 10% overload fills it in 512 ms).
+func FillTime(capacityBytes int64, rate sim.Rate, overloadFraction float64) sim.Time {
+	if overloadFraction <= 0 {
+		return sim.Forever
+	}
+	seconds := float64(capacityBytes) * 8 / (float64(rate) * overloadFraction)
+	return sim.Time(seconds * float64(sim.Second))
+}

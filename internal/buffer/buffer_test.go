@@ -1,0 +1,88 @@
+package buffer
+
+import (
+	"math"
+	"testing"
+
+	"pbrouter/internal/sim"
+)
+
+func TestMillisecondsOfBufferingMatchesPaper(t *testing.T) {
+	// §4: (16·4·64 GB)·8 / 655.36 Tb/s ≈ 51.2 ms. The paper uses
+	// decimal gigabytes in this arithmetic (4.096 TB total).
+	capacity := int64(16 * 4 * 64e9)
+	got := MillisecondsOfBuffering(capacity, 655360*sim.Gbps)
+	if math.Abs(got-50) > 0.1 {
+		// 4.096e12*8/655.36e12 = 50.0 ms exactly with decimal GB;
+		// the paper rounds loosely to 51.2 ms via 4.096·8/0.65536.
+		t.Fatalf("buffering %.2f ms want ~50", got)
+	}
+	// With binary GiB stacks (64 GiB) the figure is ~53.7 ms; both
+	// bracket the paper's 51.2 ms.
+	capBin := int64(16 * 4 * (64 << 30))
+	gotBin := MillisecondsOfBuffering(capBin, 655360*sim.Gbps)
+	if gotBin < got || gotBin > 55 {
+		t.Fatalf("binary-GB buffering %.2f ms out of range", gotBin)
+	}
+}
+
+func TestBufferingExceedsCiscoLinecards(t *testing.T) {
+	// §4: 51.2 ms is "much more" than the 18/13/5 ms Cisco points and
+	// the 5-10 ms white-paper recommendation.
+	ms := MillisecondsOfBuffering(16*4*64e9, 655360*sim.Gbps)
+	for _, lc := range CiscoLinecards {
+		if ms <= lc.Ms {
+			t.Fatalf("buffering %.1f ms does not exceed %s (%.0f ms)", ms, lc.Name, lc.Ms)
+		}
+	}
+	if ms <= CiscoRecommendedRange[1] {
+		t.Fatal("buffering within the old recommended range — no memory glut")
+	}
+}
+
+func TestBDPRule(t *testing.T) {
+	// 655.36 Tb/s x 50 ms RTT = 4.096 TB — §4's observation that the
+	// HBM capacity is "in line with the old Van Jacobson rule".
+	bdp := BDP(655360*sim.Gbps, 50*sim.Millisecond)
+	if math.Abs(float64(bdp)-4.096e12) > 1e6 {
+		t.Fatalf("BDP %d want ~4.096e12", bdp)
+	}
+}
+
+func TestStanfordRuleMuchSmaller(t *testing.T) {
+	rate := 655360 * sim.Gbps
+	rtt := 50 * sim.Millisecond
+	st := Stanford(rate, rtt, 100000)
+	if st >= BDP(rate, rtt)/100 {
+		t.Fatalf("Stanford buffer %d not ~sqrt(n) smaller", st)
+	}
+	// Degenerate flow counts fall back safely.
+	if Stanford(rate, rtt, 0) != BDP(rate, rtt) {
+		t.Fatal("flows=0 should degrade to BDP")
+	}
+}
+
+func TestAnalyzeReport(t *testing.T) {
+	r := Analyze(16*4*64e9, 655360*sim.Gbps, 50*sim.Millisecond, 1<<20)
+	if r.VersusBDP < 0.9 || r.VersusBDP > 1.1 {
+		t.Fatalf("vs BDP %.2f want ~1 (the VJ rule)", r.VersusBDP)
+	}
+	if r.VersusStanford < 100 {
+		t.Fatalf("vs Stanford %.0f want >>1 (memory glut)", r.VersusStanford)
+	}
+	if r.String() == "" {
+		t.Fatal("empty report")
+	}
+}
+
+func TestFillTime(t *testing.T) {
+	// A 10% overload of 655.36 Tb/s fills 4.096 TB in ~500 ms.
+	ft := FillTime(4096e9, 655360*sim.Gbps, 0.10)
+	want := 500 * sim.Millisecond
+	if ft < want-sim.Millisecond || ft > want+sim.Millisecond {
+		t.Fatalf("fill time %v want ~%v", ft, want)
+	}
+	if FillTime(1, sim.Tbps, 0) != sim.Forever {
+		t.Fatal("zero overload must never fill")
+	}
+}

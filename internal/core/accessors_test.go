@@ -1,0 +1,106 @@
+package core
+
+import "testing"
+
+func TestUnrestrictedPolicy(t *testing.T) {
+	if !(Unrestricted{}).MayClaim(1000, 1) {
+		t.Fatal("unrestricted denied")
+	}
+}
+
+func TestMayGrow(t *testing.T) {
+	a, _ := NewPageAllocator(16, 4)
+	if !a.MayGrow(0) {
+		t.Fatal("fresh pool denies growth")
+	}
+	a.SetPolicy(DynamicThreshold{Alpha: 0.5})
+	r := NewDynamicRegion(a, 0)
+	for {
+		if _, ok := r.Push(); !ok {
+			break
+		}
+	}
+	if a.MayGrow(0) {
+		t.Fatal("policy-capped output may still grow")
+	}
+	if !a.MayGrow(1) {
+		t.Fatal("fresh output denied under DT")
+	}
+	// Exhaust the pool for output 1 too, then nothing grows.
+	b, _ := NewPageAllocator(8, 4)
+	b.Claim(0)
+	b.Claim(0)
+	if b.MayGrow(1) {
+		t.Fatal("empty pool allows growth")
+	}
+}
+
+func TestDynamicRegionPeekAndHeadroom(t *testing.T) {
+	a, _ := NewPageAllocator(16, 4)
+	r := NewDynamicRegion(a, 0)
+	if _, ok := r.Peek(); ok {
+		t.Fatal("peek of empty region")
+	}
+	r.Push()
+	if r.Headroom() != 3 { // one page of 4, one slot used
+		t.Fatalf("headroom %d want 3", r.Headroom())
+	}
+	n, ok := r.Peek()
+	if !ok || n != 0 {
+		t.Fatalf("peek (%d,%v)", n, ok)
+	}
+	// Peek does not consume.
+	if n2, _ := r.Peek(); n2 != 0 {
+		t.Fatal("peek consumed")
+	}
+	r.Pop()
+	if _, ok := r.Peek(); ok {
+		t.Fatal("peek after drain")
+	}
+}
+
+func TestRegionAccessorsAndPanics(t *testing.T) {
+	r := NewRegion(5)
+	if r.Capacity() != 5 {
+		t.Fatalf("capacity %d", r.Capacity())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-capacity region accepted")
+		}
+	}()
+	NewRegion(0)
+}
+
+func TestSchedulerAndPolicyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-output scheduler accepted")
+		}
+	}()
+	NewReadScheduler(0)
+}
+
+func TestActionStringUnknown(t *testing.T) {
+	if Action(42).String() == "" {
+		t.Fatal("unknown action string empty")
+	}
+}
+
+func TestLocatePanics(t *testing.T) {
+	m, _ := NewAddressMap(Reference(), 16384)
+	for _, fn := range []func(){
+		func() { m.Locate(-1, 0) },
+		func() { m.Locate(16, 0) },
+		func() { m.Locate(0, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad Locate accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,233 @@
+package core
+
+import "fmt"
+
+// This file implements the §3.2 "HBM memory organization" alternative:
+// "This region allocation could be static, or dynamic with large
+// per-output pages. ... With dynamic allocation using large per-output
+// pages, a small extra amount of SRAM would suffice to track pointers
+// to these large pages."
+//
+// A page is a fixed number of frame slots. Each output owns a FIFO
+// chain of pages; pages are claimed from a shared free list as the
+// output's tail fills and returned as its head drains. The whole HBM
+// can therefore back a single overloaded output — the advantage over
+// static 1/N regions — at the cost of a page-pointer table in SRAM.
+
+// SharingPolicy arbitrates the shared pool — the §5 "buffer
+// management and buffer-sharing algorithms" hook. MayClaim is asked
+// before an output takes a new page.
+type SharingPolicy interface {
+	// MayClaim reports whether an output already holding heldPages may
+	// claim another page when freePages remain in the pool.
+	MayClaim(heldPages, freePages int64) bool
+}
+
+// Unrestricted sharing: first come, first served, until the pool is
+// empty (the memory-glut default §5 argues the glut enables).
+type Unrestricted struct{}
+
+// MayClaim implements SharingPolicy.
+func (Unrestricted) MayClaim(held, free int64) bool { return true }
+
+// DynamicThreshold is the classic Choudhury-Hahne policy: an output
+// may hold at most Alpha times the remaining free memory, so no
+// single queue can starve the others and headroom always remains for
+// a newly active output.
+type DynamicThreshold struct{ Alpha float64 }
+
+// MayClaim implements SharingPolicy.
+func (d DynamicThreshold) MayClaim(held, free int64) bool {
+	return float64(held) < d.Alpha*float64(free)
+}
+
+// PageAllocator manages the shared page pool.
+type PageAllocator struct {
+	pages      int64 // total pages in the memory
+	framesPage int64 // frame slots per page
+	free       []int64
+	chains     map[int][]int64 // output -> FIFO of page ids
+	policy     SharingPolicy
+}
+
+// NewPageAllocator divides a memory of totalFrames slots into pages of
+// framesPerPage slots each.
+func NewPageAllocator(totalFrames, framesPerPage int64) (*PageAllocator, error) {
+	if framesPerPage <= 0 || totalFrames < framesPerPage {
+		return nil, fmt.Errorf("pfi: bad page geometry: %d frames, %d per page",
+			totalFrames, framesPerPage)
+	}
+	n := totalFrames / framesPerPage
+	a := &PageAllocator{
+		pages:      n,
+		framesPage: framesPerPage,
+		chains:     make(map[int][]int64),
+	}
+	for i := int64(n - 1); i >= 0; i-- {
+		a.free = append(a.free, i)
+	}
+	return a, nil
+}
+
+// Pages returns the total page count.
+func (a *PageAllocator) Pages() int64 { return a.pages }
+
+// FreePages returns the currently unclaimed page count.
+func (a *PageAllocator) FreePages() int64 { return int64(len(a.free)) }
+
+// FramesPerPage returns the page size in frame slots.
+func (a *PageAllocator) FramesPerPage() int64 { return a.framesPage }
+
+// SetPolicy installs a sharing policy (nil means Unrestricted).
+func (a *PageAllocator) SetPolicy(p SharingPolicy) { a.policy = p }
+
+// Claim appends a fresh page to an output's chain. ok is false when
+// the pool is exhausted or the sharing policy denies the output more
+// memory.
+func (a *PageAllocator) Claim(output int) (page int64, ok bool) {
+	if len(a.free) == 0 {
+		return 0, false
+	}
+	if a.policy != nil && !a.policy.MayClaim(int64(len(a.chains[output])), int64(len(a.free))) {
+		return 0, false
+	}
+	page = a.free[len(a.free)-1]
+	a.free = a.free[:len(a.free)-1]
+	a.chains[output] = append(a.chains[output], page)
+	return page, true
+}
+
+// Release returns an output's oldest page to the pool. It must be the
+// chain head (FIFO drain order).
+func (a *PageAllocator) Release(output int) error {
+	chain := a.chains[output]
+	if len(chain) == 0 {
+		return fmt.Errorf("pfi: output %d released a page with empty chain", output)
+	}
+	a.free = append(a.free, chain[0])
+	a.chains[output] = chain[1:]
+	return nil
+}
+
+// Chain returns the output's current page chain (oldest first).
+func (a *PageAllocator) Chain(output int) []int64 { return a.chains[output] }
+
+// MayGrow reports whether the output could claim one more page right
+// now (pool non-empty and sharing policy willing).
+func (a *PageAllocator) MayGrow(output int) bool {
+	if len(a.free) == 0 {
+		return false
+	}
+	if a.policy != nil && !a.policy.MayClaim(int64(len(a.chains[output])), int64(len(a.free))) {
+		return false
+	}
+	return true
+}
+
+// PointerSRAMBytes returns the bookkeeping SRAM a hardware
+// implementation needs: one next-page pointer per page (the chain
+// links) plus per-output head/tail page ids — the paper's "small
+// extra amount of SRAM".
+func (a *PageAllocator) PointerSRAMBytes(outputs int) int64 {
+	ptrBits := int64(1)
+	for v := a.pages; v > 1; v >>= 1 {
+		ptrBits++
+	}
+	pageTable := (a.pages*ptrBits + 7) / 8
+	perOutput := int64(outputs) * (2*ptrBits + 7) / 8 * 2 // head+tail page and slot offsets
+	return pageTable + perOutput
+}
+
+// DynamicRegion is the dynamic-allocation counterpart of Region: a
+// per-output frame FIFO whose capacity grows and shrinks by claiming
+// and releasing shared pages.
+type DynamicRegion struct {
+	alloc  *PageAllocator
+	output int
+	head   int64 // next frame sequence to read
+	tail   int64 // next frame sequence to write
+}
+
+// NewDynamicRegion returns an empty FIFO for the output on the shared
+// allocator.
+func NewDynamicRegion(alloc *PageAllocator, output int) *DynamicRegion {
+	return &DynamicRegion{alloc: alloc, output: output}
+}
+
+// Push claims the next write slot, acquiring a new page when the
+// current tail page is full. ok is false when the shared pool is
+// exhausted.
+func (r *DynamicRegion) Push() (n int64, ok bool) {
+	per := r.alloc.framesPage
+	// The chain covers frame sequences [pageBase, pageBase+len*per).
+	capEnd := r.pageBase() + int64(len(r.alloc.Chain(r.output)))*per
+	if r.tail >= capEnd {
+		if _, ok := r.alloc.Claim(r.output); !ok {
+			return 0, false
+		}
+	}
+	n = r.tail
+	r.tail++
+	return n, true
+}
+
+// pageBase returns the frame sequence corresponding to the start of
+// the chain's first page.
+func (r *DynamicRegion) pageBase() int64 {
+	return r.head - r.head%r.alloc.framesPage
+}
+
+// Peek returns the next frame sequence Pop will return without
+// consuming it (so callers can Locate it while its page is still
+// live). ok is false when the FIFO is empty.
+func (r *DynamicRegion) Peek() (n int64, ok bool) {
+	if r.head == r.tail {
+		return 0, false
+	}
+	return r.head, true
+}
+
+// Pop claims the next read slot and releases the head page once it
+// fully drains. ok is false when the FIFO is empty.
+func (r *DynamicRegion) Pop() (n int64, ok bool) {
+	if r.head == r.tail {
+		return 0, false
+	}
+	n = r.head
+	r.head++
+	if r.head%r.alloc.framesPage == 0 {
+		// The oldest page has fully drained.
+		if err := r.alloc.Release(r.output); err != nil {
+			panic(err) // internal invariant, cannot be triggered by callers
+		}
+	}
+	return n, true
+}
+
+// Len returns the number of stored frames.
+func (r *DynamicRegion) Len() int64 { return r.tail - r.head }
+
+// Headroom returns how many more frames fit in the pages the output
+// already holds (pushes within this budget need no new page).
+func (r *DynamicRegion) Headroom() int64 {
+	capEnd := r.pageBase() + int64(len(r.alloc.Chain(r.output)))*r.alloc.framesPage
+	return capEnd - r.tail
+}
+
+// Locate maps frame sequence n onto the physical (page, slot) pair
+// via the chain — the dynamic analogue of AddressMap.Locate's row
+// computation. The bank interleaving group remains n mod (L/γ); only
+// the row address moves with the page.
+func (r *DynamicRegion) Locate(n int64) (page int64, slot int64, err error) {
+	if n < r.head || n >= r.tail {
+		return 0, 0, fmt.Errorf("pfi: frame %d outside live window [%d,%d)", n, r.head, r.tail)
+	}
+	per := r.alloc.framesPage
+	base := r.pageBase()
+	idx := (n - base) / per
+	chain := r.alloc.Chain(r.output)
+	if idx >= int64(len(chain)) {
+		return 0, 0, fmt.Errorf("pfi: frame %d beyond chain of %d pages", n, len(chain))
+	}
+	return chain[idx], n % per, nil
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pbrouter/internal/sim"
+)
+
+func TestPageAllocatorBasics(t *testing.T) {
+	a, err := NewPageAllocator(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Pages() != 8 || a.FreePages() != 8 || a.FramesPerPage() != 8 {
+		t.Fatalf("geometry %d/%d/%d", a.Pages(), a.FreePages(), a.FramesPerPage())
+	}
+	p1, ok := a.Claim(0)
+	if !ok {
+		t.Fatal("claim failed")
+	}
+	p2, ok := a.Claim(0)
+	if !ok || p2 == p1 {
+		t.Fatalf("second claim %d vs %d", p2, p1)
+	}
+	if a.FreePages() != 6 {
+		t.Fatalf("free %d", a.FreePages())
+	}
+	chain := a.Chain(0)
+	if len(chain) != 2 || chain[0] != p1 || chain[1] != p2 {
+		t.Fatalf("chain %v", chain)
+	}
+	if err := a.Release(0); err != nil {
+		t.Fatal(err)
+	}
+	if a.FreePages() != 7 || a.Chain(0)[0] != p2 {
+		t.Fatal("release did not return head page")
+	}
+	if a.Release(1) == nil {
+		t.Fatal("release with empty chain accepted")
+	}
+}
+
+func TestPageAllocatorExhaustion(t *testing.T) {
+	a, _ := NewPageAllocator(16, 8)
+	if _, ok := a.Claim(0); !ok {
+		t.Fatal("claim 1")
+	}
+	if _, ok := a.Claim(1); !ok {
+		t.Fatal("claim 2")
+	}
+	if _, ok := a.Claim(2); ok {
+		t.Fatal("claim beyond pool succeeded")
+	}
+}
+
+func TestPageAllocatorRejectsBadGeometry(t *testing.T) {
+	if _, err := NewPageAllocator(4, 8); err == nil {
+		t.Fatal("total < page accepted")
+	}
+	if _, err := NewPageAllocator(8, 0); err == nil {
+		t.Fatal("zero page size accepted")
+	}
+}
+
+func TestDynamicRegionFIFO(t *testing.T) {
+	a, _ := NewPageAllocator(32, 4)
+	r := NewDynamicRegion(a, 3)
+	if _, ok := r.Pop(); ok {
+		t.Fatal("pop of empty region")
+	}
+	// Push 6 frames: needs 2 pages.
+	for want := int64(0); want < 6; want++ {
+		n, ok := r.Push()
+		if !ok || n != want {
+			t.Fatalf("push -> (%d,%v) want (%d,true)", n, ok, want)
+		}
+	}
+	if got := len(a.Chain(3)); got != 2 {
+		t.Fatalf("chain length %d want 2", got)
+	}
+	// Drain 4: releases exactly the first page.
+	for want := int64(0); want < 4; want++ {
+		n, ok := r.Pop()
+		if !ok || n != want {
+			t.Fatalf("pop -> (%d,%v) want (%d,true)", n, ok, want)
+		}
+	}
+	if got := len(a.Chain(3)); got != 1 {
+		t.Fatalf("chain length %d want 1 after draining a page", got)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("len %d", r.Len())
+	}
+}
+
+func TestDynamicRegionSingleOutputCanUseWholeMemory(t *testing.T) {
+	// The whole point of dynamic allocation (§3.2): one overloaded
+	// output can claim all the buffering, impossible with static 1/N
+	// regions.
+	const pages, per = 16, 8
+	a, _ := NewPageAllocator(pages*per, per)
+	r := NewDynamicRegion(a, 0)
+	for i := 0; i < pages*per; i++ {
+		if _, ok := r.Push(); !ok {
+			t.Fatalf("push %d failed with %d free pages", i, a.FreePages())
+		}
+	}
+	if _, ok := r.Push(); ok {
+		t.Fatal("pushed beyond the whole memory")
+	}
+	if a.FreePages() != 0 {
+		t.Fatalf("free pages %d", a.FreePages())
+	}
+	// Draining returns everything.
+	for i := 0; i < pages*per; i++ {
+		if _, ok := r.Pop(); !ok {
+			t.Fatalf("pop %d failed", i)
+		}
+	}
+	if a.FreePages() != pages {
+		t.Fatalf("free pages %d after drain", a.FreePages())
+	}
+}
+
+func TestDynamicRegionLocate(t *testing.T) {
+	a, _ := NewPageAllocator(32, 4)
+	r := NewDynamicRegion(a, 0)
+	for i := 0; i < 10; i++ {
+		r.Push()
+	}
+	// Frames 0..9 over 3 pages.
+	page0, slot0, err := r.Locate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slot0 != 0 {
+		t.Fatalf("slot %d", slot0)
+	}
+	page9, slot9, err := r.Locate(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slot9 != 1 || page9 == page0 {
+		t.Fatalf("frame 9 at (%d,%d)", page9, slot9)
+	}
+	// Out-of-window lookups rejected.
+	if _, _, err := r.Locate(10); err == nil {
+		t.Fatal("future frame located")
+	}
+	r.Pop()
+	if _, _, err := r.Locate(0); err == nil {
+		t.Fatal("drained frame located")
+	}
+}
+
+func TestDynamicRegionPagesNeverShared(t *testing.T) {
+	// Two outputs interleaving must never locate frames onto the same
+	// (page, slot).
+	if err := quick.Check(func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		a, _ := NewPageAllocator(64, 4)
+		r0 := NewDynamicRegion(a, 0)
+		r1 := NewDynamicRegion(a, 1)
+		type loc struct{ page, slot int64 }
+		live := map[loc]int{}
+		for i := 0; i < 300; i++ {
+			r := r0
+			out := 0
+			if rng.Intn(2) == 1 {
+				r = r1
+				out = 1
+			}
+			if rng.Float64() < 0.6 {
+				if n, ok := r.Push(); ok {
+					p, s, err := r.Locate(n)
+					if err != nil {
+						return false
+					}
+					key := loc{p, s}
+					if owner, exists := live[key]; exists && owner != out {
+						return false // collision across outputs
+					}
+					live[key] = out
+				}
+			} else {
+				if r.Len() > 0 {
+					n := r.head
+					p, s, _ := r.Locate(n)
+					r.Pop()
+					delete(live, loc{p, s})
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicThresholdProtectsLatecomers(t *testing.T) {
+	// §5 "buffer management": with unrestricted sharing a greedy
+	// output can take the whole pool; DT-alpha keeps headroom so a
+	// late-starting output still gets memory.
+	const pages, per = 16, 4
+
+	// Unrestricted: output 0 drains the pool dry; output 1 gets
+	// nothing.
+	a, _ := NewPageAllocator(pages*per, per)
+	r0 := NewDynamicRegion(a, 0)
+	for {
+		if _, ok := r0.Push(); !ok {
+			break
+		}
+	}
+	r1 := NewDynamicRegion(a, 1)
+	if _, ok := r1.Push(); ok {
+		t.Fatal("unrestricted pool should be exhausted")
+	}
+
+	// DT alpha=1: output 0 saturates at held == free, i.e. half the
+	// pool, leaving the rest for output 1.
+	b, _ := NewPageAllocator(pages*per, per)
+	b.SetPolicy(DynamicThreshold{Alpha: 1})
+	g0 := NewDynamicRegion(b, 0)
+	for {
+		if _, ok := g0.Push(); !ok {
+			break
+		}
+	}
+	held := int64(len(b.Chain(0)))
+	if held < pages/2-1 || held > pages/2+1 {
+		t.Fatalf("DT-1 greedy output holds %d of %d pages, want ~half", held, pages)
+	}
+	g1 := NewDynamicRegion(b, 1)
+	if _, ok := g1.Push(); !ok {
+		t.Fatal("latecomer denied memory under DT")
+	}
+}
+
+func TestDynamicThresholdAlphaScales(t *testing.T) {
+	// Larger alpha lets a single output take a larger share:
+	// equilibrium held = alpha/(1+alpha) of the pool.
+	for _, tc := range []struct {
+		alpha float64
+		share float64
+	}{
+		{0.5, 1.0 / 3}, {1, 0.5}, {4, 0.8},
+	} {
+		a, _ := NewPageAllocator(400, 4)
+		a.SetPolicy(DynamicThreshold{Alpha: tc.alpha})
+		r := NewDynamicRegion(a, 0)
+		for {
+			if _, ok := r.Push(); !ok {
+				break
+			}
+		}
+		got := float64(len(a.Chain(0))) / 100
+		if got < tc.share-0.05 || got > tc.share+0.05 {
+			t.Fatalf("alpha %.1f: share %.3f want ~%.3f", tc.alpha, got, tc.share)
+		}
+	}
+}
+
+func TestPointerSRAMIsSmall(t *testing.T) {
+	// §3.2: "a small extra amount of SRAM would suffice". The
+	// reference memory has 256 GB / 512 KB = 524,288 frame slots;
+	// with 4,096-frame (2 GB) pages that is 128 pages, needing well
+	// under a kilobyte of pointers.
+	a, err := NewPageAllocator(524288, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Pages() != 128 {
+		t.Fatalf("pages %d", a.Pages())
+	}
+	bytes := a.PointerSRAMBytes(16)
+	if bytes > 4096 {
+		t.Fatalf("pointer SRAM %d B — not small", bytes)
+	}
+	if bytes == 0 {
+		t.Fatal("pointer SRAM accounted as zero")
+	}
+}
+
+func TestDynamicRegionSequencesConsecutive(t *testing.T) {
+	// Same no-bookkeeping property as the static Region: sequences
+	// come out gap-free in order.
+	a, _ := NewPageAllocator(1024, 8)
+	r := NewDynamicRegion(a, 0)
+	var pushes, pops int64
+	rng := sim.NewRNG(11)
+	for i := 0; i < 5000; i++ {
+		if rng.Intn(2) == 0 {
+			if n, ok := r.Push(); ok {
+				if n != pushes {
+					t.Fatalf("push seq %d want %d", n, pushes)
+				}
+				pushes++
+			}
+		} else {
+			if n, ok := r.Pop(); ok {
+				if n != pops {
+					t.Fatalf("pop seq %d want %d", n, pops)
+				}
+				pops++
+			}
+		}
+	}
+}

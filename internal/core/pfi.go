@@ -1,0 +1,322 @@
+// Package core implements the paper's primary contribution: the
+// Parallel Frame Interleaving (PFI) algorithm of §3.2. PFI is the
+// discipline that lets a shared-memory HBM switch run its memory at
+// peak data rate with no scheduler and no per-packet bookkeeping:
+//
+//  1. Frame aggregation: packets are packed into k-byte batches at the
+//     inputs and K-byte per-output frames at the tail SRAM.
+//  2. Slicing: a cyclical crossbar stripes each batch across the N
+//     tail-SRAM modules, so frames are born striped.
+//  3. Bank interleaving: a frame is written as γ staggered segments of
+//     S bytes into the γ consecutive banks of one bank-interleaving
+//     group, across all T channels in parallel.
+//  4. No bookkeeping: frame n of an output deterministically lives in
+//     group n mod (L/γ); per-output FIFO counters replace pointer
+//     state.
+//  5. Cyclical output reads: outputs are read round-robin, preserving
+//     frame order by construction.
+//
+// This package holds the pure algorithmic state — parameters and
+// their feasibility rules, the address map, the per-output region
+// FIFOs, the read scheduler, and the padding/bypass policy. The
+// command-level execution lives in internal/hbm (FrameEngine) and the
+// full pipeline in internal/hbmswitch.
+package core
+
+import (
+	"fmt"
+
+	"pbrouter/internal/hbm"
+)
+
+// Params are the PFI design parameters of one HBM switch.
+type Params struct {
+	N          int // switch ports (16 in the reference design)
+	BatchBytes int // k, the input aggregation unit (4 KB)
+	SegBytes   int // S, bytes per (channel, bank) write (1 KB)
+	Gamma      int // γ, banks per interleaving group (4)
+	Channels   int // T, parallel HBM channels (128)
+	Banks      int // L, banks per channel (64)
+	RowBytes   int // bytes per row per channel (2 KB)
+}
+
+// Reference returns the paper's reference design point.
+func Reference() Params {
+	return Params{
+		N:          16,
+		BatchBytes: 4096,
+		SegBytes:   1024,
+		Gamma:      4,
+		Channels:   128,
+		Banks:      64,
+		RowBytes:   2048,
+	}
+}
+
+// FrameBytes returns K = γ·T·S.
+func (p Params) FrameBytes() int { return p.Gamma * p.Channels * p.SegBytes }
+
+// BatchesPerFrame returns K/k.
+func (p Params) BatchesPerFrame() int { return p.FrameBytes() / p.BatchBytes }
+
+// Groups returns L/γ, the number of bank interleaving groups.
+func (p Params) Groups() int { return p.Banks / p.Gamma }
+
+// SliceBytes returns k/N, the batch slice each SRAM module stores.
+func (p Params) SliceBytes() int { return p.BatchBytes / p.N }
+
+// SegmentsPerRow returns how many S-byte segments fit in one row.
+func (p Params) SegmentsPerRow() int { return p.RowBytes / p.SegBytes }
+
+// Validate checks the structural rules the algorithm depends on.
+func (p Params) Validate() error {
+	switch {
+	case p.N <= 0:
+		return fmt.Errorf("pfi: non-positive N")
+	case p.BatchBytes <= 0 || p.BatchBytes%p.N != 0:
+		return fmt.Errorf("pfi: batch size %d must be a positive multiple of N=%d", p.BatchBytes, p.N)
+	case p.SegBytes <= 0:
+		return fmt.Errorf("pfi: non-positive segment size")
+	case p.RowBytes%p.SegBytes != 0:
+		return fmt.Errorf("pfi: segment %d B not a unit fraction of row %d B", p.SegBytes, p.RowBytes)
+	case p.Gamma <= 0 || p.Banks%p.Gamma != 0:
+		return fmt.Errorf("pfi: γ=%d must divide L=%d", p.Gamma, p.Banks)
+	case p.Channels <= 0:
+		return fmt.Errorf("pfi: non-positive channel count")
+	case p.FrameBytes()%p.BatchBytes != 0:
+		return fmt.Errorf("pfi: frame %d B not a whole number of %d B batches",
+			p.FrameBytes(), p.BatchBytes)
+	}
+	return nil
+}
+
+// CheckFeasible verifies the timing-dependent claims of §3.2 ➂
+// against a memory model: γ and S must satisfy the four-activation
+// window and the precharge-before-next-group condition, and in the
+// reference configuration they are the minimal such values.
+func (p Params) CheckFeasible(geo hbm.Geometry, tim hbm.Timing) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if geo.Channels() != p.Channels {
+		return fmt.Errorf("pfi: params expect T=%d channels, memory has %d", p.Channels, geo.Channels())
+	}
+	if geo.BanksPerChannel != p.Banks {
+		return fmt.Errorf("pfi: params expect L=%d banks, memory has %d", p.Banks, geo.BanksPerChannel)
+	}
+	if minSeg := hbm.MinFeasibleSegment(geo, tim, p.Gamma); minSeg == 0 || p.SegBytes < minSeg {
+		return fmt.Errorf("pfi: segment %d B violates the four-activation window (min %d B)",
+			p.SegBytes, minSeg)
+	}
+	if minGamma := hbm.MinFeasibleGamma(geo, tim, p.SegBytes); minGamma == 0 || p.Gamma < minGamma {
+		return fmt.Errorf("pfi: γ=%d too small for seamless group-to-group interleaving (min %d)",
+			p.Gamma, minGamma)
+	}
+	return nil
+}
+
+// FrameAddr locates one frame in the HBM: the bank interleaving group
+// it occupies (via the n mod (L/γ) rule) and the row each of its
+// segments uses within the per-output region.
+type FrameAddr struct {
+	Output int
+	Seq    int64
+	Group  int
+	Row    int
+	SubRow int // which S-sized slot of the row this frame's segments use
+}
+
+// AddressMap implements §3.2's "HBM memory organization": static
+// per-output regions subdivided into rows, then segment-size sub-rows,
+// then banks, written and read in FIFO order. All addressing is pure
+// arithmetic on the frame sequence number — the "no bookkeeping"
+// property (§3.2 ➂ (4)).
+type AddressMap struct {
+	p Params
+	// rowsPerRegion rows of every bank belong to each output's region.
+	rowsPerRegion int64
+}
+
+// NewAddressMap builds the static region map given the memory's
+// rows-per-bank capacity.
+func NewAddressMap(p Params, rowsPerBank int64) (*AddressMap, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rowsPerRegion := rowsPerBank / int64(p.N)
+	if rowsPerRegion < 1 {
+		return nil, fmt.Errorf("pfi: %d rows per bank cannot host %d output regions", rowsPerBank, p.N)
+	}
+	return &AddressMap{p: p, rowsPerRegion: rowsPerRegion}, nil
+}
+
+// RowsPerRegion returns the rows each output region spans in every
+// bank.
+func (m *AddressMap) RowsPerRegion() int64 { return m.rowsPerRegion }
+
+// CapacityFrames returns how many frames one output region can hold
+// before the FIFO wraps onto itself: one frame consumes one S-sized
+// sub-row slot in each bank of its group, and a region cycles through
+// all L/γ groups.
+func (m *AddressMap) CapacityFrames() int64 {
+	slotsPerBankRegion := m.rowsPerRegion * int64(m.p.SegmentsPerRow())
+	return slotsPerBankRegion * int64(m.p.Groups())
+}
+
+// Locate returns the address of frame n for the given output.
+func (m *AddressMap) Locate(output int, n int64) FrameAddr {
+	if output < 0 || output >= m.p.N {
+		panic(fmt.Sprintf("pfi: output %d out of range", output))
+	}
+	if n < 0 {
+		panic("pfi: negative frame sequence")
+	}
+	groups := int64(m.p.Groups())
+	group := int(n % groups)
+	visit := n / groups // how many times this output has cycled onto this group
+	segsPerRow := int64(m.p.SegmentsPerRow())
+	subRow := int(visit % segsPerRow)
+	row := (visit / segsPerRow) % m.rowsPerRegion
+	base := int64(output) * m.rowsPerRegion
+	return FrameAddr{
+		Output: output,
+		Seq:    n,
+		Group:  group,
+		Row:    int(base + row),
+		SubRow: subRow,
+	}
+}
+
+// Region tracks one output's frame FIFO inside its HBM region using
+// plain counters — the paper's "the head, tail, and number of entries
+// of the FIFO can simply be tracked with counters".
+type Region struct {
+	capacity int64
+	head     int64 // next frame sequence to read
+	tail     int64 // next frame sequence to write
+}
+
+// NewRegion returns an empty FIFO with the given frame capacity.
+func NewRegion(capacityFrames int64) *Region {
+	if capacityFrames <= 0 {
+		panic("pfi: non-positive region capacity")
+	}
+	return &Region{capacity: capacityFrames}
+}
+
+// Push claims the next write slot, returning the frame sequence
+// number to write. ok is false if the region is full (buffer
+// exhaustion — with 64 GB stacks this needs ~51 ms of sustained
+// overload per §4).
+func (r *Region) Push() (n int64, ok bool) {
+	if r.tail-r.head >= r.capacity {
+		return 0, false
+	}
+	n = r.tail
+	r.tail++
+	return n, true
+}
+
+// Pop claims the next read slot, returning the frame sequence to
+// read. ok is false if the region is empty.
+func (r *Region) Pop() (n int64, ok bool) {
+	if r.head == r.tail {
+		return 0, false
+	}
+	n = r.head
+	r.head++
+	return n, true
+}
+
+// Len returns the number of stored frames.
+func (r *Region) Len() int64 { return r.tail - r.head }
+
+// Capacity returns the region's frame capacity.
+func (r *Region) Capacity() int64 { return r.capacity }
+
+// ReadScheduler is the cyclical output read sequence of §3.2 ➃: it
+// visits outputs round-robin; for each visit the switch reads that
+// output's next frame (or bypasses/skips per policy).
+type ReadScheduler struct {
+	n    int
+	next int
+}
+
+// NewReadScheduler returns a scheduler over n outputs starting at 0.
+func NewReadScheduler(n int) *ReadScheduler {
+	if n <= 0 {
+		panic("pfi: non-positive output count")
+	}
+	return &ReadScheduler{n: n}
+}
+
+// Next returns the output to serve this cycle and advances.
+func (s *ReadScheduler) Next() int {
+	out := s.next
+	s.next = (s.next + 1) % s.n
+	return out
+}
+
+// Peek returns the output the next call to Next will return.
+func (s *ReadScheduler) Peek() int { return s.next }
+
+// Action is a PFI service decision for one cyclical read visit.
+type Action int
+
+// Service decisions.
+const (
+	// ReadHBM reads the output's head frame from the HBM.
+	ReadHBM Action = iota
+	// Bypass moves the tail SRAM's (possibly padded) head-of-line
+	// frame directly to the head SRAM, skipping the HBM (§4 "Latency
+	// and bypass").
+	Bypass
+	// PadWrite pads the output's partial frame and sends it through
+	// the HBM like any other frame — the padded-frames mode of §4
+	// without the bypass optimization.
+	PadWrite
+	// Idle does nothing: the output has no data anywhere.
+	Idle
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case ReadHBM:
+		return "read-hbm"
+	case Bypass:
+		return "bypass"
+	case PadWrite:
+		return "pad-write"
+	case Idle:
+		return "idle"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// Policy captures the latency-reduction options of §4.
+type Policy struct {
+	// PadFrames lets the tail SRAM emit a padded partial frame when an
+	// output's cyclical turn arrives and its frame is not yet full.
+	PadFrames bool
+	// BypassHBM lets a padded/full frame go straight to the head SRAM
+	// when the output has nothing stored in the HBM.
+	BypassHBM bool
+}
+
+// Decide returns the action for an output's cyclical visit, given
+// whether its HBM region holds frames and whether the tail SRAM holds
+// any (full or partial) frame data for it.
+func (p Policy) Decide(hbmFrames int64, tailHasFull, tailHasPartial bool) Action {
+	if hbmFrames > 0 {
+		return ReadHBM
+	}
+	if p.BypassHBM && (tailHasFull || (p.PadFrames && tailHasPartial)) {
+		return Bypass
+	}
+	if p.PadFrames && !p.BypassHBM && !tailHasFull && tailHasPartial {
+		return PadWrite
+	}
+	return Idle
+}

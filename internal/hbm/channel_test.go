@@ -1,0 +1,335 @@
+package hbm
+
+import (
+	"math"
+	"testing"
+
+	"pbrouter/internal/sim"
+)
+
+func refMem(t *testing.T, stacks int) *Memory {
+	t.Helper()
+	m, err := NewMemory(HBM4Geometry(stacks), HBM4Timing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestGeometryReferenceNumbers(t *testing.T) {
+	g := HBM4Geometry(4)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Channels() != 128 {
+		t.Fatalf("channels %d want 128 (T)", g.Channels())
+	}
+	if got := g.ChannelRate(); got != 640*sim.Gbps {
+		t.Fatalf("channel rate %v want 640Gb/s", got)
+	}
+	// 4 stacks x 20.48 Tb/s = 81.92 Tb/s (§3.1 Design 5).
+	if got := g.PeakRate(); math.Abs(float64(got)-81.92e12) > 1 {
+		t.Fatalf("peak %v want 81.92Tb/s", got)
+	}
+	// 4 x 64 GB = 256 GB per switch.
+	if got := g.TotalCapacity(); got != 256<<30 {
+		t.Fatalf("capacity %d", got)
+	}
+}
+
+func TestGeometryValidateRejects(t *testing.T) {
+	bad := HBM4Geometry(0)
+	if bad.Validate() == nil {
+		t.Fatal("0 stacks accepted")
+	}
+	g := HBM4Geometry(1)
+	g.RowBytes = 100 // not a burst multiple
+	if g.Validate() == nil {
+		t.Fatal("bad row size accepted")
+	}
+}
+
+func TestTimingReferenceValues(t *testing.T) {
+	tim := HBM4Timing()
+	if err := tim.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// §3.1: "about 30 ns just to activate and close (precharge)".
+	if got := tim.RandomAccessPenalty(); got != 30*sim.Nanosecond {
+		t.Fatalf("random access penalty %v want 30ns", got)
+	}
+	if tim.MaxACTs != 4 {
+		t.Fatalf("four-activation window: MaxACTs %d", tim.MaxACTs)
+	}
+}
+
+func TestTimingValidateRejects(t *testing.T) {
+	tim := HBM4Timing()
+	tim.TRAS = tim.TRCD - 1
+	if tim.Validate() == nil {
+		t.Fatal("tRAS < tRCD accepted")
+	}
+	tim2 := HBM4Timing()
+	tim2.MaxACTs = 0
+	if tim2.Validate() == nil {
+		t.Fatal("MaxACTs 0 accepted")
+	}
+}
+
+func TestChannelBasicAccessTiming(t *testing.T) {
+	m := refMem(t, 1)
+	ch := m.Channels[0]
+	actAt, err := ch.Activate(0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if actAt != 0 {
+		t.Fatalf("ACT at %v", actAt)
+	}
+	// Data cannot start before tRCD even if requested earlier.
+	start, end, err := ch.Data(0, Write, 1024, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 15*sim.Nanosecond {
+		t.Fatalf("data start %v want 15ns (tRCD)", start)
+	}
+	if end != start+12800 { // 1 KB over 640 Gb/s = 12.8 ns
+		t.Fatalf("data end %v", end)
+	}
+	// Precharge respects write recovery: end + tWR.
+	preAt, err := ch.Precharge(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := end + 8*sim.Nanosecond; preAt != want {
+		t.Fatalf("PRE at %v want %v", preAt, want)
+	}
+	// Re-activation waits tRP after the precharge.
+	act2, err := ch.Activate(0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := preAt + 15*sim.Nanosecond; act2 != want {
+		t.Fatalf("re-ACT at %v want %v", act2, want)
+	}
+}
+
+func TestChannelProtocolErrors(t *testing.T) {
+	m := refMem(t, 1)
+	ch := m.Channels[0]
+	if _, _, err := ch.Data(0, Read, 64, 0); err == nil {
+		t.Fatal("data on closed bank accepted")
+	}
+	if _, err := ch.Precharge(0, 0); err == nil {
+		t.Fatal("precharge of closed bank accepted")
+	}
+	if _, err := ch.Activate(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Activate(0, 1, 0); err == nil {
+		t.Fatal("double activate accepted")
+	}
+	if _, _, err := ch.Data(0, Write, 0, 0); err == nil {
+		t.Fatal("zero-size transfer accepted")
+	}
+}
+
+func TestChannelTRASBindsForShortWrites(t *testing.T) {
+	// A 64 B write finishes at 15.8 ns; precharge must still wait for
+	// tRAS = 28 ns after the activate.
+	m := refMem(t, 1)
+	ch := m.Channels[0]
+	ch.Activate(0, 0, 0)
+	_, end, _ := ch.Data(0, Write, 64, 0)
+	if end != 15800 {
+		t.Fatalf("end %v", end)
+	}
+	preAt, err := ch.Precharge(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if preAt != 28*sim.Nanosecond {
+		t.Fatalf("PRE at %v want 28ns (tRAS)", preAt)
+	}
+}
+
+func TestChannelBusSerializesBanks(t *testing.T) {
+	// Two banks activated together: their transfers share one bus.
+	m := refMem(t, 1)
+	ch := m.Channels[0]
+	ch.Activate(0, 0, 0)
+	ch.Activate(1, 0, 0) // pushed to tRRD = 2ns
+	s0, e0, _ := ch.Data(0, Write, 1024, 0)
+	s1, _, _ := ch.Data(1, Write, 1024, 0)
+	if s0 != 15*sim.Nanosecond {
+		t.Fatalf("s0 %v", s0)
+	}
+	if s1 != e0 {
+		t.Fatalf("second transfer starts %v want bus-free %v", s1, e0)
+	}
+}
+
+func TestChannelTurnaround(t *testing.T) {
+	m := refMem(t, 1)
+	ch := m.Channels[0]
+	ch.Activate(0, 0, 0)
+	ch.Activate(1, 0, 0)
+	_, e0, _ := ch.Data(0, Write, 1024, 0)
+	// Write -> read pays tWTR.
+	s1, _, _ := ch.Data(1, Read, 1024, 0)
+	if want := e0 + sim.Nanosecond; s1 != want {
+		t.Fatalf("read after write at %v want %v", s1, want)
+	}
+	// Read -> read pays nothing.
+	ch.Activate(2, 0, 0)
+	_, e1, _ := ch.Data(1, Read, 1024, 0)
+	_ = e1
+	s2, _, _ := ch.Data(2, Read, 1024, 0)
+	if s2 != e1 {
+		t.Fatalf("read after read at %v want %v", s2, e1)
+	}
+}
+
+func TestChannelTRRDEnforced(t *testing.T) {
+	m := refMem(t, 1)
+	ch := m.Channels[0]
+	a0, _ := ch.Activate(0, 0, 0)
+	a1, _ := ch.Activate(1, 0, 0)
+	if a1-a0 != 2*sim.Nanosecond {
+		t.Fatalf("ACT spacing %v want tRRD 2ns", a1-a0)
+	}
+}
+
+func TestChannelFAWEnforced(t *testing.T) {
+	// Five back-to-back activates: the fifth must wait until the first
+	// plus tFAW = 40ns.
+	m := refMem(t, 1)
+	ch := m.Channels[0]
+	var acts []sim.Time
+	for b := 0; b < 5; b++ {
+		a, err := ch.Activate(b, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acts = append(acts, a)
+	}
+	// First four at 0,2,4,6 (tRRD); fifth at 40 (tFAW).
+	want := []sim.Time{0, 2000, 4000, 6000, 40000}
+	for i := range want {
+		if acts[i] != want[i] {
+			t.Fatalf("acts %v want %v", acts, want)
+		}
+	}
+}
+
+func TestChannelRefreshOccupiesBank(t *testing.T) {
+	m := refMem(t, 1)
+	ch := m.Channels[0]
+	at, err := ch.RefreshBank(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != 0 {
+		t.Fatalf("refresh at %v", at)
+	}
+	// Activate of the refreshed bank waits for tRFC.
+	a, _ := ch.Activate(0, 0, 0)
+	if a != 120*sim.Nanosecond {
+		t.Fatalf("ACT after refresh at %v want 120ns", a)
+	}
+	// Refresh of an open bank is rejected.
+	if _, err := ch.RefreshBank(0, a); err == nil {
+		t.Fatal("refresh of open bank accepted")
+	}
+}
+
+func TestChannelRefreshDoesNotUseBus(t *testing.T) {
+	m := refMem(t, 1)
+	ch := m.Channels[0]
+	ch.Activate(0, 0, 0)
+	_, e0, _ := ch.Data(0, Write, 1024, 0)
+	// Refresh a different bank mid-transfer: bus frontier unchanged.
+	ch.RefreshBank(10, 0)
+	ch.Activate(1, 0, 0)
+	s1, _, _ := ch.Data(1, Write, 1024, 0)
+	if s1 != e0 {
+		t.Fatalf("transfer after refresh at %v want %v", s1, e0)
+	}
+}
+
+func TestAccessClosedPageWorstCase(t *testing.T) {
+	// The §3.1 worst-case model: full activate+transfer+precharge
+	// serially. For 1500 B: ACT 0, data [15, 33.75], PRE at 41.75
+	// (write recovery), closed at 56.75.
+	m := refMem(t, 1)
+	ch := m.Channels[0]
+	done, err := ch.AccessClosedPage(0, 0, Write, 1500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != 56750 {
+		t.Fatalf("closed-page access done at %v want 56.75ns", done)
+	}
+}
+
+func TestChannelUtilizationAccounting(t *testing.T) {
+	m := refMem(t, 1)
+	ch := m.Channels[0]
+	ch.Activate(0, 0, 0)
+	s, e, _ := ch.Data(0, Write, 1024, 0)
+	if ch.DataBits() != 8192 {
+		t.Fatalf("bits %d", ch.DataBits())
+	}
+	if u := ch.Utilization(s, e); math.Abs(u-1) > 1e-9 {
+		t.Fatalf("utilization %v want 1", u)
+	}
+	if u := ch.Utilization(s, s+2*(e-s)); math.Abs(u-0.5) > 1e-9 {
+		t.Fatalf("half-window utilization %v want 0.5", u)
+	}
+}
+
+func TestAuditConsistencyWithEnforcement(t *testing.T) {
+	// Whatever the enforcing channel allows must pass the independent
+	// audit checks: two implementations of the rules agreeing.
+	m := refMem(t, 1)
+	audits := m.EnableAudit()
+	ch := m.Channels[0]
+	rng := sim.NewRNG(5)
+	var cursor sim.Time
+	for i := 0; i < 500; i++ {
+		bank := rng.Intn(m.Geo.BanksPerChannel)
+		if ch.BankOpen(bank) {
+			continue
+		}
+		var err error
+		cursor, err = ch.AccessClosedPage(bank, rng.Intn(100), Op(i%2), 64+rng.Intn(1400), cursor-sim.Time(rng.Intn(20000)))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := audits[0].CheckFAW(m.Tim.TFAW, m.Tim.MaxACTs); err != nil {
+		t.Fatal(err)
+	}
+	if err := audits[0].CheckBankProtocol(m.Tim); err != nil {
+		t.Fatal(err)
+	}
+	if audits[0].Commands() == 0 {
+		t.Fatal("audit recorded nothing")
+	}
+}
+
+func TestMemoryRowsPerBank(t *testing.T) {
+	m := refMem(t, 4)
+	// 64 GB / 32 channels / 64 banks / 2 KB rows = 16384 rows.
+	if got := m.RowsPerBank(); got != 16384 {
+		t.Fatalf("rows per bank %d", got)
+	}
+}
+
+func TestMemoryString(t *testing.T) {
+	m := refMem(t, 4)
+	if s := m.String(); s == "" {
+		t.Fatal("empty string")
+	}
+}

@@ -1,0 +1,93 @@
+package hbm
+
+import (
+	"math"
+	"testing"
+
+	"pbrouter/internal/sim"
+)
+
+func TestEnergyModelArithmetic(t *testing.T) {
+	m := DefaultEnergy()
+	c := CommandCounts{Activates: 2, Precharges: 2, DataBits: 1000, Refreshes: 1}
+	want := 2*900.0 + 2*600 + 2.5*1000 + 2000
+	if got := m.EnergyPJ(c); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("energy %v want %v", got, want)
+	}
+	if got := m.PJPerBit(c); math.Abs(got-want/1000) > 1e-12 {
+		t.Fatalf("pj/bit %v", got)
+	}
+	if m.PJPerBit(CommandCounts{}) != 0 {
+		t.Fatal("zero-data pj/bit")
+	}
+	// 1000 pJ over 1 us = 1 mW.
+	p := m.AveragePowerWatts(CommandCounts{DataBits: 400}, sim.Microsecond)
+	if math.Abs(p-1e-3) > 1e-12 {
+		t.Fatalf("power %v want 1e-3", p)
+	}
+}
+
+func TestCommandCountsAccumulate(t *testing.T) {
+	var a CommandCounts
+	a.Add(CommandCounts{Activates: 1, Precharges: 2, DataBits: 3, Refreshes: 4})
+	a.Add(CommandCounts{Activates: 10, Precharges: 20, DataBits: 30, Refreshes: 40})
+	if a.Activates != 11 || a.Precharges != 22 || a.DataBits != 33 || a.Refreshes != 44 {
+		t.Fatalf("counts %+v", a)
+	}
+}
+
+func TestPFIEnergyBeatsRandomAccess(t *testing.T) {
+	// PFI amortizes one activation over a 1 KB segment; the spraying
+	// baseline pays one per 64 B packet. Energy per useful bit must be
+	// markedly lower for PFI.
+	em := DefaultEnergy()
+
+	// PFI: stream frames (full channel simulation so ACT counts are
+	// exact).
+	memP := MustMemory(HBM4Geometry(1), HBM4Timing())
+	eng, err := NewFrameEngine(memP, 4, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cursor sim.Time
+	for i := 0; i < 50; i++ {
+		if _, end, err := eng.WriteFrame(i%eng.Groups(), 0, cursor); err != nil {
+			t.Fatal(err)
+		} else {
+			cursor = end
+		}
+	}
+	pfi := em.PJPerBit(memP.Counts())
+
+	// Random 64 B accesses.
+	memR := MustMemory(HBM4Geometry(1), HBM4Timing())
+	rc := NewRandomController(memR, ModeWorstCase, sim.NewRNG(1))
+	if _, _, err := rc.RunBacklogged(32*100, 64); err != nil {
+		t.Fatal(err)
+	}
+	random := em.PJPerBit(memR.Counts())
+
+	if pfi >= random/1.5 {
+		t.Fatalf("PFI %.2f pJ/bit not clearly below random %.2f pJ/bit", pfi, random)
+	}
+	// Analytic expectation: PFI = 2.5 + 1500/8192 = 2.68; random 64 B
+	// = 2.5 + 1500/512 = 5.43.
+	if math.Abs(pfi-2.68) > 0.05 {
+		t.Fatalf("PFI %.3f pJ/bit want ~2.68", pfi)
+	}
+	if math.Abs(random-5.43) > 0.1 {
+		t.Fatalf("random %.3f pJ/bit want ~5.43", random)
+	}
+}
+
+func TestMirrorFactor(t *testing.T) {
+	mem := MustMemory(HBM4Geometry(1), HBM4Timing())
+	e, _ := NewFrameEngine(mem, 4, 1024)
+	if e.MirrorFactor() != 1 {
+		t.Fatal("factor without mirror")
+	}
+	e.SetMirror(true)
+	if e.MirrorFactor() != 32 {
+		t.Fatalf("factor %d want 32", e.MirrorFactor())
+	}
+}

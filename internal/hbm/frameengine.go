@@ -1,0 +1,234 @@
+package hbm
+
+import (
+	"fmt"
+
+	"pbrouter/internal/sim"
+)
+
+// FrameEngine executes PFI's staggered bank-interleaved frame
+// transfers (§3.2 ➂➃): a frame of K = γ·T·S bytes is striped across
+// all T channels; on each channel it occupies γ consecutive banks
+// (one bank-interleaving group), transferring one segment of S bytes
+// per bank with the activate of bank ℓ+1 hidden under the transfer of
+// bank ℓ and the precharge of bank ℓ hidden under the transfer of
+// ℓ+1. Activates are issued just in time, which is what keeps the
+// four-activation window satisfied at full rate.
+type FrameEngine struct {
+	mem      *Memory
+	gamma    int
+	segBytes int
+	segTime  sim.Time
+
+	// mirror, when set, drives only channel 0 and accounts for the
+	// other channels arithmetically. Valid because PFI issues the
+	// identical command stream to every channel, so all channel state
+	// machines evolve in lockstep; it makes long benchmark runs ~T×
+	// cheaper.
+	mirror bool
+}
+
+// NewFrameEngine validates the PFI segment parameters against the
+// memory organization and returns an engine. segBytes is S; gamma is
+// γ, the banks per interleaving group.
+func NewFrameEngine(mem *Memory, gamma, segBytes int) (*FrameEngine, error) {
+	geo := mem.Geo
+	switch {
+	case gamma <= 0:
+		return nil, fmt.Errorf("hbm: non-positive gamma %d", gamma)
+	case geo.BanksPerChannel%gamma != 0:
+		return nil, fmt.Errorf("hbm: %d banks not divisible into groups of %d",
+			geo.BanksPerChannel, gamma)
+	case segBytes <= 0 || segBytes%geo.BurstBytes != 0:
+		return nil, fmt.Errorf("hbm: segment %d B not a multiple of burst %d B",
+			segBytes, geo.BurstBytes)
+	case geo.RowBytes%segBytes != 0:
+		return nil, fmt.Errorf("hbm: segment %d B not a unit fraction of row %d B",
+			segBytes, geo.RowBytes)
+	}
+	e := &FrameEngine{
+		mem:      mem,
+		gamma:    gamma,
+		segBytes: segBytes,
+	}
+	e.segTime = mem.Channels[0].TransferTime(segBytes)
+	return e, nil
+}
+
+// SetMirror turns on single-channel mirroring (see the field comment).
+func (e *FrameEngine) SetMirror(on bool) { e.mirror = on }
+
+// Gamma returns γ.
+func (e *FrameEngine) Gamma() int { return e.gamma }
+
+// SegmentBytes returns S.
+func (e *FrameEngine) SegmentBytes() int { return e.segBytes }
+
+// SegmentTime returns the bus occupancy of one segment on one channel.
+func (e *FrameEngine) SegmentTime() sim.Time { return e.segTime }
+
+// FrameBytes returns K = γ·T·S.
+func (e *FrameEngine) FrameBytes() int {
+	return e.gamma * e.mem.Geo.Channels() * e.segBytes
+}
+
+// FrameTime returns the data-bus occupancy of one frame per channel
+// (γ segments back to back).
+func (e *FrameEngine) FrameTime() sim.Time { return sim.Time(e.gamma) * e.segTime }
+
+// Groups returns the number of bank interleaving groups, L/γ.
+func (e *FrameEngine) Groups() int { return e.mem.Geo.BanksPerChannel / e.gamma }
+
+// channels returns the channel slice the engine drives.
+func (e *FrameEngine) channels() []*Channel {
+	if e.mirror {
+		return e.mem.Channels[:1]
+	}
+	return e.mem.Channels
+}
+
+// transferFrame runs one frame operation targeting the given bank
+// interleaving group and row, starting no earlier than at. It returns
+// the first data start and last data end across channels.
+func (e *FrameEngine) transferFrame(group, row int, op Op, at sim.Time) (start, end sim.Time, err error) {
+	if group < 0 || group >= e.Groups() {
+		return 0, 0, fmt.Errorf("hbm: group %d out of range [0,%d)", group, e.Groups())
+	}
+	if row < 0 || int64(row) >= e.mem.RowsPerBank() {
+		return 0, 0, fmt.Errorf("hbm: row %d out of range [0,%d)", row, e.mem.RowsPerBank())
+	}
+	first := sim.Forever
+	var last sim.Time
+	for _, ch := range e.channels() {
+		chStart, chEnd, err := e.frameOnChannel(ch, group, row, op, at)
+		if err != nil {
+			return 0, 0, err
+		}
+		if chStart < first {
+			first = chStart
+		}
+		if chEnd > last {
+			last = chEnd
+		}
+	}
+	if e.mirror {
+		// Account the bits of the channels not simulated.
+		extra := int64(len(e.mem.Channels)-1) * int64(e.gamma) * int64(e.segBytes) * 8
+		e.mem.Channels[0].dataBits += extra
+	}
+	return first, last, nil
+}
+
+// frameOnChannel performs one channel's share of a frame: γ segments
+// into consecutive banks of the group, activates just in time,
+// precharges as soon as each bank's data completes.
+func (e *FrameEngine) frameOnChannel(ch *Channel, group, row int, op Op, at sim.Time) (start, end sim.Time, err error) {
+	baseBank := group * e.gamma
+	cursor := at
+	first := sim.Forever
+	for s := 0; s < e.gamma; s++ {
+		bank := baseBank + s
+		// Just-in-time activate: aim for data at the cursor.
+		actWant := cursor - e.mem.Tim.TRCD
+		if actWant < 0 {
+			actWant = 0
+		}
+		actAt, err := ch.Activate(bank, row, actWant)
+		if err != nil {
+			return 0, 0, fmt.Errorf("segment %d: %w", s, err)
+		}
+		dStart, dEnd, err := ch.Data(bank, op, e.segBytes, actAt+e.mem.Tim.TRCD)
+		if err != nil {
+			return 0, 0, fmt.Errorf("segment %d: %w", s, err)
+		}
+		if _, err := ch.Precharge(bank, dEnd); err != nil {
+			return 0, 0, fmt.Errorf("segment %d: %w", s, err)
+		}
+		if dStart < first {
+			first = dStart
+		}
+		end = dEnd
+		cursor = dEnd
+	}
+	return first, end, nil
+}
+
+// WriteFrame writes one frame into the group/row. See transferFrame.
+func (e *FrameEngine) WriteFrame(group, row int, at sim.Time) (start, end sim.Time, err error) {
+	return e.transferFrame(group, row, Write, at)
+}
+
+// ReadFrame reads one frame from the group/row. See transferFrame.
+func (e *FrameEngine) ReadFrame(group, row int, at sim.Time) (start, end sim.Time, err error) {
+	return e.transferFrame(group, row, Read, at)
+}
+
+// RefreshGroup issues single-bank refreshes to every bank of the given
+// group on every channel. Refresh occupies only the banks, not the
+// data bus, so refreshing groups that are not about to be accessed
+// hides entirely — the §4 claim the E4 experiment checks.
+func (e *FrameEngine) RefreshGroup(group int, at sim.Time) error {
+	baseBank := group * e.gamma
+	for _, ch := range e.channels() {
+		for s := 0; s < e.gamma; s++ {
+			if _, err := ch.RefreshBank(baseBank+s, at); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// MinFeasibleSegment returns the smallest segment size (a multiple of
+// the burst and a unit fraction of the row) for which γ just-in-time
+// staggered activates per frame satisfy the four-activation window at
+// full rate, i.e. MaxACTs activates spaced by the segment transfer
+// time span at least tFAW once the next frame's first activate is
+// included. This reproduces §3.2 ➂'s claim that S = 1 KB is minimal
+// for the reference timing.
+func MinFeasibleSegment(geo Geometry, tim Timing, gamma int) int {
+	for seg := geo.BurstBytes; seg <= geo.RowBytes; seg += geo.BurstBytes {
+		if geo.RowBytes%seg != 0 {
+			continue
+		}
+		segTime := sim.TransferTime(int64(seg)*8, geo.ChannelRate())
+		// Steady state: activates come every segTime. MaxACTs+1
+		// consecutive activates span MaxACTs*segTime; FAW requires that
+		// span >= tFAW.
+		if sim.Time(tim.MaxACTs)*segTime >= tim.TFAW {
+			return seg
+		}
+	}
+	return 0
+}
+
+// MinFeasibleGamma returns the smallest γ (dividing the bank count)
+// such that the precharge of the first bank in one group completes
+// before the activate of the first bank of the next group needs to
+// issue — §3.2 ➂'s condition (i) for seamless group-to-group
+// interleaving — assuming back-to-back frames for the same group pair.
+func MinFeasibleGamma(geo Geometry, tim Timing, segBytes int) int {
+	segTime := sim.TransferTime(int64(segBytes)*8, geo.ChannelRate())
+	for gamma := 1; gamma <= geo.BanksPerChannel; gamma++ {
+		if geo.BanksPerChannel%gamma != 0 {
+			continue
+		}
+		// Worst case: the next frame reuses the same bank (same group
+		// back to back, e.g. two outputs whose counters point at the
+		// same group). Bank 0: ACT at -tRCD, data [0,segTime],
+		// precharge at max(ACT+tRAS, data end + tWR), closed tRP
+		// later. The next frame's bank-0 activate must issue at
+		// γ·segTime - tRCD.
+		act := -tim.TRCD
+		preReady := act + tim.TRAS
+		if rec := segTime + tim.TWR; rec > preReady {
+			preReady = rec
+		}
+		closed := preReady + tim.TRP
+		nextAct := sim.Time(gamma)*segTime - tim.TRCD
+		if nextAct >= closed {
+			return gamma
+		}
+	}
+	return 0
+}

@@ -1,0 +1,166 @@
+// Package hbm models HBM4 memory at command granularity: stacks of
+// ultra-wide-interface channels, banks with JEDEC-style timing
+// constraints (tRCD, tRP, tRAS, tRRD, tFAW, write recovery, bus
+// turnaround, refresh), and memory controllers on top.
+//
+// Two controllers matter for the paper's claims:
+//
+//   - FrameEngine executes PFI's staggered bank-interleaved frame
+//     transfers and is expected to reach peak pin bandwidth (§3.2).
+//   - RandomController models the literature's random per-packet
+//     access, which §3.1 charges with 2.6×–1250× throughput loss.
+//
+// The channel model *enforces* the timing rules rather than assuming
+// them, so controller bugs that would corrupt a real HBM (FAW
+// violations, precharging an open row too early) surface as errors or
+// measurably lost bandwidth.
+package hbm
+
+import (
+	"fmt"
+
+	"pbrouter/internal/sim"
+)
+
+// Geometry describes the physical organization of the HBM group used
+// by one HBM switch.
+type Geometry struct {
+	Stacks           int      // B HBM stacks ganged together
+	ChannelsPerStack int      // channels per stack (32 for HBM4)
+	BanksPerChannel  int      // L banks visible per channel
+	RowBytes         int      // bytes per row per channel
+	BurstBytes       int      // bytes per burst per channel
+	PinsPerChannel   int      // data pins per channel (64 for HBM4)
+	PinRate          sim.Rate // per-pin data rate (10 Gb/s for HBM4+)
+	StackCapacity    int64    // bytes per stack (64 GB for HBM4)
+}
+
+// HBM4Geometry returns the reference design's memory organization:
+// B=4 stacks of 32 channels, 64 banks, 64-bit channels at 10 Gb/s per
+// pin (20.48 Tb/s per stack, 81.92 Tb/s for the group), 64 GB per
+// stack.
+func HBM4Geometry(stacks int) Geometry {
+	return Geometry{
+		Stacks:           stacks,
+		ChannelsPerStack: 32,
+		BanksPerChannel:  64,
+		RowBytes:         2048,
+		BurstBytes:       64,
+		PinsPerChannel:   64,
+		PinRate:          10 * sim.Gbps,
+		StackCapacity:    64 << 30,
+	}
+}
+
+// Channels returns the total channel count T across all stacks.
+func (g Geometry) Channels() int { return g.Stacks * g.ChannelsPerStack }
+
+// ChannelRate returns the peak data rate of one channel.
+func (g Geometry) ChannelRate() sim.Rate {
+	return g.PinRate * sim.Rate(g.PinsPerChannel)
+}
+
+// PeakRate returns the aggregate peak data rate of the group.
+func (g Geometry) PeakRate() sim.Rate {
+	return g.ChannelRate() * sim.Rate(g.Channels())
+}
+
+// TotalCapacity returns the group capacity in bytes.
+func (g Geometry) TotalCapacity() int64 {
+	return g.StackCapacity * int64(g.Stacks)
+}
+
+// Validate checks the geometry for internal consistency.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Stacks <= 0:
+		return fmt.Errorf("hbm: need at least one stack, have %d", g.Stacks)
+	case g.ChannelsPerStack <= 0:
+		return fmt.Errorf("hbm: non-positive channels per stack")
+	case g.BanksPerChannel <= 0:
+		return fmt.Errorf("hbm: non-positive banks per channel")
+	case g.RowBytes <= 0 || g.BurstBytes <= 0:
+		return fmt.Errorf("hbm: non-positive row/burst size")
+	case g.RowBytes%g.BurstBytes != 0:
+		return fmt.Errorf("hbm: row size %d not a multiple of burst %d", g.RowBytes, g.BurstBytes)
+	case g.PinsPerChannel <= 0 || g.PinRate <= 0:
+		return fmt.Errorf("hbm: non-positive channel interface")
+	case g.StackCapacity <= 0:
+		return fmt.Errorf("hbm: non-positive stack capacity")
+	}
+	return nil
+}
+
+// Timing holds the command timing constraints the channel model
+// enforces. All values are durations.
+type Timing struct {
+	TRCD sim.Time // activate to first data
+	TRP  sim.Time // precharge to next activate of the same bank
+	TRAS sim.Time // activate to precharge of the same bank
+	TRRD sim.Time // activate to activate, different banks
+	TFAW sim.Time // window in which at most MaxACTs activates may issue
+	TWR  sim.Time // end of write data to precharge (write recovery)
+	TRTP sim.Time // end of read data to precharge
+	TWTR sim.Time // bus turnaround, write data end to read data start
+	TRTW sim.Time // bus turnaround, read data end to write data start
+	TRFC sim.Time // single-bank refresh duration
+	TREF sim.Time // mean per-bank refresh interval
+
+	// MaxACTs is the activate budget per TFAW window (4 for the
+	// four-activation-window rule the paper's §3.2 ➂ relies on).
+	MaxACTs int
+}
+
+// HBM4Timing returns the timing set used throughout the repository.
+// TRCD+TRP = 30 ns reproduces §3.1's "about 30 ns just to activate and
+// close (precharge) banks"; TFAW = 40 ns with MaxACTs = 4 encodes the
+// four-activation-window constraint that makes S = 1 KB the smallest
+// feasible segment (§3.2 ➂).
+func HBM4Timing() Timing {
+	return Timing{
+		TRCD:    15 * sim.Nanosecond,
+		TRP:     15 * sim.Nanosecond,
+		TRAS:    28 * sim.Nanosecond,
+		TRRD:    2 * sim.Nanosecond,
+		TFAW:    40 * sim.Nanosecond,
+		TWR:     8 * sim.Nanosecond,
+		TRTP:    3 * sim.Nanosecond,
+		TWTR:    1 * sim.Nanosecond,
+		TRTW:    1 * sim.Nanosecond,
+		TRFC:    120 * sim.Nanosecond,
+		TREF:    2 * sim.Microsecond,
+		MaxACTs: 4,
+	}
+}
+
+// Validate checks the timing set for obviously inconsistent values.
+func (t Timing) Validate() error {
+	all := []struct {
+		name string
+		v    sim.Time
+	}{
+		{"tRCD", t.TRCD}, {"tRP", t.TRP}, {"tRAS", t.TRAS}, {"tRRD", t.TRRD},
+		{"tFAW", t.TFAW}, {"tWR", t.TWR}, {"tRTP", t.TRTP},
+		{"tWTR", t.TWTR}, {"tRTW", t.TRTW}, {"tRFC", t.TRFC}, {"tREF", t.TREF},
+	}
+	for _, x := range all {
+		if x.v < 0 {
+			return fmt.Errorf("hbm: negative %s", x.name)
+		}
+	}
+	if t.MaxACTs <= 0 {
+		return fmt.Errorf("hbm: non-positive MaxACTs")
+	}
+	if t.TRAS < t.TRCD {
+		return fmt.Errorf("hbm: tRAS %v < tRCD %v", t.TRAS, t.TRCD)
+	}
+	if t.TFAW < sim.Time(t.MaxACTs)*t.TRRD {
+		return fmt.Errorf("hbm: tFAW %v < MaxACTs*tRRD", t.TFAW)
+	}
+	return nil
+}
+
+// RandomAccessPenalty returns tRCD + tRP, the per-access overhead §3.1
+// charges to oblivious random access ("about 30 ns just to activate
+// and close").
+func (t Timing) RandomAccessPenalty() sim.Time { return t.TRCD + t.TRP }

@@ -1,0 +1,97 @@
+package hbm
+
+import (
+	"fmt"
+
+	"pbrouter/internal/sim"
+)
+
+// Memory is a group of HBM stacks presented as T parallel channels —
+// the "ultra-wide interface" the PFI algorithm stripes frames across.
+type Memory struct {
+	Geo      Geometry
+	Tim      Timing
+	Channels []*Channel
+}
+
+// NewMemory builds a memory group from a validated geometry and timing
+// set.
+func NewMemory(geo Geometry, tim Timing) (*Memory, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tim.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Memory{Geo: geo, Tim: tim}
+	m.Channels = make([]*Channel, geo.Channels())
+	for i := range m.Channels {
+		m.Channels[i] = NewChannel(geo, tim)
+	}
+	return m, nil
+}
+
+// MustMemory is NewMemory for known-good configurations; it panics on
+// error.
+func MustMemory(geo Geometry, tim Timing) *Memory {
+	m, err := NewMemory(geo, tim)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// EnableAudit attaches a fresh audit to every channel and returns the
+// audits, indexed by channel.
+func (m *Memory) EnableAudit() []*Audit {
+	audits := make([]*Audit, len(m.Channels))
+	for i, c := range m.Channels {
+		audits[i] = NewAudit()
+		c.SetAudit(audits[i])
+	}
+	return audits
+}
+
+// DataBits returns total data bits moved across all channels.
+func (m *Memory) DataBits() int64 {
+	var n int64
+	for _, c := range m.Channels {
+		n += c.DataBits()
+	}
+	return n
+}
+
+// Utilization returns the achieved fraction of aggregate peak rate
+// over [start, end].
+func (m *Memory) Utilization(start, end sim.Time) float64 {
+	if end <= start {
+		return 0
+	}
+	return float64(m.DataBits()) / sim.BitsIn(end-start, m.Geo.PeakRate())
+}
+
+// BusFreeAt returns the latest bus-free time across channels.
+func (m *Memory) BusFreeAt() sim.Time {
+	var t sim.Time
+	for _, c := range m.Channels {
+		if c.BusFreeAt() > t {
+			t = c.BusFreeAt()
+		}
+	}
+	return t
+}
+
+// RowsPerBank returns how many rows each bank holds given the stack
+// capacity, used by the static per-output region allocator.
+func (m *Memory) RowsPerBank() int64 {
+	perChannel := m.Geo.StackCapacity / int64(m.Geo.ChannelsPerStack)
+	perBank := perChannel / int64(m.Geo.BanksPerChannel)
+	return perBank / int64(m.Geo.RowBytes)
+}
+
+// String summarizes the memory group.
+func (m *Memory) String() string {
+	return fmt.Sprintf("%d stacks, %d channels @ %v = %v peak, %d GB",
+		m.Geo.Stacks, m.Geo.Channels(), m.Geo.ChannelRate(), m.Geo.PeakRate(),
+		m.Geo.TotalCapacity()>>30)
+}

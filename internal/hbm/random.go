@@ -1,0 +1,195 @@
+package hbm
+
+import (
+	"fmt"
+
+	"pbrouter/internal/sim"
+)
+
+// This file implements the baseline §3.1 argues against: oblivious
+// per-packet random access to the HBM, as in randomized packet-buffer
+// and packet-spraying designs. Three variants are provided:
+//
+//   - AnalyticRandomFactor: the paper's own arithmetic — every access
+//     pays tRCD+tRP (≈30 ns) plus the transfer, giving 2.6× for 1500 B
+//     packets, ≈39× for 64 B, and ≈1250× when the access occupies the
+//     full ultra-wide interface instead of one channel.
+//   - RandomController in ModeWorstCase: a command-level simulation of
+//     the same pessimistic assumption (serial closed-page accesses per
+//     channel) under the full timing rules, which for small packets is
+//     slightly worse than the paper's estimate because tRAS also binds.
+//   - RandomController in ModeBankInterleaved: an ablation in which the
+//     random controller is allowed to pipeline accesses across banks;
+//     it recovers part of the loss but still falls far short of PFI and
+//     would require the per-packet bookkeeping §3.1 rules out.
+
+// RandomMode selects the random-access baseline variant.
+type RandomMode int
+
+// Baseline variants.
+const (
+	// ModeWorstCase serializes closed-page accesses on each channel:
+	// access i+1 begins only after access i's bank is fully closed.
+	ModeWorstCase RandomMode = iota
+	// ModeBankInterleaved lets consecutive accesses on a channel target
+	// rotating banks with just-in-time activates, overlapping row
+	// activation with earlier transfers.
+	ModeBankInterleaved
+)
+
+// String names the mode.
+func (m RandomMode) String() string {
+	switch m {
+	case ModeWorstCase:
+		return "worst-case"
+	case ModeBankInterleaved:
+		return "bank-interleaved"
+	default:
+		return fmt.Sprintf("RandomMode(%d)", int(m))
+	}
+}
+
+// AnalyticRandomFactor returns the paper's throughput-reduction factor
+// for per-packet random access: (tRCD + tRP + transfer) / transfer.
+// With wide=false the packet transfers over a single 64-bit channel
+// ("leveraging the parallel channels": each channel serves packets
+// independently); with wide=true the access occupies the whole
+// interface of width wideChannels channels, the no-parallel-channels
+// case that §3.1 says "can reach 1,250×".
+func AnalyticRandomFactor(geo Geometry, tim Timing, pktBytes int, wide bool, wideChannels int) float64 {
+	rate := geo.ChannelRate()
+	bits := int64(pktBytes) * 8
+	var tx float64
+	if wide {
+		tx = float64(bits) * 1e12 / (float64(rate) * float64(wideChannels))
+	} else {
+		tx = float64(bits) * 1e12 / float64(rate)
+	}
+	overhead := float64(tim.RandomAccessPenalty())
+	return (overhead + tx) / tx
+}
+
+// RandomController drives a Memory with per-packet random accesses.
+type RandomController struct {
+	mem  *Memory
+	mode RandomMode
+	rng  *sim.RNG
+
+	// nextFree[ch] is when channel ch may start its next access in
+	// ModeWorstCase.
+	nextFree []sim.Time
+	// rotBank[ch] rotates target banks in ModeBankInterleaved.
+	rotBank []int
+}
+
+// NewRandomController returns a controller over mem.
+func NewRandomController(mem *Memory, mode RandomMode, rng *sim.RNG) *RandomController {
+	return &RandomController{
+		mem:      mem,
+		mode:     mode,
+		rng:      rng,
+		nextFree: make([]sim.Time, len(mem.Channels)),
+		rotBank:  make([]int, len(mem.Channels)),
+	}
+}
+
+// RunBacklogged issues nPackets accesses of pktBytes each, spread
+// round-robin over the channels (the benefit-of-the-doubt assumption
+// that the parallel channels are all kept busy), with every channel
+// always backlogged. It returns the achieved aggregate rate and the
+// reduction factor versus peak.
+func (rc *RandomController) RunBacklogged(nPackets, pktBytes int) (achieved sim.Rate, factor float64, err error) {
+	mem := rc.mem
+	nCh := len(mem.Channels)
+	var lastEnd sim.Time
+	for i := 0; i < nPackets; i++ {
+		chIdx := i % nCh
+		ch := mem.Channels[chIdx]
+		var end sim.Time
+		switch rc.mode {
+		case ModeWorstCase:
+			bank := rc.rng.Intn(mem.Geo.BanksPerChannel)
+			row := rc.rng.Intn(int(mem.RowsPerBank()))
+			op := Write
+			if i%2 == 1 {
+				op = Read
+			}
+			end, err = ch.AccessClosedPage(bank, row, op, pktBytes, rc.nextFree[chIdx])
+			if err != nil {
+				return 0, 0, err
+			}
+			rc.nextFree[chIdx] = end
+		case ModeBankInterleaved:
+			// Rotate across banks so activates can hide behind earlier
+			// transfers; issue the activate just in time.
+			bank := rc.rotBank[chIdx]
+			rc.rotBank[chIdx] = (bank + 1) % mem.Geo.BanksPerChannel
+			row := rc.rng.Intn(int(mem.RowsPerBank()))
+			op := Write
+			if i%2 == 1 {
+				op = Read
+			}
+			want := ch.BusFreeAt() - mem.Tim.TRCD
+			if want < 0 {
+				want = 0
+			}
+			if _, err = ch.Activate(bank, row, want); err != nil {
+				return 0, 0, err
+			}
+			var dEnd sim.Time
+			if _, dEnd, err = ch.Data(bank, op, pktBytes, 0); err != nil {
+				return 0, 0, err
+			}
+			if _, err = ch.Precharge(bank, dEnd); err != nil {
+				return 0, 0, err
+			}
+			end = dEnd
+		}
+		if end > lastEnd {
+			lastEnd = end
+		}
+	}
+	bits := mem.DataBits()
+	achieved = sim.RateOf(bits, lastEnd)
+	factor = float64(mem.Geo.PeakRate()) / float64(achieved)
+	return achieved, factor, nil
+}
+
+// RunWideInterface models the no-parallel-channels case: each access
+// stripes the packet across all T channels as one logical ultra-wide
+// word and the next access waits for the previous to finish
+// everywhere. Returns achieved aggregate rate and reduction factor.
+func (rc *RandomController) RunWideInterface(nPackets, pktBytes int) (achieved sim.Rate, factor float64, err error) {
+	mem := rc.mem
+	nCh := len(mem.Channels)
+	perCh := pktBytes / nCh
+	if perCh == 0 {
+		perCh = 1 // a 64 B packet still occupies a burst slot everywhere
+	}
+	var t sim.Time
+	for i := 0; i < nPackets; i++ {
+		bank := rc.rng.Intn(mem.Geo.BanksPerChannel)
+		row := rc.rng.Intn(int(mem.RowsPerBank()))
+		op := Write
+		if i%2 == 1 {
+			op = Read
+		}
+		var wave sim.Time
+		for _, ch := range mem.Channels {
+			end, err := ch.AccessClosedPage(bank, row, op, perCh, t)
+			if err != nil {
+				return 0, 0, err
+			}
+			if end > wave {
+				wave = end
+			}
+		}
+		t = wave
+	}
+	// Count only useful packet bits, not the padding the wide stripe
+	// forces on short packets.
+	bits := int64(nPackets) * int64(pktBytes) * 8
+	achieved = sim.RateOf(bits, t)
+	factor = float64(mem.Geo.PeakRate()) / float64(achieved)
+	return achieved, factor, nil
+}

@@ -1,0 +1,87 @@
+package hbmswitch
+
+import (
+	"math"
+	"testing"
+
+	"pbrouter/internal/sim"
+	"pbrouter/internal/traffic"
+)
+
+func TestOEOPowerMatchesDesignModel(t *testing.T) {
+	// §4 charges 1.15 pJ/bit over the switch's 81.92 Tb/s of I/O for
+	// ~94 W at full load. At load ρ the measured conversion power of
+	// the simulated traffic must be ~ρ·94 W.
+	cfg := Reference()
+	cfg.Speedup = 1.1
+	sw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := 0.9
+	srcs := traffic.UniformSources(traffic.Uniform(16, load), cfg.PortRate,
+		traffic.Poisson, traffic.Fixed(1500), sim.NewRNG(8))
+	rep, err := sw.Run(traffic.NewMux(srcs), 20*sim.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := load * 94.2 // W
+	if math.Abs(rep.OEOPowerWatts-want)/want > 0.05 {
+		t.Fatalf("OEO power %.1f W want ~%.1f W", rep.OEOPowerWatts, want)
+	}
+	if rep.OEOEnergyJoules <= 0 {
+		t.Fatal("no conversion energy accounted")
+	}
+}
+
+func TestEgressHashSpreadsManyFlows(t *testing.T) {
+	// With a large flow population the 64 egress wavelengths load
+	// evenly; with very few flows they cannot (§3.2 ➅'s hashing is
+	// per-flow, like ECMP/LAG).
+	run := func(flowsPerPair int) float64 {
+		cfg := Reference()
+		cfg.Speedup = 1.1
+		cfg.HashedEgress = true
+		cfg.Subchannels = 64
+		cfg.HashSeed = 99
+		sw, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := sim.NewRNG(9)
+		pool := traffic.NewFlowPool(flowsPerPair, rng.Fork())
+		var id uint64
+		var srcs []*traffic.Source
+		m := traffic.Uniform(16, 0.5)
+		nextID := func() uint64 { id++; return id }
+		for i := 0; i < 16; i++ {
+			srcs = append(srcs, traffic.NewSource(traffic.SourceConfig{
+				Input: i, LineRate: cfg.PortRate, Kind: traffic.Poisson,
+				Row: m.Rates[i], Sizes: traffic.Fixed(1500), RNG: rng.Fork(),
+				Pool: pool, NextID: nextID,
+			}))
+		}
+		rep, err := sw.Run(traffic.NewMux(srcs), 40*sim.Microsecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Errors) > 0 {
+			t.Fatalf("errors: %v", rep.Errors)
+		}
+		return rep.EgressImbalance
+	}
+	many := run(256) // 256 flows per (in,out) pair -> 4096 flows per output
+	few := run(1)    // one elephant per pair -> 16 flows over 64 wavelengths
+	// With ~4k packets per output the many-flow spread is limited by
+	// sampling noise (peak/mean up to ~2); the few-flow case leaves
+	// most wavelengths empty and is structurally worse.
+	if many > 2.2 {
+		t.Fatalf("many-flow egress imbalance %.2f too large", many)
+	}
+	if few < 3.0 {
+		t.Fatalf("few-flow egress imbalance %.2f should be severe (most wavelengths idle)", few)
+	}
+	if few <= 1.5*many {
+		t.Fatalf("flow population did not matter: few %.2f vs many %.2f", few, many)
+	}
+}

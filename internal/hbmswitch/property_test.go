@@ -1,0 +1,138 @@
+package hbmswitch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pbrouter/internal/core"
+	"pbrouter/internal/sim"
+	"pbrouter/internal/traffic"
+)
+
+// TestSwitchEndToEndProperty drives a scaled switch with randomized
+// workload shape, load, sizes, policies and seeds, and asserts the
+// full invariant set on every run: conservation (offered = delivered +
+// dropped), per-pair order, reassembly closure, SRAM accounting, and
+// that admissible traffic is never dropped. This is the repository's
+// broadest single correctness net.
+func TestSwitchEndToEndProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property run is a few seconds")
+	}
+	cfgCheck := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		cfg := Scaled(1, 640*sim.Gbps)
+		cfg.Speedup = 1.1
+
+		// Randomize the policy knobs.
+		cfg.Policy = core.Policy{
+			PadFrames: rng.Intn(2) == 1,
+			BypassHBM: rng.Intn(2) == 1,
+		}
+		if rng.Intn(2) == 1 {
+			cfg.FlushTimeout = sim.Time(100+rng.Intn(900)) * sim.Nanosecond
+		}
+		if rng.Intn(2) == 1 {
+			cfg.EnableRefresh = true
+		}
+		if rng.Intn(2) == 1 {
+			cfg.DynamicPages = 32
+		}
+
+		// Randomize the workload.
+		load := 0.1 + 0.85*rng.Float64()
+		var m *traffic.Matrix
+		switch rng.Intn(3) {
+		case 0:
+			m = traffic.Uniform(16, load)
+		case 1:
+			m = traffic.Diagonal(16, load, 1+rng.Intn(15))
+		default:
+			m = traffic.Hotspot(16, load, 0.02+0.05*rng.Float64())
+		}
+		var sizes traffic.SizeDist
+		switch rng.Intn(3) {
+		case 0:
+			sizes = traffic.IMIX()
+		case 1:
+			sizes = traffic.Fixed(64 + rng.Intn(1437))
+		default:
+			sizes = traffic.UniformSize{Min: 64, Max: 1500}
+		}
+		kind := traffic.Poisson
+		if rng.Intn(2) == 1 {
+			kind = traffic.Bursty
+		}
+
+		sw, err := New(cfg)
+		if err != nil {
+			t.Logf("seed %d: config: %v", seed, err)
+			return false
+		}
+		srcs := traffic.UniformSources(m, cfg.PortRate, kind, sizes, rng.Fork())
+		rep, err := sw.Run(traffic.NewMux(srcs), 20*sim.Microsecond)
+		if err != nil {
+			t.Logf("seed %d: run: %v", seed, err)
+			return false
+		}
+		if len(rep.Errors) > 0 {
+			t.Logf("seed %d: invariants: %v", seed, rep.Errors[0])
+			return false
+		}
+		// Admissible traffic on the reference-size memory never drops.
+		if rep.DroppedPackets != 0 {
+			t.Logf("seed %d: dropped %d admissible packets", seed, rep.DroppedPackets)
+			return false
+		}
+		if rep.DeliveredPackets != rep.OfferedPackets {
+			t.Logf("seed %d: delivered %d of %d", seed, rep.DeliveredPackets, rep.OfferedPackets)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(cfgCheck, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSwitchFullCommandAudit runs the switch with full per-channel
+// simulation and audits every HBM command issued during the run
+// against the timing rules, independently of the enforcing model.
+func TestSwitchFullCommandAudit(t *testing.T) {
+	cfg := Scaled(1, 640*sim.Gbps)
+	cfg.FullChannels = true
+	cfg.Speedup = 1.1
+	cfg.Policy = core.Policy{} // maximize HBM activity
+	cfg.EnableRefresh = true
+	sw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	audits := sw.mem.EnableAudit()
+	srcs := traffic.UniformSources(traffic.Uniform(16, 0.9), cfg.PortRate,
+		traffic.Poisson, traffic.Fixed(1500), sim.NewRNG(19))
+	rep, err := sw.Run(traffic.NewMux(srcs), 10*sim.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Errors) > 0 {
+		t.Fatalf("errors: %v", rep.Errors)
+	}
+	if rep.FramesWritten == 0 {
+		t.Fatal("no HBM activity to audit")
+	}
+	total := 0
+	for ch, a := range audits {
+		if err := a.CheckFAW(cfg.Timing.TFAW, cfg.Timing.MaxACTs); err != nil {
+			t.Fatalf("channel %d FAW: %v", ch, err)
+		}
+		if err := a.CheckBankProtocol(cfg.Timing); err != nil {
+			t.Fatalf("channel %d protocol: %v", ch, err)
+		}
+		total += a.Commands()
+	}
+	if total == 0 {
+		t.Fatal("audit recorded nothing")
+	}
+	t.Logf("audited %d HBM commands across %d channels", total, len(audits))
+}

@@ -1,0 +1,92 @@
+package hbmswitch
+
+import (
+	"math"
+	"testing"
+
+	"pbrouter/internal/core"
+	"pbrouter/internal/sim"
+	"pbrouter/internal/traffic"
+)
+
+func TestRefreshHidesAtHighLoad(t *testing.T) {
+	// §4: "HBM4 provides single-bank refresh operations that can be
+	// hidden without affecting the cycle time". Run the same loaded
+	// switch with and without the refresh scheduler and compare.
+	runWith := func(refresh bool) *Report {
+		cfg := Reference()
+		cfg.Speedup = 1.1
+		cfg.Policy = core.Policy{} // force everything through the HBM
+		cfg.EnableRefresh = refresh
+		sw, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs := traffic.UniformSources(traffic.Uniform(16, 0.95), cfg.PortRate,
+			traffic.Poisson, traffic.Fixed(1500), sim.NewRNG(3))
+		rep, err := sw.Run(traffic.NewMux(srcs), 30*sim.Microsecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Errors) > 0 {
+			t.Fatalf("errors: %v", rep.Errors)
+		}
+		return rep
+	}
+	off := runWith(false)
+	on := runWith(true)
+	if on.Refreshes == 0 {
+		t.Fatal("refresh scheduler issued nothing")
+	}
+	// Expected count: one group per tREF/groups tick over the horizon.
+	period := HBM4TREFPeriod()
+	want := float64(30*sim.Microsecond) / float64(period)
+	if math.Abs(float64(on.Refreshes)-want)/want > 0.1 {
+		t.Fatalf("refreshes %d want ~%.0f", on.Refreshes, want)
+	}
+	if off.Refreshes != 0 {
+		t.Fatal("refresh ran while disabled")
+	}
+	// Throughput unaffected within measurement noise.
+	if math.Abs(on.Throughput-off.Throughput) > 0.01 {
+		t.Fatalf("refresh changed throughput: %.4f vs %.4f", on.Throughput, off.Throughput)
+	}
+	// Latency essentially unchanged (a collision can add up to tRFC to
+	// a rare frame).
+	if float64(on.LatencyP99) > 1.15*float64(off.LatencyP99) {
+		t.Fatalf("refresh inflated p99 latency: %v vs %v", on.LatencyP99, off.LatencyP99)
+	}
+}
+
+// HBM4TREFPeriod returns the per-group refresh cadence of the
+// reference design (tREF / groups).
+func HBM4TREFPeriod() sim.Time {
+	cfg := Reference()
+	return cfg.Timing.TREF / sim.Time(cfg.PFI.Groups())
+}
+
+func TestRefreshKeepsEveryBankWithinBudget(t *testing.T) {
+	// Every group must be refreshed at least once per tREF once the
+	// scheduler has wrapped.
+	cfg := Scaled(1, 640*sim.Gbps)
+	cfg.EnableRefresh = true
+	sw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := traffic.UniformSources(traffic.Uniform(16, 0.5), cfg.PortRate,
+		traffic.Poisson, traffic.Fixed(1500), sim.NewRNG(4))
+	horizon := 10 * sim.Microsecond // 5 full tREF periods
+	rep, err := sw.Run(traffic.NewMux(srcs), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Errors) > 0 {
+		t.Fatalf("errors: %v", rep.Errors)
+	}
+	groups := int64(cfg.PFI.Groups())
+	wraps := rep.Refreshes / groups
+	if wraps < 4 {
+		t.Fatalf("only %d full refresh wraps in %v (%d refreshes)", wraps, horizon, rep.Refreshes)
+	}
+}

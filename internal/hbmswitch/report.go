@@ -1,0 +1,233 @@
+package hbmswitch
+
+import (
+	"fmt"
+
+	"pbrouter/internal/sim"
+	"pbrouter/internal/stats"
+)
+
+// Report is the measurement summary of one Run.
+type Report struct {
+	Horizon sim.Time
+
+	// Traffic accounting.
+	OfferedPackets   int64
+	OfferedBytes     int64
+	DeliveredPackets int64
+	DeliveredBytes   int64
+	// DroppedPackets/Bytes count ingress tail-drops (only possible when
+	// the configured HBM is small enough to fill).
+	DroppedPackets int64
+	DroppedBytes   int64
+	// LossFraction is dropped bytes over offered bytes.
+	LossFraction float64
+	// Throughput is the steady-state delivered rate: bits departing
+	// within (warmup, horizon] normalized by the aggregate port
+	// capacity N·P over that window. Under admissible load ρ it should
+	// equal ρ — the §3.2 (6) 100%-throughput claim.
+	Throughput float64
+	// OfferedLoad is the measured offered load over the same window.
+	OfferedLoad float64
+	// ShadowThroughput is the ideal OQ shadow's steady-state delivered
+	// rate on the same scale (only when the shadow is enabled). It is
+	// the cleanest "100%" reference: the shadow sees the identical
+	// arrivals and warmup transient, so Throughput/ShadowThroughput
+	// isolates what the HBM switch loses versus the ideal.
+	ShadowThroughput float64
+	// TotalThroughput and TotalOffered use the whole run including the
+	// drain tail (TotalThroughput <= TotalOffered always; equality
+	// means full delivery).
+	TotalThroughput float64
+	TotalOffered    float64
+
+	// Latency of delivered packets (arrival of last byte to departure
+	// of last byte).
+	LatencyMean sim.Time
+	LatencyP50  sim.Time
+	LatencyP99  sim.Time
+	LatencyMax  sim.Time
+
+	// Per-stage mean latency breakdown. The stages partition the
+	// pipeline: input batching, crossbar+input FIFO, frame assembly at
+	// the tail SRAM, HBM residence (write queue, region wait, read or
+	// bypass), and egress drain. Stage means are per-sample means at
+	// different granularities (packet, batch, frame), so they
+	// approximate — not exactly sum to — the end-to-end mean.
+	StageBatchMean sim.Time
+	StageXbarMean  sim.Time
+	StageFrameMean sim.Time
+	StageHBMMean   sim.Time
+	StageOutMean   sim.Time
+
+	// Relative delay versus the ideal OQ shadow (only if enabled).
+	RelDelayMean sim.Time
+	RelDelayP99  sim.Time
+	RelDelayMax  sim.Time
+	ShadowRun    bool
+
+	// PFI activity.
+	FramesWritten  int64
+	FramesRead     int64
+	FramesBypassed int64
+	FramesPadded   int64
+	PadBytes       int64
+	// Refreshes counts REFsb group refreshes issued (EnableRefresh).
+	Refreshes int64
+
+	// HBM achieved utilization of peak pins over the active window.
+	HBMUtilization float64
+
+	// OEOEnergyJoules is the measured conversion energy (O/E + E/O) of
+	// all delivered traffic; OEOPowerWatts is its average over the
+	// horizon — the simulated counterpart of §4's 94 W at full load.
+	OEOEnergyJoules float64
+	OEOPowerWatts   float64
+
+	// EgressImbalance is the peak-to-mean byte imbalance across the
+	// egress subchannels of the busiest output (only with
+	// HashedEgress): how evenly §3.2 ➅'s flow hashing spread the
+	// wavelengths.
+	EgressImbalance float64
+
+	// PerOutputBytes is the delivered byte count per output port.
+	PerOutputBytes []int64
+
+	// SRAM occupancy high-water marks (whole logical stage, bytes).
+	TailHighWater int64
+	HeadHighWater int64
+	InputFIFOPeak int
+	MaxRegionFill int64 // frames resident in the fullest HBM region
+
+	Errors []error
+}
+
+// report assembles the Report after a drained run.
+func (s *Switch) report(horizon sim.Time) *Report {
+	window := horizon
+	if s.lastDepart > window {
+		window = s.lastDepart
+	}
+	capacity := float64(s.cfg.PortRate) * float64(s.cfg.PFI.N) * window.Seconds()
+	steadyCap := float64(s.cfg.PortRate) * float64(s.cfg.PFI.N) * (s.horizon - s.warmup).Seconds()
+	r := &Report{
+		Horizon:          horizon,
+		OfferedPackets:   s.offered.Packets,
+		OfferedBytes:     s.offered.Bytes,
+		DeliveredPackets: s.delivered.Packets,
+		DeliveredBytes:   s.delivered.Bytes,
+		DroppedPackets:   s.dropped.Packets,
+		DroppedBytes:     s.dropped.Bytes,
+		LatencyMean:      s.latency.MeanTime(),
+		LatencyP50:       s.latency.PercentileTime(0.50),
+		LatencyP99:       s.latency.PercentileTime(0.99),
+		LatencyMax:       s.latency.MaxTime(),
+		StageBatchMean:   s.stageBatch.MeanTime(),
+		StageXbarMean:    s.stageXbar.MeanTime(),
+		StageFrameMean:   s.stageFrame.MeanTime(),
+		StageHBMMean:     s.stageHBM.MeanTime(),
+		StageOutMean:     s.stageOut.MeanTime(),
+		FramesWritten:    s.framesWritten,
+		FramesRead:       s.framesRead,
+		FramesBypassed:   s.framesBypassed,
+		FramesPadded:     s.framesPadded,
+		PadBytes:         s.padBytes,
+		Refreshes:        s.refreshes,
+		TailHighWater:    s.tailMod.HighWater(),
+		HeadHighWater:    s.headMod.HighWater(),
+		MaxRegionFill:    s.maxRegionFill,
+		ShadowRun:        s.shadow != nil,
+		Errors:           s.errs,
+	}
+	if capacity > 0 {
+		r.TotalThroughput = float64(s.delivered.Bits()) / capacity
+		r.TotalOffered = float64(s.offered.Bits()) / capacity
+	}
+	if steadyCap > 0 {
+		r.Throughput = float64(s.deliveredSteady.Bits()) / steadyCap
+		r.OfferedLoad = float64(s.offeredSteady.Bits()) / steadyCap
+		if s.shadow != nil {
+			r.ShadowThroughput = float64(s.shadowSteady.Bits()) / steadyCap
+		}
+	}
+	if s.shadow != nil {
+		r.RelDelayMean = s.relDelay.MeanTime()
+		r.RelDelayP99 = s.relDelay.PercentileTime(0.99)
+		r.RelDelayMax = s.relDelay.MaxTime()
+	}
+	if s.lastDepart > 0 {
+		r.HBMUtilization = s.mem.Utilization(0, s.hbmCursor)
+	}
+	r.OEOEnergyJoules = s.oeo.EnergyJoules()
+	r.OEOPowerWatts = s.oeo.AveragePower(horizon)
+	if s.subBytes != nil {
+		// Busiest output's subchannel spread.
+		busiest, best := -1, int64(-1)
+		for out, subs := range s.subBytes {
+			var total int64
+			for _, b := range subs {
+				total += b
+			}
+			if total > best {
+				best, busiest = total, out
+			}
+		}
+		if busiest >= 0 && best > 0 {
+			loads := make([]float64, len(s.subBytes[busiest]))
+			for i, b := range s.subBytes[busiest] {
+				loads[i] = float64(b)
+			}
+			r.EgressImbalance = stats.MaxOverMean(loads)
+		}
+	}
+	for _, hw := range s.inHighWater {
+		if hw > r.InputFIFOPeak {
+			r.InputFIFOPeak = hw
+		}
+	}
+	r.PerOutputBytes = make([]int64, len(s.perOutDelivered))
+	for i := range s.perOutDelivered {
+		r.PerOutputBytes[i] = s.perOutDelivered[i].Bytes
+	}
+	if s.offered.Bytes > 0 {
+		r.LossFraction = float64(s.dropped.Bytes) / float64(s.offered.Bytes)
+	}
+	// Closing invariants: conservation and reassembly.
+	if s.offered.Packets != s.delivered.Packets+s.dropped.Packets {
+		r.Errors = append(r.Errors, fmt.Errorf(
+			"conservation: offered %d packets, delivered %d + dropped %d",
+			s.offered.Packets, s.delivered.Packets, s.dropped.Packets))
+	}
+	if s.offered.Bytes != s.delivered.Bytes+s.dropped.Bytes {
+		r.Errors = append(r.Errors, fmt.Errorf(
+			"conservation: offered %d bytes, delivered %d + dropped %d",
+			s.offered.Bytes, s.delivered.Bytes, s.dropped.Bytes))
+	}
+	for out, u := range s.unbatchers {
+		if u.Pending() != 0 {
+			r.Errors = append(r.Errors, fmt.Errorf(
+				"output %d: %d packets still partially reassembled", out, u.Pending()))
+		}
+	}
+	return r
+}
+
+// LatencyHistogram exposes the raw latency histogram (for sweeps).
+func (s *Switch) LatencyHistogram() *stats.Histogram { return s.latency }
+
+// String renders a compact human-readable summary.
+func (r *Report) String() string {
+	out := fmt.Sprintf(
+		"offered %.4f, delivered %.4f of capacity; %d pkts; latency mean %v p99 %v; frames W/R/bypass/pad %d/%d/%d/%d; HBM util %.3f",
+		r.OfferedLoad, r.Throughput, r.DeliveredPackets,
+		r.LatencyMean, r.LatencyP99,
+		r.FramesWritten, r.FramesRead, r.FramesBypassed, r.FramesPadded,
+		r.HBMUtilization)
+	if r.DroppedPackets > 0 {
+		out += fmt.Sprintf("; dropped %d pkts (%.2f%%)", r.DroppedPackets, 100*r.LossFraction)
+	}
+	if r.ShadowRun {
+		out += fmt.Sprintf("; rel-delay mean %v p99 %v max %v", r.RelDelayMean, r.RelDelayP99, r.RelDelayMax)
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package hbmswitch
+
+import (
+	"testing"
+
+	"pbrouter/internal/core"
+	"pbrouter/internal/sim"
+	"pbrouter/internal/traffic"
+)
+
+func TestStageBreakdownMeasured(t *testing.T) {
+	cfg := Reference()
+	cfg.Speedup = 1.1
+	cfg.Policy = core.Policy{} // pure HBM path: every stage exercised
+	sw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := traffic.UniformSources(traffic.Uniform(16, 0.9), cfg.PortRate,
+		traffic.Poisson, traffic.Fixed(1500), sim.NewRNG(2))
+	rep, err := sw.Run(traffic.NewMux(srcs), 20*sim.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Errors) > 0 {
+		t.Fatalf("errors: %v", rep.Errors)
+	}
+	for name, v := range map[string]sim.Time{
+		"batch": rep.StageBatchMean,
+		"xbar":  rep.StageXbarMean,
+		"frame": rep.StageFrameMean,
+		"hbm":   rep.StageHBMMean,
+		"out":   rep.StageOutMean,
+	} {
+		if v <= 0 {
+			t.Errorf("stage %s not measured", name)
+		}
+	}
+	// Crossbar transit is exactly one batch time plus FIFO wait; it
+	// must be at least the 12.8 ns batch time.
+	if rep.StageXbarMean < cfg.BatchTime() {
+		t.Errorf("xbar stage %v below one batch time %v", rep.StageXbarMean, cfg.BatchTime())
+	}
+	// At load 0.9 with 128-batch frames, frame assembly dominated by
+	// fill time (~1.8 us/N inputs contributing...): it must be the
+	// largest ingress-side stage.
+	if rep.StageFrameMean < rep.StageBatchMean {
+		t.Errorf("frame stage %v smaller than batch stage %v", rep.StageFrameMean, rep.StageBatchMean)
+	}
+	// Sanity: the sum of stage means lands in the ballpark of the
+	// end-to-end mean (within 2x either way; granularities differ).
+	sum := rep.StageBatchMean + rep.StageXbarMean + rep.StageFrameMean +
+		rep.StageHBMMean + rep.StageOutMean
+	if sum < rep.LatencyMean/2 || sum > rep.LatencyMean*2 {
+		t.Errorf("stage sum %v vs end-to-end mean %v", sum, rep.LatencyMean)
+	}
+}
+
+func TestBypassShrinksHBMStage(t *testing.T) {
+	// With bypass enabled at moderate load, the HBM-residence stage
+	// collapses (frames skip the memory), while the other stages stay.
+	runPol := func(pol core.Policy) *Report {
+		cfg := Reference()
+		cfg.Speedup = 1.1
+		cfg.Policy = pol
+		cfg.PadTimeout = 200 * sim.Nanosecond
+		sw, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs := traffic.UniformSources(traffic.Uniform(16, 0.5), cfg.PortRate,
+			traffic.Poisson, traffic.Fixed(1500), sim.NewRNG(3))
+		rep, err := sw.Run(traffic.NewMux(srcs), 20*sim.Microsecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	noBypass := runPol(core.Policy{})
+	bypass := runPol(core.Policy{PadFrames: true, BypassHBM: true})
+	if bypass.StageHBMMean >= noBypass.StageHBMMean {
+		t.Fatalf("bypass did not shrink HBM stage: %v vs %v",
+			bypass.StageHBMMean, noBypass.StageHBMMean)
+	}
+}

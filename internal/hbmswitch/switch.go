@@ -1,0 +1,900 @@
+package hbmswitch
+
+import (
+	"fmt"
+
+	"pbrouter/internal/baseline"
+	"pbrouter/internal/core"
+	"pbrouter/internal/hbm"
+	"pbrouter/internal/optics"
+	"pbrouter/internal/packet"
+	"pbrouter/internal/sim"
+	"pbrouter/internal/sram"
+	"pbrouter/internal/stats"
+	"pbrouter/internal/traffic"
+)
+
+// frameToken links a completed frame into the shared write FIFO. A
+// bypassed frame's token goes stale and is skipped by the writer.
+type frameToken struct {
+	frame *packet.Frame
+	stale bool
+}
+
+// Switch is one HBM switch instance. Create with New, drive with Run.
+type Switch struct {
+	cfg   Config
+	sched *sim.Scheduler
+
+	mem    *hbm.Memory
+	engine *hbm.FrameEngine
+	amap   *core.AddressMap
+
+	// Input side (➀).
+	batchers    [][]*packet.Batcher // [input][output]
+	inFIFO      [][]*packet.Batch
+	inBusy      []bool
+	inHighWater []int
+	lastArrival []sim.Time
+	batchID     uint64
+	batchTime   sim.Time
+
+	// Tail SRAM (➁).
+	assemblers   []*packet.FrameAssembler
+	tailFrames   [][]*frameToken // per-output completed frames (FIFO)
+	writeFIFO    []*frameToken   // global completion order
+	tailMod      *sram.Module
+	formingSince []sim.Time // per-output: when the forming frame started
+
+	// HBM (➂➃).
+	regions      []*core.Region        // static mode
+	pageAlloc    *core.PageAllocator   // dynamic mode
+	dynRegions   []*core.DynamicRegion // dynamic mode
+	rowsPerPage  int64                 // dynamic mode row addressing
+	dropSlack    int64
+	regionFrames [][]*packet.Frame // frames resident in HBM, FIFO per output
+	readSched    *core.ReadScheduler
+	hbmBusy      bool
+	hbmCursor    sim.Time
+	phaseWrite   bool
+	draining     bool
+
+	// Head SRAM and output ports (➄➅).
+	headMod    *sram.Module
+	frameDrain sim.Time // time one frame takes to drain an egress port
+	outBusy    []sim.Time
+	subBusy    [][]sim.Time
+	subBytes   [][]int64
+	unbatchers []*packet.Unbatcher
+
+	// OEO conversion energy accounting (O/E at ingress, E/O at
+	// egress, §4's 1.15 pJ/bit).
+	oeo *optics.OEOMeter
+
+	// Shadow ideal OQ switch.
+	shadow   *baseline.OQSwitch
+	oqDepart map[uint64]sim.Time
+
+	// Per-stage latency breakdown histograms (picoseconds).
+	stageBatch *stats.Histogram // packet arrival -> batch complete
+	stageXbar  *stats.Histogram // batch complete -> tail SRAM
+	stageFrame *stats.Histogram // tail SRAM -> frame ready
+	stageHBM   *stats.Histogram // frame ready -> head SRAM
+	stageOut   *stats.Histogram // head SRAM -> packet departure
+
+	// Measurements.
+	warmup          sim.Time
+	horizon         sim.Time
+	offeredSteady   stats.Counter
+	deliveredSteady stats.Counter
+	shadowSteady    stats.Counter
+	offered         stats.Counter
+	delivered       stats.Counter
+	dropped         stats.Counter
+	perOutDelivered []stats.Counter
+	latency         *stats.Histogram
+	relDelay        *stats.Histogram
+	framesWritten   int64
+	framesRead      int64
+	framesBypassed  int64
+	framesPadded    int64
+	padBytes        int64
+	maxRegionFill   int64
+	refreshes       int64
+	refreshGroup    int
+	lastDepart      sim.Time
+	nextSeq         map[uint64]int64
+	droppedSeqs     map[uint64]map[int64]bool
+	errs            []error
+}
+
+// New builds a switch from a validated configuration.
+func New(cfg Config) (*Switch, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mem, err := hbm.NewMemory(cfg.EffectiveGeometry(), cfg.Timing)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := hbm.NewFrameEngine(mem, cfg.PFI.Gamma, cfg.PFI.SegBytes)
+	if err != nil {
+		return nil, err
+	}
+	engine.SetMirror(!cfg.FullChannels)
+	amap, err := core.NewAddressMap(cfg.PFI, mem.RowsPerBank())
+	if err != nil {
+		return nil, err
+	}
+
+	n := cfg.PFI.N
+	s := &Switch{
+		cfg:         cfg,
+		sched:       &sim.Scheduler{},
+		mem:         mem,
+		engine:      engine,
+		amap:        amap,
+		batchTime:   cfg.BatchTime(),
+		frameDrain:  sim.TransferTime(int64(cfg.PFI.FrameBytes())*8, cfg.PortRate),
+		readSched:   core.NewReadScheduler(n),
+		phaseWrite:  true,
+		oqDepart:    make(map[uint64]sim.Time),
+		latency:     stats.NewLatencyHistogram(),
+		relDelay:    stats.NewLatencyHistogram(),
+		stageBatch:  stats.NewLatencyHistogram(),
+		stageXbar:   stats.NewLatencyHistogram(),
+		stageFrame:  stats.NewLatencyHistogram(),
+		stageHBM:    stats.NewLatencyHistogram(),
+		stageOut:    stats.NewLatencyHistogram(),
+		nextSeq:     make(map[uint64]int64),
+		droppedSeqs: make(map[uint64]map[int64]bool),
+	}
+	ifaceIn := sram.Interface{WidthBits: sram.WidthForRate(2*cfg.PortRate, 2.5*sim.Gbps), Clock: 2.5 * sim.Gbps}
+	s.tailMod = sram.NewModule("tail", ifaceIn, 0)
+	s.headMod = sram.NewModule("head", ifaceIn, 0)
+	s.oeo = optics.ReferenceOEO()
+
+	s.batchers = make([][]*packet.Batcher, n)
+	s.inFIFO = make([][]*packet.Batch, n)
+	s.inBusy = make([]bool, n)
+	s.inHighWater = make([]int, n)
+	s.lastArrival = make([]sim.Time, n)
+	s.assemblers = make([]*packet.FrameAssembler, n)
+	s.tailFrames = make([][]*frameToken, n)
+	s.formingSince = make([]sim.Time, n)
+	s.regions = make([]*core.Region, n)
+	s.regionFrames = make([][]*packet.Frame, n)
+	s.outBusy = make([]sim.Time, n)
+	s.unbatchers = make([]*packet.Unbatcher, n)
+	s.perOutDelivered = make([]stats.Counter, n)
+	nextBatchID := func() uint64 { s.batchID++; return s.batchID }
+	for i := 0; i < n; i++ {
+		s.batchers[i] = make([]*packet.Batcher, n)
+		for j := 0; j < n; j++ {
+			s.batchers[i][j] = packet.NewBatcher(i, j, cfg.PFI.BatchBytes, nextBatchID)
+		}
+		s.assemblers[i] = packet.NewFrameAssembler(i, cfg.PFI.BatchesPerFrame(), cfg.PFI.BatchBytes)
+		s.regions[i] = core.NewRegion(amap.CapacityFrames())
+		s.unbatchers[i] = packet.NewUnbatcher()
+	}
+	s.dropSlack = cfg.DropSlackFrames
+	if s.dropSlack == 0 {
+		s.dropSlack = int64(2 * n)
+	}
+	if cfg.DynamicPages > 0 {
+		totalFrames := amap.CapacityFrames() * int64(n)
+		alloc, err := core.NewPageAllocator(totalFrames, cfg.DynamicPages)
+		if err != nil {
+			return nil, err
+		}
+		s.pageAlloc = alloc
+		if cfg.SharingAlpha > 0 {
+			alloc.SetPolicy(core.DynamicThreshold{Alpha: cfg.SharingAlpha})
+		}
+		s.dynRegions = make([]*core.DynamicRegion, n)
+		for i := 0; i < n; i++ {
+			s.dynRegions[i] = core.NewDynamicRegion(alloc, i)
+		}
+		s.rowsPerPage = cfg.DynamicPages / int64(cfg.PFI.Groups()*cfg.PFI.SegmentsPerRow())
+	}
+	if cfg.HashedEgress {
+		s.subBusy = make([][]sim.Time, n)
+		s.subBytes = make([][]int64, n)
+		for i := range s.subBusy {
+			s.subBusy[i] = make([]sim.Time, cfg.Subchannels)
+			s.subBytes[i] = make([]int64, cfg.Subchannels)
+		}
+	}
+	if cfg.Shadow {
+		s.shadow = baseline.NewOQSwitch(n, cfg.PortRate)
+	}
+	return s, nil
+}
+
+// fail records a model invariant violation.
+func (s *Switch) fail(format string, args ...interface{}) {
+	if len(s.errs) < 32 {
+		s.errs = append(s.errs, fmt.Errorf(format, args...))
+	}
+}
+
+// ---- Input side -----------------------------------------------------
+
+// inject processes one packet arrival (last byte on the wire at now).
+func (s *Switch) inject(p *packet.Packet) {
+	now := s.sched.Now()
+	s.offered.Add(p.Size)
+	if now > s.warmup && now <= s.horizon {
+		s.offeredSteady.Add(p.Size)
+	}
+	// Ingress tail-drop: when the output's buffering (HBM region plus
+	// in-flight slack) is exhausted, the packet is dropped at the
+	// input, as a shared-buffer switch would.
+	if !s.outputHasRoom(p.Output) {
+		s.dropped.Add(p.Size)
+		pair := uint64(p.Input)<<32 | uint64(uint32(p.Output))
+		ds := s.droppedSeqs[pair]
+		if ds == nil {
+			ds = make(map[int64]bool)
+			s.droppedSeqs[pair] = ds
+		}
+		ds[p.Seq] = true
+		return
+	}
+	s.oeo.Convert(int64(p.Size) * 8) // O/E at the ingress waveguide
+	if s.shadow != nil {
+		oq := s.shadow.Arrive(p)
+		s.oqDepart[p.ID] = oq
+		if oq > s.warmup && oq <= s.horizon {
+			s.shadowSteady.Add(p.Size)
+		}
+	}
+	s.lastArrival[p.Input] = now
+	for _, b := range s.batchers[p.Input][p.Output].Add(p) {
+		s.enqueueBatch(p.Input, b)
+	}
+	if s.cfg.FlushTimeout > 0 {
+		deadline := now + s.cfg.FlushTimeout
+		s.sched.At(deadline, func() { s.flushCheck(p.Input, deadline) })
+	}
+}
+
+// flushCheck flushes input i's partial batches if no packet has
+// arrived since the timer was set.
+func (s *Switch) flushCheck(input int, deadline sim.Time) {
+	if s.lastArrival[input]+s.cfg.FlushTimeout != deadline {
+		return // superseded by a newer arrival
+	}
+	s.flushInput(input)
+}
+
+// flushInput pads out all partial batches of one input port.
+func (s *Switch) flushInput(input int) {
+	for j := 0; j < s.cfg.PFI.N; j++ {
+		if b := s.batchers[input][j].Flush(); b != nil {
+			s.enqueueBatch(input, b)
+		}
+	}
+}
+
+// enqueueBatch places a completed batch in the input port's FIFO and
+// starts the port server if idle.
+func (s *Switch) enqueueBatch(input int, b *packet.Batch) {
+	b.Completed = s.sched.Now()
+	for _, fr := range b.Frags {
+		if fr.Off+fr.Len == fr.Pkt.Size {
+			s.stageBatch.AddTime(b.Completed - fr.Pkt.Arrival)
+		}
+	}
+	s.inFIFO[input] = append(s.inFIFO[input], b)
+	if l := len(s.inFIFO[input]); l > s.inHighWater[input] {
+		s.inHighWater[input] = l
+	}
+	if !s.inBusy[input] {
+		s.startInputService(input)
+	}
+}
+
+// startInputService begins slicing the head-of-line batch across the
+// cyclical crossbar; the batch lands in the tail SRAM one batch time
+// later (N slice slots).
+func (s *Switch) startInputService(input int) {
+	s.inBusy[input] = true
+	b := s.inFIFO[input][0]
+	s.inFIFO[input] = s.inFIFO[input][1:]
+	s.sched.After(s.batchTime, func() {
+		s.deliverBatch(b)
+		if len(s.inFIFO[input]) > 0 {
+			s.startInputService(input)
+		} else {
+			s.inBusy[input] = false
+		}
+	})
+}
+
+// deliverBatch lands a batch in the tail SRAM and advances frame
+// assembly.
+func (s *Switch) deliverBatch(b *packet.Batch) {
+	now := s.sched.Now()
+	b.AtTail = now
+	s.stageXbar.AddTime(now - b.Completed)
+	if err := s.tailMod.Write(b.Output, int64(b.Size), now); err != nil {
+		s.fail("tail write: %v", err)
+	}
+	asm := s.assemblers[b.Output]
+	if asm.PendingBatches() == 0 {
+		s.formingSince[b.Output] = now
+	}
+	if f := asm.Add(b); f != nil {
+		if asm.PendingBatches() > 0 {
+			s.formingSince[b.Output] = now
+		}
+		s.frameReady(f)
+	} else if s.cfg.Policy.PadFrames {
+		// A partial frame now exists; a padding read turn may want it
+		// once it matures past the pad timeout.
+		if s.cfg.PadTimeout > 0 {
+			s.sched.After(s.cfg.PadTimeout, s.kickHBM)
+		} else {
+			s.kickHBM()
+		}
+	}
+}
+
+// padAllowed reports whether the forming frame of an output is old
+// enough (and the egress line idle enough) to justify padding.
+func (s *Switch) padAllowed(out int, now sim.Time) bool {
+	if s.draining {
+		return true
+	}
+	if s.outBusy[out] > now {
+		return false
+	}
+	return now-s.formingSince[out] >= s.cfg.PadTimeout
+}
+
+// frameReady queues a completed frame for HBM writing.
+func (s *Switch) frameReady(f *packet.Frame) {
+	f.Ready = s.sched.Now()
+	for _, b := range f.Batches {
+		s.stageFrame.AddTime(f.Ready - b.AtTail)
+	}
+	tok := &frameToken{frame: f}
+	s.tailFrames[f.Output] = append(s.tailFrames[f.Output], tok)
+	s.writeFIFO = append(s.writeFIFO, tok)
+	s.kickHBM()
+}
+
+// ---- Region abstraction (static 1/N vs dynamic pages) ----------------
+
+// regionLen returns the frames resident in the HBM for an output.
+func (s *Switch) regionLen(out int) int64 {
+	if s.pageAlloc != nil {
+		return s.dynRegions[out].Len()
+	}
+	return s.regions[out].Len()
+}
+
+// regionPush claims the next write slot and returns the bank group and
+// row for the frame.
+func (s *Switch) regionPush(out int) (group, row int, ok bool) {
+	if s.pageAlloc != nil {
+		n, ok := s.dynRegions[out].Push()
+		if !ok {
+			return 0, 0, false
+		}
+		g, r, err := s.dynLocate(out, n)
+		if err != nil {
+			s.fail("dynamic locate (push): %v", err)
+			return 0, 0, false
+		}
+		return g, r, true
+	}
+	n, ok := s.regions[out].Push()
+	if !ok {
+		return 0, 0, false
+	}
+	addr := s.amap.Locate(out, n)
+	return addr.Group, addr.Row, true
+}
+
+// regionPop claims the next read slot and returns its bank group and
+// row.
+func (s *Switch) regionPop(out int) (group, row int, ok bool) {
+	if s.pageAlloc != nil {
+		n, ok := s.dynRegions[out].Peek()
+		if !ok {
+			return 0, 0, false
+		}
+		g, r, err := s.dynLocate(out, n)
+		if err != nil {
+			s.fail("dynamic locate (pop): %v", err)
+			return 0, 0, false
+		}
+		s.dynRegions[out].Pop()
+		return g, r, true
+	}
+	n, ok := s.regions[out].Pop()
+	if !ok {
+		return 0, 0, false
+	}
+	addr := s.amap.Locate(out, n)
+	return addr.Group, addr.Row, true
+}
+
+// dynLocate maps a live frame sequence to (group, row) in dynamic
+// mode: the bank group stays n mod (L/γ); the row comes from the
+// frame's (page, slot) position, with page slots aligned to the group
+// rotation (page sizes are multiples of groups x segments-per-row).
+func (s *Switch) dynLocate(out int, n int64) (group, row int, err error) {
+	page, slot, err := s.dynRegions[out].Locate(n)
+	if err != nil {
+		return 0, 0, err
+	}
+	groups := int64(s.cfg.PFI.Groups())
+	segsPerRow := int64(s.cfg.PFI.SegmentsPerRow())
+	withinGroup := slot / groups
+	row = int(page*s.rowsPerPage + withinGroup/segsPerRow)
+	return int(n % groups), row, nil
+}
+
+// outputHasRoom reports whether an arriving packet for the output can
+// still be buffered, keeping dropSlack frames of headroom for data in
+// flight through the SRAM stages.
+func (s *Switch) outputHasRoom(out int) bool {
+	pending := int64(len(s.tailFrames[out])) +
+		int64(s.assemblers[out].PendingBatches()/s.cfg.PFI.BatchesPerFrame()) + 1
+	if s.pageAlloc != nil {
+		// Slots already claimed cover the in-flight data without a new
+		// page; beyond that the pool and the sharing policy must both
+		// be willing.
+		if s.dynRegions[out].Headroom() > pending+s.dropSlack {
+			return true
+		}
+		if !s.pageAlloc.MayGrow(out) {
+			return false
+		}
+		free := s.pageAlloc.FreePages() * s.pageAlloc.FramesPerPage()
+		return free+s.dynRegions[out].Headroom() > pending+s.dropSlack
+	}
+	r := s.regions[out]
+	return r.Capacity()-r.Len() > pending+s.dropSlack
+}
+
+// ---- HBM service loop ------------------------------------------------
+
+// kickHBM wakes the memory service loop if it is sleeping.
+func (s *Switch) kickHBM() {
+	if s.hbmBusy {
+		return
+	}
+	s.hbmBusy = true
+	at := s.sched.Now()
+	if s.hbmCursor > at {
+		at = s.hbmCursor
+	}
+	s.sched.At(at, s.hbmStep)
+}
+
+// hbmStep performs one frame operation (write or read/bypass),
+// alternating phases for write/read fairness, then reschedules itself
+// while work remains.
+func (s *Switch) hbmStep() {
+	var did bool
+	var retryAt sim.Time
+	if s.phaseWrite {
+		did = s.tryWrite()
+		if !did {
+			did, retryAt = s.tryRead()
+		}
+	} else {
+		did, retryAt = s.tryRead()
+		if !did {
+			did = s.tryWrite()
+		}
+	}
+	s.phaseWrite = !s.phaseWrite
+	if did {
+		at := s.sched.Now()
+		if s.hbmCursor > at {
+			at = s.hbmCursor
+		}
+		s.sched.At(at, s.hbmStep)
+		return
+	}
+	if retryAt > s.sched.Now() {
+		// Every actionable output was blocked only by head-SRAM
+		// backpressure; retry when the earliest egress drains.
+		s.sched.At(retryAt, s.hbmStep)
+		return
+	}
+	s.hbmBusy = false
+}
+
+// tryWrite writes the oldest pending frame into the HBM. Returns
+// whether it did any work. A frame whose output cannot claim memory
+// right now (dynamic mode with a sharing policy) stays queued; reads
+// keep draining and freeing pages, so it retries on a later step.
+func (s *Switch) tryWrite() bool {
+	tok := s.popWriteFIFO()
+	if tok == nil {
+		return false
+	}
+	f := tok.frame
+	if !s.writeFrame(f) {
+		// Re-queue at the front; order within the FIFO is preserved.
+		s.writeFIFO = append([]*frameToken{tok}, s.writeFIFO...)
+		return false
+	}
+	// Remove from the per-output queue (it is necessarily the front).
+	q := s.tailFrames[f.Output]
+	if len(q) == 0 || q[0] != tok {
+		s.fail("write FIFO and per-output queue out of sync for output %d", f.Output)
+	} else {
+		s.tailFrames[f.Output] = q[1:]
+	}
+	return true
+}
+
+func (s *Switch) popWriteFIFO() *frameToken {
+	for len(s.writeFIFO) > 0 {
+		tok := s.writeFIFO[0]
+		s.writeFIFO = s.writeFIFO[1:]
+		if !tok.stale {
+			return tok
+		}
+	}
+	return nil
+}
+
+// writeFrame performs the PFI frame write for f, reporting whether
+// the region had space (false means retry later).
+func (s *Switch) writeFrame(f *packet.Frame) bool {
+	now := s.sched.Now()
+	out := f.Output
+	group, row, ok := s.regionPush(out)
+	if !ok {
+		if s.pageAlloc == nil {
+			// Static regions cannot free up from another output's
+			// reads, so the ingress tail-drop threshold should have
+			// prevented this; the slack was too small.
+			s.fail("HBM region for output %d full despite ingress drop threshold", out)
+		}
+		return false
+	}
+	start, end, err := s.engine.WriteFrame(group, row, now)
+	if err != nil {
+		s.fail("frame write: %v", err)
+		return false
+	}
+	s.hbmCursor = end
+	s.framesWritten++
+	if l := s.regionLen(out); l > s.maxRegionFill {
+		s.maxRegionFill = l
+	}
+	if err := s.tailMod.Read(out, int64(len(f.Batches)*s.cfg.PFI.BatchBytes), start); err != nil {
+		s.fail("tail read: %v", err)
+	}
+	s.regionFrames[out] = append(s.regionFrames[out], f)
+	return true
+}
+
+// tryRead serves one cyclical read visit: it scans outputs in cyclical
+// order and performs the first actionable read, bypass, or pad-write.
+// It returns whether it did work, and — when everything actionable was
+// blocked only by head-SRAM backpressure — the earliest time a retry
+// can succeed.
+func (s *Switch) tryRead() (bool, sim.Time) {
+	now := s.sched.Now()
+	var retryAt sim.Time
+	for i := 0; i < s.cfg.PFI.N; i++ {
+		out := s.readSched.Next()
+		pol := s.cfg.Policy
+		if s.draining {
+			pol = core.Policy{PadFrames: true, BypassHBM: true}
+		}
+		action := pol.Decide(
+			s.regionLen(out),
+			len(s.tailFrames[out]) > 0,
+			s.assemblers[out].PendingBatches() > 0,
+		)
+		if action == core.Idle {
+			continue
+		}
+		// Head-SRAM backpressure: an output already holding about two
+		// undrained frames (double-buffered head slices) is skipped
+		// this visit, so overload backlog accumulates in the HBM (its
+		// purpose, §4) rather than in the bounded head SRAM, while one
+		// frame of slack absorbs cyclical-visit jitter.
+		if s.outBusy[out] > now+2*s.frameDrain {
+			eligible := s.outBusy[out] - 2*s.frameDrain
+			if retryAt == 0 || eligible < retryAt {
+				retryAt = eligible
+			}
+			continue
+		}
+		switch action {
+		case core.ReadHBM:
+			s.readFrame(out)
+			return true, 0
+		case core.Bypass:
+			if s.bypassFrame(out, now) {
+				return true, 0
+			}
+		case core.PadWrite:
+			if s.padThroughHBM(out, now) {
+				return true, 0
+			}
+		}
+	}
+	return false, retryAt
+}
+
+// readFrame reads output out's oldest HBM frame and hands it to the
+// head SRAM.
+func (s *Switch) readFrame(out int) {
+	now := s.sched.Now()
+	group, row, ok := s.regionPop(out)
+	if !ok {
+		s.fail("read from empty region %d", out)
+		return
+	}
+	_, end, err := s.engine.ReadFrame(group, row, now)
+	if err != nil {
+		s.fail("frame read: %v", err)
+		return
+	}
+	s.hbmCursor = end
+	s.framesRead++
+	if len(s.regionFrames[out]) == 0 {
+		s.fail("region frame queue empty for output %d", out)
+		return
+	}
+	f := s.regionFrames[out][0]
+	s.regionFrames[out] = s.regionFrames[out][1:]
+	s.deliverFrame(f, end)
+}
+
+// bypassFrame sends the oldest tail frame (padding a partial one if
+// needed) directly to the head SRAM, skipping the HBM. The transfer
+// still occupies the memory-side datapath for one frame time.
+func (s *Switch) bypassFrame(out int, now sim.Time) bool {
+	var f *packet.Frame
+	if q := s.tailFrames[out]; len(q) > 0 {
+		tok := q[0]
+		s.tailFrames[out] = q[1:]
+		tok.stale = true
+		f = tok.frame
+	} else {
+		// Pad the forming frame — only once it has matured and the
+		// egress line is about to idle; otherwise let it keep filling.
+		if !s.padAllowed(out, now) {
+			return false
+		}
+		f = s.assemblers[out].Pad()
+		if f == nil {
+			return false
+		}
+		f.Ready = now
+		for _, b := range f.Batches {
+			s.stageFrame.AddTime(now - b.AtTail)
+		}
+		if !s.draining {
+			s.framesPadded++
+			s.padBytes += int64(f.PadBytes())
+		}
+	}
+	end := now + s.engine.FrameTime()
+	s.hbmCursor = end
+	if !s.draining {
+		s.framesBypassed++
+	}
+	if err := s.tailMod.Read(out, int64(len(f.Batches)*s.cfg.PFI.BatchBytes), now); err != nil {
+		s.fail("tail read (bypass): %v", err)
+	}
+	s.deliverFrame(f, end)
+	return true
+}
+
+// padThroughHBM pads the forming frame and queues it on the normal
+// write path (padding without bypass).
+func (s *Switch) padThroughHBM(out int, now sim.Time) bool {
+	if !s.padAllowed(out, now) {
+		return false
+	}
+	f := s.assemblers[out].Pad()
+	if f == nil {
+		return false
+	}
+	if !s.draining {
+		s.framesPadded++
+		s.padBytes += int64(f.PadBytes())
+	}
+	s.frameReady(f)
+	return true
+}
+
+// ---- Head SRAM and output ports ---------------------------------------
+
+// deliverFrame lands a frame in the head SRAM at time at and drains
+// its batches out of the egress port, recording packet departures.
+func (s *Switch) deliverFrame(f *packet.Frame, at sim.Time) {
+	out := f.Output
+	s.stageHBM.AddTime(at - f.Ready)
+	dataBytes := int64(len(f.Batches) * s.cfg.PFI.BatchBytes)
+	if err := s.headMod.Write(out, dataBytes, at); err != nil {
+		s.fail("head write: %v", err)
+	}
+	cursor := s.outBusy[out]
+	if at > cursor {
+		cursor = at
+	}
+	for _, b := range f.Batches {
+		if done, err := s.unbatchers[out].Add(b); err != nil {
+			s.fail("unbatch: %v", err)
+		} else {
+			_ = done
+		}
+		real := int64(b.DataBytes())
+		var cum int64
+		batchStart := cursor
+		for _, fr := range b.Frags {
+			cum += int64(fr.Len)
+			if fr.Off+fr.Len == fr.Pkt.Size { // packet's last byte
+				s.departPacket(fr.Pkt, batchStart, cum, out)
+				s.stageOut.AddTime(fr.Pkt.Depart - at)
+			}
+		}
+		cursor = batchStart + sim.TransferTime(real*8, s.cfg.PortRate)
+		if err := s.headMod.Read(out, int64(b.Size), cursor); err != nil {
+			s.fail("head read: %v", err)
+		}
+	}
+	s.outBusy[out] = cursor
+}
+
+// departPacket finalizes one packet's departure.
+func (s *Switch) departPacket(p *packet.Packet, batchStart sim.Time, cumBytes int64, out int) {
+	var depart sim.Time
+	if s.cfg.HashedEgress {
+		m := p.Flow.Member(s.cfg.HashSeed, s.cfg.Subchannels)
+		subRate := s.cfg.PortRate / sim.Rate(s.cfg.Subchannels)
+		start := s.subBusy[out][m]
+		if batchStart > start {
+			start = batchStart
+		}
+		depart = start + sim.TransferTime(int64(p.Size)*8, subRate)
+		s.subBusy[out][m] = depart
+		s.subBytes[out][m] += int64(p.Size)
+	} else {
+		depart = batchStart + sim.TransferTime(cumBytes*8, s.cfg.PortRate)
+	}
+	s.oeo.Convert(int64(p.Size) * 8) // E/O back onto the egress waveguide
+	p.Depart = depart
+	if depart > s.lastDepart {
+		s.lastDepart = depart
+	}
+	s.delivered.Add(p.Size)
+	if depart > s.warmup && depart <= s.horizon {
+		s.deliveredSteady.Add(p.Size)
+	}
+	s.perOutDelivered[out].Add(p.Size)
+	s.latency.AddTime(p.Latency())
+	if s.shadow != nil {
+		if oq, ok := s.oqDepart[p.ID]; ok {
+			delta := depart - oq
+			if delta < 0 {
+				delta = 0 // the HBM switch beat the shadow (possible at idle)
+			}
+			s.relDelay.AddTime(delta)
+			delete(s.oqDepart, p.ID)
+		} else {
+			s.fail("packet %d departed twice or never shadowed", p.ID)
+		}
+	}
+	pair := uint64(p.Input)<<32 | uint64(uint32(p.Output))
+	expected := s.nextSeq[pair]
+	for s.droppedSeqs[pair][expected] {
+		delete(s.droppedSeqs[pair], expected)
+		expected++
+	}
+	if p.Seq != expected {
+		s.fail("order violation (%d->%d): seq %d want %d", p.Input, p.Output, p.Seq, expected)
+	}
+	s.nextSeq[pair] = p.Seq + 1
+}
+
+// ---- Run loop ----------------------------------------------------------
+
+// Run feeds the arrival stream (a traffic.Mux or a replayed
+// traffic.TraceStream) until the horizon, then drains the switch to
+// empty, and returns the measurement report.
+func (s *Switch) Run(mux traffic.Stream, horizon sim.Time) (*Report, error) {
+	s.horizon = horizon
+	// The steady-state window starts after the pipeline-fill transient
+	// (frame assembly + first HBM round trip); a third of the horizon
+	// is comfortably past it for the horizons the experiments use.
+	s.warmup = horizon / 3
+	var pump func()
+	pump = func() {
+		p, at := mux.Next()
+		if p == nil || at > horizon {
+			return
+		}
+		s.sched.At(at, func() {
+			s.inject(p)
+			pump()
+		})
+	}
+	pump()
+	if s.cfg.EnableRefresh {
+		// One group refreshed per tick keeps every bank inside its
+		// tREFI budget: groups * period = tREF.
+		period := s.cfg.Timing.TREF / sim.Time(s.cfg.PFI.Groups())
+		s.sched.Ticker(period, period, func(now sim.Time) bool {
+			g := s.refreshGroup
+			s.refreshGroup = (g + 1) % s.cfg.PFI.Groups()
+			if err := s.engine.RefreshGroup(g, now); err != nil {
+				s.fail("refresh group %d: %v", g, err)
+				return false
+			}
+			s.refreshes++
+			return now < horizon
+		})
+	}
+	s.sched.Run()
+
+	// Drain: repeatedly flush residual partial batches/frames until the
+	// switch is empty. Padding and bypass are forced during drain so
+	// accounting closes even when the run's policy disables them.
+	s.draining = true
+	for pass := 0; !s.empty(); pass++ {
+		if pass > 10000 {
+			s.fail("drain did not converge")
+			break
+		}
+		for i := 0; i < s.cfg.PFI.N; i++ {
+			s.flushInput(i)
+		}
+		s.kickHBM()
+		s.sched.Run()
+	}
+	return s.report(horizon), s.firstErr()
+}
+
+// empty reports whether any stage still holds data.
+func (s *Switch) empty() bool {
+	for i := 0; i < s.cfg.PFI.N; i++ {
+		for j := 0; j < s.cfg.PFI.N; j++ {
+			if s.batchers[i][j].QueuedBytes() > 0 {
+				return false
+			}
+		}
+		if len(s.inFIFO[i]) > 0 || s.inBusy[i] {
+			return false
+		}
+		if s.assemblers[i].PendingBatches() > 0 {
+			return false
+		}
+		if len(s.tailFrames[i]) > 0 || s.regions[i].Len() > 0 {
+			return false
+		}
+	}
+	return s.allTokensDrained()
+}
+
+func (s *Switch) allTokensDrained() bool {
+	for _, tok := range s.writeFIFO {
+		if !tok.stale {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Switch) firstErr() error {
+	if len(s.errs) > 0 {
+		return s.errs[0]
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package optics
+
+import (
+	"fmt"
+	"math"
+
+	"pbrouter/internal/sim"
+)
+
+// Layout models the Fig. 2 packaging view: N fiber ribbons arranged
+// around the edges of a square photonics interposer (4 per side in
+// the reference design) and H HBM switches in a √H×√H grid in the
+// middle. It computes Manhattan waveguide lengths between each ribbon
+// attachment point and each switch, and the resulting in-package
+// propagation delays — the part of the latency budget the optics
+// contribute.
+type Layout struct {
+	N, H   int
+	EdgeMM float64 // interposer edge length
+	// GroupVelocityMMPerNs is the optical group velocity in the
+	// silicon-nitride/silicon waveguides (~half of c; ~150 mm/ns).
+	GroupVelocityMMPerNs float64
+
+	ribbons  [][2]float64 // attachment points (x, y) in mm
+	switches [][2]float64 // switch centers (x, y) in mm
+	side     int          // √H
+}
+
+// ReferenceLayout returns the §2.2/Fig. 2 arrangement: 16 ribbons (4
+// per side) on a 500 mm panel with a 4×4 switch matrix.
+func ReferenceLayout() *Layout {
+	l, err := NewLayout(16, 16, 500, 150)
+	if err != nil {
+		panic(err) // reference values are statically valid
+	}
+	return l
+}
+
+// NewLayout builds a layout. N must be divisible by 4 (ribbons per
+// side) and H must be a perfect square.
+func NewLayout(n, h int, edgeMM, vgMMPerNs float64) (*Layout, error) {
+	if n <= 0 || n%4 != 0 {
+		return nil, fmt.Errorf("optics: N=%d ribbons must be a positive multiple of 4", n)
+	}
+	side := int(math.Round(math.Sqrt(float64(h))))
+	if side*side != h || side == 0 {
+		return nil, fmt.Errorf("optics: H=%d switches must form a square grid", h)
+	}
+	if edgeMM <= 0 || vgMMPerNs <= 0 {
+		return nil, fmt.Errorf("optics: non-positive edge or velocity")
+	}
+	l := &Layout{N: n, H: h, EdgeMM: edgeMM, GroupVelocityMMPerNs: vgMMPerNs, side: side}
+
+	// Ribbons: n/4 per side, evenly spaced.
+	perSide := n / 4
+	for s := 0; s < 4; s++ {
+		for i := 0; i < perSide; i++ {
+			pos := edgeMM * (float64(i) + 0.5) / float64(perSide)
+			var pt [2]float64
+			switch s {
+			case 0: // bottom
+				pt = [2]float64{pos, 0}
+			case 1: // right
+				pt = [2]float64{edgeMM, pos}
+			case 2: // top
+				pt = [2]float64{edgeMM - pos, edgeMM}
+			default: // left
+				pt = [2]float64{0, edgeMM - pos}
+			}
+			l.ribbons = append(l.ribbons, pt)
+		}
+	}
+	// Switches: √H x √H grid centered in the panel.
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			x := edgeMM * (float64(c) + 0.5) / float64(side)
+			y := edgeMM * (float64(r) + 0.5) / float64(side)
+			l.switches = append(l.switches, [2]float64{x, y})
+		}
+	}
+	return l, nil
+}
+
+// WaveguideMM returns the Manhattan waveguide length from ribbon r to
+// switch h.
+func (l *Layout) WaveguideMM(ribbon, sw int) float64 {
+	a, b := l.ribbons[ribbon], l.switches[sw]
+	return math.Abs(a[0]-b[0]) + math.Abs(a[1]-b[1])
+}
+
+// PropagationDelay returns the one-way in-package optical delay from
+// ribbon r to switch h.
+func (l *Layout) PropagationDelay(ribbon, sw int) sim.Time {
+	ns := l.WaveguideMM(ribbon, sw) / l.GroupVelocityMMPerNs
+	return sim.Time(ns * float64(sim.Nanosecond))
+}
+
+// MaxDelay returns the worst-case one-way propagation delay across
+// all (ribbon, switch) pairs.
+func (l *Layout) MaxDelay() sim.Time {
+	var max sim.Time
+	for r := range l.ribbons {
+		for s := range l.switches {
+			if d := l.PropagationDelay(r, s); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// TotalWaveguideMM returns the summed waveguide length of a full
+// splitter assignment (every ribbon connects α fibers to every
+// switch), a proxy for interposer routing congestion.
+func (l *Layout) TotalWaveguideMM(alpha int) float64 {
+	var total float64
+	for r := range l.ribbons {
+		for s := range l.switches {
+			total += float64(alpha) * l.WaveguideMM(r, s)
+		}
+	}
+	return total
+}

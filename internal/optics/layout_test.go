@@ -1,0 +1,71 @@
+package optics
+
+import (
+	"math"
+	"testing"
+
+	"pbrouter/internal/sim"
+)
+
+func TestReferenceLayoutGeometry(t *testing.T) {
+	l := ReferenceLayout()
+	if l.N != 16 || l.H != 16 {
+		t.Fatalf("dims %d/%d", l.N, l.H)
+	}
+	// All waveguides fit on the panel: max Manhattan distance on a
+	// 500 mm square is 1000 mm.
+	for r := 0; r < 16; r++ {
+		for s := 0; s < 16; s++ {
+			d := l.WaveguideMM(r, s)
+			if d <= 0 || d > 1000 {
+				t.Fatalf("waveguide (%d,%d) = %.1f mm", r, s, d)
+			}
+		}
+	}
+}
+
+func TestPropagationDelaysAreNanoseconds(t *testing.T) {
+	// §2.2's in-package optics add only nanoseconds: the worst-case
+	// one-way waveguide on a 500 mm panel at ~150 mm/ns is ~6 ns —
+	// negligible next to the ~2.5 us switch transit.
+	l := ReferenceLayout()
+	max := l.MaxDelay()
+	if max < sim.Nanosecond || max > 10*sim.Nanosecond {
+		t.Fatalf("max propagation delay %v want single-digit ns", max)
+	}
+}
+
+func TestLayoutDelayProportionalToLength(t *testing.T) {
+	l := ReferenceLayout()
+	d0 := l.PropagationDelay(0, 0)
+	w0 := l.WaveguideMM(0, 0)
+	got := float64(d0) / float64(sim.Nanosecond)
+	want := w0 / 150
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("delay %.3f ns want %.3f", got, want)
+	}
+}
+
+func TestLayoutValidation(t *testing.T) {
+	if _, err := NewLayout(15, 16, 500, 150); err == nil {
+		t.Fatal("N not multiple of 4 accepted")
+	}
+	if _, err := NewLayout(16, 15, 500, 150); err == nil {
+		t.Fatal("non-square H accepted")
+	}
+	if _, err := NewLayout(16, 16, 0, 150); err == nil {
+		t.Fatal("zero edge accepted")
+	}
+}
+
+func TestTotalWaveguideBudget(t *testing.T) {
+	// 16 ribbons x 16 switches x 4 waveguides each: total routed
+	// length on the reference panel is on the order of hundreds of
+	// meters — large but finite; the quantity the interposer router
+	// must place.
+	l := ReferenceLayout()
+	total := l.TotalWaveguideMM(4)
+	if total < 100e3 || total > 1000e3 {
+		t.Fatalf("total waveguide %.0f mm out of plausible range", total)
+	}
+}

@@ -1,0 +1,41 @@
+package optics
+
+import "pbrouter/internal/sim"
+
+// OEOMeter accounts optical-electrical-optical conversion energy. The
+// reference efficiency is 1.15 pJ/bit (§4), covering both the O/E at
+// the HBM switch ingress and the E/O at its egress when applied to the
+// switch's total I/O.
+type OEOMeter struct {
+	PJPerBit float64
+	bits     int64
+}
+
+// ReferenceOEO returns a meter at the paper's 1.15 pJ/bit.
+func ReferenceOEO() *OEOMeter { return &OEOMeter{PJPerBit: 1.15} }
+
+// Convert accounts the conversion of the given number of bits.
+func (m *OEOMeter) Convert(bits int64) { m.bits += bits }
+
+// Bits returns total converted bits.
+func (m *OEOMeter) Bits() int64 { return m.bits }
+
+// EnergyJoules returns the accumulated conversion energy.
+func (m *OEOMeter) EnergyJoules() float64 {
+	return float64(m.bits) * m.PJPerBit * 1e-12
+}
+
+// AveragePower returns the average conversion power over the window.
+func (m *OEOMeter) AveragePower(window sim.Time) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return m.EnergyJoules() / window.Seconds()
+}
+
+// ConversionPowerWatts returns the steady-state OEO power for a given
+// sustained I/O rate — the closed-form used by the §4 power estimate
+// (81.92 Tb/s × 1.15 pJ/bit ≈ 94 W per HBM switch).
+func ConversionPowerWatts(rate sim.Rate, pjPerBit float64) float64 {
+	return float64(rate) * pjPerBit * 1e-12
+}

@@ -1,0 +1,164 @@
+// Package optics models the photonic front end of the SPS router
+// (§2.2): fiber ribbons carrying WDM channels, the passive splitter
+// that assigns each ribbon's fibers to the H internal HBM switches,
+// and the O/E-E/O conversion energy accounting that dominates the
+// photonic share of the power budget (§4).
+//
+// The splitter is the load-balancing mechanism of SPS — a "poor man's
+// solution" with no per-packet processing — so its assignment pattern
+// is the whole game: the contiguous pattern suffers from first-fiber
+// skew and is trivially gameable by an adversary (§2.1 Challenge 4);
+// the pseudo-random pattern fixes both (Idea 4). Experiment E11
+// quantifies the difference.
+package optics
+
+import (
+	"fmt"
+
+	"pbrouter/internal/sim"
+)
+
+// WDM describes the wavelength multiplexing of one fiber: W channels
+// of rate R each.
+type WDM struct {
+	Wavelengths int
+	ChannelRate sim.Rate
+}
+
+// FiberRate returns the aggregate rate of one fiber.
+func (w WDM) FiberRate() sim.Rate {
+	return w.ChannelRate * sim.Rate(w.Wavelengths)
+}
+
+// Pattern selects the splitter's fiber-to-switch assignment rule.
+type Pattern int
+
+// Splitting patterns.
+const (
+	// Contiguous assigns the first F/H fibers of each ribbon to switch
+	// 0, the next F/H to switch 1, and so on — the straightforward
+	// split of §2.1 Design 4.
+	Contiguous Pattern = iota
+	// PseudoRandom assigns each ribbon's fibers to switches via a
+	// seeded pseudo-random permutation — §2.1 Idea 4.
+	PseudoRandom
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case Contiguous:
+		return "contiguous"
+	case PseudoRandom:
+		return "pseudo-random"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// Splitter is the passive fiber-to-switch assignment of one package:
+// for each of the N ribbons, its F fibers are partitioned among H
+// switches, exactly F/H fibers per switch.
+type Splitter struct {
+	N, F, H int
+	pattern Pattern
+	// assign[ribbon][fiber] = switch index.
+	assign [][]int
+}
+
+// NewSplitter builds a splitter. F must be divisible by H. The seed is
+// used only by the PseudoRandom pattern.
+func NewSplitter(n, f, h int, pattern Pattern, seed uint64) (*Splitter, error) {
+	if n <= 0 || f <= 0 || h <= 0 {
+		return nil, fmt.Errorf("optics: non-positive dimensions N=%d F=%d H=%d", n, f, h)
+	}
+	if f%h != 0 {
+		return nil, fmt.Errorf("optics: F=%d not divisible by H=%d", f, h)
+	}
+	s := &Splitter{N: n, F: f, H: h, pattern: pattern}
+	s.assign = make([][]int, n)
+	rng := sim.NewRNG(seed)
+	for r := 0; r < n; r++ {
+		row := make([]int, f)
+		for i := 0; i < f; i++ {
+			row[i] = i / (f / h)
+		}
+		if pattern == PseudoRandom {
+			rng.Shuffle(f, func(a, b int) { row[a], row[b] = row[b], row[a] })
+		}
+		s.assign[r] = row
+	}
+	return s, nil
+}
+
+// Alpha returns F/H, the fibers each switch receives from each ribbon.
+func (s *Splitter) Alpha() int { return s.F / s.H }
+
+// Pattern returns the splitter's assignment rule.
+func (s *Splitter) Pattern() Pattern { return s.pattern }
+
+// SwitchFor returns the switch serving the given (ribbon, fiber).
+func (s *Splitter) SwitchFor(ribbon, fiber int) int {
+	return s.assign[ribbon][fiber]
+}
+
+// FibersFor returns the fibers of a ribbon assigned to a switch, in
+// ascending order.
+func (s *Splitter) FibersFor(ribbon, sw int) []int {
+	var out []int
+	for f, a := range s.assign[ribbon] {
+		if a == sw {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Validate checks that every switch receives exactly F/H fibers from
+// every ribbon — the structural invariant that makes each HBM switch
+// an N×N switch at 1/H of the package rate.
+func (s *Splitter) Validate() error {
+	alpha := s.Alpha()
+	for r := 0; r < s.N; r++ {
+		counts := make([]int, s.H)
+		for _, a := range s.assign[r] {
+			if a < 0 || a >= s.H {
+				return fmt.Errorf("optics: ribbon %d maps to invalid switch %d", r, a)
+			}
+			counts[a]++
+		}
+		for h, c := range counts {
+			if c != alpha {
+				return fmt.Errorf("optics: ribbon %d gives switch %d %d fibers, want %d", r, h, c, alpha)
+			}
+		}
+	}
+	return nil
+}
+
+// SwitchLoads aggregates per-fiber offered loads (loads[ribbon][fiber]
+// in units of one fiber's capacity) into per-switch total offered
+// load, in units of one fiber's capacity.
+func (s *Splitter) SwitchLoads(loads [][]float64) []float64 {
+	out := make([]float64, s.H)
+	for r := 0; r < s.N; r++ {
+		for f := 0; f < s.F; f++ {
+			out[s.assign[r][f]] += loads[r][f]
+		}
+	}
+	return out
+}
+
+// OverloadLoss returns, per switch, the fraction of its offered load
+// that exceeds its capacity (alpha*N fiber-capacities), the loss a
+// switch with no headroom would suffer in steady state.
+func (s *Splitter) OverloadLoss(loads [][]float64) []float64 {
+	cap := float64(s.Alpha() * s.N)
+	out := make([]float64, s.H)
+	for h, l := range s.SwitchLoads(loads) {
+		if l > cap {
+			out[h] = (l - cap) / l
+		}
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package optics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pbrouter/internal/sim"
+	"pbrouter/internal/stats"
+)
+
+func TestWDMFiberRate(t *testing.T) {
+	// §2.2: W=16 wavelengths at R=40 Gb/s -> 640 Gb/s per fiber.
+	w := WDM{Wavelengths: 16, ChannelRate: 40 * sim.Gbps}
+	if got := w.FiberRate(); got != 640*sim.Gbps {
+		t.Fatalf("fiber rate %v want 640Gb/s", got)
+	}
+}
+
+func TestSplitterStructure(t *testing.T) {
+	for _, p := range []Pattern{Contiguous, PseudoRandom} {
+		s, err := NewSplitter(16, 64, 16, p, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Alpha() != 4 {
+			t.Fatalf("alpha %d want 4", s.Alpha())
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		// Every switch gets exactly alpha fibers from every ribbon.
+		for r := 0; r < 16; r++ {
+			for h := 0; h < 16; h++ {
+				if got := len(s.FibersFor(r, h)); got != 4 {
+					t.Fatalf("%v: ribbon %d switch %d has %d fibers", p, r, h, got)
+				}
+			}
+		}
+	}
+}
+
+func TestSplitterRejectsBadDims(t *testing.T) {
+	if _, err := NewSplitter(16, 63, 16, Contiguous, 0); err == nil {
+		t.Fatal("F not divisible by H accepted")
+	}
+	if _, err := NewSplitter(0, 64, 16, Contiguous, 0); err == nil {
+		t.Fatal("zero ribbons accepted")
+	}
+}
+
+func TestContiguousPatternIsContiguous(t *testing.T) {
+	s, _ := NewSplitter(4, 16, 4, Contiguous, 0)
+	for r := 0; r < 4; r++ {
+		for f := 0; f < 16; f++ {
+			if got := s.SwitchFor(r, f); got != f/4 {
+				t.Fatalf("ribbon %d fiber %d -> switch %d want %d", r, f, got, f/4)
+			}
+		}
+	}
+}
+
+func TestPseudoRandomDiffersAndIsSeeded(t *testing.T) {
+	a, _ := NewSplitter(16, 64, 16, PseudoRandom, 1)
+	b, _ := NewSplitter(16, 64, 16, PseudoRandom, 1)
+	c, _ := NewSplitter(16, 64, 16, PseudoRandom, 2)
+	cont, _ := NewSplitter(16, 64, 16, Contiguous, 0)
+	sameAsB, sameAsC, sameAsCont := true, true, true
+	for r := 0; r < 16; r++ {
+		for f := 0; f < 64; f++ {
+			if a.SwitchFor(r, f) != b.SwitchFor(r, f) {
+				sameAsB = false
+			}
+			if a.SwitchFor(r, f) != c.SwitchFor(r, f) {
+				sameAsC = false
+			}
+			if a.SwitchFor(r, f) != cont.SwitchFor(r, f) {
+				sameAsCont = false
+			}
+		}
+	}
+	if !sameAsB {
+		t.Fatal("same seed produced different splitters")
+	}
+	if sameAsC {
+		t.Fatal("different seeds produced identical splitters")
+	}
+	if sameAsCont {
+		t.Fatal("pseudo-random equals contiguous")
+	}
+}
+
+func TestSplitterValidateProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		s, err := NewSplitter(8, 32, 8, PseudoRandom, seed)
+		if err != nil {
+			return false
+		}
+		return s.Validate() == nil
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// firstFiberSkewLoads builds the §2.1 Challenge 4(1) load shape: the
+// first fibers of each ribbon carry more traffic because they are
+// "typically connected first". Loads decay linearly from full to
+// empty across the fiber index.
+func firstFiberSkewLoads(n, f int) [][]float64 {
+	loads := make([][]float64, n)
+	for r := range loads {
+		loads[r] = make([]float64, f)
+		for i := range loads[r] {
+			loads[r][i] = 1 - float64(i)/float64(f)
+		}
+	}
+	return loads
+}
+
+func TestFirstFiberSkewContiguousVsPseudoRandom(t *testing.T) {
+	cont, _ := NewSplitter(16, 64, 16, Contiguous, 0)
+	prnd, _ := NewSplitter(16, 64, 16, PseudoRandom, 7)
+	loads := firstFiberSkewLoads(16, 64)
+
+	lc := cont.SwitchLoads(loads)
+	lp := prnd.SwitchLoads(loads)
+
+	// Contiguous: switch 0 gets the heavy fibers of every ribbon —
+	// heavy skew. Pseudo-random: close to balanced.
+	imbC := stats.MaxOverMean(lc)
+	imbP := stats.MaxOverMean(lp)
+	if imbC < 1.5 {
+		t.Fatalf("contiguous imbalance %.3f expected heavy skew", imbC)
+	}
+	if imbP > 1.25 {
+		t.Fatalf("pseudo-random imbalance %.3f expected near 1", imbP)
+	}
+	if imbP >= imbC {
+		t.Fatalf("pseudo-random (%.3f) not better than contiguous (%.3f)", imbP, imbC)
+	}
+}
+
+func TestAdversarialConcentrationAttack(t *testing.T) {
+	// §2.1 Challenge 4(2): an attacker who knows the contiguous
+	// pattern loads exactly the fibers of switch 0 and overloads it
+	// with only 1/H of the total traffic. Against the pseudo-random
+	// pattern the same per-ribbon fiber positions scatter across
+	// switches.
+	const n, f, h = 16, 64, 16
+	cont, _ := NewSplitter(n, f, h, Contiguous, 0)
+	prnd, _ := NewSplitter(n, f, h, PseudoRandom, 99)
+
+	attack := make([][]float64, n)
+	for r := range attack {
+		attack[r] = make([]float64, f)
+		for i := 0; i < f/h; i++ { // attacker fills the first alpha fibers
+			attack[r][i] = 1.0
+		}
+	}
+	lc := cont.SwitchLoads(attack)
+	lp := prnd.SwitchLoads(attack)
+
+	// Contiguous: all 64 fiber-loads land on switch 0 (capacity 64
+	// fiber-capacities — exactly saturated by design; a real attacker
+	// adds any extra background traffic to overload it).
+	if lc[0] != float64(n*f/h) {
+		t.Fatalf("contiguous: switch 0 load %v want %v", lc[0], float64(n*f/h))
+	}
+	for h2 := 1; h2 < h; h2++ {
+		if lc[h2] != 0 {
+			t.Fatalf("contiguous: switch %d load %v want 0", h2, lc[h2])
+		}
+	}
+	// Pseudo-random: no switch should see more than half the attack.
+	for h2, l := range lp {
+		if l > float64(n*f/h)/2 {
+			t.Fatalf("pseudo-random: switch %d load %v too concentrated", h2, l)
+		}
+	}
+}
+
+func TestOverloadLoss(t *testing.T) {
+	s, _ := NewSplitter(2, 4, 2, Contiguous, 0)
+	// Capacity per switch = alpha*N = 2*2 = 4 fiber-capacities.
+	loads := [][]float64{
+		{1, 1, 0, 0}, // ribbon 0: both fibers of switch 0 full
+		{1, 1, 1, 1}, // ribbon 1: everything full
+	}
+	// Switch 0 gets 1+1+1+1 = 4 -> no loss; switch 1 gets 0+0+1+1=2.
+	loss := s.OverloadLoss(loads)
+	if loss[0] != 0 || loss[1] != 0 {
+		t.Fatalf("unexpected loss %v", loss)
+	}
+	// Overload switch 0: 150% of its share.
+	over := [][]float64{
+		{1.5, 1.5, 0, 0},
+		{1.5, 1.5, 0, 0},
+	}
+	loss = s.OverloadLoss(over)
+	if math.Abs(loss[0]-1.0/3) > 1e-9 { // offered 6, capacity 4 -> lose 1/3
+		t.Fatalf("loss %v want 1/3", loss[0])
+	}
+}
+
+func TestOEOMeter(t *testing.T) {
+	m := ReferenceOEO()
+	m.Convert(1e12) // 1 Tb
+	if math.Abs(m.EnergyJoules()-1.15) > 1e-9 {
+		t.Fatalf("energy %v want 1.15 J", m.EnergyJoules())
+	}
+	if got := m.AveragePower(sim.Second); math.Abs(got-1.15) > 1e-9 {
+		t.Fatalf("power %v want 1.15 W", got)
+	}
+	if m.Bits() != 1e12 {
+		t.Fatalf("bits %d", m.Bits())
+	}
+}
+
+func TestConversionPowerMatchesPaper(t *testing.T) {
+	// §4: "At 81.92 Tb/s of I/O per HBM switch, the power required for
+	// OEO conversion for each HBM switch is about 94 W."
+	got := ConversionPowerWatts(81920*sim.Gbps, 1.15)
+	if math.Abs(got-94.2) > 0.3 {
+		t.Fatalf("OEO power %.1f W want ~94 W", got)
+	}
+}

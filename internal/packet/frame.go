@@ -1,0 +1,157 @@
+package packet
+
+import (
+	"fmt"
+
+	"pbrouter/internal/sim"
+)
+
+// Frame is the PFI unit of HBM access: K/k batches sharing one output,
+// written to (and read from) the HBM as one staggered-bank-interleaved
+// transfer (§3.2 ➁–➃). Seq is the per-output frame sequence number n
+// that determines its bank interleaving group, h = n mod (L/γ).
+type Frame struct {
+	Output  int
+	Seq     int64
+	Batches []*Batch
+	Size    int // fixed frame size K in bytes
+	// PadBatches counts whole filler batches appended when a frame is
+	// padded out for the low-latency path (§4, "frame padding").
+	PadBatches int
+
+	// Ready is when the frame completed (or was padded out) at the
+	// tail SRAM, for the per-stage latency breakdown.
+	Ready sim.Time
+}
+
+// DataBytes returns the real packet bytes carried (excluding padding
+// inside batches and padding batches).
+func (f *Frame) DataBytes() int {
+	n := 0
+	for _, b := range f.Batches {
+		n += b.DataBytes()
+	}
+	return n
+}
+
+// PadBytes returns all padding bytes: intra-batch pad plus whole pad
+// batches.
+func (f *Frame) PadBytes() int {
+	n := 0
+	for _, b := range f.Batches {
+		n += b.Pad
+	}
+	if len(f.Batches) > 0 {
+		n += f.PadBatches * f.Batches[0].Size
+	} else if f.PadBatches > 0 {
+		// A fully padded frame: size is split evenly.
+		n += f.PadBatches * (f.Size / max(1, f.PadBatches))
+	}
+	return n
+}
+
+// Validate checks the frame fill invariant: batches plus pad batches
+// exactly make up the frame, and every batch targets the frame's
+// output.
+func (f *Frame) Validate() error {
+	if len(f.Batches) == 0 && f.PadBatches == 0 {
+		return fmt.Errorf("frame %d/%d: empty", f.Output, f.Seq)
+	}
+	var k int
+	if len(f.Batches) > 0 {
+		k = f.Batches[0].Size
+	} else {
+		k = f.Size / f.PadBatches
+	}
+	if (len(f.Batches)+f.PadBatches)*k != f.Size {
+		return fmt.Errorf("frame %d/%d: %d batches + %d pad of %d B != %d B",
+			f.Output, f.Seq, len(f.Batches), f.PadBatches, k, f.Size)
+	}
+	for _, b := range f.Batches {
+		if b.Output != f.Output {
+			return fmt.Errorf("frame for output %d holds batch for output %d", f.Output, b.Output)
+		}
+		if b.Size != k {
+			return fmt.Errorf("frame %d/%d: mixed batch sizes %d and %d", f.Output, f.Seq, k, b.Size)
+		}
+	}
+	return nil
+}
+
+// FrameAssembler aggregates completed batches of one output into
+// frames of batchesPerFrame batches (K/k = 128 in the reference
+// design), preserving batch arrival order. It mirrors the tail-SRAM
+// per-output queues of §3.2 ➁.
+type FrameAssembler struct {
+	output          int
+	batchesPerFrame int
+	batchSize       int
+
+	pending []*Batch
+	seq     int64
+}
+
+// NewFrameAssembler returns an assembler for the given output.
+func NewFrameAssembler(output, batchesPerFrame, batchSize int) *FrameAssembler {
+	if batchesPerFrame <= 0 || batchSize <= 0 {
+		panic("packet: non-positive frame geometry")
+	}
+	return &FrameAssembler{output: output, batchesPerFrame: batchesPerFrame, batchSize: batchSize}
+}
+
+// PendingBatches returns the number of batches awaiting frame
+// completion.
+func (fa *FrameAssembler) PendingBatches() int { return len(fa.pending) }
+
+// PendingBytes returns the bytes awaiting frame completion.
+func (fa *FrameAssembler) PendingBytes() int { return len(fa.pending) * fa.batchSize }
+
+// NextSeq returns the sequence number the next completed frame will
+// carry.
+func (fa *FrameAssembler) NextSeq() int64 { return fa.seq }
+
+// Add appends one completed batch and returns a full frame if this
+// batch completed one, else nil.
+func (fa *FrameAssembler) Add(b *Batch) *Frame {
+	if b.Output != fa.output {
+		panic(fmt.Sprintf("packet: batch for output %d added to frame assembler for %d",
+			b.Output, fa.output))
+	}
+	fa.pending = append(fa.pending, b)
+	if len(fa.pending) < fa.batchesPerFrame {
+		return nil
+	}
+	return fa.emit(fa.batchesPerFrame, 0)
+}
+
+// Pad emits a padded frame from whatever batches are pending (possibly
+// zero data batches is not allowed: returns nil if nothing pending).
+// The remainder of the frame is filler batches, as in the padded-frame
+// low-latency mode of §4.
+func (fa *FrameAssembler) Pad() *Frame {
+	if len(fa.pending) == 0 {
+		return nil
+	}
+	n := len(fa.pending)
+	return fa.emit(n, fa.batchesPerFrame-n)
+}
+
+func (fa *FrameAssembler) emit(nData, nPad int) *Frame {
+	f := &Frame{
+		Output:     fa.output,
+		Seq:        fa.seq,
+		Batches:    fa.pending[:nData:nData],
+		Size:       fa.batchesPerFrame * fa.batchSize,
+		PadBatches: nPad,
+	}
+	fa.pending = fa.pending[nData:]
+	fa.seq++
+	return f
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

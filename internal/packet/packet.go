@@ -1,0 +1,55 @@
+// Package packet models the data units moved by the router simulators:
+// variable-size packets identified by 5-tuples, the fixed-size 4 KB
+// batches PFI assembles them into (packets may straddle batches), the
+// per-module batch slices produced by the cyclical crossbar, and the
+// per-output frames written to HBM. All pack/unpack operations are
+// byte-accurate so that conservation invariants can be tested.
+package packet
+
+import (
+	"fmt"
+
+	"pbrouter/internal/sim"
+)
+
+// Packet is one variable-length packet traversing the router.
+// Payload bytes are not materialized; only sizes and identities move
+// through the simulators.
+type Packet struct {
+	ID      uint64    // globally unique, assigned by the generator
+	Flow    FiveTuple // used for egress ECMP/LAG hashing
+	Size    int       // bytes, header included
+	Input   int       // switch input port
+	Output  int       // switch output port
+	Arrival sim.Time  // arrival at the switch input
+	Depart  sim.Time  // departure of the packet's last byte (set at egress)
+	Seq     int64     // per-(input,output) sequence number for order checks
+}
+
+// MinSize and MaxSize bound valid packet sizes in bytes (Ethernet
+// frame bounds, as used by the paper's 64 B worst case and 1500 B
+// common case).
+const (
+	MinSize = 64
+	MaxSize = 9216 // jumbo upper bound accepted by generators
+)
+
+// Validate reports whether the packet is well-formed.
+func (p *Packet) Validate() error {
+	if p.Size < 1 {
+		return fmt.Errorf("packet %d: non-positive size %d", p.ID, p.Size)
+	}
+	if p.Input < 0 || p.Output < 0 {
+		return fmt.Errorf("packet %d: negative port (%d,%d)", p.ID, p.Input, p.Output)
+	}
+	return nil
+}
+
+// Latency returns the packet's switch transit time. It panics if the
+// packet has not departed, which indicates a measurement bug.
+func (p *Packet) Latency() sim.Time {
+	if p.Depart < p.Arrival {
+		panic(fmt.Sprintf("packet %d: departure %v before arrival %v", p.ID, p.Depart, p.Arrival))
+	}
+	return p.Depart - p.Arrival
+}

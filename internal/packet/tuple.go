@@ -1,0 +1,57 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// FiveTuple identifies a transport flow. The egress stage hashes it to
+// pick among the α·W available (fiber, wavelength) egress channels,
+// exactly as ECMP or LAG hashing spreads flows across member links
+// (§3.2 ➅ of the paper).
+type FiveTuple struct {
+	SrcIP   uint32
+	DstIP   uint32
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8
+}
+
+// String formats the tuple in the conventional dotted form.
+func (ft FiveTuple) String() string {
+	return fmt.Sprintf("%s:%d>%s:%d/%d",
+		ipString(ft.SrcIP), ft.SrcPort, ipString(ft.DstIP), ft.DstPort, ft.Proto)
+}
+
+func ipString(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// castagnoli is the CRC-32C table used by the flow hash; hardware
+// routers commonly use CRC-based hashes for ECMP/LAG member selection.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Hash returns a 32-bit flow hash. The seed diversifies hashes between
+// devices so that consecutive routers do not polarize traffic onto the
+// same members.
+func (ft FiveTuple) Hash(seed uint32) uint32 {
+	var buf [17]byte
+	binary.BigEndian.PutUint32(buf[0:], ft.SrcIP)
+	binary.BigEndian.PutUint32(buf[4:], ft.DstIP)
+	binary.BigEndian.PutUint16(buf[8:], ft.SrcPort)
+	binary.BigEndian.PutUint16(buf[10:], ft.DstPort)
+	buf[12] = ft.Proto
+	binary.BigEndian.PutUint32(buf[13:], seed)
+	return crc32.Checksum(buf[:], castagnoli)
+}
+
+// Member returns the ECMP/LAG member index in [0, n) for this flow.
+// All packets of a flow map to the same member, preserving intra-flow
+// order on the egress fibers. It panics if n <= 0.
+func (ft FiveTuple) Member(seed uint32, n int) int {
+	if n <= 0 {
+		panic("packet: Member with non-positive n")
+	}
+	return int(ft.Hash(seed) % uint32(n))
+}

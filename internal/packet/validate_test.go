@@ -1,0 +1,71 @@
+package packet
+
+import "testing"
+
+func TestBatchValidateBranches(t *testing.T) {
+	p := &Packet{ID: 1, Size: 100, Output: 0}
+	// Fragment range outside the packet.
+	bad := &Batch{ID: 1, Output: 0, Size: 100,
+		Frags: []Frag{{Pkt: p, Off: 50, Len: 60}}}
+	if bad.Validate() == nil {
+		t.Fatal("overlong fragment accepted")
+	}
+	// Zero-length fragment.
+	bad2 := &Batch{ID: 2, Output: 0, Size: 0,
+		Frags: []Frag{{Pkt: p, Off: 0, Len: 0}}}
+	if bad2.Validate() == nil {
+		t.Fatal("zero-length fragment accepted")
+	}
+}
+
+func TestFrameValidateBranches(t *testing.T) {
+	// Empty frame.
+	if (&Frame{Output: 0, Size: 512}).Validate() == nil {
+		t.Fatal("empty frame accepted")
+	}
+	// Mixed batch sizes.
+	p := &Packet{ID: 1, Size: 512, Output: 0}
+	p2 := &Packet{ID: 2, Size: 256, Output: 0}
+	f := &Frame{Output: 0, Size: 768, Batches: []*Batch{
+		{Output: 0, Size: 512, Frags: []Frag{{Pkt: p, Off: 0, Len: 512}}},
+		{Output: 0, Size: 256, Frags: []Frag{{Pkt: p2, Off: 0, Len: 256}}},
+	}}
+	if f.Validate() == nil {
+		t.Fatal("mixed batch sizes accepted")
+	}
+	// Size mismatch.
+	g := &Frame{Output: 0, Size: 1024, Batches: []*Batch{
+		{Output: 0, Size: 512, Frags: []Frag{{Pkt: p, Off: 0, Len: 512}}},
+	}}
+	if g.Validate() == nil {
+		t.Fatal("short frame accepted")
+	}
+	// Fully padded frame is valid and accounts its pad bytes.
+	padded := &Frame{Output: 0, Size: 1024, PadBatches: 2}
+	if err := padded.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if padded.PadBytes() != 1024 {
+		t.Fatalf("pad bytes %d", padded.PadBytes())
+	}
+}
+
+func TestConstructorGuards(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewBatcher(0, 0, 0, func() uint64 { return 0 }) },
+		func() { NewFrameAssembler(0, 0, 512) },
+		func() {
+			ft := FiveTuple{}
+			ft.Member(0, 0)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("guard %d missing", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

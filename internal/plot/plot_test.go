@@ -1,0 +1,62 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRendersSeries(t *testing.T) {
+	var c Chart
+	c.Title = "latency vs load"
+	c.XLabel = "load"
+	c.YLabel = "ns"
+	if err := c.Add(Series{Name: "pad+bypass", X: []float64{0.1, 0.5, 0.9}, Y: []float64{700, 800, 1100}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(Series{Name: "none", X: []float64{0.1, 0.5, 0.9}, Y: []float64{6000, 3000, 2400}}); err != nil {
+		t.Fatal(err)
+	}
+	out := c.Render()
+	for _, want := range []string{"latency vs load", "*", "o", "pad+bypass", "none", "x: load"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Axis extremes labeled.
+	if !strings.Contains(out, "6e+03") && !strings.Contains(out, "6000") {
+		t.Fatalf("max y label missing:\n%s", out)
+	}
+}
+
+func TestChartEdgeCases(t *testing.T) {
+	var c Chart
+	if out := c.Render(); !strings.Contains(out, "empty") {
+		t.Fatal("empty chart")
+	}
+	if err := c.Add(Series{Name: "bad", X: []float64{1}, Y: nil}); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+	// Single point and flat series must not divide by zero.
+	if err := c.Add(Series{Name: "pt", X: []float64{5}, Y: []float64{5}}); err != nil {
+		t.Fatal(err)
+	}
+	if out := c.Render(); out == "" {
+		t.Fatal("single-point render failed")
+	}
+}
+
+func TestChartPlacesExtremes(t *testing.T) {
+	var c Chart
+	c.Width, c.Height = 21, 5
+	c.Add(Series{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}})
+	out := c.Render()
+	lines := strings.Split(out, "\n")
+	// Row 0 (max y) must contain the marker at the far right; the last
+	// grid row (min y) at the far left.
+	if !strings.Contains(lines[0], "*") {
+		t.Fatalf("top row missing marker:\n%s", out)
+	}
+	if !strings.HasSuffix(strings.TrimRight(lines[0], " "), "*") {
+		t.Fatalf("max point not at right edge:\n%s", out)
+	}
+}

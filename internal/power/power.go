@@ -1,0 +1,158 @@
+// Package power implements the §4 power model of the
+// router-in-a-package and the §5 roadmap scenarios. All constants are
+// the paper's published reference points:
+//
+//   - processing chiplet: scaled linearly from the Broadcom Tomahawk 5
+//     (51.2 Tb/s ingress at 500 W, which also covers its SRAM
+//     buffering),
+//   - HBM: 75 W per HBM4 stack,
+//   - OEO conversion: 1.15 pJ/bit over the switch's total I/O,
+//   - comparisons: Cerebras WSE-3 at 23 kW, Cisco 8201-32FH at
+//     12.8 Tb/s per ~1RU.
+package power
+
+import (
+	"fmt"
+
+	"pbrouter/internal/sim"
+)
+
+// Published reference constants used by the model (§4, §5).
+const (
+	// Tomahawk5IngressTbps and Tomahawk5Watts anchor the processing
+	// power scaling.
+	Tomahawk5IngressTbps = 51.2
+	Tomahawk5Watts       = 500.0
+	// HBM4StackWatts is the per-stack power draw.
+	HBM4StackWatts = 75.0
+	// OEOPicojoulePerBit is the silicon-photonics conversion energy.
+	OEOPicojoulePerBit = 1.15
+	// WSE3Watts is the Cerebras WSE-3 wafer-scale processor's power,
+	// the §4 cooling-feasibility comparison point.
+	WSE3Watts = 23000.0
+	// Cisco8201IngressTbps is the §5 capacity comparison point (32
+	// lines of 400 Gb/s in 1RU).
+	Cisco8201IngressTbps = 12.8
+)
+
+// Model parameterizes the per-HBM-switch power estimate.
+type Model struct {
+	// IngressRate is the traffic into one HBM switch (41 Tb/s in the
+	// reference design: 655.36/16).
+	IngressRate sim.Rate
+	// IORate is the switch's total memory/optical I/O (2x ingress).
+	IORate sim.Rate
+	// Stacks is B, the HBM stacks per switch.
+	Stacks int
+	// StackWatts overrides the per-stack power (defaults to HBM4's
+	// 75 W via Reference; roadmap scenarios change it).
+	StackWatts float64
+	// PJPerBit is the OEO conversion energy.
+	PJPerBit float64
+	// Switches is H.
+	Switches int
+}
+
+// Reference returns the paper's reference design point.
+func Reference() Model {
+	return Model{
+		IngressRate: 40960 * sim.Gbps,
+		IORate:      81920 * sim.Gbps,
+		Stacks:      4,
+		StackWatts:  HBM4StackWatts,
+		PJPerBit:    OEOPicojoulePerBit,
+		Switches:    16,
+	}
+}
+
+// ProcessingWatts scales the Tomahawk 5 anchor by ingress rate: the
+// §4 "packet processing and SRAM buffering ... should consume at most
+// 500·(41/51.2) = 400 W".
+func (m Model) ProcessingWatts() float64 {
+	return Tomahawk5Watts * (m.IngressRate.Tb() / Tomahawk5IngressTbps)
+}
+
+// HBMWatts returns the per-switch memory power (B stacks).
+func (m Model) HBMWatts() float64 { return float64(m.Stacks) * m.StackWatts }
+
+// OEOWatts returns the per-switch conversion power over its I/O.
+func (m Model) OEOWatts() float64 {
+	return float64(m.IORate) * m.PJPerBit * 1e-12
+}
+
+// SwitchWatts returns one HBM switch's total power.
+func (m Model) SwitchWatts() float64 {
+	return m.ProcessingWatts() + m.HBMWatts() + m.OEOWatts()
+}
+
+// RouterWatts returns the package total across H switches.
+func (m Model) RouterWatts() float64 {
+	return float64(m.Switches) * m.SwitchWatts()
+}
+
+// Share returns each component's fraction of the switch power:
+// processing, HBM, OEO. §5 quotes HBM ≈ 40% and processing ≈ 50%.
+func (m Model) Share() (processing, hbmFrac, oeo float64) {
+	total := m.SwitchWatts()
+	return m.ProcessingWatts() / total, m.HBMWatts() / total, m.OEOWatts() / total
+}
+
+// VersusWSE3 returns the router power as a fraction of the Cerebras
+// WSE-3 (the §4 argument that existing cooling suffices: "just above
+// half").
+func (m Model) VersusWSE3() float64 { return m.RouterWatts() / WSE3Watts }
+
+// Breakdown formats the full §4 estimate.
+func (m Model) Breakdown() string {
+	return fmt.Sprintf(
+		"per switch: processing %.0f W + HBM %.0f W + OEO %.0f W = %.0f W; "+
+			"router (%d switches): %.1f kW (%.0f%% of WSE-3)",
+		m.ProcessingWatts(), m.HBMWatts(), m.OEOWatts(), m.SwitchWatts(),
+		m.Switches, m.RouterWatts()/1000, 100*m.VersusWSE3())
+}
+
+// Scenario is a §5 roadmap point: a multiplier on per-stack bandwidth
+// and capacity lets the design hit the same aggregate figures with
+// fewer stacks.
+type Scenario struct {
+	Name string
+	// BandwidthX multiplies per-stack bandwidth relative to HBM4.
+	BandwidthX float64
+	// CapacityX multiplies per-stack capacity relative to HBM4.
+	CapacityX float64
+	// StackWatts is the assumed per-stack power at that generation.
+	StackWatts float64
+}
+
+// Roadmap returns the §5 evolution points: HBM4 today, the
+// next-generation 4x HBM, and monolithic 3D-stackable DRAM at 10x.
+func Roadmap() []Scenario {
+	return []Scenario{
+		{Name: "HBM4 (reference)", BandwidthX: 1, CapacityX: 1, StackWatts: HBM4StackWatts},
+		{Name: "HBM-next (4x)", BandwidthX: 4, CapacityX: 4, StackWatts: HBM4StackWatts},
+		{Name: "Monolithic 3D (10x)", BandwidthX: 10, CapacityX: 10, StackWatts: HBM4StackWatts},
+	}
+}
+
+// Apply returns the reference model rebuilt for the scenario: the
+// stack count shrinks to the minimum that still covers the switch's
+// I/O bandwidth.
+func (s Scenario) Apply(base Model) Model {
+	perStack := 20.48e12 * s.BandwidthX // HBM4 stack bandwidth in b/s
+	need := float64(base.IORate)
+	stacks := 1
+	for float64(stacks)*perStack < need {
+		stacks++
+	}
+	out := base
+	out.Stacks = stacks
+	out.StackWatts = s.StackWatts
+	return out
+}
+
+// CapacityPerRUvsCisco returns how many times the package's ingress
+// exceeds the Cisco 8201-32FH's (the §5 ">50x" claim), given the
+// package ingress rate.
+func CapacityPerRUvsCisco(packageIngress sim.Rate) float64 {
+	return packageIngress.Tb() / Cisco8201IngressTbps
+}

@@ -1,0 +1,86 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"pbrouter/internal/sim"
+)
+
+func TestReferencePowerMatchesPaper(t *testing.T) {
+	m := Reference()
+	// §4: "400 W" processing, "300 W" HBM, "about 94 W" OEO,
+	// "about 794 W" per switch, "about 12.7 kW" total.
+	if got := m.ProcessingWatts(); math.Abs(got-400) > 1 {
+		t.Fatalf("processing %.1f W want 400", got)
+	}
+	if got := m.HBMWatts(); got != 300 {
+		t.Fatalf("HBM %.1f W want 300", got)
+	}
+	if got := m.OEOWatts(); math.Abs(got-94.2) > 0.3 {
+		t.Fatalf("OEO %.1f W want ~94", got)
+	}
+	if got := m.SwitchWatts(); math.Abs(got-794) > 1.5 {
+		t.Fatalf("switch %.1f W want ~794", got)
+	}
+	if got := m.RouterWatts(); math.Abs(got-12700) > 30 {
+		t.Fatalf("router %.0f W want ~12.7 kW", got)
+	}
+	// §4: "just above half" of the WSE-3's 23 kW.
+	if v := m.VersusWSE3(); v < 0.5 || v > 0.6 {
+		t.Fatalf("vs WSE-3 %.3f want ~0.55", v)
+	}
+}
+
+func TestPowerShares(t *testing.T) {
+	// §5: "HBM accounts for 40% of our overall power ... the
+	// processing chiplets, with 50% of power".
+	p, h, o := Reference().Share()
+	if math.Abs(p-0.50) > 0.02 {
+		t.Fatalf("processing share %.3f want ~0.50", p)
+	}
+	if math.Abs(h-0.40) > 0.025 {
+		t.Fatalf("HBM share %.3f want ~0.40", h)
+	}
+	if math.Abs(o-0.12) > 0.02 {
+		t.Fatalf("OEO share %.3f want ~0.12", o)
+	}
+	if math.Abs(p+h+o-1) > 1e-9 {
+		t.Fatal("shares do not sum to 1")
+	}
+}
+
+func TestRoadmapShrinksStacks(t *testing.T) {
+	// §5: 4x HBM bandwidth needs just 1 stack for 81.92 Tb/s; 10x even
+	// more comfortably.
+	base := Reference()
+	scen := Roadmap()
+	if scen[0].Apply(base).Stacks != 4 {
+		t.Fatalf("HBM4 scenario stacks %d want 4", scen[0].Apply(base).Stacks)
+	}
+	if got := scen[1].Apply(base).Stacks; got != 1 {
+		t.Fatalf("HBM-next stacks %d want 1", got)
+	}
+	if got := scen[2].Apply(base).Stacks; got != 1 {
+		t.Fatalf("mono-3D stacks %d want 1", got)
+	}
+	// Fewer stacks -> less power per switch.
+	if scen[1].Apply(base).SwitchWatts() >= base.SwitchWatts() {
+		t.Fatal("roadmap did not reduce power")
+	}
+}
+
+func TestCapacityVsCisco(t *testing.T) {
+	// §5: 655.36 Tb/s input bandwidth is "over 50x" the 12.8 Tb/s of a
+	// Cisco 8201-32FH.
+	got := CapacityPerRUvsCisco(655360 * sim.Gbps)
+	if math.Abs(got-51.2) > 0.1 {
+		t.Fatalf("capacity ratio %.1f want 51.2", got)
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	if Reference().Breakdown() == "" {
+		t.Fatal("empty breakdown")
+	}
+}

@@ -1,0 +1,142 @@
+package sim
+
+import "fmt"
+
+// event is a scheduled callback. Events with equal times fire in the
+// order they were scheduled (seq breaks ties), which keeps runs
+// deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// Scheduler is a deterministic discrete-event executor. The zero value
+// is ready to use at time 0.
+type Scheduler struct {
+	now    Time
+	seq    uint64
+	heap   []event
+	events uint64
+}
+
+// Now returns the current simulation time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Len returns the number of pending events.
+func (s *Scheduler) Len() int { return len(s.heap) }
+
+// Events returns the total number of events executed so far.
+func (s *Scheduler) Events() uint64 { return s.events }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it always indicates a causality bug in a model.
+func (s *Scheduler) At(t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+	}
+	s.seq++
+	s.push(event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (s *Scheduler) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	s.At(s.now+d, fn)
+}
+
+// Step executes the single earliest pending event. It reports whether
+// an event was executed.
+func (s *Scheduler) Step() bool {
+	if len(s.heap) == 0 {
+		return false
+	}
+	ev := s.pop()
+	s.now = ev.at
+	s.events++
+	ev.fn()
+	return true
+}
+
+// RunUntil executes events in time order until the queue is empty or
+// the next event is strictly after the horizon. The clock is left at
+// the horizon (or at the last event if the queue drained first).
+func (s *Scheduler) RunUntil(horizon Time) {
+	for len(s.heap) > 0 && s.heap[0].at <= horizon {
+		s.Step()
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+}
+
+// Run executes all pending events until the queue is empty.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// push and pop implement a binary min-heap ordered by (at, seq).
+
+func (s *Scheduler) push(ev event) {
+	s.heap = append(s.heap, ev)
+	i := len(s.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
+		i = parent
+	}
+}
+
+func (s *Scheduler) pop() event {
+	top := s.heap[0]
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.heap = s.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < last && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s.heap[i], s.heap[smallest] = s.heap[smallest], s.heap[i]
+		i = smallest
+	}
+	return top
+}
+
+func (s *Scheduler) less(i, j int) bool {
+	a, b := s.heap[i], s.heap[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// Ticker invokes fn every period, starting at the given offset, until
+// fn returns false or the scheduler drains. It is a convenience for
+// clocked pipeline stages.
+func (s *Scheduler) Ticker(offset, period Time, fn func(now Time) bool) {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive ticker period %v", period))
+	}
+	var tick func()
+	tick = func() {
+		if fn(s.now) {
+			s.After(period, tick)
+		}
+	}
+	s.After(offset, tick)
+}

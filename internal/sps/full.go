@@ -1,0 +1,114 @@
+package sps
+
+import (
+	"fmt"
+	"sync"
+
+	"pbrouter/internal/hbmswitch"
+	"pbrouter/internal/sim"
+	"pbrouter/internal/traffic"
+)
+
+// Router is the packet-level SPS: H independent HBM switches fed by
+// the splitter-derived traffic matrices. Because the split is passive
+// and the switches share nothing, the router simulates them one after
+// another — bit-for-bit equivalent to simulating them concurrently.
+type Router struct {
+	Dep       *Deployment
+	SwitchCfg hbmswitch.Config
+}
+
+// NewRouter pairs a deployment with a per-switch configuration. The
+// switch port rate must equal the deployment's α·W·R.
+func NewRouter(dep *Deployment, swCfg hbmswitch.Config) (*Router, error) {
+	if swCfg.PFI.N != dep.Cfg.N {
+		return nil, fmt.Errorf("sps: switch has %d ports, SPS has %d ribbons", swCfg.PFI.N, dep.Cfg.N)
+	}
+	if err := swCfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Router{Dep: dep, SwitchCfg: swCfg}, nil
+}
+
+// RouterReport aggregates the per-switch reports.
+type RouterReport struct {
+	PerSwitch []*hbmswitch.Report
+	// Throughput and OfferedLoad are capacity-weighted means across
+	// switches (all switches are identical, so a plain mean).
+	Throughput  float64
+	OfferedLoad float64
+	// LatencyP99 is the worst per-switch p99.
+	LatencyP99 sim.Time
+	Errors     []error
+}
+
+// Run simulates every HBM switch on its share of the flows for the
+// horizon. Matrices that the split made inadmissible are clamped
+// per-row to line rate (a real input fiber cannot exceed its
+// capacity), with the clamped fraction reported as loss by the
+// flow-level Analyze model instead.
+//
+// The H switches share nothing (the SPS property), so they are
+// simulated concurrently, one goroutine per switch; each switch's
+// seed derives only from its index, so the result is independent of
+// scheduling.
+func (r *Router) Run(flows []Flow, kind traffic.ArrivalKind, sizes traffic.SizeDist,
+	horizon sim.Time, seed uint64) (*RouterReport, error) {
+	mats := r.Dep.SwitchMatrices(flows)
+	reports := make([]*hbmswitch.Report, len(mats))
+	errs := make([]error, len(mats))
+	var wg sync.WaitGroup
+	for h, m := range mats {
+		h, m := h, m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			clampRows(m)
+			sw, err := hbmswitch.New(r.SwitchCfg)
+			if err != nil {
+				errs[h] = err
+				return
+			}
+			srcs := traffic.UniformSources(m, r.SwitchCfg.PortRate, kind, sizes, sim.NewRNG(seed+uint64(h)*7919))
+			swRep, err := sw.Run(traffic.NewMux(srcs), horizon)
+			if err != nil {
+				errs[h] = fmt.Errorf("switch %d: %w", h, err)
+				return
+			}
+			reports[h] = swRep
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	rep := &RouterReport{PerSwitch: reports}
+	for _, swRep := range reports {
+		rep.Throughput += swRep.Throughput
+		rep.OfferedLoad += swRep.OfferedLoad
+		if swRep.LatencyP99 > rep.LatencyP99 {
+			rep.LatencyP99 = swRep.LatencyP99
+		}
+		rep.Errors = append(rep.Errors, swRep.Errors...)
+	}
+	n := float64(len(mats))
+	rep.Throughput /= n
+	rep.OfferedLoad /= n
+	return rep, nil
+}
+
+// clampRows scales down any row exceeding line rate (the fiber bundle
+// physically cannot deliver more).
+func clampRows(m *traffic.Matrix) {
+	for i := 0; i < m.N; i++ {
+		row := m.RowLoad(i)
+		if row > 1 {
+			f := 1 / row
+			for j := range m.Rates[i] {
+				m.Rates[i][j] *= f
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package sps
+
+import (
+	"pbrouter/internal/packet"
+	"pbrouter/internal/sim"
+)
+
+// This file generates the flow populations of the §2.1 Challenge 4 /
+// §4 "Traffic matrix" experiments (E11): how evenly does the passive
+// fiber split load the H switches under realistic ECMP/LAG hashing,
+// under first-fiber skew, and under an adversary who knows the
+// contiguous splitting pattern?
+
+// randomTuple draws a random 5-tuple.
+func randomTuple(rng *sim.RNG) packet.FiveTuple {
+	return packet.FiveTuple{
+		SrcIP:   uint32(rng.Uint64()),
+		DstIP:   uint32(rng.Uint64()),
+		SrcPort: uint16(rng.Uint64()),
+		DstPort: uint16(rng.Uint64()),
+		Proto:   6,
+	}
+}
+
+// ECMPUniform builds flowsPerRibbon flows per source ribbon at total
+// per-ribbon load (fraction of the ribbon's F-fiber capacity),
+// destinations uniform, with each flow placed on a fiber by hashing
+// its 5-tuple — the §4 claim that "traffic would typically be
+// load-balanced across fibers using hashing, leading to even TMs".
+func ECMPUniform(cfg Config, flowsPerRibbon int, load float64, seed uint64) []Flow {
+	rng := sim.NewRNG(seed)
+	var flows []Flow
+	perFlow := load * float64(cfg.F) / float64(flowsPerRibbon)
+	for r := 0; r < cfg.N; r++ {
+		for i := 0; i < flowsPerRibbon; i++ {
+			t := randomTuple(rng)
+			flows = append(flows, Flow{
+				SrcRibbon: r,
+				Fiber:     t.Member(uint32(seed), cfg.F),
+				DstRibbon: rng.Intn(cfg.N),
+				Rate:      perFlow,
+				Tuple:     t,
+			})
+		}
+	}
+	return flows
+}
+
+// FirstFiberSkew models §2.1 Challenge 4 (1): operators connect the
+// first fibers first, so fiber f of every ribbon carries a load that
+// decays linearly from `load` at fiber 0 to zero at fiber F-1. One
+// aggregate flow per fiber, destinations uniform via many small
+// flows.
+func FirstFiberSkew(cfg Config, load float64, seed uint64) []Flow {
+	rng := sim.NewRNG(seed)
+	var flows []Flow
+	for r := 0; r < cfg.N; r++ {
+		for f := 0; f < cfg.F; f++ {
+			fiberLoad := load * (1 - float64(f)/float64(cfg.F))
+			// Split each fiber's load into per-destination flows.
+			per := fiberLoad / float64(cfg.N)
+			for d := 0; d < cfg.N; d++ {
+				flows = append(flows, Flow{
+					SrcRibbon: r, Fiber: f, DstRibbon: d, Rate: per,
+					Tuple: randomTuple(rng),
+				})
+			}
+		}
+	}
+	return flows
+}
+
+// Adversarial models §2.1 Challenge 4 (2): an attacker who assumes
+// the contiguous pattern floods exactly the first α fibers of every
+// ribbon (the fibers that a contiguous splitter sends to switch 0) at
+// full rate, aiming everything at a single output ribbon to compound
+// the overload.
+func Adversarial(cfg Config, seed uint64) []Flow {
+	rng := sim.NewRNG(seed)
+	var flows []Flow
+	for r := 0; r < cfg.N; r++ {
+		for f := 0; f < cfg.Alpha(); f++ {
+			flows = append(flows, Flow{
+				SrcRibbon: r, Fiber: f, DstRibbon: 0, Rate: 1.0,
+				Tuple: randomTuple(rng),
+			})
+		}
+	}
+	return flows
+}

@@ -1,0 +1,205 @@
+// Package sps models the top-level Split-Parallel Switch of §2: N
+// fiber ribbons of F fibers, each fiber carrying W WDM channels of
+// rate R, passively split so that every one of the H internal HBM
+// switches receives α = F/H fibers from every ribbon. Because the
+// split is passive and the H switches never exchange traffic, the SPS
+// decomposes exactly into H independent N×N switches — the property
+// that buys the single-OEO-stage power budget and that this package's
+// flow-level model exploits.
+package sps
+
+import (
+	"fmt"
+
+	"pbrouter/internal/optics"
+	"pbrouter/internal/packet"
+	"pbrouter/internal/sim"
+	"pbrouter/internal/stats"
+	"pbrouter/internal/traffic"
+)
+
+// Config is the SPS package-level design point.
+type Config struct {
+	N       int // fiber ribbons (router ports)
+	F       int // fibers per ribbon
+	H       int // parallel HBM switches
+	WDM     optics.WDM
+	Pattern optics.Pattern
+	Seed    uint64 // seeds the pseudo-random splitter
+}
+
+// Reference returns the paper's §2.2 design point: 16 ribbons × 64
+// fibers × 16 wavelengths × 40 Gb/s, split across 16 HBM switches.
+func Reference() Config {
+	return Config{
+		N:       16,
+		F:       64,
+		H:       16,
+		WDM:     optics.WDM{Wavelengths: 16, ChannelRate: 40 * sim.Gbps},
+		Pattern: optics.PseudoRandom,
+		Seed:    0x5e5,
+	}
+}
+
+// Validate checks the dimensions.
+func (c Config) Validate() error {
+	if c.N <= 0 || c.F <= 0 || c.H <= 0 {
+		return fmt.Errorf("sps: non-positive dimensions")
+	}
+	if c.F%c.H != 0 {
+		return fmt.Errorf("sps: F=%d not divisible by H=%d", c.F, c.H)
+	}
+	if c.WDM.Wavelengths <= 0 || c.WDM.ChannelRate <= 0 {
+		return fmt.Errorf("sps: bad WDM parameters")
+	}
+	return nil
+}
+
+// Alpha returns F/H.
+func (c Config) Alpha() int { return c.F / c.H }
+
+// FiberRate returns one fiber's aggregate rate (W·R).
+func (c Config) FiberRate() sim.Rate { return c.WDM.FiberRate() }
+
+// PortRate returns one HBM-switch port's rate P = α·W·R.
+func (c Config) PortRate() sim.Rate {
+	return c.FiberRate() * sim.Rate(c.Alpha())
+}
+
+// PackageIORate returns the package ingress capacity N·F·W·R
+// (655.36 Tb/s in the reference design).
+func (c Config) PackageIORate() sim.Rate {
+	return c.FiberRate() * sim.Rate(c.N*c.F)
+}
+
+// TotalIORate returns ingress+egress (1.31 Pb/s in the reference
+// design).
+func (c Config) TotalIORate() sim.Rate { return 2 * c.PackageIORate() }
+
+// SwitchIORate returns the total memory I/O one HBM switch must
+// sustain, 2(N·F·W·R)/H (81.92 Tb/s in the reference design).
+func (c Config) SwitchIORate() sim.Rate {
+	return c.TotalIORate() / sim.Rate(c.H)
+}
+
+// Deployment is a configured SPS with its fiber splitter.
+type Deployment struct {
+	Cfg      Config
+	Splitter *optics.Splitter
+}
+
+// NewDeployment builds the splitter for the configuration.
+func NewDeployment(cfg Config) (*Deployment, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sp, err := optics.NewSplitter(cfg.N, cfg.F, cfg.H, cfg.Pattern, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{Cfg: cfg, Splitter: sp}, nil
+}
+
+// Flow is one external flow offered to the router: it enters at a
+// specific fiber of a source ribbon (where the upstream ECMP/LAG hash
+// placed it) and is destined to an output ribbon. Rate is a fraction
+// of one fiber's capacity.
+type Flow struct {
+	SrcRibbon int
+	Fiber     int
+	DstRibbon int
+	Rate      float64
+	Tuple     packet.FiveTuple
+}
+
+// SwitchOf returns the HBM switch serving the flow.
+func (d *Deployment) SwitchOf(f Flow) int {
+	return d.Splitter.SwitchFor(f.SrcRibbon, f.Fiber)
+}
+
+// SwitchLoads aggregates flows into per-switch offered load, in units
+// of one switch's total ingress capacity (N·α fiber-capacities).
+func (d *Deployment) SwitchLoads(flows []Flow) []float64 {
+	loads := make([]float64, d.Cfg.H)
+	cap := float64(d.Cfg.N * d.Cfg.Alpha())
+	for _, f := range flows {
+		loads[d.SwitchOf(f)] += f.Rate / cap
+	}
+	return loads
+}
+
+// SwitchMatrices builds each HBM switch's N×N traffic matrix from the
+// flows, in units of one switch port's rate (α fiber-capacities per
+// port). Matrices may be inadmissible if the split is uneven — that
+// is precisely the effect being measured.
+func (d *Deployment) SwitchMatrices(flows []Flow) []*traffic.Matrix {
+	out := make([]*traffic.Matrix, d.Cfg.H)
+	for h := range out {
+		out[h] = traffic.NewMatrix(d.Cfg.N)
+	}
+	alpha := float64(d.Cfg.Alpha())
+	for _, f := range flows {
+		h := d.SwitchOf(f)
+		out[h].Rates[f.SrcRibbon][f.DstRibbon] += f.Rate / alpha
+	}
+	return out
+}
+
+// Imbalance summarizes the per-switch load spread of the flows.
+type Imbalance struct {
+	Loads       []float64 // per-switch offered load (fraction of capacity)
+	MaxOverMean float64
+	Jain        float64
+	// LossFraction is the traffic fraction lost if every switch port
+	// that is oversubscribed drops its excess (per-switch-column
+	// fluid model).
+	LossFraction float64
+}
+
+// Analyze computes the imbalance and fluid loss of a flow set with
+// switches at nominal capacity.
+func (d *Deployment) Analyze(flows []Flow) Imbalance {
+	return d.AnalyzeWithCapacity(flows, 1.0)
+}
+
+// AnalyzeWithCapacity computes imbalance and loss with every switch
+// port derated to the given fraction of line rate. §2.1 Design 4
+// warns that "the uneven distribution across smaller switches
+// operating at a reduced capacity may potentially lead to packet
+// losses" — derating models that reduced capacity (e.g. a switch
+// provisioned for the average load rather than the skewed peak).
+func (d *Deployment) AnalyzeWithCapacity(flows []Flow, portCapacity float64) Imbalance {
+	loads := d.SwitchLoads(flows)
+	im := Imbalance{
+		Loads:       loads,
+		MaxOverMean: stats.MaxOverMean(loads),
+		Jain:        stats.JainIndex(loads),
+	}
+	// Fluid loss model (an estimate, not a queueing analysis): traffic
+	// beyond a port's capacity is dropped, first at oversubscribed
+	// inputs, then at oversubscribed output columns of what remains.
+	mats := d.SwitchMatrices(flows)
+	var offered, lost float64
+	for _, m := range mats {
+		for i := 0; i < m.N; i++ {
+			row := m.RowLoad(i)
+			offered += row
+			if row > portCapacity {
+				f := portCapacity / row
+				for j := range m.Rates[i] {
+					m.Rates[i][j] *= f
+				}
+				lost += row - portCapacity
+			}
+		}
+		for j := 0; j < m.N; j++ {
+			if col := m.ColLoad(j); col > portCapacity {
+				lost += col - portCapacity
+			}
+		}
+	}
+	if offered > 0 {
+		im.LossFraction = lost / offered
+	}
+	return im
+}

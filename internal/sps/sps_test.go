@@ -1,0 +1,286 @@
+package sps
+
+import (
+	"math"
+	"testing"
+
+	"pbrouter/internal/hbmswitch"
+	"pbrouter/internal/optics"
+	"pbrouter/internal/sim"
+	"pbrouter/internal/traffic"
+)
+
+func TestReferenceCapacityNumbers(t *testing.T) {
+	cfg := Reference()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// §2.2: N·F·W·R = 655.36 Tb/s per direction; 1.31 Pb/s total I/O;
+	// per-switch I/O 81.92 Tb/s; port rate P = α·W·R = 2.56 Tb/s.
+	if got := float64(cfg.PackageIORate()); math.Abs(got-655.36e12) > 1 {
+		t.Fatalf("package I/O %v want 655.36 Tb/s", sim.Rate(got))
+	}
+	if got := float64(cfg.TotalIORate()); math.Abs(got-1.31072e15) > 1 {
+		t.Fatalf("total I/O %v want 1.31 Pb/s", sim.Rate(got))
+	}
+	if got := float64(cfg.SwitchIORate()); math.Abs(got-81.92e12) > 1 {
+		t.Fatalf("switch I/O %v want 81.92 Tb/s", sim.Rate(got))
+	}
+	if got := float64(cfg.PortRate()); math.Abs(got-2.56e12) > 1 {
+		t.Fatalf("port rate %v want 2.56 Tb/s", sim.Rate(got))
+	}
+	if cfg.Alpha() != 4 {
+		t.Fatalf("alpha %d want 4", cfg.Alpha())
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	bad := Reference()
+	bad.F = 63
+	if bad.Validate() == nil {
+		t.Fatal("F not divisible by H accepted")
+	}
+}
+
+func TestECMPUniformBalancesSwitches(t *testing.T) {
+	// §4 "Traffic matrix at HBM switches": hashing across fibers leads
+	// to even per-switch loads under either splitter pattern.
+	for _, pattern := range []optics.Pattern{optics.Contiguous, optics.PseudoRandom} {
+		cfg := Reference()
+		cfg.Pattern = pattern
+		dep, err := NewDeployment(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flows := ECMPUniform(cfg, 10000, 0.8, 17)
+		im := dep.Analyze(flows)
+		if im.MaxOverMean > 1.1 {
+			t.Fatalf("%v: ECMP imbalance %.3f want near 1", pattern, im.MaxOverMean)
+		}
+		if im.Jain < 0.99 {
+			t.Fatalf("%v: Jain %.4f want ~1", pattern, im.Jain)
+		}
+		if im.LossFraction > 0.001 {
+			t.Fatalf("%v: unexpected loss %.4f", pattern, im.LossFraction)
+		}
+	}
+}
+
+func TestFirstFiberSkewPseudoRandomWins(t *testing.T) {
+	// §2.1 Challenge 4 (1): under first-fiber load skew the contiguous
+	// split overloads the low-numbered switches; the pseudo-random
+	// split stays balanced.
+	base := Reference()
+	cont := base
+	cont.Pattern = optics.Contiguous
+	prnd := base
+	prnd.Pattern = optics.PseudoRandom
+
+	dc, _ := NewDeployment(cont)
+	dp, _ := NewDeployment(prnd)
+	fc := FirstFiberSkew(cont, 1.0, 3)
+	fp := FirstFiberSkew(prnd, 1.0, 3)
+
+	ic := dc.Analyze(fc)
+	ip := dp.Analyze(fp)
+	// Contiguous: switch 0 serves the heaviest α fibers of each ribbon
+	// (load ~ (1 + (F-α)/F)/2 ≈ 0.97 vs mean 0.5): ~2x skew.
+	if ic.MaxOverMean < 1.5 {
+		t.Fatalf("contiguous skew %.3f want >1.5", ic.MaxOverMean)
+	}
+	if ip.MaxOverMean > 1.2 {
+		t.Fatalf("pseudo-random skew %.3f want <1.2", ip.MaxOverMean)
+	}
+	if ip.MaxOverMean >= ic.MaxOverMean {
+		t.Fatal("pseudo-random did not improve on contiguous")
+	}
+	// §2.1 Design 4: with switches "operating at a reduced capacity"
+	// (here 80% of line rate — provisioned above the 50% average but
+	// below the skewed peak), the contiguous pattern loses traffic
+	// while the pseudo-random pattern does not.
+	icr := dc.AnalyzeWithCapacity(fc, 0.8)
+	ipr := dp.AnalyzeWithCapacity(fp, 0.8)
+	if icr.LossFraction <= 0 {
+		t.Fatalf("contiguous under skew at 0.8 capacity lost nothing (max load %.3f)", maxOf(icr.Loads))
+	}
+	if ipr.LossFraction > icr.LossFraction/5 {
+		t.Fatalf("pseudo-random loss %.4f not much better than contiguous %.4f",
+			ipr.LossFraction, icr.LossFraction)
+	}
+}
+
+func TestAdversarialAttackBlunted(t *testing.T) {
+	// §2.1 Challenge 4 (2): the attacker floods the first α fibers of
+	// every ribbon toward one output. Against the contiguous split all
+	// of it lands on switch 0 (load = its full capacity aimed at one
+	// output ribbon: a 16x column overload inside the switch). Against
+	// the pseudo-random split the same fibers scatter.
+	cont := Reference()
+	cont.Pattern = optics.Contiguous
+	prnd := Reference()
+	prnd.Pattern = optics.PseudoRandom
+
+	dc, _ := NewDeployment(cont)
+	dp, _ := NewDeployment(prnd)
+	attack := Adversarial(cont, 5)
+
+	lc := dc.SwitchLoads(attack)
+	lp := dp.SwitchLoads(attack)
+	if lc[0] < 0.99 {
+		t.Fatalf("contiguous: switch 0 load %.3f want ~1 (fully targeted)", lc[0])
+	}
+	for h := 1; h < cont.H; h++ {
+		if lc[h] != 0 {
+			t.Fatalf("contiguous: switch %d got attack traffic", h)
+		}
+	}
+	if m := maxOf(lp); m > 0.5 {
+		t.Fatalf("pseudo-random: max switch load %.3f want well under capacity", m)
+	}
+	// Loss comparison: inside switch 0 the contiguous attack is a
+	// column overload; the scattered attack is far milder.
+	ic := dc.Analyze(attack)
+	ip := dp.Analyze(attack)
+	if ic.LossFraction <= ip.LossFraction {
+		t.Fatalf("attack loss: contiguous %.4f vs pseudo-random %.4f",
+			ic.LossFraction, ip.LossFraction)
+	}
+}
+
+func maxOf(xs []float64) float64 {
+	var m float64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func TestSwitchMatricesConserveRate(t *testing.T) {
+	cfg := Reference()
+	dep, _ := NewDeployment(cfg)
+	flows := ECMPUniform(cfg, 1000, 0.5, 11)
+	var total float64
+	for _, f := range flows {
+		total += f.Rate
+	}
+	mats := dep.SwitchMatrices(flows)
+	var got float64
+	for _, m := range mats {
+		got += m.Total() * float64(cfg.Alpha())
+	}
+	if math.Abs(got-total) > 1e-6*total {
+		t.Fatalf("matrix total %v != flow total %v", got, total)
+	}
+}
+
+func TestFullReferenceRouter(t *testing.T) {
+	// The complete paper design point at packet level: 16 HBM switches
+	// of 4 stacks each, 2.56 Tb/s ports, ECMP-hashed traffic at 80%
+	// of the 655 Tb/s package ingress. The switches run concurrently.
+	if testing.Short() {
+		t.Skip("full reference router takes a few seconds")
+	}
+	cfg := Reference()
+	dep, err := NewDeployment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swCfg := hbmswitch.Reference()
+	swCfg.Speedup = 1.1
+	router, err := NewRouter(dep, swCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := ECMPUniform(cfg, 20000, 0.8, 77)
+	rep, err := router.Run(flows, traffic.Poisson, traffic.IMIX(), 10*sim.Microsecond, 78)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Errors) > 0 {
+		t.Fatalf("invariant violations: %v", rep.Errors[0])
+	}
+	if len(rep.PerSwitch) != 16 {
+		t.Fatalf("%d switch reports", len(rep.PerSwitch))
+	}
+	if rep.Throughput < rep.OfferedLoad-0.03 {
+		t.Fatalf("reference router throughput %.4f below offered %.4f",
+			rep.Throughput, rep.OfferedLoad)
+	}
+	// Aggregate delivered traffic across the package at this load:
+	// 0.8 x 655 Tb/s x 10 us ~ 5.2 Gbit moved end to end.
+	var bytes int64
+	for _, sr := range rep.PerSwitch {
+		bytes += sr.DeliveredBytes
+	}
+	if gbits := float64(bytes) * 8 / 1e9; gbits < 4.5 {
+		t.Fatalf("only %.1f Gbit moved through the package (want ~5.2)", gbits)
+	}
+}
+
+func TestRouterRunDeterministicAcrossSchedules(t *testing.T) {
+	// The parallel per-switch simulation must not depend on goroutine
+	// scheduling: same flows and seed give identical reports.
+	cfg := Config{
+		N: 16, F: 16, H: 4,
+		WDM:     optics.WDM{Wavelengths: 16, ChannelRate: 10 * sim.Gbps},
+		Pattern: optics.PseudoRandom,
+		Seed:    5,
+	}
+	dep, _ := NewDeployment(cfg)
+	router, err := NewRouter(dep, hbmswitch.Scaled(1, cfg.PortRate()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := ECMPUniform(cfg, 1000, 0.6, 9)
+	a, err := router.Run(flows, traffic.Poisson, traffic.Fixed(1500), 10*sim.Microsecond, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := router.Run(flows, traffic.Poisson, traffic.Fixed(1500), 10*sim.Microsecond, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := range a.PerSwitch {
+		if a.PerSwitch[h].DeliveredPackets != b.PerSwitch[h].DeliveredPackets ||
+			a.PerSwitch[h].LatencyMean != b.PerSwitch[h].LatencyMean {
+			t.Fatalf("switch %d diverged between identical runs", h)
+		}
+	}
+}
+
+func TestFullRouterIntegration(t *testing.T) {
+	// Packet-level SPS: a scaled-down deployment (H=4 switches, 1-stack
+	// memories) carries ECMP traffic end to end with no invariant
+	// violations and full delivery.
+	cfg := Config{
+		N: 16, F: 16, H: 4,
+		WDM:     optics.WDM{Wavelengths: 16, ChannelRate: 10 * sim.Gbps},
+		Pattern: optics.PseudoRandom,
+		Seed:    1,
+	}
+	dep, err := NewDeployment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swCfg := hbmswitch.Scaled(1, cfg.PortRate()) // α·W·R = 4*16*10G = 640 Gb/s
+	router, err := NewRouter(dep, swCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := ECMPUniform(cfg, 2000, 0.7, 21)
+	rep, err := router.Run(flows, traffic.Poisson, traffic.Fixed(1500), 40*sim.Microsecond, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Errors) > 0 {
+		t.Fatalf("invariant violations: %v", rep.Errors[0])
+	}
+	if len(rep.PerSwitch) != 4 {
+		t.Fatalf("%d switch reports", len(rep.PerSwitch))
+	}
+	if rep.Throughput < rep.OfferedLoad-0.03 {
+		t.Fatalf("router throughput %.4f below offered %.4f", rep.Throughput, rep.OfferedLoad)
+	}
+}

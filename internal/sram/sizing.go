@@ -1,0 +1,100 @@
+package sram
+
+import "fmt"
+
+// Sizing derives the SRAM capacity the HBM switch needs per stage from
+// the architecture parameters, reproducing §4's "total needed SRAM
+// size is 14.5 MB" (experiment E8). The paper states the total
+// without a breakdown; the derivation below follows the stated module
+// organization (§3.2 ➀➁➄➅) and, with the reference parameters
+// (N=16, k=4 KB, K=512 KB), lands exactly on 14.5 MB:
+//
+//   - Input port SRAM (➀): N per-output queues per port, each
+//     double-buffering one batch (a forming batch plus one completed or
+//     straddling into the next): N·2k = 128 KB per port, 2 MB total.
+//   - Tail SRAM (➁): N modules, each with N per-output queues
+//     accumulating one forming frame slice of K/N: N·K/N = K = 512 KB
+//     per module, 8 MB total.
+//   - Head SRAM (➄): N modules with N per-output batch-slice queues;
+//     the cyclical read schedule drains each output's frame slice
+//     before its next one arrives, bounding the residency to half a
+//     frame slice per output on average: N·(K/N)/2 = 256 KB per
+//     module, 4 MB total.
+//   - Output port SRAM (➅): one frame slice's worth of batches being
+//     unpacked into packets: K/N = 32 KB per port, 0.5 MB total.
+//
+// The simulation's high-water measurements (Module.HighWater) provide
+// the cross-check that these static bounds hold under admissible
+// traffic.
+type Sizing struct {
+	N          int // switch ports
+	BatchBytes int // k
+	FrameBytes int // K
+}
+
+// InputPortBytes returns the SRAM needed by one input port: N
+// double-buffered batches.
+func (s Sizing) InputPortBytes() int64 {
+	return int64(s.N) * 2 * int64(s.BatchBytes)
+}
+
+// TailModuleBytes returns the SRAM needed by one tail-SRAM module: one
+// forming frame slice per output.
+func (s Sizing) TailModuleBytes() int64 {
+	return int64(s.N) * int64(s.FrameBytes/s.N)
+}
+
+// HeadModuleBytes returns the SRAM needed by one head-SRAM module:
+// half a frame slice per output under the cyclical read schedule.
+func (s Sizing) HeadModuleBytes() int64 {
+	return int64(s.N) * int64(s.FrameBytes/s.N) / 2
+}
+
+// OutputPortBytes returns the SRAM needed by one output port: one
+// frame slice of batches awaiting unpacking.
+func (s Sizing) OutputPortBytes() int64 {
+	return int64(s.FrameBytes / s.N)
+}
+
+// TotalBytes returns the whole switch's SRAM demand.
+func (s Sizing) TotalBytes() int64 {
+	return int64(s.N) * (s.InputPortBytes() + s.TailModuleBytes() + s.HeadModuleBytes() + s.OutputPortBytes())
+}
+
+// TotalMB returns the total in binary megabytes.
+func (s Sizing) TotalMB() float64 { return float64(s.TotalBytes()) / (1 << 20) }
+
+// OQBookkeepingBytes estimates the SRAM an ideal output-queued
+// shared-memory switch would need just to track packet locations in a
+// memory of the given capacity — §3.1 Challenge 6's "prohibitive SRAM
+// sizes of several GBs". Each cell of cellBytes needs a next-cell
+// pointer (linked-list queues) of ceil(log2(cells)) bits plus a
+// length/valid overhead of ~8 bits.
+func OQBookkeepingBytes(memoryBytes int64, cellBytes int) int64 {
+	if cellBytes <= 0 {
+		panic("sram: non-positive cell size")
+	}
+	cells := memoryBytes / int64(cellBytes)
+	ptrBits := int64(1)
+	for v := cells; v > 1; v >>= 1 {
+		ptrBits++
+	}
+	perCellBits := ptrBits + 8
+	return cells * perCellBits / 8
+}
+
+// Breakdown returns a human-readable per-stage accounting.
+func (s Sizing) Breakdown() string {
+	mb := func(b int64) float64 { return float64(b) / (1 << 20) }
+	return fmt.Sprintf(
+		"input ports:  %d x %.3f MB = %.2f MB\n"+
+			"tail SRAM:    %d x %.3f MB = %.2f MB\n"+
+			"head SRAM:    %d x %.3f MB = %.2f MB\n"+
+			"output ports: %d x %.3f MB = %.2f MB\n"+
+			"total:        %.2f MB",
+		s.N, mb(s.InputPortBytes()), mb(int64(s.N)*s.InputPortBytes()),
+		s.N, mb(s.TailModuleBytes()), mb(int64(s.N)*s.TailModuleBytes()),
+		s.N, mb(s.HeadModuleBytes()), mb(int64(s.N)*s.HeadModuleBytes()),
+		s.N, mb(s.OutputPortBytes()), mb(int64(s.N)*s.OutputPortBytes()),
+		s.TotalMB())
+}

@@ -1,0 +1,144 @@
+// Package sram models the on-chip SRAM stages of the HBM switch: the
+// per-input-port batching SRAMs and the tail/head SRAM modules that
+// assemble and disassemble frames (§3.2 ➀➁➄). The models track
+// interface geometry (width × clock = bandwidth), per-queue occupancy
+// and high-water marks, so experiments can both check that no stage is
+// ever asked to exceed its interface rate and derive the total SRAM
+// the architecture needs (§4's "14.5 MB" claim, experiment E8).
+package sram
+
+import (
+	"fmt"
+
+	"pbrouter/internal/sim"
+)
+
+// Interface describes one SRAM module's port: WidthBits lines toggling
+// at Clock, e.g. the reference 2,048-bit interface at 2.5 GHz
+// delivering 5.12 Tb/s (§3.2 ➀ "Batch size").
+type Interface struct {
+	WidthBits int
+	Clock     sim.Rate // transfers per second per line (2.5 GHz → 2.5 Gb/s per bit)
+}
+
+// Bandwidth returns the interface's data rate.
+func (i Interface) Bandwidth() sim.Rate {
+	return i.Clock * sim.Rate(i.WidthBits)
+}
+
+// WidthForRate returns the interface width in bits needed to sustain
+// the given rate at the given clock, as in the paper's 5120/2.5 =
+// 2,048-bit sizing.
+func WidthForRate(rate, clock sim.Rate) int {
+	if clock <= 0 {
+		panic("sram: non-positive clock")
+	}
+	w := float64(rate) / float64(clock)
+	n := int(w)
+	if float64(n) < w {
+		n++
+	}
+	return n
+}
+
+// Module is an SRAM module holding fixed-size cells in per-queue FIFO
+// order. Cells stand for batch slices or frame slices; the module
+// tracks occupancy in bytes and enforces an optional capacity.
+type Module struct {
+	Name     string
+	Iface    Interface
+	Capacity int64 // bytes; 0 means unbounded (sizing experiments measure demand)
+
+	queues    map[int]int64 // queue id -> occupied bytes
+	total     int64
+	highWater int64
+
+	// Bandwidth audit: bytes moved per direction with first/last times.
+	in, out       int64
+	firstT, lastT sim.Time
+	seen          bool
+}
+
+// NewModule returns an empty module.
+func NewModule(name string, iface Interface, capacity int64) *Module {
+	return &Module{Name: name, Iface: iface, Capacity: capacity, queues: make(map[int]int64)}
+}
+
+// Write stores bytes into the given queue at the given time. It
+// returns an error if the module would exceed its capacity — callers
+// decide whether that is packet loss or a fatal model bug.
+func (m *Module) Write(queue int, bytes int64, at sim.Time) error {
+	if bytes < 0 {
+		return fmt.Errorf("sram %s: negative write", m.Name)
+	}
+	if m.Capacity > 0 && m.total+bytes > m.Capacity {
+		return fmt.Errorf("sram %s: capacity %d exceeded by write of %d (occupied %d)",
+			m.Name, m.Capacity, bytes, m.total)
+	}
+	m.queues[queue] += bytes
+	m.total += bytes
+	if m.total > m.highWater {
+		m.highWater = m.total
+	}
+	m.in += bytes
+	m.touch(at)
+	return nil
+}
+
+// Read removes bytes from the given queue at the given time. Reading
+// more than the queue holds is a model bug and returns an error.
+func (m *Module) Read(queue int, bytes int64, at sim.Time) error {
+	if m.queues[queue] < bytes {
+		return fmt.Errorf("sram %s: queue %d underflow: read %d of %d",
+			m.Name, queue, bytes, m.queues[queue])
+	}
+	m.queues[queue] -= bytes
+	m.total -= bytes
+	m.out += bytes
+	m.touch(at)
+	return nil
+}
+
+func (m *Module) touch(at sim.Time) {
+	if !m.seen {
+		m.firstT = at
+		m.seen = true
+	}
+	if at > m.lastT {
+		m.lastT = at
+	}
+	if at < m.firstT {
+		m.firstT = at
+	}
+}
+
+// Occupied returns current total occupancy in bytes.
+func (m *Module) Occupied() int64 { return m.total }
+
+// QueueOccupied returns one queue's occupancy in bytes.
+func (m *Module) QueueOccupied(queue int) int64 { return m.queues[queue] }
+
+// HighWater returns the maximum occupancy ever observed — the number
+// the sizing experiment uses as the module's required capacity.
+func (m *Module) HighWater() int64 { return m.highWater }
+
+// ThroughputDemand returns the average combined read+write rate over
+// the observed interval, to compare against 2× the interface rate.
+func (m *Module) ThroughputDemand() sim.Rate {
+	if !m.seen || m.lastT <= m.firstT {
+		return 0
+	}
+	return sim.RateOf((m.in+m.out)*8, m.lastT-m.firstT)
+}
+
+// CheckBandwidth verifies the observed demand does not exceed the
+// interface's read+write capability (2× Bandwidth for a two-ported
+// SRAM, which is what the paper's "total of 2P = 5.12 Tb/s" sizing
+// assumes).
+func (m *Module) CheckBandwidth() error {
+	demand := m.ThroughputDemand()
+	if cap := 2 * m.Iface.Bandwidth(); demand > cap {
+		return fmt.Errorf("sram %s: demand %v exceeds 2x interface %v", m.Name, demand, cap)
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package sram
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pbrouter/internal/sim"
+)
+
+func TestInterfaceBandwidth(t *testing.T) {
+	// §3.2 ➀: 2,048-bit interface at 2.5 GHz = 5.12 Tb/s.
+	i := Interface{WidthBits: 2048, Clock: 2.5 * sim.Gbps}
+	if got := i.Bandwidth(); math.Abs(float64(got)-5.12e12) > 1 {
+		t.Fatalf("bandwidth %v want 5.12Tb/s", got)
+	}
+}
+
+func TestWidthForRate(t *testing.T) {
+	// §3.2 ➀: 5120 Gb/s over a 2.5 GHz clock needs 2,048 bits.
+	if got := WidthForRate(5120*sim.Gbps, 2.5*sim.Gbps); got != 2048 {
+		t.Fatalf("width %d want 2048", got)
+	}
+	// Non-integer division rounds up.
+	if got := WidthForRate(5*sim.Gbps, 2*sim.Gbps); got != 3 {
+		t.Fatalf("width %d want 3", got)
+	}
+}
+
+func TestModuleOccupancy(t *testing.T) {
+	m := NewModule("tail0", Interface{WidthBits: 2048, Clock: 2.5 * sim.Gbps}, 0)
+	if err := m.Write(1, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(2, 50, 10); err != nil {
+		t.Fatal(err)
+	}
+	if m.Occupied() != 150 || m.QueueOccupied(1) != 100 {
+		t.Fatalf("occupied %d q1 %d", m.Occupied(), m.QueueOccupied(1))
+	}
+	if err := m.Read(1, 60, 20); err != nil {
+		t.Fatal(err)
+	}
+	if m.Occupied() != 90 {
+		t.Fatalf("occupied %d", m.Occupied())
+	}
+	if m.HighWater() != 150 {
+		t.Fatalf("high water %d", m.HighWater())
+	}
+}
+
+func TestModuleUnderflowDetected(t *testing.T) {
+	m := NewModule("x", Interface{WidthBits: 1, Clock: sim.Gbps}, 0)
+	m.Write(0, 10, 0)
+	if err := m.Read(0, 20, 1); err == nil {
+		t.Fatal("underflow accepted")
+	}
+}
+
+func TestModuleCapacityEnforced(t *testing.T) {
+	m := NewModule("x", Interface{WidthBits: 1, Clock: sim.Gbps}, 100)
+	if err := m.Write(0, 90, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(0, 20, 1); err == nil {
+		t.Fatal("capacity overflow accepted")
+	}
+	// Unbounded module accepts anything.
+	u := NewModule("u", Interface{WidthBits: 1, Clock: sim.Gbps}, 0)
+	if err := u.Write(0, 1<<40, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModuleBandwidthAudit(t *testing.T) {
+	// 1 Gb/s interface (1 bit @ 1 GHz): 2x = 2 Gb/s allowed.
+	m := NewModule("x", Interface{WidthBits: 1, Clock: sim.Gbps}, 0)
+	// Move 1000 bytes in and out over 8 microseconds: demand =
+	// 16000 bits / 8 us = 2 Gb/s exactly — allowed.
+	m.Write(0, 1000, 0)
+	m.Read(0, 1000, 8*sim.Microsecond)
+	if err := m.CheckBandwidth(); err != nil {
+		t.Fatal(err)
+	}
+	// Same traffic in 4 us: 4 Gb/s — rejected.
+	m2 := NewModule("y", Interface{WidthBits: 1, Clock: sim.Gbps}, 0)
+	m2.Write(0, 1000, 0)
+	m2.Read(0, 1000, 4*sim.Microsecond)
+	if err := m2.CheckBandwidth(); err == nil {
+		t.Fatal("overdriven module passed bandwidth check")
+	}
+}
+
+func TestModuleConservationProperty(t *testing.T) {
+	// Random interleaved writes/reads never go negative and occupancy
+	// always equals writes minus reads.
+	if err := quick.Check(func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		m := NewModule("p", Interface{WidthBits: 64, Clock: sim.Gbps}, 0)
+		var balance int64
+		for i := 0; i < 200; i++ {
+			q := rng.Intn(4)
+			if rng.Float64() < 0.6 {
+				b := int64(rng.Intn(1000))
+				m.Write(q, b, sim.Time(i))
+				balance += b
+			} else {
+				have := m.QueueOccupied(q)
+				if have > 0 {
+					b := int64(rng.Intn(int(have))) + 1
+					if m.Read(q, b, sim.Time(i)) != nil {
+						return false
+					}
+					balance -= b
+				}
+			}
+			if m.Occupied() != balance || m.Occupied() < 0 {
+				return false
+			}
+		}
+		return m.HighWater() >= m.Occupied()
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizingReproducesPaper14_5MB(t *testing.T) {
+	// §4: "the total needed SRAM size is 14.5 MB".
+	s := Sizing{N: 16, BatchBytes: 4096, FrameBytes: 512 * 1024}
+	if got := s.TotalMB(); math.Abs(got-14.5) > 1e-9 {
+		t.Fatalf("total %.3f MB want 14.5 MB\n%s", got, s.Breakdown())
+	}
+	// Per-stage reference values.
+	if s.InputPortBytes() != 128<<10 {
+		t.Fatalf("input port %d want 128KB", s.InputPortBytes())
+	}
+	if s.TailModuleBytes() != 512<<10 {
+		t.Fatalf("tail module %d want 512KB", s.TailModuleBytes())
+	}
+	if s.HeadModuleBytes() != 256<<10 {
+		t.Fatalf("head module %d want 256KB", s.HeadModuleBytes())
+	}
+	if s.OutputPortBytes() != 32<<10 {
+		t.Fatalf("output port %d want 32KB", s.OutputPortBytes())
+	}
+}
+
+func TestSizingScalesWithFrameSize(t *testing.T) {
+	// The datacenter variant (§5) shrinks frames; SRAM shrinks nearly
+	// proportionally since the tail/head stages dominate.
+	big := Sizing{N: 16, BatchBytes: 4096, FrameBytes: 512 * 1024}
+	small := Sizing{N: 16, BatchBytes: 4096, FrameBytes: 64 * 1024}
+	if small.TotalBytes() >= big.TotalBytes() {
+		t.Fatal("smaller frames did not reduce SRAM")
+	}
+	ratio := float64(big.TotalBytes()) / float64(small.TotalBytes())
+	if ratio < 3 {
+		t.Fatalf("expected large reduction, got %.2fx", ratio)
+	}
+}
+
+func TestOQBookkeepingIsProhibitive(t *testing.T) {
+	// §3.1 Challenge 6: per-packet bookkeeping over a modern HBM needs
+	// "prohibitive SRAM sizes of several GBs". One switch's 256 GB at
+	// 64 B cells: 4G cells x ~40 bits ≈ 20 GB of pointer SRAM —
+	// three orders of magnitude beyond PFI's 14.5 MB.
+	got := OQBookkeepingBytes(256<<30, 64)
+	if got < 2<<30 {
+		t.Fatalf("bookkeeping %d B not 'several GBs'", got)
+	}
+	pfi := Sizing{N: 16, BatchBytes: 4096, FrameBytes: 512 * 1024}.TotalBytes()
+	if got < 100*pfi {
+		t.Fatalf("bookkeeping %d not orders of magnitude beyond PFI's %d", got, pfi)
+	}
+	// Larger cells shrink it but 1500 B cells still need ~1 GB while
+	// fragmenting the memory for 64 B packets.
+	if big := OQBookkeepingBytes(256<<30, 1500); big > got {
+		t.Fatal("bigger cells increased bookkeeping")
+	}
+}
+
+func TestSizingBreakdownString(t *testing.T) {
+	s := Sizing{N: 16, BatchBytes: 4096, FrameBytes: 512 * 1024}
+	if s.Breakdown() == "" {
+		t.Fatal("empty breakdown")
+	}
+}

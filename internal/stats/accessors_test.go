@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestReorderFraction(t *testing.T) {
+	r := NewReorderTracker()
+	r.Observe(1, 1, 10) // out of order
+	r.Observe(1, 0, 10)
+	if got := r.OutOfOrderFraction(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("fraction %v want 0.5", got)
+	}
+	empty := NewReorderTracker()
+	if empty.OutOfOrderFraction() != 0 {
+		t.Fatal("empty fraction")
+	}
+}
+
+func TestCounterMeanSizeEmpty(t *testing.T) {
+	var c Counter
+	if c.MeanSize() != 0 {
+		t.Fatal("empty mean size")
+	}
+}
+
+func TestWelfordDegenerate(t *testing.T) {
+	var w Welford
+	if w.Variance() != 0 || w.Stddev() != 0 {
+		t.Fatal("empty variance")
+	}
+	w.Add(5)
+	if w.Variance() != 0 {
+		t.Fatal("single-sample variance")
+	}
+	w.Add(7)
+	if math.Abs(w.Stddev()-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("stddev %v", w.Stddev())
+	}
+}
+
+func TestHistogramGuards(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad histogram accepted")
+		}
+	}()
+	NewHistogram(0, 1.1)
+}
+
+func TestHistogramGrowthGuard(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("growth <= 1 accepted")
+		}
+	}()
+	NewHistogram(1, 1.0)
+}
+
+func TestHistogramEmptyMeanAndString(t *testing.T) {
+	h := NewLatencyHistogram()
+	if h.Mean() != 0 || h.Percentile(0.5) != 0 {
+		t.Fatal("empty histogram stats")
+	}
+	h.Add(5000)
+	if s := h.String(); !strings.Contains(s, "n=1") {
+		t.Fatalf("string %q", s)
+	}
+	// Percentile clamping.
+	if h.Percentile(-1) != h.Percentile(0) {
+		t.Fatal("negative percentile not clamped")
+	}
+	if h.Percentile(2) != h.Percentile(1) {
+		t.Fatal("percentile > 1 not clamped")
+	}
+}
+
+func TestQuantilesEmpty(t *testing.T) {
+	qs := Quantiles(nil, 0.5)
+	if qs[0] != 0 {
+		t.Fatal("empty quantiles")
+	}
+}

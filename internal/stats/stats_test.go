@@ -1,0 +1,270 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pbrouter/internal/sim"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Add(1500)
+	c.Add(64)
+	c.AddBytes(100)
+	if c.Packets != 2 || c.Bytes != 1664 {
+		t.Fatalf("got %+v", c)
+	}
+	if c.Bits() != 1664*8 {
+		t.Fatalf("bits %d", c.Bits())
+	}
+	if got := c.MeanSize(); got != 832 {
+		t.Fatalf("mean size %v", got)
+	}
+}
+
+func TestCounterRate(t *testing.T) {
+	var c Counter
+	c.AddBytes(1e6) // 8e6 bits
+	r := c.Rate(0, sim.Microsecond)
+	if math.Abs(float64(r)-8e12) > 1e6 {
+		t.Fatalf("rate %v want 8Tb/s", r)
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("n=%d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("mean %v", w.Mean())
+	}
+	// Sample variance of that classic set is 32/7.
+	if math.Abs(w.Variance()-32.0/7) > 1e-9 {
+		t.Fatalf("var %v", w.Variance())
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatalf("min/max %v/%v", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordMatchesDirectComputation(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := sim.NewRNG(seed)
+		n := 2 + r.Intn(100)
+		xs := make([]float64, n)
+		var w Welford
+		for i := range xs {
+			xs[i] = r.Float64() * 100
+			w.Add(xs[i])
+		}
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(n)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		v := ss / float64(n-1)
+		return math.Abs(w.Mean()-mean) < 1e-9 && math.Abs(w.Variance()-v) < 1e-6
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram(1, 1.05)
+	for i := 1; i <= 10000; i++ {
+		h.Add(float64(i))
+	}
+	if h.N() != 10000 {
+		t.Fatalf("n=%d", h.N())
+	}
+	for _, tc := range []struct{ p, want float64 }{
+		{0.5, 5000}, {0.9, 9000}, {0.99, 9900},
+	} {
+		got := h.Percentile(tc.p)
+		if math.Abs(got-tc.want)/tc.want > 0.06 {
+			t.Errorf("p%v: got %v want ~%v", tc.p*100, got, tc.want)
+		}
+	}
+	if h.Max() != 10000 {
+		t.Fatalf("max %v", h.Max())
+	}
+	if math.Abs(h.Mean()-5000.5) > 1e-9 {
+		t.Fatalf("mean %v", h.Mean())
+	}
+}
+
+func TestHistogramUnderflow(t *testing.T) {
+	h := NewHistogram(100, 1.1)
+	h.Add(1)
+	h.Add(2)
+	h.Add(200)
+	if h.N() != 3 {
+		t.Fatalf("n=%d", h.N())
+	}
+	if p := h.Percentile(0.3); p != 50 {
+		t.Fatalf("underflow percentile %v want 50 (min/2)", p)
+	}
+}
+
+func TestHistogramMonotonePercentiles(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := sim.NewRNG(seed)
+		h := NewLatencyHistogram()
+		for i := 0; i < 500; i++ {
+			h.Add(1000 + r.Float64()*1e7)
+		}
+		prev := 0.0
+		for p := 0.0; p <= 1.0; p += 0.05 {
+			v := h.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramTimeHelpers(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.AddTime(100 * sim.Nanosecond)
+	if h.MeanTime() != 100*sim.Nanosecond {
+		t.Fatalf("mean time %v", h.MeanTime())
+	}
+	if h.MaxTime() != 100*sim.Nanosecond {
+		t.Fatalf("max time %v", h.MaxTime())
+	}
+	if h.PercentileTime(0.5) <= 0 {
+		t.Fatal("percentile time not positive")
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{1, 1, 1, 1}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("balanced: %v", got)
+	}
+	if got := JainIndex([]float64{1, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("skewed: %v", got)
+	}
+	if got := JainIndex(nil); got != 1 {
+		t.Fatalf("empty: %v", got)
+	}
+}
+
+func TestMaxOverMean(t *testing.T) {
+	if got := MaxOverMean([]float64{2, 2, 2, 2}); got != 1 {
+		t.Fatalf("balanced: %v", got)
+	}
+	if got := MaxOverMean([]float64{4, 0, 0, 0}); got != 4 {
+		t.Fatalf("skewed: %v", got)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	qs := Quantiles(xs, 0, 0.5, 1)
+	if qs[0] != 1 || qs[1] != 3 || qs[2] != 5 {
+		t.Fatalf("got %v", qs)
+	}
+}
+
+func TestReorderTrackerInOrder(t *testing.T) {
+	r := NewReorderTracker()
+	for i := int64(0); i < 100; i++ {
+		r.Observe(1, i, 100)
+	}
+	if r.OutOfOrder() != 0 || r.PeakBufferBytes() != 0 {
+		t.Fatalf("in-order stream flagged: ooo=%d peak=%d", r.OutOfOrder(), r.PeakBufferBytes())
+	}
+	if r.Total() != 100 {
+		t.Fatalf("total %d", r.Total())
+	}
+}
+
+func TestReorderTrackerSwap(t *testing.T) {
+	r := NewReorderTracker()
+	r.Observe(1, 1, 100) // early: buffered
+	if r.HeldBytes() != 100 {
+		t.Fatalf("held %d", r.HeldBytes())
+	}
+	r.Observe(1, 0, 50) // fills the gap, releases seq 1
+	if r.HeldBytes() != 0 {
+		t.Fatalf("held after release %d", r.HeldBytes())
+	}
+	if r.OutOfOrder() != 1 {
+		t.Fatalf("ooo %d", r.OutOfOrder())
+	}
+	if r.PeakBufferBytes() != 100 {
+		t.Fatalf("peak %d", r.PeakBufferBytes())
+	}
+	// Stream continues in order.
+	r.Observe(1, 2, 10)
+	if r.HeldBytes() != 0 || r.OutOfOrder() != 1 {
+		t.Fatalf("continuation broken: %+v", r)
+	}
+}
+
+func TestReorderTrackerDisplacement(t *testing.T) {
+	r := NewReorderTracker()
+	r.Observe(7, 10, 100)
+	if r.MaxDisplacement() != 10 {
+		t.Fatalf("disp %d", r.MaxDisplacement())
+	}
+	// Deliver 0..10 in order; buffer drains when 10's predecessors done.
+	for i := int64(0); i < 10; i++ {
+		r.Observe(7, i, 10)
+	}
+	if r.HeldBytes() != 0 {
+		t.Fatalf("held %d", r.HeldBytes())
+	}
+}
+
+func TestReorderTrackerPairsIndependent(t *testing.T) {
+	r := NewReorderTracker()
+	r.Observe(1, 5, 100) // pair 1 out of order
+	r.Observe(2, 0, 100) // pair 2 in order
+	if r.OutOfOrder() != 1 {
+		t.Fatalf("ooo %d", r.OutOfOrder())
+	}
+	if r.HeldBytes() != 100 {
+		t.Fatalf("held %d", r.HeldBytes())
+	}
+}
+
+func TestReorderTrackerDuplicates(t *testing.T) {
+	r := NewReorderTracker()
+	r.Observe(1, 0, 10)
+	r.Observe(1, 0, 10) // late duplicate: ignored
+	r.Observe(1, 2, 10)
+	r.Observe(1, 2, 10) // duplicate of buffered: not double-counted
+	if r.HeldBytes() != 10 {
+		t.Fatalf("held %d want 10", r.HeldBytes())
+	}
+}
+
+func TestReorderTrackerWorstCaseReversal(t *testing.T) {
+	// Fully reversed arrival of n packets needs (n-1)*size buffering.
+	r := NewReorderTracker()
+	const n = 64
+	for i := int64(n - 1); i >= 0; i-- {
+		r.Observe(3, i, 100)
+	}
+	if r.PeakBufferBytes() != (n-1)*100 {
+		t.Fatalf("peak %d want %d", r.PeakBufferBytes(), (n-1)*100)
+	}
+	if r.HeldBytes() != 0 {
+		t.Fatalf("held %d want 0", r.HeldBytes())
+	}
+}

@@ -1,0 +1,160 @@
+package traffic
+
+import (
+	"fmt"
+
+	"pbrouter/internal/sim"
+)
+
+// Matrix is an N×N traffic matrix. Entry (i,j) is the long-run
+// fraction of input i's line rate destined to output j, so row sums
+// give per-input loads and column sums per-output loads. A matrix is
+// admissible when no row or column sum exceeds 1 — the regime in which
+// the paper claims 100% throughput.
+type Matrix struct {
+	N     int
+	Rates [][]float64 // Rates[i][j] in [0,1], fraction of line rate
+}
+
+// NewMatrix returns an all-zero N×N matrix.
+func NewMatrix(n int) *Matrix {
+	m := &Matrix{N: n, Rates: make([][]float64, n)}
+	for i := range m.Rates {
+		m.Rates[i] = make([]float64, n)
+	}
+	return m
+}
+
+// Uniform returns the uniform matrix at the given load: each input
+// sends load/N to every output.
+func Uniform(n int, load float64) *Matrix {
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Rates[i][j] = load / float64(n)
+		}
+	}
+	return m
+}
+
+// Diagonal returns a permutation matrix at the given load: input i
+// sends everything to output (i+shift) mod N. This is the hardest
+// admissible pattern for architectures that rely on statistical
+// multiplexing gain.
+func Diagonal(n int, load float64, shift int) *Matrix {
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		m.Rates[i][(i+shift)%n] = load
+	}
+	return m
+}
+
+// Permutation returns a random permutation matrix at the given load.
+func Permutation(n int, load float64, rng *sim.RNG) *Matrix {
+	m := NewMatrix(n)
+	p := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		m.Rates[i][p[i]] = load
+	}
+	return m
+}
+
+// Hotspot returns a matrix where every input sends hotFrac of its
+// traffic to output 0 and spreads the rest uniformly. The column sum
+// of output 0 is capped at 1 by scaling the overall load if necessary,
+// keeping the matrix admissible.
+func Hotspot(n int, load, hotFrac float64) *Matrix {
+	// Column 0 receives load*(n*hotFrac + (1-hotFrac)); keep it
+	// admissible by scaling the overall load down if needed.
+	colFactor := float64(n)*hotFrac + (1 - hotFrac)
+	if load*colFactor > 1 {
+		load = 1 / colFactor
+	}
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		m.Rates[i][0] += load * hotFrac
+		for j := 0; j < n; j++ {
+			m.Rates[i][j] += load * (1 - hotFrac) / float64(n)
+		}
+	}
+	return m
+}
+
+// Admissible reports whether no row or column sum exceeds 1+eps.
+func (m *Matrix) Admissible(eps float64) bool {
+	for i := 0; i < m.N; i++ {
+		var row float64
+		for j := 0; j < m.N; j++ {
+			row += m.Rates[i][j]
+		}
+		if row > 1+eps {
+			return false
+		}
+	}
+	for j := 0; j < m.N; j++ {
+		var col float64
+		for i := 0; i < m.N; i++ {
+			col += m.Rates[i][j]
+		}
+		if col > 1+eps {
+			return false
+		}
+	}
+	return true
+}
+
+// RowLoad returns the total load of input i.
+func (m *Matrix) RowLoad(i int) float64 {
+	var s float64
+	for j := 0; j < m.N; j++ {
+		s += m.Rates[i][j]
+	}
+	return s
+}
+
+// ColLoad returns the total load of output j.
+func (m *Matrix) ColLoad(j int) float64 {
+	var s float64
+	for i := 0; i < m.N; i++ {
+		s += m.Rates[i][j]
+	}
+	return s
+}
+
+// Total returns the sum of all entries (aggregate load in units of one
+// port's line rate).
+func (m *Matrix) Total() float64 {
+	var s float64
+	for i := 0; i < m.N; i++ {
+		s += m.RowLoad(i)
+	}
+	return s
+}
+
+// Scale multiplies every entry by f and returns m.
+func (m *Matrix) Scale(f float64) *Matrix {
+	for i := range m.Rates {
+		for j := range m.Rates[i] {
+			m.Rates[i][j] *= f
+		}
+	}
+	return m
+}
+
+// Validate checks entries are non-negative and the matrix square.
+func (m *Matrix) Validate() error {
+	if len(m.Rates) != m.N {
+		return fmt.Errorf("traffic: matrix has %d rows, want %d", len(m.Rates), m.N)
+	}
+	for i, row := range m.Rates {
+		if len(row) != m.N {
+			return fmt.Errorf("traffic: row %d has %d cols, want %d", i, len(row), m.N)
+		}
+		for j, r := range row {
+			if r < 0 {
+				return fmt.Errorf("traffic: negative rate at (%d,%d)", i, j)
+			}
+		}
+	}
+	return nil
+}

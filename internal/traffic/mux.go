@@ -1,0 +1,128 @@
+package traffic
+
+import (
+	"pbrouter/internal/packet"
+	"pbrouter/internal/sim"
+)
+
+// Mux merges several sources into one packet stream in global arrival
+// order — the form the switch models consume. It keeps one lookahead
+// packet per source and performs a k-way merge.
+//
+// The mux re-assigns each packet's per-(input, output) sequence number
+// in arrival order. For one source per input this is identical to the
+// source-assigned numbering; when several sources share an input (the
+// wavelength-granular ingress, where α·W parallel WDM channels feed
+// one port) it defines the arrival order the switch must preserve.
+type Mux struct {
+	srcs []*Source
+	head []*packet.Packet
+	at   []sim.Time
+	seq  map[uint64]int64
+}
+
+// NewMux returns a multiplexer over the given sources.
+func NewMux(srcs []*Source) *Mux {
+	m := &Mux{
+		srcs: srcs,
+		head: make([]*packet.Packet, len(srcs)),
+		at:   make([]sim.Time, len(srcs)),
+		seq:  make(map[uint64]int64),
+	}
+	for i, s := range srcs {
+		m.head[i], m.at[i] = s.Next()
+	}
+	return m
+}
+
+// Next returns the globally next packet by arrival time, or nil when
+// every source is idle forever.
+func (m *Mux) Next() (*packet.Packet, sim.Time) {
+	best := -1
+	bestAt := sim.Forever
+	for i, p := range m.head {
+		if p != nil && m.at[i] < bestAt {
+			best = i
+			bestAt = m.at[i]
+		}
+	}
+	if best < 0 {
+		return nil, sim.Forever
+	}
+	p, at := m.head[best], m.at[best]
+	m.head[best], m.at[best] = m.srcs[best].Next()
+	pair := uint64(p.Input)<<32 | uint64(uint32(p.Output))
+	p.Seq = m.seq[pair]
+	m.seq[pair]++
+	return p, at
+}
+
+// Window drains the multiplexer up to the horizon, returning packets
+// in arrival order.
+func (m *Mux) Window(horizon sim.Time) []*packet.Packet {
+	var out []*packet.Packet
+	for {
+		p, at := m.Next()
+		if p == nil || at > horizon {
+			return out
+		}
+		out = append(out, p)
+	}
+}
+
+// UniformSources builds one source per input for the given traffic
+// matrix, all sharing a flow pool, with per-source forked RNG streams.
+// It is the common setup for whole-switch experiments.
+func UniformSources(m *Matrix, lineRate sim.Rate, kind ArrivalKind, sizes SizeDist, rng *sim.RNG) []*Source {
+	pool := NewFlowPool(16, rng.Fork())
+	var id uint64
+	nextID := func() uint64 { id++; return id }
+	srcs := make([]*Source, m.N)
+	for i := 0; i < m.N; i++ {
+		srcs[i] = NewSource(SourceConfig{
+			Input:    i,
+			LineRate: lineRate,
+			Kind:     kind,
+			Row:      m.Rates[i],
+			Sizes:    sizes,
+			RNG:      rng.Fork(),
+			Pool:     pool,
+			NextID:   nextID,
+		})
+	}
+	return srcs
+}
+
+// WavelengthSources builds the wavelength-granular ingress: each input
+// port is fed by channels parallel WDM sources of channelRate each
+// (α·W channels of R = 40 Gb/s in the reference design), every
+// channel carrying the input's traffic-matrix row at the same
+// fractional load. The aggregate per-input rate is channels ×
+// channelRate; arrivals are smoother and per-packet serialization
+// slower than the single-aggregate-source model — the physically
+// faithful version of the ingress.
+func WavelengthSources(m *Matrix, channels int, channelRate sim.Rate, kind ArrivalKind,
+	sizes SizeDist, rng *sim.RNG) []*Source {
+	if channels <= 0 {
+		panic("traffic: non-positive channel count")
+	}
+	pool := NewFlowPool(16, rng.Fork())
+	var id uint64
+	nextID := func() uint64 { id++; return id }
+	srcs := make([]*Source, 0, m.N*channels)
+	for i := 0; i < m.N; i++ {
+		for w := 0; w < channels; w++ {
+			srcs = append(srcs, NewSource(SourceConfig{
+				Input:    i,
+				LineRate: channelRate,
+				Kind:     kind,
+				Row:      m.Rates[i],
+				Sizes:    sizes,
+				RNG:      rng.Fork(),
+				Pool:     pool,
+				NextID:   nextID,
+			}))
+		}
+	}
+	return srcs
+}

@@ -1,0 +1,104 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"pbrouter/internal/sim"
+)
+
+func TestMuxMergesInArrivalOrder(t *testing.T) {
+	rng := sim.NewRNG(1)
+	srcs := UniformSources(Uniform(4, 0.8), 100*sim.Gbps, Poisson, Fixed(1500), rng)
+	mux := NewMux(srcs)
+	prev := sim.Time(-1)
+	for i := 0; i < 5000; i++ {
+		p, at := mux.Next()
+		if p == nil {
+			t.Fatal("mux dried up")
+		}
+		if at < prev {
+			t.Fatalf("arrival order violated: %v after %v", at, prev)
+		}
+		prev = at
+	}
+}
+
+func TestMuxSeqsArePerPairConsecutive(t *testing.T) {
+	rng := sim.NewRNG(2)
+	srcs := UniformSources(Uniform(4, 0.5), 100*sim.Gbps, Poisson, IMIX(), rng)
+	mux := NewMux(srcs)
+	next := map[uint64]int64{}
+	for i := 0; i < 5000; i++ {
+		p, _ := mux.Next()
+		pair := uint64(p.Input)<<32 | uint64(uint32(p.Output))
+		if p.Seq != next[pair] {
+			t.Fatalf("pair %d: seq %d want %d", pair, p.Seq, next[pair])
+		}
+		next[pair]++
+	}
+}
+
+func TestMuxWindow(t *testing.T) {
+	rng := sim.NewRNG(3)
+	srcs := UniformSources(Uniform(2, 0.5), 100*sim.Gbps, Poisson, Fixed(1500), rng)
+	pkts := NewMux(srcs).Window(10 * sim.Microsecond)
+	if len(pkts) == 0 {
+		t.Fatal("empty window")
+	}
+	for _, p := range pkts {
+		if p.Arrival > 10*sim.Microsecond {
+			t.Fatal("packet beyond horizon")
+		}
+	}
+}
+
+func TestWavelengthSourcesAggregateLoad(t *testing.T) {
+	// 64 channels of 40 Gb/s at load 0.8 must aggregate to 0.8 of
+	// 2.56 Tb/s per input.
+	rng := sim.NewRNG(4)
+	m := Uniform(4, 0.8)
+	srcs := WavelengthSources(m, 64, 40*sim.Gbps, Poisson, Fixed(1500), rng)
+	if len(srcs) != 4*64 {
+		t.Fatalf("%d sources", len(srcs))
+	}
+	mux := NewMux(srcs)
+	horizon := 50 * sim.Microsecond
+	bits := make([]int64, 4)
+	for {
+		p, at := mux.Next()
+		if p == nil || at > horizon {
+			break
+		}
+		bits[p.Input] += int64(p.Size) * 8
+	}
+	for i, b := range bits {
+		got := float64(b) / (2.56e12 * horizon.Seconds())
+		if math.Abs(got-0.8) > 0.05 {
+			t.Errorf("input %d aggregate load %.3f want ~0.8", i, got)
+		}
+	}
+}
+
+func TestWavelengthSourcesSeqOrderedAcrossChannels(t *testing.T) {
+	// Sub-sources of one input interleave arbitrarily; the mux's
+	// arrival-order sequence numbering must stay consecutive per
+	// (input, output) pair.
+	rng := sim.NewRNG(5)
+	srcs := WavelengthSources(Uniform(2, 0.9), 8, 40*sim.Gbps, Poisson, IMIX(), rng)
+	mux := NewMux(srcs)
+	next := map[uint64]int64{}
+	prev := sim.Time(-1)
+	for i := 0; i < 20000; i++ {
+		p, at := mux.Next()
+		if at < prev {
+			t.Fatal("arrival order broken")
+		}
+		prev = at
+		pair := uint64(p.Input)<<32 | uint64(uint32(p.Output))
+		if p.Seq != next[pair] {
+			t.Fatalf("seq %d want %d", p.Seq, next[pair])
+		}
+		next[pair]++
+	}
+}

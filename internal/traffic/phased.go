@@ -1,0 +1,68 @@
+package traffic
+
+import (
+	"pbrouter/internal/packet"
+	"pbrouter/internal/sim"
+)
+
+// PhasedStream chains several streams at fixed switchover times,
+// building time-varying workloads (e.g. a transient overload followed
+// by a quiet period). Arrivals from a later phase that fall before
+// its start are discarded so the composite stays time-monotone, and
+// per-(input,output) sequence numbers are renumbered across the whole
+// composite.
+type PhasedStream struct {
+	streams []Stream
+	until   []sim.Time // until[i] ends phase i; last phase unbounded
+	idx     int
+	seqs    map[uint64]int64
+}
+
+// NewPhasedStream builds a composite of len(streams) phases; phase i
+// runs until until[i] (len(until) must be len(streams)-1, strictly
+// increasing).
+func NewPhasedStream(streams []Stream, until []sim.Time) *PhasedStream {
+	if len(streams) == 0 || len(until) != len(streams)-1 {
+		panic("traffic: phased stream needs n streams and n-1 switch times")
+	}
+	for i := 1; i < len(until); i++ {
+		if until[i] <= until[i-1] {
+			panic("traffic: phase switch times must increase")
+		}
+	}
+	return &PhasedStream{streams: streams, until: until, seqs: make(map[uint64]int64)}
+}
+
+func (p *PhasedStream) renumber(pkt *packet.Packet) {
+	pair := uint64(pkt.Input)<<32 | uint64(uint32(pkt.Output))
+	pkt.Seq = p.seqs[pair]
+	p.seqs[pair]++
+}
+
+// Next implements Stream.
+func (p *PhasedStream) Next() (*packet.Packet, sim.Time) {
+	for {
+		pkt, at := p.streams[p.idx].Next()
+		if pkt == nil {
+			if p.idx == len(p.streams)-1 {
+				return nil, sim.Forever
+			}
+			p.idx++
+			continue
+		}
+		// Drop arrivals before this phase's start (each phase's stream
+		// generates from time zero).
+		if p.idx > 0 && at <= p.until[p.idx-1] {
+			continue
+		}
+		// A packet beyond this phase's end advances to the next phase
+		// (the straggler itself is discarded with the rest of the
+		// phase's tail).
+		if p.idx < len(p.streams)-1 && at > p.until[p.idx] {
+			p.idx++
+			continue
+		}
+		p.renumber(pkt)
+		return pkt, at
+	}
+}

@@ -1,0 +1,87 @@
+package traffic
+
+import (
+	"testing"
+
+	"pbrouter/internal/sim"
+)
+
+func TestPhasedStreamMonotoneAndRenumbered(t *testing.T) {
+	rng := sim.NewRNG(1)
+	mk := func(load float64, seed uint64) Stream {
+		_ = rng
+		return NewMux(UniformSources(Uniform(4, load), 100*sim.Gbps, Poisson, Fixed(1500), sim.NewRNG(seed)))
+	}
+	ps := NewPhasedStream(
+		[]Stream{mk(0.9, 1), mk(0.2, 2), mk(0.6, 3)},
+		[]sim.Time{20 * sim.Microsecond, 40 * sim.Microsecond},
+	)
+	prev := sim.Time(-1)
+	seqs := map[uint64]int64{}
+	count := 0
+	for {
+		p, at := ps.Next()
+		if p == nil || at > 60*sim.Microsecond {
+			break
+		}
+		if at < prev {
+			t.Fatalf("time went backwards: %v after %v", at, prev)
+		}
+		prev = at
+		pair := uint64(p.Input)<<32 | uint64(uint32(p.Output))
+		if p.Seq != seqs[pair] {
+			t.Fatalf("pair %d: seq %d want %d", pair, p.Seq, seqs[pair])
+		}
+		seqs[pair]++
+		count++
+	}
+	if count == 0 {
+		t.Fatal("no packets")
+	}
+}
+
+func TestPhasedStreamLoadChanges(t *testing.T) {
+	// Measured load in each window must match that phase's setting.
+	mk := func(load float64, seed uint64) Stream {
+		return NewMux(UniformSources(Uniform(4, load), 100*sim.Gbps, Poisson, Fixed(1500), sim.NewRNG(seed)))
+	}
+	ps := NewPhasedStream(
+		[]Stream{mk(0.9, 5), mk(0.1, 6)},
+		[]sim.Time{50 * sim.Microsecond},
+	)
+	var bitsA, bitsB int64
+	for {
+		p, at := ps.Next()
+		if p == nil || at > 100*sim.Microsecond {
+			break
+		}
+		if at <= 50*sim.Microsecond {
+			bitsA += int64(p.Size) * 8
+		} else {
+			bitsB += int64(p.Size) * 8
+		}
+	}
+	loadA := float64(bitsA) / (4 * 100e9 * 50e-6)
+	loadB := float64(bitsB) / (4 * 100e9 * 50e-6)
+	if loadA < 0.8 || loadA > 1.0 {
+		t.Fatalf("phase A load %.3f want ~0.9", loadA)
+	}
+	if loadB < 0.05 || loadB > 0.2 {
+		t.Fatalf("phase B load %.3f want ~0.1", loadB)
+	}
+}
+
+func TestPhasedStreamValidation(t *testing.T) {
+	s := NewMux(UniformSources(Uniform(2, 0.1), sim.Gbps, Poisson, Fixed(64), sim.NewRNG(1)))
+	mustPanic := func(fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		fn()
+	}
+	mustPanic(func() { NewPhasedStream(nil, nil) })
+	mustPanic(func() { NewPhasedStream([]Stream{s, s}, []sim.Time{}) })
+	mustPanic(func() { NewPhasedStream([]Stream{s, s, s}, []sim.Time{20, 10}) })
+}

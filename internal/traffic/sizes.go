@@ -1,0 +1,91 @@
+// Package traffic generates the synthetic workloads the experiments
+// run: packet size distributions (fixed 64 B / 1500 B worst and common
+// cases, IMIX), traffic matrices (uniform, diagonal/permutation,
+// hotspot, adversarial), arrival processes (Poisson and bursty on/off),
+// and per-(input,output) flow pools with stable 5-tuples for ECMP/LAG
+// hashing. All generators are seeded and deterministic.
+package traffic
+
+import (
+	"fmt"
+
+	"pbrouter/internal/sim"
+)
+
+// SizeDist draws packet sizes in bytes.
+type SizeDist interface {
+	// Sample returns one packet size in bytes.
+	Sample(rng *sim.RNG) int
+	// Mean returns the distribution's mean size in bytes.
+	Mean() float64
+	// Name returns a short label for reports.
+	Name() string
+}
+
+// Fixed is a degenerate distribution: every packet has the same size.
+// Fixed(64) is the paper's worst case and Fixed(1500) its common case.
+type Fixed int
+
+// Sample implements SizeDist.
+func (f Fixed) Sample(*sim.RNG) int { return int(f) }
+
+// Mean implements SizeDist.
+func (f Fixed) Mean() float64 { return float64(f) }
+
+// Name implements SizeDist.
+func (f Fixed) Name() string { return fmt.Sprintf("fixed%dB", int(f)) }
+
+// Mix is a weighted mixture of sizes.
+type Mix struct {
+	Sizes   []int
+	Weights []float64
+	label   string
+}
+
+// NewMix builds a mixture; sizes and weights must have equal nonzero
+// length.
+func NewMix(label string, sizes []int, weights []float64) *Mix {
+	if len(sizes) == 0 || len(sizes) != len(weights) {
+		panic("traffic: bad mixture spec")
+	}
+	return &Mix{Sizes: sizes, Weights: weights, label: label}
+}
+
+// IMIX returns the classic "simple IMIX" mixture (7:4:1 packets of
+// 64 B, 594 B, 1500 B), a standard stand-in for internet core traffic.
+func IMIX() *Mix {
+	return NewMix("imix", []int{64, 594, 1500}, []float64{7, 4, 1})
+}
+
+// Sample implements SizeDist.
+func (m *Mix) Sample(rng *sim.RNG) int { return m.Sizes[rng.Pick(m.Weights)] }
+
+// Mean implements SizeDist.
+func (m *Mix) Mean() float64 {
+	var ws, s float64
+	for i, w := range m.Weights {
+		ws += w
+		s += w * float64(m.Sizes[i])
+	}
+	return s / ws
+}
+
+// Name implements SizeDist.
+func (m *Mix) Name() string { return m.label }
+
+// UniformSize draws sizes uniformly in [Min, Max].
+type UniformSize struct{ Min, Max int }
+
+// Sample implements SizeDist.
+func (u UniformSize) Sample(rng *sim.RNG) int {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + rng.Intn(u.Max-u.Min+1)
+}
+
+// Mean implements SizeDist.
+func (u UniformSize) Mean() float64 { return float64(u.Min+u.Max) / 2 }
+
+// Name implements SizeDist.
+func (u UniformSize) Name() string { return fmt.Sprintf("uniform[%d,%d]", u.Min, u.Max) }

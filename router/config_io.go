@@ -1,0 +1,31 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Config serialization: design points are plain data, so experiments
+// can be pinned to a reviewed JSON file and reloaded bit-for-bit.
+
+// Save writes the configuration as indented JSON.
+func (c Config) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// LoadConfig reads and validates a configuration saved by Save.
+func LoadConfig(r io.Reader) (Config, error) {
+	var c Config
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("router: decode config: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, fmt.Errorf("router: loaded config invalid: %w", err)
+	}
+	return c, nil
+}

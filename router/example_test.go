@@ -1,0 +1,73 @@
+package router_test
+
+import (
+	"fmt"
+
+	"pbrouter/router"
+)
+
+// Example builds the paper's reference design and prints its §2.2
+// capacity arithmetic.
+func Example() {
+	r, err := router.New(router.Reference())
+	if err != nil {
+		panic(err)
+	}
+	c := r.Capacity()
+	fmt.Println(c.PerDirection)
+	fmt.Println(c.Total)
+	fmt.Println(c.PerSwitchIO)
+	// Output:
+	// 655.36Tb/s
+	// 1310.72Tb/s
+	// 81.92Tb/s
+}
+
+// ExampleRouter_PowerModel reproduces the §4 power estimate.
+func ExampleRouter_PowerModel() {
+	r, _ := router.New(router.Reference())
+	m := r.PowerModel()
+	fmt.Printf("%.0f W per switch, %.1f kW per router\n", m.SwitchWatts(), m.RouterWatts()/1000)
+	// Output:
+	// 794 W per switch, 12.7 kW per router
+}
+
+// ExampleRouter_SRAMSizing reproduces the §4 "14.5 MB" figure.
+func ExampleRouter_SRAMSizing() {
+	r, _ := router.New(router.Reference())
+	fmt.Printf("%.1f MB\n", r.SRAMSizing().TotalMB())
+	// Output:
+	// 14.5 MB
+}
+
+// ExampleRouter_SimulateSwitch runs a short packet-level simulation of
+// one HBM switch.
+func ExampleRouter_SimulateSwitch() {
+	r, _ := router.New(router.Reference())
+	rep, err := r.SimulateSwitch(router.SimOptions{
+		Matrix:  router.UniformMatrix(16, 0.5),
+		Arrival: router.Poisson,
+		Sizes:   router.FixedSize(1500),
+		Horizon: 5 * router.Microsecond,
+		Seed:    1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rep.OfferedPackets == rep.DeliveredPackets)
+	fmt.Println(len(rep.Errors) == 0)
+	// Output:
+	// true
+	// true
+}
+
+// ExampleRunExperiment regenerates one of the paper's claims.
+func ExampleRunExperiment() {
+	res, err := router.RunExperiment("E10", router.Options{Quick: true})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Rows[0].Measured)
+	// Output:
+	// 1284 mm²
+}

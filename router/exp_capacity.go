@@ -1,0 +1,54 @@
+package router
+
+import (
+	"fmt"
+
+	"pbrouter/internal/power"
+)
+
+// E1: §2.2 capacity arithmetic. E13: §5 capacity-per-RU comparison.
+
+func init() {
+	register(&Experiment{
+		ID:    "E1",
+		Title: "Package I/O capacity",
+		Claim: "§2.2: N·F·W·R = 655 Tb/s per direction, 1.31 Pb/s total; each HBM switch carries 81.92 Tb/s of memory I/O; P = α·W·R = 2.56 Tb/s",
+		Run:   runE1,
+	})
+	register(&Experiment{
+		ID:    "E13",
+		Title: "Capacity vs current routers",
+		Claim: "§5: a Cisco 8201-32FH accepts 12.8 Tb/s in ~1RU, 'over 50x less than the input bandwidth of our router'",
+		Run:   runE13,
+	})
+}
+
+func runE1(opt Options) (*Result, error) {
+	r, err := New(Reference())
+	if err != nil {
+		return nil, err
+	}
+	cap := r.Capacity()
+	res := &Result{}
+	res.Addf("fibers per package (N·F)", "1,024", "%d", cap.Fibers)
+	res.Addf("wavelengths per fiber (W)", "16", "%d", cap.Wavelengths)
+	res.Addf("I/O per direction", "655 Tb/s", "%v", cap.PerDirection)
+	res.Addf("total package I/O", "1.31 Pb/s", "%v", cap.Total)
+	res.Addf("per-HBM-switch memory I/O", "81.92 Tb/s", "%v", cap.PerSwitchIO)
+	res.Addf("HBM switch port rate P", "2.56 Tb/s", "%v", cap.PortRate)
+	res.Addf("HBM group peak bandwidth", "81.92 Tb/s", "%v", r.Cfg.Switch.Geometry.PeakRate())
+	return res, nil
+}
+
+func runE13(opt Options) (*Result, error) {
+	r, err := New(Reference())
+	if err != nil {
+		return nil, err
+	}
+	ratio := power.CapacityPerRUvsCisco(r.Cfg.SPS.PackageIORate())
+	res := &Result{}
+	res.Addf("package ingress / Cisco 8201-32FH ingress", ">50x", "%.1fx", ratio)
+	res.Add("Cisco 8201-32FH ingress", "12.8 Tb/s", fmt.Sprintf("%.1f Tb/s (published constant)", power.Cisco8201IngressTbps))
+	res.Note("both devices occupy roughly one rack unit of linear space; the ratio is therefore also capacity per area")
+	return res, nil
+}

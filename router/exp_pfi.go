@@ -1,0 +1,101 @@
+package router
+
+import (
+	"pbrouter/internal/hbm"
+	"pbrouter/internal/sim"
+)
+
+// E4: PFI reaches HBM peak data rates (§3.2), write/read transitions
+// cost ~2% (§4), refresh hides (§4), and γ=4 / S=1 KB are minimal
+// (§3.2 ➂).
+
+func init() {
+	register(&Experiment{
+		ID:    "E4",
+		Title: "PFI peak HBM data rate",
+		Claim: "§3.2: staggered bank interleaving reaches peak data rates; §4: W/R transitions ≈ 2% of the cycle; refresh hidden; S=1 KB and γ=4 minimal",
+		Run:   runE4,
+	})
+}
+
+func runE4(opt Options) (*Result, error) {
+	geo, tim := hbm.HBM4Geometry(1), hbm.HBM4Timing()
+	frames := 500
+	if opt.Quick {
+		frames = 100
+	}
+	res := &Result{}
+
+	// Pure write stream.
+	util, err := streamUtil(geo, tim, 4, 1024, frames, false, false)
+	if err != nil {
+		return nil, err
+	}
+	res.Addf("write-stream utilization of peak pins", "peak (100%)", "%.4f", util)
+
+	// Alternating write/read cycle.
+	utilWR, err := streamUtil(geo, tim, 4, 1024, frames, true, false)
+	if err != nil {
+		return nil, err
+	}
+	res.Addf("write/read cycle utilization", "~98% (2% transitions)", "%.4f (%.2f%% overhead)",
+		utilWR, 100*(1-utilWR))
+
+	// Refresh hidden on idle groups.
+	utilRef, err := streamUtil(geo, tim, 4, 1024, frames, true, true)
+	if err != nil {
+		return nil, err
+	}
+	res.Addf("with single-bank refresh on idle groups", "hidden (no slowdown)", "%.4f", utilRef)
+
+	// Feasibility minima.
+	res.Addf("smallest feasible segment S", "1 KB", "%d B", hbm.MinFeasibleSegment(geo, tim, 4))
+	res.Addf("smallest feasible group size γ", "4", "%d", hbm.MinFeasibleGamma(geo, tim, 1024))
+
+	// The infeasible configuration, measured: S = 512 B throttles.
+	util512, err := streamUtil(geo, tim, 4, 512, frames, false, false)
+	if err != nil {
+		return nil, err
+	}
+	res.Addf("write-stream utilization with S = 512 B", "infeasible (FAW)", "%.4f (FAW-throttled)", util512)
+	return res, nil
+}
+
+// streamUtil runs a back-to-back frame stream and returns pin
+// utilization. withReads alternates write/read; withRefresh refreshes
+// an idle group every cycle.
+func streamUtil(geo hbm.Geometry, tim hbm.Timing, gamma, seg, frames int, withReads, withRefresh bool) (float64, error) {
+	mem, err := hbm.NewMemory(geo, tim)
+	if err != nil {
+		return 0, err
+	}
+	e, err := hbm.NewFrameEngine(mem, gamma, seg)
+	if err != nil {
+		return 0, err
+	}
+	e.SetMirror(true)
+	var first, cursor sim.Time
+	groups := e.Groups()
+	for i := 0; i < frames; i++ {
+		start, end, err := e.WriteFrame(i%(groups/2), i%100, cursor)
+		if err != nil {
+			return 0, err
+		}
+		if i == 0 {
+			first = start
+		}
+		cursor = end
+		if withReads {
+			if _, end, err = e.ReadFrame(groups/2+i%(groups/2-1), i%100, cursor); err != nil {
+				return 0, err
+			}
+			cursor = end
+		}
+		if withRefresh {
+			if err := e.RefreshGroup(groups-1, start); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return mem.Utilization(first, cursor), nil
+}

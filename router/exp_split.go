@@ -1,0 +1,63 @@
+package router
+
+import (
+	"fmt"
+
+	"pbrouter/internal/optics"
+	"pbrouter/internal/sps"
+)
+
+// E11: the §2.1 Challenge 4 / §4 traffic-matrix experiments on the
+// passive fiber split.
+
+func init() {
+	register(&Experiment{
+		ID:    "E11",
+		Title: "Fiber split balance: contiguous vs pseudo-random",
+		Claim: "§2.1: the straightforward split suffers first-fiber skew and adversarial concentration; a pseudo-random pattern fixes both; §4: ECMP/LAG hashing typically evens the per-switch matrices",
+		Run:   runE11,
+	})
+}
+
+func runE11(opt Options) (*Result, error) {
+	res := &Result{}
+	flowsPerRibbon := 20000
+	if opt.Quick {
+		flowsPerRibbon = 4000
+	}
+	for _, pattern := range []optics.Pattern{optics.Contiguous, optics.PseudoRandom} {
+		cfg := sps.Reference()
+		cfg.Pattern = pattern
+		dep, err := sps.NewDeployment(cfg)
+		if err != nil {
+			return nil, err
+		}
+
+		ecmp := dep.Analyze(sps.ECMPUniform(cfg, flowsPerRibbon, 0.8, opt.Seed+41))
+		res.Addf(fmt.Sprintf("ECMP-hashed traffic, %v split", pattern),
+			"even TMs", "max/mean %.3f, Jain %.4f, loss %.2f%%",
+			ecmp.MaxOverMean, ecmp.Jain, 100*ecmp.LossFraction)
+
+		skew := dep.AnalyzeWithCapacity(sps.FirstFiberSkew(cfg, 1.0, opt.Seed+42), 0.8)
+		res.Addf(fmt.Sprintf("first-fiber skew, %v split (switches at 80%% capacity)", pattern),
+			"contiguous loses", "max/mean %.3f, loss %.2f%%",
+			skew.MaxOverMean, 100*skew.LossFraction)
+
+		attack := dep.Analyze(sps.Adversarial(cfg, opt.Seed+43))
+		res.Addf(fmt.Sprintf("adversarial first-α-fibers flood, %v split", pattern),
+			"contiguous concentrated on one switch", "max switch load %.2f, loss %.2f%%",
+			maxLoad(attack.Loads), 100*attack.LossFraction)
+	}
+	res.Note("the adversarial flood aims all traffic at one output ribbon; under the contiguous split it lands entirely on switch 0 as a 16x column overload")
+	return res, nil
+}
+
+func maxLoad(xs []float64) float64 {
+	var m float64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,239 @@
+package router
+
+import (
+	"fmt"
+
+	"pbrouter/internal/core"
+	"pbrouter/internal/hbmswitch"
+	"pbrouter/internal/sim"
+	"pbrouter/internal/traffic"
+)
+
+// E5: 100% throughput (§3.2 (6)). E6: OQ mimicking with small speedup
+// (§3.2 (6)). E12: latency with padding/bypass (§4). E15: the
+// datacenter variant with smaller frames (§5).
+
+func init() {
+	register(&Experiment{
+		ID:    "E5",
+		Title: "HBM switch throughput under admissible traffic",
+		Claim: "§3.2 (6): 'We design PFI to guarantee 100% throughput' for arbitrary admissible traffic",
+		Run:   runE5,
+	})
+	register(&Experiment{
+		ID:    "E6",
+		Title: "Ideal output-queued switch mimicking",
+		Claim: "§3.2 (6): 'with a small speedup, an HBM switch with PFI can mimic an ideal OQ shared-memory switch' — any packet departs within a finite delay of its ideal departure",
+		Run:   runE6,
+	})
+	register(&Experiment{
+		ID:    "E12",
+		Title: "Latency: frame padding and HBM bypass",
+		Claim: "§4: 'when there are no full frames, we can use frame padding to decrease latency. A bypass mechanism can further reduce latency'",
+		Run:   runE12,
+	})
+	register(&Experiment{
+		ID:    "E15",
+		Title: "Datacenter variant: smaller frames",
+		Claim: "§5: for datacenter switches 'the HBM switch may need to be modified to rely on smaller frames' to cut latency; §4: the spraying alternative's reorder buffer is an order of magnitude larger than the 14.5 MB frame SRAM",
+		Run:   runE15,
+	})
+}
+
+func switchHorizon(opt Options) sim.Time {
+	if opt.Quick {
+		return 15 * sim.Microsecond
+	}
+	return 60 * sim.Microsecond
+}
+
+func runE5(opt Options) (*Result, error) {
+	r, err := New(Reference())
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	horizon := switchHorizon(opt)
+	cases := []struct {
+		name  string
+		m     *traffic.Matrix
+		sizes traffic.SizeDist
+	}{
+		{"uniform 0.95, IMIX", traffic.Uniform(16, 0.95), traffic.IMIX()},
+		{"uniform 0.98, 1500 B", traffic.Uniform(16, 0.98), traffic.Fixed(1500)},
+		{"diagonal 0.95, 1500 B", traffic.Diagonal(16, 0.95, 3), traffic.Fixed(1500)},
+		{"hotspot 0.9, IMIX", traffic.Hotspot(16, 0.9, 0.05), traffic.IMIX()},
+		{"uniform 0.9, 64 B worst case", traffic.Uniform(16, 0.9), traffic.Fixed(64)},
+	}
+	if opt.Quick {
+		cases = cases[:3]
+	}
+	for _, c := range cases {
+		rep, err := r.SimulateSwitch(SimOptions{
+			Matrix: c.m, Arrival: traffic.Poisson, Sizes: c.sizes,
+			Horizon: horizon, Seed: opt.Seed, Shadow: true,
+			Mutate: func(cfg *hbmswitch.Config) { cfg.Speedup = 1.1 },
+		})
+		if err != nil {
+			return nil, err
+		}
+		if len(rep.Errors) > 0 {
+			return nil, fmt.Errorf("E5 %s: %v", c.name, rep.Errors[0])
+		}
+		res.Addf(c.name, "100% of ideal", "%.1f%% of the ideal OQ switch (offered %.3f, delivered %.3f)",
+			100*rep.Throughput/rep.ShadowThroughput, rep.OfferedLoad, rep.Throughput)
+	}
+	// Pure store-and-forward through the HBM (no bypass), the path the
+	// 100% claim is really about.
+	rep, err := r.SimulateSwitch(SimOptions{
+		Matrix: traffic.Uniform(16, 0.95), Arrival: traffic.Poisson,
+		Sizes: traffic.Fixed(1500), Horizon: horizon, Seed: opt.Seed, Shadow: true,
+		Mutate: func(cfg *hbmswitch.Config) {
+			cfg.Policy = core.Policy{}
+			cfg.Speedup = 1.1
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Addf("uniform 0.95, all traffic through HBM", "100% of ideal",
+		"%.1f%% of ideal (HBM util %.2f)", 100*rep.Throughput/rep.ShadowThroughput, rep.HBMUtilization)
+
+	// Wavelength-granular ingress: the port physically receives α·W=64
+	// parallel 40 Gb/s WDM channels.
+	cfgW := r.Cfg.Switch
+	cfgW.Speedup = 1.1
+	cfgW.Shadow = true
+	swW, err := hbmswitch.New(cfgW)
+	if err != nil {
+		return nil, err
+	}
+	srcsW := traffic.WavelengthSources(traffic.Uniform(16, 0.9), 64, 40*sim.Gbps,
+		traffic.Poisson, traffic.IMIX(), sim.NewRNG(opt.Seed+5))
+	repW, err := swW.Run(traffic.NewMux(srcsW), horizon)
+	if err != nil {
+		return nil, err
+	}
+	if len(repW.Errors) > 0 {
+		return nil, fmt.Errorf("E5 wavelength ingress: %v", repW.Errors[0])
+	}
+	res.Addf("uniform 0.9 over 64 parallel 40 Gb/s wavelengths", "100% of ideal",
+		"%.1f%% of ideal", 100*repW.Throughput/repW.ShadowThroughput)
+	res.Note("throughput is normalized to an ideal OQ switch fed the identical arrivals, so warmup transients cancel; speedup 1.10 absorbs the ~2%% write/read transition overhead that §4 folds into its baseline")
+	return res, nil
+}
+
+func runE6(opt Options) (*Result, error) {
+	r, err := New(Reference())
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	horizon := switchHorizon(opt)
+	for _, speedup := range []float64{1.0, 1.1, 1.25} {
+		rep, err := r.SimulateSwitch(SimOptions{
+			Matrix: traffic.Uniform(16, 0.9), Arrival: traffic.Poisson,
+			Sizes: traffic.Fixed(1500), Horizon: horizon, Seed: opt.Seed, Shadow: true,
+			Mutate: func(cfg *hbmswitch.Config) { cfg.Speedup = speedup },
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Addf(fmt.Sprintf("relative delay vs ideal OQ, speedup %.2f", speedup),
+			"finite (bounded)", "mean %v, p99 %v, max %v",
+			rep.RelDelayMean, rep.RelDelayP99, rep.RelDelayMax)
+	}
+	res.Note("the bound is a few cyclical-visit periods (N frames of drain time), independent of run length — see TestRelativeDelayBoundedOverTime")
+	return res, nil
+}
+
+func runE12(opt Options) (*Result, error) {
+	r, err := New(Reference())
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	horizon := switchHorizon(opt)
+	loads := []float64{0.05, 0.3, 0.6, 0.9}
+	if opt.Quick {
+		loads = []float64{0.05, 0.6}
+	}
+	policies := []struct {
+		name string
+		pol  core.Policy
+	}{
+		{"no padding, no bypass", core.Policy{}},
+		{"padding only", core.Policy{PadFrames: true}},
+		{"padding + bypass", core.Policy{PadFrames: true, BypassHBM: true}},
+	}
+	for _, load := range loads {
+		for _, p := range policies {
+			rep, err := r.SimulateSwitch(SimOptions{
+				Matrix: traffic.Uniform(16, load), Arrival: traffic.Poisson,
+				Sizes: traffic.Fixed(1500), Horizon: horizon, Seed: opt.Seed,
+				Mutate: func(cfg *hbmswitch.Config) {
+					cfg.Policy = p.pol
+					cfg.Speedup = 1.1
+					cfg.FlushTimeout = 100 * sim.Nanosecond
+					cfg.PadTimeout = 200 * sim.Nanosecond
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			res.Addf(fmt.Sprintf("load %.2f, %s", load, p.name),
+				"padding+bypass lowest", "p50 %v, p99 %v (padded %d, bypassed %d)",
+				rep.LatencyP50, rep.LatencyP99, rep.FramesPadded, rep.FramesBypassed)
+			if load == 0.6 {
+				res.Addf(fmt.Sprintf("  stage means at load 0.6, %s", p.name), "-",
+					"batch %v | xbar %v | frame %v | HBM %v | egress %v",
+					rep.StageBatchMean, rep.StageXbarMean, rep.StageFrameMean,
+					rep.StageHBMMean, rep.StageOutMean)
+			}
+		}
+	}
+	res.Note("the stage breakdown shows where padding and bypass win: padding collapses the frame-assembly wait, bypass removes the HBM residence")
+	return res, nil
+}
+
+func runE15(opt Options) (*Result, error) {
+	res := &Result{}
+	horizon := 2 * switchHorizon(opt)
+	// Frame size is K = γ·T·S. Holding the switch scale fixed (1 stack,
+	// 640 Gb/s ports — a plausible datacenter part), shrink S to shrink
+	// K. Full frames may bypass the HBM but padding is off, so latency
+	// is dominated by frame fill time, which is proportional to K —
+	// exactly the §5 tradeoff. Smaller S also violates the
+	// four-activation window, so the HBM path of such a switch runs
+	// below peak (E4); the DC design accepts that because it buffers
+	// far less.
+	for _, seg := range []int{1024, 512, 256} {
+		cfg := hbmswitch.Scaled(1, 640*sim.Gbps)
+		cfg.PFI.SegBytes = seg
+		cfg.Policy = core.Policy{BypassHBM: true}
+		cfg.FlushTimeout = 100 * sim.Nanosecond
+		sw, err := hbmswitch.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		m := traffic.Uniform(16, 0.6)
+		srcs := traffic.UniformSources(m, cfg.PortRate, traffic.Poisson, traffic.IMIX(), sim.NewRNG(opt.Seed+9))
+		rep, err := sw.Run(traffic.NewMux(srcs), horizon)
+		if err != nil {
+			return nil, err
+		}
+		if len(rep.Errors) > 0 {
+			return nil, fmt.Errorf("E15 S=%d: %v", seg, rep.Errors[0])
+		}
+		claim := "smaller frames => lower latency"
+		if seg < 512 {
+			claim = "infeasible (FAW) at this load"
+		}
+		res.Addf(fmt.Sprintf("K = %d KB (S = %d B, 1 stack)", cfg.PFI.FrameBytes()/1024, seg),
+			claim, "p50 %v, p99 %v at load 0.6",
+			rep.LatencyP50, rep.LatencyP99)
+	}
+	res.Note("S = 256 B shows the knee of the tradeoff: below the FAW-feasible minimum the HBM path throttles (E4) and queueing swamps the frame-fill win, so the DC design should shrink K no further than S = 512 B at this load")
+	res.Note("frame SRAM scales with K (see E8); the spraying alternative's reorder cost is measured in E3")
+	return res, nil
+}

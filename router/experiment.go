@@ -1,0 +1,148 @@
+package router
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// Experiment regenerates one of the paper's quantitative claims. The
+// paper (a HotNets vision paper) has no numbered data tables or result
+// figures — Figs. 1–4 are architecture diagrams — so the experiment
+// ids E1–E15 index the quantitative claims of §2–§5 as catalogued in
+// DESIGN.md.
+type Experiment struct {
+	ID    string
+	Title string
+	// Claim quotes or paraphrases the paper's statement.
+	Claim string
+	// Run executes the experiment and returns its result table.
+	Run func(opt Options) (*Result, error)
+}
+
+// Options tune experiment execution.
+type Options struct {
+	// Quick shrinks simulation horizons for use in tests and smoke
+	// runs; full runs give tighter confidence.
+	Quick bool
+	// Seed makes stochastic experiments reproducible.
+	Seed uint64
+}
+
+// Row is one line of an experiment's output: a quantity, the paper's
+// value, and the reproduced value.
+type Row struct {
+	Name     string
+	Paper    string // what the paper reports ("-" when the paper gives no number)
+	Measured string
+}
+
+// Result is an experiment's output.
+type Result struct {
+	Rows  []Row
+	Notes []string
+}
+
+// Add appends a row.
+func (r *Result) Add(name, paper, measured string) {
+	r.Rows = append(r.Rows, Row{Name: name, Paper: paper, Measured: measured})
+}
+
+// Addf appends a row with formatted measured value.
+func (r *Result) Addf(name, paper, format string, args ...interface{}) {
+	r.Add(name, paper, fmt.Sprintf(format, args...))
+}
+
+// Note appends a free-form note.
+func (r *Result) Note(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Format renders the result as an aligned table.
+func (r *Result) Format() string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "quantity\tpaper\tmeasured")
+	fmt.Fprintln(w, "--------\t-----\t--------")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s\t%s\t%s\n", row.Name, row.Paper, row.Measured)
+	}
+	w.Flush()
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the result as a GitHub-flavored markdown table.
+func (r *Result) Markdown() string {
+	var b strings.Builder
+	b.WriteString("| quantity | paper | measured |\n|---|---|---|\n")
+	for _, row := range r.Rows {
+		b.WriteString("| " + mdEscape(row.Name) + " | " + mdEscape(row.Paper) +
+			" | " + mdEscape(row.Measured) + " |\n")
+	}
+	for _, n := range r.Notes {
+		b.WriteString("\n*" + mdEscape(n) + "*\n")
+	}
+	return b.String()
+}
+
+func mdEscape(s string) string {
+	return strings.ReplaceAll(s, "|", "\\|")
+}
+
+// registry holds the experiments, populated by init() in the exp_*.go
+// files.
+var registry = map[string]*Experiment{}
+
+func register(e *Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Experiments lists all experiments sorted by id.
+func Experiments() []*Experiment {
+	out := make([]*Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// E<n> experiments first in numeric order, then A<n> ablations.
+		ci, ni := idKey(out[i].ID)
+		cj, nj := idKey(out[j].ID)
+		if ci != cj {
+			return ci < cj
+		}
+		return ni < nj
+	})
+	return out
+}
+
+// idKey decomposes an id like "E12" or "A1" for ordering.
+func idKey(id string) (class byte, n int) {
+	if id == "" {
+		return 0xff, 0
+	}
+	class = id[0]
+	if class == 'E' {
+		class = 0 // claims before ablations
+	}
+	fmt.Sscanf(id[1:], "%d", &n)
+	return class, n
+}
+
+// Lookup returns the experiment with the given id, or nil.
+func Lookup(id string) *Experiment { return registry[id] }
+
+// RunExperiment executes one experiment by id.
+func RunExperiment(id string, opt Options) (*Result, error) {
+	e := Lookup(id)
+	if e == nil {
+		return nil, fmt.Errorf("router: unknown experiment %q", id)
+	}
+	return e.Run(opt)
+}

@@ -1,0 +1,63 @@
+package router
+
+import (
+	"testing"
+)
+
+// Golden assertions for the fully deterministic experiments: these
+// rows must reproduce the paper bit-for-bit on every platform. The
+// stochastic experiments are covered by tolerance checks elsewhere.
+func TestGoldenDeterministicRows(t *testing.T) {
+	cases := []struct {
+		exp  string
+		row  string // row name
+		want string // exact measured string
+	}{
+		{"E1", "I/O per direction", "655.36Tb/s"},
+		{"E1", "total package I/O", "1310.72Tb/s"},
+		{"E1", "per-HBM-switch memory I/O", "81.92Tb/s"},
+		{"E1", "HBM switch port rate P", "2.56Tb/s"},
+		{"E9", "processing + SRAM per switch", "400 W"},
+		{"E9", "HBM stacks per switch", "300 W"},
+		{"E9", "total per switch", "794 W"},
+		{"E10", "per-switch area (chiplet + 4 HBM)", "1284 mm²"},
+		{"E10", "package area (16 switches)", "20544 mm²"},
+		{"E10", "panel utilization", "8.2%"},
+		{"E13", "package ingress / Cisco 8201-32FH ingress", "51.2x"},
+	}
+	results := map[string]*Result{}
+	for _, c := range cases {
+		res, ok := results[c.exp]
+		if !ok {
+			var err error
+			res, err = RunExperiment(c.exp, Options{Quick: true, Seed: 1})
+			if err != nil {
+				t.Fatalf("%s: %v", c.exp, err)
+			}
+			results[c.exp] = res
+		}
+		found := false
+		for _, row := range res.Rows {
+			if row.Name == c.row {
+				found = true
+				if row.Measured != c.want {
+					t.Errorf("%s %q: measured %q want %q", c.exp, c.row, row.Measured, c.want)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s: row %q missing", c.exp, c.row)
+		}
+	}
+}
+
+// TestGoldenSRAMTotal pins the E8 headline number.
+func TestGoldenSRAMTotal(t *testing.T) {
+	res, err := RunExperiment("E8", Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0].Measured != "14.50 MB" {
+		t.Fatalf("SRAM total %q want 14.50 MB", res.Rows[0].Measured)
+	}
+}

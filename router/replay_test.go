@@ -1,0 +1,51 @@
+package router
+
+import (
+	"bytes"
+	"testing"
+
+	"pbrouter/internal/sim"
+	"pbrouter/internal/traffic"
+)
+
+func TestReplayTraceViaFacade(t *testing.T) {
+	r, err := New(Reference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record a workload.
+	var buf bytes.Buffer
+	tw, err := traffic.NewTraceWriter(&buf, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := traffic.UniformSources(UniformMatrix(16, 0.5), r.Cfg.Switch.PortRate,
+		Poisson, FixedSize(1500), sim.NewRNG(3))
+	mux := traffic.NewMux(srcs)
+	for {
+		p, at := mux.Next()
+		if p == nil || at > 5*Microsecond {
+			break
+		}
+		if err := tw.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tw.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.ReplayTrace(&buf, 5*Microsecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DeliveredPackets == 0 || len(rep.Errors) > 0 {
+		t.Fatalf("replay: %v", rep)
+	}
+	// Wrong port count rejected.
+	var buf2 bytes.Buffer
+	tw2, _ := traffic.NewTraceWriter(&buf2, 8)
+	tw2.Finish()
+	if _, err := r.ReplayTrace(&buf2, Microsecond, nil); err == nil {
+		t.Fatal("mismatched trace accepted")
+	}
+}

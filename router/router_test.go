@@ -1,0 +1,239 @@
+package router
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pbrouter/internal/sim"
+	"pbrouter/internal/sps"
+	"pbrouter/internal/traffic"
+)
+
+func TestReferenceConfigValid(t *testing.T) {
+	if err := Reference().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigCrossChecks(t *testing.T) {
+	bad := Reference()
+	bad.Switch.PortRate = sim.Tbps
+	if bad.Validate() == nil {
+		t.Fatal("port-rate mismatch accepted")
+	}
+	bad2 := Reference()
+	bad2.SPS.N = 8
+	if bad2.Validate() == nil {
+		t.Fatal("port-count mismatch accepted")
+	}
+}
+
+func TestCapacityReport(t *testing.T) {
+	r, err := New(Reference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := r.Capacity()
+	if math.Abs(float64(c.PerDirection)-655.36e12) > 1 {
+		t.Fatalf("per direction %v", c.PerDirection)
+	}
+	if math.Abs(float64(c.Total)-1.31072e15) > 1 {
+		t.Fatalf("total %v", c.Total)
+	}
+	if c.Fibers != 1024 {
+		t.Fatalf("fibers %d", c.Fibers)
+	}
+}
+
+func TestDesignModels(t *testing.T) {
+	r, err := New(Reference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := r.PowerModel().RouterWatts(); math.Abs(w-12700) > 30 {
+		t.Fatalf("router watts %.0f", w)
+	}
+	if a := r.AreaModel().PackageMM2(); a != 20544 {
+		t.Fatalf("package area %.0f", a)
+	}
+	if s := r.SRAMSizing().TotalMB(); math.Abs(s-14.5) > 1e-9 {
+		t.Fatalf("sram %.2f MB", s)
+	}
+	br := r.BufferReport(50*sim.Millisecond, 100000)
+	if math.Abs(br.Milliseconds-50) > 0.5 {
+		t.Fatalf("buffering %.1f ms", br.Milliseconds)
+	}
+}
+
+func TestSimulateSwitchViaFacade(t *testing.T) {
+	r, err := New(Reference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.SimulateSwitch(SimOptions{
+		Matrix:  traffic.Uniform(16, 0.5),
+		Arrival: traffic.Poisson,
+		Horizon: 5 * sim.Microsecond,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Errors) > 0 {
+		t.Fatalf("errors: %v", rep.Errors)
+	}
+	if rep.DeliveredPackets == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+func TestSimulateSPSViaFacade(t *testing.T) {
+	cfg := Config{
+		SPS: sps.Config{
+			N: 16, F: 16, H: 4,
+			WDM:     sps.Reference().WDM,
+			Pattern: sps.Reference().Pattern,
+		},
+		Switch: Reference().Switch,
+	}
+	// Match the switch to the smaller SPS: α·W·R = 4·16·40G = 2.56 Tb/s
+	// happens to equal the reference port rate, so only H differs.
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := sps.ECMPUniform(cfg.SPS, 500, 0.4, 3)
+	rep, err := r.SimulateSPS(flows, SimOptions{
+		Arrival: traffic.Poisson,
+		Horizon: 5 * sim.Microsecond,
+		Seed:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PerSwitch) != 4 {
+		t.Fatalf("%d switches", len(rep.PerSwitch))
+	}
+	if len(rep.Errors) > 0 {
+		t.Fatalf("errors: %v", rep.Errors[0])
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 18 {
+		t.Fatalf("registry has %d experiments, want 15 claims + 3 ablations", len(exps))
+	}
+	// The first 15 are E1..E15 in order, then A1..A3.
+	for i := 0; i < 15; i++ {
+		want := "E" + itoa(i+1)
+		if exps[i].ID != want {
+			t.Fatalf("position %d: %q want %q", i, exps[i].ID, want)
+		}
+	}
+	for i := 15; i < 18; i++ {
+		want := "A" + itoa(i-14)
+		if exps[i].ID != want {
+			t.Fatalf("position %d: %q want %q", i, exps[i].ID, want)
+		}
+	}
+	for _, e := range exps {
+		if e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+	if Lookup("E3") == nil || Lookup("A1") == nil || Lookup("nope") != nil {
+		t.Fatal("lookup broken")
+	}
+}
+
+func itoa(n int) string {
+	if n >= 10 {
+		return string(rune('0'+n/10)) + string(rune('0'+n%10))
+	}
+	return string(rune('0' + n))
+}
+
+// TestAllExperimentsQuick runs every experiment in quick mode and
+// verifies each produces a nonempty, well-formed table. This is the
+// repository's end-to-end check that the whole evaluation regenerates.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run(Options{Quick: true, Seed: 7})
+			if err != nil {
+				t.Fatalf("%s (%s): %v", e.ID, e.Title, err)
+			}
+			if len(res.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			for _, row := range res.Rows {
+				if row.Name == "" || row.Measured == "" {
+					t.Fatalf("%s has an empty row: %+v", e.ID, row)
+				}
+			}
+			if !strings.Contains(res.Format(), "measured") {
+				t.Fatalf("%s format broken", e.ID)
+			}
+		})
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if _, err := RunExperiment("E99", Options{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestExperimentDeterminism(t *testing.T) {
+	// The same seed must reproduce identical tables — the property the
+	// EXPERIMENTS.md record relies on. E5 exercises the full switch
+	// pipeline; E11 the stochastic flow populations.
+	for _, id := range []string{"E5", "E11"} {
+		a, err := RunExperiment(id, Options{Quick: true, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunExperiment(id, Options{Quick: true, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Format() != b.Format() {
+			t.Fatalf("%s not deterministic:\n%s\nvs\n%s", id, a.Format(), b.Format())
+		}
+	}
+}
+
+func TestResultMarkdown(t *testing.T) {
+	res := &Result{}
+	res.Add("a|b", "1", "2")
+	res.Note("careful | with pipes")
+	md := res.Markdown()
+	if !strings.Contains(md, "| a\\|b | 1 | 2 |") {
+		t.Fatalf("markdown row broken:\n%s", md)
+	}
+	if !strings.Contains(md, "*careful \\| with pipes*") {
+		t.Fatalf("markdown note broken:\n%s", md)
+	}
+}
+
+func TestSplitAPIFacade(t *testing.T) {
+	r, err := New(Reference().WithSplitPattern(ContiguousSplit, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk := r.AnalyzeSplit(r.AdversarialFlows(1), 1.0)
+	if atk.MaxOverMean < 10 {
+		t.Fatalf("contiguous attack imbalance %.2f", atk.MaxOverMean)
+	}
+	ecmp := r.AnalyzeSplit(r.ECMPFlows(4000, 0.5, 2), 1.0)
+	if ecmp.Jain < 0.99 {
+		t.Fatalf("ECMP Jain %.4f", ecmp.Jain)
+	}
+	skew := r.AnalyzeSplit(r.FirstFiberSkewFlows(1.0, 3), 0.8)
+	if skew.LossFraction <= 0 {
+		t.Fatal("skew at reduced capacity lost nothing on contiguous split")
+	}
+}

@@ -1,0 +1,61 @@
+package router
+
+import (
+	"pbrouter/internal/optics"
+	"pbrouter/internal/sps"
+)
+
+// Split re-exports: the §2 fiber-splitting analysis (experiment E11)
+// through the public package.
+
+// SplitPattern selects the fiber-to-switch assignment rule.
+type SplitPattern = optics.Pattern
+
+// Splitting patterns.
+const (
+	// ContiguousSplit is §2.1 Design 4's straightforward split: the
+	// first F/H fibers of each ribbon go to switch 0, and so on.
+	ContiguousSplit = optics.Contiguous
+	// PseudoRandomSplit is §2.1 Idea 4's hardened assignment.
+	PseudoRandomSplit = optics.PseudoRandom
+)
+
+// Flow is one external flow: its entry (ribbon, fiber), destination
+// ribbon, and rate as a fraction of one fiber's capacity.
+type Flow = sps.Flow
+
+// SplitImbalance summarizes per-switch load spread and fluid loss.
+type SplitImbalance = sps.Imbalance
+
+// WithSplitPattern returns a copy of the configuration using the
+// given splitter pattern and seed.
+func (c Config) WithSplitPattern(p SplitPattern, seed uint64) Config {
+	c.SPS.Pattern = p
+	c.SPS.Seed = seed
+	return c
+}
+
+// ECMPFlows builds a hashed-flow population: flowsPerRibbon flows per
+// source ribbon at the given total per-ribbon load, fibers chosen by
+// 5-tuple hash (the §4 "typically load-balanced" case).
+func (r *Router) ECMPFlows(flowsPerRibbon int, load float64, seed uint64) []Flow {
+	return sps.ECMPUniform(r.Cfg.SPS, flowsPerRibbon, load, seed)
+}
+
+// FirstFiberSkewFlows builds the §2.1 Challenge 4(1) population:
+// per-fiber load decaying linearly with fiber index.
+func (r *Router) FirstFiberSkewFlows(load float64, seed uint64) []Flow {
+	return sps.FirstFiberSkew(r.Cfg.SPS, load, seed)
+}
+
+// AdversarialFlows builds the §2.1 Challenge 4(2) attack: the first
+// F/H fibers of every ribbon flooded at full rate toward one output.
+func (r *Router) AdversarialFlows(seed uint64) []Flow {
+	return sps.Adversarial(r.Cfg.SPS, seed)
+}
+
+// AnalyzeSplit computes the per-switch imbalance and fluid loss of a
+// flow set, with switch ports derated to portCapacity (1.0 = nominal).
+func (r *Router) AnalyzeSplit(flows []Flow, portCapacity float64) SplitImbalance {
+	return r.Dep.AnalyzeWithCapacity(flows, portCapacity)
+}

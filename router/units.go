@@ -1,0 +1,49 @@
+package router
+
+import (
+	"pbrouter/internal/core"
+	"pbrouter/internal/hbmswitch"
+	"pbrouter/internal/sim"
+)
+
+// Unit and configuration re-exports so that public-API users never
+// need internal import paths.
+
+// Duration is simulated time in integer picoseconds.
+type Duration = sim.Time
+
+// Duration units.
+const (
+	Picosecond  = sim.Picosecond
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Rate is a data rate in bits per second.
+type Rate = sim.Rate
+
+// Rate units.
+const (
+	Gbps = sim.Gbps
+	Tbps = sim.Tbps
+)
+
+// SwitchConfig is the per-HBM-switch configuration (PFI parameters,
+// memory geometry and timing, port rate, speedup, latency policy).
+type SwitchConfig = hbmswitch.Config
+
+// SwitchReport is the measurement summary of one switch simulation.
+type SwitchReport = hbmswitch.Report
+
+// PFIPolicy selects the §4 latency options (frame padding, HBM
+// bypass).
+type PFIPolicy = core.Policy
+
+// ScaledSwitch returns a proportionally shrunk switch configuration
+// (same PFI structure, fewer HBM stacks, slower ports) for fast
+// experimentation.
+func ScaledSwitch(stacks int, portRate Rate) SwitchConfig {
+	return hbmswitch.Scaled(stacks, portRate)
+}

@@ -1,0 +1,53 @@
+package router
+
+import (
+	"pbrouter/internal/traffic"
+)
+
+// Workload re-exports: the simulation API takes traffic matrices,
+// size distributions and arrival processes; these aliases and
+// constructors make them reachable from the public package without
+// importing internal paths.
+
+// Matrix is an N×N traffic matrix; entry (i,j) is the fraction of
+// input i's line rate destined to output j.
+type Matrix = traffic.Matrix
+
+// SizeDist draws packet sizes in bytes.
+type SizeDist = traffic.SizeDist
+
+// ArrivalKind selects the arrival process.
+type ArrivalKind = traffic.ArrivalKind
+
+// Arrival processes.
+const (
+	// Poisson arrivals: exponential idle gaps at the configured load.
+	Poisson = traffic.Poisson
+	// Bursty arrivals: Pareto-sized back-to-back packet trains.
+	Bursty = traffic.Bursty
+)
+
+// UniformMatrix spreads each input's load evenly over all outputs.
+func UniformMatrix(n int, load float64) *Matrix { return traffic.Uniform(n, load) }
+
+// DiagonalMatrix sends input i entirely to output (i+shift) mod n —
+// the hardest admissible pattern (no multiplexing gain).
+func DiagonalMatrix(n int, load float64, shift int) *Matrix {
+	return traffic.Diagonal(n, load, shift)
+}
+
+// HotspotMatrix sends hotFrac of every input's traffic to output 0,
+// scaled to stay admissible.
+func HotspotMatrix(n int, load, hotFrac float64) *Matrix {
+	return traffic.Hotspot(n, load, hotFrac)
+}
+
+// IMIXSizes returns the classic 7:4:1 internet mix (64/594/1500 B).
+func IMIXSizes() SizeDist { return traffic.IMIX() }
+
+// FixedSize returns a degenerate distribution (64 = worst case,
+// 1500 = common case).
+func FixedSize(bytes int) SizeDist { return traffic.Fixed(bytes) }
+
+// UniformSizes returns sizes uniform in [min, max] bytes.
+func UniformSizes(min, max int) SizeDist { return traffic.UniformSize{Min: min, Max: max} }
