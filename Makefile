@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench repro fuzz fmt vet clean figures
+.PHONY: all build test race cover bench bench-save repro fuzz fmt vet clean figures
 
-all: build test
+all: build vet test race
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,12 @@ cover:
 # plus hot-path microbenchmarks.
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Snapshot the benchmark suite to BENCH_<date>.json for regression
+# comparison across commits (raw `go test -json` stream; the
+# BenchmarkResult lines carry ns/op, B/op, and allocs/op).
+bench-save:
+	$(GO) test -bench=. -benchmem -run '^$$' -json ./... > BENCH_$$(date +%Y%m%d).json || (rm -f BENCH_$$(date +%Y%m%d).json; exit 1)
 
 # Regenerate every quantitative claim in the paper.
 repro:

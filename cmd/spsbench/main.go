@@ -6,6 +6,12 @@
 //
 //	spsbench -exp all            # run everything
 //	spsbench -exp E3,E4 -quick   # selected experiments, short horizons
+//	spsbench -exp E12 -reps 5    # replicate stochastic points, report ± CI
+//	spsbench -exp all -time      # wall-clock + simulated-time/s per experiment
+//
+// Independent sweep points inside each experiment fan out across CPUs
+// (-j, default one worker per CPU); the tables are byte-for-byte
+// identical for every -j, including the sequential -j 1.
 package main
 
 import (
@@ -13,17 +19,21 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"pbrouter/router"
 )
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiment ids (E1..E15) or 'all'")
-		quick   = flag.Bool("quick", false, "short simulation horizons (smoke mode)")
-		seed    = flag.Uint64("seed", 1, "random seed for stochastic experiments")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		format  = flag.String("format", "table", "output format: table|md")
+		expFlag  = flag.String("exp", "all", "comma-separated experiment ids (E1..E15) or 'all'")
+		quick    = flag.Bool("quick", false, "short simulation horizons (smoke mode)")
+		seed     = flag.Uint64("seed", 1, "random seed for stochastic experiments")
+		jobs     = flag.Int("j", 0, "worker goroutines for independent sweep points (0 = one per CPU, 1 = sequential)")
+		reps     = flag.Int("reps", 1, "replications per stochastic sweep point (>1 reports mean ± 95% CI)")
+		showTime = flag.Bool("time", false, "report wall-clock and simulated-time-per-wall-second per experiment")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		format   = flag.String("format", "table", "output format: table|md")
 	)
 	flag.Parse()
 
@@ -45,7 +55,7 @@ func main() {
 		}
 	}
 
-	opt := router.Options{Quick: *quick, Seed: *seed}
+	opt := router.Options{Quick: *quick, Seed: *seed, Parallelism: *jobs, Reps: *reps}
 	failed := false
 	for _, id := range ids {
 		e := router.Lookup(id)
@@ -54,7 +64,9 @@ func main() {
 			failed = true
 			continue
 		}
+		start := time.Now()
 		res, err := e.Run(opt)
+		wall := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
 			failed = true
@@ -65,8 +77,23 @@ func main() {
 		} else {
 			fmt.Printf("== %s: %s\nclaim: %s\n\n%s\n", e.ID, e.Title, e.Claim, res.Format())
 		}
+		if *showTime {
+			fmt.Printf("%s\n", timing(id, res, wall))
+		}
 	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// timing renders the per-experiment performance line: wall-clock time
+// and, for experiments that run event simulations, how much simulated
+// time each wall-clock second buys.
+func timing(id string, res *router.Result, wall time.Duration) string {
+	if res.SimTime <= 0 || wall <= 0 {
+		return fmt.Sprintf("timing: %s wall %v (analytic; no simulated time)", id, wall.Round(time.Millisecond))
+	}
+	perSecNs := res.SimTime.Nanoseconds() / wall.Seconds()
+	return fmt.Sprintf("timing: %s wall %v, simulated %v, %.1f µs simulated per wall-second",
+		id, wall.Round(time.Millisecond), res.SimTime, perSecNs/1e3)
 }

@@ -4,9 +4,13 @@
 // latency CDF, and mesh throughput versus load for the §2.1 baseline —
 // as CSV (default) or as an ASCII chart (-plot).
 //
+// Sweep points are independent simulations, so they fan out across
+// CPUs (-j, default one worker per CPU); the output order and values
+// are identical for every -j, including the sequential -j 1.
+//
 //	spssweep -sweep latency-load > latency.csv
 //	spssweep -sweep throughput-speedup -plot
-//	spssweep -sweep mesh-load -plot
+//	spssweep -sweep mesh-load -j 4 -plot
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"pbrouter/internal/baseline"
 	"pbrouter/internal/core"
 	"pbrouter/internal/hbmswitch"
+	"pbrouter/internal/parallel"
 	"pbrouter/internal/plot"
 	"pbrouter/internal/sim"
 	"pbrouter/internal/traffic"
@@ -40,6 +45,7 @@ func main() {
 		sweep   = flag.String("sweep", "latency-load", "latency-load|throughput-speedup|latency-framesize|mesh-load|latency-cdf")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		quick   = flag.Bool("quick", false, "shorter horizons")
+		jobs    = flag.Int("j", 0, "worker goroutines for independent sweep points (0 = one per CPU, 1 = sequential)")
 		asChart = flag.Bool("plot", false, "render an ASCII chart instead of CSV")
 	)
 	flag.Parse()
@@ -48,20 +54,21 @@ func main() {
 	if *quick {
 		horizon = 10 * sim.Microsecond
 	}
+	workers := parallel.Workers(*jobs)
 
 	var data *sweepData
 	var err error
 	switch *sweep {
 	case "latency-load":
-		data, err = latencyLoad(horizon, *seed)
+		data, err = latencyLoad(workers, horizon, *seed)
 	case "throughput-speedup":
-		data, err = throughputSpeedup(horizon, *seed)
+		data, err = throughputSpeedup(workers, horizon, *seed)
 	case "latency-framesize":
-		data, err = latencyFrameSize(horizon, *seed)
+		data, err = latencyFrameSize(workers, horizon, *seed)
 	case "mesh-load":
-		data, err = meshLoad(*quick, *seed)
+		data, err = meshLoad(workers, *quick, *seed)
 	case "latency-cdf":
-		data, err = latencyCDF(horizon, *seed)
+		data, err = latencyCDF(workers, horizon, *seed)
 	default:
 		err = fmt.Errorf("unknown sweep %q", *sweep)
 	}
@@ -74,6 +81,21 @@ func main() {
 	} else {
 		printCSV(data)
 	}
+}
+
+// mapRows fans n independent sweep points across workers and
+// concatenates their row groups in input order, so the CSV/chart is
+// identical however many workers run.
+func mapRows(workers, n int, fn func(i int) ([]sweepRow, error)) ([]sweepRow, error) {
+	groups, err := parallel.Map(workers, n, fn)
+	if err != nil {
+		return nil, err
+	}
+	var rows []sweepRow
+	for _, g := range groups {
+		rows = append(rows, g...)
+	}
+	return rows, nil
 }
 
 func printCSV(d *sweepData) {
@@ -133,7 +155,7 @@ func runSwitch(cfg hbmswitch.Config, load float64, horizon sim.Time, seed uint64
 	return rep, sw, nil
 }
 
-func latencyLoad(horizon sim.Time, seed uint64) (*sweepData, error) {
+func latencyLoad(workers int, horizon sim.Time, seed uint64) (*sweepData, error) {
 	d := &sweepData{xLabel: "load", yLabel: "p50_ns", cols: []string{"p99_ns", "mean_ns"}}
 	policies := []struct {
 		name string
@@ -143,72 +165,88 @@ func latencyLoad(horizon sim.Time, seed uint64) (*sweepData, error) {
 		{"pad", core.Policy{PadFrames: true}},
 		{"pad+bypass", core.Policy{PadFrames: true, BypassHBM: true}},
 	}
-	for _, load := range []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95} {
-		for _, p := range policies {
-			cfg := hbmswitch.Reference()
-			cfg.Speedup = 1.1
-			cfg.Policy = p.pol
-			cfg.FlushTimeout = 100 * sim.Nanosecond
-			cfg.PadTimeout = 200 * sim.Nanosecond
-			rep, _, err := runSwitch(cfg, load, horizon, seed)
-			if err != nil {
-				return nil, err
-			}
-			d.rows = append(d.rows, sweepRow{
-				series: p.name, x: load, y: rep.LatencyP50.Nanoseconds(),
-				extra: []string{
-					fmt.Sprintf("%.1f", rep.LatencyP99.Nanoseconds()),
-					fmt.Sprintf("%.1f", rep.LatencyMean.Nanoseconds()),
-				},
-			})
+	loads := []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95}
+	rows, err := mapRows(workers, len(loads)*len(policies), func(i int) ([]sweepRow, error) {
+		load, p := loads[i/len(policies)], policies[i%len(policies)]
+		cfg := hbmswitch.Reference()
+		cfg.Speedup = 1.1
+		cfg.Policy = p.pol
+		cfg.FlushTimeout = 100 * sim.Nanosecond
+		cfg.PadTimeout = 200 * sim.Nanosecond
+		rep, _, err := runSwitch(cfg, load, horizon, seed)
+		if err != nil {
+			return nil, err
 		}
+		return []sweepRow{{
+			series: p.name, x: load, y: rep.LatencyP50.Nanoseconds(),
+			extra: []string{
+				fmt.Sprintf("%.1f", rep.LatencyP99.Nanoseconds()),
+				fmt.Sprintf("%.1f", rep.LatencyMean.Nanoseconds()),
+			},
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	d.rows = rows
 	return d, nil
 }
 
-func throughputSpeedup(horizon sim.Time, seed uint64) (*sweepData, error) {
+func throughputSpeedup(workers int, horizon sim.Time, seed uint64) (*sweepData, error) {
 	d := &sweepData{xLabel: "speedup", yLabel: "throughput_vs_ideal"}
-	for _, sp := range []float64{0.98, 1.0, 1.02, 1.05, 1.1, 1.2, 1.3} {
+	speedups := []float64{0.98, 1.0, 1.02, 1.05, 1.1, 1.2, 1.3}
+	rows, err := mapRows(workers, len(speedups), func(i int) ([]sweepRow, error) {
 		cfg := hbmswitch.Reference()
-		cfg.Speedup = sp
+		cfg.Speedup = speedups[i]
 		cfg.Policy = core.Policy{} // all traffic through the HBM
 		cfg.Shadow = true
 		if err := cfg.Validate(); err != nil {
-			continue // below ~0.97 the memory cannot carry 2x line rate
+			return nil, nil // below ~0.97 the memory cannot carry 2x line rate
 		}
 		rep, _, err := runSwitch(cfg, 0.99, horizon, seed)
 		if err != nil {
 			return nil, err
 		}
-		d.rows = append(d.rows, sweepRow{series: "load 0.99", x: sp,
-			y: rep.Throughput / rep.ShadowThroughput})
+		return []sweepRow{{series: "load 0.99", x: speedups[i],
+			y: rep.Throughput / rep.ShadowThroughput}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	d.rows = rows
 	return d, nil
 }
 
-func latencyFrameSize(horizon sim.Time, seed uint64) (*sweepData, error) {
+func latencyFrameSize(workers int, horizon sim.Time, seed uint64) (*sweepData, error) {
 	d := &sweepData{xLabel: "frame_kb", yLabel: "p50_ns", cols: []string{"p99_ns"}}
-	for _, seg := range []int{1024, 512} {
+	segs := []int{1024, 512}
+	rows, err := mapRows(workers, len(segs), func(i int) ([]sweepRow, error) {
 		cfg := hbmswitch.Scaled(1, 640*sim.Gbps)
-		cfg.PFI.SegBytes = seg
+		cfg.PFI.SegBytes = segs[i]
 		cfg.Policy = core.Policy{BypassHBM: true}
 		cfg.FlushTimeout = 100 * sim.Nanosecond
 		rep, _, err := runSwitch(cfg, 0.6, 2*horizon, seed)
 		if err != nil {
 			return nil, err
 		}
-		d.rows = append(d.rows, sweepRow{
+		return []sweepRow{{
 			series: "load 0.6", x: float64(cfg.PFI.FrameBytes() / 1024),
 			y:     rep.LatencyP50.Nanoseconds(),
 			extra: []string{fmt.Sprintf("%.1f", rep.LatencyP99.Nanoseconds())},
-		})
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	d.rows = rows
 	return d, nil
 }
 
-func latencyCDF(horizon sim.Time, seed uint64) (*sweepData, error) {
+func latencyCDF(workers int, horizon sim.Time, seed uint64) (*sweepData, error) {
 	d := &sweepData{xLabel: "percentile", yLabel: "latency_ns"}
-	for _, load := range []float64{0.3, 0.9} {
+	loads := []float64{0.3, 0.9}
+	rows, err := mapRows(workers, len(loads), func(i int) ([]sweepRow, error) {
+		load := loads[i]
 		cfg := hbmswitch.Reference()
 		cfg.Speedup = 1.1
 		cfg.FlushTimeout = 100 * sim.Nanosecond
@@ -217,44 +255,55 @@ func latencyCDF(horizon sim.Time, seed uint64) (*sweepData, error) {
 			return nil, err
 		}
 		h := sw.LatencyHistogram()
+		var out []sweepRow
 		for _, p := range []float64{0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0} {
-			d.rows = append(d.rows, sweepRow{
+			out = append(out, sweepRow{
 				series: fmt.Sprintf("load %.1f", load), x: p,
 				y: h.PercentileTime(p).Nanoseconds(),
 			})
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	d.rows = rows
 	return d, nil
 }
 
-func meshLoad(quick bool, seed uint64) (*sweepData, error) {
+func meshLoad(workers int, quick bool, seed uint64) (*sweepData, error) {
 	d := &sweepData{xLabel: "load", yLabel: "throughput", cols: []string{"p99_ns"}}
 	horizon := 2 * sim.Millisecond
 	if quick {
 		horizon = sim.Millisecond
 	}
-	for _, load := range []float64{0.1, 0.2, 0.25, 0.3, 0.4} {
-		for _, pattern := range []string{"uniform", "worst"} {
-			ms, err := baseline.NewMeshSim(8, 10*sim.Gbps)
-			if err != nil {
-				return nil, err
-			}
-			var tm *traffic.Matrix
-			if pattern == "uniform" {
-				tm = traffic.Uniform(64, load)
-			} else {
-				m, _ := baseline.NewMesh(8)
-				tm = m.WorstCaseMatrix().Scale(load)
-			}
-			rep, err := ms.Run(tm, traffic.Fixed(1500), horizon, seed)
-			if err != nil {
-				return nil, err
-			}
-			d.rows = append(d.rows, sweepRow{
-				series: pattern, x: load, y: rep.Throughput,
-				extra: []string{fmt.Sprintf("%.1f", rep.LatencyP99.Nanoseconds())},
-			})
+	loads := []float64{0.1, 0.2, 0.25, 0.3, 0.4}
+	patterns := []string{"uniform", "worst"}
+	rows, err := mapRows(workers, len(loads)*len(patterns), func(i int) ([]sweepRow, error) {
+		load, pattern := loads[i/len(patterns)], patterns[i%len(patterns)]
+		ms, err := baseline.NewMeshSim(8, 10*sim.Gbps)
+		if err != nil {
+			return nil, err
 		}
+		var tm *traffic.Matrix
+		if pattern == "uniform" {
+			tm = traffic.Uniform(64, load)
+		} else {
+			m, _ := baseline.NewMesh(8)
+			tm = m.WorstCaseMatrix().Scale(load)
+		}
+		rep, err := ms.Run(tm, traffic.Fixed(1500), horizon, seed)
+		if err != nil {
+			return nil, err
+		}
+		return []sweepRow{{
+			series: pattern, x: load, y: rep.Throughput,
+			extra: []string{fmt.Sprintf("%.1f", rep.LatencyP99.Nanoseconds())},
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	d.rows = rows
 	return d, nil
 }

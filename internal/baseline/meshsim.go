@@ -27,6 +27,7 @@ type MeshSim struct {
 	linkBits  []int64
 
 	flow *Mesh // reuse the routing geometry
+	mux  *traffic.Mux
 
 	offered     stats.Counter
 	delivered   stats.Counter
@@ -53,6 +54,29 @@ func NewMeshSim(k int, linkRate sim.Rate) (*MeshSim, error) {
 		flow:      m,
 		latency:   stats.NewLatencyHistogram(),
 	}, nil
+}
+
+// Intrusive event codes (sim.Handler): the mesh schedules one event
+// per packet hop, so closure-free dispatch matters here.
+const (
+	evMeshArrive = iota // p: *packet.Packet — injection; pump the next one
+	evMeshHop           // p: packet; a: packed (hops<<16 | r<<8 | c)
+	evMeshEject         // p: packet; a: hop count; ejection time is Now()
+)
+
+// HandleEvent dispatches the mesh's intrusive events (sim.Handler).
+func (ms *MeshSim) HandleEvent(code, a int, p any) {
+	switch code {
+	case evMeshArrive:
+		pkt := p.(*packet.Packet)
+		ms.offered.Add(pkt.Size)
+		ms.hop(pkt, pkt.Input/ms.K, pkt.Input%ms.K, 0)
+		ms.pump()
+	case evMeshHop:
+		ms.hop(p.(*packet.Packet), a>>8&0xff, a&0xff, a>>16)
+	case evMeshEject:
+		ms.eject(p.(*packet.Packet), a)
+	}
 }
 
 // ejectIndex returns the ejection-port slot for a node.
@@ -96,21 +120,35 @@ func (ms *MeshSim) hop(p *packet.Packet, r, c, hops int) {
 		ms.linkBits[link] += int64(p.Size) * 8
 	}
 	if done {
-		ms.sched.At(end, func() {
-			p.Depart = end
-			ms.delivered.Add(p.Size)
-			if end > ms.warmup && end <= ms.horizon {
-				ms.deliveredSt.Add(p.Size)
-			}
-			if end <= ms.horizon {
-				ms.byHorizon.Add(p.Size)
-			}
-			ms.latency.AddTime(p.Latency())
-			ms.hops.Add(float64(hops))
-		})
+		ms.sched.AtEvent(end, ms, evMeshEject, hops, p)
 		return
 	}
-	ms.sched.At(end, func() { ms.hop(p, nr, nc, hops+1) })
+	ms.sched.AtEvent(end, ms, evMeshHop, (hops+1)<<16|nr<<8|nc, p)
+}
+
+// eject finalizes a packet's departure at the current time.
+func (ms *MeshSim) eject(p *packet.Packet, hops int) {
+	end := ms.sched.Now()
+	p.Depart = end
+	ms.delivered.Add(p.Size)
+	if end > ms.warmup && end <= ms.horizon {
+		ms.deliveredSt.Add(p.Size)
+	}
+	if end <= ms.horizon {
+		ms.byHorizon.Add(p.Size)
+	}
+	ms.latency.AddTime(p.Latency())
+	ms.hops.Add(float64(hops))
+}
+
+// pump schedules the next arrival; evMeshArrive injects it and pumps
+// again, keeping one arrival event in flight.
+func (ms *MeshSim) pump() {
+	p, at := ms.mux.Next()
+	if p == nil || at > ms.horizon {
+		return
+	}
+	ms.sched.AtEvent(at, ms, evMeshArrive, 0, p)
 }
 
 // MeshReport summarizes an event-level mesh run.
@@ -140,20 +178,8 @@ func (ms *MeshSim) Run(tm *traffic.Matrix, sizes traffic.SizeDist, horizon sim.T
 	ms.horizon = horizon
 	ms.warmup = horizon / 3
 	srcs := traffic.UniformSources(tm, ms.LinkRate, traffic.Poisson, sizes, sim.NewRNG(seed))
-	mux := traffic.NewMux(srcs)
-	var pump func()
-	pump = func() {
-		p, at := mux.Next()
-		if p == nil || at > horizon {
-			return
-		}
-		ms.sched.At(at, func() {
-			ms.offered.Add(p.Size)
-			ms.hop(p, p.Input/ms.K, p.Input%ms.K, 0)
-			pump()
-		})
-	}
-	pump()
+	ms.mux = traffic.NewMux(srcs)
+	ms.pump()
 	ms.sched.Run()
 
 	steadyCap := float64(ms.LinkRate) * float64(n) * (horizon - ms.warmup).Seconds()

@@ -21,10 +21,22 @@ type frameToken struct {
 	stale bool
 }
 
+// Intrusive event codes (sim.Handler). The per-packet and per-batch
+// paths schedule (receiver, code, payload) events instead of
+// closures, so steady-state simulation allocates nothing per event.
+const (
+	evInject      = iota // p: *packet.Packet — arrival; pump the next one
+	evFlushCheck         // a: input port; the deadline is the fire time
+	evBatchAtTail        // a: input port; p: *packet.Batch crossing the crossbar
+	evHBMStep            // one HBM service-loop step
+	evKickHBM            // wake the HBM service loop (pad-timeout maturation)
+)
+
 // Switch is one HBM switch instance. Create with New, drive with Run.
 type Switch struct {
 	cfg   Config
 	sched *sim.Scheduler
+	mux   traffic.Stream // arrival stream being pumped by Run
 
 	mem    *hbm.Memory
 	engine *hbm.FrameEngine
@@ -211,6 +223,31 @@ func New(cfg Config) (*Switch, error) {
 	return s, nil
 }
 
+// HandleEvent dispatches the switch's intrusive events (sim.Handler).
+func (s *Switch) HandleEvent(code, a int, p any) {
+	switch code {
+	case evInject:
+		s.inject(p.(*packet.Packet))
+		s.pump()
+	case evFlushCheck:
+		// The event fires exactly at its deadline, so Now() is it.
+		s.flushCheck(a, s.sched.Now())
+	case evBatchAtTail:
+		s.deliverBatch(p.(*packet.Batch))
+		if len(s.inFIFO[a]) > 0 {
+			s.startInputService(a)
+		} else {
+			s.inBusy[a] = false
+		}
+	case evHBMStep:
+		s.hbmStep()
+	case evKickHBM:
+		s.kickHBM()
+	default:
+		s.fail("unknown event code %d", code)
+	}
+}
+
 // fail records a model invariant violation.
 func (s *Switch) fail(format string, args ...interface{}) {
 	if len(s.errs) < 32 {
@@ -254,8 +291,7 @@ func (s *Switch) inject(p *packet.Packet) {
 		s.enqueueBatch(p.Input, b)
 	}
 	if s.cfg.FlushTimeout > 0 {
-		deadline := now + s.cfg.FlushTimeout
-		s.sched.At(deadline, func() { s.flushCheck(p.Input, deadline) })
+		s.sched.AfterEvent(s.cfg.FlushTimeout, s, evFlushCheck, p.Input, nil)
 	}
 }
 
@@ -302,14 +338,7 @@ func (s *Switch) startInputService(input int) {
 	s.inBusy[input] = true
 	b := s.inFIFO[input][0]
 	s.inFIFO[input] = s.inFIFO[input][1:]
-	s.sched.After(s.batchTime, func() {
-		s.deliverBatch(b)
-		if len(s.inFIFO[input]) > 0 {
-			s.startInputService(input)
-		} else {
-			s.inBusy[input] = false
-		}
-	})
+	s.sched.AfterEvent(s.batchTime, s, evBatchAtTail, input, b)
 }
 
 // deliverBatch lands a batch in the tail SRAM and advances frame
@@ -334,7 +363,7 @@ func (s *Switch) deliverBatch(b *packet.Batch) {
 		// A partial frame now exists; a padding read turn may want it
 		// once it matures past the pad timeout.
 		if s.cfg.PadTimeout > 0 {
-			s.sched.After(s.cfg.PadTimeout, s.kickHBM)
+			s.sched.AfterEvent(s.cfg.PadTimeout, s, evKickHBM, 0, nil)
 		} else {
 			s.kickHBM()
 		}
@@ -473,7 +502,7 @@ func (s *Switch) kickHBM() {
 	if s.hbmCursor > at {
 		at = s.hbmCursor
 	}
-	s.sched.At(at, s.hbmStep)
+	s.sched.AtEvent(at, s, evHBMStep, 0, nil)
 }
 
 // hbmStep performs one frame operation (write or read/bypass),
@@ -499,13 +528,13 @@ func (s *Switch) hbmStep() {
 		if s.hbmCursor > at {
 			at = s.hbmCursor
 		}
-		s.sched.At(at, s.hbmStep)
+		s.sched.AtEvent(at, s, evHBMStep, 0, nil)
 		return
 	}
 	if retryAt > s.sched.Now() {
 		// Every actionable output was blocked only by head-SRAM
 		// backpressure; retry when the earliest egress drains.
-		s.sched.At(retryAt, s.hbmStep)
+		s.sched.AtEvent(retryAt, s, evHBMStep, 0, nil)
 		return
 	}
 	s.hbmBusy = false
@@ -815,18 +844,8 @@ func (s *Switch) Run(mux traffic.Stream, horizon sim.Time) (*Report, error) {
 	// (frame assembly + first HBM round trip); a third of the horizon
 	// is comfortably past it for the horizons the experiments use.
 	s.warmup = horizon / 3
-	var pump func()
-	pump = func() {
-		p, at := mux.Next()
-		if p == nil || at > horizon {
-			return
-		}
-		s.sched.At(at, func() {
-			s.inject(p)
-			pump()
-		})
-	}
-	pump()
+	s.mux = mux
+	s.pump()
 	if s.cfg.EnableRefresh {
 		// One group refreshed per tick keeps every bank inside its
 		// tREFI budget: groups * period = tREF.
@@ -860,6 +879,16 @@ func (s *Switch) Run(mux traffic.Stream, horizon sim.Time) (*Report, error) {
 		s.sched.Run()
 	}
 	return s.report(horizon), s.firstErr()
+}
+
+// pump schedules the next arrival from the stream; the evInject
+// handler injects it and pumps again, one in-flight event at a time.
+func (s *Switch) pump() {
+	p, at := s.mux.Next()
+	if p == nil || at > s.horizon {
+		return
+	}
+	s.sched.AtEvent(at, s, evInject, 0, p)
 }
 
 // empty reports whether any stage still holds data.

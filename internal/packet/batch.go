@@ -87,7 +87,8 @@ type Batcher struct {
 
 	cur    *Batch
 	fill   int
-	queued int // bytes buffered including the partially-filled batch
+	queued int      // bytes buffered including the partially-filled batch
+	done   []*Batch // scratch for Add's return value, reused per call
 }
 
 // NewBatcher returns a batcher producing batches of the given size.
@@ -104,18 +105,22 @@ func NewBatcher(input, output, size int, nextID func() uint64) *Batcher {
 func (a *Batcher) QueuedBytes() int { return a.queued }
 
 // Add appends a packet and returns the batches it completed (zero or
-// more; a packet larger than the batch size completes several).
+// more; a packet larger than the batch size completes several). The
+// returned slice is scratch storage owned by the batcher and is
+// overwritten by the next Add call, so callers must consume it before
+// adding another packet.
 func (a *Batcher) Add(p *Packet) []*Batch {
 	if p.Output != a.output {
 		panic(fmt.Sprintf("packet: packet for output %d added to batcher for output %d",
 			p.Output, a.output))
 	}
-	var done []*Batch
+	done := a.done[:0]
 	off := 0
 	a.queued += p.Size
 	for off < p.Size {
 		if a.cur == nil {
-			a.cur = &Batch{ID: a.nextID(), Input: a.input, Output: a.output, Size: a.size}
+			a.cur = &Batch{ID: a.nextID(), Input: a.input, Output: a.output, Size: a.size,
+				Frags: make([]Frag, 0, 4)}
 			a.fill = 0
 		}
 		n := p.Size - off
@@ -131,6 +136,7 @@ func (a *Batcher) Add(p *Packet) []*Batch {
 			a.cur = nil
 		}
 	}
+	a.done = done
 	return done
 }
 

@@ -1,0 +1,89 @@
+// Package parallel is the deterministic sweep-execution engine: it
+// fans independent simulation points (sweep cases, seeds,
+// replications) across worker goroutines and collects results in
+// input order, so a parallel run is byte-for-byte identical to the
+// sequential one.
+//
+// Determinism rests on two rules. First, every point must be
+// self-contained: it builds its own simulator and derives its RNG
+// purely from the base seed and its own index (Seed implements the
+// repository-wide seed + index·7919 convention, the same one
+// sps.Router.Run uses for its per-switch goroutines). Second, Map
+// assigns results by index, so the output order never depends on
+// goroutine scheduling.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// seedStride spaces derived seeds; 7919 (the 1000th prime) matches
+// the convention used by sps.Router.Run since the seed repo state.
+const seedStride = 7919
+
+// Seed derives the RNG seed for sweep point i from the base seed.
+func Seed(base uint64, i int) uint64 {
+	return base + uint64(i)*seedStride
+}
+
+// Workers normalizes a parallelism knob: values <= 0 mean "one worker
+// per available CPU" (GOMAXPROCS); 1 selects the sequential legacy
+// path; anything else caps the worker count.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map runs fn(i) for every i in [0, n) using at most workers
+// goroutines and returns the results in input order. With workers <= 1
+// it runs entirely on the calling goroutine, stopping at the first
+// error exactly like a plain loop. With more workers all points run
+// (work-stealing over a shared index), and the returned error is the
+// lowest-index one — the same error a sequential run would surface —
+// so error behavior is deterministic too.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,145 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSeedConvention(t *testing.T) {
+	if Seed(100, 0) != 100 {
+		t.Fatalf("Seed(100,0) = %d, want the base itself", Seed(100, 0))
+	}
+	// Matches the sps.Router.Run convention: seed + index·7919.
+	if Seed(5, 3) != 5+3*7919 {
+		t.Fatalf("Seed(5,3) = %d", Seed(5, 3))
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(0) != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d", Workers(0))
+	}
+	if Workers(-3) != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d", Workers(-3))
+	}
+	if Workers(1) != 1 || Workers(7) != 7 {
+		t.Fatal("explicit worker counts not honored")
+	}
+}
+
+// TestMapOrder checks that results come back in input order for both
+// the sequential and the concurrent path.
+func TestMapOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		got, err := Map(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+// TestMapDeterministic verifies the headline property: a parallel run
+// produces exactly the sequential run's output when each point derives
+// its state only from its index.
+func TestMapDeterministic(t *testing.T) {
+	point := func(i int) (string, error) {
+		return fmt.Sprintf("point-%d-seed-%d", i, Seed(42, i)), nil
+	}
+	seq, err := Map(1, 37, point)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Map(8, 37, point)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("index %d: sequential %q != parallel %q", i, seq[i], par[i])
+		}
+	}
+}
+
+// TestMapFirstError checks that both paths surface the lowest-index
+// error, keeping error behavior independent of scheduling.
+func TestMapFirstError(t *testing.T) {
+	e3, e7 := errors.New("three"), errors.New("seven")
+	fn := func(i int) (int, error) {
+		switch i {
+		case 3:
+			return 0, e3
+		case 7:
+			return 0, e7
+		}
+		return i, nil
+	}
+	for _, workers := range []int{1, 8} {
+		_, err := Map(workers, 10, fn)
+		if err != e3 {
+			t.Fatalf("workers=%d: got error %v, want the lowest-index one", workers, err)
+		}
+	}
+}
+
+// TestMapSequentialStopsEarly: workers=1 must behave like a plain loop
+// and not evaluate points after the failing one.
+func TestMapSequentialStopsEarly(t *testing.T) {
+	var calls int
+	_, err := Map(1, 10, func(i int) (int, error) {
+		calls++
+		if i == 2 {
+			return 0, errors.New("stop")
+		}
+		return i, nil
+	})
+	if err == nil || calls != 3 {
+		t.Fatalf("sequential path ran %d points (err %v), want 3", calls, err)
+	}
+}
+
+// TestMapActuallyConcurrent: with enough workers, at least two points
+// must be in flight at once (otherwise the pool is broken and sweeps
+// silently lose their speedup).
+func TestMapActuallyConcurrent(t *testing.T) {
+	var inFlight, peak atomic.Int32
+	var release sync.Once
+	gate := make(chan struct{})
+	_, err := Map(4, 4, func(i int) (int, error) {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		if n >= 2 {
+			// Two points observed concurrently: release everyone.
+			release.Do(func() { close(gate) })
+		}
+		<-gate
+		inFlight.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() < 2 {
+		t.Fatalf("peak concurrency %d, want >= 2", peak.Load())
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(8, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty map: %v, %v", out, err)
+	}
+}

@@ -2,13 +2,37 @@ package sim
 
 import "fmt"
 
-// event is a scheduled callback. Events with equal times fire in the
-// order they were scheduled (seq breaks ties), which keeps runs
-// deterministic.
+// Handler receives intrusive events. Hot simulation loops implement
+// it once per model and schedule (receiver, code, payload) triples
+// with AtEvent/AfterEvent instead of allocating a fresh closure per
+// event: the event payload lives in the scheduler's recycled arena,
+// so the steady state allocates nothing. code selects the action, a
+// carries a small scalar argument (a port index, a packed
+// coordinate), and p carries an optional pointer payload (storing a
+// pointer in an interface does not allocate).
+type Handler interface {
+	HandleEvent(code, a int, p any)
+}
+
+// event is a scheduled callback — either a closure (fn) or an
+// intrusive (h, code, a, p) dispatch.
 type event struct {
+	fn   func()
+	h    Handler
+	code int
+	a    int
+	p    any
+}
+
+// eventKey orders the heap. Keys carry no pointers, so sift
+// operations are plain memmoves with no GC write barriers — that, not
+// comparison count, dominates the event loop. Events with equal times
+// fire in the order they were scheduled (seq breaks ties), which
+// keeps runs deterministic. idx locates the payload in the arena.
+type eventKey struct {
 	at  Time
 	seq uint64
-	fn  func()
+	idx int32
 }
 
 // Scheduler is a deterministic discrete-event executor. The zero value
@@ -16,7 +40,9 @@ type event struct {
 type Scheduler struct {
 	now    Time
 	seq    uint64
-	heap   []event
+	keys   []eventKey // binary min-heap ordered by (at, seq)
+	arena  []event    // index-stable payload storage
+	free   []int32    // recycled arena slots
 	events uint64
 }
 
@@ -24,7 +50,7 @@ type Scheduler struct {
 func (s *Scheduler) Now() Time { return s.now }
 
 // Len returns the number of pending events.
-func (s *Scheduler) Len() int { return len(s.heap) }
+func (s *Scheduler) Len() int { return len(s.keys) }
 
 // Events returns the total number of events executed so far.
 func (s *Scheduler) Events() uint64 { return s.events }
@@ -35,8 +61,7 @@ func (s *Scheduler) At(t Time, fn func()) {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
 	}
-	s.seq++
-	s.push(event{at: t, seq: s.seq, fn: fn})
+	s.push(t, event{fn: fn})
 }
 
 // After schedules fn to run d after the current time.
@@ -47,16 +72,41 @@ func (s *Scheduler) After(d Time, fn func()) {
 	s.At(s.now+d, fn)
 }
 
+// AtEvent schedules an intrusive event: at absolute time t the
+// scheduler calls h.HandleEvent(code, a, p). Unlike At, nothing is
+// allocated per event, which matters on per-packet paths.
+func (s *Scheduler) AtEvent(t Time, h Handler, code, a int, p any) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+	}
+	s.push(t, event{h: h, code: code, a: a, p: p})
+}
+
+// AfterEvent schedules an intrusive event d after the current time.
+func (s *Scheduler) AfterEvent(d Time, h Handler, code, a int, p any) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	s.AtEvent(s.now+d, h, code, a, p)
+}
+
 // Step executes the single earliest pending event. It reports whether
 // an event was executed.
 func (s *Scheduler) Step() bool {
-	if len(s.heap) == 0 {
+	if len(s.keys) == 0 {
 		return false
 	}
-	ev := s.pop()
-	s.now = ev.at
+	k := s.pop()
+	ev := s.arena[k.idx]
+	s.arena[k.idx] = event{} // drop the payload's pointers for the GC
+	s.free = append(s.free, k.idx)
+	s.now = k.at
 	s.events++
-	ev.fn()
+	if ev.fn != nil {
+		ev.fn()
+	} else {
+		ev.h.HandleEvent(ev.code, ev.a, ev.p)
+	}
 	return true
 }
 
@@ -64,7 +114,7 @@ func (s *Scheduler) Step() bool {
 // the next event is strictly after the horizon. The clock is left at
 // the horizon (or at the last event if the queue drained first).
 func (s *Scheduler) RunUntil(horizon Time) {
-	for len(s.heap) > 0 && s.heap[0].at <= horizon {
+	for len(s.keys) > 0 && s.keys[0].at <= horizon {
 		s.Step()
 	}
 	if s.now < horizon {
@@ -78,26 +128,36 @@ func (s *Scheduler) Run() {
 	}
 }
 
-// push and pop implement a binary min-heap ordered by (at, seq).
-
-func (s *Scheduler) push(ev event) {
-	s.heap = append(s.heap, ev)
-	i := len(s.heap) - 1
+// push stores the payload in a recycled arena slot and sifts its key
+// into the binary min-heap.
+func (s *Scheduler) push(at Time, ev event) {
+	var idx int32
+	if n := len(s.free); n > 0 {
+		idx = s.free[n-1]
+		s.free = s.free[:n-1]
+		s.arena[idx] = ev
+	} else {
+		idx = int32(len(s.arena))
+		s.arena = append(s.arena, ev)
+	}
+	s.seq++
+	s.keys = append(s.keys, eventKey{at: at, seq: s.seq, idx: idx})
+	i := len(s.keys) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
 		if !s.less(i, parent) {
 			break
 		}
-		s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
+		s.keys[i], s.keys[parent] = s.keys[parent], s.keys[i]
 		i = parent
 	}
 }
 
-func (s *Scheduler) pop() event {
-	top := s.heap[0]
-	last := len(s.heap) - 1
-	s.heap[0] = s.heap[last]
-	s.heap = s.heap[:last]
+func (s *Scheduler) pop() eventKey {
+	top := s.keys[0]
+	last := len(s.keys) - 1
+	s.keys[0] = s.keys[last]
+	s.keys = s.keys[:last]
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
@@ -111,14 +171,14 @@ func (s *Scheduler) pop() event {
 		if smallest == i {
 			break
 		}
-		s.heap[i], s.heap[smallest] = s.heap[smallest], s.heap[i]
+		s.keys[i], s.keys[smallest] = s.keys[smallest], s.keys[i]
 		i = smallest
 	}
 	return top
 }
 
 func (s *Scheduler) less(i, j int) bool {
-	a, b := s.heap[i], s.heap[j]
+	a, b := s.keys[i], s.keys[j]
 	if a.at != b.at {
 		return a.at < b.at
 	}

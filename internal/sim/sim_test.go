@@ -325,3 +325,76 @@ func TestRNGPareto(t *testing.T) {
 		}
 	}
 }
+
+// handlerRecorder records intrusive-event dispatches.
+type handlerRecorder struct {
+	codes []int
+	args  []int
+	ps    []any
+	times []Time
+	sched *Scheduler
+}
+
+func (h *handlerRecorder) HandleEvent(code, a int, p any) {
+	h.codes = append(h.codes, code)
+	h.args = append(h.args, a)
+	h.ps = append(h.ps, p)
+	h.times = append(h.times, h.sched.Now())
+}
+
+func TestIntrusiveEvents(t *testing.T) {
+	s := &Scheduler{}
+	h := &handlerRecorder{sched: s}
+	payload := &struct{ x int }{x: 9}
+	s.AtEvent(30, h, 3, 300, nil)
+	s.AtEvent(10, h, 1, 100, payload)
+	s.AfterEvent(20, h, 2, 200, nil)
+	s.Run()
+	if len(h.codes) != 3 {
+		t.Fatalf("dispatched %d events", len(h.codes))
+	}
+	for i, want := range []int{1, 2, 3} {
+		if h.codes[i] != want || h.args[i] != want*100 {
+			t.Fatalf("event %d: code %d arg %d", i, h.codes[i], h.args[i])
+		}
+	}
+	if h.ps[0] != payload || h.ps[1] != nil {
+		t.Fatal("payloads not delivered")
+	}
+	if h.times[0] != 10 || h.times[1] != 20 || h.times[2] != 30 {
+		t.Fatalf("dispatch times %v", h.times)
+	}
+}
+
+// TestIntrusiveAndClosureInterleave: both event kinds share one heap
+// and one (time, seq) order.
+func TestIntrusiveAndClosureInterleave(t *testing.T) {
+	s := &Scheduler{}
+	h := &handlerRecorder{sched: s}
+	var order []int
+	s.At(5, func() { order = append(order, -1) })
+	s.AtEvent(5, h, 7, 0, nil) // same time: scheduled later, fires later
+	s.At(6, func() { order = append(order, -2) })
+	s.Run()
+	if len(order) != 2 || order[0] != -1 || order[1] != -2 {
+		t.Fatalf("closure order %v", order)
+	}
+	if len(h.codes) != 1 || h.times[0] != 5 {
+		t.Fatalf("intrusive dispatch %v at %v", h.codes, h.times)
+	}
+	if s.Events() != 3 {
+		t.Fatalf("events executed %d", s.Events())
+	}
+}
+
+func TestIntrusiveEventPastPanics(t *testing.T) {
+	s := &Scheduler{}
+	s.At(10, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling an intrusive event in the past")
+		}
+	}()
+	s.AtEvent(5, &handlerRecorder{sched: s}, 0, 0, nil)
+}

@@ -2,17 +2,19 @@ package sps
 
 import (
 	"fmt"
-	"sync"
 
 	"pbrouter/internal/hbmswitch"
+	"pbrouter/internal/parallel"
 	"pbrouter/internal/sim"
 	"pbrouter/internal/traffic"
 )
 
 // Router is the packet-level SPS: H independent HBM switches fed by
 // the splitter-derived traffic matrices. Because the split is passive
-// and the switches share nothing, the router simulates them one after
-// another — bit-for-bit equivalent to simulating them concurrently.
+// and the switches share nothing, the router simulates them
+// concurrently, one goroutine per switch; each switch's seed derives
+// only from its index (seed + h·7919, the parallel.Seed convention),
+// so the result is bit-for-bit identical to a sequential run.
 type Router struct {
 	Dep       *Deployment
 	SwitchCfg hbmswitch.Config
@@ -55,34 +57,22 @@ type RouterReport struct {
 func (r *Router) Run(flows []Flow, kind traffic.ArrivalKind, sizes traffic.SizeDist,
 	horizon sim.Time, seed uint64) (*RouterReport, error) {
 	mats := r.Dep.SwitchMatrices(flows)
-	reports := make([]*hbmswitch.Report, len(mats))
-	errs := make([]error, len(mats))
-	var wg sync.WaitGroup
-	for h, m := range mats {
-		h, m := h, m
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			clampRows(m)
-			sw, err := hbmswitch.New(r.SwitchCfg)
-			if err != nil {
-				errs[h] = err
-				return
-			}
-			srcs := traffic.UniformSources(m, r.SwitchCfg.PortRate, kind, sizes, sim.NewRNG(seed+uint64(h)*7919))
-			swRep, err := sw.Run(traffic.NewMux(srcs), horizon)
-			if err != nil {
-				errs[h] = fmt.Errorf("switch %d: %w", h, err)
-				return
-			}
-			reports[h] = swRep
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
+	reports, err := parallel.Map(len(mats), len(mats), func(h int) (*hbmswitch.Report, error) {
+		m := mats[h]
+		clampRows(m)
+		sw, err := hbmswitch.New(r.SwitchCfg)
 		if err != nil {
 			return nil, err
 		}
+		srcs := traffic.UniformSources(m, r.SwitchCfg.PortRate, kind, sizes, sim.NewRNG(parallel.Seed(seed, h)))
+		swRep, err := sw.Run(traffic.NewMux(srcs), horizon)
+		if err != nil {
+			return nil, fmt.Errorf("switch %d: %w", h, err)
+		}
+		return swRep, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	rep := &RouterReport{PerSwitch: reports}
 	for _, swRep := range reports {

@@ -7,6 +7,7 @@ import (
 	"pbrouter/internal/core"
 	"pbrouter/internal/hbm"
 	"pbrouter/internal/hbmswitch"
+	"pbrouter/internal/parallel"
 	"pbrouter/internal/power"
 	"pbrouter/internal/sim"
 	"pbrouter/internal/traffic"
@@ -49,7 +50,12 @@ func runA1(opt Options) (*Result, error) {
 	for i := 0; i < 16; i++ {
 		overload.Rates[i][0] = 2.0 / 16 // output 0 at 2x line rate
 	}
-	for _, dyn := range []bool{false, true} {
+	// The static and dynamic allocation runs are independent sweep
+	// points (same seed on purpose: identical arrivals, different
+	// allocator).
+	dyns := []bool{false, true}
+	if err := runSweep(opt, res, len(dyns), func(i int, sub *Result) error {
+		dyn := dyns[i]
 		cfg := hbmswitch.Scaled(1, 640*sim.Gbps)
 		cfg.Geometry.StackCapacity = 64 << 20 // 64 MB total: exhaustion reachable
 		cfg.DropSlackFrames = 4
@@ -61,21 +67,25 @@ func runA1(opt Options) (*Result, error) {
 		}
 		sw, err := hbmswitch.New(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		srcs := traffic.UniformSources(overload, cfg.PortRate, traffic.Poisson,
 			traffic.Fixed(1500), sim.NewRNG(opt.Seed+55))
 		rep, err := sw.Run(traffic.NewMux(srcs), horizon)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if len(rep.Errors) > 0 {
-			return nil, fmt.Errorf("A1 %s: %v", name, rep.Errors[0])
+			return fmt.Errorf("A1 %s: %v", name, rep.Errors[0])
 		}
-		res.Addf(name, "dynamic absorbs what static drops",
+		sub.SimTime += horizon
+		sub.Addf(name, "dynamic absorbs what static drops",
 			"loss %.2f%%, hot region peak %d frames (%.0f MB)",
 			100*rep.LossFraction, rep.MaxRegionFill,
 			float64(rep.MaxRegionFill)*float64(cfg.PFI.FrameBytes())/1e6)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	// Buffer sharing (§5 "buffer management"): unrestricted dynamic
 	// sharing vs the Choudhury-Hahne dynamic threshold, pool view.
@@ -113,64 +123,80 @@ func runA2(opt Options) (*Result, error) {
 		frames = 80
 	}
 	res := &Result{}
-	// S sweep at γ=4 (rotating groups): only S >= 1 KB streams at peak.
-	for _, seg := range []int{512, 1024, 2048} {
-		util, err := streamUtil(geo, tim, 4, seg, frames, false, false)
-		if err != nil {
-			return nil, err
-		}
-		paper := "-"
-		if seg == 1024 {
-			paper = "chosen (minimal feasible)"
-		}
-		res.Addf(fmt.Sprintf("write stream, γ=4, S=%d B (K=%d KB on 1 stack)", seg, 4*32*seg/1024),
-			paper, "utilization %.4f", util)
-	}
-	// γ sweep at S=1 KB with the adversarial same-group back-to-back
-	// pattern (two outputs whose counters collide): γ must cover the
-	// first bank's precharge before its re-activation.
-	for _, gamma := range []int{2, 4, 8} {
-		util, err := sameGroupUtil(geo, tim, gamma, 1024, frames)
-		if err != nil {
-			return nil, err
-		}
-		paper := "-"
-		if gamma == 4 {
-			paper = "chosen (minimal feasible)"
-		}
-		res.Addf(fmt.Sprintf("same-group back-to-back stream, γ=%d, S=1 KB", gamma),
-			paper, "utilization %.4f", util)
-	}
-	// The latency cost of over-sizing γ, measured end to end: γ=8
-	// doubles the frame (K = γ·T·S) and with it the fill latency.
 	horizon := 40 * sim.Microsecond
 	if opt.Quick {
 		horizon = 20 * sim.Microsecond
 	}
-	for _, gamma := range []int{4, 8} {
-		cfg := hbmswitch.Scaled(1, 640*sim.Gbps)
-		cfg.PFI.Gamma = gamma
-		cfg.Policy = core.Policy{BypassHBM: true}
-		cfg.FlushTimeout = 100 * sim.Nanosecond
-		sw, err := hbmswitch.New(cfg)
-		if err != nil {
-			return nil, err
+	// Three independent sweep groups flattened into one pool: the S
+	// sweep at γ=4 (points 0-2), the adversarial same-group γ sweep at
+	// S=1 KB (points 3-5), and the end-to-end latency cost of
+	// over-sizing γ (points 6-7, γ=8 doubles the frame K = γ·T·S and
+	// with it the fill latency).
+	segs := []int{512, 1024, 2048}
+	gammas := []int{2, 4, 8}
+	e2eGammas := []int{4, 8}
+	if err := runSweep(opt, res, len(segs)+len(gammas)+len(e2eGammas), func(i int, sub *Result) error {
+		switch {
+		case i < len(segs):
+			// S sweep at γ=4 (rotating groups): only S >= 1 KB streams
+			// at peak.
+			seg := segs[i]
+			util, err := streamUtil(geo, tim, 4, seg, frames, false, false)
+			if err != nil {
+				return err
+			}
+			paper := "-"
+			if seg == 1024 {
+				paper = "chosen (minimal feasible)"
+			}
+			sub.Addf(fmt.Sprintf("write stream, γ=4, S=%d B (K=%d KB on 1 stack)", seg, 4*32*seg/1024),
+				paper, "utilization %.4f", util)
+		case i < len(segs)+len(gammas):
+			// γ sweep at S=1 KB with the adversarial same-group
+			// back-to-back pattern (two outputs whose counters collide):
+			// γ must cover the first bank's precharge before its
+			// re-activation.
+			gamma := gammas[i-len(segs)]
+			util, err := sameGroupUtil(geo, tim, gamma, 1024, frames)
+			if err != nil {
+				return err
+			}
+			paper := "-"
+			if gamma == 4 {
+				paper = "chosen (minimal feasible)"
+			}
+			sub.Addf(fmt.Sprintf("same-group back-to-back stream, γ=%d, S=1 KB", gamma),
+				paper, "utilization %.4f", util)
+		default:
+			gamma := e2eGammas[i-len(segs)-len(gammas)]
+			cfg := hbmswitch.Scaled(1, 640*sim.Gbps)
+			cfg.PFI.Gamma = gamma
+			cfg.Policy = core.Policy{BypassHBM: true}
+			cfg.FlushTimeout = 100 * sim.Nanosecond
+			sw, err := hbmswitch.New(cfg)
+			if err != nil {
+				return err
+			}
+			srcs := traffic.UniformSources(traffic.Uniform(16, 0.6), cfg.PortRate,
+				traffic.Poisson, traffic.IMIX(), sim.NewRNG(opt.Seed+71))
+			rep, err := sw.Run(traffic.NewMux(srcs), horizon)
+			if err != nil {
+				return err
+			}
+			if len(rep.Errors) > 0 {
+				return fmt.Errorf("A2 γ=%d: %v", gamma, rep.Errors[0])
+			}
+			sub.SimTime += horizon
+			paper := "chosen"
+			if gamma != 4 {
+				paper = "same bandwidth, bigger frames"
+			}
+			sub.Addf(fmt.Sprintf("end-to-end p50 latency at load 0.6, γ=%d (K=%d KB)", gamma,
+				cfg.PFI.FrameBytes()/1024), paper, "%v", rep.LatencyP50)
 		}
-		srcs := traffic.UniformSources(traffic.Uniform(16, 0.6), cfg.PortRate,
-			traffic.Poisson, traffic.IMIX(), sim.NewRNG(opt.Seed+71))
-		rep, err := sw.Run(traffic.NewMux(srcs), horizon)
-		if err != nil {
-			return nil, err
-		}
-		if len(rep.Errors) > 0 {
-			return nil, fmt.Errorf("A2 γ=%d: %v", gamma, rep.Errors[0])
-		}
-		paper := "chosen"
-		if gamma != 4 {
-			paper = "same bandwidth, bigger frames"
-		}
-		res.Addf(fmt.Sprintf("end-to-end p50 latency at load 0.6, γ=%d (K=%d KB)", gamma,
-			cfg.PFI.FrameBytes()/1024), paper, "%v", rep.LatencyP50)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	res.Note("γ=2 stalls on the precharge-before-next-group condition; γ=8 works but doubles the frame (and the frame-fill latency) for no bandwidth gain — exactly why the design picks γ=4")
 	return res, nil
@@ -212,41 +238,56 @@ func runA3(opt Options) (*Result, error) {
 	res.Addf(fmt.Sprintf("three-stage load-balanced/PPS (%d OEO stages)", baseline.OEOStages),
 		"3 conversions", "%.1f pJ/bit (%.1fx SPS)",
 		float64(baseline.OEOStages)*perStage, float64(baseline.OEOStages))
-	for _, k := range []int{4, 10} {
+	ks := []int{4, 10}
+	if err := runSweep(opt, res, len(ks), func(i int, sub *Result) error {
+		k := ks[i]
 		m, err := baseline.NewMesh(k)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		hops := m.InternalTrafficFactor(traffic.Uniform(k*k, 1.0))
-		res.Addf(fmt.Sprintf("%dx%d mesh (uniform traffic, XY)", k, k),
+		sub.Addf(fmt.Sprintf("%dx%d mesh (uniform traffic, XY)", k, k),
 			"hops waste capacity and power", "%.2f hops => %.1f pJ/bit (%.1fx SPS), at %.0f%% guaranteed capacity",
 			hops, hops*perStage, hops, 100*m.GuaranteedCapacity())
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	res.Note("mesh energy assumes each inter-chiplet hop pays one waveguide OEO pair; adding the extra electrical switching per hop widens the gap further")
 
 	// DRAM access energy: PFI amortizes one activation over a 1 KB
-	// segment, random access pays one per packet.
+	// segment, random access pays one per packet. The two controller
+	// sims are independent, so they fan out.
 	em := hbm.DefaultEnergy()
-	memP := hbm.MustMemory(hbm.HBM4Geometry(1), hbm.HBM4Timing())
-	eng, err := hbm.NewFrameEngine(memP, 4, 1024)
-	if err != nil {
-		return nil, err
-	}
-	var cursor sim.Time
-	for i := 0; i < 50; i++ {
-		if _, end, err := eng.WriteFrame(i%eng.Groups(), 0, cursor); err != nil {
-			return nil, err
-		} else {
-			cursor = end
+	pj, err := parallel.Map(parallel.Workers(opt.Parallelism), 2, func(i int) (float64, error) {
+		if i == 0 {
+			memP := hbm.MustMemory(hbm.HBM4Geometry(1), hbm.HBM4Timing())
+			eng, err := hbm.NewFrameEngine(memP, 4, 1024)
+			if err != nil {
+				return 0, err
+			}
+			var cursor sim.Time
+			for i := 0; i < 50; i++ {
+				if _, end, err := eng.WriteFrame(i%eng.Groups(), 0, cursor); err != nil {
+					return 0, err
+				} else {
+					cursor = end
+				}
+			}
+			return em.PJPerBit(memP.Counts()), nil
 		}
-	}
-	memR := hbm.MustMemory(hbm.HBM4Geometry(1), hbm.HBM4Timing())
-	rc := hbm.NewRandomController(memR, hbm.ModeWorstCase, sim.NewRNG(opt.Seed+61))
-	if _, _, err := rc.RunBacklogged(32*50, 64); err != nil {
+		memR := hbm.MustMemory(hbm.HBM4Geometry(1), hbm.HBM4Timing())
+		rc := hbm.NewRandomController(memR, hbm.ModeWorstCase, sim.NewRNG(opt.Seed+61))
+		if _, _, err := rc.RunBacklogged(32*50, 64); err != nil {
+			return 0, err
+		}
+		return em.PJPerBit(memR.Counts()), nil
+	})
+	if err != nil {
 		return nil, err
 	}
 	res.Addf("HBM access energy: PFI frames vs 64 B random access", "-",
 		"%.2f vs %.2f pJ/bit — activation energy amortizes over 16x more data",
-		em.PJPerBit(memP.Counts()), em.PJPerBit(memR.Counts()))
+		pj[0], pj[1])
 	return res, nil
 }

@@ -6,6 +6,7 @@ import (
 	"pbrouter/internal/baseline"
 	"pbrouter/internal/hbm"
 	"pbrouter/internal/packet"
+	"pbrouter/internal/parallel"
 	"pbrouter/internal/sim"
 	"pbrouter/internal/sram"
 	"pbrouter/internal/traffic"
@@ -31,18 +32,63 @@ func init() {
 
 func runE2(opt Options) (*Result, error) {
 	res := &Result{}
-	for _, k := range []int{4, 8, 10, 16} {
+	horizon := 2 * sim.Millisecond
+	if opt.Quick {
+		horizon = sim.Millisecond
+	}
+	// The two packet-level sims — the 8x8 mesh queueing cross-check and
+	// the iSLIP reference — are independent of the analytic rows and of
+	// each other, so they fan out first; the table is assembled below
+	// in its original order.
+	type simOut struct {
+		mesh *baseline.MeshReport
+		iq   float64
+	}
+	sims, err := parallel.Map(parallel.Workers(opt.Parallelism), 2, func(i int) (simOut, error) {
+		switch i {
+		case 0:
+			ms, err := baseline.NewMeshSim(8, 10*sim.Gbps)
+			if err != nil {
+				return simOut{}, err
+			}
+			rep, err := ms.Run(worstCaseFor(8), traffic.Fixed(1500), horizon, opt.Seed+11)
+			if err != nil {
+				return simOut{}, err
+			}
+			return simOut{mesh: rep}, nil
+		default:
+			iq, err := baseline.NewIQSwitch(8, 10*sim.Gbps, 64, 1)
+			if err != nil {
+				return simOut{}, err
+			}
+			srcs := traffic.UniformSources(traffic.Uniform(8, 0.9), 10*sim.Gbps,
+				traffic.Poisson, traffic.Fixed(512), sim.NewRNG(opt.Seed+13))
+			mux := traffic.NewMux(srcs)
+			return simOut{iq: iq.Run(mux.Next, horizon/2)}, nil
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.SimTime += horizon + horizon/2
+
+	ks := []int{4, 8, 10, 16}
+	if err := runSweep(opt, res, len(ks), func(i int, sub *Result) error {
+		k := ks[i]
 		m, err := baseline.NewMesh(k)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		paper := "-"
 		if k == 10 {
 			paper = "<= 20%"
 		}
-		res.Addf(fmt.Sprintf("%dx%d mesh guaranteed capacity (XY, worst admissible TM)", k, k),
+		sub.Addf(fmt.Sprintf("%dx%d mesh guaranteed capacity (XY, worst admissible TM)", k, k),
 			paper, "%.1f%% (analytic bound 2/k = %.1f%%)",
 			100*m.GuaranteedCapacity(), 100*baseline.GuaranteedCapacityBound(k))
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	m10, _ := baseline.NewMesh(10)
 	uni := traffic.Uniform(100, 1.0)
@@ -52,18 +98,7 @@ func runE2(opt Options) (*Result, error) {
 
 	// Event-level cross-check: a packet-granular queueing simulation
 	// of an 8x8 mesh on the worst admissible pattern.
-	horizon := 2 * sim.Millisecond
-	if opt.Quick {
-		horizon = sim.Millisecond
-	}
-	ms, err := baseline.NewMeshSim(8, 10*sim.Gbps)
-	if err != nil {
-		return nil, err
-	}
-	msRep, err := ms.Run(worstCaseFor(8), traffic.Fixed(1500), horizon, opt.Seed+11)
-	if err != nil {
-		return nil, err
-	}
+	msRep := sims[0].mesh
 	res.Addf("8x8 mesh, worst TM, packet-level queueing sim", "2/k = 25%",
 		"%.1f%% delivered; bisection links %.0f%% utilized; only %.0f%% of packets escaped the queues by the horizon",
 		100*msRep.Throughput, 100*msRep.MaxLinkUtil, 100*msRep.DeliveredFrac)
@@ -77,17 +112,9 @@ func runE2(opt Options) (*Result, error) {
 	res.Addf("centralized crossbar scheduler rate at P=2.56 Tb/s ports", "prohibitive",
 		"%.0f decisions/s per port (200 ps per iSLIP round); PFI's cyclical crossbar needs none",
 		baseline.SchedulerDecisionsPerSecond(2560*sim.Gbps, 64))
-	iq, err := baseline.NewIQSwitch(8, 10*sim.Gbps, 64, 1)
-	if err != nil {
-		return nil, err
-	}
-	srcs := traffic.UniformSources(traffic.Uniform(8, 0.9), 10*sim.Gbps,
-		traffic.Poisson, traffic.Fixed(512), sim.NewRNG(opt.Seed+13))
-	mux := traffic.NewMux(srcs)
-	iqTput := iq.Run(mux.Next, horizon/2)
 	res.Addf("iSLIP input-queued switch, uniform 0.9 (reference impl)", "-",
 		"%.2f delivered — fine for uniform traffic, but needs the scheduler above",
-		iqTput)
+		sims[1].iq)
 	return res, nil
 }
 
@@ -108,43 +135,52 @@ func runE3(opt Options) (*Result, error) {
 		packets = 32 * 40
 	}
 
-	for _, tc := range []struct {
+	sizes := []struct {
 		bytes int
 		paper string
 	}{
 		{1500, "2.6x"},
 		{594, "-"},
 		{64, "39x"},
-	} {
+	}
+	// Each packet size (and the wide-interface variant, point len(sizes))
+	// is an independent backlogged-controller sweep point.
+	if err := runSweep(opt, res, len(sizes)+1, func(i int, sub *Result) error {
+		if i == len(sizes) {
+			// No parallel channels: one stack's ultra-wide interface as
+			// a single logical memory.
+			analyticWide := hbm.AnalyticRandomFactor(geo, tim, 64, true, 32)
+			memW := hbm.MustMemory(geo, tim)
+			rcW := hbm.NewRandomController(memW, hbm.ModeWorstCase, sim.NewRNG(opt.Seed+3))
+			_, simW, err := rcW.RunWideInterface(packets/8, 64)
+			if err != nil {
+				return err
+			}
+			sub.Addf("64 B packets, no parallel channels (2,048-bit interface)", "up to 1,250x",
+				"%.0fx analytic; %.0fx simulated", analyticWide, simW)
+			return nil
+		}
+		tc := sizes[i]
 		analytic := hbm.AnalyticRandomFactor(geo, tim, tc.bytes, false, 0)
 		mem := hbm.MustMemory(geo, tim)
 		rc := hbm.NewRandomController(mem, hbm.ModeWorstCase, sim.NewRNG(opt.Seed+1))
 		_, sim1, err := rc.RunBacklogged(packets, tc.bytes)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		mem2 := hbm.MustMemory(geo, tim)
 		rc2 := hbm.NewRandomController(mem2, hbm.ModeBankInterleaved, sim.NewRNG(opt.Seed+2))
 		_, sim2, err := rc2.RunBacklogged(packets, tc.bytes)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Addf(fmt.Sprintf("%d B packets, per-channel random access", tc.bytes), tc.paper,
+		sub.Addf(fmt.Sprintf("%d B packets, per-channel random access", tc.bytes), tc.paper,
 			"%.1fx analytic; %.1fx simulated (full timing); %.1fx with ideal bank pipelining",
 			analytic, sim1, sim2)
-	}
-
-	// No parallel channels: one stack's ultra-wide interface as a
-	// single logical memory.
-	analyticWide := hbm.AnalyticRandomFactor(geo, tim, 64, true, 32)
-	memW := hbm.MustMemory(geo, tim)
-	rcW := hbm.NewRandomController(memW, hbm.ModeWorstCase, sim.NewRNG(opt.Seed+3))
-	_, simW, err := rcW.RunWideInterface(packets/8, 64)
-	if err != nil {
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	res.Addf("64 B packets, no parallel channels (2,048-bit interface)", "up to 1,250x",
-		"%.0fx analytic; %.0fx simulated", analyticWide, simW)
 
 	// The spraying switch (random spread + reorder buffer) on the same
 	// memory, for the §4 SRAM-sizing comparison.

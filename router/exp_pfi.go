@@ -2,6 +2,7 @@ package router
 
 import (
 	"pbrouter/internal/hbm"
+	"pbrouter/internal/parallel"
 	"pbrouter/internal/sim"
 )
 
@@ -26,38 +27,35 @@ func runE4(opt Options) (*Result, error) {
 	}
 	res := &Result{}
 
-	// Pure write stream.
-	util, err := streamUtil(geo, tim, 4, 1024, frames, false, false)
+	// The four frame streams (pure write, write/read, refresh, and the
+	// infeasible S = 512 B variant) are independent sweep points.
+	streams := []struct {
+		seg                    int
+		withReads, withRefresh bool
+	}{
+		{1024, false, false},
+		{1024, true, false},
+		{1024, true, true},
+		{512, false, false},
+	}
+	utils, err := parallel.Map(parallel.Workers(opt.Parallelism), len(streams), func(i int) (float64, error) {
+		st := streams[i]
+		return streamUtil(geo, tim, 4, st.seg, frames, st.withReads, st.withRefresh)
+	})
 	if err != nil {
 		return nil, err
 	}
-	res.Addf("write-stream utilization of peak pins", "peak (100%)", "%.4f", util)
-
-	// Alternating write/read cycle.
-	utilWR, err := streamUtil(geo, tim, 4, 1024, frames, true, false)
-	if err != nil {
-		return nil, err
-	}
+	res.Addf("write-stream utilization of peak pins", "peak (100%)", "%.4f", utils[0])
 	res.Addf("write/read cycle utilization", "~98% (2% transitions)", "%.4f (%.2f%% overhead)",
-		utilWR, 100*(1-utilWR))
-
-	// Refresh hidden on idle groups.
-	utilRef, err := streamUtil(geo, tim, 4, 1024, frames, true, true)
-	if err != nil {
-		return nil, err
-	}
-	res.Addf("with single-bank refresh on idle groups", "hidden (no slowdown)", "%.4f", utilRef)
+		utils[1], 100*(1-utils[1]))
+	res.Addf("with single-bank refresh on idle groups", "hidden (no slowdown)", "%.4f", utils[2])
 
 	// Feasibility minima.
 	res.Addf("smallest feasible segment S", "1 KB", "%d B", hbm.MinFeasibleSegment(geo, tim, 4))
 	res.Addf("smallest feasible group size γ", "4", "%d", hbm.MinFeasibleGamma(geo, tim, 1024))
 
 	// The infeasible configuration, measured: S = 512 B throttles.
-	util512, err := streamUtil(geo, tim, 4, 512, frames, false, false)
-	if err != nil {
-		return nil, err
-	}
-	res.Addf("write-stream utilization with S = 512 B", "infeasible (FAW)", "%.4f (FAW-throttled)", util512)
+	res.Addf("write-stream utilization with S = 512 B", "infeasible (FAW)", "%.4f (FAW-throttled)", utils[3])
 	return res, nil
 }
 

@@ -25,28 +25,38 @@ func runE11(opt Options) (*Result, error) {
 	if opt.Quick {
 		flowsPerRibbon = 4000
 	}
-	for _, pattern := range []optics.Pattern{optics.Contiguous, optics.PseudoRandom} {
+	// 2 split patterns × 3 flow populations = 6 independent analysis
+	// points; each builds its own deployment, so they fan out freely.
+	patterns := []optics.Pattern{optics.Contiguous, optics.PseudoRandom}
+	const analyses = 3
+	if err := runSweep(opt, res, len(patterns)*analyses, func(i int, sub *Result) error {
+		pattern := patterns[i/analyses]
 		cfg := sps.Reference()
 		cfg.Pattern = pattern
 		dep, err := sps.NewDeployment(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-
-		ecmp := dep.Analyze(sps.ECMPUniform(cfg, flowsPerRibbon, 0.8, opt.Seed+41))
-		res.Addf(fmt.Sprintf("ECMP-hashed traffic, %v split", pattern),
-			"even TMs", "max/mean %.3f, Jain %.4f, loss %.2f%%",
-			ecmp.MaxOverMean, ecmp.Jain, 100*ecmp.LossFraction)
-
-		skew := dep.AnalyzeWithCapacity(sps.FirstFiberSkew(cfg, 1.0, opt.Seed+42), 0.8)
-		res.Addf(fmt.Sprintf("first-fiber skew, %v split (switches at 80%% capacity)", pattern),
-			"contiguous loses", "max/mean %.3f, loss %.2f%%",
-			skew.MaxOverMean, 100*skew.LossFraction)
-
-		attack := dep.Analyze(sps.Adversarial(cfg, opt.Seed+43))
-		res.Addf(fmt.Sprintf("adversarial first-α-fibers flood, %v split", pattern),
-			"contiguous concentrated on one switch", "max switch load %.2f, loss %.2f%%",
-			maxLoad(attack.Loads), 100*attack.LossFraction)
+		switch i % analyses {
+		case 0:
+			ecmp := dep.Analyze(sps.ECMPUniform(cfg, flowsPerRibbon, 0.8, opt.Seed+41))
+			sub.Addf(fmt.Sprintf("ECMP-hashed traffic, %v split", pattern),
+				"even TMs", "max/mean %.3f, Jain %.4f, loss %.2f%%",
+				ecmp.MaxOverMean, ecmp.Jain, 100*ecmp.LossFraction)
+		case 1:
+			skew := dep.AnalyzeWithCapacity(sps.FirstFiberSkew(cfg, 1.0, opt.Seed+42), 0.8)
+			sub.Addf(fmt.Sprintf("first-fiber skew, %v split (switches at 80%% capacity)", pattern),
+				"contiguous loses", "max/mean %.3f, loss %.2f%%",
+				skew.MaxOverMean, 100*skew.LossFraction)
+		case 2:
+			attack := dep.Analyze(sps.Adversarial(cfg, opt.Seed+43))
+			sub.Addf(fmt.Sprintf("adversarial first-α-fibers flood, %v split", pattern),
+				"contiguous concentrated on one switch", "max switch load %.2f, loss %.2f%%",
+				maxLoad(attack.Loads), 100*attack.LossFraction)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	res.Note("the adversarial flood aims all traffic at one output ribbon; under the contiguous split it lands entirely on switch 0 as a 16x column overload")
 	return res, nil

@@ -68,57 +68,84 @@ func runE5(opt Options) (*Result, error) {
 	if opt.Quick {
 		cases = cases[:3]
 	}
-	for _, c := range cases {
+	type sample struct{ pct, offered, delivered float64 }
+	groups, err := sweepReps(opt, len(cases), func(c, r2 int) (sample, error) {
+		cse := cases[c]
 		rep, err := r.SimulateSwitch(SimOptions{
-			Matrix: c.m, Arrival: traffic.Poisson, Sizes: c.sizes,
-			Horizon: horizon, Seed: opt.Seed, Shadow: true,
+			Matrix: cse.m, Arrival: traffic.Poisson, Sizes: cse.sizes,
+			Horizon: horizon, Seed: repSeed(opt.Seed, r2), Shadow: true,
 			Mutate: func(cfg *hbmswitch.Config) { cfg.Speedup = 1.1 },
 		})
 		if err != nil {
-			return nil, err
+			return sample{}, err
 		}
 		if len(rep.Errors) > 0 {
-			return nil, fmt.Errorf("E5 %s: %v", c.name, rep.Errors[0])
+			return sample{}, fmt.Errorf("E5 %s: %v", cse.name, rep.Errors[0])
 		}
-		res.Addf(c.name, "100% of ideal", "%.1f%% of the ideal OQ switch (offered %.3f, delivered %.3f)",
-			100*rep.Throughput/rep.ShadowThroughput, rep.OfferedLoad, rep.Throughput)
-	}
-	// Pure store-and-forward through the HBM (no bypass), the path the
-	// 100% claim is really about.
-	rep, err := r.SimulateSwitch(SimOptions{
-		Matrix: traffic.Uniform(16, 0.95), Arrival: traffic.Poisson,
-		Sizes: traffic.Fixed(1500), Horizon: horizon, Seed: opt.Seed, Shadow: true,
-		Mutate: func(cfg *hbmswitch.Config) {
-			cfg.Policy = core.Policy{}
-			cfg.Speedup = 1.1
-		},
+		return sample{100 * rep.Throughput / rep.ShadowThroughput, rep.OfferedLoad, rep.Throughput}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	res.Addf("uniform 0.95, all traffic through HBM", "100% of ideal",
-		"%.1f%% of ideal (HBM util %.2f)", 100*rep.Throughput/rep.ShadowThroughput, rep.HBMUtilization)
-
-	// Wavelength-granular ingress: the port physically receives α·W=64
-	// parallel 40 Gb/s WDM channels.
-	cfgW := r.Cfg.Switch
-	cfgW.Speedup = 1.1
-	cfgW.Shadow = true
-	swW, err := hbmswitch.New(cfgW)
-	if err != nil {
+	res.SimTime += sim.Time(len(cases)*opt.reps()) * horizon
+	for c, g := range groups {
+		if len(g) == 1 {
+			s := g[0]
+			res.Addf(cases[c].name, "100% of ideal", "%.1f%% of the ideal OQ switch (offered %.3f, delivered %.3f)",
+				s.pct, s.offered, s.delivered)
+		} else {
+			mean, half := meanCI(pluck(g, func(s sample) float64 { return s.pct }))
+			res.Addf(cases[c].name, "100% of ideal", "%.1f%% ± %.1f%% of the ideal OQ switch (%d reps)",
+				mean, half, len(g))
+		}
+	}
+	// Two more independent points, fanned out together: pure
+	// store-and-forward through the HBM (no bypass), the path the 100%
+	// claim is really about, and wavelength-granular ingress, where
+	// the port physically receives α·W=64 parallel 40 Gb/s WDM
+	// channels.
+	if err := runSweep(opt, res, 2, func(i int, sub *Result) error {
+		switch i {
+		case 0:
+			rep, err := r.SimulateSwitch(SimOptions{
+				Matrix: traffic.Uniform(16, 0.95), Arrival: traffic.Poisson,
+				Sizes: traffic.Fixed(1500), Horizon: horizon, Seed: opt.Seed, Shadow: true,
+				Mutate: func(cfg *hbmswitch.Config) {
+					cfg.Policy = core.Policy{}
+					cfg.Speedup = 1.1
+				},
+			})
+			if err != nil {
+				return err
+			}
+			sub.SimTime += horizon
+			sub.Addf("uniform 0.95, all traffic through HBM", "100% of ideal",
+				"%.1f%% of ideal (HBM util %.2f)", 100*rep.Throughput/rep.ShadowThroughput, rep.HBMUtilization)
+		case 1:
+			cfgW := r.Cfg.Switch
+			cfgW.Speedup = 1.1
+			cfgW.Shadow = true
+			swW, err := hbmswitch.New(cfgW)
+			if err != nil {
+				return err
+			}
+			srcsW := traffic.WavelengthSources(traffic.Uniform(16, 0.9), 64, 40*sim.Gbps,
+				traffic.Poisson, traffic.IMIX(), sim.NewRNG(opt.Seed+5))
+			repW, err := swW.Run(traffic.NewMux(srcsW), horizon)
+			if err != nil {
+				return err
+			}
+			if len(repW.Errors) > 0 {
+				return fmt.Errorf("E5 wavelength ingress: %v", repW.Errors[0])
+			}
+			sub.SimTime += horizon
+			sub.Addf("uniform 0.9 over 64 parallel 40 Gb/s wavelengths", "100% of ideal",
+				"%.1f%% of ideal", 100*repW.Throughput/repW.ShadowThroughput)
+		}
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	srcsW := traffic.WavelengthSources(traffic.Uniform(16, 0.9), 64, 40*sim.Gbps,
-		traffic.Poisson, traffic.IMIX(), sim.NewRNG(opt.Seed+5))
-	repW, err := swW.Run(traffic.NewMux(srcsW), horizon)
-	if err != nil {
-		return nil, err
-	}
-	if len(repW.Errors) > 0 {
-		return nil, fmt.Errorf("E5 wavelength ingress: %v", repW.Errors[0])
-	}
-	res.Addf("uniform 0.9 over 64 parallel 40 Gb/s wavelengths", "100% of ideal",
-		"%.1f%% of ideal", 100*repW.Throughput/repW.ShadowThroughput)
 	res.Note("throughput is normalized to an ideal OQ switch fed the identical arrivals, so warmup transients cancel; speedup 1.10 absorbs the ~2%% write/read transition overhead that §4 folds into its baseline")
 	return res, nil
 }
@@ -130,18 +157,24 @@ func runE6(opt Options) (*Result, error) {
 	}
 	res := &Result{}
 	horizon := switchHorizon(opt)
-	for _, speedup := range []float64{1.0, 1.1, 1.25} {
+	speedups := []float64{1.0, 1.1, 1.25}
+	if err := runSweep(opt, res, len(speedups), func(i int, sub *Result) error {
+		speedup := speedups[i]
 		rep, err := r.SimulateSwitch(SimOptions{
 			Matrix: traffic.Uniform(16, 0.9), Arrival: traffic.Poisson,
 			Sizes: traffic.Fixed(1500), Horizon: horizon, Seed: opt.Seed, Shadow: true,
 			Mutate: func(cfg *hbmswitch.Config) { cfg.Speedup = speedup },
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Addf(fmt.Sprintf("relative delay vs ideal OQ, speedup %.2f", speedup),
+		sub.SimTime += horizon
+		sub.Addf(fmt.Sprintf("relative delay vs ideal OQ, speedup %.2f", speedup),
 			"finite (bounded)", "mean %v, p99 %v, max %v",
 			rep.RelDelayMean, rep.RelDelayP99, rep.RelDelayMax)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	res.Note("the bound is a few cyclical-visit periods (N frames of drain time), independent of run length — see TestRelativeDelayBoundedOverTime")
 	return res, nil
@@ -166,30 +199,69 @@ func runE12(opt Options) (*Result, error) {
 		{"padding only", core.Policy{PadFrames: true}},
 		{"padding + bypass", core.Policy{PadFrames: true, BypassHBM: true}},
 	}
+	// Flatten the load×policy grid into independent sweep points; each
+	// point replicates per Options.Reps with index-derived seeds.
+	type gridCase struct {
+		load float64
+		pi   int
+	}
+	var grid []gridCase
 	for _, load := range loads {
-		for _, p := range policies {
-			rep, err := r.SimulateSwitch(SimOptions{
-				Matrix: traffic.Uniform(16, load), Arrival: traffic.Poisson,
-				Sizes: traffic.Fixed(1500), Horizon: horizon, Seed: opt.Seed,
-				Mutate: func(cfg *hbmswitch.Config) {
-					cfg.Policy = p.pol
-					cfg.Speedup = 1.1
-					cfg.FlushTimeout = 100 * sim.Nanosecond
-					cfg.PadTimeout = 200 * sim.Nanosecond
-				},
-			})
-			if err != nil {
-				return nil, err
-			}
+		for pi := range policies {
+			grid = append(grid, gridCase{load, pi})
+		}
+	}
+	type sample struct {
+		p50, p99         sim.Time
+		padded, bypassed int64
+		stages           string
+	}
+	groups, err := sweepReps(opt, len(grid), func(c, r2 int) (sample, error) {
+		g := grid[c]
+		p := policies[g.pi]
+		rep, err := r.SimulateSwitch(SimOptions{
+			Matrix: traffic.Uniform(16, g.load), Arrival: traffic.Poisson,
+			Sizes: traffic.Fixed(1500), Horizon: horizon, Seed: repSeed(opt.Seed, r2),
+			Mutate: func(cfg *hbmswitch.Config) {
+				cfg.Policy = p.pol
+				cfg.Speedup = 1.1
+				cfg.FlushTimeout = 100 * sim.Nanosecond
+				cfg.PadTimeout = 200 * sim.Nanosecond
+			},
+		})
+		if err != nil {
+			return sample{}, err
+		}
+		s := sample{p50: rep.LatencyP50, p99: rep.LatencyP99,
+			padded: rep.FramesPadded, bypassed: rep.FramesBypassed}
+		if g.load == 0.6 {
+			s.stages = fmt.Sprintf("batch %v | xbar %v | frame %v | HBM %v | egress %v",
+				rep.StageBatchMean, rep.StageXbarMean, rep.StageFrameMean,
+				rep.StageHBMMean, rep.StageOutMean)
+		}
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.SimTime += sim.Time(len(grid)*opt.reps()) * horizon
+	for c, g := range groups {
+		load, p := grid[c].load, policies[grid[c].pi]
+		if len(g) == 1 {
+			s := g[0]
 			res.Addf(fmt.Sprintf("load %.2f, %s", load, p.name),
 				"padding+bypass lowest", "p50 %v, p99 %v (padded %d, bypassed %d)",
-				rep.LatencyP50, rep.LatencyP99, rep.FramesPadded, rep.FramesBypassed)
-			if load == 0.6 {
-				res.Addf(fmt.Sprintf("  stage means at load 0.6, %s", p.name), "-",
-					"batch %v | xbar %v | frame %v | HBM %v | egress %v",
-					rep.StageBatchMean, rep.StageXbarMean, rep.StageFrameMean,
-					rep.StageHBMMean, rep.StageOutMean)
-			}
+				s.p50, s.p99, s.padded, s.bypassed)
+		} else {
+			res.Addf(fmt.Sprintf("load %.2f, %s", load, p.name),
+				"padding+bypass lowest", "p50 %s, p99 %s (%d reps)",
+				timeCI(pluck(g, func(s sample) float64 { return float64(s.p50) })),
+				timeCI(pluck(g, func(s sample) float64 { return float64(s.p99) })),
+				len(g))
+		}
+		if load == 0.6 {
+			// The stage breakdown row reports the first replication.
+			res.Addf(fmt.Sprintf("  stage means at load 0.6, %s", p.name), "-", "%s", g[0].stages)
 		}
 	}
 	res.Note("the stage breakdown shows where padding and bypass win: padding collapses the frame-assembly wait, bypass removes the HBM residence")
@@ -207,31 +279,37 @@ func runE15(opt Options) (*Result, error) {
 	// four-activation window, so the HBM path of such a switch runs
 	// below peak (E4); the DC design accepts that because it buffers
 	// far less.
-	for _, seg := range []int{1024, 512, 256} {
+	segs := []int{1024, 512, 256}
+	if err := runSweep(opt, res, len(segs), func(i int, sub *Result) error {
+		seg := segs[i]
 		cfg := hbmswitch.Scaled(1, 640*sim.Gbps)
 		cfg.PFI.SegBytes = seg
 		cfg.Policy = core.Policy{BypassHBM: true}
 		cfg.FlushTimeout = 100 * sim.Nanosecond
 		sw, err := hbmswitch.New(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m := traffic.Uniform(16, 0.6)
 		srcs := traffic.UniformSources(m, cfg.PortRate, traffic.Poisson, traffic.IMIX(), sim.NewRNG(opt.Seed+9))
 		rep, err := sw.Run(traffic.NewMux(srcs), horizon)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if len(rep.Errors) > 0 {
-			return nil, fmt.Errorf("E15 S=%d: %v", seg, rep.Errors[0])
+			return fmt.Errorf("E15 S=%d: %v", seg, rep.Errors[0])
 		}
+		sub.SimTime += horizon
 		claim := "smaller frames => lower latency"
 		if seg < 512 {
 			claim = "infeasible (FAW) at this load"
 		}
-		res.Addf(fmt.Sprintf("K = %d KB (S = %d B, 1 stack)", cfg.PFI.FrameBytes()/1024, seg),
+		sub.Addf(fmt.Sprintf("K = %d KB (S = %d B, 1 stack)", cfg.PFI.FrameBytes()/1024, seg),
 			claim, "p50 %v, p99 %v at load 0.6",
 			rep.LatencyP50, rep.LatencyP99)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	res.Note("S = 256 B shows the knee of the tradeoff: below the FAW-feasible minimum the HBM path throttles (E4) and queueing swamps the frame-fill win, so the DC design should shrink K no further than S = 512 B at this load")
 	res.Note("frame SRAM scales with K (see E8); the spraying alternative's reorder cost is measured in E3")

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strings"
 	"text/tabwriter"
+
+	"pbrouter/internal/sim"
 )
 
 // Experiment regenerates one of the paper's quantitative claims. The
@@ -28,6 +30,25 @@ type Options struct {
 	Quick bool
 	// Seed makes stochastic experiments reproducible.
 	Seed uint64
+	// Parallelism caps the worker goroutines used to fan independent
+	// sweep points (cases, replications) across CPUs: 0 means one per
+	// available CPU, 1 the sequential legacy path. Results are
+	// collected in input order, so every value produces byte-for-byte
+	// identical tables for a fixed seed.
+	Parallelism int
+	// Reps replicates each stochastic sweep point with seeds derived
+	// from the replication index (parallel.Seed convention); values
+	// above 1 make the replicated experiments report mean ± 95% CI.
+	// 0 and 1 both mean a single run with the legacy output format.
+	Reps int
+}
+
+// reps normalizes Options.Reps.
+func (o Options) reps() int {
+	if o.Reps < 1 {
+		return 1
+	}
+	return o.Reps
 }
 
 // Row is one line of an experiment's output: a quantity, the paper's
@@ -42,6 +63,10 @@ type Row struct {
 type Result struct {
 	Rows  []Row
 	Notes []string
+	// SimTime accumulates the simulated event time behind the rows
+	// (zero for purely analytic experiments); cmd/spsbench divides it
+	// by wall-clock time to report simulation speed.
+	SimTime sim.Time
 }
 
 // Add appends a row.

@@ -1,6 +1,7 @@
 package router
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -47,6 +48,69 @@ func TestGoldenDeterministicRows(t *testing.T) {
 		}
 		if !found {
 			t.Errorf("%s: row %q missing", c.exp, c.row)
+		}
+	}
+}
+
+// TestParallelMatchesSequential is the determinism regression for the
+// sweep engine: every experiment rewired onto runSweep/sweepReps must
+// produce byte-for-byte the same table at Parallelism 1 and 8.
+func TestParallelMatchesSequential(t *testing.T) {
+	rewired := []string{"E2", "E3", "E4", "E5", "E6", "E11", "E12", "E15", "A1", "A2", "A3"}
+	for _, id := range rewired {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			seq, err := RunExperiment(id, Options{Quick: true, Seed: 1, Parallelism: 1})
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			par, err := RunExperiment(id, Options{Quick: true, Seed: 1, Parallelism: 8})
+			if err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			if len(par.Rows) != len(seq.Rows) {
+				t.Fatalf("row count: parallel %d, sequential %d", len(par.Rows), len(seq.Rows))
+			}
+			for i := range seq.Rows {
+				if par.Rows[i] != seq.Rows[i] {
+					t.Errorf("row %d differs:\n  sequential %+v\n  parallel   %+v", i, seq.Rows[i], par.Rows[i])
+				}
+			}
+			if len(par.Notes) != len(seq.Notes) {
+				t.Fatalf("note count: parallel %d, sequential %d", len(par.Notes), len(seq.Notes))
+			}
+			for i := range seq.Notes {
+				if par.Notes[i] != seq.Notes[i] {
+					t.Errorf("note %d differs:\n  sequential %q\n  parallel   %q", i, seq.Notes[i], par.Notes[i])
+				}
+			}
+			if par.SimTime != seq.SimTime {
+				t.Errorf("SimTime: parallel %v, sequential %v", par.SimTime, seq.SimTime)
+			}
+		})
+	}
+}
+
+// TestRepsReportCI checks the replicated path: Reps > 1 switches the
+// replicated experiments to mean ± CI rows, while Reps <= 1 keeps the
+// legacy single-run format (asserted byte-for-byte by the golden and
+// determinism tests above).
+func TestRepsReportCI(t *testing.T) {
+	for _, id := range []string{"E5", "E12"} {
+		res, err := RunExperiment(id, Options{Quick: true, Seed: 1, Reps: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		found := false
+		for _, row := range res.Rows {
+			if strings.Contains(row.Measured, "±") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s with Reps:3: no row reports a ± confidence interval", id)
 		}
 	}
 }

@@ -1,0 +1,101 @@
+package router
+
+import (
+	"fmt"
+	"math"
+
+	"pbrouter/internal/parallel"
+	"pbrouter/internal/sim"
+)
+
+// This file adapts the internal/parallel sweep engine to the
+// experiment layer. Every independent-iteration loop in the exp_*.go
+// files goes through runSweep or sweepReps, so full (non-Quick)
+// reproduction runs scale with the available cores while producing
+// byte-for-byte the tables a sequential run (Parallelism: 1) prints.
+
+// runSweep executes n independent sweep points across the workers
+// Options.Parallelism allows. Each point writes rows and notes into
+// its own sub-result; the sub-results are merged into res in input
+// order, so parallel execution never reorders the table.
+func runSweep(opt Options, res *Result, n int, fn func(i int, sub *Result) error) error {
+	subs, err := parallel.Map(parallel.Workers(opt.Parallelism), n, func(i int) (*Result, error) {
+		sub := &Result{}
+		if err := fn(i, sub); err != nil {
+			return nil, err
+		}
+		return sub, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, sub := range subs {
+		res.Rows = append(res.Rows, sub.Rows...)
+		res.Notes = append(res.Notes, sub.Notes...)
+		res.SimTime += sub.SimTime
+	}
+	return nil
+}
+
+// sweepReps runs every (case, replication) pair as one flat pool of
+// independent points — replications parallelize exactly like cases —
+// and returns the samples grouped by case: out[c][rep]. With
+// Options.Reps unset each case gets exactly one sample.
+func sweepReps[T any](opt Options, cases int, fn func(c, rep int) (T, error)) ([][]T, error) {
+	reps := opt.reps()
+	flat, err := parallel.Map(parallel.Workers(opt.Parallelism), cases*reps, func(i int) (T, error) {
+		return fn(i/reps, i%reps)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]T, cases)
+	for c := range out {
+		out[c] = flat[c*reps : (c+1)*reps]
+	}
+	return out, nil
+}
+
+// repSeed derives the seed for one replication of a point whose
+// single-run seed is base: replication 0 reuses base itself (so
+// Reps<=1 reproduces the legacy output), later replications follow
+// the parallel.Seed convention.
+func repSeed(base uint64, rep int) uint64 { return parallel.Seed(base, rep) }
+
+// meanCI returns the sample mean and the half-width of the normal
+// 95% confidence interval (1.96·stderr; zero for fewer than two
+// samples).
+func meanCI(xs []float64) (mean, half float64) {
+	n := float64(len(xs))
+	if n == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var m2 float64
+	for _, x := range xs {
+		d := x - mean
+		m2 += d * d
+	}
+	return mean, 1.96 * math.Sqrt(m2/(n-1)) / math.Sqrt(n)
+}
+
+// timeCI formats replicated sim.Time samples as "mean ± half".
+func timeCI(xs []float64) string {
+	mean, half := meanCI(xs)
+	return fmt.Sprintf("%v ± %v", sim.Time(mean), sim.Time(half))
+}
+
+// pluck projects one scalar out of each replication sample.
+func pluck[T any](xs []T, f func(T) float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = f(x)
+	}
+	return out
+}
