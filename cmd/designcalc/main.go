@@ -28,6 +28,12 @@ func main() {
 	)
 	flag.Parse()
 
+	cli.Check(
+		cli.ValidateCount("-stacks", *stacks),
+		cli.ValidateCount("-switches", *switches),
+		cli.ValidateCount("-flows", *flows),
+	)
+
 	cfg := router.Reference()
 	cfg.Switch.Geometry.Stacks = *stacks
 	cfg.Switch.PFI.Channels = cfg.Switch.Geometry.Channels()
@@ -42,7 +48,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	rttT, err := cli.ParseDuration(*rtt)
+	rttT, err := cli.Duration("-rtt", *rtt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)

@@ -8,19 +8,42 @@
 //	spsbench -exp E3,E4 -quick   # selected experiments, short horizons
 //	spsbench -exp E12 -reps 5    # replicate stochastic points, report ± CI
 //	spsbench -exp all -time      # wall-clock + simulated-time/s per experiment
+//	spsbench -exp all -progress  # live done/total + ETA on stderr
+//	spsbench -telemetry tele.csv -trace trace.json   # instrumented SPS capture
 //
 // Independent sweep points inside each experiment fan out across CPUs
 // (-j, default one worker per CPU); the tables are byte-for-byte
 // identical for every -j, including the sequential -j 1.
+//
+// With -telemetry and/or -trace, spsbench skips the experiment tables
+// and instead runs the full reference SPS router (16 HBM switches,
+// ECMP-hashed traffic at 80% load) instrumented: simulated-time
+// telemetry of every switch merges into one time-series and the
+// sampled packet lifecycles into one Perfetto trace. The capture is
+// keyed on simulated time, so the bytes are identical for every -j.
+//
+// -pprof serves net/http/pprof while any mode runs, and -metrics
+// writes a runtime/metrics snapshot after the run — the wall-clock
+// side of the observability story.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime/metrics"
+	"sort"
 	"strings"
 	"time"
 
+	"pbrouter/internal/cli"
+	"pbrouter/internal/hbmswitch"
+	"pbrouter/internal/parallel"
+	"pbrouter/internal/sim"
+	"pbrouter/internal/sps"
+	"pbrouter/internal/traffic"
 	"pbrouter/router"
 )
 
@@ -34,29 +57,72 @@ func main() {
 		showTime = flag.Bool("time", false, "report wall-clock and simulated-time-per-wall-second per experiment")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		format   = flag.String("format", "table", "output format: table|md")
+		progress = flag.Bool("progress", false, "report sweep progress and ETA on stderr")
+
+		telemetryOut = flag.String("telemetry", "", "run the instrumented SPS capture and write telemetry here (.json for JSON, else CSV; - for stdout)")
+		telePeriod   = flag.String("telemetry-period", "1us", "telemetry sampling period (simulated time)")
+		traceOut     = flag.String("trace", "", "run the instrumented SPS capture and write the Perfetto trace here")
+		traceSample  = flag.Int("trace-sample", 256, "trace one packet in N")
+
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		metricsFile = flag.String("metrics", "", "write a runtime/metrics snapshot to this file after the run")
 	)
 	flag.Parse()
 
-	if *list {
+	cli.Check(
+		cli.ValidateJobs(*jobs),
+		cli.ValidateReps(*reps),
+		cli.ValidateSample("-trace-sample", *traceSample),
+	)
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", *pprofAddr)
+	}
+
+	var failed bool
+	if *telemetryOut != "" || *traceOut != "" {
+		failed = runCapture(*telemetryOut, *telePeriod, *traceOut, *traceSample, *quick, *jobs, *seed)
+	} else {
+		failed = runExperiments(*expFlag, *list, *quick, *seed, *jobs, *reps, *showTime, *progress, *format)
+	}
+
+	if *metricsFile != "" {
+		if err := writeRuntimeMetrics(*metricsFile); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func runExperiments(expFlag string, list, quick bool, seed uint64, jobs, reps int,
+	showTime, progress bool, format string) (failed bool) {
+	if list {
 		for _, e := range router.Experiments() {
 			fmt.Printf("%-4s %s\n     %s\n", e.ID, e.Title, e.Claim)
 		}
-		return
+		return false
 	}
 
 	var ids []string
-	if *expFlag == "all" {
+	if expFlag == "all" {
 		for _, e := range router.Experiments() {
 			ids = append(ids, e.ID)
 		}
 	} else {
-		for _, id := range strings.Split(*expFlag, ",") {
+		for _, id := range strings.Split(expFlag, ",") {
 			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
 
-	opt := router.Options{Quick: *quick, Seed: *seed, Parallelism: *jobs, Reps: *reps}
-	failed := false
+	opt := router.Options{Quick: quick, Seed: seed, Parallelism: jobs, Reps: reps}
 	for _, id := range ids {
 		e := router.Lookup(id)
 		if e == nil {
@@ -64,26 +130,135 @@ func main() {
 			failed = true
 			continue
 		}
+		if progress {
+			opt.Progress = progressMeter(id)
+		}
 		start := time.Now()
 		res, err := e.Run(opt)
 		wall := time.Since(start)
+		if progress {
+			fmt.Fprint(os.Stderr, "\r\x1b[K")
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
 			failed = true
 			continue
 		}
-		if *format == "md" {
+		if format == "md" {
 			fmt.Printf("### %s: %s\n\n> %s\n\n%s\n", e.ID, e.Title, e.Claim, res.Markdown())
 		} else {
 			fmt.Printf("== %s: %s\nclaim: %s\n\n%s\n", e.ID, e.Title, e.Claim, res.Format())
 		}
-		if *showTime {
+		if showTime {
 			fmt.Printf("%s\n", timing(id, res, wall))
 		}
 	}
-	if failed {
-		os.Exit(1)
+	return failed
+}
+
+// progressMeter returns an Options.Progress callback that rewrites a
+// stderr status line with completion and a naive linear ETA. Progress
+// arrives in completion order, never touching stdout, so the tables
+// stay byte-identical.
+func progressMeter(id string) func(done, total int) {
+	start := time.Now()
+	return func(done, total int) {
+		elapsed := time.Since(start)
+		eta := "?"
+		if done > 0 {
+			eta = (elapsed / time.Duration(done) * time.Duration(total-done)).Round(100 * time.Millisecond).String()
+		}
+		fmt.Fprintf(os.Stderr, "\r\x1b[K%s: %d/%d points (%.0f%%) elapsed %v eta %s",
+			id, done, total, 100*float64(done)/float64(total),
+			elapsed.Round(100*time.Millisecond), eta)
 	}
+}
+
+// runCapture runs the reference SPS router instrumented and writes the
+// merged telemetry series and/or Perfetto trace.
+func runCapture(telemetryOut, telePeriod, traceOut string, traceSample int,
+	quick bool, jobs int, seed uint64) (failed bool) {
+	fail := func(err error) bool { fmt.Fprintln(os.Stderr, err); return true }
+
+	ins := sps.Instrumentation{}
+	if telemetryOut != "" {
+		period, err := cli.Duration("-telemetry-period", telePeriod)
+		if err != nil {
+			return fail(err)
+		}
+		ins.Period = period
+	}
+	if traceOut != "" {
+		ins.TraceSample = traceSample
+	}
+
+	cfg := sps.Reference()
+	dep, err := sps.NewDeployment(cfg)
+	if err != nil {
+		return fail(err)
+	}
+	swCfg := hbmswitch.Reference()
+	swCfg.Speedup = 1.1
+	rt, err := sps.NewRouter(dep, swCfg)
+	if err != nil {
+		return fail(err)
+	}
+	flowsPerRibbon, horizon := 20000, 10*sim.Microsecond
+	if quick {
+		flowsPerRibbon, horizon = 2000, 2*sim.Microsecond
+	}
+	flows := sps.ECMPUniform(cfg, flowsPerRibbon, 0.8, seed+41)
+	rep, capture, err := rt.RunInstrumented(flows, traffic.Poisson, traffic.IMIX(),
+		horizon, seed, parallel.Workers(jobs), ins)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "capture: %d switches, %v horizon, throughput %.4f of capacity\n",
+		len(rep.PerSwitch), horizon, rep.Throughput)
+	for _, e := range rep.Errors {
+		fmt.Fprintf(os.Stderr, "invariant violation: %v\n", e)
+		failed = true
+	}
+	if telemetryOut != "" {
+		if err := cli.WriteSeries(telemetryOut, capture.Series); err != nil {
+			return fail(err)
+		}
+	}
+	if traceOut != "" {
+		if err := cli.WriteTrace(traceOut, capture.Tracer); err != nil {
+			return fail(err)
+		}
+	}
+	return failed
+}
+
+// writeRuntimeMetrics snapshots the Go runtime's metrics (heap, GC,
+// scheduler latency) into a flat "name value" file.
+func writeRuntimeMetrics(path string) error {
+	descs := metrics.All()
+	samples := make([]metrics.Sample, len(descs))
+	for i, d := range descs {
+		samples[i].Name = d.Name
+	}
+	metrics.Read(samples)
+	sort.Slice(samples, func(i, j int) bool { return samples[i].Name < samples[j].Name })
+	var b strings.Builder
+	for _, s := range samples {
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			fmt.Fprintf(&b, "%s %d\n", s.Name, s.Value.Uint64())
+		case metrics.KindFloat64:
+			fmt.Fprintf(&b, "%s %g\n", s.Name, s.Value.Float64())
+		case metrics.KindFloat64Histogram:
+			h := s.Value.Float64Histogram()
+			var n uint64
+			for _, c := range h.Counts {
+				n += c
+			}
+			fmt.Fprintf(&b, "%s histogram(%d samples)\n", s.Name, n)
+		}
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
 }
 
 // timing renders the per-experiment performance line: wall-clock time

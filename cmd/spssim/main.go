@@ -7,6 +7,7 @@
 //	spssim -load 0.95 -matrix uniform -sizes imix -horizon 50us
 //	spssim -load 0.9 -matrix diagonal -shadow -speedup 1.1
 //	spssim -load 0.05 -bypass=false -pad=false   # feel the frame-fill latency
+//	spssim -telemetry tele.csv -trace trace.json -trace-sample 64
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"pbrouter/internal/core"
 	"pbrouter/internal/hbmswitch"
 	"pbrouter/internal/sim"
+	"pbrouter/internal/telemetry"
 	"pbrouter/internal/traffic"
 )
 
@@ -33,16 +35,25 @@ func main() {
 		pad     = flag.Bool("pad", true, "enable frame padding")
 		bypass  = flag.Bool("bypass", true, "enable HBM bypass")
 		stacks  = flag.Int("stacks", 4, "HBM stacks (4 = reference; 1 = scaled switch)")
-		trace   = flag.String("trace", "", "replay a trafficgen trace instead of generating traffic")
+		replay  = flag.String("replay", "", "replay a trafficgen trace instead of generating traffic")
 		refresh = flag.Bool("refresh", false, "enable the REFsb refresh scheduler")
+
+		telemetryOut = flag.String("telemetry", "", "write simulated-time telemetry to this file (.json for JSON, else CSV; - for stdout)")
+		telePeriod   = flag.String("telemetry-period", "1us", "telemetry sampling period (simulated time)")
+		traceOut     = flag.String("trace", "", "write packet-lifecycle Chrome trace JSON (open in Perfetto) to this file")
+		traceSample  = flag.Int("trace-sample", 64, "trace one packet in N")
 	)
 	flag.Parse()
 
-	hz, err := cli.ParseDuration(*horizon)
+	hz, err := cli.Duration("-horizon", *horizon)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	cli.Check(
+		cli.ValidateSample("-trace-sample", *traceSample),
+		cli.ValidateCount("-stacks", *stacks),
+	)
 
 	cfg := hbmswitch.Reference()
 	if *stacks != 4 {
@@ -75,9 +86,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+
+	var reg *telemetry.Registry
+	var tracer *telemetry.Tracer
+	if *telemetryOut != "" {
+		period, err := cli.Duration("-telemetry-period", *telePeriod)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if reg, err = telemetry.New(period); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	if *traceOut != "" {
+		if tracer, err = telemetry.NewTracer(*traceSample); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	if reg != nil || tracer != nil {
+		sw.Instrument(reg, tracer, "", 0)
+	}
+
 	var stream traffic.Stream
-	if *trace != "" {
-		f, err := os.Open(*trace)
+	if *replay != "" {
+		f, err := os.Open(*replay)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -105,6 +140,19 @@ func main() {
 	if ts, ok := stream.(*traffic.TraceStream); ok && ts.Err() != nil {
 		fmt.Fprintln(os.Stderr, "trace read error:", ts.Err())
 		os.Exit(1)
+	}
+
+	if reg != nil {
+		if err := cli.WriteSeries(*telemetryOut, reg.Series()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if tracer != nil {
+		if err := cli.WriteTrace(*traceOut, tracer); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("HBM switch: %d ports x %v, %d stacks, speedup %.2f, pad=%v bypass=%v\n",

@@ -11,6 +11,12 @@
 //	spssweep -sweep latency-load > latency.csv
 //	spssweep -sweep throughput-speedup -plot
 //	spssweep -sweep mesh-load -j 4 -plot
+//	spssweep -sweep latency-load -telemetry out/tele -trace out/trace
+//
+// With -telemetry/-trace, every HBM-switch sweep point additionally
+// writes a telemetry CSV (<prefix>.p<point>.csv) and a Perfetto trace
+// (<prefix>.p<point>.json). The point index is the deterministic sweep
+// position, so filenames and contents are identical for every -j.
 package main
 
 import (
@@ -19,11 +25,13 @@ import (
 	"os"
 
 	"pbrouter/internal/baseline"
+	"pbrouter/internal/cli"
 	"pbrouter/internal/core"
 	"pbrouter/internal/hbmswitch"
 	"pbrouter/internal/parallel"
 	"pbrouter/internal/plot"
 	"pbrouter/internal/sim"
+	"pbrouter/internal/telemetry"
 	"pbrouter/internal/traffic"
 )
 
@@ -47,8 +55,29 @@ func main() {
 		quick   = flag.Bool("quick", false, "shorter horizons")
 		jobs    = flag.Int("j", 0, "worker goroutines for independent sweep points (0 = one per CPU, 1 = sequential)")
 		asChart = flag.Bool("plot", false, "render an ASCII chart instead of CSV")
+
+		telePrefix  = flag.String("telemetry", "", "per-point telemetry file prefix (writes <prefix>.p<point>.csv)")
+		telePeriod  = flag.String("telemetry-period", "1us", "telemetry sampling period (simulated time)")
+		tracePrefix = flag.String("trace", "", "per-point Perfetto trace prefix (writes <prefix>.p<point>.json)")
+		traceSample = flag.Int("trace-sample", 64, "trace one packet in N")
 	)
 	flag.Parse()
+
+	cli.Check(
+		cli.ValidateJobs(*jobs),
+		cli.ValidateSample("-trace-sample", *traceSample),
+	)
+	obs.telePrefix = *telePrefix
+	obs.tracePrefix = *tracePrefix
+	obs.sample = *traceSample
+	if *telePrefix != "" {
+		period, err := cli.Duration("-telemetry-period", *telePeriod)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		obs.period = period
+	}
 
 	horizon := 40 * sim.Microsecond
 	if *quick {
@@ -138,8 +167,75 @@ func renderChart(title string, d *sweepData) string {
 	return c.Render()
 }
 
-func runSwitch(cfg hbmswitch.Config, load float64, horizon sim.Time, seed uint64) (*hbmswitch.Report, *hbmswitch.Switch, error) {
+// obs holds the optional per-point observability outputs; zero means
+// disabled and runSwitch instruments nothing.
+var obs struct {
+	telePrefix  string
+	period      sim.Time
+	tracePrefix string
+	sample      int
+}
+
+// attach instruments a sweep-point switch according to obs. Each point
+// gets its own registry/tracer, so parallel points never share state.
+func obsAttach(sw *hbmswitch.Switch) (*telemetry.Registry, *telemetry.Tracer, error) {
+	var reg *telemetry.Registry
+	var tr *telemetry.Tracer
+	var err error
+	if obs.telePrefix != "" {
+		if reg, err = telemetry.New(obs.period); err != nil {
+			return nil, nil, err
+		}
+	}
+	if obs.tracePrefix != "" {
+		if tr, err = telemetry.NewTracer(obs.sample); err != nil {
+			return nil, nil, err
+		}
+	}
+	if reg != nil || tr != nil {
+		sw.Instrument(reg, tr, "", 0)
+	}
+	return reg, tr, nil
+}
+
+// obsWrite writes a point's capture under deterministic names keyed on
+// the sweep-point index, so output is identical for every -j.
+func obsWrite(point int, reg *telemetry.Registry, tr *telemetry.Tracer) error {
+	if reg != nil {
+		f, err := os.Create(fmt.Sprintf("%s.p%02d.csv", obs.telePrefix, point))
+		if err != nil {
+			return err
+		}
+		if err := reg.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if tr != nil {
+		f, err := os.Create(fmt.Sprintf("%s.p%02d.json", obs.tracePrefix, point))
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runSwitch(point int, cfg hbmswitch.Config, load float64, horizon sim.Time, seed uint64) (*hbmswitch.Report, *hbmswitch.Switch, error) {
 	sw, err := hbmswitch.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	reg, tr, err := obsAttach(sw)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -151,6 +247,9 @@ func runSwitch(cfg hbmswitch.Config, load float64, horizon sim.Time, seed uint64
 	}
 	if len(rep.Errors) > 0 {
 		return nil, nil, rep.Errors[0]
+	}
+	if err := obsWrite(point, reg, tr); err != nil {
+		return nil, nil, err
 	}
 	return rep, sw, nil
 }
@@ -173,7 +272,7 @@ func latencyLoad(workers int, horizon sim.Time, seed uint64) (*sweepData, error)
 		cfg.Policy = p.pol
 		cfg.FlushTimeout = 100 * sim.Nanosecond
 		cfg.PadTimeout = 200 * sim.Nanosecond
-		rep, _, err := runSwitch(cfg, load, horizon, seed)
+		rep, _, err := runSwitch(i, cfg, load, horizon, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -203,7 +302,7 @@ func throughputSpeedup(workers int, horizon sim.Time, seed uint64) (*sweepData, 
 		if err := cfg.Validate(); err != nil {
 			return nil, nil // below ~0.97 the memory cannot carry 2x line rate
 		}
-		rep, _, err := runSwitch(cfg, 0.99, horizon, seed)
+		rep, _, err := runSwitch(i, cfg, 0.99, horizon, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -225,7 +324,7 @@ func latencyFrameSize(workers int, horizon sim.Time, seed uint64) (*sweepData, e
 		cfg.PFI.SegBytes = segs[i]
 		cfg.Policy = core.Policy{BypassHBM: true}
 		cfg.FlushTimeout = 100 * sim.Nanosecond
-		rep, _, err := runSwitch(cfg, 0.6, 2*horizon, seed)
+		rep, _, err := runSwitch(i, cfg, 0.6, 2*horizon, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -250,7 +349,7 @@ func latencyCDF(workers int, horizon sim.Time, seed uint64) (*sweepData, error) 
 		cfg := hbmswitch.Reference()
 		cfg.Speedup = 1.1
 		cfg.FlushTimeout = 100 * sim.Nanosecond
-		_, sw, err := runSwitch(cfg, load, horizon, seed)
+		_, sw, err := runSwitch(i, cfg, load, horizon, seed)
 		if err != nil {
 			return nil, err
 		}

@@ -37,6 +37,8 @@ func main() {
 	)
 	flag.Parse()
 
+	cli.Check(cli.ValidateCount("-ports", *ports))
+
 	switch {
 	case *stats != "":
 		if err := inspect(*stats); err != nil {
@@ -55,7 +57,7 @@ func main() {
 }
 
 func generate(path string, ports int, rateGbps, load float64, matrix, sizes, arrival, horizon string, seed uint64) error {
-	hz, err := cli.ParseDuration(horizon)
+	hz, err := cli.Duration("-horizon", horizon)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,83 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+
+	"pbrouter/internal/sim"
+)
+
+// This file centralizes the flag validation the command-line tools
+// used to skip or duplicate: worker counts, replication counts,
+// simulated durations and sampling rates all get the same checks and
+// the same error wording everywhere.
+
+// ValidateJobs checks a -j worker-count flag: 0 means one worker per
+// CPU and 1 the sequential path, so only negative values are invalid.
+func ValidateJobs(j int) error {
+	if j < 0 {
+		return fmt.Errorf("-j %d: worker count cannot be negative (0 = one per CPU, 1 = sequential)", j)
+	}
+	return nil
+}
+
+// ValidateReps checks a -reps replication-count flag.
+func ValidateReps(r int) error {
+	if r < 1 {
+		return fmt.Errorf("-reps %d: need at least one replication", r)
+	}
+	return nil
+}
+
+// ValidateSample checks a 1-in-N sampling flag such as -trace-sample.
+func ValidateSample(name string, n int) error {
+	if n < 1 {
+		return fmt.Errorf("%s %d: sampling rate is 1-in-N, need N >= 1", name, n)
+	}
+	return nil
+}
+
+// ValidatePositive checks that a parsed duration flag is positive
+// (ParseDuration already rejects negatives; zero horizons and periods
+// simulate nothing and are almost certainly a typo).
+func ValidatePositive(name string, t sim.Time) error {
+	if t <= 0 {
+		return fmt.Errorf("%s: duration must be positive, got %v", name, t)
+	}
+	return nil
+}
+
+// ValidateCount checks a generic positive integer flag (ports, stacks,
+// flow counts).
+func ValidateCount(name string, n int) error {
+	if n < 1 {
+		return fmt.Errorf("%s %d: must be at least 1", name, n)
+	}
+	return nil
+}
+
+// Duration parses a duration flag and validates it is positive,
+// combining ParseDuration and ValidatePositive with the flag name in
+// the error.
+func Duration(name, s string) (sim.Time, error) {
+	t, err := ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", name, err)
+	}
+	if err := ValidatePositive(name, t); err != nil {
+		return 0, err
+	}
+	return t, nil
+}
+
+// Check terminates the program with exit code 2 (the flag-error
+// convention) if any of the errors is non-nil, printing the first.
+// The tools call it once with all their validations.
+func Check(errs ...error) {
+	for _, err := range errs {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+}

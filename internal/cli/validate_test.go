@@ -1,0 +1,73 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateJobs(t *testing.T) {
+	for _, ok := range []int{0, 1, 64} {
+		if err := ValidateJobs(ok); err != nil {
+			t.Fatalf("ValidateJobs(%d): %v", ok, err)
+		}
+	}
+	err := ValidateJobs(-1)
+	if err == nil {
+		t.Fatal("negative -j accepted")
+	}
+	if !strings.Contains(err.Error(), "-j -1") {
+		t.Fatalf("error does not name the flag: %v", err)
+	}
+}
+
+func TestValidateReps(t *testing.T) {
+	if err := ValidateReps(1); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []int{0, -3} {
+		if ValidateReps(bad) == nil {
+			t.Fatalf("ValidateReps(%d) accepted", bad)
+		}
+	}
+}
+
+func TestValidateSample(t *testing.T) {
+	if err := ValidateSample("-trace-sample", 1); err != nil {
+		t.Fatal(err)
+	}
+	err := ValidateSample("-trace-sample", 0)
+	if err == nil {
+		t.Fatal("zero sample accepted")
+	}
+	if !strings.Contains(err.Error(), "-trace-sample") {
+		t.Fatalf("error does not name the flag: %v", err)
+	}
+}
+
+func TestValidatePositiveAndCount(t *testing.T) {
+	if err := ValidatePositive("-horizon", 1); err != nil {
+		t.Fatal(err)
+	}
+	if ValidatePositive("-horizon", 0) == nil {
+		t.Fatal("zero horizon accepted")
+	}
+	if ValidateCount("-ports", 0) == nil {
+		t.Fatal("zero count accepted")
+	}
+	if err := ValidateCount("-ports", 16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurationCombinesParseAndPositive(t *testing.T) {
+	if d, err := Duration("-horizon", "10us"); err != nil || d <= 0 {
+		t.Fatalf("Duration: %v, %v", d, err)
+	}
+	for _, bad := range []string{"0ps", "nonsense", "5"} {
+		if _, err := Duration("-horizon", bad); err == nil {
+			t.Fatalf("Duration(%q) accepted", bad)
+		} else if !strings.Contains(err.Error(), "-horizon") {
+			t.Fatalf("error does not name the flag: %v", err)
+		}
+	}
+}

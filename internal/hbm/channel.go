@@ -61,6 +61,13 @@ type Channel struct {
 	firstData sim.Time
 	lastData  sim.Time
 	hasData   bool
+
+	// Interleave-conflict accounting: activates pushed later than the
+	// bank itself allowed by the cross-bank tRRD/tFAW rules. PFI's
+	// staggered interleaving is designed to make this zero at the
+	// feasible (γ, S); the telemetry probes watch it.
+	conflicts    int64
+	conflictTime sim.Time
 }
 
 // NewChannel returns a channel with all banks closed and idle.
@@ -107,6 +114,7 @@ func (c *Channel) Activate(bank, row int, at sim.Time) (sim.Time, error) {
 		t = b.busyUntil
 	}
 	if n := len(c.actLog); n > 0 {
+		bankReady := t
 		if last := c.actLog[n-1] + c.tim.TRRD; last > t {
 			t = last
 		}
@@ -114,6 +122,10 @@ func (c *Channel) Activate(bank, row int, at sim.Time) (sim.Time, error) {
 			if faw := c.actLog[n-c.tim.MaxACTs] + c.tim.TFAW; faw > t {
 				t = faw
 			}
+		}
+		if t > bankReady {
+			c.conflicts++
+			c.conflictTime += t - bankReady
 		}
 	}
 	b.open = true
@@ -260,6 +272,20 @@ func (c *Channel) AccessClosedPage(bank, row int, op Op, bytes int, at sim.Time)
 
 // DataBits returns the total data bits transferred.
 func (c *Channel) DataBits() int64 { return c.dataBits }
+
+// Activates returns the number of ACT commands issued.
+func (c *Channel) Activates() int64 { return c.actCount }
+
+// Refreshes returns the number of REFsb commands issued.
+func (c *Channel) Refreshes() int64 { return c.refCount }
+
+// InterleaveConflicts returns how many activates the cross-bank
+// tRRD/tFAW rules delayed beyond the bank's own readiness, and the
+// total delay added — the staggered-interleave conflict metric the
+// telemetry probes export.
+func (c *Channel) InterleaveConflicts() (count int64, delay sim.Time) {
+	return c.conflicts, c.conflictTime
+}
 
 // BusFreeAt returns the time the data bus becomes idle.
 func (c *Channel) BusFreeAt() sim.Time { return c.busFreeAt }

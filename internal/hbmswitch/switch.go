@@ -11,6 +11,7 @@ import (
 	"pbrouter/internal/sim"
 	"pbrouter/internal/sram"
 	"pbrouter/internal/stats"
+	"pbrouter/internal/telemetry"
 	"pbrouter/internal/traffic"
 )
 
@@ -82,6 +83,12 @@ type Switch struct {
 	// OEO conversion energy accounting (O/E at ingress, E/O at
 	// egress, §4's 1.15 pJ/bit).
 	oeo *optics.OEOMeter
+
+	// Observability (telemetry.go). Both are nil unless Instrument was
+	// called; every hook is nil-guarded so the plain path is unchanged.
+	tel       *telemetry.Registry
+	tracer    *telemetry.Tracer
+	traceProc int
 
 	// Shadow ideal OQ switch.
 	shadow   *baseline.OQSwitch
@@ -276,6 +283,9 @@ func (s *Switch) inject(p *packet.Packet) {
 			s.droppedSeqs[pair] = ds
 		}
 		ds[p.Seq] = true
+		if s.tracer != nil {
+			s.tracer.Instant("drop", s.traceProc, p.Input, now, p.ID)
+		}
 		return
 	}
 	s.oeo.Convert(int64(p.Size) * 8) // O/E at the ingress waveguide
@@ -322,6 +332,9 @@ func (s *Switch) enqueueBatch(input int, b *packet.Batch) {
 			s.stageBatch.AddTime(b.Completed - fr.Pkt.Arrival)
 		}
 	}
+	if s.tracer != nil {
+		s.traceBatch(b)
+	}
 	s.inFIFO[input] = append(s.inFIFO[input], b)
 	if l := len(s.inFIFO[input]); l > s.inHighWater[input] {
 		s.inHighWater[input] = l
@@ -347,6 +360,9 @@ func (s *Switch) deliverBatch(b *packet.Batch) {
 	now := s.sched.Now()
 	b.AtTail = now
 	s.stageXbar.AddTime(now - b.Completed)
+	if s.tracer != nil {
+		s.traceXbar(b)
+	}
 	if err := s.tailMod.Write(b.Output, int64(b.Size), now); err != nil {
 		s.fail("tail write: %v", err)
 	}
@@ -387,6 +403,9 @@ func (s *Switch) frameReady(f *packet.Frame) {
 	f.Ready = s.sched.Now()
 	for _, b := range f.Batches {
 		s.stageFrame.AddTime(f.Ready - b.AtTail)
+	}
+	if s.tracer != nil {
+		s.traceFrame(f)
 	}
 	tok := &frameToken{frame: f}
 	s.tailFrames[f.Output] = append(s.tailFrames[f.Output], tok)
@@ -681,7 +700,7 @@ func (s *Switch) readFrame(out int) {
 	}
 	f := s.regionFrames[out][0]
 	s.regionFrames[out] = s.regionFrames[out][1:]
-	s.deliverFrame(f, end)
+	s.deliverFrame(f, end, "hbm")
 }
 
 // bypassFrame sends the oldest tail frame (padding a partial one if
@@ -708,6 +727,9 @@ func (s *Switch) bypassFrame(out int, now sim.Time) bool {
 		for _, b := range f.Batches {
 			s.stageFrame.AddTime(now - b.AtTail)
 		}
+		if s.tracer != nil {
+			s.traceFrame(f)
+		}
 		if !s.draining {
 			s.framesPadded++
 			s.padBytes += int64(f.PadBytes())
@@ -721,7 +743,7 @@ func (s *Switch) bypassFrame(out int, now sim.Time) bool {
 	if err := s.tailMod.Read(out, int64(len(f.Batches)*s.cfg.PFI.BatchBytes), now); err != nil {
 		s.fail("tail read (bypass): %v", err)
 	}
-	s.deliverFrame(f, end)
+	s.deliverFrame(f, end, "bypass")
 	return true
 }
 
@@ -747,9 +769,13 @@ func (s *Switch) padThroughHBM(out int, now sim.Time) bool {
 
 // deliverFrame lands a frame in the head SRAM at time at and drains
 // its batches out of the egress port, recording packet departures.
-func (s *Switch) deliverFrame(f *packet.Frame, at sim.Time) {
+// via names the memory path taken ("hbm" or "bypass") for the tracer.
+func (s *Switch) deliverFrame(f *packet.Frame, at sim.Time, via string) {
 	out := f.Output
 	s.stageHBM.AddTime(at - f.Ready)
+	if s.tracer != nil {
+		s.traceHBM(f, at, via)
+	}
 	dataBytes := int64(len(f.Batches) * s.cfg.PFI.BatchBytes)
 	if err := s.headMod.Write(out, dataBytes, at); err != nil {
 		s.fail("head write: %v", err)
@@ -772,6 +798,9 @@ func (s *Switch) deliverFrame(f *packet.Frame, at sim.Time) {
 			if fr.Off+fr.Len == fr.Pkt.Size { // packet's last byte
 				s.departPacket(fr.Pkt, batchStart, cum, out)
 				s.stageOut.AddTime(fr.Pkt.Depart - at)
+				if s.tracer != nil && s.tracer.Sampled(fr.Pkt.ID) {
+					s.tracer.Span("egress", s.traceProc, out, at, fr.Pkt.Depart, fr.Pkt.ID)
+				}
 			}
 		}
 		cursor = batchStart + sim.TransferTime(real*8, s.cfg.PortRate)
@@ -845,6 +874,7 @@ func (s *Switch) Run(mux traffic.Stream, horizon sim.Time) (*Report, error) {
 	// is comfortably past it for the horizons the experiments use.
 	s.warmup = horizon / 3
 	s.mux = mux
+	s.tel.Start(s.sched, horizon) // nil-safe no-op when uninstrumented
 	s.pump()
 	if s.cfg.EnableRefresh {
 		// One group refreshed per tick keeps every bank inside its

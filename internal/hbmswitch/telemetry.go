@@ -1,0 +1,137 @@
+package hbmswitch
+
+import (
+	"fmt"
+
+	"pbrouter/internal/packet"
+	"pbrouter/internal/sim"
+	"pbrouter/internal/telemetry"
+)
+
+// This file is the switch's observability surface: probe registration
+// for the simulated-time telemetry registry and the packet-lifecycle
+// trace hooks. With no registry/tracer attached every hook is a nil
+// check, so the uninstrumented hot path is unchanged.
+
+// Instrument attaches a telemetry registry and/or a packet-lifecycle
+// tracer. Must be called before Run (probes sample live pipeline
+// state; the registry starts ticking when Run starts). prefix
+// namespaces the probe names (e.g. "sw3."); proc tags trace spans
+// with the switch index for multi-switch captures.
+func (s *Switch) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer, prefix string, proc int) {
+	s.tel = reg
+	s.tracer = tr
+	s.traceProc = proc
+	if reg == nil {
+		return
+	}
+	n := s.cfg.PFI.N
+
+	// ➀ input side: per-port FIFO depth (batches queued for the
+	// crossbar).
+	for i := 0; i < n; i++ {
+		i := i
+		reg.Gauge(fmt.Sprintf("%sin%d.fifo_batches", prefix, i),
+			func() float64 { return float64(len(s.inFIFO[i])) })
+	}
+	// ➁➂ per-output occupancy: batches filling the forming frame at
+	// the tail SRAM, completed frames waiting for an HBM write turn,
+	// and frames resident in the output's HBM region.
+	for j := 0; j < n; j++ {
+		j := j
+		reg.Gauge(fmt.Sprintf("%sout%d.fill_batches", prefix, j),
+			func() float64 { return float64(s.assemblers[j].PendingBatches()) })
+		reg.Gauge(fmt.Sprintf("%sout%d.tail_frames", prefix, j),
+			func() float64 { return float64(len(s.tailFrames[j])) })
+		reg.Gauge(fmt.Sprintf("%sout%d.hbm_frames", prefix, j),
+			func() float64 { return float64(s.regionLen(j)) })
+	}
+
+	// ➃ HBM: achieved utilization of the effective peak per tick, and
+	// the staggered-interleave conflict counters per simulated channel
+	// (with channel mirroring on, channel 0 carries the aggregate
+	// accounting and is the only one with state).
+	period := reg.Period()
+	peak := s.mem.Geo.PeakRate()
+	var lastBits int64
+	reg.Register(prefix+"hbm.util", func(sim.Time) float64 {
+		bits := s.mem.DataBits()
+		d := bits - lastBits
+		lastBits = bits
+		return float64(d) / sim.BitsIn(period, peak)
+	})
+	simulated := s.mem.Channels
+	if !s.cfg.FullChannels {
+		simulated = simulated[:1]
+	}
+	for c, ch := range simulated {
+		ch := ch
+		reg.Counter(fmt.Sprintf("%shbm.ch%d.conflicts", prefix, c), func() float64 {
+			n, _ := ch.InterleaveConflicts()
+			return float64(n)
+		})
+		reg.Counter(fmt.Sprintf("%shbm.ch%d.conflict_ps", prefix, c), func() float64 {
+			_, d := ch.InterleaveConflicts()
+			return float64(d)
+		})
+	}
+
+	// Aggregate traffic counters (per tick), the basis of the SPS
+	// load-split series.
+	reg.Counter(prefix+"offered_bytes", func() float64 { return float64(s.offered.Bytes) })
+	reg.Counter(prefix+"delivered_bytes", func() float64 { return float64(s.delivered.Bytes) })
+	reg.Counter(prefix+"dropped_bytes", func() float64 { return float64(s.dropped.Bytes) })
+	// Bytes resident anywhere in the pipeline — the switch's total
+	// buffer occupancy over time.
+	reg.Register(prefix+"resident_bytes", func(sim.Time) float64 {
+		return float64(s.offered.Bytes - s.delivered.Bytes - s.dropped.Bytes)
+	})
+
+	// Event-loop health of this switch's scheduler.
+	telemetry.SchedulerProbes(reg, prefix, s.sched)
+}
+
+// traceBatch emits "batch" spans (arrival → batch completed) for the
+// sampled packets that finished assembling in b.
+func (s *Switch) traceBatch(b *packet.Batch) {
+	for _, fr := range b.Frags {
+		if fr.Off+fr.Len == fr.Pkt.Size && s.tracer.Sampled(fr.Pkt.ID) {
+			s.tracer.Span("batch", s.traceProc, b.Input, fr.Pkt.Arrival, b.Completed, fr.Pkt.ID)
+		}
+	}
+}
+
+// traceXbar emits "xbar" spans (batch completed → tail SRAM) for the
+// sampled packets in b.
+func (s *Switch) traceXbar(b *packet.Batch) {
+	for _, fr := range b.Frags {
+		if fr.Off+fr.Len == fr.Pkt.Size && s.tracer.Sampled(fr.Pkt.ID) {
+			s.tracer.Span("xbar", s.traceProc, b.Input, b.Completed, b.AtTail, fr.Pkt.ID)
+		}
+	}
+}
+
+// traceFrame emits "frame" spans (tail SRAM → frame ready) for the
+// sampled packets in f.
+func (s *Switch) traceFrame(f *packet.Frame) {
+	for _, b := range f.Batches {
+		for _, fr := range b.Frags {
+			if fr.Off+fr.Len == fr.Pkt.Size && s.tracer.Sampled(fr.Pkt.ID) {
+				s.tracer.Span("frame", s.traceProc, f.Output, b.AtTail, f.Ready, fr.Pkt.ID)
+			}
+		}
+	}
+}
+
+// traceHBM emits the memory-residency span (frame ready → head SRAM)
+// for the sampled packets in f. via is "hbm" for a write+read through
+// the memory, "bypass" for the §4 bypass path.
+func (s *Switch) traceHBM(f *packet.Frame, at sim.Time, via string) {
+	for _, b := range f.Batches {
+		for _, fr := range b.Frags {
+			if fr.Off+fr.Len == fr.Pkt.Size && s.tracer.Sampled(fr.Pkt.ID) {
+				s.tracer.Span(via, s.traceProc, f.Output, f.Ready, at, fr.Pkt.ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package hbmswitch
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pbrouter/internal/sim"
+	"pbrouter/internal/telemetry"
+	"pbrouter/internal/traffic"
+)
+
+// runInstrumented runs a reference switch with a registry and tracer
+// attached and returns the report plus rendered telemetry/trace bytes.
+func runInstrumented(t *testing.T, period sim.Time, sample int, horizon sim.Time, seed uint64) (*Report, string, string) {
+	t.Helper()
+	cfg := Reference()
+	cfg.Speedup = 1.1
+	cfg.FlushTimeout = 100 * sim.Nanosecond
+	sw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := telemetry.New(period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := telemetry.NewTracer(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.Instrument(reg, tr, "", 0)
+	m := traffic.Uniform(cfg.PFI.N, 0.8)
+	srcs := traffic.UniformSources(m, cfg.PortRate, traffic.Poisson, traffic.IMIX(), sim.NewRNG(seed))
+	rep, err := sw.Run(traffic.NewMux(srcs), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csv, trace strings.Builder
+	if err := reg.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSON(&trace); err != nil {
+		t.Fatal(err)
+	}
+	return rep, csv.String(), trace.String()
+}
+
+func TestInstrumentationDoesNotChangeResults(t *testing.T) {
+	// An instrumented run must report exactly what an uninstrumented
+	// one does: probes observe, never perturb.
+	horizon := 5 * sim.Microsecond
+	plain := run(t, func(c *Config) { c.FlushTimeout = 100 * sim.Nanosecond },
+		traffic.Uniform(Reference().PFI.N, 0.8), traffic.Poisson, traffic.IMIX(), horizon, 42)
+	instr, _, _ := runInstrumented(t, sim.Microsecond, 64, horizon, 42)
+	a, b := fmt.Sprintf("%+v", plain), fmt.Sprintf("%+v", instr)
+	if a != b {
+		t.Fatalf("instrumented report differs:\nplain %s\ninstr %s", a, b)
+	}
+}
+
+func TestInstrumentedRunDeterministic(t *testing.T) {
+	horizon := 3 * sim.Microsecond
+	_, csv1, trace1 := runInstrumented(t, sim.Microsecond, 32, horizon, 7)
+	_, csv2, trace2 := runInstrumented(t, sim.Microsecond, 32, horizon, 7)
+	if csv1 != csv2 {
+		t.Fatal("telemetry CSV differs between identical runs")
+	}
+	if trace1 != trace2 {
+		t.Fatal("trace JSON differs between identical runs")
+	}
+}
+
+func TestTelemetryProbeCatalog(t *testing.T) {
+	_, csv, trace := runInstrumented(t, sim.Microsecond, 16, 3*sim.Microsecond, 3)
+	header := strings.SplitN(csv, "\n", 2)[0]
+	for _, col := range []string{
+		"time_ps", "in0.fifo_batches", "out0.fill_batches", "out0.tail_frames",
+		"out0.hbm_frames", "hbm.util", "hbm.ch0.conflicts", "hbm.ch0.conflict_ps",
+		"offered_bytes", "delivered_bytes", "dropped_bytes", "resident_bytes",
+		"sim.events", "sim.queue",
+	} {
+		if !strings.Contains(header, col) {
+			t.Fatalf("probe %q missing from header %s", col, header)
+		}
+	}
+	for _, phase := range []string{`"batch"`, `"xbar"`, `"frame"`, `"egress"`} {
+		if !strings.Contains(trace, phase) {
+			t.Fatalf("trace has no %s spans", phase)
+		}
+	}
+	// Bypass is on in the reference config at moderate load, so the
+	// memory-residency span is "bypass" or "hbm"; at least one must
+	// appear for sampled packets.
+	if !strings.Contains(trace, `"bypass"`) && !strings.Contains(trace, `"hbm"`) {
+		t.Fatal("trace has no memory-residency spans")
+	}
+}
+
+func TestTraceSpansAreCausal(t *testing.T) {
+	cfg := Reference()
+	cfg.Speedup = 1.1
+	cfg.FlushTimeout = 100 * sim.Nanosecond
+	sw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := telemetry.NewTracer(16)
+	sw.Instrument(nil, tr, "", 0)
+	m := traffic.Uniform(cfg.PFI.N, 0.8)
+	srcs := traffic.UniformSources(m, cfg.PortRate, traffic.Poisson, traffic.IMIX(), sim.NewRNG(5))
+	if _, err := sw.Run(traffic.NewMux(srcs), 3*sim.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events()) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	for _, e := range tr.Events() {
+		if e.End < e.Start {
+			t.Fatalf("span %s of pkt %d ends %v before start %v", e.Name, e.Pkt, e.End, e.Start)
+		}
+		if e.Pkt%16 != 0 {
+			t.Fatalf("unsampled packet %d traced", e.Pkt)
+		}
+	}
+}

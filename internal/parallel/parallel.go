@@ -46,6 +46,16 @@ func Workers(n int) int {
 // lowest-index one — the same error a sequential run would surface —
 // so error behavior is deterministic too.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapProgress(workers, n, fn, nil)
+}
+
+// MapProgress is Map with a completion callback: after each point
+// finishes, progress(done, n) is called with the total completed so
+// far. Calls are serialized (one at a time, monotone done counts) but
+// not in point order; results are still collected by index, so
+// progress reporting never affects the output bytes. A nil progress
+// is exactly Map.
+func MapProgress[T any](workers, n int, fn func(i int) (T, error), progress func(done, total int)) ([]T, error) {
 	out := make([]T, n)
 	if n == 0 {
 		return out, nil
@@ -60,11 +70,15 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 				return nil, err
 			}
 			out[i] = v
+			if progress != nil {
+				progress(i+1, n)
+			}
 		}
 		return out, nil
 	}
 	errs := make([]error, n)
-	var next atomic.Int64
+	var next, done atomic.Int64
+	var progressMu sync.Mutex
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -76,6 +90,11 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 					return
 				}
 				out[i], errs[i] = fn(i)
+				if progress != nil {
+					progressMu.Lock()
+					progress(int(done.Add(1)), n)
+					progressMu.Unlock()
+				}
 			}
 		}()
 	}

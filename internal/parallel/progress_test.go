@@ -1,0 +1,65 @@
+package parallel
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestMapProgressReportsEveryCompletion(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var calls []int
+		out, err := MapProgress(workers, 10, func(i int) (int, error) {
+			return i * i, nil
+		}, func(done, total int) {
+			if total != 10 {
+				t.Fatalf("total %d", total)
+			}
+			calls = append(calls, done)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d out[%d] = %d", workers, i, v)
+			}
+		}
+		if len(calls) != 10 {
+			t.Fatalf("workers=%d: %d progress calls", workers, len(calls))
+		}
+		// Done counts are monotone: calls are serialized even with
+		// concurrent workers.
+		for i, d := range calls {
+			if d != i+1 {
+				t.Fatalf("workers=%d: progress sequence %v", workers, calls)
+			}
+		}
+	}
+}
+
+func TestMapProgressNilCallbackIsMap(t *testing.T) {
+	out, err := MapProgress(4, 5, func(i int) (int, error) { return i, nil }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 5 {
+		t.Fatalf("out %v", out)
+	}
+}
+
+func TestMapProgressSequentialStopsAtError(t *testing.T) {
+	boom := errors.New("boom")
+	var calls int
+	_, err := MapProgress(1, 5, func(i int) (int, error) {
+		if i == 2 {
+			return 0, boom
+		}
+		return i, nil
+	}, func(done, total int) { calls++ })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("%d progress calls before the error, want 2", calls)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"pbrouter/internal/hbmswitch"
 	"pbrouter/internal/parallel"
 	"pbrouter/internal/sim"
+	"pbrouter/internal/telemetry"
 	"pbrouter/internal/traffic"
 )
 
@@ -56,37 +57,125 @@ type RouterReport struct {
 // scheduling.
 func (r *Router) Run(flows []Flow, kind traffic.ArrivalKind, sizes traffic.SizeDist,
 	horizon sim.Time, seed uint64) (*RouterReport, error) {
+	rep, _, err := r.RunInstrumented(flows, kind, sizes, horizon, seed, 0, Instrumentation{})
+	return rep, err
+}
+
+// Instrumentation configures an observability capture of a router
+// run. The zero value disables both subsystems.
+type Instrumentation struct {
+	// Period enables the telemetry probe registry, sampling every
+	// switch's pipeline state each Period of simulated time.
+	Period sim.Time
+	// TraceSample enables the packet-lifecycle tracer on one packet in
+	// TraceSample (1 traces every packet).
+	TraceSample int
+}
+
+func (i Instrumentation) enabled() bool { return i.Period > 0 || i.TraceSample > 0 }
+
+// Capture is the merged observability output of an instrumented run:
+// one time-series with per-switch probe columns (prefixed "sw<h>.")
+// plus the derived "split.max_over_mean" load-balance column, and one
+// merged packet-lifecycle tracer whose spans carry the switch index
+// as their proc.
+type Capture struct {
+	Series telemetry.Series
+	Tracer *telemetry.Tracer
+}
+
+// RunInstrumented is Run with an optional observability capture and
+// an explicit worker count (<= 0 means one goroutine per switch).
+// Each switch gets its own registry and tracer, created and merged in
+// switch order, and all output is keyed on simulated time — so the
+// capture bytes are identical for every worker count.
+func (r *Router) RunInstrumented(flows []Flow, kind traffic.ArrivalKind, sizes traffic.SizeDist,
+	horizon sim.Time, seed uint64, workers int, ins Instrumentation) (*RouterReport, *Capture, error) {
 	mats := r.Dep.SwitchMatrices(flows)
-	reports, err := parallel.Map(len(mats), len(mats), func(h int) (*hbmswitch.Report, error) {
+	if workers <= 0 {
+		workers = len(mats)
+	}
+	type swResult struct {
+		rep    *hbmswitch.Report
+		series telemetry.Series
+		tracer *telemetry.Tracer
+	}
+	results, err := parallel.Map(workers, len(mats), func(h int) (swResult, error) {
 		m := mats[h]
 		clampRows(m)
 		sw, err := hbmswitch.New(r.SwitchCfg)
 		if err != nil {
-			return nil, err
+			return swResult{}, err
+		}
+		var res swResult
+		var reg *telemetry.Registry
+		if ins.enabled() {
+			if ins.Period > 0 {
+				if reg, err = telemetry.New(ins.Period); err != nil {
+					return swResult{}, err
+				}
+			}
+			if ins.TraceSample > 0 {
+				if res.tracer, err = telemetry.NewTracer(ins.TraceSample); err != nil {
+					return swResult{}, err
+				}
+			}
+			sw.Instrument(reg, res.tracer, fmt.Sprintf("sw%d.", h), h)
 		}
 		srcs := traffic.UniformSources(m, r.SwitchCfg.PortRate, kind, sizes, sim.NewRNG(parallel.Seed(seed, h)))
-		swRep, err := sw.Run(traffic.NewMux(srcs), horizon)
+		res.rep, err = sw.Run(traffic.NewMux(srcs), horizon)
 		if err != nil {
-			return nil, fmt.Errorf("switch %d: %w", h, err)
+			return swResult{}, fmt.Errorf("switch %d: %w", h, err)
 		}
-		return swRep, nil
+		if reg != nil {
+			res.series = reg.Series()
+		}
+		return res, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	rep := &RouterReport{PerSwitch: reports}
-	for _, swRep := range reports {
-		rep.Throughput += swRep.Throughput
-		rep.OfferedLoad += swRep.OfferedLoad
-		if swRep.LatencyP99 > rep.LatencyP99 {
-			rep.LatencyP99 = swRep.LatencyP99
+	rep := &RouterReport{}
+	for _, res := range results {
+		rep.PerSwitch = append(rep.PerSwitch, res.rep)
+		rep.Throughput += res.rep.Throughput
+		rep.OfferedLoad += res.rep.OfferedLoad
+		if res.rep.LatencyP99 > rep.LatencyP99 {
+			rep.LatencyP99 = res.rep.LatencyP99
 		}
-		rep.Errors = append(rep.Errors, swRep.Errors...)
+		rep.Errors = append(rep.Errors, res.rep.Errors...)
 	}
 	n := float64(len(mats))
 	rep.Throughput /= n
 	rep.OfferedLoad /= n
-	return rep, nil
+	if !ins.enabled() {
+		return rep, nil, nil
+	}
+	capture := &Capture{}
+	if ins.Period > 0 {
+		parts := make([]telemetry.Series, len(results))
+		for h, res := range results {
+			parts[h] = res.series
+		}
+		if capture.Series, err = telemetry.Merge(parts...); err != nil {
+			return nil, nil, err
+		}
+		// The paper's split-balance metric, now as a time series: the
+		// peak-to-mean ratio of per-switch delivered bytes per tick.
+		if cols := capture.Series.ColumnsMatching(".delivered_bytes"); len(cols) > 0 {
+			capture.Series.Derive("split.max_over_mean", telemetry.MaxOverMean(cols))
+		}
+	}
+	if ins.TraceSample > 0 {
+		tracers := make([]*telemetry.Tracer, len(results))
+		for h, res := range results {
+			tracers[h] = res.tracer
+		}
+		if capture.Tracer, err = telemetry.MergeTracers(tracers...); err != nil {
+			return nil, nil, err
+		}
+	}
+	return rep, capture, nil
 }
 
 // clampRows scales down any row exceeding line rate (the fiber bundle

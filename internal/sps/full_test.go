@@ -1,0 +1,121 @@
+package sps
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pbrouter/internal/hbmswitch"
+	"pbrouter/internal/optics"
+	"pbrouter/internal/sim"
+	"pbrouter/internal/traffic"
+)
+
+// smallRouter builds a 4-switch router small enough for repeated runs.
+func smallRouter(t *testing.T) (*Router, Config) {
+	t.Helper()
+	cfg := Config{
+		N: 16, F: 16, H: 4,
+		WDM:     optics.WDM{Wavelengths: 16, ChannelRate: 10 * sim.Gbps},
+		Pattern: optics.PseudoRandom,
+		Seed:    5,
+	}
+	dep, err := NewDeployment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRouter(dep, hbmswitch.Scaled(1, cfg.PortRate()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, cfg
+}
+
+// capture runs the instrumented router at the given worker count and
+// renders the merged telemetry CSV and trace JSON.
+func capture(t *testing.T, rt *Router, flows []Flow, workers int) (*RouterReport, string, string) {
+	t.Helper()
+	ins := Instrumentation{Period: sim.Microsecond, TraceSample: 64}
+	rep, cap, err := rt.RunInstrumented(flows, traffic.Poisson, traffic.Fixed(1500),
+		10*sim.Microsecond, 10, workers, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csv, trace strings.Builder
+	if err := cap.Series.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if err := cap.Tracer.WriteJSON(&trace); err != nil {
+		t.Fatal(err)
+	}
+	return rep, csv.String(), trace.String()
+}
+
+// TestInstrumentedCaptureDeterministicAcrossWorkers is the
+// observability determinism regression: the merged telemetry
+// time-series and the Perfetto trace must be byte-identical whether
+// the per-switch simulations run sequentially or on 8 goroutines.
+func TestInstrumentedCaptureDeterministicAcrossWorkers(t *testing.T) {
+	rt, cfg := smallRouter(t)
+	flows := ECMPUniform(cfg, 1000, 0.6, 9)
+	rep1, csv1, trace1 := capture(t, rt, flows, 1)
+	rep8, csv8, trace8 := capture(t, rt, flows, 8)
+	if csv1 != csv8 {
+		t.Fatal("telemetry CSV differs between workers=1 and workers=8")
+	}
+	if trace1 != trace8 {
+		t.Fatal("trace JSON differs between workers=1 and workers=8")
+	}
+	if fmt.Sprintf("%+v", rep1) != fmt.Sprintf("%+v", rep8) {
+		t.Fatal("reports differ between workers=1 and workers=8")
+	}
+	if len(csv1) == 0 || !strings.HasPrefix(csv1, "time_ps,") {
+		t.Fatalf("empty or malformed capture: %.80s", csv1)
+	}
+}
+
+// TestInstrumentedMatchesPlainRun checks the no-op property at the
+// router level: instrumentation must not change the report.
+func TestInstrumentedMatchesPlainRun(t *testing.T) {
+	rt, cfg := smallRouter(t)
+	flows := ECMPUniform(cfg, 1000, 0.6, 9)
+	plain, err := rt.Run(flows, traffic.Poisson, traffic.Fixed(1500), 10*sim.Microsecond, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instr, _, _ := capture(t, rt, flows, 4)
+	if fmt.Sprintf("%+v", plain) != fmt.Sprintf("%+v", instr) {
+		t.Fatal("instrumented router report differs from plain run")
+	}
+}
+
+// TestCaptureMergesPerSwitchColumns checks the SPS-level series: one
+// column set per switch in index order plus the derived load-split
+// balance column.
+func TestCaptureMergesPerSwitchColumns(t *testing.T) {
+	rt, cfg := smallRouter(t)
+	flows := ECMPUniform(cfg, 500, 0.5, 3)
+	ins := Instrumentation{Period: sim.Microsecond}
+	_, cap, err := rt.RunInstrumented(flows, traffic.Poisson, traffic.Fixed(1500),
+		5*sim.Microsecond, 4, 0, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap.Tracer != nil {
+		t.Fatal("tracer present though TraceSample was 0")
+	}
+	for h := 0; h < cfg.H; h++ {
+		if cap.Series.Column(fmt.Sprintf("sw%d.delivered_bytes", h)) < 0 {
+			t.Fatalf("switch %d columns missing", h)
+		}
+	}
+	split := cap.Series.Column("split.max_over_mean")
+	if split < 0 {
+		t.Fatal("split.max_over_mean column missing")
+	}
+	for i, row := range cap.Series.Rows {
+		if row[split] < 1 {
+			t.Fatalf("tick %d split balance %g < 1", i, row[split])
+		}
+	}
+}

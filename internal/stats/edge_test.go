@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+// The histogram's percentile edges: empty, all-under-min, p at the
+// extremes, and a single-bucket population. These pin the contract
+// that Percentile never exceeds Max and never invents a value for an
+// empty histogram.
+
+func TestHistogramEmptyPercentiles(t *testing.T) {
+	h := NewHistogram(100, 1.1)
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Percentile(p); got != 0 {
+			t.Fatalf("empty Percentile(%g) = %g, want 0", p, got)
+		}
+	}
+	if got := h.String(); got != "n=0 (empty)" {
+		t.Fatalf("empty String() = %q", got)
+	}
+}
+
+func TestHistogramAllUnderMin(t *testing.T) {
+	// Every sample below the first bucket: quantiles must not report
+	// min/2 when that exceeds the largest sample actually seen.
+	h := NewHistogram(100, 1.1)
+	h.Add(1)
+	h.Add(2)
+	for _, p := range []float64{0, 0.5, 1} {
+		got := h.Percentile(p)
+		if got > h.Max() {
+			t.Fatalf("Percentile(%g) = %g above max %g", p, got, h.Max())
+		}
+		if got != 2 {
+			t.Fatalf("Percentile(%g) = %g, want min(min/2, max) = 2", p, got)
+		}
+	}
+	if !strings.Contains(h.String(), "n=2") {
+		t.Fatalf("String() = %q", h.String())
+	}
+}
+
+func TestHistogramPercentileExtremes(t *testing.T) {
+	h := NewHistogram(100, 1.1)
+	h.Add(150)
+	h.Add(1000)
+	// p=0 is the smallest sample's bucket, not the under-min sentinel.
+	if got := h.Percentile(0); got < 100 || got > 200 {
+		t.Fatalf("Percentile(0) = %g, want the first occupied bucket", got)
+	}
+	// p=1 lands in the last occupied bucket, capped by the max sample.
+	if got := h.Percentile(1); got < 900 || got > 1000 {
+		t.Fatalf("Percentile(1) = %g, want ~max", got)
+	}
+	// Out-of-range p clamps rather than panicking.
+	if h.Percentile(-3) != h.Percentile(0) || h.Percentile(7) != h.Percentile(1) {
+		t.Fatal("out-of-range p should clamp to [0, 1]")
+	}
+}
+
+func TestHistogramSingleBucket(t *testing.T) {
+	// All samples in bucket 0: every quantile reports the same value,
+	// within the bucket and never above the max sample.
+	h := NewHistogram(100, 2)
+	for i := 0; i < 10; i++ {
+		h.Add(105)
+	}
+	want := h.Percentile(0.5)
+	for _, p := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		got := h.Percentile(p)
+		if got != want {
+			t.Fatalf("Percentile(%g) = %g, want %g (single bucket)", p, got, want)
+		}
+		if got > h.Max() || got < 100 {
+			t.Fatalf("Percentile(%g) = %g outside [100, %g]", p, got, h.Max())
+		}
+	}
+}
+
+func TestWelfordSingleSample(t *testing.T) {
+	var w Welford
+	w.Add(-7.5)
+	if w.N() != 1 {
+		t.Fatalf("n = %d", w.N())
+	}
+	if w.Mean() != -7.5 || w.Min() != -7.5 || w.Max() != -7.5 {
+		t.Fatalf("mean/min/max = %g/%g/%g, want all -7.5", w.Mean(), w.Min(), w.Max())
+	}
+	if w.Variance() != 0 || w.Stddev() != 0 {
+		t.Fatalf("variance %g stddev %g, want 0 for a single sample", w.Variance(), w.Stddev())
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Min() != 0 || w.Max() != 0 || w.Variance() != 0 {
+		t.Fatal("empty Welford should report zeros")
+	}
+}

@@ -156,7 +156,10 @@ func (h *Histogram) Mean() float64 {
 func (h *Histogram) Max() float64 { return h.maxv }
 
 // Percentile returns an approximation of the p-quantile (p in [0,1]).
-// The result carries the relative error of the bucket width.
+// The result carries the relative error of the bucket width. An empty
+// histogram reports 0 for every quantile; results never exceed Max, so
+// under-min samples and wide final buckets cannot report a quantile
+// above the largest recorded value.
 func (h *Histogram) Percentile(p float64) float64 {
 	if h.total == 0 {
 		return 0
@@ -168,8 +171,11 @@ func (h *Histogram) Percentile(p float64) float64 {
 		p = 1
 	}
 	target := int64(math.Ceil(p * float64(h.total)))
+	if target < 1 {
+		target = 1 // p = 0 means the smallest sample, not "before" it
+	}
 	if target <= h.under {
-		return h.min / 2
+		return math.Min(h.min/2, h.maxv)
 	}
 	cum := h.under
 	for b, c := range h.counts {
@@ -177,7 +183,7 @@ func (h *Histogram) Percentile(p float64) float64 {
 		if cum >= target {
 			lo := h.min * math.Pow(h.growth, float64(b))
 			hi := lo * h.growth
-			return (lo + hi) / 2
+			return math.Min((lo+hi)/2, h.maxv)
 		}
 	}
 	return h.maxv
@@ -196,6 +202,9 @@ func (h *Histogram) MaxTime() sim.Time { return sim.Time(h.maxv) }
 
 // String summarizes the histogram.
 func (h *Histogram) String() string {
+	if h.total == 0 {
+		return "n=0 (empty)"
+	}
 	return fmt.Sprintf("n=%d mean=%.1f p50=%.1f p99=%.1f max=%.1f",
 		h.total, h.Mean(), h.Percentile(0.5), h.Percentile(0.99), h.maxv)
 }

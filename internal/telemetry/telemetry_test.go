@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"pbrouter/internal/sim"
+)
+
+func TestNewRejectsNonPositivePeriod(t *testing.T) {
+	for _, p := range []sim.Time{0, -1} {
+		if _, err := New(p); err == nil {
+			t.Fatalf("New(%v) accepted", p)
+		}
+	}
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Register("x", func(sim.Time) float64 { return 1 })
+	r.Gauge("g", func() float64 { return 1 })
+	r.Counter("c", func() float64 { return 1 })
+	r.Sample(5)
+	r.Start(&sim.Scheduler{}, 100)
+	if got := r.Series(); len(got.Names) != 0 || len(got.Times) != 0 {
+		t.Fatalf("nil registry accumulated %v", got)
+	}
+	if err := r.WriteCSV(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterReportsDeltas(t *testing.T) {
+	r, err := New(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v float64
+	r.Counter("c", func() float64 { return v })
+	v = 5
+	r.Sample(10)
+	v = 12
+	r.Sample(20)
+	r.Sample(30) // unchanged counter: zero delta
+	s := r.Series()
+	want := []float64{5, 7, 0}
+	for i, w := range want {
+		if s.Rows[i][0] != w {
+			t.Fatalf("tick %d delta %g, want %g", i, s.Rows[i][0], w)
+		}
+	}
+}
+
+func TestRegisterAfterSamplingPanics(t *testing.T) {
+	r, _ := New(10)
+	r.Gauge("a", func() float64 { return 0 })
+	r.Sample(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register after Sample did not panic")
+		}
+	}()
+	r.Gauge("b", func() float64 { return 0 })
+}
+
+func TestStartSamplesOnPeriodGridToHorizon(t *testing.T) {
+	sched := &sim.Scheduler{}
+	r, _ := New(25)
+	r.Gauge("now_ps", func() float64 { return float64(sched.Now()) })
+	r.Start(sched, 100)
+	sched.Run()
+	s := r.Series()
+	want := []sim.Time{25, 50, 75, 100}
+	if len(s.Times) != len(want) {
+		t.Fatalf("ticks %v, want %v", s.Times, want)
+	}
+	for i, w := range want {
+		if s.Times[i] != w {
+			t.Fatalf("tick %d at %v, want %v", i, s.Times[i], w)
+		}
+		if s.Rows[i][0] != float64(w) {
+			t.Fatalf("tick %d sampled now=%g, want %d", i, s.Rows[i][0], w)
+		}
+	}
+}
+
+func TestMergeConcatenatesColumns(t *testing.T) {
+	a := Series{Names: []string{"a"}, Times: []sim.Time{1, 2}, Rows: [][]float64{{10}, {11}}}
+	b := Series{Names: []string{"b"}, Times: []sim.Time{1, 2}, Rows: [][]float64{{20}, {21}}}
+	m, err := Merge(a, Series{}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Names) != 2 || m.Names[0] != "a" || m.Names[1] != "b" {
+		t.Fatalf("names %v", m.Names)
+	}
+	if m.Rows[1][1] != 21 {
+		t.Fatalf("rows %v", m.Rows)
+	}
+}
+
+func TestMergeRejectsMismatchedTimeAxes(t *testing.T) {
+	a := Series{Names: []string{"a"}, Times: []sim.Time{1}, Rows: [][]float64{{0}}}
+	b := Series{Names: []string{"b"}, Times: []sim.Time{2}, Rows: [][]float64{{0}}}
+	if _, err := Merge(a, b); err == nil {
+		t.Fatal("mismatched time axes merged")
+	}
+	c := Series{Names: []string{"c"}, Times: []sim.Time{1, 2}, Rows: [][]float64{{0}, {0}}}
+	if _, err := Merge(a, c); err == nil {
+		t.Fatal("different tick counts merged")
+	}
+}
+
+func TestDeriveMaxOverMean(t *testing.T) {
+	s := Series{
+		Names: []string{"x", "y"},
+		Times: []sim.Time{1, 2},
+		Rows:  [][]float64{{3, 1}, {0, 0}},
+	}
+	s.Derive("imbalance", MaxOverMean(s.ColumnsMatching("")))
+	if s.Rows[0][2] != 1.5 {
+		t.Fatalf("imbalance %g, want 1.5", s.Rows[0][2])
+	}
+	if s.Rows[1][2] != 1 {
+		t.Fatalf("all-zero imbalance %g, want 1", s.Rows[1][2])
+	}
+}
+
+// TestSeriesGoldenCSV pins the CSV schema: the time_ps header, the
+// wide layout, and the integer-versus-float value formatting. Change
+// this test only with a schema version bump in docs/observability.md.
+func TestSeriesGoldenCSV(t *testing.T) {
+	s := Series{
+		Names: []string{"q.depth", "hbm.util"},
+		Times: []sim.Time{1000, 2000},
+		Rows:  [][]float64{{3, 0.25}, {0, 0.5}},
+	}
+	var b strings.Builder
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "time_ps,q.depth,hbm.util\n1000,3,0.25\n2000,0,0.5\n"
+	if b.String() != want {
+		t.Fatalf("CSV schema changed:\ngot  %q\nwant %q", b.String(), want)
+	}
+}
+
+// TestSeriesGoldenJSON pins the JSON schema, including the schema tag.
+func TestSeriesGoldenJSON(t *testing.T) {
+	s := Series{
+		Names: []string{"a"},
+		Times: []sim.Time{5},
+		Rows:  [][]float64{{1.5}},
+	}
+	var b strings.Builder
+	if err := s.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"schema":"pbrouter-telemetry/1","probes":["a"],"samples":[{"t_ps":5,"v":[1.5]}]}` + "\n"
+	if b.String() != want {
+		t.Fatalf("JSON schema changed:\ngot  %q\nwant %q", b.String(), want)
+	}
+}
+
+func TestSchedulerProbes(t *testing.T) {
+	sched := &sim.Scheduler{}
+	r, _ := New(10)
+	SchedulerProbes(r, "", sched)
+	sched.At(5, func() {})
+	r.Start(sched, 20)
+	sched.Run()
+	s := r.Series()
+	if got := s.Column("sim.events"); got != 0 {
+		t.Fatalf("sim.events column %d", got)
+	}
+	if s.Column("sim.queue") != 1 {
+		t.Fatalf("sim.queue column %d", s.Column("sim.queue"))
+	}
+	// First tick at t=10: the t=5 event plus this tick's own firing.
+	if s.Rows[0][0] < 2 {
+		t.Fatalf("events by t=10: %g, want >= 2", s.Rows[0][0])
+	}
+}

@@ -1,0 +1,211 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"pbrouter/internal/sim"
+)
+
+// Tracer records the lifecycle of a deterministic sample of packets
+// (arrival → batch → crossbar → frame → HBM → egress) as spans keyed
+// on simulated time, and renders them as Chrome trace-event JSON that
+// Perfetto (ui.perfetto.dev) and chrome://tracing open directly.
+//
+// Sampling is by packet ID (ID % SampleEvery == 0). Packet IDs are
+// assigned by the deterministic generators, so the same packets are
+// traced however many worker goroutines run the simulation, and the
+// rendered bytes are identical.
+//
+// A nil *Tracer is a no-op: Sampled reports false and the record
+// methods return immediately, so the disabled hot path costs one
+// branch.
+type Tracer struct {
+	sampleEvery uint64
+	events      []Span
+}
+
+// Span is one trace event: a named phase of one packet's transit
+// through one pipeline stage. Track selects the Perfetto row (the
+// port the phase ran on); Proc groups tracks (the switch index).
+type Span struct {
+	Name  string   // phase name: arrive|batch|xbar|frame|hbm|egress|drop
+	Proc  int      // pid: switch index (0 for a single-switch run)
+	Track int      // tid: port the phase ran on
+	Start sim.Time // phase start
+	End   sim.Time // phase end; == Start for instant events
+	Pkt   uint64   // packet ID
+}
+
+// NewTracer returns a tracer sampling one packet in sampleEvery
+// (1 traces every packet).
+func NewTracer(sampleEvery int) (*Tracer, error) {
+	if sampleEvery < 1 {
+		return nil, fmt.Errorf("telemetry: non-positive trace sample %d", sampleEvery)
+	}
+	return &Tracer{sampleEvery: uint64(sampleEvery)}, nil
+}
+
+// Sampled reports whether the packet ID is in the traced sample.
+// False on a nil tracer.
+func (t *Tracer) Sampled(id uint64) bool {
+	return t != nil && id%t.sampleEvery == 0
+}
+
+// Span records one phase of a sampled packet. The caller is expected
+// to have checked Sampled; unsampled IDs are dropped here as well so
+// hooks may skip the check on cold paths. No-op on nil.
+func (t *Tracer) Span(name string, proc, track int, start, end sim.Time, pkt uint64) {
+	if t == nil || pkt%t.sampleEvery != 0 {
+		return
+	}
+	t.events = append(t.events, Span{Name: name, Proc: proc, Track: track,
+		Start: start, End: end, Pkt: pkt})
+}
+
+// Instant records a zero-duration event (e.g. an ingress drop).
+func (t *Tracer) Instant(name string, proc, track int, at sim.Time, pkt uint64) {
+	t.Span(name, proc, track, at, at, pkt)
+}
+
+// Events returns the recorded spans (read-only). Nil-safe.
+func (t *Tracer) Events() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// MergeTracers concatenates the spans of several tracers in argument
+// order (e.g. the per-switch tracers of an SPS run) into one tracer
+// for rendering. Sample rates must agree.
+func MergeTracers(parts ...*Tracer) (*Tracer, error) {
+	var out *Tracer
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if out == nil {
+			merged, err := NewTracer(int(p.sampleEvery))
+			if err != nil {
+				return nil, err
+			}
+			out = merged
+		} else if p.sampleEvery != out.sampleEvery {
+			return nil, fmt.Errorf("telemetry: merging tracers with sample %d and %d",
+				p.sampleEvery, out.sampleEvery)
+		}
+		out.events = append(out.events, p.events...)
+	}
+	return out, nil
+}
+
+// WriteJSON renders the spans as Chrome trace-event JSON. Events are
+// emitted in (start, proc, track, packet, name) order via a stable
+// sort, so the bytes do not depend on hook call order across merged
+// tracers. Timestamps ("ts", microseconds in the trace-event format)
+// are printed as exact decimal picosecond fractions. No-op on nil.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	evs := append([]Span(nil), t.events...)
+	sortSpans(evs)
+	var b strings.Builder
+	b.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`)
+	for i, e := range evs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`{"name":`)
+		b.WriteString(strconv.Quote(e.Name))
+		b.WriteString(`,"cat":"packet","ph":"X","ts":`)
+		b.WriteString(psToMicros(e.Start))
+		b.WriteString(`,"dur":`)
+		b.WriteString(psToMicros(e.End - e.Start))
+		b.WriteString(`,"pid":`)
+		b.WriteString(strconv.Itoa(e.Proc))
+		b.WriteString(`,"tid":`)
+		b.WriteString(strconv.Itoa(e.Track))
+		b.WriteString(`,"args":{"pkt":`)
+		b.WriteString(strconv.FormatUint(e.Pkt, 10))
+		b.WriteString("}}")
+	}
+	b.WriteString("]}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// sortSpans orders spans deterministically by (Start, Proc, Track,
+// Pkt, Name, End) using an insertion-friendly stable sort.
+func sortSpans(evs []Span) {
+	less := func(a, b Span) bool {
+		switch {
+		case a.Start != b.Start:
+			return a.Start < b.Start
+		case a.Proc != b.Proc:
+			return a.Proc < b.Proc
+		case a.Track != b.Track:
+			return a.Track < b.Track
+		case a.Pkt != b.Pkt:
+			return a.Pkt < b.Pkt
+		case a.Name != b.Name:
+			return a.Name < b.Name
+		default:
+			return a.End < b.End
+		}
+	}
+	// sort.SliceStable with a total order; ties cannot occur beyond
+	// identical spans, which compare equal and keep insertion order.
+	sortStable(evs, less)
+}
+
+func sortStable(evs []Span, less func(a, b Span) bool) {
+	// Plain binary insertion sort is fine at trace sizes (sampled
+	// packets only) and avoids reflection-based sort.SliceStable.
+	for i := 1; i < len(evs); i++ {
+		lo, hi := 0, i
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if less(evs[i], evs[mid]) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		if lo < i {
+			e := evs[i]
+			copy(evs[lo+1:i+1], evs[lo:i])
+			evs[lo] = e
+		}
+	}
+}
+
+// psToMicros renders integer picoseconds as decimal microseconds with
+// no floating-point rounding: 12_345_678 ps -> "12.345678".
+func psToMicros(t sim.Time) string {
+	ps := int64(t)
+	neg := ps < 0
+	if neg {
+		ps = -ps
+	}
+	whole := ps / 1_000_000
+	frac := ps % 1_000_000
+	var b strings.Builder
+	if neg {
+		b.WriteByte('-')
+	}
+	b.WriteString(strconv.FormatInt(whole, 10))
+	if frac != 0 {
+		s := strconv.FormatInt(frac, 10)
+		for len(s) < 6 {
+			s = "0" + s
+		}
+		s = strings.TrimRight(s, "0")
+		b.WriteByte('.')
+		b.WriteString(s)
+	}
+	return b.String()
+}

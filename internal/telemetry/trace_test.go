@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"pbrouter/internal/sim"
+)
+
+func TestNewTracerRejectsNonPositiveSample(t *testing.T) {
+	for _, n := range []int{0, -5} {
+		if _, err := NewTracer(n); err == nil {
+			t.Fatalf("NewTracer(%d) accepted", n)
+		}
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	if tr.Sampled(0) {
+		t.Fatal("nil tracer sampled a packet")
+	}
+	tr.Span("x", 0, 0, 1, 2, 0)
+	tr.Instant("y", 0, 0, 1, 0)
+	if tr.Events() != nil {
+		t.Fatal("nil tracer recorded events")
+	}
+	if err := tr.WriteJSON(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplingByPacketID(t *testing.T) {
+	tr, _ := NewTracer(4)
+	for id := uint64(0); id < 8; id++ {
+		tr.Span("s", 0, 0, 1, 2, id)
+	}
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("%d spans recorded, want 2 (ids 0, 4)", len(evs))
+	}
+	if evs[0].Pkt != 0 || evs[1].Pkt != 4 {
+		t.Fatalf("sampled ids %d, %d", evs[0].Pkt, evs[1].Pkt)
+	}
+}
+
+// TestTraceGoldenJSON pins the Chrome trace-event schema: complete "X"
+// events with exact decimal microsecond timestamps, sorted by
+// simulated time regardless of recording order.
+func TestTraceGoldenJSON(t *testing.T) {
+	tr, _ := NewTracer(1)
+	// Recorded out of order on purpose: rendering must sort.
+	tr.Span("hbm", 1, 3, 2_000_000, 3_500_000, 7)
+	tr.Instant("drop", 0, 2, 1_000_000, 4)
+	var b strings.Builder
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"displayTimeUnit":"ns","traceEvents":[` +
+		`{"name":"drop","cat":"packet","ph":"X","ts":1,"dur":0,"pid":0,"tid":2,"args":{"pkt":4}},` +
+		`{"name":"hbm","cat":"packet","ph":"X","ts":2,"dur":1.5,"pid":1,"tid":3,"args":{"pkt":7}}` +
+		"]}\n"
+	if b.String() != want {
+		t.Fatalf("trace schema changed:\ngot  %s\nwant %s", b.String(), want)
+	}
+}
+
+func TestTraceSortIsDeterministic(t *testing.T) {
+	mk := func(order []int) string {
+		tr, _ := NewTracer(1)
+		spans := []Span{
+			{Name: "a", Proc: 0, Track: 1, Start: 10, End: 20, Pkt: 1},
+			{Name: "b", Proc: 0, Track: 0, Start: 10, End: 20, Pkt: 2},
+			{Name: "c", Proc: 1, Track: 0, Start: 5, End: 6, Pkt: 3},
+		}
+		for _, i := range order {
+			s := spans[i]
+			tr.Span(s.Name, s.Proc, s.Track, s.Start, s.End, s.Pkt)
+		}
+		var b strings.Builder
+		tr.WriteJSON(&b)
+		return b.String()
+	}
+	if mk([]int{0, 1, 2}) != mk([]int{2, 1, 0}) {
+		t.Fatal("rendered trace depends on recording order")
+	}
+}
+
+func TestMergeTracersChecksSampleRate(t *testing.T) {
+	a, _ := NewTracer(2)
+	b, _ := NewTracer(4)
+	if _, err := MergeTracers(a, b); err == nil {
+		t.Fatal("merged tracers with different sample rates")
+	}
+	c, _ := NewTracer(2)
+	a.Span("x", 0, 0, 1, 2, 0)
+	c.Span("y", 1, 0, 3, 4, 2)
+	m, err := MergeTracers(a, nil, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Events()) != 2 {
+		t.Fatalf("%d merged events", len(m.Events()))
+	}
+}
+
+func TestPsToMicros(t *testing.T) {
+	cases := []struct {
+		ps   int64
+		want string
+	}{
+		{0, "0"},
+		{1, "0.000001"},
+		{1_000_000, "1"},
+		{12_345_678, "12.345678"},
+		{2_500_000, "2.5"},
+		{-1_500_000, "-1.5"},
+	}
+	for _, c := range cases {
+		if got := psToMicros(sim.Time(c.ps)); got != c.want {
+			t.Fatalf("psToMicros(%d) = %q, want %q", c.ps, got, c.want)
+		}
+	}
+}

@@ -41,6 +41,11 @@ type Options struct {
 	// above 1 make the replicated experiments report mean ± 95% CI.
 	// 0 and 1 both mean a single run with the legacy output format.
 	Reps int
+	// Progress, when non-nil, is called after each sweep point
+	// completes with the number done and the sweep's total. Calls are
+	// serialized but arrive in completion order; the callback must not
+	// touch the result. cmd/spsbench wires an ETA meter here.
+	Progress func(done, total int)
 }
 
 // reps normalizes Options.Reps.
