@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-save repro fuzz fmt vet clean figures
+.PHONY: all build test race cover bench bench-save repro fuzz fuzz-smoke validate fmt vet clean figures
 
 all: build vet test race
 
@@ -41,10 +41,21 @@ bench-save:
 repro:
 	$(GO) run ./cmd/spsbench -exp all
 
+FUZZTIME ?= 30s
+
 fuzz:
-	$(GO) test -fuzz=FuzzBatcherUnbatcher -fuzztime=30s ./internal/packet/
-	$(GO) test -fuzz=FuzzFrameAssembler -fuzztime=30s ./internal/packet/
-	$(GO) test -fuzz=FuzzTraceReader -fuzztime=30s ./internal/traffic/
+	$(GO) test -fuzz=FuzzBatcherUnbatcher -fuzztime=$(FUZZTIME) ./internal/packet/
+	$(GO) test -fuzz=FuzzFrameAssembler -fuzztime=$(FUZZTIME) ./internal/packet/
+	$(GO) test -fuzz=FuzzTraceReader -fuzztime=$(FUZZTIME) ./internal/traffic/
+	$(GO) test -fuzz=FuzzStaggeredInterleave -fuzztime=$(FUZZTIME) ./internal/hbm/
+
+# Short fuzzing pass over every target — cheap enough for CI.
+fuzz-smoke:
+	$(MAKE) fuzz FUZZTIME=30s
+
+# The differential validation sweep (see docs/validation.md).
+validate:
+	$(GO) run ./cmd/spsvalidate -cases 200 -seed 1
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,131 @@
+// Command spsvalidate runs the differential validation harness: it
+// generates randomized scenarios from a seed, checks each against the
+// ideal-OQ mimicry oracle and the structural invariants, and shrinks
+// failures to minimal replayable reproducers.
+//
+// Examples:
+//
+//	spsvalidate -cases 200 -seed 1                  # randomized sweep
+//	spsvalidate -cases 20 -fault fixed-group        # prove the detectors fire
+//	spsvalidate -replay testdata/shrunk.json        # rerun a reproducer
+//	spsvalidate -cases 50 -shrink -out verdicts.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pbrouter/internal/cli"
+	"pbrouter/internal/sim"
+	"pbrouter/internal/validate"
+)
+
+func main() {
+	var (
+		seed     = flag.Uint64("seed", 1, "base random seed (case i uses seed + i*7919)")
+		cases    = flag.Int("cases", 100, "number of scenarios to generate and validate")
+		duration = flag.String("duration", "", "override every scenario's horizon, e.g. 20us")
+		shrink   = flag.Bool("shrink", true, "shrink failing scenarios to minimal reproducers")
+		out      = flag.String("out", "", "write the sweep result JSON to this file (- for stdout)")
+		jobs     = flag.Int("j", 0, "worker goroutines (0 = all CPUs); results are identical for any value")
+		fault    = flag.String("fault", "", "inject a fault into every scenario: fixed-group|starve")
+		replay   = flag.String("replay", "", "replay one scenario JSON file instead of sweeping")
+		repeat   = flag.Bool("repeat", true, "run each case twice and require identical fingerprints")
+	)
+	flag.Parse()
+	cli.Check(
+		cli.ValidateCount("-cases", *cases),
+		cli.ValidateJobs(*jobs),
+	)
+	var horizonUs float64
+	if *duration != "" {
+		hz, err := cli.Duration("-duration", *duration)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		horizonUs = float64(hz) / float64(sim.Microsecond)
+	}
+
+	if *replay != "" {
+		os.Exit(replayCase(*replay, horizonUs, *shrink, *repeat))
+	}
+
+	res := validate.Sweep(validate.SweepOptions{
+		Seed:      *seed,
+		Cases:     *cases,
+		Workers:   *jobs,
+		Shrink:    *shrink,
+		Fault:     *fault,
+		HorizonUs: horizonUs,
+		Repeat:    *repeat,
+	})
+	for _, f := range res.Failing {
+		fmt.Printf("case %d: %s\n", f.Index, f.Verdict.Summary())
+		for _, v := range f.Verdict.Violations {
+			fmt.Printf("    %s\n", v)
+		}
+		if f.Shrunk != nil {
+			fmt.Printf("  shrunk to: %s  (steps: %v)\n", *f.Shrunk, f.ShrinkTrace)
+		}
+	}
+	fmt.Printf("%d cases, %d failures (seed %d)\n", res.Cases, res.Failures, res.Seed)
+	if *out != "" {
+		if err := writeResult(*out, res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if res.Failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func replayCase(path string, horizonUs float64, shrink, repeat bool) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	sc, err := validate.ReadScenario(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if horizonUs > 0 {
+		sc.HorizonUs = horizonUs
+	}
+	v := validate.RunWith(sc, validate.Options{Repeat: repeat})
+	fmt.Println(v.Summary())
+	for _, viol := range v.Violations {
+		fmt.Printf("    %s\n", viol)
+	}
+	if !v.Failed() {
+		return 0
+	}
+	if shrink {
+		shrunk, trace := validate.Shrink(sc, v.Violations, 0)
+		fmt.Printf("shrunk to: %s  (steps: %v)\n", shrunk, trace)
+		if err := shrunk.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+	return 1
+}
+
+func writeResult(path string, res *validate.SweepResult) error {
+	if path == "-" {
+		return res.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

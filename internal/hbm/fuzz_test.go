@@ -1,0 +1,97 @@
+package hbm
+
+import (
+	"testing"
+
+	"pbrouter/internal/sim"
+)
+
+// FuzzStaggeredInterleave drives the frame engine with arbitrary
+// operation streams — frame writes, frame reads, bank-group refreshes,
+// and idle gaps, over fuzzed (γ, S) choices — and audits every HBM
+// command against the four-activation window and the per-bank protocol
+// rules, independently of the enforcing channel model. It also checks
+// the data accounting: the bus never exceeds peak rate and every
+// transferred bit is attributed.
+func FuzzStaggeredInterleave(f *testing.F) {
+	// Steady same-group writes (the §3.2 streaming case), a read/write
+	// mix across groups, refresh interleaving, and an idle-gap pattern.
+	f.Add([]byte{3, 3, 0, 0, 0, 0, 1, 0, 0, 2, 0})
+	f.Add([]byte{1, 4, 0, 0, 0, 1, 0, 1, 0, 1, 1, 2, 2, 0, 5, 1, 3, 0})
+	f.Add([]byte{5, 2, 2, 0, 0, 0, 1, 0, 3, 7, 9, 0, 2, 0, 1, 15, 3})
+	f.Add([]byte{0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		gammas := []int{1, 2, 4, 8, 16, 32, 64}
+		segs := []int{64, 128, 256, 512, 1024, 2048}
+		gamma := gammas[int(data[0])%len(gammas)]
+		seg := segs[int(data[1])%len(segs)]
+		ops := data[2:]
+
+		// Two channels keep runs fast while still exercising the
+		// cross-channel striping; 64 MB gives 256 rows per bank.
+		geo := HBM4Geometry(1)
+		geo.ChannelsPerStack = 2
+		geo.StackCapacity = 64 << 20
+		mem, err := NewMemory(geo, HBM4Timing())
+		if err != nil {
+			t.Fatal(err)
+		}
+		audits := mem.EnableAudit()
+		eng, err := NewFrameEngine(mem, gamma, seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		rows := int(mem.RowsPerBank())
+		var cursor sim.Time
+		var frames int64
+		const maxOps = 64
+		for i := 0; i+2 < len(ops) && i/3 < maxOps; i += 3 {
+			kind := int(ops[i]) % 4
+			group := int(ops[i+1]) % eng.Groups()
+			row := int(ops[i+2]) % rows
+			switch kind {
+			case 0, 1:
+				op := [...]func(int, int, sim.Time) (sim.Time, sim.Time, error){
+					eng.WriteFrame, eng.ReadFrame}[kind]
+				_, end, err := op(group, row, cursor)
+				if err != nil {
+					t.Fatalf("op %d (kind %d group %d row %d): %v", i/3, kind, group, row, err)
+				}
+				if end < cursor {
+					t.Fatalf("op %d: frame ended at %v before its start bound %v", i/3, end, cursor)
+				}
+				frames++
+				cursor = end
+			case 2:
+				if err := eng.RefreshGroup(group, cursor); err != nil {
+					t.Fatalf("op %d: refresh group %d: %v", i/3, group, err)
+				}
+			default:
+				cursor += sim.Time(ops[i+1]) * 10 * sim.Nanosecond
+			}
+		}
+
+		tim := mem.Tim
+		for ch, a := range audits {
+			if err := a.CheckFAW(tim.TFAW, tim.MaxACTs); err != nil {
+				t.Fatalf("channel %d FAW (γ=%d S=%d): %v", ch, gamma, seg, err)
+			}
+			if err := a.CheckBankProtocol(tim); err != nil {
+				t.Fatalf("channel %d protocol (γ=%d S=%d): %v", ch, gamma, seg, err)
+			}
+		}
+		if want := frames * int64(eng.FrameBytes()) * 8; mem.DataBits() != want {
+			t.Fatalf("data accounting: %d bits on the bus, %d frames imply %d",
+				mem.DataBits(), frames, want)
+		}
+		if end := mem.BusFreeAt(); end > 0 {
+			if u := mem.Utilization(0, end); u > 1+1e-9 {
+				t.Fatalf("utilization %g exceeds peak rate", u)
+			}
+		}
+	})
+}

@@ -93,6 +93,21 @@ type Config struct {
 	// small enough to fill; the reference 256 GB never fills in
 	// simulation timescales. Zero uses a default of 2N.
 	DropSlackFrames int64
+	// Faults injects deliberate model defects for validation self-tests
+	// (internal/validate). Production configurations leave it zero.
+	Faults Faults
+}
+
+// Faults are deliberate defects the validation harness can inject to
+// prove its detectors fire. Each knob breaks one discipline the paper
+// relies on.
+type Faults struct {
+	// FixedGroup disables the staggered bank interleaving: every frame
+	// is written to (and read from) bank group 0 instead of group
+	// n mod (L/γ), recreating the bank-conflict pathology PFI exists to
+	// avoid. Detected structurally by the bank-residency invariant and
+	// behaviourally by throughput collapse.
+	FixedGroup bool
 }
 
 // Reference returns the paper's reference HBM switch: N=16 ports of

@@ -1,0 +1,34 @@
+package hbmswitch_test
+
+import (
+	"testing"
+
+	"pbrouter/internal/validate"
+)
+
+// TestSwitchEndToEndProperty is the repository's broadest single
+// correctness net: randomized workload shapes, loads, sizes, policies
+// and seeds, each run checked against the full shared invariant set
+// (conservation, per-pair order, bank-group residency, SRAM budgets,
+// OQ mimicry). The invariants themselves live in internal/validate;
+// this wrapper just sweeps a seed range distinct from validate's own
+// tests. Lives in an external test package because validate imports
+// hbmswitch.
+func TestSwitchEndToEndProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property run is a few seconds")
+	}
+	res := validate.Sweep(validate.SweepOptions{Seed: 1 << 20, Cases: 25, Shrink: true, Repeat: true})
+	for _, f := range res.Failing {
+		t.Errorf("case %d: %s", f.Index, f.Verdict.Summary())
+		for _, v := range f.Verdict.Violations {
+			t.Errorf("    %s", v)
+		}
+		if f.Shrunk != nil {
+			t.Errorf("  shrunk to: %s (steps %v)", *f.Shrunk, f.ShrinkTrace)
+		}
+	}
+	if res.Failures != 0 {
+		t.Fatalf("%d of %d randomized cases failed", res.Failures, res.Cases)
+	}
+}

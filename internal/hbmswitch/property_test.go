@@ -2,98 +2,15 @@ package hbmswitch
 
 import (
 	"testing"
-	"testing/quick"
 
 	"pbrouter/internal/core"
 	"pbrouter/internal/sim"
 	"pbrouter/internal/traffic"
 )
 
-// TestSwitchEndToEndProperty drives a scaled switch with randomized
-// workload shape, load, sizes, policies and seeds, and asserts the
-// full invariant set on every run: conservation (offered = delivered +
-// dropped), per-pair order, reassembly closure, SRAM accounting, and
-// that admissible traffic is never dropped. This is the repository's
-// broadest single correctness net.
-func TestSwitchEndToEndProperty(t *testing.T) {
-	if testing.Short() {
-		t.Skip("property run is a few seconds")
-	}
-	cfgCheck := func(seed uint64) bool {
-		rng := sim.NewRNG(seed)
-		cfg := Scaled(1, 640*sim.Gbps)
-		cfg.Speedup = 1.1
-
-		// Randomize the policy knobs.
-		cfg.Policy = core.Policy{
-			PadFrames: rng.Intn(2) == 1,
-			BypassHBM: rng.Intn(2) == 1,
-		}
-		if rng.Intn(2) == 1 {
-			cfg.FlushTimeout = sim.Time(100+rng.Intn(900)) * sim.Nanosecond
-		}
-		if rng.Intn(2) == 1 {
-			cfg.EnableRefresh = true
-		}
-		if rng.Intn(2) == 1 {
-			cfg.DynamicPages = 32
-		}
-
-		// Randomize the workload.
-		load := 0.1 + 0.85*rng.Float64()
-		var m *traffic.Matrix
-		switch rng.Intn(3) {
-		case 0:
-			m = traffic.Uniform(16, load)
-		case 1:
-			m = traffic.Diagonal(16, load, 1+rng.Intn(15))
-		default:
-			m = traffic.Hotspot(16, load, 0.02+0.05*rng.Float64())
-		}
-		var sizes traffic.SizeDist
-		switch rng.Intn(3) {
-		case 0:
-			sizes = traffic.IMIX()
-		case 1:
-			sizes = traffic.Fixed(64 + rng.Intn(1437))
-		default:
-			sizes = traffic.UniformSize{Min: 64, Max: 1500}
-		}
-		kind := traffic.Poisson
-		if rng.Intn(2) == 1 {
-			kind = traffic.Bursty
-		}
-
-		sw, err := New(cfg)
-		if err != nil {
-			t.Logf("seed %d: config: %v", seed, err)
-			return false
-		}
-		srcs := traffic.UniformSources(m, cfg.PortRate, kind, sizes, rng.Fork())
-		rep, err := sw.Run(traffic.NewMux(srcs), 20*sim.Microsecond)
-		if err != nil {
-			t.Logf("seed %d: run: %v", seed, err)
-			return false
-		}
-		if len(rep.Errors) > 0 {
-			t.Logf("seed %d: invariants: %v", seed, rep.Errors[0])
-			return false
-		}
-		// Admissible traffic on the reference-size memory never drops.
-		if rep.DroppedPackets != 0 {
-			t.Logf("seed %d: dropped %d admissible packets", seed, rep.DroppedPackets)
-			return false
-		}
-		if rep.DeliveredPackets != rep.OfferedPackets {
-			t.Logf("seed %d: delivered %d of %d", seed, rep.DeliveredPackets, rep.OfferedPackets)
-			return false
-		}
-		return true
-	}
-	if err := quick.Check(cfgCheck, &quick.Config{MaxCount: 25}); err != nil {
-		t.Fatal(err)
-	}
-}
+// The randomized end-to-end property test lives in endtoend_test.go
+// (package hbmswitch_test): it is a thin wrapper over the shared
+// internal/validate harness, which owns the invariant definitions.
 
 // TestSwitchFullCommandAudit runs the switch with full per-channel
 // simulation and audits every HBM command issued during the run

@@ -33,6 +33,28 @@ const (
 	evKickHBM            // wake the HBM service loop (pad-timeout maturation)
 )
 
+// Probe receives structural events from the running switch so an
+// external checker (internal/validate) can verify the model's
+// discipline independently of the switch's own bookkeeping: frame
+// placement against the n mod (L/γ) rule, FIFO read order, per-pair
+// packet order at egress, and per-packet delay against the ideal OQ
+// shadow. All methods are called synchronously from the event loop;
+// implementations must not retain the packet pointers.
+type Probe interface {
+	// FrameWritten reports a frame write: output, the frame's
+	// per-output sequence number, and the bank group and row the
+	// placement rule chose.
+	FrameWritten(output int, seq int64, group, row int)
+	// FrameRead reports a frame read with the same coordinates.
+	FrameRead(output int, seq int64, group, row int)
+	// PacketDeparted reports a delivered packet. oqDepart is the ideal
+	// OQ shadow's departure time for the same packet, or -1 when the
+	// shadow is disabled.
+	PacketDeparted(p *packet.Packet, oqDepart sim.Time)
+	// PacketDropped reports an ingress tail-drop.
+	PacketDropped(p *packet.Packet)
+}
+
 // Switch is one HBM switch instance. Create with New, drive with Run.
 type Switch struct {
 	cfg   Config
@@ -93,6 +115,9 @@ type Switch struct {
 	// Shadow ideal OQ switch.
 	shadow   *baseline.OQSwitch
 	oqDepart map[uint64]sim.Time
+
+	// Optional structural probe (SetProbe); nil-guarded everywhere.
+	probe Probe
 
 	// Per-stage latency breakdown histograms (picoseconds).
 	stageBatch *stats.Histogram // packet arrival -> batch complete
@@ -230,6 +255,20 @@ func New(cfg Config) (*Switch, error) {
 	return s, nil
 }
 
+// SetProbe attaches a structural probe. Call before Run; a nil probe
+// restores the unobserved fast path.
+func (s *Switch) SetProbe(p Probe) { s.probe = p }
+
+// faultGroup applies the configured placement fault, if any, to a bank
+// group chosen by the n mod (L/γ) rule. Used by the validation harness
+// to prove its detectors catch a broken placement discipline.
+func (s *Switch) faultGroup(group int) int {
+	if s.cfg.Faults.FixedGroup {
+		return 0
+	}
+	return group
+}
+
 // HandleEvent dispatches the switch's intrusive events (sim.Handler).
 func (s *Switch) HandleEvent(code, a int, p any) {
 	switch code {
@@ -285,6 +324,9 @@ func (s *Switch) inject(p *packet.Packet) {
 		ds[p.Seq] = true
 		if s.tracer != nil {
 			s.tracer.Instant("drop", s.traceProc, p.Input, now, p.ID)
+		}
+		if s.probe != nil {
+			s.probe.PacketDropped(p)
 		}
 		return
 	}
@@ -423,51 +465,51 @@ func (s *Switch) regionLen(out int) int64 {
 	return s.regions[out].Len()
 }
 
-// regionPush claims the next write slot and returns the bank group and
-// row for the frame.
-func (s *Switch) regionPush(out int) (group, row int, ok bool) {
+// regionPush claims the next write slot and returns the frame's
+// per-output sequence number plus the bank group and row for it.
+func (s *Switch) regionPush(out int) (seq int64, group, row int, ok bool) {
 	if s.pageAlloc != nil {
 		n, ok := s.dynRegions[out].Push()
 		if !ok {
-			return 0, 0, false
+			return 0, 0, 0, false
 		}
 		g, r, err := s.dynLocate(out, n)
 		if err != nil {
 			s.fail("dynamic locate (push): %v", err)
-			return 0, 0, false
+			return 0, 0, 0, false
 		}
-		return g, r, true
+		return n, s.faultGroup(g), r, true
 	}
 	n, ok := s.regions[out].Push()
 	if !ok {
-		return 0, 0, false
+		return 0, 0, 0, false
 	}
 	addr := s.amap.Locate(out, n)
-	return addr.Group, addr.Row, true
+	return n, s.faultGroup(addr.Group), addr.Row, true
 }
 
-// regionPop claims the next read slot and returns its bank group and
-// row.
-func (s *Switch) regionPop(out int) (group, row int, ok bool) {
+// regionPop claims the next read slot and returns its sequence number,
+// bank group, and row.
+func (s *Switch) regionPop(out int) (seq int64, group, row int, ok bool) {
 	if s.pageAlloc != nil {
 		n, ok := s.dynRegions[out].Peek()
 		if !ok {
-			return 0, 0, false
+			return 0, 0, 0, false
 		}
 		g, r, err := s.dynLocate(out, n)
 		if err != nil {
 			s.fail("dynamic locate (pop): %v", err)
-			return 0, 0, false
+			return 0, 0, 0, false
 		}
 		s.dynRegions[out].Pop()
-		return g, r, true
+		return n, s.faultGroup(g), r, true
 	}
 	n, ok := s.regions[out].Pop()
 	if !ok {
-		return 0, 0, false
+		return 0, 0, 0, false
 	}
 	addr := s.amap.Locate(out, n)
-	return addr.Group, addr.Row, true
+	return n, s.faultGroup(addr.Group), addr.Row, true
 }
 
 // dynLocate maps a live frame sequence to (group, row) in dynamic
@@ -600,7 +642,7 @@ func (s *Switch) popWriteFIFO() *frameToken {
 func (s *Switch) writeFrame(f *packet.Frame) bool {
 	now := s.sched.Now()
 	out := f.Output
-	group, row, ok := s.regionPush(out)
+	seq, group, row, ok := s.regionPush(out)
 	if !ok {
 		if s.pageAlloc == nil {
 			// Static regions cannot free up from another output's
@@ -617,6 +659,9 @@ func (s *Switch) writeFrame(f *packet.Frame) bool {
 	}
 	s.hbmCursor = end
 	s.framesWritten++
+	if s.probe != nil {
+		s.probe.FrameWritten(out, seq, group, row)
+	}
 	if l := s.regionLen(out); l > s.maxRegionFill {
 		s.maxRegionFill = l
 	}
@@ -682,7 +727,7 @@ func (s *Switch) tryRead() (bool, sim.Time) {
 // head SRAM.
 func (s *Switch) readFrame(out int) {
 	now := s.sched.Now()
-	group, row, ok := s.regionPop(out)
+	seq, group, row, ok := s.regionPop(out)
 	if !ok {
 		s.fail("read from empty region %d", out)
 		return
@@ -694,6 +739,9 @@ func (s *Switch) readFrame(out int) {
 	}
 	s.hbmCursor = end
 	s.framesRead++
+	if s.probe != nil {
+		s.probe.FrameRead(out, seq, group, row)
+	}
 	if len(s.regionFrames[out]) == 0 {
 		s.fail("region frame queue empty for output %d", out)
 		return
@@ -838,9 +886,11 @@ func (s *Switch) departPacket(p *packet.Packet, batchStart sim.Time, cumBytes in
 	}
 	s.perOutDelivered[out].Add(p.Size)
 	s.latency.AddTime(p.Latency())
+	oq := sim.Time(-1)
 	if s.shadow != nil {
-		if oq, ok := s.oqDepart[p.ID]; ok {
-			delta := depart - oq
+		if t, ok := s.oqDepart[p.ID]; ok {
+			oq = t
+			delta := depart - t
 			if delta < 0 {
 				delta = 0 // the HBM switch beat the shadow (possible at idle)
 			}
@@ -849,6 +899,9 @@ func (s *Switch) departPacket(p *packet.Packet, batchStart sim.Time, cumBytes in
 		} else {
 			s.fail("packet %d departed twice or never shadowed", p.ID)
 		}
+	}
+	if s.probe != nil {
+		s.probe.PacketDeparted(p, oq)
 	}
 	pair := uint64(p.Input)<<32 | uint64(uint32(p.Output))
 	expected := s.nextSeq[pair]

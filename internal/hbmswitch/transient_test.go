@@ -1,10 +1,12 @@
-package hbmswitch
+package hbmswitch_test
 
 import (
 	"testing"
 
+	"pbrouter/internal/hbmswitch"
 	"pbrouter/internal/sim"
 	"pbrouter/internal/traffic"
+	"pbrouter/internal/validate"
 )
 
 // TestTransientOverloadAbsorbedThenDrained is the §4/§5 "memory glut"
@@ -13,7 +15,8 @@ import (
 // 64 MB-per-switch memory (a linecard-class buffer) the burst drops
 // packets; with the same switch given a 1 GB memory the burst is
 // absorbed, the backlog drains in the quiet phase, and nothing is
-// lost.
+// lost. Report-level invariants come from the shared validate
+// checkers; full delivery is asserted only for the deep buffer.
 func TestTransientOverloadAbsorbedThenDrained(t *testing.T) {
 	burst := traffic.NewMatrix(16)
 	for i := 0; i < 16; i++ {
@@ -24,12 +27,12 @@ func TestTransientOverloadAbsorbedThenDrained(t *testing.T) {
 	}
 	quiet := traffic.Uniform(16, 0.3)
 
-	run := func(capacity int64) *Report {
-		cfg := Scaled(1, 640*sim.Gbps)
+	run := func(capacity int64, exp validate.Expect) *hbmswitch.Report {
+		cfg := hbmswitch.Scaled(1, 640*sim.Gbps)
 		cfg.Geometry.StackCapacity = capacity
 		cfg.DropSlackFrames = 4
 		cfg.FlushTimeout = sim.Microsecond
-		sw, err := New(cfg)
+		sw, err := hbmswitch.New(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -45,28 +48,23 @@ func TestTransientOverloadAbsorbedThenDrained(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(rep.Errors) > 0 {
-			t.Fatalf("invariants: %v", rep.Errors)
+		for _, v := range validate.CheckReport(cfg, rep, exp) {
+			t.Errorf("capacity %d: %s", capacity, v)
 		}
 		return rep
 	}
 
 	// Small buffer: 64 MB -> output 0 owns 4 MB; the ~0.6x excess for
-	// 250 us (~15 MB) overflows it.
-	small := run(64 << 20)
+	// 250 us (~15 MB) overflows it. The overload also queues beyond the
+	// steady SRAM budgets, so only the always-on invariants apply.
+	small := run(64<<20, validate.Expect{})
 	if small.DroppedPackets == 0 {
 		t.Fatal("linecard-class buffer survived a burst that should overflow it")
 	}
 	// Big buffer: 1 GB -> output 0 owns 64 MB; the burst fits, drains
 	// during the quiet phase, zero loss.
-	big := run(1 << 30)
-	if big.DroppedPackets != 0 {
-		t.Fatalf("deep buffer dropped %d packets", big.DroppedPackets)
-	}
+	big := run(1<<30, validate.Expect{FullDelivery: true})
 	if big.MaxRegionFill*int64(512*1024) < 8<<20 {
 		t.Fatalf("burst did not accumulate in the HBM (peak %d frames)", big.MaxRegionFill)
-	}
-	if big.OfferedPackets != big.DeliveredPackets {
-		t.Fatal("deep-buffer run did not deliver everything")
 	}
 }

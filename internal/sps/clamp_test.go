@@ -1,0 +1,151 @@
+package sps
+
+import (
+	"math"
+	"testing"
+
+	"pbrouter/internal/traffic"
+)
+
+// TestClampRows pins the edge behaviour of the row clamp: rows over
+// line rate scale down to exactly 1, everything else — zero rows,
+// admissible rows, and over-admissible *columns* (the clamp is
+// row-only; output overload is the switch's problem, not the fiber
+// bundle's) — passes through untouched.
+func TestClampRows(t *testing.T) {
+	const eps = 1e-12
+	tests := []struct {
+		name  string
+		build func() *traffic.Matrix
+		want  func() *traffic.Matrix
+	}{
+		{
+			name: "zero-rate rows untouched",
+			build: func() *traffic.Matrix {
+				m := traffic.NewMatrix(3)
+				m.Rates[1][0], m.Rates[1][2] = 0.4, 0.5
+				return m
+			},
+			want: func() *traffic.Matrix {
+				m := traffic.NewMatrix(3)
+				m.Rates[1][0], m.Rates[1][2] = 0.4, 0.5
+				return m
+			},
+		},
+		{
+			name: "overloaded row scaled to line rate",
+			build: func() *traffic.Matrix {
+				m := traffic.NewMatrix(2)
+				m.Rates[0][0], m.Rates[0][1] = 1.2, 0.8 // row 2.0
+				m.Rates[1][0] = 0.9
+				return m
+			},
+			want: func() *traffic.Matrix {
+				m := traffic.NewMatrix(2)
+				m.Rates[0][0], m.Rates[0][1] = 0.6, 0.4
+				m.Rates[1][0] = 0.9
+				return m
+			},
+		},
+		{
+			name: "over-admissible column survives when rows fit",
+			build: func() *traffic.Matrix {
+				// Every input sends 0.9 to output 0: rows are fine,
+				// column 0 carries 3.6x line rate.
+				m := traffic.NewMatrix(4)
+				for i := 0; i < 4; i++ {
+					m.Rates[i][0] = 0.9
+				}
+				return m
+			},
+			want: func() *traffic.Matrix {
+				m := traffic.NewMatrix(4)
+				for i := 0; i < 4; i++ {
+					m.Rates[i][0] = 0.9
+				}
+				return m
+			},
+		},
+		{
+			name: "single flow over line rate",
+			build: func() *traffic.Matrix {
+				m := traffic.NewMatrix(4)
+				m.Rates[2][3] = 2.5
+				return m
+			},
+			want: func() *traffic.Matrix {
+				m := traffic.NewMatrix(4)
+				m.Rates[2][3] = 1
+				return m
+			},
+		},
+		{
+			name: "single flow at exactly line rate untouched",
+			build: func() *traffic.Matrix {
+				m := traffic.NewMatrix(4)
+				m.Rates[1][1] = 1
+				return m
+			},
+			want: func() *traffic.Matrix {
+				m := traffic.NewMatrix(4)
+				m.Rates[1][1] = 1
+				return m
+			},
+		},
+		{
+			name: "N=1 overloaded",
+			build: func() *traffic.Matrix {
+				m := traffic.NewMatrix(1)
+				m.Rates[0][0] = 3
+				return m
+			},
+			want: func() *traffic.Matrix {
+				m := traffic.NewMatrix(1)
+				m.Rates[0][0] = 1
+				return m
+			},
+		},
+		{
+			name: "N=1 zero",
+			build: func() *traffic.Matrix {
+				return traffic.NewMatrix(1)
+			},
+			want: func() *traffic.Matrix {
+				return traffic.NewMatrix(1)
+			},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			m, want := tc.build(), tc.want()
+			clampRows(m)
+			for i := 0; i < m.N; i++ {
+				if got := m.RowLoad(i); got > 1+eps {
+					t.Errorf("row %d still over line rate: %g", i, got)
+				}
+				for j := 0; j < m.N; j++ {
+					if math.Abs(m.Rates[i][j]-want.Rates[i][j]) > eps {
+						t.Errorf("rate[%d][%d] = %g, want %g", i, j, m.Rates[i][j], want.Rates[i][j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestClampRowsPreservesRatios: clamping scales a whole row by one
+// factor, so the relative split across outputs must not change.
+func TestClampRowsPreservesRatios(t *testing.T) {
+	m := traffic.NewMatrix(3)
+	m.Rates[0][0], m.Rates[0][1], m.Rates[0][2] = 1.0, 2.0, 3.0 // row 6.0
+	clampRows(m)
+	if got := m.RowLoad(0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("clamped row load = %g, want 1", got)
+	}
+	if r := m.Rates[0][1] / m.Rates[0][0]; math.Abs(r-2) > 1e-12 {
+		t.Errorf("ratio out1/out0 = %g, want 2", r)
+	}
+	if r := m.Rates[0][2] / m.Rates[0][0]; math.Abs(r-3) > 1e-12 {
+		t.Errorf("ratio out2/out0 = %g, want 3", r)
+	}
+}

@@ -80,6 +80,33 @@ func Hotspot(n int, load, hotFrac float64) *Matrix {
 	return m
 }
 
+// Concentrated returns the adversarial-concentration matrix: every
+// input spreads its whole load evenly over only the first k outputs, so
+// k columns absorb the entire switch's traffic while the other N-k
+// ports idle. This is the worst case for per-output buffering and for
+// the cyclical read schedule (most visits find nothing to read). The
+// load is capped so the hot column sums stay admissible (≤ 0.97·k/N of
+// each input's line rate).
+func Concentrated(n int, load float64, k int) *Matrix {
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	// Each hot column receives n*load/k; keep that ≤ 0.97.
+	if max := 0.97 * float64(k) / float64(n); load > max {
+		load = max
+	}
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			m.Rates[i][j] = load / float64(k)
+		}
+	}
+	return m
+}
+
 // Admissible reports whether no row or column sum exceeds 1+eps.
 func (m *Matrix) Admissible(eps float64) bool {
 	for i := 0; i < m.N; i++ {

@@ -1,0 +1,142 @@
+package validate
+
+import (
+	"fmt"
+
+	"pbrouter/internal/hbmswitch"
+	"pbrouter/internal/sim"
+)
+
+// Violation is one failed invariant. Invariant is a stable kebab-case
+// name (the shrinker matches on it); Detail is human-readable.
+type Violation struct {
+	Invariant string `json:"invariant"`
+	Detail    string `json:"detail"`
+}
+
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// Invariant names used across the harness and the unit-test wrappers.
+const (
+	InvModelErrors   = "model-errors"      // the switch's own fail() records
+	InvConservation  = "conservation"      // offered = delivered + dropped, probe agrees
+	InvFullDelivery  = "full-delivery"     // admissible load, ample memory: zero loss
+	InvSRAMBudget    = "sram-budget"       // tail/head high-water within structural budget
+	InvBankResidency = "bank-residency"    // frame n in group n mod (L/γ), FIFO reads
+	InvFIFOOrder     = "fifo-order"        // per-(input,output) packet order at egress
+	InvMimicryGap    = "oq-throughput-gap" // steady throughput within gapTolerance of the OQ shadow
+	InvMimicryBound  = "oq-delay-bound"    // relative delay bounded
+	InvMimicryGrowth = "oq-delay-growth"   // relative delay non-growing over the run
+	InvDeterminism   = "determinism"       // identical rerun fingerprints
+	InvConfig        = "config"            // the scenario does not build
+)
+
+// Tolerances of the behavioural oracles. Structural invariants are
+// exact; these two compare the switch against the ideal OQ shadow,
+// which is noisy at simulation timescales.
+const (
+	// gapTolerance bounds ShadowThroughput - Throughput over the
+	// steady window. E5 measures the healthy switch within ±0.7% of
+	// the shadow on ≥40 µs windows; a broken memory path (speedup
+	// below the §4 transition allowance) loses ≥3%.
+	gapTolerance = 0.025
+	// minGapWindow is the smallest steady window the gap oracle
+	// trusts; shorter windows drown the signal in edge effects.
+	minGapWindow = 40 * sim.Microsecond
+)
+
+// Expect selects which report-level invariants apply to a run. The
+// structural ones (model errors, conservation) always apply.
+type Expect struct {
+	// FullDelivery asserts zero drops and delivered == offered bytes:
+	// the §3.2 100%-throughput claim under admissible load with ample
+	// memory.
+	FullDelivery bool
+	// SRAMBudget applies the structural high-water budgets to the tail
+	// and head SRAM stages.
+	SRAMBudget bool
+	// MimicryGap compares steady-state throughput against the OQ
+	// shadow (needs ShadowRun, a long window, and zero drops).
+	MimicryGap bool
+	// MimicryBound applies the absolute relative-delay bound. Only
+	// meaningful when padding, bypass, and batch flushing are all on —
+	// otherwise partial frames legitimately wait for more traffic.
+	MimicryBound bool
+}
+
+// CheckReport evaluates the report-level invariants shared by the
+// harness and the hbmswitch unit tests. Probe-level invariants
+// (bank residency, FIFO order, delay growth) need a run with an
+// attached probe — see Run.
+func CheckReport(cfg hbmswitch.Config, rep *hbmswitch.Report, exp Expect) []Violation {
+	var vs []Violation
+	for _, err := range rep.Errors {
+		vs = append(vs, Violation{InvModelErrors, err.Error()})
+	}
+	if rep.OfferedPackets != rep.DeliveredPackets+rep.DroppedPackets {
+		vs = append(vs, Violation{InvConservation, fmt.Sprintf(
+			"offered %d packets != delivered %d + dropped %d",
+			rep.OfferedPackets, rep.DeliveredPackets, rep.DroppedPackets)})
+	}
+	if rep.OfferedBytes != rep.DeliveredBytes+rep.DroppedBytes {
+		vs = append(vs, Violation{InvConservation, fmt.Sprintf(
+			"offered %d bytes != delivered %d + dropped %d",
+			rep.OfferedBytes, rep.DeliveredBytes, rep.DroppedBytes)})
+	}
+	if exp.FullDelivery {
+		if rep.DroppedPackets != 0 {
+			vs = append(vs, Violation{InvFullDelivery, fmt.Sprintf(
+				"%d packets dropped under admissible load with ample memory", rep.DroppedPackets)})
+		} else if rep.DeliveredBytes != rep.OfferedBytes {
+			vs = append(vs, Violation{InvFullDelivery, fmt.Sprintf(
+				"delivered %d of %d offered bytes", rep.DeliveredBytes, rep.OfferedBytes)})
+		}
+	}
+	if exp.SRAMBudget {
+		budget := sramBudget(cfg)
+		if rep.TailHighWater > budget {
+			vs = append(vs, Violation{InvSRAMBudget, fmt.Sprintf(
+				"tail SRAM high water %d B exceeds budget %d B", rep.TailHighWater, budget)})
+		}
+		if rep.HeadHighWater > budget {
+			vs = append(vs, Violation{InvSRAMBudget, fmt.Sprintf(
+				"head SRAM high water %d B exceeds budget %d B", rep.HeadHighWater, budget)})
+		}
+	}
+	if exp.MimicryGap && rep.ShadowRun {
+		if gap := rep.ShadowThroughput - rep.Throughput; gap > gapTolerance {
+			vs = append(vs, Violation{InvMimicryGap, fmt.Sprintf(
+				"steady throughput %.4f trails the ideal OQ shadow %.4f by %.4f (> %.3f)",
+				rep.Throughput, rep.ShadowThroughput, gap, gapTolerance)})
+		}
+	}
+	if exp.MimicryBound && rep.ShadowRun {
+		bound := relDelayBound(cfg)
+		if rep.RelDelayMax > bound {
+			vs = append(vs, Violation{InvMimicryBound, fmt.Sprintf(
+				"relative delay max %v exceeds bound %v", rep.RelDelayMax, bound)})
+		}
+	}
+	return vs
+}
+
+// sramBudget is the structural bound on the tail and head SRAM
+// occupancy: the tail holds at most ~N forming frames plus a small
+// write queue (writes have ≥5% bandwidth headroom on healthy
+// configurations), the head at most ~3 frames per output (the
+// two-frame backpressure window plus one in flight). (4N+8)·K covers
+// both with cyclical-visit jitter margin.
+func sramBudget(cfg hbmswitch.Config) int64 {
+	k := int64(cfg.PFI.FrameBytes())
+	return (4*int64(cfg.PFI.N) + 8) * k
+}
+
+// relDelayBound is the absolute mimicry bound the harness enforces
+// when padding, bypass, and flushing are all enabled: a few cyclical
+// visit periods (N·frameDrain) plus the configured flush and pad
+// timeouts plus slack. E6 measures healthy maxima of 2–3 visit
+// periods; the bound allows 3 plus margin.
+func relDelayBound(cfg hbmswitch.Config) sim.Time {
+	fd := sim.TransferTime(int64(cfg.PFI.FrameBytes())*8, cfg.PortRate)
+	return 3*sim.Time(cfg.PFI.N)*fd + cfg.FlushTimeout + cfg.PadTimeout + 5*fd + 2*sim.Microsecond
+}

@@ -1,0 +1,181 @@
+package validate
+
+import (
+	"fmt"
+
+	"pbrouter/internal/hbmswitch"
+	"pbrouter/internal/packet"
+	"pbrouter/internal/sim"
+)
+
+// maxProbeViolations caps recorded probe violations per run; a broken
+// discipline fires on nearly every event.
+const maxProbeViolations = 16
+
+// runProbe implements hbmswitch.Probe. It re-derives the structural
+// disciplines from first principles — per-output frame sequence
+// counters, the n mod (L/γ) placement rule, per-pair packet order —
+// independently of the switch's own bookkeeping, and accumulates the
+// steady-window relative-delay samples the growth oracle needs.
+type runProbe struct {
+	groups          int64
+	warmup, horizon sim.Time
+	mid             sim.Time
+
+	writeSeq []int64 // next expected written frame seq per output
+	readSeq  []int64 // next expected read frame seq per output
+
+	nextSeq map[uint64]int64
+	dropped map[uint64]map[int64]bool
+
+	departedPkts   int64
+	departedBytes  int64
+	droppedPkts    int64
+	shadowedDeps   int64
+	relSum         [2]float64 // seconds, steady-window halves
+	relCnt         [2]int64
+	relMaxPs       int64
+	frameEventHash uint64
+
+	violations []Violation
+}
+
+func newRunProbe(cfg hbmswitch.Config, horizon sim.Time) *runProbe {
+	warmup := horizon / 3
+	return &runProbe{
+		groups:   int64(cfg.PFI.Groups()),
+		warmup:   warmup,
+		horizon:  horizon,
+		mid:      warmup + (horizon-warmup)/2,
+		writeSeq: make([]int64, cfg.PFI.N),
+		readSeq:  make([]int64, cfg.PFI.N),
+		nextSeq:  make(map[uint64]int64),
+		dropped:  make(map[uint64]map[int64]bool),
+	}
+}
+
+func (p *runProbe) violate(inv, format string, args ...any) {
+	if len(p.violations) < maxProbeViolations {
+		p.violations = append(p.violations, Violation{inv, fmt.Sprintf(format, args...)})
+	}
+}
+
+// hashEvent folds structural events into an order-sensitive FNV-style
+// accumulator, making the run fingerprint sensitive to frame-level
+// scheduling, not just end-of-run totals.
+func (p *runProbe) hashEvent(kind, output int, seq int64, group, row int) {
+	h := p.frameEventHash
+	for _, v := range [5]uint64{uint64(kind), uint64(output), uint64(seq), uint64(group), uint64(row)} {
+		h ^= v
+		h *= 1099511628211
+	}
+	p.frameEventHash = h
+}
+
+// FrameWritten implements hbmswitch.Probe.
+func (p *runProbe) FrameWritten(output int, seq int64, group, row int) {
+	p.hashEvent(0, output, seq, group, row)
+	if seq != p.writeSeq[output] {
+		p.violate(InvBankResidency, "output %d wrote frame seq %d, expected %d (non-contiguous tail counter)",
+			output, seq, p.writeSeq[output])
+	}
+	p.writeSeq[output] = seq + 1
+	if want := int(seq % p.groups); group != want {
+		p.violate(InvBankResidency, "output %d frame %d written to bank group %d, placement rule requires %d",
+			output, seq, group, want)
+	}
+	if row < 0 {
+		p.violate(InvBankResidency, "output %d frame %d written to negative row %d", output, seq, row)
+	}
+}
+
+// FrameRead implements hbmswitch.Probe.
+func (p *runProbe) FrameRead(output int, seq int64, group, row int) {
+	p.hashEvent(1, output, seq, group, row)
+	if seq != p.readSeq[output] {
+		p.violate(InvBankResidency, "output %d read frame seq %d, expected %d (FIFO order broken)",
+			output, seq, p.readSeq[output])
+	}
+	p.readSeq[output] = seq + 1
+	if seq >= p.writeSeq[output] {
+		p.violate(InvBankResidency, "output %d read frame %d before it was written", output, seq)
+	}
+	if want := int(seq % p.groups); group != want {
+		p.violate(InvBankResidency, "output %d frame %d read from bank group %d, placement rule requires %d",
+			output, seq, group, want)
+	}
+}
+
+// PacketDeparted implements hbmswitch.Probe.
+func (p *runProbe) PacketDeparted(pkt *packet.Packet, oqDepart sim.Time) {
+	p.departedPkts++
+	p.departedBytes += int64(pkt.Size)
+	pair := uint64(pkt.Input)<<32 | uint64(uint32(pkt.Output))
+	expected := p.nextSeq[pair]
+	for p.dropped[pair][expected] {
+		delete(p.dropped[pair], expected)
+		expected++
+	}
+	if pkt.Seq != expected {
+		p.violate(InvFIFOOrder, "pair %d->%d departed seq %d, expected %d",
+			pkt.Input, pkt.Output, pkt.Seq, expected)
+		if pkt.Seq < expected {
+			return // keep the counter at the later position
+		}
+	}
+	p.nextSeq[pair] = pkt.Seq + 1
+	if oqDepart >= 0 {
+		p.shadowedDeps++
+		d := pkt.Depart - oqDepart
+		if d < 0 {
+			d = 0
+		}
+		if int64(d) > p.relMaxPs {
+			p.relMaxPs = int64(d)
+		}
+		if pkt.Depart > p.warmup && pkt.Depart <= p.horizon {
+			half := 0
+			if pkt.Depart > p.mid {
+				half = 1
+			}
+			p.relSum[half] += d.Seconds()
+			p.relCnt[half]++
+		}
+	}
+}
+
+// PacketDropped implements hbmswitch.Probe.
+func (p *runProbe) PacketDropped(pkt *packet.Packet) {
+	p.droppedPkts++
+	pair := uint64(pkt.Input)<<32 | uint64(uint32(pkt.Output))
+	ds := p.dropped[pair]
+	if ds == nil {
+		ds = make(map[int64]bool)
+		p.dropped[pair] = ds
+	}
+	ds[pkt.Seq] = true
+}
+
+// minGrowthSamples is the minimum per-half sample count before the
+// delay-growth oracle trusts the means.
+const minGrowthSamples = 500
+
+// growthViolation compares the mean relative delay of the two halves
+// of the steady window: on a healthy switch the relative delay is
+// stationary (the mimicry claim), so the second half must not exceed
+// the first by more than cyclical-visit jitter. A memory path that
+// cannot keep up shows a linearly growing backlog instead.
+func (p *runProbe) growthViolation(frameDrain sim.Time) *Violation {
+	if p.relCnt[0] < minGrowthSamples || p.relCnt[1] < minGrowthSamples {
+		return nil
+	}
+	m0 := p.relSum[0] / float64(p.relCnt[0])
+	m1 := p.relSum[1] / float64(p.relCnt[1])
+	thresh := (3*frameDrain + sim.Time(1500)*sim.Nanosecond).Seconds()
+	if m1-m0 > thresh {
+		return &Violation{InvMimicryGrowth, fmt.Sprintf(
+			"mean relative delay grew from %.3gs to %.3gs across the steady window (threshold %.3gs)",
+			m0, m1, thresh)}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package validate
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultShrinkBudget bounds the number of candidate runs one shrink
+// may spend.
+const DefaultShrinkBudget = 48
+
+// Shrink greedily reduces a failing scenario to a smaller reproducer.
+// A reduction is kept only when the candidate still violates at least
+// one of the original verdict's invariants — shrinking must not trade
+// the failure for an unrelated one. Candidates are tried in a fixed
+// order (shorter horizon first, then smaller N, smaller frames,
+// simpler traffic, fewer features), restarting from the top after
+// every accepted reduction, so the result is deterministic. It
+// returns the shrunk scenario and the accepted-reduction trace.
+func Shrink(sc Scenario, orig []Violation, budget int) (Scenario, []string) {
+	if budget <= 0 {
+		budget = DefaultShrinkBudget
+	}
+	kinds := make(map[string]bool, len(orig))
+	for _, v := range orig {
+		kinds[v.Invariant] = true
+	}
+	opts := Options{Repeat: kinds[InvDeterminism]}
+
+	cur := sc
+	var trace []string
+	runs := 0
+	try := func(cand Scenario, label string) bool {
+		if runs >= budget {
+			return false
+		}
+		runs++
+		for _, v := range RunWith(cand, opts).Violations {
+			if kinds[v.Invariant] {
+				cur = cand
+				trace = append(trace, label)
+				return true
+			}
+		}
+		return false
+	}
+
+	for improved := true; improved && runs < budget; {
+		improved = false
+		for _, step := range shrinkSteps(cur) {
+			if try(step.cand, step.label) {
+				improved = true
+				break // restart from the cheapest reduction
+			}
+		}
+	}
+	return cur, trace
+}
+
+type shrinkStep struct {
+	cand  Scenario
+	label string
+}
+
+// shrinkSteps enumerates the candidate reductions of a scenario, most
+// valuable first. Each candidate keeps the scenario buildable on its
+// own; whether it still reproduces the failure is the caller's test.
+func shrinkSteps(sc Scenario) []shrinkStep {
+	var steps []shrinkStep
+	add := func(cand Scenario, format string, args ...any) {
+		steps = append(steps, shrinkStep{cand, fmt.Sprintf(format, args...)})
+	}
+	if sc.HorizonUs > 5 {
+		cand := sc
+		cand.HorizonUs = math.Max(5, math.Round(sc.HorizonUs/2*10)/10)
+		add(cand, "horizon %gus", cand.HorizonUs)
+	}
+	if sc.N > 1 {
+		cand := sc
+		cand.N = sc.N / 2
+		cand.Shift = sc.Shift % cand.N
+		if cand.HotOutputs > cand.N {
+			cand.HotOutputs = cand.N
+		}
+		add(cand, "N=%d", cand.N)
+	}
+	if sc.Stacks > 1 {
+		cand := sc
+		cand.Stacks = 1
+		cand.PortGbps = math.Floor(sc.PortGbps / 2)
+		add(cand, "stacks=1")
+	}
+	if sc.Gamma > 4 {
+		cand := sc
+		cand.Gamma = 4
+		cand.DynamicPages = 0 // page alignment depends on γ
+		add(cand, "gamma=4")
+	}
+	if sc.SegBytes > 1024 {
+		cand := sc
+		cand.SegBytes = 1024
+		cand.DynamicPages = 0
+		add(cand, "seg=1024")
+	}
+	if !(sc.Sizes == "fixed" && sc.FixedBytes == 1500) {
+		cand := sc
+		cand.Sizes, cand.FixedBytes = "fixed", 1500
+		add(cand, "sizes=fixed1500")
+	}
+	if sc.Matrix != "uniform" {
+		cand := sc
+		cand.Matrix = "uniform"
+		cand.Shift, cand.HotFrac, cand.HotOutputs = 0, 0, 0
+		add(cand, "matrix=uniform")
+	}
+	if sc.Arrival != "poisson" {
+		cand := sc
+		cand.Arrival = "poisson"
+		add(cand, "arrival=poisson")
+	}
+	if sc.Refresh {
+		cand := sc
+		cand.Refresh = false
+		add(cand, "refresh=off")
+	}
+	if sc.DynamicPages > 0 {
+		cand := sc
+		cand.DynamicPages = 0
+		add(cand, "dynamic=off")
+	}
+	if sc.SmallMemory {
+		cand := sc
+		cand.SmallMemory = false
+		add(cand, "smallmem=off")
+	}
+	if sc.FlushNs > 0 {
+		cand := sc
+		cand.FlushNs = 0
+		add(cand, "flush=off")
+	}
+	if sc.PadNs > 0 {
+		cand := sc
+		cand.PadNs = 0
+		add(cand, "padtimeout=0")
+	}
+	if sc.Load > 0.5 && sc.Fault != FaultStarve {
+		cand := sc
+		cand.Load = 0.5
+		add(cand, "load=0.5")
+	}
+	return steps
+}

@@ -1,0 +1,102 @@
+package validate
+
+import (
+	"encoding/json"
+	"io"
+
+	"pbrouter/internal/parallel"
+)
+
+// SweepOptions configure a randomized validation sweep.
+type SweepOptions struct {
+	// Seed is the base seed; case i uses parallel.Seed(Seed, i).
+	Seed uint64
+	// Cases is the number of scenarios to generate and run.
+	Cases int
+	// Workers fans cases across goroutines (parallel.Workers rules);
+	// results are identical for any worker count.
+	Workers int
+	// Shrink reduces every failing scenario to a minimal reproducer.
+	Shrink bool
+	// ShrinkBudget caps candidate runs per shrink (0 = default).
+	ShrinkBudget int
+	// Fault, when non-empty, mutates every generated scenario with the
+	// given fault — the harness's self-test mode.
+	Fault string
+	// HorizonUs, when positive, overrides every scenario's horizon.
+	HorizonUs float64
+	// Repeat enables the per-case double-run determinism check.
+	Repeat bool
+}
+
+// CaseResult is the outcome of one sweep case that failed.
+type CaseResult struct {
+	Index       int       `json:"index"`
+	Verdict     Verdict   `json:"verdict"`
+	Shrunk      *Scenario `json:"shrunk,omitempty"`
+	ShrinkTrace []string  `json:"shrink_trace,omitempty"`
+}
+
+// SweepResult summarizes a sweep. Fingerprints lists every case's run
+// fingerprint in index order, so two sweeps compare byte-for-byte.
+type SweepResult struct {
+	Seed         uint64       `json:"seed"`
+	Cases        int          `json:"cases"`
+	Failures     int          `json:"failures"`
+	Fingerprints []string     `json:"fingerprints"`
+	Failing      []CaseResult `json:"failing,omitempty"`
+}
+
+// Sweep generates and validates opts.Cases scenarios. The result is
+// deterministic in (Seed, Cases, Fault, HorizonUs, Shrink settings)
+// and independent of Workers: cases are self-contained and collected
+// in index order, and each failing case shrinks against only its own
+// scenario.
+func Sweep(opts SweepOptions) *SweepResult {
+	type one struct {
+		v      Verdict
+		shrunk *Scenario
+		trace  []string
+	}
+	results, _ := parallel.Map(parallel.Workers(opts.Workers), opts.Cases, func(i int) (one, error) {
+		sc := Generate(parallel.Seed(opts.Seed, i))
+		if opts.Fault != "" {
+			sc = sc.Mutated(opts.Fault)
+		}
+		if opts.HorizonUs > 0 {
+			sc.HorizonUs = opts.HorizonUs
+		}
+		o := one{v: RunWith(sc, Options{Repeat: opts.Repeat})}
+		if o.v.Failed() && opts.Shrink {
+			s, tr := Shrink(sc, o.v.Violations, opts.ShrinkBudget)
+			o.shrunk, o.trace = &s, tr
+		}
+		return o, nil
+	})
+	res := &SweepResult{
+		Seed:         opts.Seed,
+		Cases:        opts.Cases,
+		Fingerprints: make([]string, 0, len(results)),
+	}
+	for i, r := range results {
+		res.Fingerprints = append(res.Fingerprints, r.v.Fingerprint)
+		if r.v.Failed() {
+			res.Failures++
+			res.Failing = append(res.Failing, CaseResult{
+				Index:       i,
+				Verdict:     r.v,
+				Shrunk:      r.shrunk,
+				ShrinkTrace: r.trace,
+			})
+		}
+	}
+	return res
+}
+
+// WriteJSON serializes the sweep result deterministically (indented,
+// fixed field order).
+func (r *SweepResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
