@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-save repro fuzz fuzz-smoke validate fmt vet clean figures
+.PHONY: all build test race cover bench bench-save repro fuzz fuzz-smoke validate resil fmt vet clean figures
 
 all: build vet test race
 
@@ -56,6 +56,17 @@ fuzz-smoke:
 # The differential validation sweep (see docs/validation.md).
 validate:
 	$(GO) run ./cmd/spsvalidate -cases 200 -seed 1
+
+# Resilience smoke: a seeded quick availability campaign whose report
+# must match the checked-in fixtures byte for byte (see
+# docs/resilience.md). Catches both behavioural drift and any loss of
+# cross-worker determinism.
+resil:
+	$(GO) run ./cmd/spsresil -quick -j 8 -out /tmp/resil_failed_switches.csv
+	cmp internal/resilience/testdata/quick_failed_switches.csv /tmp/resil_failed_switches.csv
+	$(GO) run ./cmd/spsresil -quick -sweep mtbf -j 8 -out /tmp/resil_mtbf.csv
+	cmp internal/resilience/testdata/quick_mtbf.csv /tmp/resil_mtbf.csv
+	@echo "resilience smoke: reports match fixtures"
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,293 @@
+// Command spsresil runs resilience campaigns against the SPS: it
+// injects component failures (whole HBM switches, HBM channels, bank
+// groups, dimmed fibers) on a seeded schedule and sweeps failure
+// severity into availability/goodput curves. Reports are byte-
+// identical for every -j.
+//
+// Two sweep modes:
+//
+//	-sweep failed-switches   permanent loss of f = 0..max switches;
+//	                         the curve should track (H-f)/H — the
+//	                         paper's graceful-degradation property
+//	-sweep mtbf              seeded Poisson fault/repair schedules at
+//	                         geometrically increasing fault rates
+//
+// Examples:
+//
+//	spsresil -quick -out -
+//	spsresil -sweep failed-switches -max-failed 3 -load 0.98 -out avail.csv
+//	spsresil -sweep mtbf -mtbf 40us -mttr 10us -points 3 -json -out mtbf.json
+//	spsresil -sweep mtbf -fault-rate 2.5e7 -mttr 10us -events events.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pbrouter/internal/cli"
+	"pbrouter/internal/hbmswitch"
+	"pbrouter/internal/resilience"
+	"pbrouter/internal/sim"
+	"pbrouter/internal/sps"
+	"pbrouter/internal/telemetry"
+	"pbrouter/internal/traffic"
+)
+
+func main() {
+	var (
+		sweep   = flag.String("sweep", "failed-switches", "sweep mode: failed-switches|mtbf")
+		n       = flag.Int("N", 8, "fiber ribbons (router ports)")
+		f       = flag.Int("F", 16, "fibers per ribbon")
+		h       = flag.Int("H", 4, "parallel HBM switches")
+		waves   = flag.Int("wavelengths", 16, "WDM wavelengths per fiber")
+		chGbps  = flag.Float64("channel-gbps", 10, "WDM channel rate in Gb/s")
+		stacks  = flag.Int("stacks", 1, "HBM stacks per switch")
+		load    = flag.Float64("load", 0.98, "offered load per fiber in (0,1]")
+		horizon = flag.String("horizon", "60us", "campaign horizon (simulated time)")
+		seed    = flag.Uint64("seed", 1, "campaign seed")
+		jobs    = flag.Int("j", 0, "parallel workers (0 = one per CPU; output is identical for every value)")
+
+		maxFailed = flag.Int("max-failed", 2, "failed-switches sweep: fail 0..max switches")
+		mtbfFlag  = flag.String("mtbf", "", "mtbf sweep: mean time between faults (simulated duration)")
+		faultRate = flag.Float64("fault-rate", 0, "mtbf sweep: mean faults per simulated second (alternative to -mtbf)")
+		mttrFlag  = flag.String("mttr", "8us", "mtbf sweep: mean time to repair")
+		points    = flag.Int("points", 3, "mtbf sweep: points, halving MTBF each step")
+
+		out      = flag.String("out", "-", "sweep table output (.json for JSON, else CSV; - for stdout)")
+		jsonOut  = flag.Bool("json", false, "force JSON output regardless of -out extension")
+		series   = flag.String("series", "", "per-point epoch series prefix: writes <prefix><point>.csv")
+		events   = flag.String("events", "", "fault/repair event log output (mtbf sweep; .json or CSV)")
+		validate = flag.Bool("validate", true, "attach the structural probe and OQ shadow; any violation fails the run")
+		quick    = flag.Bool("quick", false, "small seeded smoke campaign (CI): short horizon, 2 points")
+	)
+	flag.Parse()
+
+	cli.Check(
+		cli.ValidateJobs(*jobs),
+		cli.ValidateCount("-N", *n),
+		cli.ValidateCount("-F", *f),
+		cli.ValidateCount("-H", *h),
+		cli.ValidateCount("-stacks", *stacks),
+		cli.ValidateCount("-points", *points),
+		cli.ValidateFaultRate(*faultRate),
+	)
+	hz, err := cli.Duration("-horizon", *horizon)
+	if err != nil {
+		fail(2, err)
+	}
+	if *quick {
+		hz = 30 * sim.Microsecond
+		*maxFailed = 1
+		*points = 2
+	}
+
+	spsCfg := sps.Config{
+		N: *n, F: *f, H: *h,
+		WDM:     sps.Reference().WDM,
+		Pattern: sps.Reference().Pattern,
+		Seed:    sps.Reference().Seed,
+	}
+	spsCfg.WDM.Wavelengths = *waves
+	spsCfg.WDM.ChannelRate = sim.Rate(*chGbps * 1e9)
+	if err := spsCfg.Validate(); err != nil {
+		fail(2, err)
+	}
+	swCfg := hbmswitch.Scaled(*stacks, spsCfg.PortRate())
+	swCfg.PFI.N = spsCfg.N
+	swCfg.Speedup = 1.1
+	swCfg.FlushTimeout = 100 * sim.Nanosecond
+
+	base := resilience.Campaign{
+		SPS:      spsCfg,
+		Switch:   swCfg,
+		Load:     *load,
+		Kind:     traffic.Poisson,
+		Sizes:    traffic.IMIX(),
+		Horizon:  hz,
+		Seed:     *seed,
+		Workers:  *jobs,
+		Validate: *validate,
+	}
+
+	var table telemetry.Series
+	var eventLog *telemetry.EventLog
+	violations := 0
+	switch *sweep {
+	case "failed-switches":
+		if *maxFailed >= *h {
+			fail(2, fmt.Errorf("-max-failed %d: must leave at least one of %d switches alive", *maxFailed, *h))
+		}
+		table = telemetry.Series{Names: []string{
+			"failed", "ideal_fraction", "offered_gbps", "goodput_gbps",
+			"availability", "goodput_vs_baseline", "violations",
+		}}
+		var baseline float64
+		for k := 0; k <= *maxFailed; k++ {
+			c := base
+			c.Faults = resilience.SwitchOutage(firstK(k), 0, sim.Forever)
+			rep, err := c.Run()
+			if err != nil {
+				fail(1, err)
+			}
+			violations += countViolations(rep)
+			ep := rep.Epochs[0]
+			if k == 0 {
+				baseline = ep.GoodputGbps
+			}
+			vsBase := 0.0
+			if baseline > 0 {
+				vsBase = ep.GoodputGbps / baseline
+			}
+			table.Times = append(table.Times, 0)
+			table.Rows = append(table.Rows, []float64{
+				float64(k), float64(*h-k) / float64(*h),
+				ep.OfferedGbps, ep.GoodputGbps, ep.Availability, vsBase,
+				float64(len(ep.Violations)),
+			})
+			writePointSeries(*series, k, rep)
+			fmt.Fprintf(os.Stderr, "failed=%d goodput %.0f Gb/s (%.3fx baseline, ideal %.3f) availability %.4f\n",
+				k, ep.GoodputGbps, vsBase, float64(*h-k)/float64(*h), ep.Availability)
+		}
+	case "mtbf":
+		mtbf, err := cli.MTBF(*mtbfFlag, *faultRate)
+		if *quick && *mtbfFlag == "" && *faultRate == 0 {
+			mtbf, err = hz/3, nil
+		}
+		if err != nil {
+			fail(2, err)
+		}
+		mttr, err := cli.Duration("-mttr", *mttrFlag)
+		if err != nil {
+			fail(2, err)
+		}
+		if *quick {
+			mttr = hz / 6
+		}
+		table = telemetry.Series{Names: []string{
+			"mtbf_ps", "faults", "epochs", "capacity_fraction_min",
+			"availability", "violations",
+		}}
+		eventLog = &telemetry.EventLog{}
+		for p := 0; p < *points; p++ {
+			pm := mtbf >> uint(p) // halve the MTBF each point
+			if err := cli.ValidateMTBF(pm, mttr); err != nil {
+				fail(2, err)
+			}
+			sched, err := resilience.GenerateSchedule(resilience.ScheduleConfig{
+				Seed:          *seed,
+				Horizon:       hz,
+				MTBF:          pm,
+				MTTR:          mttr,
+				SwitchWeight:  1,
+				ChannelWeight: 2,
+				GroupWeight:   2,
+				FiberWeight:   1,
+				Switches:      spsCfg.H,
+				Channels:      swCfg.PFI.Channels,
+				Groups:        swCfg.PFI.Groups(),
+				Ribbons:       spsCfg.N,
+				Fibers:        spsCfg.F,
+			})
+			if err != nil {
+				fail(2, err)
+			}
+			c := base
+			c.Faults = sched
+			rep, err := c.Run()
+			if err != nil {
+				fail(1, err)
+			}
+			violations += countViolations(rep)
+			minCap := 1.0
+			for _, ep := range rep.Epochs {
+				if ep.CapacityFraction < minCap {
+					minCap = ep.CapacityFraction
+				}
+			}
+			table.Times = append(table.Times, sim.Time(p))
+			table.Rows = append(table.Rows, []float64{
+				float64(pm), float64(len(sched)), float64(len(rep.Epochs)),
+				minCap, rep.Availability, float64(countViolations(rep)),
+			})
+			writePointSeries(*series, p, rep)
+			if p == 0 {
+				eventLog = rep.Events
+			}
+			fmt.Fprintf(os.Stderr, "mtbf=%v: %d faults, %d epochs, availability %.4f\n",
+				pm, len(sched), len(rep.Epochs), rep.Availability)
+		}
+	default:
+		fail(2, fmt.Errorf("unknown -sweep %q (failed-switches|mtbf)", *sweep))
+	}
+
+	path := *out
+	if *jsonOut && path != "-" && !strings.HasSuffix(path, ".json") {
+		path += ".json"
+	}
+	if *jsonOut && path == "-" {
+		if err := table.WriteJSON(os.Stdout); err != nil {
+			fail(1, err)
+		}
+	} else if err := cli.WriteSeries(path, table); err != nil {
+		fail(1, err)
+	}
+	if *events != "" && eventLog != nil {
+		if err := writeEvents(*events, eventLog); err != nil {
+			fail(1, err)
+		}
+	}
+	if *validate && violations > 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: %d invariant violations across the sweep\n", violations)
+		os.Exit(1)
+	}
+}
+
+// firstK returns switch indices 0..k-1.
+func firstK(k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func countViolations(rep *resilience.Report) int { return len(rep.Violations()) }
+
+// writePointSeries writes one campaign's per-epoch series when a
+// prefix was requested.
+func writePointSeries(prefix string, point int, rep *resilience.Report) {
+	if prefix == "" {
+		return
+	}
+	if err := cli.WriteSeries(fmt.Sprintf("%s%d.csv", prefix, point), rep.Series); err != nil {
+		fail(1, err)
+	}
+}
+
+// writeEvents writes the fault/repair log, JSON by extension.
+func writeEvents(path string, log *telemetry.EventLog) error {
+	if path == "-" {
+		return log.WriteCSV(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		err = log.WriteJSON(f)
+	} else {
+		err = log.WriteCSV(f)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func fail(code int, err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(code)
+}

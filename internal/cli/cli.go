@@ -45,8 +45,16 @@ func Matrix(name string, n int, load float64) (*traffic.Matrix, error) {
 		return traffic.Diagonal(n, load, 3), nil
 	case "hotspot":
 		return traffic.Hotspot(n, load, 0.05), nil
+	case "failover":
+		// The post-failure pattern: the last quarter of the outputs are
+		// down and their traffic has re-converged onto the survivors.
+		failed := make([]int, 0, n/4)
+		for j := n - n/4; j < n; j++ {
+			failed = append(failed, j)
+		}
+		return traffic.Failover(n, load, failed), nil
 	default:
-		return nil, fmt.Errorf("unknown matrix %q (uniform|diagonal|hotspot)", name)
+		return nil, fmt.Errorf("unknown matrix %q (uniform|diagonal|hotspot|failover)", name)
 	}
 }
 

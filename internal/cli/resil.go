@@ -1,0 +1,59 @@
+package cli
+
+import (
+	"fmt"
+
+	"pbrouter/internal/sim"
+)
+
+// This file holds the resilience-campaign flag validation shared by
+// the availability tools: the -mtbf/-mttr pair and the -fault-rate
+// alternative resolve through one code path with one error wording.
+
+// ValidateFaultRate checks a -fault-rate flag (mean fault arrivals per
+// simulated second). Zero means "not set"; negative rates are always
+// invalid.
+func ValidateFaultRate(rate float64) error {
+	if rate < 0 {
+		return fmt.Errorf("-fault-rate %g: fault arrival rate cannot be negative", rate)
+	}
+	return nil
+}
+
+// ValidateMTBF checks a resolved MTBF/MTTR pair: both must be
+// positive, and the mean repair must not exceed the mean time between
+// faults — a package that fails faster than it repairs spends the
+// campaign mostly dead, which is almost certainly a typo in the
+// units.
+func ValidateMTBF(mtbf, mttr sim.Time) error {
+	if mtbf <= 0 {
+		return fmt.Errorf("-mtbf: mean time between faults must be positive, got %v", mtbf)
+	}
+	if mttr <= 0 {
+		return fmt.Errorf("-mttr: mean time to repair must be positive, got %v", mttr)
+	}
+	if mttr > mtbf {
+		return fmt.Errorf("-mttr %v exceeds -mtbf %v: repairs must keep up with faults (check the units)", mttr, mtbf)
+	}
+	return nil
+}
+
+// MTBF resolves the mutually exclusive -mtbf (a simulated duration)
+// and -fault-rate (arrivals per simulated second) flags into one mean
+// time between faults. Exactly one must be set; rate 0 and an empty
+// duration both mean "unset".
+func MTBF(mtbfFlag string, faultRate float64) (sim.Time, error) {
+	if err := ValidateFaultRate(faultRate); err != nil {
+		return 0, err
+	}
+	switch {
+	case mtbfFlag != "" && faultRate > 0:
+		return 0, fmt.Errorf("-mtbf and -fault-rate are mutually exclusive (one is the reciprocal of the other)")
+	case mtbfFlag != "":
+		return Duration("-mtbf", mtbfFlag)
+	case faultRate > 0:
+		return sim.Time(float64(sim.Second) / faultRate), nil
+	default:
+		return 0, fmt.Errorf("set -mtbf (duration) or -fault-rate (faults per simulated second)")
+	}
+}

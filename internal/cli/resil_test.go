@@ -1,0 +1,62 @@
+package cli
+
+import (
+	"testing"
+
+	"pbrouter/internal/sim"
+)
+
+func TestValidateFaultRate(t *testing.T) {
+	if err := ValidateFaultRate(0); err != nil {
+		t.Errorf("rate 0 (unset) rejected: %v", err)
+	}
+	if err := ValidateFaultRate(2.5e6); err != nil {
+		t.Errorf("positive rate rejected: %v", err)
+	}
+	if err := ValidateFaultRate(-1); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestValidateMTBF(t *testing.T) {
+	if err := ValidateMTBF(40*sim.Microsecond, 10*sim.Microsecond); err != nil {
+		t.Errorf("valid pair rejected: %v", err)
+	}
+	cases := []struct {
+		name       string
+		mtbf, mttr sim.Time
+	}{
+		{"zero mtbf", 0, sim.Microsecond},
+		{"zero mttr", sim.Microsecond, 0},
+		{"repair slower than failure", 10 * sim.Microsecond, 40 * sim.Microsecond},
+	}
+	for _, c := range cases {
+		if err := ValidateMTBF(c.mtbf, c.mttr); err == nil {
+			t.Errorf("%s: accepted mtbf=%v mttr=%v", c.name, c.mtbf, c.mttr)
+		}
+	}
+}
+
+func TestMTBFResolvesFlagAlternatives(t *testing.T) {
+	got, err := MTBF("40us", 0)
+	if err != nil || got != 40*sim.Microsecond {
+		t.Fatalf("MTBF(40us, 0) = %v, %v", got, err)
+	}
+	// 2e6 faults per simulated second = 500 ns between faults.
+	got, err = MTBF("", 2e6)
+	if err != nil || got != 500*sim.Nanosecond {
+		t.Fatalf("MTBF(\"\", 2e6) = %v, %v", got, err)
+	}
+	if _, err := MTBF("40us", 2e6); err == nil {
+		t.Error("both flags set was accepted")
+	}
+	if _, err := MTBF("", 0); err == nil {
+		t.Error("neither flag set was accepted")
+	}
+	if _, err := MTBF("", -3); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := MTBF("40", 0); err == nil {
+		t.Error("unitless duration accepted")
+	}
+}

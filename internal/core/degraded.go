@@ -1,0 +1,103 @@
+package core
+
+import "fmt"
+
+// GroupMap is the degraded-mode counterpart of the n mod (L/γ)
+// placement rule: when bank interleaving groups fail (internal
+// resilience faults, not the validation self-test defects), the PFI
+// layer excludes them and cycles frames over the L'/γ surviving
+// groups instead — frame n lands in live[n mod (L'/γ)]. Addressing
+// stays pure arithmetic on the frame sequence number, preserving the
+// "no bookkeeping" property across repairs.
+type GroupMap struct {
+	total int
+	live  []int
+}
+
+// NewGroupMap builds the surviving-group cycle for a memory with the
+// given total group count and the (possibly empty) dead-group list.
+func NewGroupMap(total int, dead []int) (*GroupMap, error) {
+	if total <= 0 {
+		return nil, fmt.Errorf("pfi: non-positive group count %d", total)
+	}
+	isDead := make([]bool, total)
+	for _, g := range dead {
+		if g < 0 || g >= total {
+			return nil, fmt.Errorf("pfi: dead group %d out of range [0,%d)", g, total)
+		}
+		if isDead[g] {
+			return nil, fmt.Errorf("pfi: dead group %d listed twice", g)
+		}
+		isDead[g] = true
+	}
+	m := &GroupMap{total: total}
+	for g := 0; g < total; g++ {
+		if !isDead[g] {
+			m.live = append(m.live, g)
+		}
+	}
+	if len(m.live) == 0 {
+		return nil, fmt.Errorf("pfi: all %d bank groups dead", total)
+	}
+	return m, nil
+}
+
+// Total returns L/γ, the nominal group count.
+func (m *GroupMap) Total() int { return m.total }
+
+// Live returns L'/γ, the surviving group count.
+func (m *GroupMap) Live() int { return len(m.live) }
+
+// Full reports whether every group survives (the healthy identity map).
+func (m *GroupMap) Full() bool { return len(m.live) == m.total }
+
+// LiveGroups returns the surviving group indices in ascending order.
+// The caller must not modify the slice.
+func (m *GroupMap) LiveGroups() []int { return m.live }
+
+// Group returns the surviving group frame n cycles onto:
+// live[n mod (L'/γ)].
+func (m *GroupMap) Group(n int64) int {
+	return m.live[int(n%int64(len(m.live)))]
+}
+
+// LocateIn is Locate under a degraded group map: the group comes from
+// the surviving-group cycle and the row/sub-row arithmetic advances
+// once per surviving-group revolution instead of once per full
+// revolution. With a full map it is identical to Locate.
+func (m *AddressMap) LocateIn(gm *GroupMap, output int, n int64) FrameAddr {
+	if gm == nil || gm.Full() {
+		return m.Locate(output, n)
+	}
+	if output < 0 || output >= m.p.N {
+		panic(fmt.Sprintf("pfi: output %d out of range", output))
+	}
+	if n < 0 {
+		panic("pfi: negative frame sequence")
+	}
+	live := int64(gm.Live())
+	group := gm.Group(n)
+	visit := n / live
+	segsPerRow := int64(m.p.SegmentsPerRow())
+	subRow := int(visit % segsPerRow)
+	row := (visit / segsPerRow) % m.rowsPerRegion
+	base := int64(output) * m.rowsPerRegion
+	return FrameAddr{
+		Output: output,
+		Seq:    n,
+		Group:  group,
+		Row:    int(base + row),
+		SubRow: subRow,
+	}
+}
+
+// CapacityFramesIn returns the per-output region capacity under a
+// degraded group map: one S-sized sub-row slot per bank of each
+// surviving group, so capacity shrinks proportionally to L'/L.
+func (m *AddressMap) CapacityFramesIn(gm *GroupMap) int64 {
+	if gm == nil {
+		return m.CapacityFrames()
+	}
+	slotsPerBankRegion := m.rowsPerRegion * int64(m.p.SegmentsPerRow())
+	return slotsPerBankRegion * int64(gm.Live())
+}

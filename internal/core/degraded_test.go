@@ -1,0 +1,115 @@
+package core
+
+import "testing"
+
+func TestGroupMapHealthyIsIdentity(t *testing.T) {
+	gm, err := NewGroupMap(16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gm.Full() || gm.Live() != 16 || gm.Total() != 16 {
+		t.Fatalf("healthy map: Full=%v Live=%d Total=%d", gm.Full(), gm.Live(), gm.Total())
+	}
+	for n := int64(0); n < 64; n++ {
+		if g := gm.Group(n); g != int(n%16) {
+			t.Fatalf("healthy Group(%d) = %d, want %d", n, g, n%16)
+		}
+	}
+}
+
+func TestGroupMapSkipsDeadGroups(t *testing.T) {
+	gm, err := NewGroupMap(4, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm.Live() != 2 || gm.Full() {
+		t.Fatalf("Live=%d Full=%v, want 2/false", gm.Live(), gm.Full())
+	}
+	want := []int{0, 2, 0, 2, 0, 2}
+	for n, w := range want {
+		if g := gm.Group(int64(n)); g != w {
+			t.Fatalf("Group(%d) = %d, want %d", n, g, w)
+		}
+	}
+}
+
+func TestGroupMapRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name  string
+		total int
+		dead  []int
+	}{
+		{"zero total", 0, nil},
+		{"out of range", 4, []int{4}},
+		{"negative", 4, []int{-1}},
+		{"duplicate", 4, []int{1, 1}},
+		{"all dead", 2, []int{0, 1}},
+	}
+	for _, c := range cases {
+		if _, err := NewGroupMap(c.total, c.dead); err == nil {
+			t.Errorf("%s: NewGroupMap(%d, %v) accepted", c.name, c.total, c.dead)
+		}
+	}
+}
+
+func TestLocateInFullMapMatchesLocate(t *testing.T) {
+	p := Reference()
+	amap, err := NewAddressMap(p, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm, _ := NewGroupMap(p.Groups(), nil)
+	for n := int64(0); n < 200; n++ {
+		a, b := amap.Locate(3, n), amap.LocateIn(gm, 3, n)
+		if a != b {
+			t.Fatalf("frame %d: LocateIn full map %+v differs from Locate %+v", n, b, a)
+		}
+	}
+	if amap.CapacityFramesIn(gm) != amap.CapacityFrames() {
+		t.Fatalf("full-map capacity %d != healthy %d",
+			amap.CapacityFramesIn(gm), amap.CapacityFrames())
+	}
+	if amap.CapacityFramesIn(nil) != amap.CapacityFrames() {
+		t.Fatal("nil-map capacity differs from healthy")
+	}
+}
+
+func TestLocateInRemappedResidency(t *testing.T) {
+	p := Reference() // 16 groups
+	amap, err := NewAddressMap(p, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := []int{0, 5}
+	gm, err := NewGroupMap(p.Groups(), dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := gm.LiveGroups()
+	segsPerRow := int64(p.SegmentsPerRow())
+	for n := int64(0); n < 500; n++ {
+		a := amap.LocateIn(gm, 1, n)
+		// The remapped residency invariant: frame n lives in
+		// live[n mod L'/γ], never in a dead group.
+		if want := live[n%int64(gm.Live())]; a.Group != want {
+			t.Fatalf("frame %d in group %d, remapped rule requires %d", n, a.Group, want)
+		}
+		for _, d := range dead {
+			if a.Group == d {
+				t.Fatalf("frame %d placed in dead group %d", n, d)
+			}
+		}
+		// Row/sub-row arithmetic advances once per surviving revolution.
+		visit := n / int64(gm.Live())
+		if want := int(visit % segsPerRow); a.SubRow != want {
+			t.Fatalf("frame %d sub-row %d, want %d", n, a.SubRow, want)
+		}
+	}
+	// Capacity shrinks by exactly L'/L.
+	healthy := amap.CapacityFrames()
+	degraded := amap.CapacityFramesIn(gm)
+	if degraded*int64(gm.Total()) != healthy*int64(gm.Live()) {
+		t.Fatalf("capacity %d/%d not proportional to %d/%d live groups",
+			degraded, healthy, gm.Live(), gm.Total())
+	}
+}

@@ -1,0 +1,135 @@
+package hbm
+
+import (
+	"testing"
+
+	"pbrouter/internal/sim"
+)
+
+func TestSetDeadChannelsDilatesFrameTime(t *testing.T) {
+	_, e := refEngine(t, 1) // 32 channels, γ=4
+	healthy := e.FrameTime()
+	if err := e.SetDeadChannels([]int{3, 17}); err != nil {
+		t.Fatal(err)
+	}
+	if e.LiveChannels() != 30 {
+		t.Fatalf("LiveChannels = %d, want 30", e.LiveChannels())
+	}
+	// Survivors carry ⌈γ·T/T'⌉ = ⌈128/30⌉ = 5 segments instead of 4.
+	if want := sim.Time(5) * e.SegmentTime(); e.FrameTime() != want {
+		t.Fatalf("degraded frame time %v, want %v (healthy %v)", e.FrameTime(), want, healthy)
+	}
+	if e.FrameTime() <= healthy {
+		t.Fatal("frame time did not dilate")
+	}
+	// The logical frame size K is unchanged: the switch still assembles
+	// γ·T·S-byte frames, they just drain slower.
+	if e.FrameBytes() != 4*32*1024 {
+		t.Fatalf("frame bytes changed to %d", e.FrameBytes())
+	}
+	// An empty list restores the healthy path.
+	if err := e.SetDeadChannels(nil); err != nil {
+		t.Fatal(err)
+	}
+	if e.FrameTime() != healthy || e.LiveChannels() != 32 {
+		t.Fatal("healthy path not restored")
+	}
+}
+
+func TestSetDeadChannelsRejectsBadLists(t *testing.T) {
+	_, e := refEngine(t, 1)
+	if err := e.SetDeadChannels([]int{32}); err == nil {
+		t.Error("out-of-range channel accepted")
+	}
+	if err := e.SetDeadChannels([]int{-1}); err == nil {
+		t.Error("negative channel accepted")
+	}
+	if err := e.SetDeadChannels([]int{5, 5}); err == nil {
+		t.Error("duplicate channel accepted")
+	}
+	all := make([]int, 32)
+	for i := range all {
+		all[i] = i
+	}
+	if err := e.SetDeadChannels(all); err == nil {
+		t.Error("all channels dead accepted")
+	}
+}
+
+func TestDegradedWriteStreamStillConflictFree(t *testing.T) {
+	// With dead channels the survivors revisit banks within one frame
+	// (5 segments cycle over γ=4 banks). The channel model must absorb
+	// this through timing, not errors, and consecutive frames must
+	// stream without violating tRC — the degraded analogue of the
+	// healthy peak-rate test.
+	_, e := refEngine(t, 1)
+	if err := e.SetDeadChannels([]int{0, 9, 20}); err != nil {
+		t.Fatal(err)
+	}
+	var cursor sim.Time
+	groups := e.Groups()
+	for i := 0; i < 100; i++ {
+		_, end, err := e.WriteFrame(i%groups, i/groups, cursor)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		cursor = end
+	}
+}
+
+func TestDegradedMirrorMatchesFullChannels(t *testing.T) {
+	// The mirror optimization must stay exact under channel loss: the
+	// surviving channels run lockstep-identical command streams, so
+	// simulating one and mirroring must give the same completion times
+	// as simulating all survivors.
+	run := func(mirror bool) []sim.Time {
+		_, e := refEngine(t, 1)
+		e.SetMirror(mirror)
+		if err := e.SetDeadChannels([]int{2, 30}); err != nil {
+			t.Fatal(err)
+		}
+		var times []sim.Time
+		var cursor sim.Time
+		groups := e.Groups()
+		for i := 0; i < 60; i++ {
+			_, end, err := e.WriteFrame(i%groups, i/groups, cursor)
+			if err != nil {
+				t.Fatalf("frame %d: %v", i, err)
+			}
+			times = append(times, end)
+			cursor = end
+		}
+		return times
+	}
+	mirrored, full := run(true), run(false)
+	for i := range mirrored {
+		if mirrored[i] != full[i] {
+			t.Fatalf("frame %d: mirrored end %v != full-channel end %v", i, mirrored[i], full[i])
+		}
+	}
+}
+
+func TestDegradedMirrorAccountsAllChannelBits(t *testing.T) {
+	// Mirroring books the unsimulated survivors' data bits so energy
+	// and utilization stay correct: a mirrored degraded run must report
+	// the same DataBits as the full-channel run.
+	run := func(mirror bool) int64 {
+		m, e := refEngine(t, 1)
+		e.SetMirror(mirror)
+		if err := e.SetDeadChannels([]int{7}); err != nil {
+			t.Fatal(err)
+		}
+		var cursor sim.Time
+		for i := 0; i < 40; i++ {
+			_, end, err := e.WriteFrame(i%e.Groups(), i/e.Groups(), cursor)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cursor = end
+		}
+		return m.DataBits()
+	}
+	if a, b := run(true), run(false); a != b {
+		t.Fatalf("mirrored DataBits %d != full-channel %d", a, b)
+	}
+}

@@ -20,12 +20,21 @@ type FrameEngine struct {
 	segBytes int
 	segTime  sim.Time
 
-	// mirror, when set, drives only channel 0 and accounts for the
+	// mirror, when set, drives only one channel and accounts for the
 	// other channels arithmetically. Valid because PFI issues the
 	// identical command stream to every channel, so all channel state
 	// machines evolve in lockstep; it makes long benchmark runs ~T×
 	// cheaper.
 	mirror bool
+
+	// Degraded-mode channel mask (SetDeadChannels): live holds the
+	// surviving channel indices (nil means all channels healthy),
+	// liveChs the corresponding channel pointers, and segsPer the
+	// per-channel segment count ⌈γ·T/T'⌉ a frame needs when striped
+	// over only T' survivors.
+	live    []int
+	liveChs []*Channel
+	segsPer int
 }
 
 // NewFrameEngine validates the PFI segment parameters against the
@@ -50,6 +59,7 @@ func NewFrameEngine(mem *Memory, gamma, segBytes int) (*FrameEngine, error) {
 		mem:      mem,
 		gamma:    gamma,
 		segBytes: segBytes,
+		segsPer:  gamma,
 	}
 	e.segTime = mem.Channels[0].TransferTime(segBytes)
 	return e, nil
@@ -57,6 +67,60 @@ func NewFrameEngine(mem *Memory, gamma, segBytes int) (*FrameEngine, error) {
 
 // SetMirror turns on single-channel mirroring (see the field comment).
 func (e *FrameEngine) SetMirror(on bool) { e.mirror = on }
+
+// SetDeadChannels routes frames around failed HBM channels (an
+// operational resilience fault, not a validation self-test defect): a
+// frame's K = γ·T·S bytes are re-striped over the T' surviving
+// channels, each carrying ⌈γ·T/T'⌉ segments by cycling the staggered
+// pattern over the group's γ banks more than once. The frame time
+// dilates by ~T/T' — the proportional bandwidth loss — while the
+// command discipline (just-in-time activates, precharge under the next
+// transfer, FAW pacing) is still enforced by the channel model. When
+// γ·T is not a multiple of T', the survivors run in lockstep at the
+// rounded-up segment count, so the mirror optimization stays exact.
+// Call before any transfers; an empty list restores the healthy path.
+func (e *FrameEngine) SetDeadChannels(dead []int) error {
+	t := e.mem.Geo.Channels()
+	if len(dead) == 0 {
+		e.live, e.liveChs, e.segsPer = nil, nil, e.gamma
+		return nil
+	}
+	isDead := make([]bool, t)
+	for _, c := range dead {
+		if c < 0 || c >= t {
+			return fmt.Errorf("hbm: dead channel %d out of range [0,%d)", c, t)
+		}
+		if isDead[c] {
+			return fmt.Errorf("hbm: dead channel %d listed twice", c)
+		}
+		isDead[c] = true
+	}
+	var live []int
+	for c := 0; c < t; c++ {
+		if !isDead[c] {
+			live = append(live, c)
+		}
+	}
+	if len(live) == 0 {
+		return fmt.Errorf("hbm: all %d channels dead", t)
+	}
+	e.live = live
+	e.liveChs = make([]*Channel, len(live))
+	for i, c := range live {
+		e.liveChs[i] = e.mem.Channels[c]
+	}
+	e.segsPer = (e.gamma*t + len(live) - 1) / len(live)
+	return nil
+}
+
+// LiveChannels returns T', the channels carrying frames (T when
+// healthy).
+func (e *FrameEngine) LiveChannels() int {
+	if e.live == nil {
+		return e.mem.Geo.Channels()
+	}
+	return len(e.live)
+}
 
 // Gamma returns γ.
 func (e *FrameEngine) Gamma() int { return e.gamma }
@@ -72,15 +136,22 @@ func (e *FrameEngine) FrameBytes() int {
 	return e.gamma * e.mem.Geo.Channels() * e.segBytes
 }
 
-// FrameTime returns the data-bus occupancy of one frame per channel
-// (γ segments back to back).
-func (e *FrameEngine) FrameTime() sim.Time { return sim.Time(e.gamma) * e.segTime }
+// FrameTime returns the data-bus occupancy of one frame per channel:
+// γ segments back to back on a healthy memory, ⌈γ·T/T'⌉ with dead
+// channels (SetDeadChannels).
+func (e *FrameEngine) FrameTime() sim.Time { return sim.Time(e.segsPer) * e.segTime }
 
 // Groups returns the number of bank interleaving groups, L/γ.
 func (e *FrameEngine) Groups() int { return e.mem.Geo.BanksPerChannel / e.gamma }
 
 // channels returns the channel slice the engine drives.
 func (e *FrameEngine) channels() []*Channel {
+	if e.live != nil {
+		if e.mirror {
+			return e.liveChs[:1]
+		}
+		return e.liveChs
+	}
 	if e.mirror {
 		return e.mem.Channels[:1]
 	}
@@ -112,22 +183,26 @@ func (e *FrameEngine) transferFrame(group, row int, op Op, at sim.Time) (start, 
 		}
 	}
 	if e.mirror {
-		// Account the bits of the channels not simulated.
-		extra := int64(len(e.mem.Channels)-1) * int64(e.gamma) * int64(e.segBytes) * 8
-		e.mem.Channels[0].dataBits += extra
+		// Account the bits of the lockstep channels not simulated.
+		extra := int64(e.LiveChannels()-1) * int64(e.segsPer) * int64(e.segBytes) * 8
+		e.channels()[0].dataBits += extra
 	}
 	return first, last, nil
 }
 
 // frameOnChannel performs one channel's share of a frame: γ segments
 // into consecutive banks of the group, activates just in time,
-// precharges as soon as each bank's data completes.
+// precharges as soon as each bank's data completes. With dead
+// channels the survivors each carry ⌈γ·T/T'⌉ segments, cycling the
+// staggered pattern over the group's banks more than once; a revisited
+// bank is simply re-activated on the same row, with the channel model
+// enforcing the recovery timing.
 func (e *FrameEngine) frameOnChannel(ch *Channel, group, row int, op Op, at sim.Time) (start, end sim.Time, err error) {
 	baseBank := group * e.gamma
 	cursor := at
 	first := sim.Forever
-	for s := 0; s < e.gamma; s++ {
-		bank := baseBank + s
+	for s := 0; s < e.segsPer; s++ {
+		bank := baseBank + s%e.gamma
 		// Just-in-time activate: aim for data at the cursor.
 		actWant := cursor - e.mem.Tim.TRCD
 		if actWant < 0 {

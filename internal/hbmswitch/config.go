@@ -93,21 +93,54 @@ type Config struct {
 	// small enough to fill; the reference 256 GB never fills in
 	// simulation timescales. Zero uses a default of 2N.
 	DropSlackFrames int64
-	// Faults injects deliberate model defects for validation self-tests
-	// (internal/validate). Production configurations leave it zero.
-	Faults Faults
+	// SelfTest injects deliberate model defects for validation
+	// self-tests (internal/validate). These are NOT operational
+	// failures: they break a discipline on purpose to prove the
+	// harness's detectors fire. Operational component failures the
+	// switch must route around live in Degraded instead. Production
+	// configurations leave both zero.
+	SelfTest SelfTestFaults
+	// Degraded configures operational component failures injected by
+	// the resilience subsystem (internal/resilience): the switch keeps
+	// forwarding correctly at reduced capacity by excluding the dead
+	// resources. Contrast with SelfTest, whose defects are deliberate
+	// correctness breaks. The zero value is a healthy switch.
+	Degraded Degraded
 }
 
-// Faults are deliberate defects the validation harness can inject to
-// prove its detectors fire. Each knob breaks one discipline the paper
-// relies on.
-type Faults struct {
+// SelfTestFaults are deliberate defects the validation harness can
+// inject to prove its detectors fire. Each knob breaks one discipline
+// the paper relies on — unlike the operational failures in Degraded,
+// which the switch is expected to survive without breaking any
+// invariant.
+type SelfTestFaults struct {
 	// FixedGroup disables the staggered bank interleaving: every frame
 	// is written to (and read from) bank group 0 instead of group
 	// n mod (L/γ), recreating the bank-conflict pathology PFI exists to
 	// avoid. Detected structurally by the bank-residency invariant and
 	// behaviourally by throughput collapse.
 	FixedGroup bool
+}
+
+// Degraded lists the operational component failures a switch routes
+// around (the resilience degraded-mode policies): placement excludes
+// dead bank groups under a remapped n mod (L'/γ) residency rule, and
+// the staggered interleaver re-stripes frames over the surviving HBM
+// channels at proportionally reduced memory bandwidth.
+type Degraded struct {
+	// DeadGroups are bank interleaving group indices (0..L/γ-1)
+	// excluded from frame placement. Buffer capacity shrinks by L'/L.
+	DeadGroups []int
+	// DeadChannels are HBM channel indices (0..T-1) excluded from
+	// frame striping. Memory bandwidth shrinks by ~T'/T; an
+	// under-provisioned memory path backlogs in the HBM rather than
+	// corrupting order or conservation.
+	DeadChannels []int
+}
+
+// Any reports whether any component failure is configured.
+func (d Degraded) Any() bool {
+	return len(d.DeadGroups) > 0 || len(d.DeadChannels) > 0
 }
 
 // Reference returns the paper's reference HBM switch: N=16 ports of
@@ -176,15 +209,52 @@ func (c Config) Validate() error {
 			return fmt.Errorf("hbmswitch: dynamic page size %d not a multiple of groups*segments-per-row = %d",
 				c.DynamicPages, align)
 		}
+		if len(c.Degraded.DeadGroups) > 0 {
+			return fmt.Errorf("hbmswitch: dead bank groups are not supported with dynamic page allocation")
+		}
+	}
+	if err := c.Degraded.validate(c.PFI.Groups(), c.PFI.Channels); err != nil {
+		return err
 	}
 	// The memory must be able to absorb at least the write bandwidth:
 	// peak must cover 2x the aggregate port rate for full-throughput
-	// store-and-forward switching (§3.1 Challenge 5).
-	need := 2 * float64(c.PortRate) * float64(c.PFI.N)
-	have := float64(c.Geometry.PeakRate()) * c.Speedup
-	if have < need*0.97 { // allow the ~2% transition allowance of §4
-		return fmt.Errorf("hbmswitch: HBM peak %v (x%.2f speedup) cannot carry 2x aggregate %v",
-			c.Geometry.PeakRate(), c.Speedup, sim.Rate(need))
+	// store-and-forward switching (§3.1 Challenge 5). A switch with
+	// dead channels is deliberately under-provisioned — that IS the
+	// degraded mode — so the floor only applies when healthy.
+	if len(c.Degraded.DeadChannels) == 0 {
+		need := 2 * float64(c.PortRate) * float64(c.PFI.N)
+		have := float64(c.Geometry.PeakRate()) * c.Speedup
+		if have < need*0.97 { // allow the ~2% transition allowance of §4
+			return fmt.Errorf("hbmswitch: HBM peak %v (x%.2f speedup) cannot carry 2x aggregate %v",
+				c.Geometry.PeakRate(), c.Speedup, sim.Rate(need))
+		}
+	}
+	return nil
+}
+
+// validate checks the failure lists against the memory organization:
+// indices in range, no duplicates, and at least one surviving group
+// and channel.
+func (d Degraded) validate(groups, channels int) error {
+	if err := checkDead("bank group", d.DeadGroups, groups); err != nil {
+		return err
+	}
+	return checkDead("channel", d.DeadChannels, channels)
+}
+
+func checkDead(what string, dead []int, total int) error {
+	seen := make(map[int]bool, len(dead))
+	for _, i := range dead {
+		if i < 0 || i >= total {
+			return fmt.Errorf("hbmswitch: dead %s %d out of range [0,%d)", what, i, total)
+		}
+		if seen[i] {
+			return fmt.Errorf("hbmswitch: dead %s %d listed twice", what, i)
+		}
+		seen[i] = true
+	}
+	if len(dead) >= total {
+		return fmt.Errorf("hbmswitch: all %d %ss dead", total, what)
 	}
 	return nil
 }

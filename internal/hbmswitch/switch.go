@@ -64,6 +64,7 @@ type Switch struct {
 	mem    *hbm.Memory
 	engine *hbm.FrameEngine
 	amap   *core.AddressMap
+	gmap   *core.GroupMap // surviving-group cycle; nil when all groups live
 
 	// Input side (➀).
 	batchers    [][]*packet.Batcher // [input][output]
@@ -166,9 +167,18 @@ func New(cfg Config) (*Switch, error) {
 		return nil, err
 	}
 	engine.SetMirror(!cfg.FullChannels)
+	if err := engine.SetDeadChannels(cfg.Degraded.DeadChannels); err != nil {
+		return nil, err
+	}
 	amap, err := core.NewAddressMap(cfg.PFI, mem.RowsPerBank())
 	if err != nil {
 		return nil, err
+	}
+	var gmap *core.GroupMap
+	if len(cfg.Degraded.DeadGroups) > 0 {
+		if gmap, err = core.NewGroupMap(cfg.PFI.Groups(), cfg.Degraded.DeadGroups); err != nil {
+			return nil, err
+		}
 	}
 
 	n := cfg.PFI.N
@@ -178,6 +188,7 @@ func New(cfg Config) (*Switch, error) {
 		mem:         mem,
 		engine:      engine,
 		amap:        amap,
+		gmap:        gmap,
 		batchTime:   cfg.BatchTime(),
 		frameDrain:  sim.TransferTime(int64(cfg.PFI.FrameBytes())*8, cfg.PortRate),
 		readSched:   core.NewReadScheduler(n),
@@ -218,7 +229,7 @@ func New(cfg Config) (*Switch, error) {
 			s.batchers[i][j] = packet.NewBatcher(i, j, cfg.PFI.BatchBytes, nextBatchID)
 		}
 		s.assemblers[i] = packet.NewFrameAssembler(i, cfg.PFI.BatchesPerFrame(), cfg.PFI.BatchBytes)
-		s.regions[i] = core.NewRegion(amap.CapacityFrames())
+		s.regions[i] = core.NewRegion(amap.CapacityFramesIn(gmap))
 		s.unbatchers[i] = packet.NewUnbatcher()
 	}
 	s.dropSlack = cfg.DropSlackFrames
@@ -259,14 +270,26 @@ func New(cfg Config) (*Switch, error) {
 // restores the unobserved fast path.
 func (s *Switch) SetProbe(p Probe) { s.probe = p }
 
-// faultGroup applies the configured placement fault, if any, to a bank
-// group chosen by the n mod (L/γ) rule. Used by the validation harness
-// to prove its detectors catch a broken placement discipline.
+// faultGroup applies the configured self-test placement defect, if
+// any, to a bank group chosen by the placement rule. Used by the
+// validation harness to prove its detectors catch a broken placement
+// discipline; the operational dead-group remapping happens earlier, in
+// locate (Config.Degraded).
 func (s *Switch) faultGroup(group int) int {
-	if s.cfg.Faults.FixedGroup {
+	if s.cfg.SelfTest.FixedGroup {
 		return 0
 	}
 	return group
+}
+
+// locate maps a static-mode frame sequence to its address, cycling
+// over only the surviving bank groups when some are dead (the
+// remapped n mod (L'/γ) residency rule).
+func (s *Switch) locate(out int, n int64) core.FrameAddr {
+	if s.gmap != nil {
+		return s.amap.LocateIn(s.gmap, out, n)
+	}
+	return s.amap.Locate(out, n)
 }
 
 // HandleEvent dispatches the switch's intrusive events (sim.Handler).
@@ -484,7 +507,7 @@ func (s *Switch) regionPush(out int) (seq int64, group, row int, ok bool) {
 	if !ok {
 		return 0, 0, 0, false
 	}
-	addr := s.amap.Locate(out, n)
+	addr := s.locate(out, n)
 	return n, s.faultGroup(addr.Group), addr.Row, true
 }
 
@@ -508,7 +531,7 @@ func (s *Switch) regionPop(out int) (seq int64, group, row int, ok bool) {
 	if !ok {
 		return 0, 0, 0, false
 	}
-	addr := s.amap.Locate(out, n)
+	addr := s.locate(out, n)
 	return n, s.faultGroup(addr.Group), addr.Row, true
 }
 

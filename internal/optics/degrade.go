@@ -1,0 +1,76 @@
+package optics
+
+import (
+	"fmt"
+
+	"pbrouter/internal/sim"
+)
+
+// Degrade returns the splitter re-provisioned for a partial package:
+// every fiber whose home switch died is re-hashed across the surviving
+// switches (the SPS degraded-mode policy — the split stays passive, an
+// operator just reprograms the splitter's assignment table). Orphaned
+// fibers are shuffled with the seeded RNG and then placed greedily on
+// the least-loaded survivor, so each ribbon's fibers stay within one
+// fiber of even across survivors while the choice of which fiber lands
+// where remains pseudo-random. Deterministic for a given (alive, seed).
+//
+// The receiver is not modified. With every switch alive the original
+// splitter is returned unchanged.
+func (s *Splitter) Degrade(alive []bool, seed uint64) (*Splitter, error) {
+	if len(alive) != s.H {
+		return nil, fmt.Errorf("optics: alive mask has %d entries, splitter has H=%d", len(alive), s.H)
+	}
+	survivors := 0
+	for _, a := range alive {
+		if a {
+			survivors++
+		}
+	}
+	if survivors == 0 {
+		return nil, fmt.Errorf("optics: cannot degrade below one surviving switch")
+	}
+	if survivors == s.H {
+		return s, nil
+	}
+	d := &Splitter{
+		N: s.N, F: s.F, H: s.H,
+		pattern: s.pattern,
+		assign:  make([][]int, s.N),
+		alive:   append([]bool(nil), alive...),
+	}
+	rng := sim.NewRNG(seed)
+	for r := 0; r < s.N; r++ {
+		row := append([]int(nil), s.assign[r]...)
+		counts := make([]int, s.H)
+		var orphans []int
+		for f, h := range row {
+			if alive[h] {
+				counts[h]++
+			} else {
+				orphans = append(orphans, f)
+			}
+		}
+		rng.Shuffle(len(orphans), func(a, b int) { orphans[a], orphans[b] = orphans[b], orphans[a] })
+		for _, f := range orphans {
+			best := -1
+			for h := 0; h < s.H; h++ {
+				if alive[h] && (best < 0 || counts[h] < counts[best]) {
+					best = h
+				}
+			}
+			row[f] = best
+			counts[best]++
+		}
+		d.assign[r] = row
+	}
+	return d, nil
+}
+
+// Degraded reports whether the splitter carries a degraded assignment
+// (some switches marked dead by Degrade).
+func (s *Splitter) Degraded() bool { return s.alive != nil }
+
+// Alive returns the surviving-switch mask of a degraded splitter, or
+// nil for a healthy one. The caller must not modify the slice.
+func (s *Splitter) Alive() []bool { return s.alive }

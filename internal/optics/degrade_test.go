@@ -1,0 +1,100 @@
+package optics
+
+import "testing"
+
+func degradedSplitter(t *testing.T, alive []bool) (*Splitter, *Splitter) {
+	t.Helper()
+	s, err := NewSplitter(8, 32, 8, PseudoRandom, 0x5e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Degrade(alive, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, d
+}
+
+func TestDegradeRebalancesOrphanedFibers(t *testing.T) {
+	alive := []bool{true, false, true, true, false, true, true, true}
+	s, d := degradedSplitter(t, alive)
+	if !d.Degraded() {
+		t.Fatal("degraded splitter not marked")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("degraded splitter fails validation: %v", err)
+	}
+	// Dead switches serve zero fibers; survivors stay within one fiber
+	// of even (F/H' = 32/6) on every ribbon.
+	for r := 0; r < d.N; r++ {
+		counts := make([]int, d.H)
+		for f := 0; f < d.F; f++ {
+			counts[d.SwitchFor(r, f)]++
+		}
+		for h, c := range counts {
+			if !alive[h] {
+				if c != 0 {
+					t.Fatalf("ribbon %d: dead switch %d still serves %d fibers", r, h, c)
+				}
+				continue
+			}
+			if c < 32/6 || c > (32+5)/6 {
+				t.Fatalf("ribbon %d: survivor %d serves %d fibers, want within [%d,%d]",
+					r, h, c, 32/6, (32+5)/6)
+			}
+		}
+	}
+	// Fibers whose home switch survived keep their assignment (repairs
+	// only move what failed).
+	for r := 0; r < s.N; r++ {
+		for f := 0; f < s.F; f++ {
+			if h := s.SwitchFor(r, f); alive[h] && d.SwitchFor(r, f) != h {
+				t.Fatalf("ribbon %d fiber %d moved off healthy switch %d", r, f, h)
+			}
+		}
+	}
+}
+
+func TestDegradeIsDeterministic(t *testing.T) {
+	alive := []bool{true, true, false, true, true, true, false, true}
+	_, d1 := degradedSplitter(t, alive)
+	_, d2 := degradedSplitter(t, alive)
+	for r := 0; r < d1.N; r++ {
+		for f := 0; f < d1.F; f++ {
+			if d1.SwitchFor(r, f) != d2.SwitchFor(r, f) {
+				t.Fatalf("ribbon %d fiber %d differs across identical degrades", r, f)
+			}
+		}
+	}
+}
+
+func TestDegradeAllAliveReturnsOriginal(t *testing.T) {
+	s, err := NewSplitter(4, 16, 4, PseudoRandom, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive := []bool{true, true, true, true}
+	d, err := s.Degrade(alive, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != s {
+		t.Fatal("healthy degrade did not return the original splitter")
+	}
+	if d.Degraded() || d.Alive() != nil {
+		t.Fatal("healthy splitter marked degraded")
+	}
+}
+
+func TestDegradeRejectsBadMasks(t *testing.T) {
+	s, err := NewSplitter(4, 16, 4, PseudoRandom, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Degrade([]bool{true, true}, 0); err == nil {
+		t.Error("wrong-length mask accepted")
+	}
+	if _, err := s.Degrade([]bool{false, false, false, false}, 0); err == nil {
+		t.Error("zero survivors accepted")
+	}
+}

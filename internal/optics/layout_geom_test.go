@@ -1,0 +1,106 @@
+package optics
+
+import (
+	"testing"
+
+	"pbrouter/internal/sim"
+)
+
+// Non-reference layout geometries: a small 8-ribbon/4-switch package
+// and a large 32-ribbon/64-switch one. The reference 16/16 case is
+// covered in layout_test.go.
+
+func TestLayoutSmallGeometry(t *testing.T) {
+	l, err := NewLayout(8, 4, 200, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.N != 8 || l.H != 4 {
+		t.Fatalf("layout is %dx%d, want 8x4", l.N, l.H)
+	}
+	// Every waveguide fits inside the Manhattan diameter of the panel
+	// and is strictly positive (no ribbon sits on a switch center).
+	for r := 0; r < 8; r++ {
+		for s := 0; s < 4; s++ {
+			d := l.WaveguideMM(r, s)
+			if d <= 0 || d > 2*200 {
+				t.Fatalf("ribbon %d switch %d: waveguide %v mm out of range", r, s, d)
+			}
+		}
+	}
+}
+
+func TestLayoutLargeGeometry(t *testing.T) {
+	l, err := NewLayout(32, 64, 800, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An 8x8 switch grid on a larger panel: the corner switches must be
+	// nearer the edges than the center ones are, and the max delay must
+	// bound every pair.
+	max := l.MaxDelay()
+	if max <= 0 {
+		t.Fatal("non-positive max delay")
+	}
+	for r := 0; r < l.N; r++ {
+		for s := 0; s < l.H; s++ {
+			if d := l.PropagationDelay(r, s); d > max {
+				t.Fatalf("pair (%d,%d) delay %v exceeds MaxDelay %v", r, s, d, max)
+			}
+		}
+	}
+	// Fiber sanity: ~5 ns/m in-package scale. 800 mm panel, Manhattan
+	// diameter 1.6 m at 150 mm/ns is under 11 ns.
+	if max > 11*sim.Nanosecond {
+		t.Fatalf("max delay %v implausibly large for an 800 mm panel", max)
+	}
+}
+
+func TestLayoutDelayMonotoneInWaveguideLength(t *testing.T) {
+	for _, dim := range []struct{ n, h int }{{8, 4}, {32, 64}} {
+		l, err := NewLayout(dim.n, dim.h, 500, 150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Propagation delay must be monotone in waveguide length: sort
+		// every pair by length and check delays never decrease.
+		type pair struct {
+			mm    float64
+			delay sim.Time
+		}
+		var pairs []pair
+		for r := 0; r < dim.n; r++ {
+			for s := 0; s < dim.h; s++ {
+				pairs = append(pairs, pair{l.WaveguideMM(r, s), l.PropagationDelay(r, s)})
+			}
+		}
+		for i := range pairs {
+			for j := range pairs {
+				if pairs[i].mm < pairs[j].mm && pairs[i].delay > pairs[j].delay {
+					t.Fatalf("%dx%d: shorter waveguide %v mm has delay %v > %v mm's %v",
+						dim.n, dim.h, pairs[i].mm, pairs[i].delay, pairs[j].mm, pairs[j].delay)
+				}
+			}
+		}
+	}
+}
+
+func TestLayoutRejectsBadGeometries(t *testing.T) {
+	cases := []struct {
+		name     string
+		n, h     int
+		edge, vg float64
+	}{
+		{"ribbons not multiple of 4", 6, 4, 500, 150},
+		{"zero ribbons", 0, 4, 500, 150},
+		{"non-square switches", 8, 6, 500, 150},
+		{"zero switches", 8, 0, 500, 150},
+		{"zero edge", 8, 4, 0, 150},
+		{"zero velocity", 8, 4, 500, 0},
+	}
+	for _, c := range cases {
+		if _, err := NewLayout(c.n, c.h, c.edge, c.vg); err == nil {
+			t.Errorf("%s: NewLayout(%d,%d,%g,%g) accepted", c.name, c.n, c.h, c.edge, c.vg)
+		}
+	}
+}

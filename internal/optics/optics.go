@@ -64,6 +64,9 @@ type Splitter struct {
 	pattern Pattern
 	// assign[ribbon][fiber] = switch index.
 	assign [][]int
+	// alive marks the surviving switches of a degraded splitter
+	// (Degrade); nil means healthy. Dead switches receive no fibers.
+	alive []bool
 }
 
 // NewSplitter builds a splitter. F must be divisible by H. The seed is
@@ -114,11 +117,25 @@ func (s *Splitter) FibersFor(ribbon, sw int) []int {
 	return out
 }
 
-// Validate checks that every switch receives exactly F/H fibers from
-// every ribbon — the structural invariant that makes each HBM switch
-// an N×N switch at 1/H of the package rate.
+// Validate checks the splitter's structural invariant. Healthy: every
+// switch receives exactly F/H fibers from every ribbon — what makes
+// each HBM switch an N×N switch at 1/H of the package rate. Degraded
+// (Degrade): dead switches receive nothing and every ribbon's F fibers
+// spread over the H' survivors within one fiber of even.
 func (s *Splitter) Validate() error {
-	alpha := s.Alpha()
+	survivors := s.H
+	if s.alive != nil {
+		survivors = 0
+		for _, a := range s.alive {
+			if a {
+				survivors++
+			}
+		}
+		if survivors == 0 {
+			return fmt.Errorf("optics: degraded splitter has no surviving switches")
+		}
+	}
+	lo, hi := s.F/survivors, (s.F+survivors-1)/survivors
 	for r := 0; r < s.N; r++ {
 		counts := make([]int, s.H)
 		for _, a := range s.assign[r] {
@@ -128,8 +145,14 @@ func (s *Splitter) Validate() error {
 			counts[a]++
 		}
 		for h, c := range counts {
-			if c != alpha {
-				return fmt.Errorf("optics: ribbon %d gives switch %d %d fibers, want %d", r, h, c, alpha)
+			if s.alive != nil && !s.alive[h] {
+				if c != 0 {
+					return fmt.Errorf("optics: ribbon %d gives dead switch %d %d fibers", r, h, c)
+				}
+				continue
+			}
+			if c < lo || c > hi {
+				return fmt.Errorf("optics: ribbon %d gives switch %d %d fibers, want %d..%d", r, h, c, lo, hi)
 			}
 		}
 	}

@@ -1,0 +1,213 @@
+package resilience
+
+import (
+	"testing"
+
+	"pbrouter/internal/sim"
+)
+
+func TestStateAtEvaluatesIntervals(t *testing.T) {
+	faults := []Fault{
+		{Kind: SwitchFailure, Switch: 1, Fail: 10, Repair: 20},
+		{Kind: ChannelFailure, Switch: 2, Index: 5, Fail: 15, Repair: 30},
+		{Kind: GroupFailure, Switch: 2, Index: 3, Fail: 5, Repair: 12},
+		{Kind: FiberDimming, Ribbon: 0, Fiber: 1, Scale: 0.5, Fail: 0, Repair: 25},
+	}
+	st := StateAt(faults, 16, 4)
+	if st.Alive[1] {
+		t.Fatal("switch 1 alive during its outage")
+	}
+	if len(st.DeadChannels[2]) != 1 || st.DeadChannels[2][0] != 5 {
+		t.Fatalf("DeadChannels[2] = %v", st.DeadChannels[2])
+	}
+	if len(st.DeadGroups[2]) != 0 {
+		t.Fatal("repaired group still dead")
+	}
+	if len(st.Dimmed) != 1 || st.Dimmed[0].Scale != 0.5 {
+		t.Fatalf("Dimmed = %v", st.Dimmed)
+	}
+	if st.Healthy() {
+		t.Fatal("faulted state reported healthy")
+	}
+	sw, ch, gr, fb := st.Counts()
+	if sw != 1 || ch != 1 || gr != 0 || fb != 1 {
+		t.Fatalf("Counts = %d/%d/%d/%d", sw, ch, gr, fb)
+	}
+
+	if st := StateAt(faults, 40, 4); !st.Healthy() {
+		t.Fatalf("post-repair state not healthy: %+v", st)
+	}
+	if st := StateAt(nil, 0, 4); !st.Healthy() || st.AliveCount() != 4 {
+		t.Fatal("empty schedule not healthy")
+	}
+}
+
+func TestStateAtSubsumesFaultsInsideDeadSwitch(t *testing.T) {
+	faults := []Fault{
+		{Kind: SwitchFailure, Switch: 0, Fail: 0, Repair: 100},
+		{Kind: ChannelFailure, Switch: 0, Index: 2, Fail: 0, Repair: 100},
+	}
+	st := StateAt(faults, 50, 2)
+	if st.Alive[0] {
+		t.Fatal("switch 0 alive")
+	}
+	if len(st.DeadChannels[0]) != 0 {
+		t.Fatal("channel fault inside a dead switch not subsumed")
+	}
+}
+
+func TestStateAtOverlappingDimsMultiply(t *testing.T) {
+	faults := []Fault{
+		{Kind: FiberDimming, Ribbon: 1, Fiber: 2, Scale: 0.5, Fail: 0, Repair: 100},
+		{Kind: FiberDimming, Ribbon: 1, Fiber: 2, Scale: 0.5, Fail: 10, Repair: 100},
+		{Kind: FiberDimming, Ribbon: 0, Fiber: 7, Scale: 0.8, Fail: 0, Repair: 100},
+	}
+	st := StateAt(faults, 50, 2)
+	if len(st.Dimmed) != 2 {
+		t.Fatalf("Dimmed = %v", st.Dimmed)
+	}
+	// Canonical (ribbon, fiber) order.
+	if st.Dimmed[0].Ribbon != 0 || st.Dimmed[1].Ribbon != 1 {
+		t.Fatalf("dim order not canonical: %v", st.Dimmed)
+	}
+	if st.Dimmed[1].Scale != 0.25 {
+		t.Fatalf("overlapping dims scale %g, want 0.25", st.Dimmed[1].Scale)
+	}
+}
+
+func TestEpochsPartitionHorizon(t *testing.T) {
+	faults := []Fault{
+		{Kind: SwitchFailure, Switch: 0, Fail: 10, Repair: 30},
+		{Kind: SwitchFailure, Switch: 1, Fail: 30, Repair: 200}, // repair beyond horizon
+	}
+	eps := Epochs(faults, 100)
+	want := []Epoch{{0, 10}, {10, 30}, {30, 100}}
+	if len(eps) != len(want) {
+		t.Fatalf("epochs %v, want %v", eps, want)
+	}
+	for i := range want {
+		if eps[i] != want[i] {
+			t.Fatalf("epoch %d = %v, want %v", i, eps[i], want[i])
+		}
+	}
+	// Empty schedule: one healthy epoch covering everything.
+	if eps := Epochs(nil, 50); len(eps) != 1 || eps[0] != (Epoch{0, 50}) {
+		t.Fatalf("empty-schedule epochs = %v", eps)
+	}
+}
+
+func scheduleConfig(seed uint64) ScheduleConfig {
+	return ScheduleConfig{
+		Seed:          seed,
+		Horizon:       100 * sim.Microsecond,
+		MTBF:          5 * sim.Microsecond,
+		MTTR:          2 * sim.Microsecond,
+		SwitchWeight:  1,
+		ChannelWeight: 1,
+		GroupWeight:   1,
+		FiberWeight:   1,
+		Switches:      4,
+		Channels:      32,
+		Groups:        16,
+		Ribbons:       8,
+		Fibers:        16,
+	}
+}
+
+func TestGenerateScheduleDeterministicAndSafe(t *testing.T) {
+	a, err := GenerateSchedule(scheduleConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateSchedule(scheduleConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("schedule empty at MTBF = horizon/20")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("reruns differ: %d vs %d faults", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c, err := GenerateSchedule(scheduleConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	// Safety rails: at every fault boundary at least one switch
+	// survives and no surviving switch lost all channels or groups.
+	cfg := scheduleConfig(3)
+	for _, f := range a {
+		for _, at := range []sim.Time{f.Fail, f.Repair - 1} {
+			if at >= cfg.Horizon {
+				continue
+			}
+			st := StateAt(a, at, cfg.Switches)
+			if st.AliveCount() == 0 {
+				t.Fatalf("no switch alive at %v", at)
+			}
+			for h := range st.Alive {
+				if !st.Alive[h] {
+					continue
+				}
+				if len(st.DeadChannels[h]) >= cfg.Channels {
+					t.Fatalf("switch %d lost every channel at %v", h, at)
+				}
+				if len(st.DeadGroups[h]) >= cfg.Groups {
+					t.Fatalf("switch %d lost every group at %v", h, at)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateScheduleRejectsBadConfig(t *testing.T) {
+	mutations := []func(*ScheduleConfig){
+		func(c *ScheduleConfig) { c.Horizon = 0 },
+		func(c *ScheduleConfig) { c.MTBF = 0 },
+		func(c *ScheduleConfig) { c.MTTR = -1 },
+		func(c *ScheduleConfig) {
+			c.SwitchWeight, c.ChannelWeight, c.GroupWeight, c.FiberWeight = 0, 0, 0, 0
+		},
+		func(c *ScheduleConfig) { c.SwitchWeight = -1 },
+		func(c *ScheduleConfig) { c.DimFraction = 1 },
+		func(c *ScheduleConfig) { c.Switches = 0 },
+		func(c *ScheduleConfig) { c.Channels = 1 },
+		func(c *ScheduleConfig) { c.Groups = 1 },
+		func(c *ScheduleConfig) { c.Fibers = 0 },
+	}
+	for i, mut := range mutations {
+		cfg := scheduleConfig(1)
+		mut(&cfg)
+		if _, err := GenerateSchedule(cfg); err == nil {
+			t.Errorf("mutation %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestSwitchOutageBuildsForcedSchedule(t *testing.T) {
+	faults := SwitchOutage([]int{0, 2}, 0, sim.Forever)
+	if len(faults) != 2 {
+		t.Fatalf("%d faults", len(faults))
+	}
+	st := StateAt(faults, 1000, 4)
+	if st.Alive[0] || !st.Alive[1] || st.Alive[2] || !st.Alive[3] {
+		t.Fatalf("Alive = %v", st.Alive)
+	}
+}

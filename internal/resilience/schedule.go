@@ -1,0 +1,227 @@
+package resilience
+
+import (
+	"fmt"
+	"sort"
+
+	"pbrouter/internal/sim"
+)
+
+// ScheduleConfig parameterizes the seeded fault process. Faults arrive
+// as a Poisson process with mean inter-arrival MTBF; each outage lasts
+// an exponential MTTR. Kind weights pick which component class fails;
+// a weight of zero disables the class. Both times are simulated time —
+// real routers fail over months, but the availability curve only
+// depends on the ratio MTTR/MTBF and the number of overlapping faults,
+// so campaigns compress the timescale into the simulated horizon.
+type ScheduleConfig struct {
+	Seed    uint64
+	Horizon sim.Time
+	// MTBF is the mean time between fault arrivals (whole package).
+	MTBF sim.Time
+	// MTTR is the mean time to repair one fault.
+	MTTR sim.Time
+
+	// Component class weights (relative, need not sum to anything).
+	SwitchWeight  float64
+	ChannelWeight float64
+	GroupWeight   float64
+	FiberWeight   float64
+
+	// DimFraction is the surviving fraction of a dimmed fiber, in
+	// (0, 1). Zero defaults to 0.5 (half the wavelengths lost).
+	DimFraction float64
+
+	// Topology bounds for target selection.
+	Switches int // H
+	Channels int // HBM channels per switch
+	Groups   int // bank interleaving groups per switch
+	Ribbons  int // N
+	Fibers   int // F
+}
+
+// Validate checks the schedule parameters.
+func (c *ScheduleConfig) Validate() error {
+	if c.Horizon <= 0 {
+		return fmt.Errorf("resilience: horizon must be positive, got %v", c.Horizon)
+	}
+	if c.MTBF <= 0 || c.MTTR <= 0 {
+		return fmt.Errorf("resilience: MTBF and MTTR must be positive, got %v / %v", c.MTBF, c.MTTR)
+	}
+	total := c.SwitchWeight + c.ChannelWeight + c.GroupWeight + c.FiberWeight
+	if total <= 0 {
+		return fmt.Errorf("resilience: at least one fault-kind weight must be positive")
+	}
+	for _, w := range []float64{c.SwitchWeight, c.ChannelWeight, c.GroupWeight, c.FiberWeight} {
+		if w < 0 {
+			return fmt.Errorf("resilience: fault-kind weights must be non-negative")
+		}
+	}
+	if c.DimFraction < 0 || c.DimFraction >= 1 {
+		return fmt.Errorf("resilience: dim fraction must be in [0,1), got %v", c.DimFraction)
+	}
+	if c.Switches <= 0 {
+		return fmt.Errorf("resilience: switch count must be positive, got %d", c.Switches)
+	}
+	if c.ChannelWeight > 0 && c.Channels <= 1 {
+		return fmt.Errorf("resilience: channel faults need at least 2 channels per switch, got %d", c.Channels)
+	}
+	if c.GroupWeight > 0 && c.Groups <= 1 {
+		return fmt.Errorf("resilience: group faults need at least 2 groups per switch, got %d", c.Groups)
+	}
+	if c.FiberWeight > 0 && (c.Ribbons <= 0 || c.Fibers <= 0) {
+		return fmt.Errorf("resilience: fiber faults need ribbon/fiber counts, got %d/%d", c.Ribbons, c.Fibers)
+	}
+	return nil
+}
+
+// GenerateSchedule draws a deterministic fault schedule from the
+// seeded process. Safety rails keep every instant simulatable: the
+// last surviving switch is never killed, nor the last live channel or
+// bank group of a surviving switch, and a component already down skips
+// its redundant fault (the arrival is consumed, matching a memoryless
+// process hitting an already-failed part).
+func GenerateSchedule(cfg ScheduleConfig) ([]Fault, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(cfg.Seed ^ 0xfa117)
+	dim := cfg.DimFraction
+	if dim == 0 {
+		dim = 0.5
+	}
+	var faults []Fault
+	t := sim.Time(0)
+	for {
+		t += sim.Time(rng.ExpFloat64() * float64(cfg.MTBF))
+		if t >= cfg.Horizon {
+			break
+		}
+		repair := t + sim.Time(rng.ExpFloat64()*float64(cfg.MTTR))
+		if repair <= t {
+			repair = t + 1
+		}
+		kind := pickKind(rng, cfg)
+		st := StateAt(faults, t, cfg.Switches)
+		switch kind {
+		case SwitchFailure:
+			if st.AliveCount() <= 1 {
+				continue // never kill the last switch
+			}
+			h := rng.Intn(cfg.Switches)
+			if !st.Alive[h] {
+				continue // already down; arrival consumed
+			}
+			faults = append(faults, Fault{Kind: SwitchFailure, Switch: h, Fail: t, Repair: repair})
+		case ChannelFailure:
+			h := rng.Intn(cfg.Switches)
+			ch := rng.Intn(cfg.Channels)
+			if !st.Alive[h] || contains(st.DeadChannels[h], ch) ||
+				len(st.DeadChannels[h]) >= cfg.Channels-1 {
+				continue // dead switch, dead channel, or last live channel
+			}
+			faults = append(faults, Fault{Kind: ChannelFailure, Switch: h, Index: ch, Fail: t, Repair: repair})
+		case GroupFailure:
+			h := rng.Intn(cfg.Switches)
+			g := rng.Intn(cfg.Groups)
+			if !st.Alive[h] || contains(st.DeadGroups[h], g) ||
+				len(st.DeadGroups[h]) >= cfg.Groups-1 {
+				continue
+			}
+			faults = append(faults, Fault{Kind: GroupFailure, Switch: h, Index: g, Fail: t, Repair: repair})
+		case FiberDimming:
+			r := rng.Intn(cfg.Ribbons)
+			f := rng.Intn(cfg.Fibers)
+			if dimmedAt(st, r, f) {
+				continue // one dimming per fiber at a time
+			}
+			faults = append(faults, Fault{Kind: FiberDimming, Ribbon: r, Fiber: f, Scale: dim, Fail: t, Repair: repair})
+		}
+	}
+	return faults, nil
+}
+
+// pickKind draws the fault class by weight.
+func pickKind(rng *sim.RNG, cfg ScheduleConfig) Kind {
+	total := cfg.SwitchWeight + cfg.ChannelWeight + cfg.GroupWeight + cfg.FiberWeight
+	x := rng.Float64() * total
+	if x < cfg.SwitchWeight {
+		return SwitchFailure
+	}
+	x -= cfg.SwitchWeight
+	if x < cfg.ChannelWeight {
+		return ChannelFailure
+	}
+	x -= cfg.ChannelWeight
+	if x < cfg.GroupWeight {
+		return GroupFailure
+	}
+	return FiberDimming
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func dimmedAt(st State, ribbon, fiber int) bool {
+	for _, d := range st.Dimmed {
+		if d.Ribbon == ribbon && d.Fiber == fiber {
+			return true
+		}
+	}
+	return false
+}
+
+// SwitchOutage builds the forced schedule availability sweeps use: the
+// listed switches fail at fail and recover at repair (use a repair at
+// or past the horizon for a permanent outage).
+func SwitchOutage(failed []int, fail, repair sim.Time) []Fault {
+	faults := make([]Fault, 0, len(failed))
+	for _, h := range failed {
+		faults = append(faults, Fault{Kind: SwitchFailure, Switch: h, Fail: fail, Repair: repair})
+	}
+	return faults
+}
+
+// Epochs partitions [0, horizon) at every fault/repair boundary. Each
+// returned interval has a constant State. Boundaries outside the
+// horizon are clipped; an empty schedule yields the single healthy
+// epoch.
+func Epochs(faults []Fault, horizon sim.Time) []Epoch {
+	cuts := map[sim.Time]bool{0: true}
+	for _, f := range faults {
+		if f.Fail > 0 && f.Fail < horizon {
+			cuts[f.Fail] = true
+		}
+		if f.Repair > 0 && f.Repair < horizon {
+			cuts[f.Repair] = true
+		}
+	}
+	times := make([]sim.Time, 0, len(cuts))
+	for t := range cuts {
+		times = append(times, t)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	eps := make([]Epoch, len(times))
+	for i, t := range times {
+		end := horizon
+		if i+1 < len(times) {
+			end = times[i+1]
+		}
+		eps[i] = Epoch{Start: t, End: end}
+	}
+	return eps
+}
+
+// Epoch is one maximal interval of constant component health.
+type Epoch struct {
+	Start, End sim.Time
+}
+
+// Duration is the epoch length.
+func (e Epoch) Duration() sim.Time { return e.End - e.Start }

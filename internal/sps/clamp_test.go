@@ -118,7 +118,7 @@ func TestClampRows(t *testing.T) {
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
 			m, want := tc.build(), tc.want()
-			clampRows(m)
+			ClampRows(m)
 			for i := 0; i < m.N; i++ {
 				if got := m.RowLoad(i); got > 1+eps {
 					t.Errorf("row %d still over line rate: %g", i, got)
@@ -138,7 +138,7 @@ func TestClampRows(t *testing.T) {
 func TestClampRowsPreservesRatios(t *testing.T) {
 	m := traffic.NewMatrix(3)
 	m.Rates[0][0], m.Rates[0][1], m.Rates[0][2] = 1.0, 2.0, 3.0 // row 6.0
-	clampRows(m)
+	ClampRows(m)
 	if got := m.RowLoad(0); math.Abs(got-1) > 1e-12 {
 		t.Fatalf("clamped row load = %g, want 1", got)
 	}

@@ -1,0 +1,57 @@
+package sps
+
+import (
+	"fmt"
+
+	"pbrouter/internal/sim"
+)
+
+// Degrade returns a deployment whose splitter re-hashes the fibers of
+// dead switches across the survivors (optics.Splitter.Degrade) —
+// SwitchOf, SwitchLoads, and SwitchMatrices then route every flow to a
+// surviving switch, so the package keeps forwarding at proportionally
+// reduced capacity. The receiver is unchanged; with all switches alive
+// it is returned as-is.
+func (d *Deployment) Degrade(alive []bool, seed uint64) (*Deployment, error) {
+	sp, err := d.Splitter.Degrade(alive, seed)
+	if err != nil {
+		return nil, err
+	}
+	if sp == d.Splitter {
+		return d, nil
+	}
+	return &Deployment{Cfg: d.Cfg, Splitter: sp}, nil
+}
+
+// UniformFiberFlows builds the exactly-uniform admissible flow set:
+// one flow per (ribbon, fiber, destination) at rate load/N of a
+// fiber's capacity, so every fiber carries precisely load and every
+// switch sees a perfectly balanced matrix regardless of the splitter
+// pattern. The seed only diversifies the five-tuples (used by hashed
+// egress); rates are deterministic. This is the baseline traffic of
+// the resilience availability experiments, where splitter skew must
+// not confound the capacity-loss measurement.
+func UniformFiberFlows(cfg Config, load float64, seed uint64) ([]Flow, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if load < 0 || load > 1 {
+		return nil, fmt.Errorf("sps: per-fiber load %g outside [0,1]", load)
+	}
+	rng := sim.NewRNG(seed)
+	flows := make([]Flow, 0, cfg.N*cfg.F*cfg.N)
+	for r := 0; r < cfg.N; r++ {
+		for f := 0; f < cfg.F; f++ {
+			for dst := 0; dst < cfg.N; dst++ {
+				flows = append(flows, Flow{
+					SrcRibbon: r,
+					Fiber:     f,
+					DstRibbon: dst,
+					Rate:      load / float64(cfg.N),
+					Tuple:     randomTuple(rng),
+				})
+			}
+		}
+	}
+	return flows, nil
+}

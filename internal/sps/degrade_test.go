@@ -1,0 +1,141 @@
+package sps
+
+import (
+	"math"
+	"testing"
+
+	"pbrouter/internal/optics"
+	"pbrouter/internal/sim"
+)
+
+func smallConfig() Config {
+	return Config{
+		N: 4, F: 8, H: 4,
+		WDM:     optics.WDM{Wavelengths: 16, ChannelRate: 20 * sim.Gbps},
+		Pattern: optics.PseudoRandom,
+		Seed:    0x5e5,
+	}
+}
+
+func TestConfigValidateRejectionTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero ribbons", func(c *Config) { c.N = 0 }},
+		{"negative fibers", func(c *Config) { c.F = -8 }},
+		{"zero switches", func(c *Config) { c.H = 0 }},
+		{"F not divisible by H", func(c *Config) { c.F = 10 }},
+		{"more switches than fibers", func(c *Config) { c.H = 16 }},
+		{"zero wavelengths", func(c *Config) { c.WDM.Wavelengths = 0 }},
+		{"zero channel rate", func(c *Config) { c.WDM.ChannelRate = 0 }},
+		{"negative channel rate", func(c *Config) { c.WDM.ChannelRate = -sim.Gbps }},
+	}
+	for _, c := range cases {
+		cfg := smallConfig()
+		c.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: accepted %+v", c.name, cfg)
+		}
+	}
+	if err := smallConfig().Validate(); err != nil {
+		t.Fatalf("baseline config rejected: %v", err)
+	}
+}
+
+func TestDeploymentDegradeRoutesAroundDeadSwitch(t *testing.T) {
+	dep, err := NewDeployment(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := UniformFiberFlows(dep.Cfg, 0.8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive := []bool{true, false, true, true}
+	deg, err := dep.Degrade(alive, dep.Cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg == dep {
+		t.Fatal("degrade with a dead switch returned the original deployment")
+	}
+	loads := deg.SwitchLoads(flows)
+	if loads[1] != 0 {
+		t.Fatalf("dead switch still carries load %g", loads[1])
+	}
+	// The dead switch's traffic lands on the survivors: total conserved.
+	var total float64
+	for _, l := range loads {
+		total += l
+	}
+	healthyTotal := 0.0
+	for _, l := range dep.SwitchLoads(flows) {
+		healthyTotal += l
+	}
+	if math.Abs(total-healthyTotal) > 1e-9 {
+		t.Fatalf("degraded total load %g != healthy %g", total, healthyTotal)
+	}
+	// Every flow still routes to a live switch.
+	for _, f := range flows {
+		if h := deg.SwitchOf(f); !alive[h] {
+			t.Fatalf("flow %+v routed to dead switch %d", f, h)
+		}
+	}
+}
+
+func TestDeploymentDegradeAllAliveIsNoop(t *testing.T) {
+	dep, err := NewDeployment(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg, err := dep.Degrade([]bool{true, true, true, true}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg != dep {
+		t.Fatal("healthy degrade did not return the receiver")
+	}
+}
+
+func TestUniformFiberFlows(t *testing.T) {
+	cfg := smallConfig()
+	flows, err := UniformFiberFlows(cfg, 0.6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != cfg.N*cfg.F*cfg.N {
+		t.Fatalf("%d flows, want %d", len(flows), cfg.N*cfg.F*cfg.N)
+	}
+	// Per-fiber load is exactly the requested load.
+	perFiber := map[[2]int]float64{}
+	for _, f := range flows {
+		perFiber[[2]int{f.SrcRibbon, f.Fiber}] += f.Rate
+	}
+	for k, l := range perFiber {
+		if math.Abs(l-0.6) > 1e-12 {
+			t.Fatalf("fiber %v carries %g, want 0.6", k, l)
+		}
+	}
+	// The derived switch matrices are perfectly uniform and admissible.
+	dep, err := NewDeployment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h, m := range dep.SwitchMatrices(flows) {
+		if !m.Admissible(1e-9) {
+			t.Fatalf("switch %d matrix inadmissible under uniform fiber flows", h)
+		}
+		for i := 0; i < m.N; i++ {
+			if r := m.RowLoad(i); math.Abs(r-0.6) > 1e-9 {
+				t.Fatalf("switch %d row %d load %g, want 0.6", h, i, r)
+			}
+		}
+	}
+	if _, err := UniformFiberFlows(cfg, 1.5, 1); err == nil {
+		t.Error("load > 1 accepted")
+	}
+	if _, err := UniformFiberFlows(cfg, -0.1, 1); err == nil {
+		t.Error("negative load accepted")
+	}
+}

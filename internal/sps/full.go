@@ -102,7 +102,7 @@ func (r *Router) RunInstrumented(flows []Flow, kind traffic.ArrivalKind, sizes t
 	}
 	results, err := parallel.Map(workers, len(mats), func(h int) (swResult, error) {
 		m := mats[h]
-		clampRows(m)
+		ClampRows(m)
 		sw, err := hbmswitch.New(r.SwitchCfg)
 		if err != nil {
 			return swResult{}, err
@@ -178,9 +178,11 @@ func (r *Router) RunInstrumented(flows []Flow, kind traffic.ArrivalKind, sizes t
 	return rep, capture, nil
 }
 
-// clampRows scales down any row exceeding line rate (the fiber bundle
-// physically cannot deliver more).
-func clampRows(m *traffic.Matrix) {
+// ClampRows scales down any matrix row exceeding line rate (the fiber
+// bundle physically cannot deliver more). The resilience engine uses
+// it too: after a degraded re-hash, survivor ports are oversubscribed
+// and the clamped excess is exactly the proportional capacity loss.
+func ClampRows(m *traffic.Matrix) {
 	for i := 0; i < m.N; i++ {
 		row := m.RowLoad(i)
 		if row > 1 {

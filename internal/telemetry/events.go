@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pbrouter/internal/sim"
+)
+
+// Event is one discrete simulated-time occurrence — a component
+// failure or repair from the resilience fault engine, as opposed to
+// the periodically sampled Series. Kind is a short stable tag
+// ("fail", "repair"); Detail names the component.
+type Event struct {
+	At     sim.Time
+	Kind   string
+	Detail string
+}
+
+// EventLog accumulates discrete events and renders them with the same
+// deterministic, simulated-time-keyed formatting rules as Series:
+// hand-rolled CSV/JSON, byte-identical across worker counts. All
+// methods are nil-safe no-ops on a nil log.
+type EventLog struct {
+	events []Event
+}
+
+// Add records one event.
+func (l *EventLog) Add(at sim.Time, kind, detail string) {
+	if l == nil {
+		return
+	}
+	l.events = append(l.events, Event{At: at, Kind: kind, Detail: detail})
+}
+
+// Sort orders events by time, preserving insertion order within a
+// tick, so logs filled from a sorted fault schedule render
+// chronologically.
+func (l *EventLog) Sort() {
+	if l == nil {
+		return
+	}
+	sort.SliceStable(l.events, func(i, j int) bool { return l.events[i].At < l.events[j].At })
+}
+
+// Events returns the recorded events. The caller must not modify the
+// slice.
+func (l *EventLog) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	return l.events
+}
+
+// WriteCSV writes "time_ps,kind,detail" rows. Details are quoted only
+// when they contain a comma or quote, keeping the common case clean.
+func (l *EventLog) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("time_ps,kind,detail\n")
+	if l != nil {
+		for _, e := range l.events {
+			b.WriteString(strconv.FormatInt(int64(e.At), 10))
+			b.WriteByte(',')
+			b.WriteString(e.Kind)
+			b.WriteByte(',')
+			if strings.ContainsAny(e.Detail, ",\"\n") {
+				b.WriteString(strconv.Quote(e.Detail))
+			} else {
+				b.WriteString(e.Detail)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteJSON writes the log as one deterministic JSON object:
+//
+//	{"schema":"pbrouter-events/1","events":[{"t_ps":...,"kind":"...","detail":"..."},...]}
+func (l *EventLog) WriteJSON(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString(`{"schema":"pbrouter-events/1","events":[`)
+	if l != nil {
+		for i, e := range l.events {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(`{"t_ps":`)
+			b.WriteString(strconv.FormatInt(int64(e.At), 10))
+			b.WriteString(`,"kind":`)
+			b.WriteString(strconv.Quote(e.Kind))
+			b.WriteString(`,"detail":`)
+			b.WriteString(strconv.Quote(e.Detail))
+			b.WriteString("}")
+		}
+	}
+	b.WriteString("]}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

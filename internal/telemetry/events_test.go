@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"pbrouter/internal/sim"
+)
+
+func TestEventLogCSV(t *testing.T) {
+	var l EventLog
+	l.Add(2*sim.Microsecond, "repair", "switch 1")
+	l.Add(sim.Microsecond, "fail", "switch 1")
+	l.Add(sim.Microsecond, "fail", `ribbon 0, fiber "3"`)
+	l.Sort()
+
+	var b strings.Builder
+	if err := l.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "time_ps,kind,detail\n" +
+		"1000000,fail,switch 1\n" +
+		"1000000,fail,\"ribbon 0, fiber \\\"3\\\"\"\n" +
+		"2000000,repair,switch 1\n"
+	if got != want {
+		t.Fatalf("CSV mismatch:\ngot  %q\nwant %q", got, want)
+	}
+}
+
+func TestEventLogSortIsStable(t *testing.T) {
+	var l EventLog
+	l.Add(5, "fail", "first")
+	l.Add(5, "fail", "second")
+	l.Add(1, "fail", "earliest")
+	l.Sort()
+	ev := l.Events()
+	if ev[0].Detail != "earliest" || ev[1].Detail != "first" || ev[2].Detail != "second" {
+		t.Fatalf("unstable sort: %+v", ev)
+	}
+}
+
+func TestEventLogJSON(t *testing.T) {
+	var l EventLog
+	l.Add(7, "fail", "switch 0")
+	var b strings.Builder
+	if err := l.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"schema":"pbrouter-events/1","events":[{"t_ps":7,"kind":"fail","detail":"switch 0"}]}` + "\n"
+	if b.String() != want {
+		t.Fatalf("JSON mismatch:\ngot  %q\nwant %q", b.String(), want)
+	}
+}
+
+func TestEventLogNilSafe(t *testing.T) {
+	var l *EventLog
+	l.Add(1, "fail", "x") // must not panic
+	l.Sort()
+	if l.Events() != nil {
+		t.Fatal("nil log returned events")
+	}
+	var b strings.Builder
+	if err := l.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "time_ps,kind,detail\n" {
+		t.Fatalf("nil log CSV = %q", b.String())
+	}
+	b.Reset()
+	if err := l.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"events":[]`) {
+		t.Fatalf("nil log JSON = %q", b.String())
+	}
+}

@@ -1,0 +1,83 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFailoverShiftsLoadOntoSurvivors(t *testing.T) {
+	n := 8
+	m := Failover(n, 0.4, []int{2, 5})
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Admissible(1e-9) {
+		t.Fatal("failover matrix inadmissible")
+	}
+	for i := 0; i < n; i++ {
+		if m.Rates[i][2] != 0 || m.Rates[i][5] != 0 {
+			t.Fatalf("input %d still sends to a failed output", i)
+		}
+		if r := m.RowLoad(i); math.Abs(r-0.4) > 1e-12 {
+			t.Fatalf("input %d offers %g, want 0.4", i, r)
+		}
+	}
+	// Survivor columns absorb the redistributed load evenly: n·load/s.
+	want := float64(n) * 0.4 / 6
+	for j := 0; j < n; j++ {
+		col := m.ColLoad(j)
+		if j == 2 || j == 5 {
+			if col != 0 {
+				t.Fatalf("failed column %d has load %g", j, col)
+			}
+			continue
+		}
+		if math.Abs(col-want) > 1e-12 {
+			t.Fatalf("survivor column %d has load %g, want %g", j, col, want)
+		}
+	}
+}
+
+func TestFailoverCapsLoadForAdmissibility(t *testing.T) {
+	// 6 of 8 outputs down: two survivors can carry at most
+	// 0.97 * 2/8 of each input's line rate.
+	m := Failover(8, 0.9, []int{0, 1, 2, 3, 4, 5})
+	if !m.Admissible(1e-9) {
+		t.Fatal("capped failover matrix inadmissible")
+	}
+	wantRow := 0.97 * 2.0 / 8.0
+	if r := m.RowLoad(0); math.Abs(r-wantRow) > 1e-12 {
+		t.Fatalf("capped row load %g, want %g", r, wantRow)
+	}
+	for j := 6; j <= 7; j++ {
+		if col := m.ColLoad(j); col > 1+1e-9 {
+			t.Fatalf("survivor column %d oversubscribed: %g", j, col)
+		}
+	}
+}
+
+func TestFailoverNoFailuresIsUniform(t *testing.T) {
+	a, b := Failover(4, 0.8, nil), Uniform(4, 0.8)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if math.Abs(a.Rates[i][j]-b.Rates[i][j]) > 1e-12 {
+				t.Fatalf("(%d,%d): failover %g != uniform %g", i, j, a.Rates[i][j], b.Rates[i][j])
+			}
+		}
+	}
+}
+
+func TestFailoverAllFailedKeepsLastOutput(t *testing.T) {
+	m := Failover(4, 0.5, []int{0, 1, 2, 3})
+	for j := 0; j < 3; j++ {
+		if m.ColLoad(j) != 0 {
+			t.Fatalf("column %d nonzero", j)
+		}
+	}
+	if m.ColLoad(3) == 0 {
+		t.Fatal("fallback survivor column empty")
+	}
+	if !m.Admissible(1e-9) {
+		t.Fatal("fallback matrix inadmissible")
+	}
+}

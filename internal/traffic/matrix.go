@@ -107,6 +107,43 @@ func Concentrated(n int, load float64, k int) *Matrix {
 	return m
 }
 
+// Failover returns the matrix seen after a mid-run failure shifted
+// load onto the survivors: every one of the n inputs spreads its whole
+// load evenly over the outputs NOT listed in failed (traffic for a
+// dead destination re-converges onto the remaining ports, the way
+// upstream routing re-steers around a failed egress). Failed columns
+// receive exactly zero. With s survivors each surviving column absorbs
+// n·load/s, so the load is capped at 0.97·s/n to keep the matrix
+// admissible — the same convention as Concentrated. Failing every
+// output leaves the single survivor with the highest index.
+func Failover(n int, load float64, failed []int) *Matrix {
+	dead := make([]bool, n)
+	for _, j := range failed {
+		if j >= 0 && j < n {
+			dead[j] = true
+		}
+	}
+	var live []int
+	for j := 0; j < n; j++ {
+		if !dead[j] {
+			live = append(live, j)
+		}
+	}
+	if len(live) == 0 {
+		live = []int{n - 1}
+	}
+	if max := 0.97 * float64(len(live)) / float64(n); load > max {
+		load = max
+	}
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for _, j := range live {
+			m.Rates[i][j] = load / float64(len(live))
+		}
+	}
+	return m
+}
+
 // Admissible reports whether no row or column sum exceeds 1+eps.
 func (m *Matrix) Admissible(eps float64) bool {
 	for i := 0; i < m.N; i++ {

@@ -1,0 +1,77 @@
+package validate
+
+import (
+	"pbrouter/internal/hbmswitch"
+	"pbrouter/internal/sim"
+)
+
+// This file is the harness's epoch-sliced entry point for the
+// resilience subsystem (internal/resilience): a fault campaign
+// partitions the horizon into fail/repair epochs, simulates every
+// (epoch, surviving switch) pair independently, and wants the same
+// structural invariants — and, on healthy epochs, the same OQ-mimicry
+// oracle — that the scenario harness applies, without re-deriving the
+// gating rules itself.
+
+// Observer is the exported structural probe for one epoch run of one
+// switch. Attach Probe() to the switch before Run, then call
+// CheckEpoch on the report. The probe is degraded-aware: with dead
+// bank groups configured it enforces the remapped n mod (L'/γ)
+// residency invariant instead of the healthy n mod (L/γ) rule.
+type Observer struct {
+	cfg     hbmswitch.Config
+	horizon sim.Time
+	pr      *runProbe
+}
+
+// NewObserver builds an observer for a switch configuration and the
+// epoch's simulation horizon.
+func NewObserver(cfg hbmswitch.Config, horizon sim.Time) *Observer {
+	return &Observer{cfg: cfg, horizon: horizon, pr: newRunProbe(cfg, horizon)}
+}
+
+// Probe returns the hbmswitch.Probe to attach via SetProbe.
+func (o *Observer) Probe() hbmswitch.Probe { return o.pr }
+
+// CheckEpoch evaluates every invariant that applies to the epoch's
+// regime. The structural ones (model errors, packet/byte conservation,
+// probe-vs-report cross-check, bank residency, FIFO order) always
+// apply — a degraded switch must stay correct, only slower. The
+// behavioural oracles are gated to where they are meaningful:
+//
+//   - The OQ-mimicry gap and delay-growth oracles run only on healthy
+//     epochs (Config.Degraded zero): a switch missing channels
+//     legitimately trails an ideal OQ switch at full port rate, which
+//     is proportional capacity loss, not a mimicry failure.
+//   - Gap additionally needs the shadow, an admissible post-clamp
+//     matrix, a steady window of at least the oracle's minimum, no
+//     drops, and the pad+bypass policy (otherwise partial-frame wait
+//     biases the window).
+//   - The SRAM budgets assume a write path with bandwidth headroom, so
+//     they too apply only when healthy; a channel-degraded switch
+//     backlogs in the tail SRAM by design.
+//
+// admissible reports whether the epoch's (clamped) matrix is
+// admissible; full delivery is asserted exactly then, since the ample
+// reference memory absorbs any transient.
+func (o *Observer) CheckEpoch(rep *hbmswitch.Report, admissible bool) []Violation {
+	healthy := !o.cfg.Degraded.Any()
+	steadyWindow := o.horizon - o.horizon/3
+	exp := Expect{
+		FullDelivery: admissible,
+		SRAMBudget:   healthy,
+		MimicryGap: healthy && admissible && rep.ShadowRun &&
+			o.cfg.Policy.PadFrames && o.cfg.Policy.BypassHBM &&
+			steadyWindow >= minGapWindow && rep.DroppedPackets == 0,
+	}
+	vs := CheckReport(o.cfg, rep, exp)
+	vs = append(vs, crossCheck(o.pr, rep)...)
+	vs = append(vs, o.pr.violations...)
+	if healthy {
+		fd := sim.TransferTime(int64(o.cfg.PFI.FrameBytes())*8, o.cfg.PortRate)
+		if g := o.pr.growthViolation(fd); g != nil {
+			vs = append(vs, *g)
+		}
+	}
+	return vs
+}

@@ -18,7 +18,12 @@ const maxProbeViolations = 16
 // independently of the switch's own bookkeeping, and accumulates the
 // steady-window relative-delay samples the growth oracle needs.
 type runProbe struct {
-	groups          int64
+	// liveGroups is the expected placement cycle: frame n of any output
+	// must land in liveGroups[n mod len(liveGroups)]. On a healthy
+	// switch this is the identity 0..L/γ-1 (the n mod (L/γ) rule); with
+	// dead bank groups (Config.Degraded) it is the surviving groups in
+	// ascending order — the remapped n mod (L'/γ) residency invariant.
+	liveGroups      []int
 	warmup, horizon sim.Time
 	mid             sim.Time
 
@@ -42,16 +47,35 @@ type runProbe struct {
 
 func newRunProbe(cfg hbmswitch.Config, horizon sim.Time) *runProbe {
 	warmup := horizon / 3
-	return &runProbe{
-		groups:   int64(cfg.PFI.Groups()),
-		warmup:   warmup,
-		horizon:  horizon,
-		mid:      warmup + (horizon-warmup)/2,
-		writeSeq: make([]int64, cfg.PFI.N),
-		readSeq:  make([]int64, cfg.PFI.N),
-		nextSeq:  make(map[uint64]int64),
-		dropped:  make(map[uint64]map[int64]bool),
+	groups := cfg.PFI.Groups()
+	dead := make([]bool, groups)
+	for _, g := range cfg.Degraded.DeadGroups {
+		if g >= 0 && g < groups {
+			dead[g] = true
+		}
 	}
+	var live []int
+	for g := 0; g < groups; g++ {
+		if !dead[g] {
+			live = append(live, g)
+		}
+	}
+	return &runProbe{
+		liveGroups: live,
+		warmup:     warmup,
+		horizon:    horizon,
+		mid:        warmup + (horizon-warmup)/2,
+		writeSeq:   make([]int64, cfg.PFI.N),
+		readSeq:    make([]int64, cfg.PFI.N),
+		nextSeq:    make(map[uint64]int64),
+		dropped:    make(map[uint64]map[int64]bool),
+	}
+}
+
+// expectGroup is the placement rule the probe re-derives: the
+// (possibly remapped) group frame seq must occupy.
+func (p *runProbe) expectGroup(seq int64) int {
+	return p.liveGroups[int(seq%int64(len(p.liveGroups)))]
 }
 
 func (p *runProbe) violate(inv, format string, args ...any) {
@@ -80,7 +104,7 @@ func (p *runProbe) FrameWritten(output int, seq int64, group, row int) {
 			output, seq, p.writeSeq[output])
 	}
 	p.writeSeq[output] = seq + 1
-	if want := int(seq % p.groups); group != want {
+	if want := p.expectGroup(seq); group != want {
 		p.violate(InvBankResidency, "output %d frame %d written to bank group %d, placement rule requires %d",
 			output, seq, group, want)
 	}
@@ -100,7 +124,7 @@ func (p *runProbe) FrameRead(output int, seq int64, group, row int) {
 	if seq >= p.writeSeq[output] {
 		p.violate(InvBankResidency, "output %d read frame %d before it was written", output, seq)
 	}
-	if want := int(seq % p.groups); group != want {
+	if want := p.expectGroup(seq); group != want {
 		p.violate(InvBankResidency, "output %d frame %d read from bank group %d, placement rule requires %d",
 			output, seq, group, want)
 	}

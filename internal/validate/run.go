@@ -147,8 +147,19 @@ func evaluate(sc Scenario, cfg hbmswitch.Config, rep *hbmswitch.Report, pr *runP
 		MimicryBound: sc.Pad && sc.Bypass && sc.FlushNs > 0 && !sc.SmallMemory,
 	}
 	vs := CheckReport(cfg, rep, exp)
-	// Probe-vs-report cross-check: the probe counts every departure
-	// and drop itself.
+	vs = append(vs, crossCheck(pr, rep)...)
+	vs = append(vs, pr.violations...)
+	fd := sim.TransferTime(int64(cfg.PFI.FrameBytes())*8, cfg.PortRate)
+	if g := pr.growthViolation(fd); g != nil {
+		vs = append(vs, *g)
+	}
+	return vs
+}
+
+// crossCheck compares the probe's independent departure/drop counts
+// against the report's claims.
+func crossCheck(pr *runProbe, rep *hbmswitch.Report) []Violation {
+	var vs []Violation
 	if pr.departedPkts != rep.DeliveredPackets || pr.departedBytes != rep.DeliveredBytes {
 		vs = append(vs, Violation{InvConservation, fmt.Sprintf(
 			"probe saw %d departed packets / %d bytes, report claims %d / %d",
@@ -157,11 +168,6 @@ func evaluate(sc Scenario, cfg hbmswitch.Config, rep *hbmswitch.Report, pr *runP
 	if pr.droppedPkts != rep.DroppedPackets {
 		vs = append(vs, Violation{InvConservation, fmt.Sprintf(
 			"probe saw %d drops, report claims %d", pr.droppedPkts, rep.DroppedPackets)})
-	}
-	vs = append(vs, pr.violations...)
-	fd := sim.TransferTime(int64(cfg.PFI.FrameBytes())*8, cfg.PortRate)
-	if g := pr.growthViolation(fd); g != nil {
-		vs = append(vs, *g)
 	}
 	return vs
 }

@@ -239,7 +239,7 @@ func (sc Scenario) Config() (hbmswitch.Config, error) {
 	switch sc.Fault {
 	case FaultNone, FaultStarve: // starve is encoded in the knobs above
 	case FaultFixedGroup:
-		cfg.Faults.FixedGroup = true
+		cfg.SelfTest.FixedGroup = true
 	default:
 		return cfg, fmt.Errorf("validate: unknown fault %q", sc.Fault)
 	}
