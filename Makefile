@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-save repro fuzz fuzz-smoke validate resil fmt vet clean figures
+.PHONY: all build test race cover bench bench-save repro fuzz fuzz-smoke validate resil serve-smoke fmt vet clean figures
 
 all: build vet test race
 
@@ -67,6 +67,15 @@ resil:
 	$(GO) run ./cmd/spsresil -quick -sweep mtbf -j 8 -out /tmp/resil_mtbf.csv
 	cmp internal/resilience/testdata/quick_mtbf.csv /tmp/resil_mtbf.csv
 	@echo "resilience smoke: reports match fixtures"
+
+# Serving smoke: build the real binaries, run an actual spsd daemon,
+# submit one job of each kind, and require every result byte-identical
+# to its CLI twin (and to the checked-in fixtures in
+# internal/serve/testdata). Also load-tests with 32 spsload clients
+# and SIGTERMs the daemon mid-campaign to prove drain + checkpoint +
+# resume lose nothing. See docs/serving.md.
+serve-smoke:
+	SPSD_SMOKE=1 $(GO) test ./internal/serve -run TestServeSmoke -count=1 -v
 
 fmt:
 	gofmt -w .

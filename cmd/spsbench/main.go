@@ -56,7 +56,7 @@ func main() {
 		reps     = flag.Int("reps", 1, "replications per stochastic sweep point (>1 reports mean ± 95% CI)")
 		showTime = flag.Bool("time", false, "report wall-clock and simulated-time-per-wall-second per experiment")
 		list     = flag.Bool("list", false, "list experiments and exit")
-		format   = flag.String("format", "table", "output format: table|md")
+		format   = flag.String("format", "table", "output format: table|md|json (json is the serving daemon's wire format)")
 		progress = flag.Bool("progress", false, "report sweep progress and ETA on stderr")
 
 		telemetryOut = flag.String("telemetry", "", "run the instrumented SPS capture and write telemetry here (.json for JSON, else CSV; - for stdout)")
@@ -144,7 +144,15 @@ func runExperiments(expFlag string, list, quick bool, seed uint64, jobs, reps in
 			failed = true
 			continue
 		}
-		if format == "md" {
+		if format == "json" {
+			// One JSON document per experiment, nothing else on stdout:
+			// for a single -exp this is byte-identical to the daemon's
+			// "sweep" job result at the same seed.
+			if err := res.WriteJSON(os.Stdout, e.ID); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+				failed = true
+			}
+		} else if format == "md" {
 			fmt.Printf("### %s: %s\n\n> %s\n\n%s\n", e.ID, e.Title, e.Claim, res.Markdown())
 		} else {
 			fmt.Printf("== %s: %s\nclaim: %s\n\n%s\n", e.ID, e.Title, e.Claim, res.Format())

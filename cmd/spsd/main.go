@@ -1,0 +1,100 @@
+// Command spsd is the router-simulation serving daemon: a long-
+// running HTTP service that accepts simulation jobs (sim, sweep,
+// validate, resilience), runs them on a bounded worker pool, streams
+// telemetry while they run, and checkpoints long campaigns so a
+// drained or killed daemon resumes them on restart. Job results are
+// byte-identical to the equivalent CLI runs at the same seed.
+//
+// Examples:
+//
+//	spsd -addr localhost:9090
+//	spsd -addr :0 -addr-file /tmp/spsd.addr -checkpoint-dir /var/lib/spsd
+//	spsd -workers 4 -queue-depth 128 -j 2
+//
+// SIGTERM or SIGINT drains gracefully: admission stops, running jobs
+// get -drain-grace to finish, stragglers checkpoint and resume on the
+// next start. See docs/serving.md for the API.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pbrouter/internal/cli"
+	"pbrouter/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "localhost:9090", "listen address (host:port; port 0 picks an ephemeral port)")
+		addrFile   = flag.String("addr-file", "", "write the bound address to this file (for scripts and tests)")
+		queueDepth = flag.Int("queue-depth", 64, "admission queue bound: jobs accepted but not yet running")
+		workers    = flag.Int("workers", 2, "jobs run concurrently")
+		jobs       = flag.Int("j", 0, "per-job worker goroutines (0 = one per CPU; results are identical for any value)")
+		ckptDir    = flag.String("checkpoint-dir", "", "persist jobs here for resume-on-restart (empty disables)")
+		drainGrace = flag.Duration("drain-grace", 10*time.Second, "how long a drain lets running jobs finish before checkpointing them")
+	)
+	flag.Parse()
+	cli.Check(
+		cli.ValidateAddr(*addr),
+		cli.ValidateQueueDepth(*queueDepth),
+		cli.ValidateCount("-workers", *workers),
+		cli.ValidateJobs(*jobs),
+		cli.ValidateCheckpointDir(*ckptDir),
+	)
+
+	logger := log.New(os.Stderr, "spsd: ", log.LstdFlags)
+	srv, err := serve.New(serve.Config{
+		QueueDepth:     *queueDepth,
+		Workers:        *workers,
+		JobParallelism: *jobs,
+		CheckpointDir:  *ckptDir,
+		DrainGrace:     *drainGrace,
+		Logf:           logger.Printf,
+	})
+	if err != nil {
+		cli.Exit(cli.Outcome{RunErr: err})
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		cli.Exit(cli.Outcome{RunErr: err})
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			cli.Exit(cli.Outcome{RunErr: err})
+		}
+	}
+	logger.Printf("listening on %s (workers %d, queue %d)", bound, *workers, *queueDepth)
+
+	srv.Start()
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		stop()
+		logger.Printf("signal received, draining")
+		// Jobs first: finish or checkpoint everything accepted, then
+		// close the listener so late pollers get clean errors.
+		srv.Drain(context.Background())
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutCtx)
+		cli.Exit(cli.Outcome{})
+	case err := <-serveErr:
+		cli.Exit(cli.Outcome{RunErr: fmt.Errorf("spsd: serve: %w", err)})
+	}
+}

@@ -21,18 +21,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"pbrouter/internal/cli"
-	"pbrouter/internal/hbmswitch"
 	"pbrouter/internal/resilience"
 	"pbrouter/internal/sim"
-	"pbrouter/internal/sps"
 	"pbrouter/internal/telemetry"
-	"pbrouter/internal/traffic"
 )
 
 func main() {
@@ -75,7 +73,7 @@ func main() {
 	)
 	hz, err := cli.Duration("-horizon", *horizon)
 	if err != nil {
-		fail(2, err)
+		cli.Exit(cli.Outcome{UsageErr: err})
 	}
 	if *quick {
 		hz = 30 * sim.Microsecond
@@ -83,144 +81,80 @@ func main() {
 		*points = 2
 	}
 
-	spsCfg := sps.Config{
-		N: *n, F: *f, H: *h,
-		WDM:     sps.Reference().WDM,
-		Pattern: sps.Reference().Pattern,
-		Seed:    sps.Reference().Seed,
+	cfg := resilience.SweepConfig{
+		Mode: *sweep,
+		N:    *n, F: *f, H: *h,
+		Wavelengths: *waves,
+		ChannelGbps: *chGbps,
+		Stacks:      *stacks,
+		Load:        *load,
+		HorizonPs:   hz,
+		Seed:        *seed,
+		Workers:     *jobs,
+		Validate:    validate,
+		MaxFailed:   *maxFailed,
+		Points:      *points,
 	}
-	spsCfg.WDM.Wavelengths = *waves
-	spsCfg.WDM.ChannelRate = sim.Rate(*chGbps * 1e9)
-	if err := spsCfg.Validate(); err != nil {
-		fail(2, err)
-	}
-	swCfg := hbmswitch.Scaled(*stacks, spsCfg.PortRate())
-	swCfg.PFI.N = spsCfg.N
-	swCfg.Speedup = 1.1
-	swCfg.FlushTimeout = 100 * sim.Nanosecond
-
-	base := resilience.Campaign{
-		SPS:      spsCfg,
-		Switch:   swCfg,
-		Load:     *load,
-		Kind:     traffic.Poisson,
-		Sizes:    traffic.IMIX(),
-		Horizon:  hz,
-		Seed:     *seed,
-		Workers:  *jobs,
-		Validate: *validate,
-	}
-
-	var table telemetry.Series
-	var eventLog *telemetry.EventLog
-	violations := 0
 	switch *sweep {
-	case "failed-switches":
+	case resilience.ModeFailedSwitches:
 		if *maxFailed >= *h {
-			fail(2, fmt.Errorf("-max-failed %d: must leave at least one of %d switches alive", *maxFailed, *h))
+			cli.Exit(cli.Outcome{UsageErr: fmt.Errorf("-max-failed %d: must leave at least one of %d switches alive", *maxFailed, *h)})
 		}
-		table = telemetry.Series{Names: []string{
-			"failed", "ideal_fraction", "offered_gbps", "goodput_gbps",
-			"availability", "goodput_vs_baseline", "violations",
-		}}
-		var baseline float64
-		for k := 0; k <= *maxFailed; k++ {
-			c := base
-			c.Faults = resilience.SwitchOutage(firstK(k), 0, sim.Forever)
-			rep, err := c.Run()
-			if err != nil {
-				fail(1, err)
-			}
-			violations += countViolations(rep)
-			ep := rep.Epochs[0]
-			if k == 0 {
-				baseline = ep.GoodputGbps
-			}
-			vsBase := 0.0
-			if baseline > 0 {
-				vsBase = ep.GoodputGbps / baseline
-			}
-			table.Times = append(table.Times, 0)
-			table.Rows = append(table.Rows, []float64{
-				float64(k), float64(*h-k) / float64(*h),
-				ep.OfferedGbps, ep.GoodputGbps, ep.Availability, vsBase,
-				float64(len(ep.Violations)),
-			})
-			writePointSeries(*series, k, rep)
-			fmt.Fprintf(os.Stderr, "failed=%d goodput %.0f Gb/s (%.3fx baseline, ideal %.3f) availability %.4f\n",
-				k, ep.GoodputGbps, vsBase, float64(*h-k)/float64(*h), ep.Availability)
-		}
-	case "mtbf":
+	case resilience.ModeMTBF:
 		mtbf, err := cli.MTBF(*mtbfFlag, *faultRate)
 		if *quick && *mtbfFlag == "" && *faultRate == 0 {
 			mtbf, err = hz/3, nil
 		}
 		if err != nil {
-			fail(2, err)
+			cli.Exit(cli.Outcome{UsageErr: err})
 		}
 		mttr, err := cli.Duration("-mttr", *mttrFlag)
 		if err != nil {
-			fail(2, err)
+			cli.Exit(cli.Outcome{UsageErr: err})
 		}
 		if *quick {
 			mttr = hz / 6
 		}
-		table = telemetry.Series{Names: []string{
-			"mtbf_ps", "faults", "epochs", "capacity_fraction_min",
-			"availability", "violations",
-		}}
-		eventLog = &telemetry.EventLog{}
-		for p := 0; p < *points; p++ {
-			pm := mtbf >> uint(p) // halve the MTBF each point
-			if err := cli.ValidateMTBF(pm, mttr); err != nil {
-				fail(2, err)
+		cfg.MTBFPs, cfg.MTTRPs = mtbf, mttr
+	default:
+		cli.Exit(cli.Outcome{UsageErr: fmt.Errorf("unknown -sweep %q (failed-switches|mtbf)", *sweep)})
+	}
+	if err := cfg.Check(); err != nil {
+		cli.Exit(cli.Outcome{UsageErr: err})
+	}
+
+	var eventLog *telemetry.EventLog
+	pts := make([]resilience.SweepPoint, 0, cfg.NumPoints())
+	for k := 0; k < cfg.NumPoints(); k++ {
+		if cfg.Mode == resilience.ModeMTBF {
+			if err := cli.ValidateMTBF(cfg.PointMTBF(k), cfg.MTTRPs); err != nil {
+				cli.Exit(cli.Outcome{UsageErr: err})
 			}
-			sched, err := resilience.GenerateSchedule(resilience.ScheduleConfig{
-				Seed:          *seed,
-				Horizon:       hz,
-				MTBF:          pm,
-				MTTR:          mttr,
-				SwitchWeight:  1,
-				ChannelWeight: 2,
-				GroupWeight:   2,
-				FiberWeight:   1,
-				Switches:      spsCfg.H,
-				Channels:      swCfg.PFI.Channels,
-				Groups:        swCfg.PFI.Groups(),
-				Ribbons:       spsCfg.N,
-				Fibers:        spsCfg.F,
-			})
-			if err != nil {
-				fail(2, err)
+		}
+		pt, rep, err := cfg.RunPoint(context.Background(), k)
+		if err != nil {
+			cli.Exit(cli.Outcome{RunErr: err})
+		}
+		pts = append(pts, pt)
+		writePointSeries(*series, k, rep)
+		switch cfg.Mode {
+		case resilience.ModeFailedSwitches:
+			ep := rep.Epochs[0]
+			vsBase := 0.0
+			if base := pts[0].Values[3]; base > 0 {
+				vsBase = ep.GoodputGbps / base
 			}
-			c := base
-			c.Faults = sched
-			rep, err := c.Run()
-			if err != nil {
-				fail(1, err)
-			}
-			violations += countViolations(rep)
-			minCap := 1.0
-			for _, ep := range rep.Epochs {
-				if ep.CapacityFraction < minCap {
-					minCap = ep.CapacityFraction
-				}
-			}
-			table.Times = append(table.Times, sim.Time(p))
-			table.Rows = append(table.Rows, []float64{
-				float64(pm), float64(len(sched)), float64(len(rep.Epochs)),
-				minCap, rep.Availability, float64(countViolations(rep)),
-			})
-			writePointSeries(*series, p, rep)
-			if p == 0 {
+			fmt.Fprintf(os.Stderr, "failed=%d goodput %.0f Gb/s (%.3fx baseline, ideal %.3f) availability %.4f\n",
+				k, ep.GoodputGbps, vsBase, float64(*h-k)/float64(*h), ep.Availability)
+		case resilience.ModeMTBF:
+			if k == 0 {
 				eventLog = rep.Events
 			}
 			fmt.Fprintf(os.Stderr, "mtbf=%v: %d faults, %d epochs, availability %.4f\n",
-				pm, len(sched), len(rep.Epochs), rep.Availability)
+				cfg.PointMTBF(k), int(pt.Values[1]), len(rep.Epochs), rep.Availability)
 		}
-	default:
-		fail(2, fmt.Errorf("unknown -sweep %q (failed-switches|mtbf)", *sweep))
 	}
+	table, violations := cfg.Assemble(pts)
 
 	path := *out
 	if *jsonOut && path != "-" && !strings.HasSuffix(path, ".json") {
@@ -228,32 +162,25 @@ func main() {
 	}
 	if *jsonOut && path == "-" {
 		if err := table.WriteJSON(os.Stdout); err != nil {
-			fail(1, err)
+			cli.Exit(cli.Outcome{RunErr: err})
 		}
 	} else if err := cli.WriteSeries(path, table); err != nil {
-		fail(1, err)
+		cli.Exit(cli.Outcome{RunErr: err})
 	}
 	if *events != "" && eventLog != nil {
 		if err := writeEvents(*events, eventLog); err != nil {
-			fail(1, err)
+			cli.Exit(cli.Outcome{RunErr: err})
 		}
 	}
 	if *validate && violations > 0 {
 		fmt.Fprintf(os.Stderr, "FAIL: %d invariant violations across the sweep\n", violations)
-		os.Exit(1)
 	}
-}
-
-// firstK returns switch indices 0..k-1.
-func firstK(k int) []int {
-	out := make([]int, k)
-	for i := range out {
-		out[i] = i
+	o := cli.Outcome{}
+	if *validate {
+		o.Violations = violations
 	}
-	return out
+	cli.Exit(o)
 }
-
-func countViolations(rep *resilience.Report) int { return len(rep.Violations()) }
 
 // writePointSeries writes one campaign's per-epoch series when a
 // prefix was requested.
@@ -262,7 +189,7 @@ func writePointSeries(prefix string, point int, rep *resilience.Report) {
 		return
 	}
 	if err := cli.WriteSeries(fmt.Sprintf("%s%d.csv", prefix, point), rep.Series); err != nil {
-		fail(1, err)
+		cli.Exit(cli.Outcome{RunErr: err})
 	}
 }
 
@@ -285,9 +212,4 @@ func writeEvents(path string, log *telemetry.EventLog) error {
 		return err
 	}
 	return f.Close()
-}
-
-func fail(code int, err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(code)
 }

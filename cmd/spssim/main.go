@@ -1,6 +1,10 @@
 // Command spssim runs one packet-level HBM-switch simulation with
 // configurable traffic and prints the measurement report. It is the
-// interactive tool behind the E5/E6/E12 experiments.
+// interactive tool behind the E5/E6/E12 experiments, and with -json
+// it emits the serving daemon's wire format: the output is
+// byte-identical to an spsd "sim" job with the same parameters (the
+// two share serve.SimSpec for configuration and
+// hbmswitch.Report.WriteJSON for serialization).
 //
 // Examples:
 //
@@ -8,16 +12,17 @@
 //	spssim -load 0.9 -matrix diagonal -shadow -speedup 1.1
 //	spssim -load 0.05 -bypass=false -pad=false   # feel the frame-fill latency
 //	spssim -telemetry tele.csv -trace trace.json -trace-sample 64
+//	spssim -json -horizon 5us > report.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+
 	"pbrouter/internal/cli"
-	"pbrouter/internal/core"
 	"pbrouter/internal/hbmswitch"
-	"pbrouter/internal/sim"
+	"pbrouter/internal/serve"
 	"pbrouter/internal/telemetry"
 	"pbrouter/internal/traffic"
 )
@@ -37,6 +42,7 @@ func main() {
 		stacks  = flag.Int("stacks", 4, "HBM stacks (4 = reference; 1 = scaled switch)")
 		replay  = flag.String("replay", "", "replay a trafficgen trace instead of generating traffic")
 		refresh = flag.Bool("refresh", false, "enable the REFsb refresh scheduler")
+		jsonOut = flag.Bool("json", false, "write the report as JSON to stdout (the serving daemon's wire format) instead of the human summary")
 
 		telemetryOut = flag.String("telemetry", "", "write simulated-time telemetry to this file (.json for JSON, else CSV; - for stdout)")
 		telePeriod   = flag.String("telemetry-period", "1us", "telemetry sampling period (simulated time)")
@@ -47,44 +53,29 @@ func main() {
 
 	hz, err := cli.Duration("-horizon", *horizon)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		cli.Exit(cli.Outcome{UsageErr: err})
 	}
 	cli.Check(
 		cli.ValidateSample("-trace-sample", *traceSample),
 		cli.ValidateCount("-stacks", *stacks),
 	)
 
-	cfg := hbmswitch.Reference()
-	if *stacks != 4 {
-		cfg = hbmswitch.Scaled(*stacks, sim.Rate(float64(cfg.PortRate)*float64(*stacks)/4))
+	// The daemon's "sim" jobs resolve their switch and traffic through
+	// this same spec, which is what keeps `spssim -json` byte-identical
+	// to an spsd job with the same parameters.
+	spec := serve.SimSpec{
+		Load: *load, Matrix: *matrix, Sizes: *sizes, Arrival: *arrival,
+		HorizonPs: hz, Seed: *seed, Speedup: *speedup, Shadow: *shadow,
+		Pad: pad, Bypass: bypass, Stacks: *stacks, Refresh: *refresh,
 	}
-	cfg.Speedup = *speedup
-	cfg.Shadow = *shadow
-	cfg.Policy = core.Policy{PadFrames: *pad, BypassHBM: *bypass}
-	cfg.FlushTimeout = 100 * sim.Nanosecond
-	cfg.EnableRefresh = *refresh
-
-	m, err := cli.Matrix(*matrix, cfg.PFI.N, *load)
+	cfg, err := spec.Config()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	dist, err := cli.Sizes(*sizes)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	kind, err := cli.Arrival(*arrival)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		cli.Exit(cli.Outcome{UsageErr: err})
 	}
 
 	sw, err := hbmswitch.New(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		cli.Exit(cli.Outcome{RunErr: err})
 	}
 
 	var reg *telemetry.Registry
@@ -92,18 +83,15 @@ func main() {
 	if *telemetryOut != "" {
 		period, err := cli.Duration("-telemetry-period", *telePeriod)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			cli.Exit(cli.Outcome{UsageErr: err})
 		}
 		if reg, err = telemetry.New(period); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			cli.Exit(cli.Outcome{UsageErr: err})
 		}
 	}
 	if *traceOut != "" {
 		if tracer, err = telemetry.NewTracer(*traceSample); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			cli.Exit(cli.Outcome{UsageErr: err})
 		}
 	}
 	if reg != nil || tracer != nil {
@@ -114,64 +102,62 @@ func main() {
 	if *replay != "" {
 		f, err := os.Open(*replay)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cli.Exit(cli.Outcome{RunErr: err})
 		}
 		defer f.Close()
 		ts, err := traffic.NewTraceStream(f)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cli.Exit(cli.Outcome{RunErr: err})
 		}
 		if ts.Header().N != cfg.PFI.N {
-			fmt.Fprintf(os.Stderr, "trace has %d ports, switch has %d\n", ts.Header().N, cfg.PFI.N)
-			os.Exit(1)
+			cli.Exit(cli.Outcome{RunErr: fmt.Errorf("trace has %d ports, switch has %d", ts.Header().N, cfg.PFI.N)})
 		}
 		stream = ts
 	} else {
-		srcs := traffic.UniformSources(m, cfg.PortRate, kind, dist, sim.NewRNG(*seed))
-		stream = traffic.NewMux(srcs)
+		if stream, err = spec.NewStream(cfg); err != nil {
+			cli.Exit(cli.Outcome{UsageErr: err})
+		}
 	}
 	rep, err := sw.Run(stream, hz)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		cli.Exit(cli.Outcome{RunErr: err})
 	}
 	if ts, ok := stream.(*traffic.TraceStream); ok && ts.Err() != nil {
-		fmt.Fprintln(os.Stderr, "trace read error:", ts.Err())
-		os.Exit(1)
+		cli.Exit(cli.Outcome{RunErr: fmt.Errorf("trace read error: %w", ts.Err())})
 	}
 
 	if reg != nil {
 		if err := cli.WriteSeries(*telemetryOut, reg.Series()); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cli.Exit(cli.Outcome{RunErr: err})
 		}
 	}
 	if tracer != nil {
 		if err := cli.WriteTrace(*traceOut, tracer); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cli.Exit(cli.Outcome{RunErr: err})
 		}
 	}
 
-	fmt.Printf("HBM switch: %d ports x %v, %d stacks, speedup %.2f, pad=%v bypass=%v\n",
-		cfg.PFI.N, cfg.PortRate, cfg.Geometry.Stacks, cfg.Speedup, *pad, *bypass)
-	fmt.Printf("workload:   %s matrix, load %.2f, %s sizes, %s arrivals, %v horizon\n\n",
-		*matrix, *load, *sizes, *arrival, hz)
-	fmt.Println(rep)
-	fmt.Printf("\nlatency:    mean %v  p50 %v  p99 %v  max %v\n",
-		rep.LatencyMean, rep.LatencyP50, rep.LatencyP99, rep.LatencyMax)
-	fmt.Printf("SRAM high water: tail %.2f MB, head %.2f MB; HBM max region fill %d frames\n",
-		float64(rep.TailHighWater)/(1<<20), float64(rep.HeadHighWater)/(1<<20), rep.MaxRegionFill)
-	if rep.ShadowRun {
-		fmt.Printf("vs ideal OQ: throughput %.1f%%, relative delay mean %v p99 %v max %v\n",
-			100*rep.Throughput/rep.ShadowThroughput, rep.RelDelayMean, rep.RelDelayP99, rep.RelDelayMax)
+	if *jsonOut {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			cli.Exit(cli.Outcome{RunErr: err})
+		}
+	} else {
+		fmt.Printf("HBM switch: %d ports x %v, %d stacks, speedup %.2f, pad=%v bypass=%v\n",
+			cfg.PFI.N, cfg.PortRate, cfg.Geometry.Stacks, cfg.Speedup, *pad, *bypass)
+		fmt.Printf("workload:   %s matrix, load %.2f, %s sizes, %s arrivals, %v horizon\n\n",
+			*matrix, *load, *sizes, *arrival, hz)
+		fmt.Println(rep)
+		fmt.Printf("\nlatency:    mean %v  p50 %v  p99 %v  max %v\n",
+			rep.LatencyMean, rep.LatencyP50, rep.LatencyP99, rep.LatencyMax)
+		fmt.Printf("SRAM high water: tail %.2f MB, head %.2f MB; HBM max region fill %d frames\n",
+			float64(rep.TailHighWater)/(1<<20), float64(rep.HeadHighWater)/(1<<20), rep.MaxRegionFill)
+		if rep.ShadowRun {
+			fmt.Printf("vs ideal OQ: throughput %.1f%%, relative delay mean %v p99 %v max %v\n",
+				100*rep.Throughput/rep.ShadowThroughput, rep.RelDelayMean, rep.RelDelayP99, rep.RelDelayMax)
+		}
 	}
 	for _, e := range rep.Errors {
 		fmt.Fprintf(os.Stderr, "invariant violation: %v\n", e)
 	}
-	if len(rep.Errors) > 0 {
-		os.Exit(1)
-	}
+	cli.Exit(cli.Outcome{Violations: len(rep.Errors)})
 }

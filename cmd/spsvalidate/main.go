@@ -42,14 +42,13 @@ func main() {
 	if *duration != "" {
 		hz, err := cli.Duration("-duration", *duration)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			cli.Exit(cli.Outcome{UsageErr: err})
 		}
 		horizonUs = float64(hz) / float64(sim.Microsecond)
 	}
 
 	if *replay != "" {
-		os.Exit(replayCase(*replay, horizonUs, *shrink, *repeat))
+		cli.Exit(replayCase(*replay, horizonUs, *shrink, *repeat))
 	}
 
 	res := validate.Sweep(validate.SweepOptions{
@@ -73,26 +72,22 @@ func main() {
 	fmt.Printf("%d cases, %d failures (seed %d)\n", res.Cases, res.Failures, res.Seed)
 	if *out != "" {
 		if err := writeResult(*out, res); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cli.Exit(cli.Outcome{RunErr: err})
 		}
 	}
-	if res.Failures > 0 {
-		os.Exit(1)
-	}
+	// A sweep that finds failing cases must never exit 0.
+	cli.Exit(cli.Outcome{Violations: res.Failures})
 }
 
-func replayCase(path string, horizonUs float64, shrink, repeat bool) int {
+func replayCase(path string, horizonUs float64, shrink, repeat bool) cli.Outcome {
 	f, err := os.Open(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 2
+		return cli.Outcome{UsageErr: err}
 	}
 	sc, err := validate.ReadScenario(f)
 	f.Close()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 2
+		return cli.Outcome{UsageErr: err}
 	}
 	if horizonUs > 0 {
 		sc.HorizonUs = horizonUs
@@ -103,7 +98,7 @@ func replayCase(path string, horizonUs float64, shrink, repeat bool) int {
 		fmt.Printf("    %s\n", viol)
 	}
 	if !v.Failed() {
-		return 0
+		return cli.Outcome{}
 	}
 	if shrink {
 		shrunk, trace := validate.Shrink(sc, v.Violations, 0)
@@ -112,7 +107,7 @@ func replayCase(path string, horizonUs float64, shrink, repeat bool) int {
 			fmt.Fprintln(os.Stderr, err)
 		}
 	}
-	return 1
+	return cli.Outcome{Violations: len(v.Violations)}
 }
 
 func writeResult(path string, res *validate.SweepResult) error {

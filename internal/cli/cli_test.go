@@ -44,7 +44,7 @@ func TestParseDurationNsNotSwallowedByS(t *testing.T) {
 }
 
 func TestMatrixNames(t *testing.T) {
-	for _, name := range []string{"uniform", "diagonal", "hotspot"} {
+	for _, name := range []string{"uniform", "diagonal", "hotspot", "failover"} {
 		m, err := Matrix(name, 8, 0.5)
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,65 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+)
+
+// This file centralizes the exit-code convention the tools used to
+// hand-roll (and occasionally got wrong): 0 for success, 1 for a run
+// that completed but found failures (invariant violations, failing
+// validation cases) or died at runtime, 2 for usage errors. Every
+// tool funnels its ending through Outcome so the mapping is audited
+// in one table-driven test instead of per-main.
+
+// Exit codes.
+const (
+	ExitOK      = 0 // clean run, nothing found
+	ExitFailure = 1 // runtime error, or violations/failures were found
+	ExitUsage   = 2 // bad flags or configuration
+)
+
+// Outcome describes how a tool run ended. The zero value is a clean
+// success.
+type Outcome struct {
+	// UsageErr is a flag/configuration error (exit 2).
+	UsageErr error
+	// RunErr is a runtime failure (exit 1).
+	RunErr error
+	// Violations counts invariant violations or failing cases the run
+	// found; any positive count exits 1 even when the run itself
+	// succeeded — a tool that finds violations must never exit 0.
+	Violations int
+}
+
+// Code maps the outcome to its exit code. Usage errors win over
+// runtime errors, which win over violations.
+func (o Outcome) Code() int {
+	switch {
+	case o.UsageErr != nil:
+		return ExitUsage
+	case o.RunErr != nil:
+		return ExitFailure
+	case o.Violations > 0:
+		return ExitFailure
+	default:
+		return ExitOK
+	}
+}
+
+// Err returns the outcome's error, if any (usage first).
+func (o Outcome) Err() error {
+	if o.UsageErr != nil {
+		return o.UsageErr
+	}
+	return o.RunErr
+}
+
+// Exit prints the outcome's error (if any) to stderr and terminates
+// with the mapped code.
+func Exit(o Outcome) {
+	if err := o.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	os.Exit(o.Code())
+}

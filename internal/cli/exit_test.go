@@ -1,0 +1,48 @@
+package cli
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestOutcomeCode audits the shared exit-path mapping: tools that find
+// violations must exit nonzero, usage errors must exit 2, and the
+// precedence must be usage > runtime > violations.
+func TestOutcomeCode(t *testing.T) {
+	usage := errors.New("bad flag")
+	boom := errors.New("boom")
+	cases := []struct {
+		name string
+		o    Outcome
+		want int
+	}{
+		{"clean", Outcome{}, ExitOK},
+		{"violations", Outcome{Violations: 1}, ExitFailure},
+		{"many violations", Outcome{Violations: 42}, ExitFailure},
+		{"run error", Outcome{RunErr: boom}, ExitFailure},
+		{"usage error", Outcome{UsageErr: usage}, ExitUsage},
+		{"usage beats run", Outcome{UsageErr: usage, RunErr: boom}, ExitUsage},
+		{"usage beats violations", Outcome{UsageErr: usage, Violations: 3}, ExitUsage},
+		{"run error with violations", Outcome{RunErr: boom, Violations: 3}, ExitFailure},
+		{"negative violations ignored", Outcome{Violations: -1}, ExitOK},
+	}
+	for _, tc := range cases {
+		if got := tc.o.Code(); got != tc.want {
+			t.Errorf("%s: Code() = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestOutcomeErr(t *testing.T) {
+	usage := errors.New("usage")
+	boom := errors.New("boom")
+	if err := (Outcome{}).Err(); err != nil {
+		t.Errorf("clean outcome has error %v", err)
+	}
+	if err := (Outcome{UsageErr: usage, RunErr: boom}).Err(); err != usage {
+		t.Errorf("Err() = %v, want the usage error first", err)
+	}
+	if err := (Outcome{RunErr: boom}).Err(); err != boom {
+		t.Errorf("Err() = %v, want the run error", err)
+	}
+}

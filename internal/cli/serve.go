@@ -1,0 +1,63 @@
+package cli
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+)
+
+// This file holds the serving-plane flag validation shared by the
+// daemon (spsd) and its load generator (spsload): listen/dial
+// addresses, admission-queue depth, client counts, and checkpoint
+// directories resolve through one code path with one error wording,
+// matching the -mtbf/-fault-rate pattern in resil.go.
+
+// ValidateAddr checks a -addr flag: it must be host:port with a
+// numeric port in 0..65535 (an empty host listens on all interfaces;
+// port 0 asks the kernel for an ephemeral port, which the tests use).
+func ValidateAddr(addr string) error {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("-addr %q: want host:port (e.g. localhost:9090): %v", addr, err)
+	}
+	_ = host
+	p, err := strconv.Atoi(port)
+	if err != nil {
+		return fmt.Errorf("-addr %q: port %q is not a number", addr, port)
+	}
+	if p < 0 || p > 65535 {
+		return fmt.Errorf("-addr %q: port %d out of range 0..65535", addr, p)
+	}
+	return nil
+}
+
+// ValidateQueueDepth checks a -queue-depth admission-queue bound: the
+// daemon must always be able to hold at least one queued job.
+func ValidateQueueDepth(d int) error {
+	if d < 1 {
+		return fmt.Errorf("-queue-depth %d: the admission queue needs room for at least one job", d)
+	}
+	return nil
+}
+
+// ValidateClients checks a -clients concurrency flag.
+func ValidateClients(k int) error {
+	if k < 1 {
+		return fmt.Errorf("-clients %d: need at least one client", k)
+	}
+	return nil
+}
+
+// ValidateCheckpointDir checks a -checkpoint-dir flag. Empty disables
+// checkpointing; otherwise the path must be usable as a directory —
+// an existing non-directory is always a typo.
+func ValidateCheckpointDir(dir string) error {
+	if dir == "" {
+		return nil
+	}
+	if fi, err := os.Stat(dir); err == nil && !fi.IsDir() {
+		return fmt.Errorf("-checkpoint-dir %q: exists and is not a directory", dir)
+	}
+	return nil
+}

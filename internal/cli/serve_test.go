@@ -1,0 +1,65 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestValidateAddr(t *testing.T) {
+	for _, good := range []string{"localhost:9090", ":0", "127.0.0.1:65535", ":8080"} {
+		if err := ValidateAddr(good); err != nil {
+			t.Errorf("ValidateAddr(%q) rejected: %v", good, err)
+		}
+	}
+	for _, bad := range []string{"", "localhost", "localhost:", "localhost:http", "localhost:70000", "localhost:-1", "9090"} {
+		if err := ValidateAddr(bad); err == nil {
+			t.Errorf("ValidateAddr(%q) accepted", bad)
+		}
+	}
+}
+
+func TestValidateQueueDepth(t *testing.T) {
+	if err := ValidateQueueDepth(1); err != nil {
+		t.Errorf("depth 1 rejected: %v", err)
+	}
+	if err := ValidateQueueDepth(256); err != nil {
+		t.Errorf("depth 256 rejected: %v", err)
+	}
+	for _, bad := range []int{0, -1} {
+		if err := ValidateQueueDepth(bad); err == nil {
+			t.Errorf("depth %d accepted", bad)
+		}
+	}
+}
+
+func TestValidateClients(t *testing.T) {
+	if err := ValidateClients(32); err != nil {
+		t.Errorf("32 clients rejected: %v", err)
+	}
+	for _, bad := range []int{0, -4} {
+		if err := ValidateClients(bad); err == nil {
+			t.Errorf("%d clients accepted", bad)
+		}
+	}
+}
+
+func TestValidateCheckpointDir(t *testing.T) {
+	if err := ValidateCheckpointDir(""); err != nil {
+		t.Errorf("empty (disabled) rejected: %v", err)
+	}
+	dir := t.TempDir()
+	if err := ValidateCheckpointDir(dir); err != nil {
+		t.Errorf("existing directory rejected: %v", err)
+	}
+	if err := ValidateCheckpointDir(filepath.Join(dir, "not-yet-created")); err != nil {
+		t.Errorf("nonexistent (creatable) path rejected: %v", err)
+	}
+	file := filepath.Join(dir, "plain-file")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateCheckpointDir(file); err == nil {
+		t.Error("plain file accepted as checkpoint dir")
+	}
+}

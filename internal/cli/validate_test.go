@@ -71,3 +71,10 @@ func TestDurationCombinesParseAndPositive(t *testing.T) {
 		}
 	}
 }
+
+// Check with only nil errors must return instead of exiting; the
+// exit-on-error branch is exercised by every CLI's usage path.
+func TestCheckPassesNilErrors(t *testing.T) {
+	Check()
+	Check(nil, nil, nil)
+}

@@ -2,9 +2,13 @@ package hbmswitch
 
 import (
 	"fmt"
+	"io"
+	"strconv"
+	"strings"
 
 	"pbrouter/internal/sim"
 	"pbrouter/internal/stats"
+	"pbrouter/internal/telemetry"
 )
 
 // Report is the measurement summary of one Run.
@@ -214,6 +218,76 @@ func (s *Switch) report(horizon sim.Time) *Report {
 
 // LatencyHistogram exposes the raw latency histogram (for sweeps).
 func (s *Switch) LatencyHistogram() *stats.Histogram { return s.latency }
+
+// WriteJSON writes the report as one deterministic JSON object
+// (hand-rolled: fixed field order, telemetry's number formatting), so
+// the bytes are identical wherever the same run happened. It is the
+// wire format of the serving daemon's "sim" jobs and of spssim -json;
+// both must stay byte-identical for equal seeds.
+func (r *Report) WriteJSON(w io.Writer) error {
+	var b strings.Builder
+	num := telemetry.FormatValue
+	t := func(v sim.Time) string { return strconv.FormatInt(int64(v), 10) }
+	i := func(v int64) string { return strconv.FormatInt(v, 10) }
+	b.WriteString(`{"schema":"pbrouter-simreport/1"`)
+	b.WriteString(`,"horizon_ps":` + t(r.Horizon))
+	b.WriteString(`,"offered_packets":` + i(r.OfferedPackets))
+	b.WriteString(`,"offered_bytes":` + i(r.OfferedBytes))
+	b.WriteString(`,"delivered_packets":` + i(r.DeliveredPackets))
+	b.WriteString(`,"delivered_bytes":` + i(r.DeliveredBytes))
+	b.WriteString(`,"dropped_packets":` + i(r.DroppedPackets))
+	b.WriteString(`,"dropped_bytes":` + i(r.DroppedBytes))
+	b.WriteString(`,"loss_fraction":` + num(r.LossFraction))
+	b.WriteString(`,"throughput":` + num(r.Throughput))
+	b.WriteString(`,"offered_load":` + num(r.OfferedLoad))
+	b.WriteString(`,"shadow_throughput":` + num(r.ShadowThroughput))
+	b.WriteString(`,"total_throughput":` + num(r.TotalThroughput))
+	b.WriteString(`,"total_offered":` + num(r.TotalOffered))
+	b.WriteString(`,"latency_mean_ps":` + t(r.LatencyMean))
+	b.WriteString(`,"latency_p50_ps":` + t(r.LatencyP50))
+	b.WriteString(`,"latency_p99_ps":` + t(r.LatencyP99))
+	b.WriteString(`,"latency_max_ps":` + t(r.LatencyMax))
+	b.WriteString(`,"stage_batch_mean_ps":` + t(r.StageBatchMean))
+	b.WriteString(`,"stage_xbar_mean_ps":` + t(r.StageXbarMean))
+	b.WriteString(`,"stage_frame_mean_ps":` + t(r.StageFrameMean))
+	b.WriteString(`,"stage_hbm_mean_ps":` + t(r.StageHBMMean))
+	b.WriteString(`,"stage_out_mean_ps":` + t(r.StageOutMean))
+	b.WriteString(`,"shadow_run":` + strconv.FormatBool(r.ShadowRun))
+	b.WriteString(`,"rel_delay_mean_ps":` + t(r.RelDelayMean))
+	b.WriteString(`,"rel_delay_p99_ps":` + t(r.RelDelayP99))
+	b.WriteString(`,"rel_delay_max_ps":` + t(r.RelDelayMax))
+	b.WriteString(`,"frames_written":` + i(r.FramesWritten))
+	b.WriteString(`,"frames_read":` + i(r.FramesRead))
+	b.WriteString(`,"frames_bypassed":` + i(r.FramesBypassed))
+	b.WriteString(`,"frames_padded":` + i(r.FramesPadded))
+	b.WriteString(`,"pad_bytes":` + i(r.PadBytes))
+	b.WriteString(`,"refreshes":` + i(r.Refreshes))
+	b.WriteString(`,"hbm_utilization":` + num(r.HBMUtilization))
+	b.WriteString(`,"oeo_energy_joules":` + num(r.OEOEnergyJoules))
+	b.WriteString(`,"oeo_power_watts":` + num(r.OEOPowerWatts))
+	b.WriteString(`,"egress_imbalance":` + num(r.EgressImbalance))
+	b.WriteString(`,"tail_high_water":` + i(r.TailHighWater))
+	b.WriteString(`,"head_high_water":` + i(r.HeadHighWater))
+	b.WriteString(`,"input_fifo_peak":` + i(int64(r.InputFIFOPeak)))
+	b.WriteString(`,"max_region_fill":` + i(r.MaxRegionFill))
+	b.WriteString(`,"per_output_bytes":[`)
+	for n, v := range r.PerOutputBytes {
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(i(v))
+	}
+	b.WriteString(`],"errors":[`)
+	for n, e := range r.Errors {
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Quote(e.Error()))
+	}
+	b.WriteString("]}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
 
 // String renders a compact human-readable summary.
 func (r *Report) String() string {

@@ -1,0 +1,128 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapCtxCancelStopsNewPoints cancels mid-sweep and checks that the
+// workers stop claiming points, the call returns ctx.Err(), and the
+// points that did complete are present in the partial result.
+func TestMapCtxCancelStopsNewPoints(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 1000
+	var started atomic.Int64
+	release := make(chan struct{})
+	out, err := MapCtx(ctx, 4, n, func(i int) (int, error) {
+		if started.Add(1) == 4 {
+			// The whole first wave is in flight: cancel, then release it.
+			// The pool must wind down without claiming the ~996 remaining
+			// points.
+			cancel()
+			close(release)
+		}
+		<-release
+		return i + 1, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(out) != n {
+		t.Fatalf("partial result has len %d, want %d", len(out), n)
+	}
+	if got := started.Load(); got >= n/2 {
+		t.Fatalf("%d points started after cancellation; workers did not stop", got)
+	}
+	var completed int
+	for i, v := range out {
+		if v != 0 {
+			if v != i+1 {
+				t.Fatalf("out[%d] = %d, want %d", i, v, i+1)
+			}
+			completed++
+		}
+	}
+	if completed == 0 {
+		t.Fatal("no completed points survived in the partial result")
+	}
+}
+
+// TestMapCtxSequentialCancel checks the workers<=1 path honors the
+// same contract.
+func TestMapCtxSequentialCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int
+	out, err := MapCtx(ctx, 1, 10, func(i int) (int, error) {
+		ran++
+		if i == 2 {
+			cancel()
+		}
+		return i + 1, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 3 {
+		t.Fatalf("ran %d points, want 3 (cancel checked before each point)", ran)
+	}
+	if out[0] != 1 || out[1] != 2 || out[2] != 3 || out[3] != 0 {
+		t.Fatalf("partial result wrong: %v", out[:4])
+	}
+}
+
+// TestMapCtxErrorBeatsCancel: an fn error among completed points takes
+// precedence over the cancellation error, matching the documented
+// contract.
+func TestMapCtxErrorBeatsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("boom")
+	_, err := MapCtx(ctx, 2, 8, func(i int) (int, error) {
+		if i == 0 {
+			cancel()
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want fn error to win over cancellation", err)
+	}
+}
+
+// TestMapCtxUncancelledMatchesMap: with a background context the ctx
+// variants are byte-for-byte the plain ones.
+func TestMapCtxUncancelledMatchesMap(t *testing.T) {
+	fn := func(i int) (int, error) { return i * i, nil }
+	want, err := Map(3, 50, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MapCtx(context.Background(), 3, 50, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("index %d: %d != %d", i, want[i], got[i])
+		}
+	}
+}
+
+// TestMapCtxDeadline: an already-expired context runs nothing.
+func TestMapCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), -time.Second)
+	defer cancel()
+	var ran atomic.Int64
+	_, err := MapCtx(ctx, 4, 100, func(i int) (int, error) {
+		ran.Add(1)
+		return i, nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d points ran under an expired context", ran.Load())
+	}
+}

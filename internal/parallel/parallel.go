@@ -14,6 +14,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -46,7 +47,18 @@ func Workers(n int) int {
 // lowest-index one — the same error a sequential run would surface —
 // so error behavior is deterministic too.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
-	return MapProgress(workers, n, fn, nil)
+	return MapProgressCtx(context.Background(), workers, n, fn, nil)
+}
+
+// MapCtx is Map with cancellation: when ctx is cancelled, no new
+// points are started — in-flight points finish (fn may additionally
+// observe ctx itself to abort early) — and the call returns the
+// partially-filled result slice together with ctx's error. Indexes
+// whose points never ran hold zero values; on a nil error every index
+// ran. Cancellation is checked before every point, so the abort is
+// prompt even with a long queue of pending points.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapProgressCtx(ctx, workers, n, fn, nil)
 }
 
 // MapProgress is Map with a completion callback: after each point
@@ -56,6 +68,15 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 // progress reporting never affects the output bytes. A nil progress
 // is exactly Map.
 func MapProgress[T any](workers, n int, fn func(i int) (T, error), progress func(done, total int)) ([]T, error) {
+	return MapProgressCtx(context.Background(), workers, n, fn, progress)
+}
+
+// MapProgressCtx is MapProgress with MapCtx's cancellation contract:
+// on cancellation the workers stop claiming points, the partial result
+// slice is returned alongside ctx.Err(), and any fn error found among
+// the points that did run takes precedence (it is the error a
+// sequential run would have surfaced first).
+func MapProgressCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error), progress func(done, total int)) ([]T, error) {
 	out := make([]T, n)
 	if n == 0 {
 		return out, nil
@@ -65,6 +86,9 @@ func MapProgress[T any](workers, n int, fn func(i int) (T, error), progress func
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
 			v, err := fn(i)
 			if err != nil {
 				return nil, err
@@ -85,6 +109,9 @@ func MapProgress[T any](workers, n int, fn func(i int) (T, error), progress func
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -103,6 +130,9 @@ func MapProgress[T any](workers, n int, fn func(i int) (T, error), progress func
 		if err != nil {
 			return nil, err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
 	}
 	return out, nil
 }

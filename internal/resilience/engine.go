@@ -1,6 +1,7 @@
 package resilience
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -39,6 +40,19 @@ type Campaign struct {
 	// OQ-mimicry shadow to healthy switches, collecting invariant
 	// violations per epoch.
 	Validate bool
+	// Ctx, when non-nil, cancels the campaign between (epoch, switch)
+	// jobs: Run stops claiming jobs and returns the context's error. A
+	// nil Ctx never cancels. Cancellation never yields a partial
+	// report.
+	Ctx context.Context
+}
+
+// ctx normalizes Campaign.Ctx.
+func (c *Campaign) ctx() context.Context {
+	if c.Ctx == nil {
+		return context.Background()
+	}
+	return c.Ctx
 }
 
 // check validates the campaign parameters.
@@ -208,7 +222,7 @@ func (c *Campaign) Run() (*Report, error) {
 		violations []validate.Violation
 	}
 	workers := parallel.Workers(c.Workers)
-	results, err := parallel.Map(workers, len(jobs), func(i int) (jobResult, error) {
+	results, err := parallel.MapCtx(c.ctx(), workers, len(jobs), func(i int) (jobResult, error) {
 		j := jobs[i]
 		sps.ClampRows(j.m)
 		dur := eps[j.epoch].Duration()

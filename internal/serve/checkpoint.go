@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// checkpointSchema versions the on-disk job file.
+const checkpointSchema = "spsd-checkpoint/1"
+
+// checkpointFile is one job on disk: <dir>/<id>.json. Queued and
+// running jobs persist their spec plus completed units so a restarted
+// daemon resumes them; terminal jobs keep their result so a restart
+// still serves it. Results and units are stored as raw JSON — every
+// job kind's result is JSON, so the file stays greppable.
+type checkpointFile struct {
+	Schema string            `json:"schema"`
+	ID     string            `json:"id"`
+	State  State             `json:"state"`
+	Error  string            `json:"error,omitempty"`
+	Spec   Spec              `json:"spec"`
+	Units  []json.RawMessage `json:"units,omitempty"`
+	Result json.RawMessage   `json:"result,omitempty"`
+}
+
+// writeCheckpoint persists the job atomically (temp file + rename).
+func writeCheckpoint(dir string, j *Job) error {
+	cp := checkpointFile{
+		Schema: checkpointSchema,
+		ID:     j.ID,
+		State:  j.State,
+		Error:  j.Error,
+		Spec:   j.Spec,
+		Units:  j.Units,
+		Result: json.RawMessage(j.Result),
+	}
+	b, err := json.MarshalIndent(cp, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, j.ID+".json.tmp")
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, j.ID+".json"))
+}
+
+// loadCheckpoints reads every job file in the directory, in ID order.
+// Jobs that were queued or running when the daemon died come back
+// queued (their completed units intact); terminal jobs come back
+// exactly as they ended.
+func loadCheckpoints(dir string) ([]*Job, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var jobs []*Job
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		var cp checkpointFile
+		if err := json.Unmarshal(b, &cp); err != nil {
+			return nil, fmt.Errorf("serve: checkpoint %s: %w", name, err)
+		}
+		if cp.Schema != checkpointSchema {
+			return nil, fmt.Errorf("serve: checkpoint %s: unknown schema %q", name, cp.Schema)
+		}
+		j := &Job{
+			ID:     cp.ID,
+			Spec:   cp.Spec,
+			State:  cp.State,
+			Error:  cp.Error,
+			Units:  cp.Units,
+			Result: []byte(cp.Result),
+			stream: newStream(),
+		}
+		j.Spec.Normalize()
+		if j.State.Terminal() {
+			j.stream.closeStream()
+		} else {
+			j.State = StateQueued
+		}
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].ID < jobs[b].ID })
+	return jobs, nil
+}

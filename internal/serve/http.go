@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /jobs              submit a job spec, 202 + status
+//	GET    /jobs              list every job's status
+//	GET    /jobs/{id}         one job's status
+//	DELETE /jobs/{id}         cancel a job
+//	GET    /jobs/{id}/result  the finished job's result JSON, verbatim
+//	GET    /jobs/{id}/stream  NDJSON event stream (follows until done)
+//	GET    /healthz           liveness (503 once draining)
+//	GET    /metrics           Prometheus text format
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// apiError is the error envelope every non-2xx JSON response uses.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, apiError{Error: msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: "+err.Error())
+		return
+	}
+	j, err := s.Submit(spec)
+	switch {
+	case err == nil:
+		st, _ := s.StatusOf(j.ID) // re-snapshot under the lock
+		writeJSON(w, http.StatusAccepted, st)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Statuses())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.StatusOf(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.Job(id); !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	res, ok := s.Result(id)
+	if !ok {
+		writeError(w, http.StatusConflict, "job has no result yet")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(res)
+}
+
+// handleStream serves the job's NDJSON event stream: the full backlog
+// first, then live events until the job reaches a terminal state or
+// the client disconnects.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	i := 0
+	for {
+		lines, done, wait := j.stream.next(i)
+		for _, line := range lines {
+			if _, err := w.Write(append(line, '\n')); err != nil {
+				return
+			}
+		}
+		i += len(lines)
+		if len(lines) > 0 {
+			if flusher != nil {
+				flusher.Flush()
+			}
+			continue
+		}
+		if done {
+			return
+		}
+		select {
+		case <-wait:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := struct {
+		Status   string `json:"status"`
+		Draining bool   `json:"draining"`
+		Jobs     int    `json:"jobs"`
+	}{Status: "ok", Draining: s.draining, Jobs: len(s.jobs)}
+	s.mu.Unlock()
+	code := http.StatusOK
+	if h.Draining {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}

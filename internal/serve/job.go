@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+// Job states. queued → running → done|failed|cancelled; a draining
+// daemon moves running jobs back to queued after checkpointing them.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Job is one submitted job. All mutable fields are guarded by the
+// owning Server's mutex; the stream has its own lock and is safe to
+// use without it.
+type Job struct {
+	ID   string
+	Spec Spec
+
+	State  State
+	Error  string
+	Result []byte // final result JSON (byte-identical to the CLI twin)
+
+	// Units are the completed checkpoint units in order (validation
+	// case chunks, resilience sweep points). A resumed job replays
+	// them instead of recomputing.
+	Units []json.RawMessage
+
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+
+	cancel func() // cancels the running job's context; nil unless running
+	stream *stream
+}
+
+// Status is the wire form of a job's state (GET /jobs, GET /jobs/{id}).
+type Status struct {
+	ID         string `json:"id"`
+	Kind       Kind   `json:"kind"`
+	State      State  `json:"state"`
+	Error      string `json:"error,omitempty"`
+	UnitsDone  int    `json:"units_done"`
+	UnitsTotal int    `json:"units_total"`
+	HasResult  bool   `json:"has_result"`
+}
+
+// status snapshots the job; the server's mutex must be held.
+func (j *Job) status() Status {
+	return Status{
+		ID:         j.ID,
+		Kind:       j.Spec.Kind,
+		State:      j.State,
+		Error:      j.Error,
+		UnitsDone:  len(j.Units),
+		UnitsTotal: j.Spec.numUnits(),
+		HasResult:  len(j.Result) > 0,
+	}
+}

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// handleMetrics renders the daemon's operational metrics in the
+// Prometheus text exposition format: queue depth, in-flight and
+// per-state job counts, and the submit-to-complete latency histogram
+// (stats.Histogram quantiles plus sum/count).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	queueDepth := len(s.queue)
+	queueCap := cap(s.queue)
+	running := s.running
+	states := make(map[State]int)
+	for _, j := range s.jobs {
+		states[j.State]++
+	}
+	latN := s.latency.N()
+	latSum := s.latencySum
+	quantiles := map[string]float64{}
+	if latN > 0 {
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			quantiles[fmt.Sprintf("%g", q)] = s.latency.Percentile(q)
+		}
+	}
+	uptime := time.Since(s.started).Seconds()
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP spsd_up Whether the daemon is serving.\n")
+	fmt.Fprintf(w, "# TYPE spsd_up gauge\n")
+	fmt.Fprintf(w, "spsd_up 1\n")
+	fmt.Fprintf(w, "# HELP spsd_uptime_seconds Daemon uptime.\n")
+	fmt.Fprintf(w, "# TYPE spsd_uptime_seconds counter\n")
+	fmt.Fprintf(w, "spsd_uptime_seconds %g\n", uptime)
+	fmt.Fprintf(w, "# HELP spsd_queue_depth Jobs admitted but not yet running.\n")
+	fmt.Fprintf(w, "# TYPE spsd_queue_depth gauge\n")
+	fmt.Fprintf(w, "spsd_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(w, "# HELP spsd_queue_capacity Admission queue bound.\n")
+	fmt.Fprintf(w, "# TYPE spsd_queue_capacity gauge\n")
+	fmt.Fprintf(w, "spsd_queue_capacity %d\n", queueCap)
+	fmt.Fprintf(w, "# HELP spsd_jobs_inflight Jobs currently executing.\n")
+	fmt.Fprintf(w, "# TYPE spsd_jobs_inflight gauge\n")
+	fmt.Fprintf(w, "spsd_jobs_inflight %d\n", running)
+	fmt.Fprintf(w, "# HELP spsd_jobs_total Jobs by lifecycle state.\n")
+	fmt.Fprintf(w, "# TYPE spsd_jobs_total gauge\n")
+	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+		fmt.Fprintf(w, "spsd_jobs_total{state=%q} %d\n", st, states[st])
+	}
+	fmt.Fprintf(w, "# HELP spsd_job_latency_seconds Submit-to-complete latency of finished jobs.\n")
+	fmt.Fprintf(w, "# TYPE spsd_job_latency_seconds summary\n")
+	qs := make([]string, 0, len(quantiles))
+	for q := range quantiles {
+		qs = append(qs, q)
+	}
+	sort.Strings(qs)
+	for _, q := range qs {
+		fmt.Fprintf(w, "spsd_job_latency_seconds{quantile=%q} %g\n", q, quantiles[q])
+	}
+	fmt.Fprintf(w, "spsd_job_latency_seconds_sum %g\n", latSum)
+	fmt.Fprintf(w, "spsd_job_latency_seconds_count %d\n", latN)
+}

@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"pbrouter/internal/hbmswitch"
+	"pbrouter/internal/parallel"
+	"pbrouter/internal/resilience"
+	"pbrouter/internal/sim"
+	"pbrouter/internal/telemetry"
+	"pbrouter/internal/validate"
+	"pbrouter/router"
+)
+
+// validateChunk is the checkpoint-unit size of a validation sweep:
+// one unit is this many consecutive cases. It must never change for
+// existing checkpoints to resume, and it does not affect results —
+// cases are self-contained and assembled in index order.
+const validateChunk = 16
+
+// FoundError reports that a job ran to completion and produced a full
+// result, but the run found violations or failures. The job lands in
+// state failed with the result attached, mirroring the CLI twin's
+// exit code 1 next to complete output.
+type FoundError struct {
+	N    int
+	What string
+}
+
+func (e *FoundError) Error() string { return fmt.Sprintf("%d %s", e.N, e.What) }
+
+// runEnv is what a job runner gets from the worker: previously
+// checkpointed units to replay, a sink for newly completed units, a
+// stream to publish events to, and the per-job parallelism.
+type runEnv struct {
+	id       string
+	workers  int
+	units    []json.RawMessage
+	saveUnit func(json.RawMessage)
+	emit     func(v any)
+}
+
+// runSpec executes the job and returns its result JSON — byte-
+// identical to the equivalent CLI run at the same seed, including
+// when the returned error is a *FoundError.
+func runSpec(ctx context.Context, spec Spec, env runEnv) ([]byte, error) {
+	switch spec.Kind {
+	case KindSim:
+		return runSim(ctx, spec.Sim, env)
+	case KindSweep:
+		return runSweep(ctx, spec.Sweep, env)
+	case KindValidate:
+		return runValidate(ctx, spec.Validate, env)
+	case KindResilience:
+		return runResilience(ctx, spec.Resilience, env)
+	default:
+		return nil, fmt.Errorf("serve: unknown job kind %q", spec.Kind)
+	}
+}
+
+// runSim runs one packet-level switch simulation. The job is atomic
+// (one unit): cancellation is honored before the run starts, and the
+// report serializes through hbmswitch.Report.WriteJSON — the same
+// writer behind spssim -json. A telemetry registry is attached purely
+// to stream samples; instrumentation does not change results (the
+// switch's own tests pin that invariant).
+func runSim(ctx context.Context, spec *SimSpec, env runEnv) ([]byte, error) {
+	cfg, err := spec.Config()
+	if err != nil {
+		return nil, err
+	}
+	sw, err := hbmswitch.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if reg, err := telemetry.New(sim.Microsecond); err == nil {
+		sent := false
+		reg.SetOnSample(func(now sim.Time, names []string, row []float64) {
+			if !sent {
+				env.emit(probesEvent{Job: env.id, Event: "probes", Names: names})
+				sent = true
+			}
+			env.emit(sampleEvent{Job: env.id, Event: "sample", TimePs: now, Values: append([]float64(nil), row...)})
+		})
+		sw.Instrument(reg, nil, "", 0)
+	}
+	stream, err := spec.NewStream(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rep, err := sw.Run(stream, spec.HorizonPs)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	if len(rep.Errors) > 0 {
+		return buf.Bytes(), &FoundError{N: len(rep.Errors), What: "invariant violations"}
+	}
+	return buf.Bytes(), nil
+}
+
+// runSweep runs one registered experiment — the same entry point as
+// spsbench, with the daemon's context and progress stream wired into
+// the sweep engine. Atomic: a cancelled sweep reruns from the spec.
+func runSweep(ctx context.Context, spec *SweepSpec, env runEnv) ([]byte, error) {
+	res, err := router.RunExperiment(spec.Experiment, router.Options{
+		Quick:       spec.Quick,
+		Seed:        spec.Seed,
+		Reps:        spec.Reps,
+		Parallelism: env.workers,
+		Ctx:         ctx,
+		Progress: func(done, total int) {
+			env.emit(progressEvent{Job: env.id, Event: "progress", Done: done, Total: total})
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf, spec.Experiment); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// runValidate runs a validation sweep in chunks of validateChunk
+// cases, checkpointing each completed chunk. A resumed job replays
+// checkpointed chunks and continues from the first missing case;
+// because cases are self-contained, the assembled result is byte-
+// identical to an uninterrupted spsvalidate run.
+func runValidate(ctx context.Context, spec *ValidateSpec, env runEnv) ([]byte, error) {
+	opts := spec.Options(env.workers)
+	var outcomes []validate.CaseOutcome
+	for _, u := range env.units {
+		var chunk []validate.CaseOutcome
+		if err := json.Unmarshal(u, &chunk); err != nil {
+			return nil, fmt.Errorf("serve: corrupt validate checkpoint unit: %w", err)
+		}
+		outcomes = append(outcomes, chunk...)
+	}
+	if len(outcomes) > opts.Cases {
+		outcomes = outcomes[:opts.Cases]
+	}
+	for lo := len(outcomes); lo < opts.Cases; {
+		hi := lo + validateChunk
+		if hi > opts.Cases {
+			hi = opts.Cases
+		}
+		chunk, err := parallel.MapCtx(ctx, parallel.Workers(env.workers), hi-lo,
+			func(i int) (validate.CaseOutcome, error) {
+				return validate.RunCase(opts, lo+i), nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		outcomes = append(outcomes, chunk...)
+		if raw, err := json.Marshal(chunk); err == nil && env.saveUnit != nil {
+			env.saveUnit(raw)
+		}
+		env.emit(progressEvent{Job: env.id, Event: "progress", Done: len(outcomes), Total: opts.Cases})
+		lo = hi
+	}
+	res := validate.Assemble(opts, outcomes)
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	if res.Failures > 0 {
+		return buf.Bytes(), &FoundError{N: res.Failures, What: "failing cases"}
+	}
+	return buf.Bytes(), nil
+}
+
+// runResilience runs an availability sweep point by point — the same
+// points in the same order as spsresil — checkpointing each completed
+// point and streaming its per-epoch series. The assembled table
+// serializes through telemetry.Series.WriteJSON, the writer behind
+// spsresil -json.
+func runResilience(ctx context.Context, cfg *resilience.SweepConfig, env runEnv) ([]byte, error) {
+	c := *cfg
+	c.Workers = env.workers
+	var pts []resilience.SweepPoint
+	for _, u := range env.units {
+		var pt resilience.SweepPoint
+		if err := json.Unmarshal(u, &pt); err != nil {
+			return nil, fmt.Errorf("serve: corrupt resilience checkpoint unit: %w", err)
+		}
+		pts = append(pts, pt)
+	}
+	if len(pts) > c.NumPoints() {
+		pts = pts[:c.NumPoints()]
+	}
+	for k := len(pts); k < c.NumPoints(); k++ {
+		pt, rep, err := c.RunPoint(ctx, k)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, pt)
+		if k == 0 {
+			env.emit(probesEvent{Job: env.id, Event: "probes", Names: rep.Series.Names})
+		}
+		for i, t := range rep.Series.Times {
+			env.emit(sampleEvent{Job: env.id, Event: "sample", Point: k, TimePs: t, Values: rep.Series.Rows[i]})
+		}
+		if raw, err := json.Marshal(pt); err == nil && env.saveUnit != nil {
+			env.saveUnit(raw)
+		}
+		env.emit(unitEvent{Job: env.id, Event: "unit", Unit: k + 1, Of: c.NumPoints()})
+	}
+	table, violations := c.Assemble(pts)
+	var buf bytes.Buffer
+	if err := table.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	if (c.Validate == nil || *c.Validate) && violations > 0 {
+		return buf.Bytes(), &FoundError{N: violations, What: "invariant violations"}
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,384 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"pbrouter/internal/stats"
+)
+
+// Admission errors, mapped to HTTP statuses by the handlers.
+var (
+	// ErrQueueFull means the bounded admission queue is at capacity.
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrDraining means the daemon is shutting down and not admitting.
+	ErrDraining = errors.New("serve: draining, not admitting jobs")
+)
+
+// Config tunes a Server. The zero value is usable: an in-memory
+// daemon with a small queue and no checkpointing.
+type Config struct {
+	// QueueDepth bounds the admission queue — jobs accepted but not
+	// yet running. Submissions beyond it are rejected with
+	// ErrQueueFull. Default 64.
+	QueueDepth int
+	// Workers is the number of jobs run concurrently. Default 2.
+	Workers int
+	// JobParallelism is each job's internal worker count
+	// (parallel.Workers rules: 0 = one per CPU). Results are identical
+	// for every value.
+	JobParallelism int
+	// CheckpointDir persists jobs for resume-on-restart; empty
+	// disables persistence.
+	CheckpointDir string
+	// DrainGrace is how long Drain lets running jobs finish before
+	// cancelling them to checkpoint. Default 10s.
+	DrainGrace time.Duration
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// Server owns the job table, the bounded admission queue, and the
+// worker pool. Create with New, start with Start, serve its Handler,
+// and stop with Drain.
+type Server struct {
+	cfg Config
+
+	// baseCtx parents every job's context; cancelJobs aborts them all
+	// (drain past its grace period).
+	baseCtx    context.Context
+	cancelJobs context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // job IDs in submission order
+	nextID   int
+	queue    chan *Job
+	draining bool
+
+	running    int // jobs currently executing
+	latency    *stats.Histogram
+	latencySum float64
+
+	wg      sync.WaitGroup
+	started time.Time
+}
+
+// New builds a server, loading any checkpointed jobs from
+// cfg.CheckpointDir: unfinished ones re-enter the queue (ahead of new
+// submissions), finished ones serve their results again.
+func New(cfg Config) (*Server, error) {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.DrainGrace <= 0 {
+		cfg.DrainGrace = 10 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	var resumed []*Job
+	if cfg.CheckpointDir != "" {
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			return nil, err
+		}
+		jobs, err := loadCheckpoints(cfg.CheckpointDir)
+		if err != nil {
+			return nil, err
+		}
+		resumed = jobs
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		baseCtx:    ctx,
+		cancelJobs: cancel,
+		jobs:       make(map[string]*Job),
+		// Resumed jobs must fit alongside a full queue of new work.
+		queue:   make(chan *Job, cfg.QueueDepth+len(resumed)),
+		latency: stats.NewHistogram(1e-4, 1.1),
+		started: time.Now(),
+	}
+	for _, j := range resumed {
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+		if n := jobNum(j.ID); n >= s.nextID {
+			s.nextID = n + 1
+		}
+		if j.State == StateQueued {
+			s.queue <- j
+			s.cfg.Logf("resuming job %s (%s, %d/%d units done)",
+				j.ID, j.Spec.Kind, len(j.Units), j.Spec.numUnits())
+		}
+	}
+	return s, nil
+}
+
+// jobNum parses the numeric part of a job ID ("j000042" → 42), or -1.
+func jobNum(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "j%d", &n); err != nil {
+		return -1
+	}
+	return n
+}
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Submit validates and admits one job. The spec is normalized in
+// place; the returned job is queued (checkpointed first when
+// persistence is on).
+func (s *Server) Submit(spec Spec) (*Job, error) {
+	spec.Normalize()
+	if err := spec.Check(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	j := &Job{
+		ID:        fmt.Sprintf("j%06d", s.nextID),
+		Spec:      spec,
+		State:     StateQueued,
+		Submitted: time.Now(),
+		stream:    newStream(),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		return nil, ErrQueueFull
+	}
+	s.nextID++
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.persistLocked(j)
+	s.cfg.Logf("job %s queued (%s)", j.ID, spec.Kind)
+	return j, nil
+}
+
+// Job returns a job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// StatusOf snapshots one job's status.
+func (s *Server) StatusOf(id string) (Status, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Status{}, false
+	}
+	return j.status(), true
+}
+
+// Statuses snapshots every job in submission order.
+func (s *Server) Statuses() []Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Status, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].status())
+	}
+	return out
+}
+
+// Result returns a finished job's result bytes.
+func (s *Server) Result(id string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok || len(j.Result) == 0 {
+		return nil, false
+	}
+	return j.Result, true
+}
+
+// Cancel cancels a job: a queued job goes terminal immediately, a
+// running one is aborted at its next cancellation point. Cancelling a
+// terminal job is a no-op.
+func (s *Server) Cancel(id string) (Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Status{}, fmt.Errorf("serve: no job %q", id)
+	}
+	switch j.State {
+	case StateQueued:
+		s.finishLocked(j, StateCancelled, "cancelled before start", nil)
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return j.status(), nil
+}
+
+// worker drains the queue until it closes. During a drain, dequeued
+// jobs are skipped — they stay queued on disk for the next daemon.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one dequeued job end to end.
+func (s *Server) runJob(j *Job) {
+	s.mu.Lock()
+	if s.draining || j.State != StateQueued {
+		// Draining: leave it queued (already checkpointed) for the next
+		// daemon. Cancelled-while-queued jobs were finished by Cancel.
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j.State = StateRunning
+	j.Started = time.Now()
+	j.cancel = cancel
+	env := runEnv{
+		id:      j.ID,
+		workers: s.cfg.JobParallelism,
+		units:   append([]json.RawMessage(nil), j.Units...),
+		saveUnit: func(raw json.RawMessage) {
+			s.mu.Lock()
+			j.Units = append(j.Units, raw)
+			s.persistLocked(j)
+			s.mu.Unlock()
+		},
+		emit: j.stream.publish,
+	}
+	spec := j.Spec
+	s.running++
+	s.mu.Unlock()
+
+	j.stream.publish(stateEvent{Job: j.ID, Event: "state", State: StateRunning})
+	s.cfg.Logf("job %s running (%s)", j.ID, spec.Kind)
+	result, err := runSpec(ctx, spec, env)
+	cancel()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.running--
+	var found *FoundError
+	switch {
+	case err == nil:
+		s.finishLocked(j, StateDone, "", result)
+	case errors.As(err, &found):
+		s.finishLocked(j, StateFailed, err.Error(), result)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		if s.draining {
+			// Checkpointed units survive; the job resumes on restart.
+			j.State = StateQueued
+			j.Started = time.Time{}
+			j.cancel = nil
+			s.persistLocked(j)
+			s.cfg.Logf("job %s checkpointed for resume (%d/%d units)",
+				j.ID, len(j.Units), j.Spec.numUnits())
+		} else {
+			s.finishLocked(j, StateCancelled, "cancelled", nil)
+		}
+	default:
+		s.finishLocked(j, StateFailed, err.Error(), nil)
+	}
+}
+
+// finishLocked moves a job to a terminal state, records its latency,
+// persists it, and closes its stream. Caller holds s.mu.
+func (s *Server) finishLocked(j *Job, st State, msg string, result []byte) {
+	j.State = st
+	j.Error = msg
+	j.Result = result
+	j.Finished = time.Now()
+	j.cancel = nil
+	if !j.Submitted.IsZero() {
+		d := j.Finished.Sub(j.Submitted).Seconds()
+		s.latency.Add(d)
+		s.latencySum += d
+	}
+	s.persistLocked(j)
+	j.stream.publish(stateEvent{Job: j.ID, Event: "state", State: st, Error: msg})
+	j.stream.closeStream()
+	s.cfg.Logf("job %s %s%s", j.ID, st, errSuffix(msg))
+}
+
+func errSuffix(msg string) string {
+	if msg == "" {
+		return ""
+	}
+	return ": " + msg
+}
+
+// persistLocked checkpoints the job if persistence is on. Caller
+// holds s.mu.
+func (s *Server) persistLocked(j *Job) {
+	if s.cfg.CheckpointDir == "" {
+		return
+	}
+	if err := writeCheckpoint(s.cfg.CheckpointDir, j); err != nil {
+		s.cfg.Logf("checkpoint %s: %v", j.ID, err)
+	}
+}
+
+// Drain gracefully stops the server: it stops admitting, lets running
+// jobs finish for the configured grace period (or until ctx is done,
+// whichever comes first), then cancels the stragglers so they
+// checkpoint, and waits for the worker pool to exit. Jobs still
+// queued remain checkpointed as queued; nothing accepted is lost.
+func (s *Server) Drain(ctx context.Context) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.draining = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.cfg.Logf("draining: admission closed, waiting up to %v for running jobs", s.cfg.DrainGrace)
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	timer := time.NewTimer(s.cfg.DrainGrace)
+	defer timer.Stop()
+	select {
+	case <-done:
+	case <-timer.C:
+		s.cancelJobs()
+		<-done
+	case <-ctx.Done():
+		s.cancelJobs()
+		<-done
+	}
+	s.cfg.Logf("drained")
+}
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}

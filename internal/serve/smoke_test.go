@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke is the end-to-end serving smoke behind `make
+// serve-smoke`: it builds the real binaries, regenerates the CLI
+// outputs for the four fixture specs, runs an actual spsd process,
+// submits one job of each kind over HTTP, asserts every result is
+// byte-identical to its CLI twin (and that the checked-in fixtures
+// haven't drifted), load-tests with spsload, then SIGTERMs the daemon
+// mid-campaign and verifies the restarted daemon resumes the job to a
+// byte-identical result. Gated behind SPSD_SMOKE=1 so plain `go test
+// ./...` stays fast.
+func TestServeSmoke(t *testing.T) {
+	if os.Getenv("SPSD_SMOKE") == "" {
+		t.Skip("set SPSD_SMOKE=1 (make serve-smoke) to run the end-to-end daemon smoke")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := t.TempDir()
+	work := t.TempDir()
+
+	build := exec.Command("go", "build", "-o", bin,
+		"./cmd/spsd", "./cmd/spsload", "./cmd/spssim", "./cmd/spsbench",
+		"./cmd/spsvalidate", "./cmd/spsresil")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	run := func(name string, args ...string) []byte {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(bin, name), args...)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("%s %s: %v\n%s", name, strings.Join(args, " "), err, stderr.Bytes())
+		}
+		return stdout.Bytes()
+	}
+
+	// Regenerate each fixture's CLI output live; the checked-in fixture
+	// must match it (no drift), and below each daemon job must too.
+	validateOut := filepath.Join(work, "validate_cli.json")
+	run("spsvalidate", "-cases", "4", "-duration", "5us", "-seed", "2", "-out", validateOut)
+	validateCLI, _ := os.ReadFile(validateOut)
+	cliOut := map[string][]byte{
+		"spec_sim.json":      run("spssim", "-json", "-load", "0.5", "-horizon", "5us", "-seed", "3"),
+		"spec_sweep.json":    run("spsbench", "-exp", "E1", "-quick", "-format", "json", "-seed", "1"),
+		"spec_validate.json": validateCLI,
+		"spec_resil.json":    run("spsresil", "-sweep", "failed-switches", "-max-failed", "1", "-horizon", "10us", "-json", "-out", "-"),
+	}
+	fixtures := map[string]string{
+		"spec_sim.json":      "sim_quick.json",
+		"spec_sweep.json":    "sweep_e1.json",
+		"spec_validate.json": "validate_quick.json",
+		"spec_resil.json":    "resil_quick.json",
+	}
+	for spec, fixture := range fixtures {
+		want, err := os.ReadFile(filepath.Join("testdata", fixture))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(cliOut[spec], want) {
+			t.Fatalf("checked-in fixture %s no longer matches its CLI output", fixture)
+		}
+	}
+
+	// First daemon: quick drain grace so the SIGTERM checkpoint path
+	// (not the finish path) is what we exercise later.
+	ckpt := filepath.Join(work, "ckpt")
+	d1 := startDaemon(t, bin, work, "d1", ckpt)
+
+	// One job of each kind; results must match the CLI bytes.
+	for spec, cli := range cliOut {
+		raw, err := os.ReadFile(filepath.Join("testdata", spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := smokeSubmit(t, d1.addr, raw)
+		st := smokeWait(t, d1.addr, id, 2*time.Minute)
+		if st.State != StateDone {
+			t.Fatalf("%s job ended %s: %s", spec, st.State, st.Error)
+		}
+		got := smokeGet(t, d1.addr, "/jobs/"+id+"/result")
+		if !bytes.Equal(got, cli) {
+			t.Errorf("%s: daemon result differs from CLI output\n got: %s\nwant: %s", spec, got, cli)
+		}
+	}
+
+	// Load test: 32 clients, mixed kinds, zero errors required (spsload
+	// exits nonzero on any), latency percentiles reported.
+	loadOut := run("spsload", "-addr", d1.addr, "-clients", "32", "-jobs", "32")
+	if !bytes.Contains(loadOut, []byte("0 errors")) || !bytes.Contains(loadOut, []byte("submit-to-complete latency")) {
+		t.Errorf("spsload report missing expected lines:\n%s", loadOut)
+	}
+	t.Logf("spsload:\n%s", loadOut)
+
+	// Drain mid-campaign: SIGTERM once the first sweep point has
+	// checkpointed; the job must survive and resume.
+	longSpec := []byte(`{"kind":"resilience","resilience":{"mode":"failed-switches","max_failed":2,"horizon_ps":60000000,"seed":7}}`)
+	longID := smokeSubmit(t, d1.addr, longSpec)
+	deadline := time.Now().Add(time.Minute)
+	for {
+		st := smokeStatus(t, d1.addr, longID)
+		if st.UnitsDone >= 1 {
+			break
+		}
+		if st.State.Terminal() {
+			t.Fatalf("long job finished before the drain could interrupt it (%s)", st.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("long job never checkpointed a unit")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := d1.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.cmd.Wait(); err != nil {
+		t.Fatalf("spsd exited uncleanly after SIGTERM: %v\n%s", err, d1.stderr.Bytes())
+	}
+
+	// Restarted daemon resumes the interrupted job; its result must be
+	// byte-identical to the uninterrupted CLI run of the same sweep.
+	d2 := startDaemon(t, bin, work, "d2", ckpt)
+	st := smokeWait(t, d2.addr, longID, 2*time.Minute)
+	if st.State != StateDone {
+		t.Fatalf("resumed job ended %s: %s", st.State, st.Error)
+	}
+	got := smokeGet(t, d2.addr, "/jobs/"+longID+"/result")
+	want := run("spsresil", "-sweep", "failed-switches", "-max-failed", "2", "-horizon", "60us", "-seed", "7", "-json", "-out", "-")
+	if !bytes.Equal(got, want) {
+		t.Errorf("resumed result differs from uninterrupted CLI run\n got: %s\nwant: %s", got, want)
+	}
+
+	// Every job accepted before the drain is still known and finished.
+	var all []Status
+	if err := json.Unmarshal(smokeGet(t, d2.addr, "/jobs"), &all); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range all {
+		if !st.State.Terminal() {
+			t.Errorf("job %s still %s after resume", st.ID, st.State)
+		}
+	}
+
+	if err := d2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.cmd.Wait(); err != nil {
+		t.Fatalf("second spsd exited uncleanly: %v\n%s", err, d2.stderr.Bytes())
+	}
+}
+
+type daemon struct {
+	cmd    *exec.Cmd
+	addr   string
+	stderr *bytes.Buffer
+}
+
+// startDaemon launches spsd on an ephemeral port and waits for it to
+// publish its bound address.
+func startDaemon(t *testing.T, bin, work, name, ckpt string) *daemon {
+	t.Helper()
+	addrFile := filepath.Join(work, name+".addr")
+	cmd := exec.Command(filepath.Join(bin, "spsd"),
+		"-addr", "127.0.0.1:0", "-addr-file", addrFile,
+		"-checkpoint-dir", ckpt, "-workers", "2", "-drain-grace", "100ms")
+	stderr := &bytes.Buffer{}
+	cmd.Stderr = stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			return &daemon{cmd: cmd, addr: strings.TrimSpace(string(b)), stderr: stderr}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("spsd never published its address\n%s", stderr.Bytes())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func smokeSubmit(t *testing.T, addr string, spec []byte) string {
+	t.Helper()
+	resp, err := http.Post("http://"+addr+"/jobs", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, b)
+	}
+	var st Status
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st.ID
+}
+
+func smokeStatus(t *testing.T, addr, id string) Status {
+	t.Helper()
+	var st Status
+	if err := json.Unmarshal(smokeGet(t, addr, "/jobs/"+id), &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func smokeWait(t *testing.T, addr, id string, timeout time.Duration) Status {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st := smokeStatus(t, addr, id)
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func smokeGet(t *testing.T, addr, path string) []byte {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d: %s", path, resp.StatusCode, b)
+	}
+	return b
+}

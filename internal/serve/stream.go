@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"encoding/json"
+	"sync"
+
+	"pbrouter/internal/sim"
+)
+
+// stream is a job's NDJSON event log: an append-only list of
+// serialized events with a broadcast channel that wakes followers.
+// Every subscriber sees every line from the beginning — a follower
+// that connects late replays the backlog first, so streams are
+// deterministic per job.
+type stream struct {
+	mu     sync.Mutex
+	lines  [][]byte
+	closed bool
+	wake   chan struct{}
+}
+
+func newStream() *stream {
+	return &stream{wake: make(chan struct{})}
+}
+
+// publish appends one event, serialized as a single JSON line.
+func (s *stream) publish(v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.lines = append(s.lines, b)
+	close(s.wake)
+	s.wake = make(chan struct{})
+}
+
+// closeStream marks the stream finished and wakes all followers.
+func (s *stream) closeStream() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	close(s.wake)
+}
+
+// next returns the lines at and after index i. When none are ready it
+// returns a channel that closes on the next publish or close; done
+// reports that the stream has ended and no more lines will come.
+func (s *stream) next(i int) (lines [][]byte, done bool, wait <-chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < len(s.lines) {
+		return s.lines[i:], false, nil
+	}
+	if s.closed {
+		return nil, true, nil
+	}
+	return nil, false, s.wake
+}
+
+// Stream event payloads. Field order is fixed by the struct layout,
+// so event lines are deterministic.
+
+type stateEvent struct {
+	Job   string `json:"job"`
+	Event string `json:"event"` // "state"
+	State State  `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+type probesEvent struct {
+	Job   string   `json:"job"`
+	Event string   `json:"event"` // "probes"
+	Names []string `json:"names"`
+}
+
+type sampleEvent struct {
+	Job    string    `json:"job"`
+	Event  string    `json:"event"` // "sample"
+	Point  int       `json:"point"` // sweep point (0 for single sims)
+	TimePs sim.Time  `json:"t_ps"`
+	Values []float64 `json:"values"`
+}
+
+type progressEvent struct {
+	Job   string `json:"job"`
+	Event string `json:"event"` // "progress"
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+}
+
+type unitEvent struct {
+	Job   string `json:"job"`
+	Event string `json:"event"` // "unit"
+	Unit  int    `json:"unit"`  // completed units so far
+	Of    int    `json:"of"`
+}

@@ -34,9 +34,10 @@ type Probe struct {
 // accumulates the rows in memory. The zero value is not usable; build
 // with New. A nil *Registry is a no-op on every method.
 type Registry struct {
-	period sim.Time
-	probes []Probe
-	series Series
+	period   sim.Time
+	probes   []Probe
+	series   Series
+	onSample func(now sim.Time, names []string, row []float64)
 }
 
 // New returns a registry sampling at the given simulated-time period.
@@ -104,6 +105,23 @@ func (r *Registry) Sample(now sim.Time) {
 	}
 	r.series.Times = append(r.series.Times, now)
 	r.series.Rows = append(r.series.Rows, row)
+	if r.onSample != nil {
+		r.onSample(now, r.series.Names, row)
+	}
+}
+
+// SetOnSample installs a callback invoked after every recorded row
+// with the simulated time, the column names, and the row values (both
+// shared, read-only). It lets a live consumer — the serving daemon's
+// NDJSON job stream — observe the series while the simulation runs,
+// without touching the accumulated Series. The callback runs on the
+// simulation goroutine; it must not block on the simulation itself.
+// No-op on nil.
+func (r *Registry) SetOnSample(fn func(now sim.Time, names []string, row []float64)) {
+	if r == nil {
+		return
+	}
+	r.onSample = fn
 }
 
 // Start schedules periodic sampling on the scheduler: one row at every
@@ -220,7 +238,7 @@ func (s Series) WriteCSV(w io.Writer) error {
 		b.WriteString(strconv.FormatInt(int64(s.Times[t]), 10))
 		for _, v := range row {
 			b.WriteByte(',')
-			b.WriteString(formatValue(v))
+			b.WriteString(FormatValue(v))
 		}
 		b.WriteByte('\n')
 	}
@@ -256,7 +274,7 @@ func (s Series) WriteJSON(w io.Writer) error {
 			if i > 0 {
 				b.WriteByte(',')
 			}
-			b.WriteString(formatValue(v))
+			b.WriteString(FormatValue(v))
 		}
 		b.WriteString("]}")
 	}
@@ -265,10 +283,10 @@ func (s Series) WriteJSON(w io.Writer) error {
 	return err
 }
 
-// formatValue renders a sample value: integers without a decimal
+// FormatValue renders a sample value deterministically: integers without a decimal
 // point, everything else with the shortest representation that
 // round-trips.
-func formatValue(v float64) string {
+func FormatValue(v float64) string {
 	if v == float64(int64(v)) {
 		return strconv.FormatInt(int64(v), 10)
 	}

@@ -47,50 +47,76 @@ type SweepResult struct {
 	Failing      []CaseResult `json:"failing,omitempty"`
 }
 
+// CaseOutcome is the self-contained outcome of one sweep case: enough
+// to reassemble the case's slice of a SweepResult without rerunning
+// it. It is the unit the serving daemon checkpoints mid-sweep.
+type CaseOutcome struct {
+	Index       int       `json:"index"`
+	Fingerprint string    `json:"fingerprint"`
+	Verdict     *Verdict  `json:"verdict,omitempty"` // failing cases only
+	Shrunk      *Scenario `json:"shrunk,omitempty"`
+	ShrinkTrace []string  `json:"shrink_trace,omitempty"`
+}
+
+// RunCase generates and validates sweep case i under opts. Cases are
+// self-contained (scenario seed parallel.Seed(opts.Seed, i); shrinking
+// touches only the case's own scenario), so any subset can run in any
+// order, on any worker, in any process, and produce the same outcome.
+func RunCase(opts SweepOptions, i int) CaseOutcome {
+	sc := Generate(parallel.Seed(opts.Seed, i))
+	if opts.Fault != "" {
+		sc = sc.Mutated(opts.Fault)
+	}
+	if opts.HorizonUs > 0 {
+		sc.HorizonUs = opts.HorizonUs
+	}
+	v := RunWith(sc, Options{Repeat: opts.Repeat})
+	o := CaseOutcome{Index: i, Fingerprint: v.Fingerprint}
+	if v.Failed() {
+		o.Verdict = &v
+		if opts.Shrink {
+			s, tr := Shrink(sc, v.Violations, opts.ShrinkBudget)
+			o.Shrunk, o.ShrinkTrace = &s, tr
+		}
+	}
+	return o
+}
+
+// Assemble builds the sweep result from per-case outcomes, which must
+// be exactly cases 0..opts.Cases-1 in index order. Sweep is
+// Assemble∘RunCase, so a resumed sweep that reuses checkpointed
+// outcomes serializes byte-identically to an uninterrupted one.
+func Assemble(opts SweepOptions, outcomes []CaseOutcome) *SweepResult {
+	res := &SweepResult{
+		Seed:         opts.Seed,
+		Cases:        opts.Cases,
+		Fingerprints: make([]string, 0, len(outcomes)),
+	}
+	for _, o := range outcomes {
+		res.Fingerprints = append(res.Fingerprints, o.Fingerprint)
+		if o.Verdict != nil {
+			res.Failures++
+			res.Failing = append(res.Failing, CaseResult{
+				Index:       o.Index,
+				Verdict:     *o.Verdict,
+				Shrunk:      o.Shrunk,
+				ShrinkTrace: o.ShrinkTrace,
+			})
+		}
+	}
+	return res
+}
+
 // Sweep generates and validates opts.Cases scenarios. The result is
 // deterministic in (Seed, Cases, Fault, HorizonUs, Shrink settings)
 // and independent of Workers: cases are self-contained and collected
 // in index order, and each failing case shrinks against only its own
 // scenario.
 func Sweep(opts SweepOptions) *SweepResult {
-	type one struct {
-		v      Verdict
-		shrunk *Scenario
-		trace  []string
-	}
-	results, _ := parallel.Map(parallel.Workers(opts.Workers), opts.Cases, func(i int) (one, error) {
-		sc := Generate(parallel.Seed(opts.Seed, i))
-		if opts.Fault != "" {
-			sc = sc.Mutated(opts.Fault)
-		}
-		if opts.HorizonUs > 0 {
-			sc.HorizonUs = opts.HorizonUs
-		}
-		o := one{v: RunWith(sc, Options{Repeat: opts.Repeat})}
-		if o.v.Failed() && opts.Shrink {
-			s, tr := Shrink(sc, o.v.Violations, opts.ShrinkBudget)
-			o.shrunk, o.trace = &s, tr
-		}
-		return o, nil
+	outcomes, _ := parallel.Map(parallel.Workers(opts.Workers), opts.Cases, func(i int) (CaseOutcome, error) {
+		return RunCase(opts, i), nil
 	})
-	res := &SweepResult{
-		Seed:         opts.Seed,
-		Cases:        opts.Cases,
-		Fingerprints: make([]string, 0, len(results)),
-	}
-	for i, r := range results {
-		res.Fingerprints = append(res.Fingerprints, r.v.Fingerprint)
-		if r.v.Failed() {
-			res.Failures++
-			res.Failing = append(res.Failing, CaseResult{
-				Index:       i,
-				Verdict:     r.v,
-				Shrunk:      r.shrunk,
-				ShrinkTrace: r.trace,
-			})
-		}
-	}
-	return res
+	return Assemble(opts, outcomes)
 }
 
 // WriteJSON serializes the sweep result deterministically (indented,

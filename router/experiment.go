@@ -1,8 +1,11 @@
 package router
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 
@@ -46,6 +49,19 @@ type Options struct {
 	// serialized but arrive in completion order; the callback must not
 	// touch the result. cmd/spsbench wires an ETA meter here.
 	Progress func(done, total int)
+	// Ctx, when non-nil, cancels the experiment between sweep points:
+	// the sweep engine stops claiming points and the experiment returns
+	// the context's error. The serving daemon uses it to abort jobs
+	// cleanly; a nil Ctx never cancels.
+	Ctx context.Context
+}
+
+// ctx normalizes Options.Ctx.
+func (o Options) ctx() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
 }
 
 // reps normalizes Options.Reps.
@@ -121,6 +137,37 @@ func (r *Result) Markdown() string {
 
 func mdEscape(s string) string {
 	return strings.ReplaceAll(s, "|", "\\|")
+}
+
+// WriteJSON writes the result as one deterministic JSON object
+// (hand-rolled: fixed field order, no map iteration), the wire format
+// shared by spsbench -format json and the serving daemon's "sweep"
+// jobs — the two must stay byte-identical for equal options.
+func (r *Result) WriteJSON(w io.Writer, id string) error {
+	var b strings.Builder
+	b.WriteString(`{"schema":"pbrouter-experiment/1","id":`)
+	b.WriteString(strconv.Quote(id))
+	b.WriteString(`,"sim_time_ps":`)
+	b.WriteString(strconv.FormatInt(int64(r.SimTime), 10))
+	b.WriteString(`,"rows":[`)
+	for i, row := range r.Rows {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`{"name":` + strconv.Quote(row.Name))
+		b.WriteString(`,"paper":` + strconv.Quote(row.Paper))
+		b.WriteString(`,"measured":` + strconv.Quote(row.Measured) + "}")
+	}
+	b.WriteString(`],"notes":[`)
+	for i, n := range r.Notes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Quote(n))
+	}
+	b.WriteString("]}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
 }
 
 // registry holds the experiments, populated by init() in the exp_*.go

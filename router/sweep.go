@@ -19,7 +19,7 @@ import (
 // its own sub-result; the sub-results are merged into res in input
 // order, so parallel execution never reorders the table.
 func runSweep(opt Options, res *Result, n int, fn func(i int, sub *Result) error) error {
-	subs, err := parallel.MapProgress(parallel.Workers(opt.Parallelism), n, func(i int) (*Result, error) {
+	subs, err := parallel.MapProgressCtx(opt.ctx(), parallel.Workers(opt.Parallelism), n, func(i int) (*Result, error) {
 		sub := &Result{}
 		if err := fn(i, sub); err != nil {
 			return nil, err
@@ -43,7 +43,7 @@ func runSweep(opt Options, res *Result, n int, fn func(i int, sub *Result) error
 // Options.Reps unset each case gets exactly one sample.
 func sweepReps[T any](opt Options, cases int, fn func(c, rep int) (T, error)) ([][]T, error) {
 	reps := opt.reps()
-	flat, err := parallel.MapProgress(parallel.Workers(opt.Parallelism), cases*reps, func(i int) (T, error) {
+	flat, err := parallel.MapProgressCtx(opt.ctx(), parallel.Workers(opt.Parallelism), cases*reps, func(i int) (T, error) {
 		return fn(i/reps, i%reps)
 	}, opt.Progress)
 	if err != nil {
