@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-save repro fuzz fuzz-smoke validate resil serve-smoke fmt vet clean figures
+.PHONY: all build test race cover bench bench-save bench-smoke bench-diff repro fuzz fuzz-smoke validate resil serve-smoke fmt vet clean figures
 
 all: build vet test race
 
@@ -36,6 +36,22 @@ bench:
 # BenchmarkResult lines carry ns/op, B/op, and allocs/op).
 bench-save:
 	$(GO) test -bench=. -benchmem -run '^$$' -json ./... > BENCH_$$(date +%Y%m%d).json || (rm -f BENCH_$$(date +%Y%m%d).json; exit 1)
+
+# Cheap CI gate for the zero-alloc event core (see docs/perf.md): run
+# every benchmark exactly once to catch panics and compile breakage,
+# then the hot-path allocation-budget tests.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -benchmem -run '^$$' ./...
+	$(GO) test -run 'TestSchedulerZeroAlloc' -count=1 ./internal/sim
+	$(GO) test -run 'TestPerPacketAllocBudget' -count=1 ./internal/hbmswitch
+
+# Compare two bench-save snapshots: make bench-diff OLD=a.json NEW=b.json
+# (defaults to the committed pre/post event-core snapshots).
+OLD ?= BENCH_20260808_pre.json
+NEW ?= BENCH_20260808.json
+
+bench-diff:
+	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
 
 # Regenerate every quantitative claim in the paper.
 repro:

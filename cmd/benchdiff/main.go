@@ -1,0 +1,208 @@
+// Command benchdiff compares two benchmark snapshots produced by
+// `make bench-save` (raw `go test -json` streams) and prints the
+// per-benchmark time and allocation deltas:
+//
+//	benchdiff BENCH_20260808_pre.json BENCH_20260808.json
+//	benchdiff -max-regress 10 old.json new.json   # fail CI on >10% ns/op regression
+//
+// The report lists every benchmark present in either snapshot with
+// its ns/op and allocs/op before and after, the ratio, and the
+// percentage change (negative = faster/leaner). With -max-regress the
+// command exits 1 if any benchmark present in both snapshots slowed
+// down by more than the given percentage, making it usable as a CI
+// gate; see docs/perf.md.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's parsed metrics.
+type result struct {
+	NsPerOp     float64
+	AllocsPerOp float64
+	BytesPerOp  float64
+}
+
+// event is the subset of the test2json stream benchdiff reads.
+type event struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// parseSnapshot reads a `go test -json` stream and returns the
+// benchmark results keyed by name (with the -<GOMAXPROCS> suffix
+// stripped). Benchmark result lines may be split across several
+// Output events, so the stream's output is reassembled first.
+func parseSnapshot(r io.Reader) (map[string]result, error) {
+	var text strings.Builder
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("malformed stream line: %w", err)
+		}
+		if ev.Action == "output" {
+			text.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]result)
+	for _, line := range strings.Split(text.String(), "\n") {
+		name, res, ok := parseBenchLine(line)
+		if ok {
+			out[name] = res
+		}
+	}
+	return out, nil
+}
+
+// parseBenchLine parses one benchmark result line of the form
+//
+//	BenchmarkName-8   94866   13587 ns/op   10193 B/op   48 allocs/op
+//
+// returning the name (suffix stripped) and metrics. Custom metrics
+// other than ns/op, B/op, and allocs/op are ignored.
+func parseBenchLine(line string) (string, result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return "", result{}, false
+	}
+	if _, err := strconv.ParseInt(f[1], 10, 64); err != nil {
+		return "", result{}, false // not an iteration count
+	}
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	var res result
+	seen := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return "", result{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+			seen = true
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		}
+	}
+	return name, res, seen
+}
+
+// pct returns the percentage change from old to new.
+func pct(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return 100 * (new - old) / old
+}
+
+// ratio formats old/new as a speedup factor.
+func ratio(old, new float64) string {
+	if new == 0 {
+		return "    -"
+	}
+	return fmt.Sprintf("%5.2fx", old/new)
+}
+
+func load(path string) map[string]result {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	res, err := parseSnapshot(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	if len(res) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s holds no benchmark results\n", path)
+		os.Exit(2)
+	}
+	return res
+}
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 0,
+		"exit 1 if any common benchmark's ns/op regressed by more than this percent (0 disables)")
+	only := flag.String("only", "", "restrict the report to benchmarks whose name contains this substring")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	before, after := load(flag.Arg(0)), load(flag.Arg(1))
+
+	names := make([]string, 0, len(before)+len(after))
+	seen := make(map[string]bool)
+	for n := range before {
+		seen[n] = true
+		names = append(names, n)
+	}
+	for n := range after {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-34s %14s %14s %7s %8s | %12s %12s %7s\n",
+		"benchmark", "old ns/op", "new ns/op", "ratio", "Δ%", "old allocs", "new allocs", "Δ%")
+	regressed := []string{}
+	for _, n := range names {
+		if *only != "" && !strings.Contains(n, *only) {
+			continue
+		}
+		o, inOld := before[n]
+		w, inNew := after[n]
+		switch {
+		case !inOld:
+			fmt.Printf("%-34s %14s %14.0f %7s %8s | %12s %12.0f %7s\n",
+				n, "-", w.NsPerOp, "-", "new", "-", w.AllocsPerOp, "new")
+		case !inNew:
+			fmt.Printf("%-34s %14.0f %14s %7s %8s | %12.0f %12s %7s\n",
+				n, o.NsPerOp, "-", "-", "gone", o.AllocsPerOp, "-", "gone")
+		default:
+			fmt.Printf("%-34s %14.0f %14.0f %s %+7.1f%% | %12.0f %12.0f %+6.1f%%\n",
+				n, o.NsPerOp, w.NsPerOp, ratio(o.NsPerOp, w.NsPerOp), pct(o.NsPerOp, w.NsPerOp),
+				o.AllocsPerOp, w.AllocsPerOp, pct(o.AllocsPerOp, w.AllocsPerOp))
+			if *maxRegress > 0 && pct(o.NsPerOp, w.NsPerOp) > *maxRegress {
+				regressed = append(regressed, n)
+			}
+		}
+	}
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond %.1f%%: %s\n",
+			len(regressed), *maxRegress, strings.Join(regressed, ", "))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	for _, tc := range []struct {
+		line string
+		name string
+		ns   float64
+		al   float64
+		ok   bool
+	}{
+		{"BenchmarkE1_Capacity-8   94866   13587 ns/op   10193 B/op   48 allocs/op",
+			"BenchmarkE1_Capacity", 13587, 48, true},
+		{"BenchmarkSwitchSimulation   2   904182457 ns/op   109922176 B/op   1202304 allocs/op",
+			"BenchmarkSwitchSimulation", 904182457, 1202304, true},
+		{"BenchmarkFlowHash-16 	 1000000 	 2.5 ns/op", "BenchmarkFlowHash", 2.5, 0, true},
+		{"=== RUN   BenchmarkE1_Capacity", "", 0, 0, false},
+		{"ok  	pbrouter	10.2s", "", 0, 0, false},
+		{"PASS", "", 0, 0, false},
+	} {
+		name, res, ok := parseBenchLine(tc.line)
+		if ok != tc.ok {
+			t.Fatalf("parseBenchLine(%q) ok = %v, want %v", tc.line, ok, tc.ok)
+		}
+		if !ok {
+			continue
+		}
+		if name != tc.name || res.NsPerOp != tc.ns || res.AllocsPerOp != tc.al {
+			t.Fatalf("parseBenchLine(%q) = %q ns=%g allocs=%g, want %q ns=%g allocs=%g",
+				tc.line, name, res.NsPerOp, res.AllocsPerOp, tc.name, tc.ns, tc.al)
+		}
+	}
+}
+
+// TestParseSnapshotReassemblesSplitLines pins the test2json quirk the
+// real snapshots exhibit: one benchmark result line arrives split
+// across several Output events.
+func TestParseSnapshotReassemblesSplitLines(t *testing.T) {
+	stream := strings.Join([]string{
+		`{"Action":"run","Test":"BenchmarkX"}`,
+		`{"Action":"output","Output":"BenchmarkX           \t"}`,
+		`{"Action":"output","Output":"   94866\t     13587 ns/op\t   10193 B/op\t      48 allocs/op\n"}`,
+		`{"Action":"output","Output":"BenchmarkY-8   7   154346907 ns/op   33250587 B/op   274293 allocs/op\n"}`,
+		`{"Action":"pass","Test":"BenchmarkX"}`,
+	}, "\n")
+	got, err := parseSnapshot(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	if got["BenchmarkX"].NsPerOp != 13587 || got["BenchmarkX"].AllocsPerOp != 48 {
+		t.Fatalf("BenchmarkX = %+v", got["BenchmarkX"])
+	}
+	if got["BenchmarkY"].NsPerOp != 154346907 {
+		t.Fatalf("BenchmarkY = %+v", got["BenchmarkY"])
+	}
+}

@@ -51,6 +51,7 @@ func main() {
 	var (
 		expFlag  = flag.String("exp", "all", "comma-separated experiment ids (E1..E15) or 'all'")
 		quick    = flag.Bool("quick", false, "short simulation horizons (smoke mode)")
+		full     = flag.Bool("full", false, "promote supporting experiments (E5) to the full reference geometry via the sharded lockstep runner")
 		seed     = flag.Uint64("seed", 1, "random seed for stochastic experiments")
 		jobs     = flag.Int("j", 0, "worker goroutines for independent sweep points (0 = one per CPU, 1 = sequential)")
 		reps     = flag.Int("reps", 1, "replications per stochastic sweep point (>1 reports mean ± 95% CI)")
@@ -73,6 +74,7 @@ func main() {
 		cli.ValidateJobs(*jobs),
 		cli.ValidateReps(*reps),
 		cli.ValidateSample("-trace-sample", *traceSample),
+		cli.ValidateMode(*quick, *full),
 	)
 
 	if *pprofAddr != "" {
@@ -88,7 +90,7 @@ func main() {
 	if *telemetryOut != "" || *traceOut != "" {
 		failed = runCapture(*telemetryOut, *telePeriod, *traceOut, *traceSample, *quick, *jobs, *seed)
 	} else {
-		failed = runExperiments(*expFlag, *list, *quick, *seed, *jobs, *reps, *showTime, *progress, *format)
+		failed = runExperiments(*expFlag, *list, *quick, *full, *seed, *jobs, *reps, *showTime, *progress, *format)
 	}
 
 	if *metricsFile != "" {
@@ -102,7 +104,7 @@ func main() {
 	}
 }
 
-func runExperiments(expFlag string, list, quick bool, seed uint64, jobs, reps int,
+func runExperiments(expFlag string, list, quick, full bool, seed uint64, jobs, reps int,
 	showTime, progress bool, format string) (failed bool) {
 	if list {
 		for _, e := range router.Experiments() {
@@ -122,7 +124,7 @@ func runExperiments(expFlag string, list, quick bool, seed uint64, jobs, reps in
 		}
 	}
 
-	opt := router.Options{Quick: quick, Seed: seed, Parallelism: jobs, Reps: reps}
+	opt := router.Options{Quick: quick, Full: full, Seed: seed, Parallelism: jobs, Reps: reps}
 	for _, id := range ids {
 		e := router.Lookup(id)
 		if e == nil {

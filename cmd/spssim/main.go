@@ -42,6 +42,7 @@ func main() {
 		stacks  = flag.Int("stacks", 4, "HBM stacks (4 = reference; 1 = scaled switch)")
 		replay  = flag.String("replay", "", "replay a trafficgen trace instead of generating traffic")
 		refresh = flag.Bool("refresh", false, "enable the REFsb refresh scheduler")
+		sched   = flag.String("sched", "wheel", "event-queue implementation: wheel|heap (byte-identical output; heap is the legacy differential baseline)")
 		jsonOut = flag.Bool("json", false, "write the report as JSON to stdout (the serving daemon's wire format) instead of the human summary")
 
 		telemetryOut = flag.String("telemetry", "", "write simulated-time telemetry to this file (.json for JSON, else CSV; - for stdout)")
@@ -67,6 +68,7 @@ func main() {
 		Load: *load, Matrix: *matrix, Sizes: *sizes, Arrival: *arrival,
 		HorizonPs: hz, Seed: *seed, Speedup: *speedup, Shadow: *shadow,
 		Pad: pad, Bypass: bypass, Stacks: *stacks, Refresh: *refresh,
+		Sched: *sched,
 	}
 	cfg, err := spec.Config()
 	if err != nil {

@@ -47,6 +47,17 @@ func ValidatePositive(name string, t sim.Time) error {
 	return nil
 }
 
+// ValidateMode checks the -quick / -full mode flags: -quick shrinks
+// horizons for smoke runs while -full promotes supporting experiments
+// to the full reference geometry, so requesting both is
+// contradictory.
+func ValidateMode(quick, full bool) error {
+	if quick && full {
+		return fmt.Errorf("-quick and -full are mutually exclusive")
+	}
+	return nil
+}
+
 // ValidateCount checks a generic positive integer flag (ports, stacks,
 // flow counts).
 func ValidateCount(name string, n int) error {

@@ -1,0 +1,61 @@
+package hbmswitch
+
+// ring is a growable circular deque. The switch's stage FIFOs
+// (input-port batches, tail frames, the write FIFO, HBM-resident
+// frames) push at the back and pop at the front; a slice FIFO
+// (append + reslice [1:]) leaks its consumed prefix and reallocates
+// forever, while the ring reuses one backing array so the steady
+// state allocates nothing. The zero value is an empty ring.
+type ring[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+// Len returns the number of queued items.
+func (r *ring[T]) Len() int { return r.n }
+
+// At returns the i-th queued item (0 = front).
+func (r *ring[T]) At(i int) T { return r.buf[(r.head+i)%len(r.buf)] }
+
+// Front returns the front item without removing it.
+func (r *ring[T]) Front() T { return r.buf[r.head] }
+
+// PushBack appends an item at the back.
+func (r *ring[T]) PushBack(v T) {
+	r.grow()
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+}
+
+// PushFront prepends an item at the front (used to requeue a blocked
+// write without reallocating the FIFO).
+func (r *ring[T]) PushFront(v T) {
+	r.grow()
+	r.head = (r.head - 1 + len(r.buf)) % len(r.buf)
+	r.buf[r.head] = v
+	r.n++
+}
+
+// PopFront removes and returns the front item.
+func (r *ring[T]) PopFront() T {
+	v := r.buf[r.head]
+	var zero T
+	r.buf[r.head] = zero // drop the reference for the GC
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return v
+}
+
+// grow doubles the backing array when full, compacting to the front.
+func (r *ring[T]) grow() {
+	if r.n < len(r.buf) {
+		return
+	}
+	next := make([]T, 2*len(r.buf)+8)
+	for i := 0; i < r.n; i++ {
+		next[i] = r.At(i)
+	}
+	r.buf = next
+	r.head = 0
+}

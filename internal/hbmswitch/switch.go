@@ -17,9 +17,36 @@ import (
 
 // frameToken links a completed frame into the shared write FIFO. A
 // bypassed frame's token goes stale and is skipped by the writer.
+// Tokens are recycled through the switch's freelist.
 type frameToken struct {
 	frame *packet.Frame
 	stale bool
+}
+
+// newToken takes a token from the freelist (or allocates one).
+func (s *Switch) newToken(f *packet.Frame) *frameToken {
+	if n := len(s.tokFree); n > 0 {
+		tok := s.tokFree[n-1]
+		s.tokFree = s.tokFree[:n-1]
+		tok.frame, tok.stale = f, false
+		return tok
+	}
+	return &frameToken{frame: f}
+}
+
+// freeToken recycles a token that left both FIFOs.
+func (s *Switch) freeToken(tok *frameToken) {
+	tok.frame = nil
+	s.tokFree = append(s.tokFree, tok)
+}
+
+// freePacket returns a dead packet to the traffic stream's pool, when
+// it has one. Called only after the packet's last observable use
+// (departure accounting or drop), per the Probe no-retention contract.
+func (s *Switch) freePacket(p *packet.Packet) {
+	if s.recycle != nil {
+		s.recycle.Recycle(p)
+	}
 }
 
 // Intrusive event codes (sim.Handler). The per-packet and per-batch
@@ -68,7 +95,7 @@ type Switch struct {
 
 	// Input side (➀).
 	batchers    [][]*packet.Batcher // [input][output]
-	inFIFO      [][]*packet.Batch
+	inFIFO      []ring[*packet.Batch]
 	inBusy      []bool
 	inHighWater []int
 	lastArrival []sim.Time
@@ -77,8 +104,8 @@ type Switch struct {
 
 	// Tail SRAM (➁).
 	assemblers   []*packet.FrameAssembler
-	tailFrames   [][]*frameToken // per-output completed frames (FIFO)
-	writeFIFO    []*frameToken   // global completion order
+	tailFrames   []ring[*frameToken] // per-output completed frames (FIFO)
+	writeFIFO    ring[*frameToken]   // global completion order
 	tailMod      *sram.Module
 	formingSince []sim.Time // per-output: when the forming frame started
 
@@ -88,7 +115,7 @@ type Switch struct {
 	dynRegions   []*core.DynamicRegion // dynamic mode
 	rowsPerPage  int64                 // dynamic mode row addressing
 	dropSlack    int64
-	regionFrames [][]*packet.Frame // frames resident in HBM, FIFO per output
+	regionFrames []ring[*packet.Frame] // frames resident in HBM, FIFO per output
 	readSched    *core.ReadScheduler
 	hbmBusy      bool
 	hbmCursor    sim.Time
@@ -120,6 +147,15 @@ type Switch struct {
 	// Optional structural probe (SetProbe); nil-guarded everywhere.
 	probe Probe
 
+	// Recycling (zero steady-state allocations). Packets return to the
+	// traffic source's pool when the stream implements Recycle; batches,
+	// frames, and write-FIFO tokens return to per-switch freelists as
+	// the frame that carried them fully drains at egress.
+	recycle   interface{ Recycle(p *packet.Packet) }
+	batchPool packet.BatchPool
+	framePool packet.FramePool
+	tokFree   []*frameToken
+
 	// Per-stage latency breakdown histograms (picoseconds).
 	stageBatch *stats.Histogram // packet arrival -> batch complete
 	stageXbar  *stats.Histogram // batch complete -> tail SRAM
@@ -148,9 +184,19 @@ type Switch struct {
 	refreshes       int64
 	refreshGroup    int
 	lastDepart      sim.Time
-	nextSeq         map[uint64]int64
-	droppedSeqs     map[uint64]map[int64]bool
+	nextSeq         []int64    // flat [input*N+output] expected egress seq
+	droppedSeqs     []seqQueue // flat [input*N+output] pending dropped seqs
 	errs            []error
+}
+
+// seqQueue holds the sequence numbers dropped at ingress for one
+// (input, output) pair, awaiting consumption by the egress order
+// check. Drops per pair happen in increasing seq order and the check
+// consumes them in increasing order, so a queue with a cursor replaces
+// the former per-pair set.
+type seqQueue struct {
+	seqs []int64
+	head int
 }
 
 // New builds a switch from a validated configuration.
@@ -181,10 +227,13 @@ func New(cfg Config) (*Switch, error) {
 		}
 	}
 
+	sched := &sim.Scheduler{}
+	sched.SetAlgorithm(cfg.Sched)
+
 	n := cfg.PFI.N
 	s := &Switch{
 		cfg:         cfg,
-		sched:       &sim.Scheduler{},
+		sched:       sched,
 		mem:         mem,
 		engine:      engine,
 		amap:        amap,
@@ -201,8 +250,8 @@ func New(cfg Config) (*Switch, error) {
 		stageFrame:  stats.NewLatencyHistogram(),
 		stageHBM:    stats.NewLatencyHistogram(),
 		stageOut:    stats.NewLatencyHistogram(),
-		nextSeq:     make(map[uint64]int64),
-		droppedSeqs: make(map[uint64]map[int64]bool),
+		nextSeq:     make([]int64, n*n),
+		droppedSeqs: make([]seqQueue, n*n),
 	}
 	ifaceIn := sram.Interface{WidthBits: sram.WidthForRate(2*cfg.PortRate, 2.5*sim.Gbps), Clock: 2.5 * sim.Gbps}
 	s.tailMod = sram.NewModule("tail", ifaceIn, 0)
@@ -210,15 +259,15 @@ func New(cfg Config) (*Switch, error) {
 	s.oeo = optics.ReferenceOEO()
 
 	s.batchers = make([][]*packet.Batcher, n)
-	s.inFIFO = make([][]*packet.Batch, n)
+	s.inFIFO = make([]ring[*packet.Batch], n)
 	s.inBusy = make([]bool, n)
 	s.inHighWater = make([]int, n)
 	s.lastArrival = make([]sim.Time, n)
 	s.assemblers = make([]*packet.FrameAssembler, n)
-	s.tailFrames = make([][]*frameToken, n)
+	s.tailFrames = make([]ring[*frameToken], n)
 	s.formingSince = make([]sim.Time, n)
 	s.regions = make([]*core.Region, n)
-	s.regionFrames = make([][]*packet.Frame, n)
+	s.regionFrames = make([]ring[*packet.Frame], n)
 	s.outBusy = make([]sim.Time, n)
 	s.unbatchers = make([]*packet.Unbatcher, n)
 	s.perOutDelivered = make([]stats.Counter, n)
@@ -227,8 +276,10 @@ func New(cfg Config) (*Switch, error) {
 		s.batchers[i] = make([]*packet.Batcher, n)
 		for j := 0; j < n; j++ {
 			s.batchers[i][j] = packet.NewBatcher(i, j, cfg.PFI.BatchBytes, nextBatchID)
+			s.batchers[i][j].SetPool(&s.batchPool)
 		}
 		s.assemblers[i] = packet.NewFrameAssembler(i, cfg.PFI.BatchesPerFrame(), cfg.PFI.BatchBytes)
+		s.assemblers[i].SetPool(&s.framePool)
 		s.regions[i] = core.NewRegion(amap.CapacityFramesIn(gmap))
 		s.unbatchers[i] = packet.NewUnbatcher()
 	}
@@ -303,7 +354,7 @@ func (s *Switch) HandleEvent(code, a int, p any) {
 		s.flushCheck(a, s.sched.Now())
 	case evBatchAtTail:
 		s.deliverBatch(p.(*packet.Batch))
-		if len(s.inFIFO[a]) > 0 {
+		if s.inFIFO[a].Len() > 0 {
 			s.startInputService(a)
 		} else {
 			s.inBusy[a] = false
@@ -338,19 +389,15 @@ func (s *Switch) inject(p *packet.Packet) {
 	// input, as a shared-buffer switch would.
 	if !s.outputHasRoom(p.Output) {
 		s.dropped.Add(p.Size)
-		pair := uint64(p.Input)<<32 | uint64(uint32(p.Output))
-		ds := s.droppedSeqs[pair]
-		if ds == nil {
-			ds = make(map[int64]bool)
-			s.droppedSeqs[pair] = ds
-		}
-		ds[p.Seq] = true
+		q := &s.droppedSeqs[p.Input*s.cfg.PFI.N+p.Output]
+		q.seqs = append(q.seqs, p.Seq)
 		if s.tracer != nil {
 			s.tracer.Instant("drop", s.traceProc, p.Input, now, p.ID)
 		}
 		if s.probe != nil {
 			s.probe.PacketDropped(p)
 		}
+		s.freePacket(p)
 		return
 	}
 	s.oeo.Convert(int64(p.Size) * 8) // O/E at the ingress waveguide
@@ -400,8 +447,8 @@ func (s *Switch) enqueueBatch(input int, b *packet.Batch) {
 	if s.tracer != nil {
 		s.traceBatch(b)
 	}
-	s.inFIFO[input] = append(s.inFIFO[input], b)
-	if l := len(s.inFIFO[input]); l > s.inHighWater[input] {
+	s.inFIFO[input].PushBack(b)
+	if l := s.inFIFO[input].Len(); l > s.inHighWater[input] {
 		s.inHighWater[input] = l
 	}
 	if !s.inBusy[input] {
@@ -414,8 +461,7 @@ func (s *Switch) enqueueBatch(input int, b *packet.Batch) {
 // later (N slice slots).
 func (s *Switch) startInputService(input int) {
 	s.inBusy[input] = true
-	b := s.inFIFO[input][0]
-	s.inFIFO[input] = s.inFIFO[input][1:]
+	b := s.inFIFO[input].PopFront()
 	s.sched.AfterEvent(s.batchTime, s, evBatchAtTail, input, b)
 }
 
@@ -472,9 +518,9 @@ func (s *Switch) frameReady(f *packet.Frame) {
 	if s.tracer != nil {
 		s.traceFrame(f)
 	}
-	tok := &frameToken{frame: f}
-	s.tailFrames[f.Output] = append(s.tailFrames[f.Output], tok)
-	s.writeFIFO = append(s.writeFIFO, tok)
+	tok := s.newToken(f)
+	s.tailFrames[f.Output].PushBack(tok)
+	s.writeFIFO.PushBack(tok)
 	s.kickHBM()
 }
 
@@ -555,7 +601,7 @@ func (s *Switch) dynLocate(out int, n int64) (group, row int, err error) {
 // still be buffered, keeping dropSlack frames of headroom for data in
 // flight through the SRAM stages.
 func (s *Switch) outputHasRoom(out int) bool {
-	pending := int64(len(s.tailFrames[out])) +
+	pending := int64(s.tailFrames[out].Len()) +
 		int64(s.assemblers[out].PendingBatches()/s.cfg.PFI.BatchesPerFrame()) + 1
 	if s.pageAlloc != nil {
 		// Slots already claimed cover the in-flight data without a new
@@ -636,26 +682,27 @@ func (s *Switch) tryWrite() bool {
 	f := tok.frame
 	if !s.writeFrame(f) {
 		// Re-queue at the front; order within the FIFO is preserved.
-		s.writeFIFO = append([]*frameToken{tok}, s.writeFIFO...)
+		s.writeFIFO.PushFront(tok)
 		return false
 	}
 	// Remove from the per-output queue (it is necessarily the front).
-	q := s.tailFrames[f.Output]
-	if len(q) == 0 || q[0] != tok {
+	q := &s.tailFrames[f.Output]
+	if q.Len() == 0 || q.Front() != tok {
 		s.fail("write FIFO and per-output queue out of sync for output %d", f.Output)
 	} else {
-		s.tailFrames[f.Output] = q[1:]
+		q.PopFront()
 	}
+	s.freeToken(tok)
 	return true
 }
 
 func (s *Switch) popWriteFIFO() *frameToken {
-	for len(s.writeFIFO) > 0 {
-		tok := s.writeFIFO[0]
-		s.writeFIFO = s.writeFIFO[1:]
+	for s.writeFIFO.Len() > 0 {
+		tok := s.writeFIFO.PopFront()
 		if !tok.stale {
 			return tok
 		}
+		s.freeToken(tok) // bypassed frame already left the tail queue
 	}
 	return nil
 }
@@ -691,7 +738,7 @@ func (s *Switch) writeFrame(f *packet.Frame) bool {
 	if err := s.tailMod.Read(out, int64(len(f.Batches)*s.cfg.PFI.BatchBytes), start); err != nil {
 		s.fail("tail read: %v", err)
 	}
-	s.regionFrames[out] = append(s.regionFrames[out], f)
+	s.regionFrames[out].PushBack(f)
 	return true
 }
 
@@ -711,7 +758,7 @@ func (s *Switch) tryRead() (bool, sim.Time) {
 		}
 		action := pol.Decide(
 			s.regionLen(out),
-			len(s.tailFrames[out]) > 0,
+			s.tailFrames[out].Len() > 0,
 			s.assemblers[out].PendingBatches() > 0,
 		)
 		if action == core.Idle {
@@ -765,12 +812,11 @@ func (s *Switch) readFrame(out int) {
 	if s.probe != nil {
 		s.probe.FrameRead(out, seq, group, row)
 	}
-	if len(s.regionFrames[out]) == 0 {
+	if s.regionFrames[out].Len() == 0 {
 		s.fail("region frame queue empty for output %d", out)
 		return
 	}
-	f := s.regionFrames[out][0]
-	s.regionFrames[out] = s.regionFrames[out][1:]
+	f := s.regionFrames[out].PopFront()
 	s.deliverFrame(f, end, "hbm")
 }
 
@@ -779,11 +825,11 @@ func (s *Switch) readFrame(out int) {
 // still occupies the memory-side datapath for one frame time.
 func (s *Switch) bypassFrame(out int, now sim.Time) bool {
 	var f *packet.Frame
-	if q := s.tailFrames[out]; len(q) > 0 {
-		tok := q[0]
-		s.tailFrames[out] = q[1:]
+	if q := &s.tailFrames[out]; q.Len() > 0 {
+		tok := q.PopFront()
 		tok.stale = true
 		f = tok.frame
+		tok.frame = nil // the stale token outlives the recycled frame
 	} else {
 		// Pad the forming frame — only once it has matured and the
 		// egress line is about to idle; otherwise let it keep filling.
@@ -872,14 +918,18 @@ func (s *Switch) deliverFrame(f *packet.Frame, at sim.Time, via string) {
 				if s.tracer != nil && s.tracer.Sampled(fr.Pkt.ID) {
 					s.tracer.Span("egress", s.traceProc, out, at, fr.Pkt.Depart, fr.Pkt.ID)
 				}
+				// The last fragment just drained: the packet is dead.
+				s.freePacket(fr.Pkt)
 			}
 		}
 		cursor = batchStart + sim.TransferTime(real*8, s.cfg.PortRate)
 		if err := s.headMod.Read(out, int64(b.Size), cursor); err != nil {
 			s.fail("head read: %v", err)
 		}
+		s.batchPool.Put(b)
 	}
 	s.outBusy[out] = cursor
+	s.framePool.Put(f)
 }
 
 // departPacket finalizes one packet's departure.
@@ -926,11 +976,18 @@ func (s *Switch) departPacket(p *packet.Packet, batchStart sim.Time, cumBytes in
 	if s.probe != nil {
 		s.probe.PacketDeparted(p, oq)
 	}
-	pair := uint64(p.Input)<<32 | uint64(uint32(p.Output))
+	pair := p.Input*s.cfg.PFI.N + p.Output
 	expected := s.nextSeq[pair]
-	for s.droppedSeqs[pair][expected] {
-		delete(s.droppedSeqs[pair], expected)
-		expected++
+	q := &s.droppedSeqs[pair]
+	for q.head < len(q.seqs) && q.seqs[q.head] <= expected {
+		if q.seqs[q.head] == expected {
+			expected++
+		}
+		q.head++
+	}
+	if q.head == len(q.seqs) {
+		q.seqs = q.seqs[:0]
+		q.head = 0
 	}
 	if p.Seq != expected {
 		s.fail("order violation (%d->%d): seq %d want %d", p.Input, p.Output, p.Seq, expected)
@@ -942,14 +999,30 @@ func (s *Switch) departPacket(p *packet.Packet, batchStart sim.Time, cumBytes in
 
 // Run feeds the arrival stream (a traffic.Mux or a replayed
 // traffic.TraceStream) until the horizon, then drains the switch to
-// empty, and returns the measurement report.
+// empty, and returns the measurement report. It is exactly
+// Start + Finish; callers that drive many switches in lockstep epochs
+// (sps.Router.RunSharded) interleave AdvanceTo calls in between.
 func (s *Switch) Run(mux traffic.Stream, horizon sim.Time) (*Report, error) {
+	s.Start(mux, horizon)
+	return s.Finish()
+}
+
+// Start primes an incremental run: arrival pumping, telemetry, and the
+// refresh ticker are armed but no events execute. Drive the switch
+// with AdvanceTo and complete it with Finish. The sharding invariant
+// (docs/perf.md): Start + any sequence of AdvanceTo calls + Finish
+// executes exactly the same events in exactly the same order as Run,
+// so results are byte-identical regardless of how a run is sliced.
+func (s *Switch) Start(mux traffic.Stream, horizon sim.Time) {
 	s.horizon = horizon
 	// The steady-state window starts after the pipeline-fill transient
 	// (frame assembly + first HBM round trip); a third of the horizon
 	// is comfortably past it for the horizons the experiments use.
 	s.warmup = horizon / 3
 	s.mux = mux
+	// Streams that can take dead packets back (traffic.Mux over pooled
+	// sources) make the whole arrival->departure path allocation-free.
+	s.recycle, _ = mux.(interface{ Recycle(p *packet.Packet) })
 	s.tel.Start(s.sched, horizon) // nil-safe no-op when uninstrumented
 	s.pump()
 	if s.cfg.EnableRefresh {
@@ -967,6 +1040,17 @@ func (s *Switch) Run(mux traffic.Stream, horizon sim.Time) (*Report, error) {
 			return now < horizon
 		})
 	}
+}
+
+// AdvanceTo executes every pending event at or before t and leaves the
+// clock there. Between calls the switch is quiescent and may be handed
+// to another goroutine (the lockstep-epoch sharding transfers switches
+// across parallel.Map workers epoch by epoch).
+func (s *Switch) AdvanceTo(t sim.Time) { s.sched.RunUntil(t) }
+
+// Finish runs the remaining events past the last AdvanceTo horizon,
+// drains the switch to empty, and returns the measurement report.
+func (s *Switch) Finish() (*Report, error) {
 	s.sched.Run()
 
 	// Drain: repeatedly flush residual partial batches/frames until the
@@ -984,7 +1068,7 @@ func (s *Switch) Run(mux traffic.Stream, horizon sim.Time) (*Report, error) {
 		s.kickHBM()
 		s.sched.Run()
 	}
-	return s.report(horizon), s.firstErr()
+	return s.report(s.horizon), s.firstErr()
 }
 
 // pump schedules the next arrival from the stream; the evInject
@@ -1005,13 +1089,13 @@ func (s *Switch) empty() bool {
 				return false
 			}
 		}
-		if len(s.inFIFO[i]) > 0 || s.inBusy[i] {
+		if s.inFIFO[i].Len() > 0 || s.inBusy[i] {
 			return false
 		}
 		if s.assemblers[i].PendingBatches() > 0 {
 			return false
 		}
-		if len(s.tailFrames[i]) > 0 || s.regions[i].Len() > 0 {
+		if s.tailFrames[i].Len() > 0 || s.regions[i].Len() > 0 {
 			return false
 		}
 	}
@@ -1019,8 +1103,8 @@ func (s *Switch) empty() bool {
 }
 
 func (s *Switch) allTokensDrained() bool {
-	for _, tok := range s.writeFIFO {
-		if !tok.stale {
+	for i := 0; i < s.writeFIFO.Len(); i++ {
+		if !s.writeFIFO.At(i).stale {
 			return false
 		}
 	}

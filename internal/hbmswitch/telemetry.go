@@ -32,7 +32,7 @@ func (s *Switch) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer, prefi
 	for i := 0; i < n; i++ {
 		i := i
 		reg.Gauge(fmt.Sprintf("%sin%d.fifo_batches", prefix, i),
-			func() float64 { return float64(len(s.inFIFO[i])) })
+			func() float64 { return float64(s.inFIFO[i].Len()) })
 	}
 	// ➁➂ per-output occupancy: batches filling the forming frame at
 	// the tail SRAM, completed frames waiting for an HBM write turn,
@@ -42,7 +42,7 @@ func (s *Switch) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer, prefi
 		reg.Gauge(fmt.Sprintf("%sout%d.fill_batches", prefix, j),
 			func() float64 { return float64(s.assemblers[j].PendingBatches()) })
 		reg.Gauge(fmt.Sprintf("%sout%d.tail_frames", prefix, j),
-			func() float64 { return float64(len(s.tailFrames[j])) })
+			func() float64 { return float64(s.tailFrames[j].Len()) })
 		reg.Gauge(fmt.Sprintf("%sout%d.hbm_frames", prefix, j),
 			func() float64 { return float64(s.regionLen(j)) })
 	}

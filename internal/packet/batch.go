@@ -87,8 +87,9 @@ type Batcher struct {
 
 	cur    *Batch
 	fill   int
-	queued int      // bytes buffered including the partially-filled batch
-	done   []*Batch // scratch for Add's return value, reused per call
+	queued int        // bytes buffered including the partially-filled batch
+	done   []*Batch   // scratch for Add's return value, reused per call
+	pool   *BatchPool // optional; nil allocates fresh batches
 }
 
 // NewBatcher returns a batcher producing batches of the given size.
@@ -99,6 +100,10 @@ func NewBatcher(input, output, size int, nextID func() uint64) *Batcher {
 	}
 	return &Batcher{input: input, output: output, size: size, nextID: nextID}
 }
+
+// SetPool makes the batcher draw batches from the given pool instead
+// of the heap. The consumer must Put batches back when they die.
+func (a *Batcher) SetPool(bp *BatchPool) { a.pool = bp }
 
 // QueuedBytes returns the bytes currently buffered awaiting batch
 // completion (the partial batch).
@@ -119,8 +124,14 @@ func (a *Batcher) Add(p *Packet) []*Batch {
 	a.queued += p.Size
 	for off < p.Size {
 		if a.cur == nil {
-			a.cur = &Batch{ID: a.nextID(), Input: a.input, Output: a.output, Size: a.size,
-				Frags: make([]Frag, 0, 4)}
+			var b *Batch
+			if a.pool != nil {
+				b = a.pool.Get()
+			} else {
+				b = &Batch{Frags: make([]Frag, 0, 4)}
+			}
+			b.ID, b.Input, b.Output, b.Size = a.nextID(), a.input, a.output, a.size
+			a.cur = b
 			a.fill = 0
 		}
 		n := p.Size - off
@@ -156,38 +167,52 @@ func (a *Batcher) Flush() *Batch {
 // Unbatcher reverses batching at an output port (§3.2 ➅): it consumes
 // batches in order and emits each packet once its final byte has
 // arrived. It verifies byte-accurate reassembly: fragments of a packet
-// must arrive in offset order with no gaps or overlaps.
+// must arrive in offset order with no gaps or overlaps. Reassembly
+// progress lives on the packets themselves (Packet.reasm), so the hot
+// path touches no map; a packet must therefore pass through exactly
+// one Unbatcher.
 type Unbatcher struct {
-	got map[uint64]int // packet ID -> bytes received so far
+	pending int       // packets with fragments still in flight
+	done    []*Packet // scratch for Add's return value, reused per call
 }
 
 // NewUnbatcher returns an empty reassembler.
 func NewUnbatcher() *Unbatcher {
-	return &Unbatcher{got: make(map[uint64]int)}
+	return &Unbatcher{}
 }
 
 // Add consumes one batch and returns the packets completed by it, in
 // fragment order. It returns an error if a fragment is out of order
 // for its packet, which would indicate a switching bug that reordered
-// or dropped part of a packet.
+// or dropped part of a packet. The returned slice is scratch storage
+// owned by the unbatcher and is overwritten by the next Add call.
 func (u *Unbatcher) Add(b *Batch) ([]*Packet, error) {
-	var done []*Packet
+	done := u.done[:0]
+	u.done = done
 	for _, f := range b.Frags {
-		have := u.got[f.Pkt.ID]
+		have := f.Pkt.reasm
 		if f.Off != have {
+			u.done = done
 			return done, fmt.Errorf("packet %d: fragment at offset %d but have %d bytes",
 				f.Pkt.ID, f.Off, have)
 		}
 		have += f.Len
 		if have == f.Pkt.Size {
-			delete(u.got, f.Pkt.ID)
+			if f.Off != 0 {
+				u.pending--
+			}
+			f.Pkt.reasm = 0
 			done = append(done, f.Pkt)
 		} else {
-			u.got[f.Pkt.ID] = have
+			if f.Off == 0 {
+				u.pending++
+			}
+			f.Pkt.reasm = have
 		}
 	}
+	u.done = done
 	return done, nil
 }
 
 // Pending returns the number of packets with fragments still in flight.
-func (u *Unbatcher) Pending() int { return len(u.got) }
+func (u *Unbatcher) Pending() int { return u.pending }

@@ -89,6 +89,7 @@ type FrameAssembler struct {
 
 	pending []*Batch
 	seq     int64
+	pool    *FramePool // optional; nil allocates fresh frames
 }
 
 // NewFrameAssembler returns an assembler for the given output.
@@ -98,6 +99,10 @@ func NewFrameAssembler(output, batchesPerFrame, batchSize int) *FrameAssembler {
 	}
 	return &FrameAssembler{output: output, batchesPerFrame: batchesPerFrame, batchSize: batchSize}
 }
+
+// SetPool makes the assembler draw frames from the given pool instead
+// of the heap. The consumer must Put frames back when they die.
+func (fa *FrameAssembler) SetPool(fp *FramePool) { fa.pool = fp }
 
 // PendingBatches returns the number of batches awaiting frame
 // completion.
@@ -137,14 +142,24 @@ func (fa *FrameAssembler) Pad() *Frame {
 }
 
 func (fa *FrameAssembler) emit(nData, nPad int) *Frame {
-	f := &Frame{
-		Output:     fa.output,
-		Seq:        fa.seq,
-		Batches:    fa.pending[:nData:nData],
-		Size:       fa.batchesPerFrame * fa.batchSize,
-		PadBatches: nPad,
+	var f *Frame
+	if fa.pool != nil {
+		f = fa.pool.Get()
+	} else {
+		f = &Frame{}
 	}
-	fa.pending = fa.pending[nData:]
+	f.Output = fa.output
+	f.Seq = fa.seq
+	f.Batches = append(f.Batches[:0], fa.pending[:nData]...)
+	f.Size = fa.batchesPerFrame * fa.batchSize
+	f.PadBatches = nPad
+	// Shift the remainder down in place so pending's backing array is
+	// reused instead of re-sliced away (which would grow forever).
+	rest := copy(fa.pending, fa.pending[nData:])
+	for i := rest; i < len(fa.pending); i++ {
+		fa.pending[i] = nil
+	}
+	fa.pending = fa.pending[:rest]
 	fa.seq++
 	return f
 }

@@ -24,6 +24,13 @@ type Packet struct {
 	Arrival sim.Time  // arrival at the switch input
 	Depart  sim.Time  // departure of the packet's last byte (set at egress)
 	Seq     int64     // per-(input,output) sequence number for order checks
+
+	// reasm is the Unbatcher's reassembly progress (bytes received so
+	// far). Keeping it on the packet instead of in a per-output map
+	// removes a map operation per fragment from the egress hot path; a
+	// packet passes through exactly one Unbatcher, so the field is
+	// unambiguous. Zero both before first use and after completion.
+	reasm int
 }
 
 // MinSize and MaxSize bound valid packet sizes in bytes (Ethernet

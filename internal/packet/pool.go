@@ -1,0 +1,113 @@
+package packet
+
+// Free pools for the three data units. The switch hot path creates a
+// packet per arrival and a batch/frame per aggregation unit; with the
+// pools wired in (traffic sources allocate from a PacketPool, the
+// switch returns units as they die at egress) the steady state
+// allocates nothing. Pools are plain freelists — single-goroutine by
+// design, like the schedulers they serve; each switch instance owns
+// its own set.
+//
+// Recycling contract: a unit handed to Put must be dead — no probe,
+// histogram, or FIFO may still hold it. The existing Probe contract
+// ("implementations must not retain the packet pointers") is exactly
+// this rule; batches and frames are only ever recycled after the
+// frame that carried them fully drained.
+
+// PacketPool recycles Packets. Get returns a zeroed packet. Pool
+// misses (the pipeline-fill transient, before recycling catches up)
+// carve packets out of chunk arrays, so even warm-up costs one
+// allocation per 256 packets rather than one per packet.
+type PacketPool struct {
+	free  []*Packet
+	chunk []Packet
+}
+
+// Get returns a packet with all fields zeroed.
+func (pp *PacketPool) Get() *Packet {
+	if n := len(pp.free); n > 0 {
+		p := pp.free[n-1]
+		pp.free = pp.free[:n-1]
+		*p = Packet{}
+		return p
+	}
+	if len(pp.chunk) == 0 {
+		pp.chunk = make([]Packet, 256)
+	}
+	p := &pp.chunk[0]
+	pp.chunk = pp.chunk[1:]
+	return p
+}
+
+// Put returns a dead packet to the pool.
+func (pp *PacketPool) Put(p *Packet) { pp.free = append(pp.free, p) }
+
+// BatchPool recycles Batches, keeping each batch's Frags capacity.
+// Like PacketPool, misses carve batches (and their initial Frags
+// storage) out of chunk arrays.
+type BatchPool struct {
+	free   []*Batch
+	chunk  []Batch
+	fchunk []Frag
+}
+
+// fragsPerBatch is the initial Frags capacity carved for a fresh
+// batch. A batch that collects more re-allocates once and then keeps
+// the grown capacity through recycling.
+const fragsPerBatch = 8
+
+// Get returns a batch with zeroed fields and an empty Frags slice.
+func (bp *BatchPool) Get() *Batch {
+	if n := len(bp.free); n > 0 {
+		b := bp.free[n-1]
+		bp.free = bp.free[:n-1]
+		frags := b.Frags[:0]
+		*b = Batch{Frags: frags}
+		return b
+	}
+	if len(bp.chunk) == 0 {
+		bp.chunk = make([]Batch, 128)
+	}
+	b := &bp.chunk[0]
+	bp.chunk = bp.chunk[1:]
+	if len(bp.fchunk) < fragsPerBatch {
+		bp.fchunk = make([]Frag, 128*fragsPerBatch)
+	}
+	b.Frags = bp.fchunk[:0:fragsPerBatch]
+	bp.fchunk = bp.fchunk[fragsPerBatch:]
+	return b
+}
+
+// Put returns a dead batch to the pool. Fragment packet pointers are
+// dropped so the pool does not pin packets for the GC.
+func (bp *BatchPool) Put(b *Batch) {
+	for i := range b.Frags {
+		b.Frags[i].Pkt = nil
+	}
+	bp.free = append(bp.free, b)
+}
+
+// FramePool recycles Frames, keeping each frame's Batches capacity.
+type FramePool struct {
+	free []*Frame
+}
+
+// Get returns a frame with zeroed fields and an empty Batches slice.
+func (fp *FramePool) Get() *Frame {
+	if n := len(fp.free); n > 0 {
+		f := fp.free[n-1]
+		fp.free = fp.free[:n-1]
+		batches := f.Batches[:0]
+		*f = Frame{Batches: batches}
+		return f
+	}
+	return &Frame{}
+}
+
+// Put returns a dead frame to the pool, dropping its batch pointers.
+func (fp *FramePool) Put(f *Frame) {
+	for i := range f.Batches {
+		f.Batches[i] = nil
+	}
+	fp.free = append(fp.free, f)
+}

@@ -123,6 +123,7 @@ type SimSpec struct {
 	Bypass    *bool    `json:"bypass,omitempty"`  // HBM bypass (default on)
 	Stacks    int      `json:"stacks,omitempty"`  // HBM stacks (4 = reference)
 	Refresh   bool     `json:"refresh,omitempty"` // REFsb refresh scheduler
+	Sched     string   `json:"sched,omitempty"`   // event queue: wheel (default) | heap
 }
 
 // Normalize fills unset fields with the cmd/spssim flag defaults.
@@ -197,6 +198,11 @@ func (s *SimSpec) Config() (hbmswitch.Config, error) {
 	cfg.Policy = core.Policy{PadFrames: *s.Pad, BypassHBM: *s.Bypass}
 	cfg.FlushTimeout = 100 * sim.Nanosecond
 	cfg.EnableRefresh = s.Refresh
+	algo, err := sim.ParseAlgorithm(s.Sched)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Sched = algo
 	return cfg, nil
 }
 

@@ -14,43 +14,109 @@ type Handler interface {
 	HandleEvent(code, a int, p any)
 }
 
-// event is a scheduled callback — either a closure (fn) or an
-// intrusive (h, code, a, p) dispatch.
+// event is one scheduled callback — either a closure (fn) or an
+// intrusive (h, code, a, p) dispatch — stored in the scheduler's
+// index-stable arena. at and seq order the event; next links it into
+// a timing-wheel slot list (arena index + 1, 0 = nil) so that slot
+// storage is flat and the steady state allocates nothing.
 type event struct {
+	at   Time
+	seq  uint64
+	next int32
+	code int32
+	a    int
 	fn   func()
 	h    Handler
-	code int
-	a    int
 	p    any
 }
 
-// eventKey orders the heap. Keys carry no pointers, so sift
-// operations are plain memmoves with no GC write barriers — that, not
-// comparison count, dominates the event loop. Events with equal times
-// fire in the order they were scheduled (seq breaks ties), which
-// keeps runs deterministic. idx locates the payload in the arena.
-type eventKey struct {
-	at  Time
-	seq uint64
-	idx int32
+// Algorithm selects the Scheduler's queue implementation.
+type Algorithm int
+
+const (
+	// Wheel is the default: a hierarchical timing wheel (wheelLevels
+	// levels of wheelSlots slots, one picosecond granularity at level
+	// 0) with an unsorted overflow list for events beyond the wheel
+	// span. Push and pop are O(1) amortized, slot storage is flat, and
+	// all events at one tick drain in a single batched pass.
+	Wheel Algorithm = iota
+	// Heap is the legacy binary min-heap, kept for differential
+	// testing: wheel and heap runs must produce byte-identical output
+	// at the same seed (see TestWheelHeapIdentical*).
+	Heap
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case Wheel:
+		return "wheel"
+	case Heap:
+		return "heap"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm parses "wheel" or "heap".
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "", "wheel":
+		return Wheel, nil
+	case "heap":
+		return Heap, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown scheduler algorithm %q (want wheel|heap)", s)
+	}
 }
 
 // Scheduler is a deterministic discrete-event executor. The zero value
-// is ready to use at time 0.
+// is ready to use at time 0 and runs on the timing wheel; call
+// SetAlgorithm(Heap) before scheduling anything to get the legacy
+// binary heap. Events with equal times fire in the order they were
+// scheduled (seq breaks ties) under both algorithms, which keeps runs
+// byte-identical across implementations.
 type Scheduler struct {
-	now    Time
-	seq    uint64
-	keys   []eventKey // binary min-heap ordered by (at, seq)
-	arena  []event    // index-stable payload storage
-	free   []int32    // recycled arena slots
-	events uint64
+	now     Time
+	seq     uint64
+	events  uint64
+	pending int
+	algo    Algorithm
+
+	// Arena: index-stable payload storage shared by both algorithms,
+	// recycled through free so the steady state allocates nothing.
+	arena []event
+	free  []int32
+
+	// Heap state (Algorithm == Heap).
+	keys []eventKey
+
+	// Wheel state (Algorithm == Wheel): per-level slot lists (arena
+	// index + 1; 0 = empty) with occupancy bitmaps, plus the overflow
+	// list for events beyond the wheel span.
+	heads    [wheelLevels][wheelSlots]int32
+	tails    [wheelLevels][wheelSlots]int32
+	occ      [wheelLevels][wheelSlots / 64]uint64
+	overflow []int32
 }
+
+// SetAlgorithm selects the queue implementation. It panics if events
+// are pending: switching mid-run would lose them.
+func (s *Scheduler) SetAlgorithm(a Algorithm) {
+	if s.pending != 0 {
+		panic("sim: SetAlgorithm with events pending")
+	}
+	s.algo = a
+}
+
+// Algorithm returns the queue implementation in use.
+func (s *Scheduler) Algorithm() Algorithm { return s.algo }
 
 // Now returns the current simulation time.
 func (s *Scheduler) Now() Time { return s.now }
 
 // Len returns the number of pending events.
-func (s *Scheduler) Len() int { return len(s.keys) }
+func (s *Scheduler) Len() int { return s.pending }
 
 // Events returns the total number of events executed so far.
 func (s *Scheduler) Events() uint64 { return s.events }
@@ -79,7 +145,7 @@ func (s *Scheduler) AtEvent(t Time, h Handler, code, a int, p any) {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
 	}
-	s.push(t, event{h: h, code: code, a: a, p: p})
+	s.push(t, event{h: h, code: int32(code), a: a, p: p})
 }
 
 // AfterEvent schedules an intrusive event d after the current time.
@@ -90,47 +156,12 @@ func (s *Scheduler) AfterEvent(d Time, h Handler, code, a int, p any) {
 	s.AtEvent(s.now+d, h, code, a, p)
 }
 
-// Step executes the single earliest pending event. It reports whether
-// an event was executed.
-func (s *Scheduler) Step() bool {
-	if len(s.keys) == 0 {
-		return false
-	}
-	k := s.pop()
-	ev := s.arena[k.idx]
-	s.arena[k.idx] = event{} // drop the payload's pointers for the GC
-	s.free = append(s.free, k.idx)
-	s.now = k.at
-	s.events++
-	if ev.fn != nil {
-		ev.fn()
-	} else {
-		ev.h.HandleEvent(ev.code, ev.a, ev.p)
-	}
-	return true
-}
-
-// RunUntil executes events in time order until the queue is empty or
-// the next event is strictly after the horizon. The clock is left at
-// the horizon (or at the last event if the queue drained first).
-func (s *Scheduler) RunUntil(horizon Time) {
-	for len(s.keys) > 0 && s.keys[0].at <= horizon {
-		s.Step()
-	}
-	if s.now < horizon {
-		s.now = horizon
-	}
-}
-
-// Run executes all pending events until the queue is empty.
-func (s *Scheduler) Run() {
-	for s.Step() {
-	}
-}
-
-// push stores the payload in a recycled arena slot and sifts its key
-// into the binary min-heap.
+// push stores the payload in a recycled arena slot and hands its index
+// to the active queue implementation.
 func (s *Scheduler) push(at Time, ev event) {
+	s.seq++
+	ev.at = at
+	ev.seq = s.seq
 	var idx int32
 	if n := len(s.free); n > 0 {
 		idx = s.free[n-1]
@@ -140,49 +171,87 @@ func (s *Scheduler) push(at Time, ev event) {
 		idx = int32(len(s.arena))
 		s.arena = append(s.arena, ev)
 	}
-	s.seq++
-	s.keys = append(s.keys, eventKey{at: at, seq: s.seq, idx: idx})
-	i := len(s.keys) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !s.less(i, parent) {
-			break
-		}
-		s.keys[i], s.keys[parent] = s.keys[parent], s.keys[i]
-		i = parent
+	s.pending++
+	if s.algo == Heap {
+		s.heapPush(at, idx)
+	} else {
+		s.wheelPush(idx)
 	}
 }
 
-func (s *Scheduler) pop() eventKey {
-	top := s.keys[0]
-	last := len(s.keys) - 1
-	s.keys[0] = s.keys[last]
-	s.keys = s.keys[:last]
-	i := 0
+// NextTime returns the time of the earliest pending event.
+func (s *Scheduler) NextTime() (Time, bool) {
+	if s.pending == 0 {
+		return 0, false
+	}
+	if s.algo == Heap {
+		return s.keys[0].at, true
+	}
+	_, at, ok := s.wheelMin()
+	return at, ok
+}
+
+// Step executes the single earliest pending event. It reports whether
+// an event was executed.
+func (s *Scheduler) Step() bool {
+	var idx int32
+	if s.algo == Heap {
+		if len(s.keys) == 0 {
+			return false
+		}
+		idx = s.heapPop().idx
+	} else {
+		var ok bool
+		if idx, ok = s.wheelPop(); !ok {
+			return false
+		}
+	}
+	s.exec(idx)
+	return true
+}
+
+// exec runs the arena event at idx, recycling its slot first so the
+// handler can reschedule into it.
+func (s *Scheduler) exec(idx int32) {
+	ev := s.arena[idx]
+	s.arena[idx] = event{} // drop the payload's pointers for the GC
+	s.free = append(s.free, idx)
+	s.pending--
+	s.now = ev.at
+	s.events++
+	if ev.fn != nil {
+		ev.fn()
+	} else {
+		ev.h.HandleEvent(int(ev.code), ev.a, ev.p)
+	}
+}
+
+// RunUntil executes events in time order until the queue is empty or
+// the next event is strictly after the horizon. The clock is left at
+// the horizon (or at the last event if the queue drained first).
+func (s *Scheduler) RunUntil(horizon Time) {
 	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < last && s.less(l, smallest) {
-			smallest = l
-		}
-		if r < last && s.less(r, smallest) {
-			smallest = r
-		}
-		if smallest == i {
+		at, ok := s.NextTime()
+		if !ok || at > horizon {
 			break
 		}
-		s.keys[i], s.keys[smallest] = s.keys[smallest], s.keys[i]
-		i = smallest
+		s.Step()
 	}
-	return top
+	if s.now < horizon {
+		if s.algo == Wheel {
+			// Moving the wheel clock re-levels pending slots (no events
+			// exist at or before the horizon, so this only cascades).
+			s.wheelAdvance(horizon)
+		} else {
+			s.now = horizon
+		}
+	}
 }
 
-func (s *Scheduler) less(i, j int) bool {
-	a, b := s.keys[i], s.keys[j]
-	if a.at != b.at {
-		return a.at < b.at
+// Run executes all pending events until the queue is empty.
+func (s *Scheduler) Run() {
+	for s.Step() {
 	}
-	return a.seq < b.seq
 }
 
 // Ticker invokes fn every period, starting at the given offset, until

@@ -84,57 +84,69 @@ type Capture struct {
 	Tracer *telemetry.Tracer
 }
 
-// RunInstrumented is Run with an optional observability capture and
-// an explicit worker count (<= 0 means one goroutine per switch).
-// Each switch gets its own registry and tracer, created and merged in
-// switch order, and all output is keyed on simulated time — so the
-// capture bytes are identical for every worker count.
-func (r *Router) RunInstrumented(flows []Flow, kind traffic.ArrivalKind, sizes traffic.SizeDist,
-	horizon sim.Time, seed uint64, workers int, ins Instrumentation) (*RouterReport, *Capture, error) {
-	mats := r.Dep.SwitchMatrices(flows)
-	if workers <= 0 {
-		workers = len(mats)
-	}
-	type swResult struct {
-		rep    *hbmswitch.Report
-		series telemetry.Series
-		tracer *telemetry.Tracer
-	}
-	results, err := parallel.Map(workers, len(mats), func(h int) (swResult, error) {
-		m := mats[h]
-		ClampRows(m)
-		sw, err := hbmswitch.New(r.SwitchCfg)
-		if err != nil {
-			return swResult{}, err
-		}
-		var res swResult
-		var reg *telemetry.Registry
-		if ins.enabled() {
-			if ins.Period > 0 {
-				if reg, err = telemetry.New(ins.Period); err != nil {
-					return swResult{}, err
-				}
-			}
-			if ins.TraceSample > 0 {
-				if res.tracer, err = telemetry.NewTracer(ins.TraceSample); err != nil {
-					return swResult{}, err
-				}
-			}
-			sw.Instrument(reg, res.tracer, fmt.Sprintf("sw%d.", h), h)
-		}
-		srcs := traffic.UniformSources(m, r.SwitchCfg.PortRate, kind, sizes, sim.NewRNG(parallel.Seed(seed, h)))
-		res.rep, err = sw.Run(traffic.NewMux(srcs), horizon)
-		if err != nil {
-			return swResult{}, fmt.Errorf("switch %d: %w", h, err)
-		}
-		if reg != nil {
-			res.series = reg.Series()
-		}
-		return res, nil
-	})
+// swResult is one switch's contribution to a router run.
+type swResult struct {
+	rep    *hbmswitch.Report
+	series telemetry.Series
+	tracer *telemetry.Tracer
+}
+
+// prepared is one switch primed for a run but with no events executed
+// yet: the simulator, its observability attachments, and its arrival
+// stream, all derived purely from the switch index.
+type prepared struct {
+	sw     *hbmswitch.Switch
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
+	mux    *traffic.Mux
+}
+
+// prep builds switch h for a run: matrix clamp, simulator, optional
+// instrumentation, and the seeded arrival mux. Everything depends only
+// on h (the parallel.Seed convention), so prep may run on any
+// goroutine in any order without affecting results.
+func (r *Router) prep(h int, m *traffic.Matrix, kind traffic.ArrivalKind, sizes traffic.SizeDist,
+	seed uint64, ins Instrumentation) (prepared, error) {
+	ClampRows(m)
+	sw, err := hbmswitch.New(r.SwitchCfg)
 	if err != nil {
-		return nil, nil, err
+		return prepared{}, err
 	}
+	p := prepared{sw: sw}
+	if ins.enabled() {
+		if ins.Period > 0 {
+			if p.reg, err = telemetry.New(ins.Period); err != nil {
+				return prepared{}, err
+			}
+		}
+		if ins.TraceSample > 0 {
+			if p.tracer, err = telemetry.NewTracer(ins.TraceSample); err != nil {
+				return prepared{}, err
+			}
+		}
+		sw.Instrument(p.reg, p.tracer, fmt.Sprintf("sw%d.", h), h)
+	}
+	srcs := traffic.UniformSources(m, r.SwitchCfg.PortRate, kind, sizes, sim.NewRNG(parallel.Seed(seed, h)))
+	p.mux = traffic.NewMux(srcs)
+	return p, nil
+}
+
+// result packages the switch's report together with its observability
+// captures.
+func (p prepared) result(rep *hbmswitch.Report) swResult {
+	res := swResult{rep: rep, tracer: p.tracer}
+	if p.reg != nil {
+		res.series = p.reg.Series()
+	}
+	return res
+}
+
+// mergeResults folds the per-switch results — always in switch index
+// order — into the aggregate report and the merged capture. Both the
+// concurrent whole-switch path (RunInstrumented) and the
+// lockstep-epoch path (RunSharded) end here, which is what makes
+// their output bytes identical.
+func mergeResults(results []swResult, ins Instrumentation) (*RouterReport, *Capture, error) {
 	rep := &RouterReport{}
 	for _, res := range results {
 		rep.PerSwitch = append(rep.PerSwitch, res.rep)
@@ -145,13 +157,14 @@ func (r *Router) RunInstrumented(flows []Flow, kind traffic.ArrivalKind, sizes t
 		}
 		rep.Errors = append(rep.Errors, res.rep.Errors...)
 	}
-	n := float64(len(mats))
+	n := float64(len(results))
 	rep.Throughput /= n
 	rep.OfferedLoad /= n
 	if !ins.enabled() {
 		return rep, nil, nil
 	}
 	capture := &Capture{}
+	var err error
 	if ins.Period > 0 {
 		parts := make([]telemetry.Series, len(results))
 		for h, res := range results {
@@ -176,6 +189,105 @@ func (r *Router) RunInstrumented(flows []Flow, kind traffic.ArrivalKind, sizes t
 		}
 	}
 	return rep, capture, nil
+}
+
+// RunInstrumented is Run with an optional observability capture and
+// an explicit worker count (<= 0 means one goroutine per switch).
+// Each switch gets its own registry and tracer, created and merged in
+// switch order, and all output is keyed on simulated time — so the
+// capture bytes are identical for every worker count.
+func (r *Router) RunInstrumented(flows []Flow, kind traffic.ArrivalKind, sizes traffic.SizeDist,
+	horizon sim.Time, seed uint64, workers int, ins Instrumentation) (*RouterReport, *Capture, error) {
+	mats := r.Dep.SwitchMatrices(flows)
+	if workers <= 0 {
+		workers = len(mats)
+	}
+	results, err := parallel.Map(workers, len(mats), func(h int) (swResult, error) {
+		p, err := r.prep(h, mats[h], kind, sizes, seed, ins)
+		if err != nil {
+			return swResult{}, err
+		}
+		rep, err := p.sw.Run(p.mux, horizon)
+		if err != nil {
+			return swResult{}, fmt.Errorf("switch %d: %w", h, err)
+		}
+		return p.result(rep), nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return mergeResults(results, ins)
+}
+
+// RunSharded is RunInstrumented with the switches driven in lockstep
+// epochs rather than run to completion independently: every switch is
+// primed with Start, then advanced epoch by epoch (AdvanceTo the
+// epoch boundary, a parallel.Map barrier per epoch), then drained
+// with Finish. Between epochs all switches sit at the same simulated
+// time, so a long full-geometry run exposes checkpoint-shaped
+// progress (the progress callback fires once per completed epoch)
+// while the per-switch event order — and therefore every output
+// byte — is exactly that of Run/RunInstrumented at the same seed:
+// slicing a switch's event loop at times where no events execute in
+// between is unobservable to the handlers.
+//
+// epochs <= 1 degenerates to one AdvanceTo(horizon) pass, still
+// byte-identical. workers <= 0 means one goroutine per switch.
+func (r *Router) RunSharded(flows []Flow, kind traffic.ArrivalKind, sizes traffic.SizeDist,
+	horizon sim.Time, seed uint64, workers, epochs int, ins Instrumentation,
+	progress func(epoch, total int)) (*RouterReport, *Capture, error) {
+	mats := r.Dep.SwitchMatrices(flows)
+	if workers <= 0 {
+		workers = len(mats)
+	}
+	if epochs < 1 {
+		epochs = 1
+	}
+	// Prime every switch. Construction is pure in the switch index, so
+	// it parallelizes like everything else.
+	preps, err := parallel.Map(workers, len(mats), func(h int) (prepared, error) {
+		p, err := r.prep(h, mats[h], kind, sizes, seed, ins)
+		if err != nil {
+			return prepared{}, err
+		}
+		p.sw.Start(p.mux, horizon)
+		return p, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	// Lockstep epochs. parallel.Map's join is the barrier: switch h may
+	// migrate across worker goroutines between epochs, but the
+	// happens-before edge through the join makes the handoff safe, and
+	// AdvanceTo executes events in the same order regardless of which
+	// goroutine runs them.
+	for e := 1; e <= epochs; e++ {
+		t := horizon / sim.Time(epochs) * sim.Time(e)
+		if e == epochs {
+			t = horizon
+		}
+		if _, err := parallel.Map(workers, len(preps), func(h int) (struct{}, error) {
+			preps[h].sw.AdvanceTo(t)
+			return struct{}{}, nil
+		}); err != nil {
+			return nil, nil, err
+		}
+		if progress != nil {
+			progress(e, epochs)
+		}
+	}
+	// Drain and report.
+	results, err := parallel.Map(workers, len(preps), func(h int) (swResult, error) {
+		rep, err := preps[h].sw.Finish()
+		if err != nil {
+			return swResult{}, fmt.Errorf("switch %d: %w", h, err)
+		}
+		return preps[h].result(rep), nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return mergeResults(results, ins)
 }
 
 // ClampRows scales down any matrix row exceeding line rate (the fiber

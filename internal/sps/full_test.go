@@ -89,6 +89,57 @@ func TestInstrumentedMatchesPlainRun(t *testing.T) {
 	}
 }
 
+// TestShardedMatchesSingleScheduler is the sharding byte-identity
+// regression: driving the switches in lockstep epochs (any epoch
+// count, any worker count) must produce the same report, telemetry
+// CSV, and trace JSON — byte for byte — as running each switch's
+// scheduler to completion in one pass.
+func TestShardedMatchesSingleScheduler(t *testing.T) {
+	rt, cfg := smallRouter(t)
+	flows := ECMPUniform(cfg, 1000, 0.6, 9)
+	_, csvSingle, traceSingle := capture(t, rt, flows, 4)
+	repSingle, err := rt.Run(flows, traffic.Poisson, traffic.Fixed(1500), 10*sim.Microsecond, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := Instrumentation{Period: sim.Microsecond, TraceSample: 64}
+	for _, tc := range []struct{ workers, epochs int }{
+		{1, 1}, {1, 7}, {8, 1}, {8, 7}, {8, 32},
+	} {
+		var epochsSeen int
+		rep, cap, err := rt.RunSharded(flows, traffic.Poisson, traffic.Fixed(1500),
+			10*sim.Microsecond, 10, tc.workers, tc.epochs, ins,
+			func(e, total int) {
+				epochsSeen++
+				if total != tc.epochs {
+					t.Fatalf("progress total = %d, want %d", total, tc.epochs)
+				}
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epochsSeen != tc.epochs {
+			t.Fatalf("workers=%d epochs=%d: progress fired %d times", tc.workers, tc.epochs, epochsSeen)
+		}
+		var csv, trace strings.Builder
+		if err := cap.Series.WriteCSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		if err := cap.Tracer.WriteJSON(&trace); err != nil {
+			t.Fatal(err)
+		}
+		if csv.String() != csvSingle {
+			t.Fatalf("workers=%d epochs=%d: telemetry CSV differs from single-scheduler run", tc.workers, tc.epochs)
+		}
+		if trace.String() != traceSingle {
+			t.Fatalf("workers=%d epochs=%d: trace JSON differs from single-scheduler run", tc.workers, tc.epochs)
+		}
+		if fmt.Sprintf("%+v", rep) != fmt.Sprintf("%+v", repSingle) {
+			t.Fatalf("workers=%d epochs=%d: sharded report differs from plain run", tc.workers, tc.epochs)
+		}
+	}
+}
+
 // TestCaptureMergesPerSwitchColumns checks the SPS-level series: one
 // column set per switch in index order plus the derived load-split
 // balance column.

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// The boundary-table bucketing must agree with the defining log
+// formula for every sample, or histogram outputs (and the byte-compared
+// fixtures downstream) would silently drift. This sweeps random
+// samples plus the adversarial inputs: every table boundary and its
+// ulp neighbors on both sides.
+func TestBucketMatchesRawBucket(t *testing.T) {
+	cases := []struct{ min, growth float64 }{
+		{1000, 1.1}, // NewLatencyHistogram
+		{1, 1.1},
+		{1000, 1.5},
+		{0.5, 2.0},
+		{1e6, 1.01},
+	}
+	for _, c := range cases {
+		h := NewHistogram(c.min, c.growth)
+		// Deterministic xorshift so the sweep reproduces.
+		s := uint64(0x9e3779b97f4a7c15)
+		rnd := func() float64 {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			return float64(s%(1<<53)) / (1 << 53)
+		}
+		for i := 0; i < 20000; i++ {
+			// Span ~9 decades above min, plus integral values like the
+			// picosecond latencies the simulators record.
+			x := c.min * math.Exp(rnd()*20)
+			if i%2 == 0 {
+				x = math.Floor(x)
+				if x < c.min {
+					continue
+				}
+			}
+			if got, want := h.bucket(x), h.rawBucket(x); got != want {
+				t.Fatalf("min=%v growth=%v: bucket(%v)=%d, rawBucket=%d",
+					c.min, c.growth, x, got, want)
+			}
+		}
+		for b := 1; b < len(h.bounds); b++ {
+			for _, x := range []float64{
+				math.Nextafter(h.bounds[b], 0),
+				h.bounds[b],
+				math.Nextafter(h.bounds[b], math.Inf(1)),
+			} {
+				if x < c.min {
+					continue
+				}
+				if got, want := h.bucket(x), h.rawBucket(x); got != want {
+					t.Fatalf("min=%v growth=%v: boundary %d: bucket(%v)=%d, rawBucket=%d",
+						c.min, c.growth, b, x, got, want)
+				}
+			}
+		}
+		if len(h.bounds) < 2 {
+			t.Fatalf("min=%v growth=%v: boundary table never grew", c.min, c.growth)
+		}
+	}
+}
+
+// Past the capped table the fallback path must still agree.
+func TestBucketBeyondTableFallsBack(t *testing.T) {
+	h := NewLatencyHistogram()
+	huge := h.min * math.Exp(float64(maxBounds+10)*h.logGrowth)
+	if got, want := h.bucket(huge), h.rawBucket(huge); got != want {
+		t.Fatalf("bucket(%v)=%d, rawBucket=%d", huge, got, want)
+	}
+	if len(h.bounds) != maxBounds {
+		t.Fatalf("table grew to %d, want cap %d", len(h.bounds), maxBounds)
+	}
+}
+
+func BenchmarkHistogramAdd(b *testing.B) {
+	h := NewLatencyHistogram()
+	// Cycle through a realistic latency spread.
+	xs := make([]float64, 256)
+	for i := range xs {
+		xs[i] = 1000 * math.Exp(float64(i%97)*0.1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Add(xs[i&255])
+	}
+}

@@ -97,14 +97,38 @@ func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
 // geometric buckets, supporting approximate percentile queries with a
 // fixed relative error set by the growth factor.
 type Histogram struct {
-	min    float64 // lower bound of bucket 0
-	growth float64 // bucket width growth factor (> 1)
-	counts []int64
-	under  int64 // samples below min
-	total  int64
-	sum    float64
-	maxv   float64
+	min       float64 // lower bound of bucket 0
+	growth    float64 // bucket width growth factor (> 1)
+	logGrowth float64 // math.Log(growth), hoisted off the Add hot path
+	counts    []int64
+	under     int64 // samples below min
+	total     int64
+	sum       float64
+	maxv      float64
+	// bounds[b] is the smallest float64 whose rawBucket is >= b, so a
+	// sample buckets by comparison instead of a math.Log call — the
+	// table is built lazily by inverting rawBucket ulp-exactly, which
+	// keeps the bucketing (and thus every percentile) bit-identical to
+	// the log formula. hint caches the last bucket hit; latency
+	// distributions are concentrated enough that most samples resolve
+	// with two compares. full stops table growth once the next
+	// boundary is unrepresentable (near MaxFloat64) or its bucket
+	// holds no floats; lookups below the last boundary stay exact.
+	bounds []float64
+	full   bool
+	// log2min and perOctave turn a sample's IEEE-754 exponent and top
+	// mantissa bits into a bucket estimate (est ≈ log2(x/min)·buckets
+	// per octave) that a short monotone scan over bounds corrects;
+	// the scan, not the estimate, decides the bucket, so the estimate
+	// only has to be close, never exact.
+	log2min   float64
+	perOctave float64
 }
+
+// maxBounds caps the boundary table; samples past the last boundary
+// fall back to the log formula (for the latency histograms that is
+// beyond 10^17 ps, i.e. more than a day of simulated queueing).
+const maxBounds = 4096
 
 // NewHistogram returns a histogram whose buckets start at min and grow
 // geometrically by the given factor (e.g. 1.1 for ~5% percentile
@@ -113,12 +137,94 @@ func NewHistogram(min, growth float64) *Histogram {
 	if min <= 0 || growth <= 1 {
 		panic("stats: NewHistogram needs min > 0 and growth > 1")
 	}
-	return &Histogram{min: min, growth: growth}
+	return &Histogram{
+		min: min, growth: growth, logGrowth: math.Log(growth),
+		bounds:    []float64{min},
+		log2min:   math.Log2(min),
+		perOctave: math.Ln2 / math.Log(growth),
+	}
 }
 
 // NewLatencyHistogram returns a histogram tuned for picosecond
 // latencies from 1 ns up, with ~5% bucket resolution.
 func NewLatencyHistogram() *Histogram { return NewHistogram(1000, 1.1) }
+
+// rawBucket is the defining bucket formula. bucket must agree with it
+// exactly for every x >= min; it stays the reference for the boundary
+// construction and the out-of-table fallback.
+func (h *Histogram) rawBucket(x float64) int {
+	return int(math.Log(x/h.min) / h.logGrowth)
+}
+
+// boundary returns the smallest float64 x in (bounds[b-1], hi] with
+// rawBucket(x) >= b, bisecting on the float bit pattern (monotone for
+// positive floats). The analytic inverse (exp) seeds hi; if even
+// MaxFloat64 does not reach bucket b, MaxFloat64 is returned and the
+// caller's rawBucket check stops table growth.
+func (h *Histogram) boundary(b int) float64 {
+	lo := h.bounds[b-1] // rawBucket(lo) == b-1 by construction
+	hi := h.min * math.Exp(float64(b)*h.logGrowth)
+	if !(hi < math.MaxFloat64) {
+		hi = math.MaxFloat64
+	}
+	for h.rawBucket(hi) < b {
+		if hi == math.MaxFloat64 {
+			return hi
+		}
+		hi *= 1 + 1.0/(1<<20) // the exp seed is only a few ulps low
+		if !(hi < math.MaxFloat64) {
+			hi = math.MaxFloat64
+		}
+	}
+	lob, hib := math.Float64bits(lo), math.Float64bits(hi)
+	for lob+1 < hib {
+		mid := lob + (hib-lob)/2
+		if h.rawBucket(math.Float64frombits(mid)) < b {
+			lob = mid
+		} else {
+			hib = mid
+		}
+	}
+	return math.Float64frombits(hib)
+}
+
+// bucket returns rawBucket(x) for x >= min without the per-sample log.
+func (h *Histogram) bucket(x float64) int {
+	for x >= h.bounds[len(h.bounds)-1] {
+		if h.full || len(h.bounds) == maxBounds {
+			return h.rawBucket(x)
+		}
+		t := h.boundary(len(h.bounds))
+		if h.rawBucket(t) != len(h.bounds) {
+			// Unreachable boundary (beyond MaxFloat64) or a bucket
+			// with no representable floats: freeze the table; entries
+			// already built stay exact.
+			h.full = true
+			return h.rawBucket(x)
+		}
+		h.bounds = append(h.bounds, t)
+	}
+	// Largest b with bounds[b] <= x. log2(x) from the exponent field
+	// plus a 3-bit linear mantissa correction lands est within ~0.2
+	// octave of the truth; bounds[0] = min <= x < bounds[len-1] keeps
+	// both scans in range.
+	bits := math.Float64bits(x)
+	l2 := float64(int(bits>>52)-1023) + float64((bits>>49)&7)*0.125
+	est := int((l2 - h.log2min) * h.perOctave)
+	if est > len(h.bounds)-2 {
+		est = len(h.bounds) - 2
+	}
+	if est < 0 {
+		est = 0
+	}
+	for h.bounds[est] > x {
+		est--
+	}
+	for est+1 < len(h.bounds) && h.bounds[est+1] <= x {
+		est++
+	}
+	return est
+}
 
 // Add records one sample.
 func (h *Histogram) Add(x float64) {
@@ -131,7 +237,7 @@ func (h *Histogram) Add(x float64) {
 		h.under++
 		return
 	}
-	b := int(math.Log(x/h.min) / math.Log(h.growth))
+	b := h.bucket(x)
 	for b >= len(h.counts) {
 		h.counts = append(h.counts, 0)
 	}

@@ -18,7 +18,9 @@ type Mux struct {
 	srcs []*Source
 	head []*packet.Packet
 	at   []sim.Time
-	seq  map[uint64]int64
+	seq  []int64 // per-(input,output) sequence numbers, flat [input*nOut+output]
+	nOut int
+	pool *packet.PacketPool // shared source pool, if all sources share one
 }
 
 // NewMux returns a multiplexer over the given sources.
@@ -27,12 +29,41 @@ func NewMux(srcs []*Source) *Mux {
 		srcs: srcs,
 		head: make([]*packet.Packet, len(srcs)),
 		at:   make([]sim.Time, len(srcs)),
-		seq:  make(map[uint64]int64),
+	}
+	nIn := 0
+	for _, s := range srcs {
+		if s.Input >= nIn {
+			nIn = s.Input + 1
+		}
+		if len(s.weights) > m.nOut {
+			m.nOut = len(s.weights)
+		}
+	}
+	m.seq = make([]int64, nIn*m.nOut)
+	if len(srcs) > 0 && srcs[0].alloc != nil {
+		m.pool = srcs[0].alloc
+		for _, s := range srcs {
+			if s.alloc != m.pool {
+				m.pool = nil
+				break
+			}
+		}
 	}
 	for i, s := range srcs {
 		m.head[i], m.at[i] = s.Next()
 	}
 	return m
+}
+
+// Recycle returns a dead packet to the sources' shared packet pool.
+// Consumers that fully own delivered packets (the hbmswitch run loop)
+// call this at packet death so the steady state allocates nothing;
+// consumers that retain packets simply never call it. Recycle is a
+// no-op unless every source shares one PacketPool.
+func (m *Mux) Recycle(p *packet.Packet) {
+	if m.pool != nil {
+		m.pool.Put(p)
+	}
 }
 
 // Next returns the globally next packet by arrival time, or nil when
@@ -51,7 +82,7 @@ func (m *Mux) Next() (*packet.Packet, sim.Time) {
 	}
 	p, at := m.head[best], m.at[best]
 	m.head[best], m.at[best] = m.srcs[best].Next()
-	pair := uint64(p.Input)<<32 | uint64(uint32(p.Output))
+	pair := p.Input*m.nOut + p.Output
 	p.Seq = m.seq[pair]
 	m.seq[pair]++
 	return p, at
@@ -75,6 +106,7 @@ func (m *Mux) Window(horizon sim.Time) []*packet.Packet {
 // It is the common setup for whole-switch experiments.
 func UniformSources(m *Matrix, lineRate sim.Rate, kind ArrivalKind, sizes SizeDist, rng *sim.RNG) []*Source {
 	pool := NewFlowPool(16, rng.Fork())
+	alloc := &packet.PacketPool{}
 	var id uint64
 	nextID := func() uint64 { id++; return id }
 	srcs := make([]*Source, m.N)
@@ -88,6 +120,7 @@ func UniformSources(m *Matrix, lineRate sim.Rate, kind ArrivalKind, sizes SizeDi
 			RNG:      rng.Fork(),
 			Pool:     pool,
 			NextID:   nextID,
+			Alloc:    alloc,
 		})
 	}
 	return srcs
@@ -107,6 +140,7 @@ func WavelengthSources(m *Matrix, channels int, channelRate sim.Rate, kind Arriv
 		panic("traffic: non-positive channel count")
 	}
 	pool := NewFlowPool(16, rng.Fork())
+	alloc := &packet.PacketPool{}
 	var id uint64
 	nextID := func() uint64 { id++; return id }
 	srcs := make([]*Source, 0, m.N*channels)
@@ -121,6 +155,7 @@ func WavelengthSources(m *Matrix, channels int, channelRate sim.Rate, kind Arriv
 				RNG:      rng.Fork(),
 				Pool:     pool,
 				NextID:   nextID,
+				Alloc:    alloc,
 			}))
 		}
 	}

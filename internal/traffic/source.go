@@ -40,7 +40,7 @@ func (k ArrivalKind) String() string {
 // skew flows are picked uniformly; with skew s > 0 flow i carries
 // weight 1/(i+1)^s — the elephants-and-mice shape of real traffic.
 type FlowPool struct {
-	flows   map[uint64][]packet.FiveTuple
+	flows   [][][]packet.FiveTuple // [input][output]; grown on demand
 	per     int
 	rng     *sim.RNG
 	weights []float64 // nil = uniform
@@ -52,7 +52,7 @@ func NewFlowPool(flowsPerPair int, rng *sim.RNG) *FlowPool {
 	if flowsPerPair <= 0 {
 		panic("traffic: non-positive flows per pair")
 	}
-	return &FlowPool{flows: make(map[uint64][]packet.FiveTuple), per: flowsPerPair, rng: rng}
+	return &FlowPool{per: flowsPerPair, rng: rng}
 }
 
 // NewZipfFlowPool returns a pool whose flows are picked with Zipf
@@ -69,12 +69,18 @@ func NewZipfFlowPool(flowsPerPair int, skew float64, rng *sim.RNG) *FlowPool {
 	return fp
 }
 
-func pairKey(in, out int) uint64 { return uint64(in)<<32 | uint64(uint32(out)) }
-
-// Pick returns a tuple for the given pair.
+// Pick returns a tuple for the given pair. Pair tables are indexed
+// flat by (input, output) — first use creates the tuples (same lazy
+// creation order as before), steady state is two slice loads.
 func (fp *FlowPool) Pick(in, out int, rng *sim.RNG) packet.FiveTuple {
-	key := pairKey(in, out)
-	fl := fp.flows[key]
+	for in >= len(fp.flows) {
+		fp.flows = append(fp.flows, nil)
+	}
+	row := fp.flows[in]
+	for out >= len(row) {
+		row = append(row, nil)
+	}
+	fl := row[out]
 	if fl == nil {
 		fl = make([]packet.FiveTuple, fp.per)
 		for i := range fl {
@@ -86,8 +92,9 @@ func (fp *FlowPool) Pick(in, out int, rng *sim.RNG) packet.FiveTuple {
 				Proto:   6,
 			}
 		}
-		fp.flows[key] = fl
+		row[out] = fl
 	}
+	fp.flows[in] = row
 	if fp.weights != nil {
 		return fl[rng.Pick(fp.weights)]
 	}
@@ -111,7 +118,8 @@ type Source struct {
 	burstLeft  int
 	pendingOff sim.Time
 	idgen      func() uint64
-	seq        map[int]int64 // per-output sequence numbers
+	seq        []int64            // per-output sequence numbers
+	alloc      *packet.PacketPool // optional; nil allocates fresh packets
 
 	// Bursty process parameters.
 	burstShape float64
@@ -128,6 +136,12 @@ type SourceConfig struct {
 	RNG      *sim.RNG
 	Pool     *FlowPool
 	NextID   func() uint64
+	// Alloc recycles packet structs. Sources sharing an Alloc with a
+	// recycling consumer (a Mux driving an hbmswitch run) reach zero
+	// steady-state allocations; nil keeps plain per-packet allocation,
+	// which is required when the consumer retains packets (Window,
+	// GenerateWindow, trace capture).
+	Alloc *packet.PacketPool
 	// BurstShape/BurstMinPkts tune the Bursty process; zero values get
 	// defaults (shape 1.5, min 8 packets).
 	BurstShape   float64
@@ -160,7 +174,8 @@ func NewSource(cfg SourceConfig) *Source {
 		rng:        cfg.RNG,
 		pool:       cfg.Pool,
 		idgen:      cfg.NextID,
-		seq:        make(map[int]int64),
+		alloc:      cfg.Alloc,
+		seq:        make([]int64, len(cfg.Row)),
 		burstShape: cfg.BurstShape,
 		burstMin:   cfg.BurstMinPkts,
 	}
@@ -217,14 +232,18 @@ func (s *Source) Next() (*packet.Packet, sim.Time) {
 	}
 
 	out := s.rng.Pick(s.weights)
-	p := &packet.Packet{
-		ID:      s.idgen(),
-		Size:    size,
-		Input:   s.Input,
-		Output:  out,
-		Arrival: start + txTime,
-		Seq:     s.seq[out],
+	var p *packet.Packet
+	if s.alloc != nil {
+		p = s.alloc.Get()
+	} else {
+		p = &packet.Packet{}
 	}
+	p.ID = s.idgen()
+	p.Size = size
+	p.Input = s.Input
+	p.Output = out
+	p.Arrival = start + txTime
+	p.Seq = s.seq[out]
 	s.seq[out]++
 	if s.pool != nil {
 		p.Flow = s.pool.Pick(s.Input, out, s.rng)

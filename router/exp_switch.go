@@ -5,7 +5,9 @@ import (
 
 	"pbrouter/internal/core"
 	"pbrouter/internal/hbmswitch"
+	"pbrouter/internal/parallel"
 	"pbrouter/internal/sim"
+	"pbrouter/internal/sps"
 	"pbrouter/internal/traffic"
 )
 
@@ -147,7 +149,56 @@ func runE5(opt Options) (*Result, error) {
 		return nil, err
 	}
 	res.Note("throughput is normalized to an ideal OQ switch fed the identical arrivals, so warmup transients cancel; speedup 1.10 absorbs the ~2%% write/read transition overhead that §4 folds into its baseline")
+	if opt.Full {
+		if err := runE5Full(opt, res); err != nil {
+			return nil, err
+		}
+	}
 	return res, nil
+}
+
+// runE5Full is E5's -full promotion: instead of proxying the claim
+// with single switches, simulate the entire reference SPS router —
+// all 16 HBM switches, packet by packet — through the lockstep-epoch
+// sharded runner. Wall-time budget and usage are documented under E5
+// in EXPERIMENTS.md.
+func runE5Full(opt Options, res *Result) error {
+	cfg := sps.Reference()
+	dep, err := sps.NewDeployment(cfg)
+	if err != nil {
+		return err
+	}
+	swCfg := hbmswitch.Reference()
+	swCfg.Speedup = 1.1
+	rt, err := sps.NewRouter(dep, swCfg)
+	if err != nil {
+		return err
+	}
+	horizon := switchHorizon(opt)
+	flows := sps.ECMPUniform(cfg, 20000, 0.95, opt.Seed+41)
+	// One epoch per simulated microsecond gives checkpoint-shaped
+	// progress without measurable barrier overhead; results are
+	// byte-identical for any epoch count (TestShardedMatchesSingleScheduler).
+	epochs := int(horizon / sim.Microsecond)
+	rep, _, err := rt.RunSharded(flows, traffic.Poisson, traffic.IMIX(),
+		horizon, opt.Seed, parallel.Workers(opt.Parallelism), epochs, sps.Instrumentation{}, opt.Progress)
+	if err != nil {
+		return err
+	}
+	if len(rep.Errors) > 0 {
+		return fmt.Errorf("E5 full geometry: %v", rep.Errors[0])
+	}
+	res.SimTime += sim.Time(cfg.H) * horizon
+	worst := rep.PerSwitch[0].Throughput
+	for _, sw := range rep.PerSwitch {
+		if sw.Throughput < worst {
+			worst = sw.Throughput
+		}
+	}
+	res.Addf(fmt.Sprintf("full reference geometry: %d switches x %d ports, ECMP 0.95 IMIX", cfg.H, cfg.N),
+		"100% throughput", "delivered %.3f of capacity (offered %.3f; worst switch %.3f; p99 latency %v)",
+		rep.Throughput, rep.OfferedLoad, worst, rep.LatencyP99)
+	return nil
 }
 
 func runE6(opt Options) (*Result, error) {

@@ -31,6 +31,13 @@ type Options struct {
 	// Quick shrinks simulation horizons for use in tests and smoke
 	// runs; full runs give tighter confidence.
 	Quick bool
+	// Full promotes experiments that support it to the full reference
+	// geometry: E5 additionally simulates the whole 16-switch SPS
+	// router packet by packet, driven by the lockstep-epoch sharded
+	// runner (sps.Router.RunSharded). Experiments without a
+	// full-geometry mode ignore it. Mutually exclusive with Quick —
+	// cmd/spsbench enforces this via cli.ValidateMode.
+	Full bool
 	// Seed makes stochastic experiments reproducible.
 	Seed uint64
 	// Parallelism caps the worker goroutines used to fan independent
