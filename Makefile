@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-save bench-smoke bench-diff repro fuzz fuzz-smoke validate resil serve-smoke fmt vet clean figures
+.PHONY: all build test race cover bench bench-save bench-smoke bench-diff repro fuzz fuzz-smoke validate resil serve-smoke ui-smoke fmt vet clean figures
 
 all: build vet test race
 
@@ -92,6 +92,13 @@ resil:
 # resume lose nothing. See docs/serving.md.
 serve-smoke:
 	SPSD_SMOKE=1 $(GO) test ./internal/serve -run TestServeSmoke -count=1 -v
+
+# Control-plane smoke: boot a real `spsd -ui`, fetch the embedded
+# dashboard and every asset, walk the full /api/v1 surface against a
+# live traced job, and validate each JSON payload's shape. See
+# docs/dashboard.md.
+ui-smoke:
+	SPSD_UI_SMOKE=1 $(GO) test ./internal/serve -run TestUISmoke -count=1 -v
 
 fmt:
 	gofmt -w .

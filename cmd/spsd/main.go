@@ -5,22 +5,27 @@
 // drained or killed daemon resumes them on restart. Job results are
 // byte-identical to the equivalent CLI runs at the same seed.
 //
+// With -ui the daemon also serves its embedded web control plane at /
+// — a dashboard over the versioned read-side API under -api-prefix
+// (default /api/v1), all from this single static binary.
+//
 // Examples:
 //
-//	spsd -addr localhost:9090
+//	spsd -addr localhost:9090 -ui
 //	spsd -addr :0 -addr-file /tmp/spsd.addr -checkpoint-dir /var/lib/spsd
-//	spsd -workers 4 -queue-depth 128 -j 2
+//	spsd -workers 4 -queue-depth 128 -j 2 -log-format text -log-level debug
 //
 // SIGTERM or SIGINT drains gracefully: admission stops, running jobs
 // get -drain-grace to finish, stragglers checkpoint and resume on the
-// next start. See docs/serving.md for the API.
+// next start. See docs/serving.md for the API and docs/dashboard.md
+// for the web control plane.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -41,6 +46,10 @@ func main() {
 		jobs       = flag.Int("j", 0, "per-job worker goroutines (0 = one per CPU; results are identical for any value)")
 		ckptDir    = flag.String("checkpoint-dir", "", "persist jobs here for resume-on-restart (empty disables)")
 		drainGrace = flag.Duration("drain-grace", 10*time.Second, "how long a drain lets running jobs finish before checkpointing them")
+		ui         = flag.Bool("ui", false, "serve the embedded web dashboard at /")
+		apiPrefix  = flag.String("api-prefix", "/api/v1", "mount prefix of the versioned read-side API")
+		logLevel   = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
+		logFormat  = flag.String("log-format", "json", "log encoding: json|text")
 	)
 	flag.Parse()
 	cli.Check(
@@ -49,16 +58,29 @@ func main() {
 		cli.ValidateCount("-workers", *workers),
 		cli.ValidateJobs(*jobs),
 		cli.ValidateCheckpointDir(*ckptDir),
+		cli.ValidateAPIPrefix(*apiPrefix),
+		cli.ValidateLogLevel(*logLevel),
+		cli.ValidateLogFormat(*logFormat),
 	)
 
-	logger := log.New(os.Stderr, "spsd: ", log.LstdFlags)
+	opts := &slog.HandlerOptions{Level: cli.LogLevel(*logLevel)}
+	var handler slog.Handler
+	if *logFormat == "text" {
+		handler = slog.NewTextHandler(os.Stderr, opts)
+	} else {
+		handler = slog.NewJSONHandler(os.Stderr, opts)
+	}
+	logger := slog.New(handler).With("service", "spsd")
+
 	srv, err := serve.New(serve.Config{
 		QueueDepth:     *queueDepth,
 		Workers:        *workers,
 		JobParallelism: *jobs,
 		CheckpointDir:  *ckptDir,
 		DrainGrace:     *drainGrace,
-		Logf:           logger.Printf,
+		Logger:         logger,
+		APIPrefix:      *apiPrefix,
+		UI:             *ui,
 	})
 	if err != nil {
 		cli.Exit(cli.Outcome{RunErr: err})
@@ -74,7 +96,8 @@ func main() {
 			cli.Exit(cli.Outcome{RunErr: err})
 		}
 	}
-	logger.Printf("listening on %s (workers %d, queue %d)", bound, *workers, *queueDepth)
+	logger.Info("listening", "addr", bound, "workers", *workers,
+		"queue", *queueDepth, "ui", *ui, "api", *apiPrefix)
 
 	srv.Start()
 	httpSrv := &http.Server{Handler: srv.Handler()}
@@ -86,7 +109,7 @@ func main() {
 	select {
 	case <-ctx.Done():
 		stop()
-		logger.Printf("signal received, draining")
+		logger.Info("signal received, draining")
 		// Jobs first: finish or checkpoint everything accepted, then
 		// close the listener so late pollers get clean errors.
 		srv.Drain(context.Background())

@@ -47,6 +47,7 @@ func main() {
 
 		telemetryOut = flag.String("telemetry", "", "write simulated-time telemetry to this file (.json for JSON, else CSV; - for stdout)")
 		telePeriod   = flag.String("telemetry-period", "1us", "telemetry sampling period (simulated time)")
+		coreProbes   = flag.Bool("core-probes", false, "add event-core probes (timing wheel, pools) to the telemetry series; changes the series column set but never the report")
 		traceOut     = flag.String("trace", "", "write packet-lifecycle Chrome trace JSON (open in Perfetto) to this file")
 		traceSample  = flag.Int("trace-sample", 64, "trace one packet in N")
 	)
@@ -68,7 +69,7 @@ func main() {
 		Load: *load, Matrix: *matrix, Sizes: *sizes, Arrival: *arrival,
 		HorizonPs: hz, Seed: *seed, Speedup: *speedup, Shadow: *shadow,
 		Pad: pad, Bypass: bypass, Stacks: *stacks, Refresh: *refresh,
-		Sched: *sched,
+		Sched: *sched, CoreProbes: *coreProbes,
 	}
 	cfg, err := spec.Config()
 	if err != nil {
@@ -96,8 +97,14 @@ func main() {
 			cli.Exit(cli.Outcome{UsageErr: err})
 		}
 	}
+	if *coreProbes && reg == nil {
+		cli.Exit(cli.Outcome{UsageErr: fmt.Errorf("-core-probes needs -telemetry: the probes sample into the telemetry series")})
+	}
 	if reg != nil || tracer != nil {
 		sw.Instrument(reg, tracer, "", 0)
+	}
+	if *coreProbes {
+		sw.InstrumentCore(reg, "")
 	}
 
 	var stream traffic.Stream

@@ -1,0 +1,62 @@
+package cli
+
+import (
+	"fmt"
+	"log/slog"
+	"strings"
+)
+
+// This file holds the control-plane flag validation the daemon grew
+// with its web UI: the API mount prefix and the structured-logging
+// level/format flags resolve through one code path with one error
+// wording, like the rest of the package.
+
+// ValidateAPIPrefix checks a -api-prefix flag: a rooted path like
+// /api/v1, with no trailing slash (the daemon appends /jobs etc.) and
+// no query or fragment metacharacters.
+func ValidateAPIPrefix(p string) error {
+	if !strings.HasPrefix(p, "/") {
+		return fmt.Errorf("-api-prefix %q: must start with /", p)
+	}
+	if len(p) < 2 {
+		return fmt.Errorf("-api-prefix %q: must name a path under / (e.g. /api/v1)", p)
+	}
+	if strings.HasSuffix(p, "/") {
+		return fmt.Errorf("-api-prefix %q: must not end with / (routes are appended)", p)
+	}
+	if strings.ContainsAny(p, "?#{} ") {
+		return fmt.Errorf("-api-prefix %q: contains a URL metacharacter", p)
+	}
+	return nil
+}
+
+// logLevels maps -log-level values to slog levels.
+var logLevels = map[string]slog.Level{
+	"debug": slog.LevelDebug,
+	"info":  slog.LevelInfo,
+	"warn":  slog.LevelWarn,
+	"error": slog.LevelError,
+}
+
+// ValidateLogLevel checks a -log-level flag.
+func ValidateLogLevel(s string) error {
+	if _, ok := logLevels[s]; !ok {
+		return fmt.Errorf("-log-level %q: want debug|info|warn|error", s)
+	}
+	return nil
+}
+
+// LogLevel resolves a validated -log-level value.
+func LogLevel(s string) slog.Level {
+	return logLevels[s]
+}
+
+// ValidateLogFormat checks a -log-format flag.
+func ValidateLogFormat(s string) error {
+	switch s {
+	case "json", "text":
+		return nil
+	default:
+		return fmt.Errorf("-log-format %q: want json|text", s)
+	}
+}

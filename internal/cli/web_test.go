@@ -1,0 +1,80 @@
+package cli
+
+import (
+	"log/slog"
+	"testing"
+)
+
+func TestValidateAPIPrefix(t *testing.T) {
+	cases := []struct {
+		prefix string
+		ok     bool
+	}{
+		{"/api/v1", true},
+		{"/api", true},
+		{"/control/api/v2", true},
+		{"/v1", true},
+		{"", false},          // not rooted
+		{"api/v1", false},    // not rooted
+		{"/", false},         // names nothing under /
+		{"/api/", false},     // trailing slash
+		{"/api/v1/", false},  // trailing slash
+		{"/api v1", false},   // space
+		{"/api?x=1", false},  // query metacharacter
+		{"/api#frag", false}, // fragment metacharacter
+		{"/api/{id}", false}, // mux pattern metacharacter
+	}
+	for _, c := range cases {
+		err := ValidateAPIPrefix(c.prefix)
+		if c.ok && err != nil {
+			t.Errorf("ValidateAPIPrefix(%q) rejected: %v", c.prefix, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ValidateAPIPrefix(%q) accepted", c.prefix)
+		}
+	}
+}
+
+func TestValidateLogLevel(t *testing.T) {
+	cases := []struct {
+		in   string
+		ok   bool
+		want slog.Level
+	}{
+		{"debug", true, slog.LevelDebug},
+		{"info", true, slog.LevelInfo},
+		{"warn", true, slog.LevelWarn},
+		{"error", true, slog.LevelError},
+		{"", false, 0},
+		{"INFO", false, 0},  // case-sensitive like every other flag
+		{"trace", false, 0}, // not a slog level
+		{"warning", false, 0},
+	}
+	for _, c := range cases {
+		err := ValidateLogLevel(c.in)
+		if c.ok && err != nil {
+			t.Errorf("ValidateLogLevel(%q) rejected: %v", c.in, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ValidateLogLevel(%q) accepted", c.in)
+		}
+		if c.ok {
+			if got := LogLevel(c.in); got != c.want {
+				t.Errorf("LogLevel(%q) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+func TestValidateLogFormat(t *testing.T) {
+	for _, good := range []string{"json", "text"} {
+		if err := ValidateLogFormat(good); err != nil {
+			t.Errorf("ValidateLogFormat(%q) rejected: %v", good, err)
+		}
+	}
+	for _, bad := range []string{"", "JSON", "logfmt", "yaml"} {
+		if err := ValidateLogFormat(bad); err == nil {
+			t.Errorf("ValidateLogFormat(%q) accepted", bad)
+		}
+	}
+}

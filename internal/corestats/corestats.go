@@ -1,0 +1,159 @@
+// Package corestats aggregates the event core's internals across every
+// simulation run in the process: timing-wheel cascade and overflow
+// counts, per-pool hit/grow/recycle counters, and the sharded runner's
+// epoch-barrier wait time.
+//
+// The simulation itself never reads this package — each run's numbers
+// are a pure function of its seed, and the deterministic outputs
+// (series, traces, reports) are produced before anything is published
+// here. The collector exists for the process-wide observers: the spsd
+// daemon's /metrics endpoint and server-info API read a Snapshot to
+// answer "what has the event core been doing since boot". Barrier wait
+// is the one wall-clock quantity; it is kept out of every deterministic
+// artifact by construction and only ever surfaces through Snapshot.
+//
+// All counters are atomics so concurrent runs (the daemon's worker
+// pool, sharded full-geometry runs) publish without coordination.
+package corestats
+
+import (
+	"sync/atomic"
+
+	"pbrouter/internal/packet"
+	"pbrouter/internal/sim"
+)
+
+// Collector accumulates core-internals counters. The zero value is
+// ready to use; Default is the process-wide instance every run
+// publishes into.
+type Collector struct {
+	runs          atomic.Uint64
+	events        atomic.Uint64
+	cascades      atomic.Uint64
+	cascadeEvents atomic.Uint64
+	overflowed    atomic.Uint64
+
+	packetPool poolCounters
+	batchPool  poolCounters
+	framePool  poolCounters
+
+	barrierEpochs atomic.Uint64
+	barrierWaitNs atomic.Uint64
+}
+
+// poolCounters mirrors packet.PoolStats with atomic fields.
+type poolCounters struct {
+	gets     atomic.Uint64
+	hits     atomic.Uint64
+	grows    atomic.Uint64
+	recycles atomic.Uint64
+}
+
+func (p *poolCounters) add(s packet.PoolStats) {
+	p.gets.Add(s.Gets)
+	p.hits.Add(s.Hits)
+	p.grows.Add(s.Grows)
+	p.recycles.Add(s.Recycles)
+}
+
+func (p *poolCounters) snapshot() PoolSnapshot {
+	return PoolSnapshot{
+		Gets:     p.gets.Load(),
+		Hits:     p.hits.Load(),
+		Grows:    p.grows.Load(),
+		Recycles: p.recycles.Load(),
+	}
+}
+
+// Default is the process-wide collector. Switch runs publish their
+// final stats here as they finish; the daemon snapshots it on demand.
+var Default Collector
+
+// RunStats is one finished run's contribution: the scheduler's final
+// counters plus the final counters of each pool the run owned.
+type RunStats struct {
+	Sched  sim.SchedStats
+	Packet packet.PoolStats
+	Batch  packet.PoolStats
+	Frame  packet.PoolStats
+}
+
+// RecordRun accumulates one finished run.
+func (c *Collector) RecordRun(rs RunStats) {
+	c.runs.Add(1)
+	c.events.Add(rs.Sched.Events)
+	c.cascades.Add(rs.Sched.Cascades)
+	c.cascadeEvents.Add(rs.Sched.CascadeEvents)
+	c.overflowed.Add(rs.Sched.Overflowed)
+	c.packetPool.add(rs.Packet)
+	c.batchPool.add(rs.Batch)
+	c.framePool.add(rs.Frame)
+}
+
+// RecordBarrier accumulates one sharded run's epoch-barrier totals:
+// the number of lockstep epochs joined and the summed wall-clock time
+// shards spent waiting at the join (total skew). Wall clock never
+// enters deterministic outputs; it lives only in Snapshots.
+func (c *Collector) RecordBarrier(epochs uint64, waitNs uint64) {
+	c.barrierEpochs.Add(epochs)
+	c.barrierWaitNs.Add(waitNs)
+}
+
+// PoolSnapshot is one pool's aggregated counters.
+type PoolSnapshot struct {
+	Gets     uint64 `json:"gets"`
+	Hits     uint64 `json:"hits"`
+	Grows    uint64 `json:"grows"`
+	Recycles uint64 `json:"recycles"`
+}
+
+// Snapshot is a point-in-time copy of the collector. Field names are
+// stable: they are serialized by the daemon's server-info endpoint.
+type Snapshot struct {
+	Runs          uint64 `json:"runs"`
+	Events        uint64 `json:"events"`
+	Cascades      uint64 `json:"wheel_cascades"`
+	CascadeEvents uint64 `json:"wheel_cascade_events"`
+	Overflowed    uint64 `json:"wheel_overflowed"`
+
+	PacketPool PoolSnapshot `json:"packet_pool"`
+	BatchPool  PoolSnapshot `json:"batch_pool"`
+	FramePool  PoolSnapshot `json:"frame_pool"`
+
+	BarrierEpochs uint64 `json:"barrier_epochs"`
+	BarrierWaitNs uint64 `json:"barrier_wait_ns"`
+}
+
+// Snapshot copies the collector's current counters. Concurrent with
+// RecordRun the fields are each atomically read but not mutually
+// consistent — fine for monitoring.
+func (c *Collector) Snapshot() Snapshot {
+	return Snapshot{
+		Runs:          c.runs.Load(),
+		Events:        c.events.Load(),
+		Cascades:      c.cascades.Load(),
+		CascadeEvents: c.cascadeEvents.Load(),
+		Overflowed:    c.overflowed.Load(),
+		PacketPool:    c.packetPool.snapshot(),
+		BatchPool:     c.batchPool.snapshot(),
+		FramePool:     c.framePool.snapshot(),
+		BarrierEpochs: c.barrierEpochs.Load(),
+		BarrierWaitNs: c.barrierWaitNs.Load(),
+	}
+}
+
+// Reset zeroes every counter (tests only).
+func (c *Collector) Reset() {
+	for _, a := range []*atomic.Uint64{
+		&c.runs, &c.events, &c.cascades, &c.cascadeEvents, &c.overflowed,
+		&c.barrierEpochs, &c.barrierWaitNs,
+	} {
+		a.Store(0)
+	}
+	for _, p := range []*poolCounters{&c.packetPool, &c.batchPool, &c.framePool} {
+		p.gets.Store(0)
+		p.hits.Store(0)
+		p.grows.Store(0)
+		p.recycles.Store(0)
+	}
+}

@@ -1,0 +1,77 @@
+package corestats
+
+import (
+	"sync"
+	"testing"
+
+	"pbrouter/internal/packet"
+	"pbrouter/internal/sim"
+)
+
+func TestRecordRunAccumulates(t *testing.T) {
+	var c Collector
+	rs := RunStats{
+		Sched:  sim.SchedStats{Events: 100, Cascades: 3, CascadeEvents: 40, Overflowed: 2},
+		Packet: packet.PoolStats{Gets: 10, Hits: 7, Grows: 1, Recycles: 9},
+		Batch:  packet.PoolStats{Gets: 5, Hits: 5},
+		Frame:  packet.PoolStats{Gets: 2, Grows: 2},
+	}
+	c.RecordRun(rs)
+	c.RecordRun(rs)
+	c.RecordBarrier(8, 1234)
+
+	got := c.Snapshot()
+	if got.Runs != 2 {
+		t.Fatalf("Runs = %d, want 2", got.Runs)
+	}
+	if got.Events != 200 || got.Cascades != 6 || got.CascadeEvents != 80 || got.Overflowed != 4 {
+		t.Fatalf("sched counters = %+v", got)
+	}
+	if got.PacketPool != (PoolSnapshot{Gets: 20, Hits: 14, Grows: 2, Recycles: 18}) {
+		t.Fatalf("PacketPool = %+v", got.PacketPool)
+	}
+	if got.BatchPool != (PoolSnapshot{Gets: 10, Hits: 10}) {
+		t.Fatalf("BatchPool = %+v", got.BatchPool)
+	}
+	if got.FramePool != (PoolSnapshot{Gets: 4, Grows: 4}) {
+		t.Fatalf("FramePool = %+v", got.FramePool)
+	}
+	if got.BarrierEpochs != 8 || got.BarrierWaitNs != 1234 {
+		t.Fatalf("barrier = %d epochs / %d ns", got.BarrierEpochs, got.BarrierWaitNs)
+	}
+}
+
+func TestConcurrentPublish(t *testing.T) {
+	var c Collector
+	const workers, per = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.RecordRun(RunStats{
+					Sched:  sim.SchedStats{Events: 1},
+					Packet: packet.PoolStats{Gets: 1, Hits: 1},
+				})
+				c.RecordBarrier(1, 10)
+			}
+		}()
+	}
+	wg.Wait()
+	got := c.Snapshot()
+	want := uint64(workers * per)
+	if got.Runs != want || got.Events != want || got.PacketPool.Gets != want ||
+		got.BarrierEpochs != want || got.BarrierWaitNs != 10*want {
+		t.Fatalf("lost updates: %+v (want %d everywhere)", got, want)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var c Collector
+	c.RecordRun(RunStats{Sched: sim.SchedStats{Events: 1}})
+	c.Reset()
+	if got := c.Snapshot(); got != (Snapshot{}) {
+		t.Fatalf("after Reset: %+v", got)
+	}
+}

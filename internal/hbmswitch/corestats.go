@@ -1,0 +1,74 @@
+package hbmswitch
+
+import (
+	"pbrouter/internal/corestats"
+	"pbrouter/internal/packet"
+	"pbrouter/internal/telemetry"
+)
+
+// Event-core introspection: PR 6's zero-alloc machinery (timing wheel,
+// per-switch unit pools) kept counters to itself; this file re-exposes
+// them as a snapshot for the process-wide corestats collector and as
+// opt-in telemetry probes. The probes are NOT part of Instrument —
+// adding columns there would change every existing series artifact —
+// so callers that want them (spssim -core-probes, the daemon's
+// CoreProbes spec field) call InstrumentCore explicitly.
+
+// CoreStats snapshots the switch's event-core internals: the
+// scheduler's wheel counters and the three unit pools' traffic. The
+// packet pool belongs to the traffic sources; it is reachable only
+// when the arrival stream shares one (traffic.Mux with pooled
+// sources), and reads as zero otherwise.
+func (s *Switch) CoreStats() corestats.RunStats {
+	rs := corestats.RunStats{
+		Sched: s.sched.Stats(),
+		Batch: s.batchPool.Stats(),
+		Frame: s.framePool.Stats(),
+	}
+	if ps, ok := s.mux.(interface{ PoolStats() packet.PoolStats }); ok {
+		rs.Packet = ps.PoolStats()
+	}
+	return rs
+}
+
+// InstrumentCore registers the event-core probes on a registry the
+// switch is already instrumented with (or any registry sampling this
+// switch). Probe values are pure functions of the executed event
+// sequence, so the resulting series columns are as deterministic as
+// the rest of the registry. Names live under "<prefix>core." and never
+// collide with the load-split matcher (no ".delivered_bytes").
+func (s *Switch) InstrumentCore(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.Counter(prefix+"core.wheel.cascades",
+		func() float64 { return float64(s.sched.Stats().Cascades) })
+	reg.Counter(prefix+"core.wheel.cascade_events",
+		func() float64 { return float64(s.sched.Stats().CascadeEvents) })
+	reg.Counter(prefix+"core.wheel.overflow",
+		func() float64 { return float64(s.sched.Stats().Overflowed) })
+	pools := []struct {
+		name string
+		get  func() packet.PoolStats
+	}{
+		{"packet", func() packet.PoolStats {
+			if ps, ok := s.mux.(interface{ PoolStats() packet.PoolStats }); ok {
+				return ps.PoolStats()
+			}
+			return packet.PoolStats{}
+		}},
+		{"batch", func() packet.PoolStats { return s.batchPool.Stats() }},
+		{"frame", func() packet.PoolStats { return s.framePool.Stats() }},
+	}
+	for _, p := range pools {
+		p := p
+		reg.Counter(prefix+"core.pool."+p.name+".gets",
+			func() float64 { return float64(p.get().Gets) })
+		reg.Counter(prefix+"core.pool."+p.name+".hits",
+			func() float64 { return float64(p.get().Hits) })
+		reg.Counter(prefix+"core.pool."+p.name+".grows",
+			func() float64 { return float64(p.get().Grows) })
+		reg.Counter(prefix+"core.pool."+p.name+".recycles",
+			func() float64 { return float64(p.get().Recycles) })
+	}
+}

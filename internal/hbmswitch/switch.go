@@ -5,6 +5,7 @@ import (
 
 	"pbrouter/internal/baseline"
 	"pbrouter/internal/core"
+	"pbrouter/internal/corestats"
 	"pbrouter/internal/hbm"
 	"pbrouter/internal/optics"
 	"pbrouter/internal/packet"
@@ -1068,6 +1069,10 @@ func (s *Switch) Finish() (*Report, error) {
 		s.kickHBM()
 		s.sched.Run()
 	}
+	// Publish the run's event-core internals to the process-wide
+	// collector (monitoring only — the report below is already final,
+	// so deterministic outputs never depend on this).
+	corestats.Default.RecordRun(s.CoreStats())
 	return s.report(s.horizon), s.firstErr()
 }
 

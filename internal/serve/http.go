@@ -4,6 +4,11 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"pbrouter/internal/web"
 )
 
 // Handler returns the daemon's HTTP API:
@@ -16,6 +21,11 @@ import (
 //	GET    /jobs/{id}/stream  NDJSON event stream (follows until done)
 //	GET    /healthz           liveness (503 once draining)
 //	GET    /metrics           Prometheus text format
+//
+// plus the versioned read-side API under Config.APIPrefix (default
+// /api/v1 — see apiRoutes) and, with Config.UI, the embedded web
+// dashboard at /. Every request passes through the request-ID and
+// access-log middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -26,7 +36,52 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	s.apiRoutes(mux, s.cfg.APIPrefix)
+	if s.cfg.UI {
+		mux.Handle("GET /", http.FileServerFS(web.Assets()))
+	}
+	return s.withRequestLog(mux)
+}
+
+// withRequestLog assigns every request a monotonically increasing ID
+// (echoed as X-Request-ID) and logs method, path, status, and
+// duration at debug level — errors at warn.
+func (s *Server) withRequestLog(next http.Handler) http.Handler {
+	var nextID atomic.Uint64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := nextID.Add(1)
+		rid := "r" + strconv.FormatUint(id, 10)
+		w.Header().Set("X-Request-ID", rid)
+		lw := &logResponseWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(lw, r)
+		l := s.log.With("request", rid, "method", r.Method, "path", r.URL.Path,
+			"status", lw.status, "duration", time.Since(start))
+		if lw.status >= 500 {
+			l.Warn("request failed")
+		} else {
+			l.Debug("request served")
+		}
+	})
+}
+
+// logResponseWriter captures the status code for the access log. It
+// forwards Flush so NDJSON streaming keeps working through the
+// middleware.
+type logResponseWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *logResponseWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *logResponseWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // writeJSON writes v with the given status.

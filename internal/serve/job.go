@@ -2,7 +2,10 @@ package serve
 
 import (
 	"encoding/json"
+	"sort"
 	"time"
+
+	"pbrouter/internal/telemetry"
 )
 
 // State is a job's lifecycle state.
@@ -45,6 +48,14 @@ type Job struct {
 
 	cancel func() // cancels the running job's context; nil unless running
 	stream *stream
+
+	// In-memory run artifacts, not checkpointed: per-point telemetry
+	// series (point 0 for single sims, one per sweep point for
+	// resilience) and the packet-lifecycle trace JSON. Serialized on
+	// demand by the read-side API through the same telemetry writers
+	// the CLIs use, so payloads are byte-identical by construction.
+	series map[int]telemetry.Series
+	trace  []byte
 }
 
 // Status is the wire form of a job's state (GET /jobs, GET /jobs/{id}).
@@ -69,4 +80,46 @@ func (j *Job) status() Status {
 		UnitsTotal: j.Spec.numUnits(),
 		HasResult:  len(j.Result) > 0,
 	}
+}
+
+// JobDetail is the wire form of GET /api/v1/jobs/{id}: the status plus
+// the normalized spec, wall-clock timestamps (RFC3339Nano, empty when
+// unset), and which run artifacts are available right now.
+type JobDetail struct {
+	Status
+	Spec         Spec   `json:"spec"`
+	Submitted    string `json:"submitted,omitempty"`
+	Started      string `json:"started,omitempty"`
+	Finished     string `json:"finished,omitempty"`
+	SeriesPoints []int  `json:"series_points"` // sweep points with a series artifact
+	HasTrace     bool   `json:"has_trace"`
+	Checkpointed bool   `json:"checkpointed"` // survives a daemon restart
+}
+
+// detail snapshots the job's full wire form; the server's mutex must
+// be held. checkpointed reports whether persistence is on.
+func (j *Job) detail(checkpointed bool) JobDetail {
+	d := JobDetail{
+		Status:       j.status(),
+		Spec:         j.Spec,
+		Submitted:    stamp(j.Submitted),
+		Started:      stamp(j.Started),
+		Finished:     stamp(j.Finished),
+		SeriesPoints: []int{},
+		HasTrace:     len(j.trace) > 0,
+		Checkpointed: checkpointed,
+	}
+	for p := range j.series {
+		d.SeriesPoints = append(d.SeriesPoints, p)
+	}
+	sort.Ints(d.SeriesPoints)
+	return d
+}
+
+// stamp renders a wall-clock time for the wire, or "" when unset.
+func stamp(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
 }

@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"sort"
 	"time"
+
+	"pbrouter/internal/corestats"
 )
 
 // handleMetrics renders the daemon's operational metrics in the
@@ -64,4 +66,43 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprintf(w, "spsd_job_latency_seconds_sum %g\n", latSum)
 	fmt.Fprintf(w, "spsd_job_latency_seconds_count %d\n", latN)
+	writeCoreMetrics(w, corestats.Default.Snapshot())
+}
+
+// writeCoreMetrics renders the event core's process-wide counters:
+// what the timing wheel, the unit pools, and the sharded runner's
+// epoch barrier have done across every simulation since boot.
+func writeCoreMetrics(w http.ResponseWriter, c corestats.Snapshot) {
+	fmt.Fprintf(w, "# HELP spsd_core_runs_total Simulation runs completed.\n")
+	fmt.Fprintf(w, "# TYPE spsd_core_runs_total counter\n")
+	fmt.Fprintf(w, "spsd_core_runs_total %d\n", c.Runs)
+	fmt.Fprintf(w, "# HELP spsd_core_events_total Discrete events executed.\n")
+	fmt.Fprintf(w, "# TYPE spsd_core_events_total counter\n")
+	fmt.Fprintf(w, "spsd_core_events_total %d\n", c.Events)
+	fmt.Fprintf(w, "# HELP spsd_core_wheel_cascades_total Timing-wheel slot cascades.\n")
+	fmt.Fprintf(w, "# TYPE spsd_core_wheel_cascades_total counter\n")
+	fmt.Fprintf(w, "spsd_core_wheel_cascades_total %d\n", c.Cascades)
+	fmt.Fprintf(w, "# HELP spsd_core_wheel_cascade_events_total Events moved by cascades.\n")
+	fmt.Fprintf(w, "# TYPE spsd_core_wheel_cascade_events_total counter\n")
+	fmt.Fprintf(w, "spsd_core_wheel_cascade_events_total %d\n", c.CascadeEvents)
+	fmt.Fprintf(w, "# HELP spsd_core_wheel_overflow_total Events parked past the wheel span.\n")
+	fmt.Fprintf(w, "# TYPE spsd_core_wheel_overflow_total counter\n")
+	fmt.Fprintf(w, "spsd_core_wheel_overflow_total %d\n", c.Overflowed)
+	fmt.Fprintf(w, "# HELP spsd_core_pool_ops_total Unit-pool operations by pool and op.\n")
+	fmt.Fprintf(w, "# TYPE spsd_core_pool_ops_total counter\n")
+	for _, p := range []struct {
+		name string
+		s    corestats.PoolSnapshot
+	}{{"packet", c.PacketPool}, {"batch", c.BatchPool}, {"frame", c.FramePool}} {
+		fmt.Fprintf(w, "spsd_core_pool_ops_total{pool=%q,op=\"get\"} %d\n", p.name, p.s.Gets)
+		fmt.Fprintf(w, "spsd_core_pool_ops_total{pool=%q,op=\"hit\"} %d\n", p.name, p.s.Hits)
+		fmt.Fprintf(w, "spsd_core_pool_ops_total{pool=%q,op=\"grow\"} %d\n", p.name, p.s.Grows)
+		fmt.Fprintf(w, "spsd_core_pool_ops_total{pool=%q,op=\"recycle\"} %d\n", p.name, p.s.Recycles)
+	}
+	fmt.Fprintf(w, "# HELP spsd_core_barrier_epochs_total Sharded-run lockstep epochs joined.\n")
+	fmt.Fprintf(w, "# TYPE spsd_core_barrier_epochs_total counter\n")
+	fmt.Fprintf(w, "spsd_core_barrier_epochs_total %d\n", c.BarrierEpochs)
+	fmt.Fprintf(w, "# HELP spsd_core_barrier_wait_seconds_total Wall-clock time shards spent waiting at epoch barriers.\n")
+	fmt.Fprintf(w, "# TYPE spsd_core_barrier_wait_seconds_total counter\n")
+	fmt.Fprintf(w, "spsd_core_barrier_wait_seconds_total %g\n", float64(c.BarrierWaitNs)/1e9)
 }

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 
 	"pbrouter/internal/hbmswitch"
 	"pbrouter/internal/parallel"
@@ -34,13 +35,18 @@ func (e *FoundError) Error() string { return fmt.Sprintf("%d %s", e.N, e.What) }
 
 // runEnv is what a job runner gets from the worker: previously
 // checkpointed units to replay, a sink for newly completed units, a
-// stream to publish events to, and the per-job parallelism.
+// stream to publish events to, sinks for in-memory run artifacts
+// (telemetry series per sweep point, the packet-lifecycle trace), the
+// job's structured logger, and the per-job parallelism.
 type runEnv struct {
-	id       string
-	workers  int
-	units    []json.RawMessage
-	saveUnit func(json.RawMessage)
-	emit     func(v any)
+	id         string
+	workers    int
+	units      []json.RawMessage
+	saveUnit   func(json.RawMessage)
+	saveSeries func(point int, s telemetry.Series)
+	saveTrace  func([]byte)
+	emit       func(v any)
+	log        *slog.Logger
 }
 
 // runSpec executes the job and returns its result JSON — byte-
@@ -76,7 +82,14 @@ func runSim(ctx context.Context, spec *SimSpec, env runEnv) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if reg, err := telemetry.New(sim.Microsecond); err == nil {
+	var tracer *telemetry.Tracer
+	if spec.TraceSample > 0 {
+		if tracer, err = telemetry.NewTracer(spec.TraceSample); err != nil {
+			return nil, err
+		}
+	}
+	reg, err := telemetry.New(sim.Microsecond)
+	if err == nil {
 		sent := false
 		reg.SetOnSample(func(now sim.Time, names []string, row []float64) {
 			if !sent {
@@ -85,7 +98,12 @@ func runSim(ctx context.Context, spec *SimSpec, env runEnv) ([]byte, error) {
 			}
 			env.emit(sampleEvent{Job: env.id, Event: "sample", TimePs: now, Values: append([]float64(nil), row...)})
 		})
-		sw.Instrument(reg, nil, "", 0)
+		sw.Instrument(reg, tracer, "", 0)
+		if spec.CoreProbes {
+			// Opt-in: extra columns would change the default series
+			// shape, which existing consumers pin byte-for-byte.
+			sw.InstrumentCore(reg, "")
+		}
 	}
 	stream, err := spec.NewStream(cfg)
 	if err != nil {
@@ -97,6 +115,15 @@ func runSim(ctx context.Context, spec *SimSpec, env runEnv) ([]byte, error) {
 	rep, err := sw.Run(stream, spec.HorizonPs)
 	if err != nil {
 		return nil, err
+	}
+	if reg != nil && env.saveSeries != nil {
+		env.saveSeries(0, reg.Series())
+	}
+	if tracer != nil && env.saveTrace != nil {
+		var tbuf bytes.Buffer
+		if err := tracer.WriteJSON(&tbuf); err == nil {
+			env.saveTrace(tbuf.Bytes())
+		}
 	}
 	var buf bytes.Buffer
 	if err := rep.WriteJSON(&buf); err != nil {
@@ -210,6 +237,9 @@ func runResilience(ctx context.Context, cfg *resilience.SweepConfig, env runEnv)
 		}
 		for i, t := range rep.Series.Times {
 			env.emit(sampleEvent{Job: env.id, Event: "sample", Point: k, TimePs: t, Values: rep.Series.Rows[i]})
+		}
+		if env.saveSeries != nil {
+			env.saveSeries(k, rep.Series)
 		}
 		if raw, err := json.Marshal(pt); err == nil && env.saveUnit != nil {
 			env.saveUnit(raw)

@@ -5,11 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"sync"
 	"time"
 
 	"pbrouter/internal/stats"
+	"pbrouter/internal/telemetry"
 )
 
 // Admission errors, mapped to HTTP statuses by the handlers.
@@ -39,8 +42,15 @@ type Config struct {
 	// DrainGrace is how long Drain lets running jobs finish before
 	// cancelling them to checkpoint. Default 10s.
 	DrainGrace time.Duration
-	// Logf, when non-nil, receives operational log lines.
-	Logf func(format string, args ...any)
+	// Logger receives structured operational logs; nil discards them.
+	// The server derives a per-job logger (With "job", "kind") for
+	// every job's lifecycle events.
+	Logger *slog.Logger
+	// APIPrefix mounts the versioned read-side API under this path
+	// prefix. Default "/api/v1".
+	APIPrefix string
+	// UI serves the embedded web dashboard at / when true.
+	UI bool
 }
 
 // Server owns the job table, the bounded admission queue, and the
@@ -48,6 +58,7 @@ type Config struct {
 // and stop with Drain.
 type Server struct {
 	cfg Config
+	log *slog.Logger
 
 	// baseCtx parents every job's context; cancelJobs aborts them all
 	// (drain past its grace period).
@@ -82,8 +93,14 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DrainGrace <= 0 {
 		cfg.DrainGrace = 10 * time.Second
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	if cfg.APIPrefix == "" {
+		cfg.APIPrefix = "/api/v1"
+	}
+	log := cfg.Logger
+	if log == nil {
+		// Discard below any level ever emitted.
+		log = slog.New(slog.NewTextHandler(io.Discard,
+			&slog.HandlerOptions{Level: slog.Level(127)}))
 	}
 	var resumed []*Job
 	if cfg.CheckpointDir != "" {
@@ -99,6 +116,7 @@ func New(cfg Config) (*Server, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
+		log:        log,
 		baseCtx:    ctx,
 		cancelJobs: cancel,
 		jobs:       make(map[string]*Job),
@@ -115,11 +133,16 @@ func New(cfg Config) (*Server, error) {
 		}
 		if j.State == StateQueued {
 			s.queue <- j
-			s.cfg.Logf("resuming job %s (%s, %d/%d units done)",
-				j.ID, j.Spec.Kind, len(j.Units), j.Spec.numUnits())
+			s.jobLog(j).Info("job resumed from checkpoint",
+				"units_done", len(j.Units), "units_total", j.Spec.numUnits())
 		}
 	}
 	return s, nil
+}
+
+// jobLog derives the job's structured logger.
+func (s *Server) jobLog(j *Job) *slog.Logger {
+	return s.log.With("job", j.ID, "kind", j.Spec.Kind)
 }
 
 // jobNum parses the numeric part of a job ID ("j000042" → 42), or -1.
@@ -168,7 +191,7 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 	s.persistLocked(j)
-	s.cfg.Logf("job %s queued (%s)", j.ID, spec.Kind)
+	s.jobLog(j).Info("job queued")
 	return j, nil
 }
 
@@ -211,6 +234,34 @@ func (s *Server) Result(id string) ([]byte, bool) {
 		return nil, false
 	}
 	return j.Result, true
+}
+
+// SeriesOf returns a job's telemetry series for one sweep point
+// (point 0 for single sims). Series are in-memory artifacts of the
+// run that produced them: a job resumed from a checkpoint in a new
+// process has none until it reruns.
+func (s *Server) SeriesOf(id string, point int) (telemetry.Series, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return telemetry.Series{}, false
+	}
+	ser, ok := j.series[point]
+	return ser, ok
+}
+
+// TraceOf returns a job's packet-lifecycle trace (Chrome trace-event
+// JSON), recorded when the spec asked for one. In-memory only, like
+// SeriesOf.
+func (s *Server) TraceOf(id string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok || len(j.trace) == 0 {
+		return nil, false
+	}
+	return j.trace, true
 }
 
 // Cancel cancels a job: a queued job goes terminal immediately, a
@@ -266,14 +317,28 @@ func (s *Server) runJob(j *Job) {
 			s.persistLocked(j)
 			s.mu.Unlock()
 		},
+		saveSeries: func(point int, ser telemetry.Series) {
+			s.mu.Lock()
+			if j.series == nil {
+				j.series = make(map[int]telemetry.Series)
+			}
+			j.series[point] = ser
+			s.mu.Unlock()
+		},
+		saveTrace: func(b []byte) {
+			s.mu.Lock()
+			j.trace = b
+			s.mu.Unlock()
+		},
 		emit: j.stream.publish,
+		log:  s.jobLog(j),
 	}
 	spec := j.Spec
 	s.running++
 	s.mu.Unlock()
 
 	j.stream.publish(stateEvent{Job: j.ID, Event: "state", State: StateRunning})
-	s.cfg.Logf("job %s running (%s)", j.ID, spec.Kind)
+	env.log.Info("job running")
 	result, err := runSpec(ctx, spec, env)
 	cancel()
 
@@ -293,8 +358,8 @@ func (s *Server) runJob(j *Job) {
 			j.Started = time.Time{}
 			j.cancel = nil
 			s.persistLocked(j)
-			s.cfg.Logf("job %s checkpointed for resume (%d/%d units)",
-				j.ID, len(j.Units), j.Spec.numUnits())
+			s.jobLog(j).Info("job checkpointed for resume",
+				"units_done", len(j.Units), "units_total", j.Spec.numUnits())
 		} else {
 			s.finishLocked(j, StateCancelled, "cancelled", nil)
 		}
@@ -319,14 +384,11 @@ func (s *Server) finishLocked(j *Job, st State, msg string, result []byte) {
 	s.persistLocked(j)
 	j.stream.publish(stateEvent{Job: j.ID, Event: "state", State: st, Error: msg})
 	j.stream.closeStream()
-	s.cfg.Logf("job %s %s%s", j.ID, st, errSuffix(msg))
-}
-
-func errSuffix(msg string) string {
-	if msg == "" {
-		return ""
+	l := s.jobLog(j)
+	if msg != "" {
+		l = l.With("error", msg)
 	}
-	return ": " + msg
+	l.Info("job finished", "state", st)
 }
 
 // persistLocked checkpoints the job if persistence is on. Caller
@@ -336,7 +398,7 @@ func (s *Server) persistLocked(j *Job) {
 		return
 	}
 	if err := writeCheckpoint(s.cfg.CheckpointDir, j); err != nil {
-		s.cfg.Logf("checkpoint %s: %v", j.ID, err)
+		s.jobLog(j).Warn("checkpoint write failed", "error", err)
 	}
 }
 
@@ -355,7 +417,7 @@ func (s *Server) Drain(ctx context.Context) {
 	s.draining = true
 	close(s.queue)
 	s.mu.Unlock()
-	s.cfg.Logf("draining: admission closed, waiting up to %v for running jobs", s.cfg.DrainGrace)
+	s.log.Info("draining: admission closed", "grace", s.cfg.DrainGrace)
 
 	done := make(chan struct{})
 	go func() {
@@ -373,7 +435,7 @@ func (s *Server) Drain(ctx context.Context) {
 		s.cancelJobs()
 		<-done
 	}
-	s.cfg.Logf("drained")
+	s.log.Info("drained")
 }
 
 // Draining reports whether the server has begun shutting down.

@@ -101,6 +101,42 @@ func TestServeSmoke(t *testing.T) {
 		}
 	}
 
+	// The composer path: the dashboard submits through /api/v1/jobs.
+	// The accepted job must land in the same table and produce the
+	// same CLI-identical bytes through the versioned result route.
+	{
+		raw, err := os.ReadFile(filepath.Join("testdata", "spec_sim.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post("http://"+d1.addr+"/api/v1/jobs", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("composer submit: HTTP %d: %s", resp.StatusCode, b)
+		}
+		var st Status
+		if err := json.Unmarshal(b, &st); err != nil {
+			t.Fatal(err)
+		}
+		end := smokeWait(t, d1.addr, st.ID, 2*time.Minute)
+		if end.State != StateDone {
+			t.Fatalf("composer job ended %s: %s", end.State, end.Error)
+		}
+		got := smokeGet(t, d1.addr, "/api/v1/jobs/"+st.ID+"/result")
+		if !bytes.Equal(got, cliOut["spec_sim.json"]) {
+			t.Errorf("composer-path result differs from CLI output\n got: %s\nwant: %s", got, cliOut["spec_sim.json"])
+		}
+	}
+
+	// The embedded dashboard is served from the same binary.
+	if idx := smokeGet(t, d1.addr, "/"); !bytes.Contains(idx, []byte("<title>spsd")) {
+		t.Errorf("daemon / does not serve the embedded dashboard:\n%.200s", idx)
+	}
+
 	// Load test: 32 clients, mixed kinds, zero errors required (spsload
 	// exits nonzero on any), latency percentiles reported.
 	loadOut := run("spsload", "-addr", d1.addr, "-clients", "32", "-jobs", "32")
@@ -179,7 +215,8 @@ func startDaemon(t *testing.T, bin, work, name, ckpt string) *daemon {
 	addrFile := filepath.Join(work, name+".addr")
 	cmd := exec.Command(filepath.Join(bin, "spsd"),
 		"-addr", "127.0.0.1:0", "-addr-file", addrFile,
-		"-checkpoint-dir", ckpt, "-workers", "2", "-drain-grace", "100ms")
+		"-checkpoint-dir", ckpt, "-workers", "2", "-drain-grace", "100ms",
+		"-ui")
 	stderr := &bytes.Buffer{}
 	cmd.Stderr = stderr
 	if err := cmd.Start(); err != nil {

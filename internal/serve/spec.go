@@ -124,6 +124,16 @@ type SimSpec struct {
 	Stacks    int      `json:"stacks,omitempty"`  // HBM stacks (4 = reference)
 	Refresh   bool     `json:"refresh,omitempty"` // REFsb refresh scheduler
 	Sched     string   `json:"sched,omitempty"`   // event queue: wheel (default) | heap
+
+	// TraceSample, when positive, records a packet-lifecycle Chrome
+	// trace (one packet in N) retrievable from the trace endpoint —
+	// the daemon's counterpart of spssim -trace -trace-sample N.
+	TraceSample int `json:"trace_sample,omitempty"`
+	// CoreProbes adds the event-core telemetry probes (timing-wheel
+	// cascades/overflow, pool hit/grow/recycle counters) to the job's
+	// series — spssim -core-probes. Off by default so the default
+	// series shape is unchanged.
+	CoreProbes bool `json:"core_probes,omitempty"`
 }
 
 // Normalize fills unset fields with the cmd/spssim flag defaults.
@@ -168,6 +178,9 @@ func (s *SimSpec) Check() error {
 	}
 	if s.Stacks < 1 {
 		return fmt.Errorf("sim: stacks must be at least 1, got %d", s.Stacks)
+	}
+	if s.TraceSample < 0 {
+		return fmt.Errorf("sim: trace_sample must not be negative, got %d", s.TraceSample)
 	}
 	cfg, err := s.Config()
 	if err != nil {

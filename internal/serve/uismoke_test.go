@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestUISmoke is the end-to-end control-plane smoke behind `make
+// ui-smoke`: it builds and boots a real `spsd -ui` process, fetches
+// the embedded dashboard and every static asset it references, walks
+// the full /api/v1 surface against a live job, and validates each
+// JSON payload's shape. Gated behind SPSD_UI_SMOKE=1 so plain
+// `go test ./...` stays fast.
+func TestUISmoke(t *testing.T) {
+	if os.Getenv("SPSD_UI_SMOKE") == "" {
+		t.Skip("set SPSD_UI_SMOKE=1 (make ui-smoke) to run the control-plane smoke")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := t.TempDir()
+	work := t.TempDir()
+	build := exec.Command("go", "build", "-o", bin, "./cmd/spsd")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	d := startDaemon(t, bin, work, "ui", filepath.Join(work, "ckpt"))
+
+	// The dashboard and every asset it loads come out of the binary.
+	index := smokeGet(t, d.addr, "/")
+	if !bytes.Contains(index, []byte("<title>spsd")) {
+		t.Fatalf("/ is not the dashboard:\n%.200s", index)
+	}
+	for asset, marker := range map[string]string{
+		"/style.css":   "--bg",
+		"/app.js":      "./api.js",
+		"/api.js":      "/api/v1",
+		"/chart.js":    "PALETTE",
+		"/composer.js": "SCHEMAS",
+	} {
+		if body := smokeGet(t, d.addr, asset); !bytes.Contains(body, []byte(marker)) {
+			t.Errorf("asset %s served without expected content %q", asset, marker)
+		}
+	}
+
+	// Run one traced sim job through the composer path so every
+	// artifact endpoint has something to serve.
+	spec := []byte(`{"kind":"sim","sim":{"load":0.5,"horizon_ps":5000000,"seed":3,"trace_sample":64}}`)
+	resp, err := http.Post("http://"+d.addr+"/api/v1/jobs", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, b)
+	}
+	var st Status
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatal(err)
+	}
+	if end := smokeWait(t, d.addr, st.ID, 2*time.Minute); end.State != StateDone {
+		t.Fatalf("job ended %s: %s", end.State, end.Error)
+	}
+
+	// Every JSON endpoint decodes into its wire type with sane fields.
+	var list JobList
+	mustDecode(t, smokeGet(t, d.addr, "/api/v1/jobs?state=done&limit=10"), &list)
+	if list.Total != 1 || len(list.Jobs) != 1 || list.Jobs[0].ID != st.ID {
+		t.Errorf("job list = %+v", list)
+	}
+	var detail JobDetail
+	mustDecode(t, smokeGet(t, d.addr, "/api/v1/jobs/"+st.ID), &detail)
+	if detail.State != StateDone || !detail.HasTrace || len(detail.SeriesPoints) != 1 {
+		t.Errorf("job detail = %+v", detail)
+	}
+	var info ServerInfo
+	mustDecode(t, smokeGet(t, d.addr, "/api/v1/server"), &info)
+	if info.Service != "spsd" || info.Geometry.Ribbons != 16 || info.Core.Runs == 0 {
+		t.Errorf("server info = %+v", info)
+	}
+	var queue QueueInfo
+	mustDecode(t, smokeGet(t, d.addr, "/api/v1/queue"), &queue)
+	if queue.Workers != 2 || queue.Running == nil || queue.Queued == nil {
+		t.Errorf("queue info = %+v", queue)
+	}
+
+	// Artifacts: series (JSON and CSV), trace, result, stream backlog.
+	var series struct {
+		Schema  string            `json:"schema"`
+		Probes  []string          `json:"probes"`
+		Samples []json.RawMessage `json:"samples"`
+	}
+	mustDecode(t, smokeGet(t, d.addr, "/api/v1/jobs/"+st.ID+"/series"), &series)
+	if series.Schema != "pbrouter-telemetry/1" || len(series.Probes) == 0 || len(series.Samples) == 0 {
+		t.Errorf("series = schema %q, %d probes, %d samples", series.Schema, len(series.Probes), len(series.Samples))
+	}
+	if csv := smokeGet(t, d.addr, "/api/v1/jobs/"+st.ID+"/series?format=csv"); !bytes.HasPrefix(csv, []byte("time_ps,")) {
+		t.Errorf("series CSV header:\n%.120s", csv)
+	}
+	var trace struct {
+		Events []json.RawMessage `json:"traceEvents"`
+	}
+	mustDecode(t, smokeGet(t, d.addr, "/api/v1/jobs/"+st.ID+"/trace"), &trace)
+	if len(trace.Events) == 0 {
+		t.Error("trace has no events")
+	}
+	var result struct {
+		Throughput float64 `json:"throughput"`
+	}
+	mustDecode(t, smokeGet(t, d.addr, "/api/v1/jobs/"+st.ID+"/result"), &result)
+	if result.Throughput <= 0 {
+		t.Errorf("result throughput = %v", result.Throughput)
+	}
+	stream := smokeGet(t, d.addr, "/api/v1/jobs/"+st.ID+"/stream")
+	for _, line := range strings.Split(strings.TrimSpace(string(stream)), "\n") {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("stream line %q: %v", line, err)
+		}
+	}
+
+	// Prometheus text: daemon and event-core families are both present.
+	metrics := smokeGet(t, d.addr, "/metrics")
+	for _, want := range []string{"spsd_up 1", "spsd_core_runs_total", "spsd_core_pool_ops_total", "spsd_core_barrier_epochs_total"} {
+		if !bytes.Contains(metrics, []byte(want)) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.cmd.Wait(); err != nil {
+		t.Fatalf("spsd exited uncleanly: %v\n%s", err, d.stderr.Bytes())
+	}
+}
+
+func mustDecode(t *testing.T, b []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(b, v); err != nil {
+		t.Fatalf("bad JSON %v: %.200s", err, b)
+	}
+}

@@ -83,6 +83,14 @@ type Scheduler struct {
 	pending int
 	algo    Algorithm
 
+	// Wheel internals accounting (stats.go): slot cascades performed,
+	// events moved by cascades, and events parked on the overflow
+	// list. All increments are off the hot pop path — cascades and
+	// overflow pushes are rare by construction.
+	cascades      uint64
+	cascadeEvents uint64
+	overflowed    uint64
+
 	// Arena: index-stable payload storage shared by both algorithms,
 	// recycled through free so the steady state allocates nothing.
 	arena []event

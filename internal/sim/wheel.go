@@ -55,6 +55,7 @@ func (s *Scheduler) wheelPush(idx int32) {
 	l := levelOf(t, s.now)
 	if l >= wheelLevels {
 		s.overflow = append(s.overflow, idx)
+		s.overflowed++
 		return
 	}
 	s.slotAppend(l, digit(t, l), idx)
@@ -200,10 +201,12 @@ func (s *Scheduler) wheelAdvance(at Time) {
 		if s.occ[l][slot>>6]&(1<<(slot&63)) == 0 {
 			continue
 		}
+		s.cascades++
 		for n := s.slotTake(l, slot); n != 0; {
 			next := s.arena[n-1].next
 			s.wheelPush(n - 1)
 			n = next
+			s.cascadeEvents++
 		}
 	}
 }

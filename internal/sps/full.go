@@ -2,7 +2,9 @@ package sps
 
 import (
 	"fmt"
+	"time"
 
+	"pbrouter/internal/corestats"
 	"pbrouter/internal/hbmswitch"
 	"pbrouter/internal/parallel"
 	"pbrouter/internal/sim"
@@ -266,12 +268,23 @@ func (r *Router) RunSharded(flows []Flow, kind traffic.ArrivalKind, sizes traffi
 		if e == epochs {
 			t = horizon
 		}
-		if _, err := parallel.Map(workers, len(preps), func(h int) (struct{}, error) {
+		// Each shard records when it reached the barrier; the summed gap
+		// to the join is the epoch's wall-clock skew (how long shards
+		// idled waiting for the slowest one). Pure monitoring: it feeds
+		// corestats only, never the deterministic outputs.
+		done, err := parallel.Map(workers, len(preps), func(h int) (time.Time, error) {
 			preps[h].sw.AdvanceTo(t)
-			return struct{}{}, nil
-		}); err != nil {
+			return time.Now(), nil
+		})
+		if err != nil {
 			return nil, nil, err
 		}
+		join := time.Now()
+		var wait time.Duration
+		for _, d := range done {
+			wait += join.Sub(d)
+		}
+		corestats.Default.RecordBarrier(1, uint64(wait.Nanoseconds()))
 		if progress != nil {
 			progress(e, epochs)
 		}

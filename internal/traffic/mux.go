@@ -66,6 +66,16 @@ func (m *Mux) Recycle(p *packet.Packet) {
 	}
 }
 
+// PoolStats snapshots the shared packet pool's counters (zero when
+// the sources do not share one pool). It feeds the core-internals
+// telemetry probes and the daemon's /metrics.
+func (m *Mux) PoolStats() packet.PoolStats {
+	if m.pool == nil {
+		return packet.PoolStats{}
+	}
+	return m.pool.Stats()
+}
+
 // Next returns the globally next packet by arrival time, or nil when
 // every source is idle forever.
 func (m *Mux) Next() (*packet.Packet, sim.Time) {

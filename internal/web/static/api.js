@@ -1,0 +1,98 @@
+// Thin fetch wrappers over the daemon's versioned read-side API.
+// Every call maps 1:1 onto an /api/v1 endpoint; the dashboard holds
+// no state the daemon doesn't serve.
+
+const PREFIX = "/api/v1";
+
+async function getJSON(path) {
+  const res = await fetch(PREFIX + path);
+  const body = await res.json();
+  if (!res.ok) throw new Error(body.error || res.statusText);
+  return body;
+}
+
+export function listJobs({ state = "", kind = "", offset = 0, limit = 50 } = {}) {
+  const q = new URLSearchParams();
+  if (state) q.set("state", state);
+  if (kind) q.set("kind", kind);
+  if (offset) q.set("offset", String(offset));
+  if (limit) q.set("limit", String(limit));
+  const qs = q.toString();
+  return getJSON("/jobs" + (qs ? "?" + qs : ""));
+}
+
+export function jobDetail(id) {
+  return getJSON("/jobs/" + encodeURIComponent(id));
+}
+
+export function serverInfo() {
+  return getJSON("/server");
+}
+
+export function queueInfo() {
+  return getJSON("/queue");
+}
+
+export async function submitJob(spec) {
+  const res = await fetch(PREFIX + "/jobs", {
+    method: "POST",
+    headers: { "Content-Type": "application/json" },
+    body: JSON.stringify(spec),
+  });
+  const body = await res.json();
+  if (!res.ok) throw new Error(body.error || res.statusText);
+  return body;
+}
+
+export async function cancelJob(id) {
+  const res = await fetch(PREFIX + "/jobs/" + encodeURIComponent(id), { method: "DELETE" });
+  const body = await res.json();
+  if (!res.ok) throw new Error(body.error || res.statusText);
+  return body;
+}
+
+export function resultURL(id) {
+  return PREFIX + "/jobs/" + encodeURIComponent(id) + "/result";
+}
+
+export function traceURL(id) {
+  return PREFIX + "/jobs/" + encodeURIComponent(id) + "/trace";
+}
+
+export async function health() {
+  const res = await fetch("/healthz");
+  return res.json();
+}
+
+// followStream reads the job's NDJSON event stream — the daemon
+// replays the full backlog first, then follows live until the job is
+// terminal — invoking onEvent per parsed line. Returns an abort
+// function.
+export function followStream(id, onEvent, onEnd) {
+  const ctrl = new AbortController();
+  (async () => {
+    try {
+      const res = await fetch(PREFIX + "/jobs/" + encodeURIComponent(id) + "/stream", {
+        signal: ctrl.signal,
+      });
+      const reader = res.body.getReader();
+      const dec = new TextDecoder();
+      let buf = "";
+      for (;;) {
+        const { done, value } = await reader.read();
+        if (done) break;
+        buf += dec.decode(value, { stream: true });
+        let nl;
+        while ((nl = buf.indexOf("\n")) >= 0) {
+          const line = buf.slice(0, nl).trim();
+          buf = buf.slice(nl + 1);
+          if (line) onEvent(JSON.parse(line));
+        }
+      }
+      if (onEnd) onEnd(null);
+    } catch (err) {
+      if (onEnd && err.name !== "AbortError") onEnd(err);
+    }
+  })();
+  return () => ctrl.abort();
+}

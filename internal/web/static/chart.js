@@ -1,0 +1,85 @@
+// Minimal dependency-free canvas line chart for telemetry series:
+// x = simulated time (ps), y = probe values, one polyline per column.
+
+const PALETTE = [
+  "#4fb4ff", "#51c78a", "#e4b04a", "#e46a6a", "#b07fe4",
+  "#5ad4d4", "#e487c4", "#a8c457", "#7f93e4", "#d49b5a",
+];
+
+export function color(i) {
+  return PALETTE[i % PALETTE.length];
+}
+
+// draw renders series = [{name, points: [[t, v], ...]}, ...] onto the
+// canvas and returns legend entries [{name, color}].
+export function draw(canvas, series) {
+  const ctx = canvas.getContext("2d");
+  const W = canvas.width, H = canvas.height;
+  const padL = 56, padR = 10, padT = 10, padB = 24;
+  ctx.clearRect(0, 0, W, H);
+  ctx.font = "10px monospace";
+
+  const all = series.flatMap((s) => s.points);
+  if (!all.length) {
+    ctx.fillStyle = "#7c8799";
+    ctx.fillText("no samples for this selection", padL, H / 2);
+    return [];
+  }
+  let tMin = Infinity, tMax = -Infinity, vMin = 0, vMax = -Infinity;
+  for (const [t, v] of all) {
+    if (t < tMin) tMin = t;
+    if (t > tMax) tMax = t;
+    if (v < vMin) vMin = v;
+    if (v > vMax) vMax = v;
+  }
+  if (tMax === tMin) tMax = tMin + 1;
+  if (vMax <= vMin) vMax = vMin + 1;
+  const x = (t) => padL + ((t - tMin) / (tMax - tMin)) * (W - padL - padR);
+  const y = (v) => H - padB - ((v - vMin) / (vMax - vMin)) * (H - padT - padB);
+
+  // Axes and gridlines.
+  ctx.strokeStyle = "#2a3240";
+  ctx.fillStyle = "#7c8799";
+  for (let g = 0; g <= 4; g++) {
+    const v = vMin + ((vMax - vMin) * g) / 4;
+    const yy = y(v);
+    ctx.beginPath();
+    ctx.moveTo(padL, yy);
+    ctx.lineTo(W - padR, yy);
+    ctx.stroke();
+    ctx.fillText(fmt(v), 4, yy + 3);
+  }
+  for (let g = 0; g <= 4; g++) {
+    const t = tMin + ((tMax - tMin) * g) / 4;
+    ctx.fillText(fmtTime(t), x(t) - 12, H - 8);
+  }
+
+  const legend = [];
+  series.forEach((s, i) => {
+    if (!s.points.length) return;
+    ctx.strokeStyle = color(i);
+    ctx.lineWidth = 1.4;
+    ctx.beginPath();
+    s.points.forEach(([t, v], k) => {
+      if (k === 0) ctx.moveTo(x(t), y(v));
+      else ctx.lineTo(x(t), y(v));
+    });
+    ctx.stroke();
+    legend.push({ name: s.name, color: color(i) });
+  });
+  return legend;
+}
+
+function fmt(v) {
+  const a = Math.abs(v);
+  if (a >= 1e6) return (v / 1e6).toFixed(1) + "M";
+  if (a >= 1e3) return (v / 1e3).toFixed(1) + "k";
+  if (a > 0 && a < 0.01) return v.toExponential(1);
+  return a >= 10 ? v.toFixed(0) : v.toFixed(2);
+}
+
+function fmtTime(ps) {
+  if (ps >= 1e6) return (ps / 1e6).toFixed(1) + "µs";
+  if (ps >= 1e3) return (ps / 1e3).toFixed(1) + "ns";
+  return ps.toFixed(0) + "ps";
+}

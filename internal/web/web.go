@@ -1,0 +1,26 @@
+// Package web embeds the spsd control-plane dashboard: a no-build
+// vanilla-JS single page served from the daemon binary itself
+// (go:embed), so `spsd -ui` is one static binary with a browser
+// control plane. The page is strictly a read/submit layer over the
+// versioned /api/v1 API — it renders what the daemon computes and
+// submits specs through the same POST /jobs path every other client
+// uses; no simulation logic lives in the frontend.
+package web
+
+import (
+	"embed"
+	"io/fs"
+)
+
+//go:embed static
+var static embed.FS
+
+// Assets returns the dashboard's file tree rooted at the static
+// directory, so index.html serves at /.
+func Assets() fs.FS {
+	sub, err := fs.Sub(static, "static")
+	if err != nil {
+		panic("web: embedded assets missing: " + err.Error())
+	}
+	return sub
+}

@@ -1,0 +1,53 @@
+package web
+
+import (
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+// TestAssetsComplete pins the embedded file set the dashboard needs:
+// a missing file here would otherwise surface only as a browser 404.
+func TestAssetsComplete(t *testing.T) {
+	assets := Assets()
+	for _, name := range []string{
+		"index.html", "style.css", "app.js", "api.js", "chart.js", "composer.js",
+	} {
+		b, err := fs.ReadFile(assets, name)
+		if err != nil {
+			t.Errorf("missing embedded asset %s: %v", name, err)
+			continue
+		}
+		if len(b) == 0 {
+			t.Errorf("embedded asset %s is empty", name)
+		}
+	}
+}
+
+// TestIndexReferencesOnlyEmbeddedAssets checks every local script/css
+// reference in index.html resolves inside the embedded tree.
+func TestIndexReferencesOnlyEmbeddedAssets(t *testing.T) {
+	assets := Assets()
+	idx, err := fs.ReadFile(assets, "index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range []string{`href="style.css"`, `src="app.js"`} {
+		if !strings.Contains(string(idx), ref) {
+			t.Errorf("index.html lost reference %s", ref)
+		}
+	}
+	// Modules imported by app.js must exist too.
+	app, err := fs.ReadFile(assets, "app.js")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mod := range []string{"./api.js", "./chart.js", "./composer.js"} {
+		if !strings.Contains(string(app), mod) {
+			t.Errorf("app.js lost import %s", mod)
+		}
+		if _, err := fs.ReadFile(assets, strings.TrimPrefix(mod, "./")); err != nil {
+			t.Errorf("imported module %s not embedded: %v", mod, err)
+		}
+	}
+}
