@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-save bench-smoke bench-diff repro fuzz fuzz-smoke validate resil serve-smoke ui-smoke fmt vet clean figures
+.PHONY: all build test race cover bench bench-save bench-smoke bench-diff repro fuzz fuzz-smoke validate resil serve-smoke ui-smoke fleet-smoke fmt vet clean figures
 
 all: build vet test race
 
@@ -64,6 +64,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzFrameAssembler -fuzztime=$(FUZZTIME) ./internal/packet/
 	$(GO) test -fuzz=FuzzTraceReader -fuzztime=$(FUZZTIME) ./internal/traffic/
 	$(GO) test -fuzz=FuzzStaggeredInterleave -fuzztime=$(FUZZTIME) ./internal/hbm/
+	$(GO) test -fuzz=FuzzCheckpointDecode -fuzztime=$(FUZZTIME) ./internal/serve/
+	$(GO) test -fuzz=FuzzUnitEvent -fuzztime=$(FUZZTIME) ./internal/serve/
 
 # Short fuzzing pass over every target — cheap enough for CI.
 fuzz-smoke:
@@ -99,6 +101,14 @@ serve-smoke:
 # docs/dashboard.md.
 ui-smoke:
 	SPSD_UI_SMOKE=1 $(GO) test ./internal/serve -run TestUISmoke -count=1 -v
+
+# Fleet smoke: build the real spsd, spsfleet, and spsload binaries,
+# boot three backends plus the coordinator, drive a spsload campaign
+# through it, SIGKILL one backend mid-run, and require zero errors —
+# the coordinator must retry every lost unit on the survivors. See
+# docs/fleet.md.
+fleet-smoke:
+	SPSFLEET_SMOKE=1 $(GO) test ./internal/fleet -run TestFleetSmoke -count=1 -v
 
 fmt:
 	gofmt -w .

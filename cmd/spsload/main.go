@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"pbrouter/internal/cli"
+	"pbrouter/internal/fleet"
 	"pbrouter/internal/resilience"
 	"pbrouter/internal/serve"
 	"pbrouter/internal/sim"
@@ -34,13 +35,14 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "localhost:9090", "daemon address (host:port)")
-		clients = flag.Int("clients", 8, "concurrent clients")
-		jobs    = flag.Int("jobs", 32, "total jobs to submit")
-		seed    = flag.Uint64("seed", 1, "base seed; job i runs with seed+i")
-		kinds   = flag.String("kinds", "sim,sweep,validate,resilience", "comma-separated job kinds to mix")
-		poll    = flag.Duration("poll", 50*time.Millisecond, "status poll interval")
-		timeout = flag.Duration("timeout", 2*time.Minute, "per-job completion timeout")
+		addr     = flag.String("addr", "localhost:9090", "daemon address (host:port)")
+		clients  = flag.Int("clients", 8, "concurrent clients")
+		jobs     = flag.Int("jobs", 32, "total jobs to submit")
+		seed     = flag.Uint64("seed", 1, "base seed; job i runs with seed+i")
+		kinds    = flag.String("kinds", "sim,sweep,validate,resilience", "comma-separated job kinds to mix")
+		poll     = flag.Duration("poll", 50*time.Millisecond, "status poll interval")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "per-job completion timeout")
+		fleetRpt = flag.Bool("fleet", false, "print the coordinator's /fleet backend report after the run (spsfleet targets only)")
 	)
 	flag.Parse()
 	cli.Check(
@@ -100,7 +102,45 @@ func main() {
 	if len(latencies) > 0 {
 		fmt.Printf("submit-to-complete latency: p50 %.3fs  p95 %.3fs  p99 %.3fs\n", q[0], q[1], q[2])
 	}
+	if *fleetRpt {
+		if err := printFleetReport(base); err != nil {
+			fmt.Fprintf(os.Stderr, "fleet report: %v\n", err)
+			errs.Add(1)
+		}
+	}
 	cli.Exit(cli.Outcome{Violations: int(errs.Load())})
+}
+
+// printFleetReport fetches and prints the coordinator's /fleet
+// backend report — dispatch counts, health, and latency per backend.
+func printFleetReport(base string) error {
+	resp, err := http.Get(base + "/fleet")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
+	}
+	var info fleet.Info
+	if err := json.Unmarshal(b, &info); err != nil {
+		return err
+	}
+	fmt.Printf("fleet: scheduler %s, %d retries, %d duplicate units\n",
+		info.Scheduler, info.UnitRetries, info.DuplicateUnits)
+	for _, be := range info.Backends {
+		state := "up"
+		if !be.Alive {
+			state = "down"
+		}
+		fmt.Printf("  %-28s %-4s picks %-5d ok %-5d err %-4d ewma %.3fs\n",
+			be.URL, state, be.Picks, be.UnitsOK, be.UnitsErr, be.LatencyEWMASeconds)
+	}
+	return nil
 }
 
 // parseKinds parses the -kinds mix.

@@ -1,0 +1,199 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pbrouter/internal/fleet/chaostest"
+	"pbrouter/internal/serve"
+)
+
+// newFlakyBackend starts a real spsd behind a chaostest proxy.
+func newFlakyBackend(t *testing.T) (*chaostest.Proxy, *httptest.Server) {
+	t.Helper()
+	srv, err := serve.New(serve.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	proxy := chaostest.New(srv.Handler())
+	ts := httptest.NewServer(proxy)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Drain(context.Background())
+	})
+	return proxy, ts
+}
+
+// chaosFleet builds a coordinator tuned for fault injection: short
+// idle timeout (stall detection), fast retries, fast health probes.
+func chaosFleet(t *testing.T, backends ...string) *Coordinator {
+	t.Helper()
+	c, err := New(Config{
+		Backends:        backends,
+		Scheduler:       SchedRoundRobin,
+		UnitAttempts:    12,
+		RetryBackoff:    5 * time.Millisecond,
+		UnitIdleTimeout: 700 * time.Millisecond,
+		HealthInterval:  25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	t.Cleanup(func() { c.Drain(context.Background()) })
+	return c
+}
+
+// TestChaosSingleBackendSurvivesFaults injects every transport fault
+// kind — connection kill, silent stall, mid-line truncation — into
+// the only backend. Retries on the (revived) backend must complete
+// the job byte-identical to a clean run, and no unit may execute
+// twice on the backend.
+func TestChaosSingleBackendSurvivesFaults(t *testing.T) {
+	spec := quickSpecs()["resilience"] // 3 units
+	_, want := singleNode(t, spec)
+
+	proxy, ts := newFlakyBackend(t)
+	proxy.Schedule(chaostest.Kill, chaostest.Stall, chaostest.Truncate)
+	c := chaosFleet(t, ts.URL)
+
+	st := awaitFleet(t, c, spec)
+	if st.State != serve.StateDone {
+		t.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+	got, _ := c.Result(st.ID)
+	if !bytes.Equal(got, want) {
+		t.Error("post-chaos fleet result differs from single node")
+	}
+	if n := proxy.Injected(); n != 3 {
+		t.Errorf("injected %d faults, want 3", n)
+	}
+	for u, n := range proxy.Forwarded() {
+		if n != 1 {
+			t.Errorf("unit %d ran %d times on the backend, want exactly once", u, n)
+		}
+	}
+	info := c.FleetInfo()
+	if info.DuplicateUnits != 0 {
+		t.Errorf("%d duplicate unit completions, want 0", info.DuplicateUnits)
+	}
+	if info.UnitRetries < 3 {
+		t.Errorf("%d retries recorded, want >= 3 (one per injected fault)", info.UnitRetries)
+	}
+}
+
+// TestChaosFailoverToSurvivor pins failover: with one flaky and one
+// clean backend, every faulted unit is retried on the survivor and
+// the job completes byte-identical, with every unit completing
+// exactly once fleet-wide.
+func TestChaosFailoverToSurvivor(t *testing.T) {
+	spec := quickSpecs()["validate"] // 2 units
+	_, want := singleNode(t, spec)
+
+	proxy, flaky := newFlakyBackend(t)
+	// Every dispatch that reaches the flaky backend dies one way or
+	// another; only the survivor can complete units.
+	proxy.Schedule(chaostest.Kill, chaostest.Truncate, chaostest.Kill,
+		chaostest.Stall, chaostest.Kill, chaostest.Truncate)
+	clean := newBackend(t)
+	c := chaosFleet(t, flaky.URL, clean.URL)
+
+	st := awaitFleet(t, c, spec)
+	if st.State != serve.StateDone {
+		t.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+	got, _ := c.Result(st.ID)
+	if !bytes.Equal(got, want) {
+		t.Error("post-failover fleet result differs from single node")
+	}
+	info := c.FleetInfo()
+	if info.DuplicateUnits != 0 {
+		t.Errorf("%d duplicate unit completions, want 0", info.DuplicateUnits)
+	}
+	totalOK := 0
+	for _, b := range info.Backends {
+		totalOK += b.UnitsOK
+	}
+	if n := spec.UnitCount(); totalOK != n {
+		t.Errorf("%d successful unit dispatches fleet-wide, want %d — a unit ran twice", totalOK, n)
+	}
+	for u, n := range proxy.Forwarded() {
+		if n > 1 {
+			t.Errorf("unit %d ran %d times on the flaky backend", u, n)
+		}
+	}
+}
+
+// TestChaosRemoteErrorFailsFast pins the retry boundary: a backend-
+// reported error event is the unit's own deterministic verdict, so
+// the job fails immediately without burning retries on the survivors.
+func TestChaosRemoteErrorFailsFast(t *testing.T) {
+	spec := quickSpecs()["sim"] // 1 unit
+	proxy, ts := newFlakyBackend(t)
+	proxy.Schedule(chaostest.ErrorEvent)
+	clean := newBackend(t)
+	c := chaosFleet(t, ts.URL, clean.URL)
+
+	st := awaitFleet(t, c, spec)
+	if st.State != serve.StateFailed {
+		t.Fatalf("job ended %s, want failed", st.State)
+	}
+	if !strings.Contains(st.Error, "injected deterministic failure") {
+		t.Errorf("job error %q does not carry the backend's message", st.Error)
+	}
+	info := c.FleetInfo()
+	if info.UnitRetries != 0 {
+		t.Errorf("%d retries after a deterministic backend error, want 0", info.UnitRetries)
+	}
+	// The unit must not have been re-run on the survivor.
+	for _, b := range info.Backends {
+		if b.UnitsOK != 0 {
+			t.Errorf("backend %s completed %d units after a fail-fast error", b.URL, b.UnitsOK)
+		}
+	}
+}
+
+// TestChaosAllSchedulersSurvive runs the kill fault under every
+// scheduler policy — failover must be policy-independent.
+func TestChaosAllSchedulersSurvive(t *testing.T) {
+	spec := quickSpecs()["validate"]
+	_, want := singleNode(t, spec)
+	for _, name := range SchedulerNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			proxy, flaky := newFlakyBackend(t)
+			proxy.Schedule(chaostest.Kill, chaostest.Kill)
+			clean := newBackend(t)
+			c, err := New(Config{
+				Backends:        []string{flaky.URL, clean.URL},
+				Scheduler:       name,
+				Seed:            7,
+				RetryBackoff:    5 * time.Millisecond,
+				UnitIdleTimeout: 700 * time.Millisecond,
+				HealthInterval:  25 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Start()
+			t.Cleanup(func() { c.Drain(context.Background()) })
+			st := awaitFleet(t, c, spec)
+			if st.State != serve.StateDone {
+				t.Fatalf("job ended %s: %s", st.State, st.Error)
+			}
+			got, _ := c.Result(st.ID)
+			if !bytes.Equal(got, want) {
+				t.Errorf("scheduler %s: post-chaos result differs from single node", name)
+			}
+			if d := c.FleetInfo().DuplicateUnits; d != 0 {
+				t.Errorf("scheduler %s: %d duplicate units", name, d)
+			}
+		})
+	}
+}

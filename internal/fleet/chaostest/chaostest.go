@@ -1,0 +1,189 @@
+// Package chaostest provides a fault-injecting proxy for fleet
+// tests: an http.Handler that fronts a real spsd backend and, on a
+// deterministic schedule, makes individual /units dispatches fail the
+// way real backends fail — the connection dies mid-stream, the stream
+// stalls silently, or the NDJSON is truncated before the terminal
+// event. Faulted dispatches never reach the backend, so a test can
+// assert that no unit was executed twice by counting what the proxy
+// forwarded.
+package chaostest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// Fault is one scheduled /units failure mode.
+type Fault int
+
+const (
+	// None forwards the request to the backend untouched.
+	None Fault = iota
+	// Kill aborts the connection mid-stream: the client sees the
+	// transport die after the start event, as if the backend process
+	// was SIGKILLed.
+	Kill
+	// Stall opens the stream, sends the start event, then goes silent
+	// without heartbeats until the client gives up — a wedged backend.
+	Stall
+	// Truncate ends the stream mid-line, cutting the NDJSON before any
+	// terminal event — a backend that died while flushing.
+	Truncate
+	// ErrorEvent completes the stream with a backend-reported error
+	// event — a healthy backend whose unit deterministically failed.
+	// Unlike the transport faults, this must NOT be retried.
+	ErrorEvent
+)
+
+// String names the fault for test output.
+func (f Fault) String() string {
+	switch f {
+	case None:
+		return "none"
+	case Kill:
+		return "kill"
+	case Stall:
+		return "stall"
+	case Truncate:
+		return "truncate"
+	case ErrorEvent:
+		return "error-event"
+	default:
+		return fmt.Sprintf("fault(%d)", int(f))
+	}
+}
+
+// Proxy fronts a backend handler and injects scheduled faults into
+// POST /units. All other routes (health probes, job API) always pass
+// through, so the coordinator's prober keeps seeing a live backend —
+// the faults look like per-dispatch failures, the hardest case for
+// failover logic.
+type Proxy struct {
+	backend http.Handler
+
+	mu        sync.Mutex
+	schedule  []Fault
+	injected  int
+	forwarded map[int]int // unit number → times actually run on the backend
+}
+
+// New wraps a backend handler. With an empty schedule the proxy is
+// transparent.
+func New(backend http.Handler) *Proxy {
+	return &Proxy{backend: backend, forwarded: make(map[int]int)}
+}
+
+// Schedule appends faults, consumed one per /units request in order.
+// Requests beyond the schedule pass through.
+func (p *Proxy) Schedule(faults ...Fault) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.schedule = append(p.schedule, faults...)
+}
+
+// Injected reports how many faults have fired.
+func (p *Proxy) Injected() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.injected
+}
+
+// Forwarded reports how many times each unit number actually ran on
+// the backend (faulted dispatches never do).
+func (p *Proxy) Forwarded() map[int]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[int]int, len(p.forwarded))
+	for u, n := range p.forwarded {
+		out[u] = n
+	}
+	return out
+}
+
+// nextFault pops the next scheduled fault for a /units request.
+func (p *Proxy) nextFault() Fault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.schedule) == 0 {
+		return None
+	}
+	f := p.schedule[0]
+	p.schedule = p.schedule[1:]
+	if f != None {
+		p.injected++
+	}
+	return f
+}
+
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost || r.URL.Path != "/units" {
+		p.backend.ServeHTTP(w, r)
+		return
+	}
+	switch f := p.nextFault(); f {
+	case Kill:
+		p.openStream(w)
+		// Abort the connection without a response trailer — the client's
+		// read fails mid-body exactly as if the process died.
+		panic(http.ErrAbortHandler)
+	case Stall:
+		p.openStream(w)
+		<-r.Context().Done()
+		return
+	case Truncate:
+		p.openStream(w)
+		// A terminal event cut mid-line: no trailing newline, invalid
+		// JSON, stream closes. The client must treat this as truncation,
+		// not as a result.
+		w.Write([]byte(`{"event":"unit_result","unit":0,"payload":"eyJ`))
+		if fl, ok := w.(http.Flusher); ok {
+			fl.Flush()
+		}
+		return
+	case ErrorEvent:
+		p.openStream(w)
+		w.Write([]byte(`{"event":"error","error":"injected deterministic failure"}` + "\n"))
+		if fl, ok := w.(http.Flusher); ok {
+			fl.Flush()
+		}
+		return
+	default:
+		p.countForward(r)
+		p.backend.ServeHTTP(w, r)
+	}
+}
+
+// openStream writes the headers and a plausible start event so the
+// fault hits after the client has committed to reading the stream.
+func (p *Proxy) openStream(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte(`{"event":"start","unit":0}` + "\n"))
+	if fl, ok := w.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// countForward records which unit a passed-through request runs,
+// restoring the body for the backend.
+func (p *Proxy) countForward(r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return
+	}
+	r.Body.Close()
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	var req struct {
+		Unit int `json:"unit"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return
+	}
+	p.mu.Lock()
+	p.forwarded[req.Unit]++
+	p.mu.Unlock()
+}

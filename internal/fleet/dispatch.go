@@ -1,0 +1,255 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"pbrouter/internal/serve"
+)
+
+// runJob executes one dequeued job: dispatch every pending unit over
+// the fleet, then assemble the payloads through the same serializer
+// paths a single-node run uses — so the result bytes are identical.
+func (c *Coordinator) runJob(j *Job) {
+	c.mu.Lock()
+	if c.draining || j.State != serve.StateQueued {
+		c.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(c.baseCtx)
+	j.State = serve.StateRunning
+	j.Started = time.Now()
+	j.cancel = cancel
+	var pending []int
+	for u, payload := range j.units {
+		if payload == nil {
+			pending = append(pending, u)
+		}
+	}
+	c.running++
+	c.mu.Unlock()
+
+	j.stream.publish(stateEvent{Job: j.ID, Event: "state", State: serve.StateRunning})
+	c.jobLog(j).Info("job running", "units_pending", len(pending))
+	err := c.runUnits(ctx, j, pending)
+	cancel()
+
+	var result []byte
+	if err == nil {
+		c.mu.Lock()
+		units := append([]json.RawMessage(nil), j.units...)
+		c.mu.Unlock()
+		result, err = serve.AssembleUnits(j.Spec, units)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.running--
+	var found *serve.FoundError
+	switch {
+	case err == nil:
+		c.finishLocked(j, serve.StateDone, "", result)
+	case errors.As(err, &found):
+		c.finishLocked(j, serve.StateFailed, err.Error(), result)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		if c.draining {
+			// Completed units are checkpointed; the job resumes on restart.
+			j.State = serve.StateQueued
+			j.Started = time.Time{}
+			j.cancel = nil
+			c.persistLocked(j)
+			c.jobLog(j).Info("job checkpointed for resume",
+				"units_done", j.done, "units_total", j.Spec.UnitCount())
+		} else {
+			c.finishLocked(j, serve.StateCancelled, "cancelled", nil)
+		}
+	default:
+		c.finishLocked(j, serve.StateFailed, err.Error(), nil)
+	}
+}
+
+// runUnits fans the pending units over at most Fanout concurrent
+// dispatchers. The first terminal error cancels the rest.
+func (c *Coordinator) runUnits(ctx context.Context, j *Job, pending []int) error {
+	if len(pending) == 0 {
+		return ctx.Err()
+	}
+	fan := c.cfg.Fanout
+	if fan > len(pending) {
+		fan = len(pending)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	work := make(chan int)
+	go func() {
+		defer close(work)
+		for _, u := range pending {
+			select {
+			case work <- u:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	errc := make(chan error, fan)
+	done := make(chan struct{})
+	for i := 0; i < fan; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for u := range work {
+				if err := c.dispatchUnit(ctx, j, u); err != nil {
+					select {
+					case errc <- err:
+					default:
+					}
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < fan; i++ {
+		<-done
+	}
+	select {
+	case err := <-errc:
+		return err
+	default:
+	}
+	return ctx.Err()
+}
+
+// dispatchUnit runs one unit to completion: pick a live backend,
+// fetch the unit, and on transport failure retry on the survivors —
+// avoiding the backend that just failed when any alternative exists.
+// A backend-reported error is the job's own deterministic verdict and
+// fails fast without retries.
+func (c *Coordinator) dispatchUnit(ctx context.Context, j *Job, u int) error {
+	lastFailed := -1
+	noBackends := false
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.UnitAttempts; attempt++ {
+		if attempt > 0 {
+			wait := c.cfg.RetryBackoff
+			if noBackends {
+				// Nothing to dispatch to: give the health prober a full
+				// period to revive someone before burning the next attempt.
+				wait += c.cfg.HealthInterval
+			}
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		idx, url, ok := c.pickBackend(lastFailed)
+		if !ok {
+			lastFailed = -1
+			noBackends = true
+			lastErr = errors.New("no live backends")
+			continue
+		}
+		noBackends = false
+		start := time.Now()
+		payload, err := serve.FetchUnit(ctx, c.httpc, url, j.Spec, u, c.cfg.UnitIdleTimeout)
+		lat := time.Since(start).Seconds()
+		var remote *serve.RemoteUnitError
+		switch {
+		case err == nil:
+			c.completeUnit(j, u, idx, lat, payload)
+			return nil
+		case errors.As(err, &remote):
+			// The backend ran the unit and reported a deterministic
+			// failure; every backend would. Fail the job, not the backend.
+			c.settleUnit(idx, lat, false, false)
+			return err
+		case ctx.Err() != nil:
+			c.settleUnit(idx, lat, false, false)
+			return ctx.Err()
+		default:
+			// Transport failure: backend died, stalled, or truncated the
+			// stream. Down it (the prober revives it) and retry elsewhere.
+			c.settleUnit(idx, lat, false, true)
+			c.jobLog(j).Warn("unit dispatch failed, retrying",
+				"unit", u, "backend", url, "attempt", attempt+1, "error", err)
+			lastFailed = idx
+			lastErr = err
+		}
+	}
+	return fmt.Errorf("fleet: unit %d of %s failed after %d attempts: %w",
+		u, j.ID, c.cfg.UnitAttempts, lastErr)
+}
+
+// pickBackend asks the scheduler to choose among the live backends,
+// excluding the just-failed one when any alternative exists, and
+// reserves an inflight slot on the pick.
+func (c *Coordinator) pickBackend(exclude int) (idx int, url string, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cands := make([]BackendInfo, 0, len(c.backends))
+	for i, b := range c.backends {
+		if b.alive && i != exclude {
+			cands = append(cands, BackendInfo{Index: i, Inflight: b.inflight, Latency: b.latency})
+		}
+	}
+	if len(cands) == 0 && exclude >= 0 && c.backends[exclude].alive {
+		// The failed backend is the only live one left — use it.
+		b := c.backends[exclude]
+		cands = append(cands, BackendInfo{Index: exclude, Inflight: b.inflight, Latency: b.latency})
+	}
+	if len(cands) == 0 {
+		return 0, "", false
+	}
+	idx = c.sched.Pick(cands, c.rng)
+	b := c.backends[idx]
+	b.inflight++
+	b.picks++
+	return idx, b.url, true
+}
+
+// settleUnit releases a failed dispatch's inflight slot and tells the
+// scheduler; markDown also takes the backend out of rotation until
+// the health prober revives it.
+func (c *Coordinator) settleUnit(idx int, lat float64, ok, markDown bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := c.backends[idx]
+	b.inflight--
+	b.unitsErr++
+	if markDown {
+		b.alive = false
+		c.retries++
+	}
+	c.sched.Observe(idx, lat, ok)
+}
+
+// completeUnit records a successful dispatch: latency EWMA, scheduler
+// feedback, the payload itself (guarding against a late duplicate
+// from a retried unit), a checkpoint write, and progress events.
+func (c *Coordinator) completeUnit(j *Job, u, idx int, lat float64, payload []byte) {
+	c.mu.Lock()
+	b := c.backends[idx]
+	b.inflight--
+	b.unitsOK++
+	if b.latency == 0 {
+		b.latency = lat
+	} else {
+		b.latency = (1-ewmaAlpha)*b.latency + ewmaAlpha*lat
+	}
+	c.sched.Observe(idx, lat, true)
+	if j.units[u] != nil {
+		c.duplicates++
+		c.mu.Unlock()
+		return
+	}
+	j.units[u] = payload
+	j.done++
+	c.persistLocked(j)
+	done, total := j.done, j.Spec.UnitCount()
+	c.mu.Unlock()
+	j.stream.publish(unitStreamEvent{Job: j.ID, Event: "unit", Unit: done, Of: total})
+	j.stream.publish(progressEvent{Job: j.ID, Event: "progress", Done: done, Total: total})
+}

@@ -1,0 +1,243 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Pluggable dispatch schedulers, after the SwarmRoute comparison
+// harness's strategy set: Random and RoundRobin as the oblivious
+// baselines, PowerOfTwoChoices and LeastLatency as the load- and
+// latency-aware ones, and Adaptive as a pheromone-style policy that
+// senses both latency and failures. A scheduler only ever sees the
+// per-backend dispatch state (BackendInfo) and a seeded RNG, so a
+// dispatch sequence is a deterministic function of (policy, seed,
+// observation sequence) — the property the scheduler tests pin.
+
+// Scheduler names, as accepted by -sched and Config.Scheduler.
+const (
+	SchedRandom       = "random"
+	SchedRoundRobin   = "roundrobin"
+	SchedP2C          = "p2c"
+	SchedLeastLatency = "least-latency"
+	SchedAdaptive     = "adaptive"
+)
+
+// SchedulerNames lists every scheduler in canonical order.
+func SchedulerNames() []string {
+	return []string{SchedRandom, SchedRoundRobin, SchedP2C, SchedLeastLatency, SchedAdaptive}
+}
+
+// BackendInfo is what a scheduler sees about one live backend at pick
+// time.
+type BackendInfo struct {
+	Index    int     // stable fleet index
+	Inflight int     // units currently dispatched to it
+	Latency  float64 // unit-latency EWMA in seconds; 0 = no sample yet
+}
+
+// Scheduler picks a backend for each unit dispatch and hears about
+// every outcome. Implementations are not goroutine-safe; the
+// coordinator serializes all calls under its own lock.
+type Scheduler interface {
+	// Name returns the canonical scheduler name.
+	Name() string
+	// Pick chooses among the candidates (never empty) and returns the
+	// chosen backend's fleet Index.
+	Pick(cands []BackendInfo, rng *rand.Rand) int
+	// Observe reports a completed dispatch on backend index: its
+	// latency in seconds and whether it succeeded.
+	Observe(index int, latency float64, ok bool)
+}
+
+// NewScheduler builds the named scheduler.
+func NewScheduler(name string) (Scheduler, error) {
+	switch name {
+	case SchedRandom:
+		return &randomSched{}, nil
+	case SchedRoundRobin:
+		return &roundRobinSched{}, nil
+	case SchedP2C:
+		return &p2cSched{}, nil
+	case SchedLeastLatency:
+		return &leastLatencySched{}, nil
+	case SchedAdaptive:
+		return newAdaptiveSched(), nil
+	default:
+		return nil, fmt.Errorf("fleet: unknown scheduler %q (%s)",
+			name, strings.Join(SchedulerNames(), "|"))
+	}
+}
+
+// randomSched picks uniformly at random — the oblivious baseline.
+type randomSched struct{}
+
+func (*randomSched) Name() string               { return SchedRandom }
+func (*randomSched) Observe(int, float64, bool) {}
+func (*randomSched) Pick(c []BackendInfo, rng *rand.Rand) int {
+	return c[rng.Intn(len(c))].Index
+}
+
+// roundRobinSched cycles through the candidate list.
+type roundRobinSched struct{ next int }
+
+func (*roundRobinSched) Name() string               { return SchedRoundRobin }
+func (*roundRobinSched) Observe(int, float64, bool) {}
+func (s *roundRobinSched) Pick(c []BackendInfo, rng *rand.Rand) int {
+	i := s.next % len(c)
+	s.next++
+	return c[i].Index
+}
+
+// p2cSched is power-of-two-choices: sample two distinct candidates,
+// dispatch to the less loaded (ties broken by latency, then index).
+// Mitzenmacher's exponential improvement over random, at two RNG
+// draws per pick.
+type p2cSched struct{}
+
+func (*p2cSched) Name() string               { return SchedP2C }
+func (*p2cSched) Observe(int, float64, bool) {}
+func (*p2cSched) Pick(c []BackendInfo, rng *rand.Rand) int {
+	if len(c) == 1 {
+		return c[0].Index
+	}
+	i := rng.Intn(len(c))
+	j := rng.Intn(len(c) - 1)
+	if j >= i {
+		j++
+	}
+	return better(c[i], c[j]).Index
+}
+
+// better orders two backends by (inflight, latency EWMA, index).
+func better(a, b BackendInfo) BackendInfo {
+	if a.Inflight != b.Inflight {
+		if a.Inflight < b.Inflight {
+			return a
+		}
+		return b
+	}
+	if a.Latency != b.Latency {
+		if a.Latency < b.Latency {
+			return a
+		}
+		return b
+	}
+	if a.Index < b.Index {
+		return a
+	}
+	return b
+}
+
+// leastLatencySched dispatches to the backend with the lowest unit-
+// latency EWMA, probing every unsampled backend first so the estimate
+// covers the whole fleet — but at most one probe inflight per backend
+// at a time, so an unknown slow backend costs one unit, not a pile.
+// Ties break by inflight, then index; no RNG is consumed, so the
+// sequence is fully deterministic.
+type leastLatencySched struct{}
+
+func (*leastLatencySched) Name() string               { return SchedLeastLatency }
+func (*leastLatencySched) Observe(int, float64, bool) {}
+func (*leastLatencySched) Pick(c []BackendInfo, rng *rand.Rand) int {
+	probe := -1
+	for i := range c {
+		if c[i].Latency == 0 && c[i].Inflight == 0 &&
+			(probe < 0 || c[i].Index < c[probe].Index) {
+			probe = i
+		}
+	}
+	if probe >= 0 {
+		return c[probe].Index
+	}
+	best := -1
+	for i := range c {
+		if c[i].Latency == 0 {
+			continue
+		}
+		if best < 0 || c[i].Latency < c[best].Latency ||
+			(c[i].Latency == c[best].Latency && better(c[i], c[best]).Index == c[i].Index) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		return c[best].Index
+	}
+	// Nothing sampled yet and every probe is outstanding: spread by
+	// load until the first estimates arrive.
+	pick := c[0]
+	for _, b := range c[1:] {
+		pick = better(pick, b)
+	}
+	return pick.Index
+}
+
+// adaptiveSched is the latency-sensing adaptive policy: each backend
+// carries a pheromone weight, reinforced on fast successes (scaled by
+// how close the latency is to the best seen fleet-wide), sharply
+// evaporated on failures, and picks are pheromone-weighted random so
+// degraded backends keep receiving a trickle of probes and recover
+// their share when they heal.
+type adaptiveSched struct {
+	tau  map[int]float64
+	best float64 // fastest unit latency observed so far
+}
+
+// Pheromone bounds and dynamics.
+const (
+	tauInit    = 1.0
+	tauMin     = 0.05 // floor keeps a recovery trickle flowing
+	tauMax     = 8.0
+	tauGain    = 0.25 // reinforcement step on success
+	tauOnError = 0.3  // multiplicative evaporation on failure
+)
+
+func newAdaptiveSched() *adaptiveSched { return &adaptiveSched{tau: map[int]float64{}} }
+
+func (*adaptiveSched) Name() string { return SchedAdaptive }
+
+func (s *adaptiveSched) weight(index int) float64 {
+	if t, ok := s.tau[index]; ok {
+		return t
+	}
+	return tauInit
+}
+
+func (s *adaptiveSched) Observe(index int, latency float64, ok bool) {
+	t := s.weight(index)
+	if !ok {
+		t *= tauOnError
+	} else {
+		speed := 1.0
+		if latency > 0 {
+			if s.best == 0 || latency < s.best {
+				s.best = latency
+			}
+			speed = s.best / latency // 1 for the fastest, <1 for slower
+		}
+		t *= 1 + tauGain*speed
+	}
+	if t < tauMin {
+		t = tauMin
+	}
+	if t > tauMax {
+		t = tauMax
+	}
+	s.tau[index] = t
+}
+
+func (s *adaptiveSched) Pick(c []BackendInfo, rng *rand.Rand) int {
+	total := 0.0
+	for _, b := range c {
+		total += s.weight(b.Index)
+	}
+	r := rng.Float64() * total
+	for _, b := range c {
+		r -= s.weight(b.Index)
+		if r < 0 {
+			return b.Index
+		}
+	}
+	return c[len(c)-1].Index
+}

@@ -1,0 +1,300 @@
+package fleet
+
+import (
+	"container/heap"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pbrouter/internal/stats"
+)
+
+// vbackend models one backend in the virtual-time dispatch
+// simulation: a fixed unit service time, and optionally "failing" —
+// it dies the first time a unit touches it (detected after
+// failDetect) and stays dead, like a SIGKILLed daemon whose health
+// probe never recovers.
+type vbackend struct {
+	service float64
+	failing bool
+}
+
+// failDetect is the virtual time it takes the client to notice a
+// dispatch to a dead backend failed (idle timeout).
+const failDetect = 0.5
+
+// vevent is one inflight unit's completion (or failure detection).
+type vevent struct {
+	t       float64
+	backend int
+	unit    int
+	ok      bool
+	start   float64
+}
+
+type veventHeap []vevent
+
+func (h veventHeap) Len() int           { return len(h) }
+func (h veventHeap) Less(i, j int) bool { return h[i].t < h[j].t }
+func (h veventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *veventHeap) Push(x any)        { *h = append(*h, x.(vevent)) }
+func (h *veventHeap) Pop() any          { old := *h; x := old[len(old)-1]; *h = old[:len(old)-1]; return x }
+
+// simOutcome is one virtual fleet run's quality metrics.
+type simOutcome struct {
+	makespan float64
+	sojourns []float64
+	picks    []int // dispatch sequence: chosen backend per pick, in order
+}
+
+// simulate runs a closed-loop virtual-time dispatch of `units` units
+// over the modeled fleet under the given scheduler, mirroring the
+// coordinator's loop: at most fanout inflight, candidates are the
+// live backends with their inflight counts and latency EWMAs, failed
+// units requeue, and the scheduler observes every outcome.
+func simulate(t *testing.T, name string, seed int64, fleetModel []vbackend, units, fanout int) simOutcome {
+	t.Helper()
+	s, err := NewScheduler(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	alive := make([]bool, len(fleetModel))
+	inflight := make([]int, len(fleetModel))
+	ewma := make([]float64, len(fleetModel))
+	for i := range alive {
+		alive[i] = true
+	}
+	var (
+		out     simOutcome
+		pending []int
+		events  veventHeap
+		now     float64
+		done    int
+	)
+	for u := 0; u < units; u++ {
+		pending = append(pending, u)
+	}
+	dispatch := func() {
+		for len(pending) > 0 && len(events) < fanout {
+			var cands []BackendInfo
+			for i := range fleetModel {
+				if alive[i] {
+					cands = append(cands, BackendInfo{Index: i, Inflight: inflight[i], Latency: ewma[i]})
+				}
+			}
+			if len(cands) == 0 {
+				t.Fatal("virtual fleet has no live backends left")
+			}
+			u := pending[0]
+			pending = pending[1:]
+			idx := s.Pick(cands, rng)
+			out.picks = append(out.picks, idx)
+			inflight[idx]++
+			b := fleetModel[idx]
+			if b.failing {
+				heap.Push(&events, vevent{t: now + failDetect, backend: idx, unit: u, ok: false, start: now})
+			} else {
+				// FIFO per backend: service starts after the units already
+				// inflight there finish.
+				delay := float64(inflight[idx]) * b.service
+				heap.Push(&events, vevent{t: now + delay, backend: idx, unit: u, ok: true, start: now})
+			}
+		}
+	}
+	dispatch()
+	for done < units {
+		if len(events) == 0 {
+			t.Fatal("virtual fleet deadlocked with pending units")
+		}
+		ev := heap.Pop(&events).(vevent)
+		now = ev.t
+		lat := now - ev.start
+		inflight[ev.backend]--
+		if ev.ok {
+			if ewma[ev.backend] == 0 {
+				ewma[ev.backend] = lat
+			} else {
+				ewma[ev.backend] = (1-ewmaAlpha)*ewma[ev.backend] + ewmaAlpha*lat
+			}
+			s.Observe(ev.backend, lat, true)
+			out.sojourns = append(out.sojourns, lat)
+			done++
+		} else {
+			alive[ev.backend] = false
+			s.Observe(ev.backend, lat, false)
+			pending = append(pending, ev.unit)
+		}
+		dispatch()
+	}
+	out.makespan = now
+	return out
+}
+
+// hetFleet is the heterogeneous test fleet: two fast backends, one
+// 10x slower, one that dies on first touch.
+func hetFleet() []vbackend {
+	return []vbackend{
+		{service: 1.0},
+		{service: 1.0},
+		{service: 10.0},
+		{service: 1.0, failing: true},
+	}
+}
+
+// policyMetrics aggregates makespan and p99 sojourn for one policy
+// over several seeds.
+func policyMetrics(t *testing.T, name string, seeds []int64) (meanMakespan, p99 float64) {
+	t.Helper()
+	var all []float64
+	var sum float64
+	for _, seed := range seeds {
+		o := simulate(t, name, seed, hetFleet(), 60, 4)
+		sum += o.makespan
+		all = append(all, o.sojourns...)
+	}
+	q := stats.Quantiles(all, 0.99)
+	return sum / float64(len(seeds)), q[0]
+}
+
+// TestSchedulersBeatRandomOnHeterogeneousFleet pins the point of
+// load- and latency-aware dispatch: over a fleet with fast, slow, and
+// failing backends, PowerOfTwoChoices and LeastLatency finish the
+// same workload in strictly less virtual time than Random, and with a
+// lower p99 unit sojourn.
+func TestSchedulersBeatRandomOnHeterogeneousFleet(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5}
+	randMakespan, randP99 := policyMetrics(t, SchedRandom, seeds)
+	for _, name := range []string{SchedP2C, SchedLeastLatency} {
+		makespan, p99 := policyMetrics(t, name, seeds)
+		if makespan >= randMakespan {
+			t.Errorf("%s mean makespan %.1f, random %.1f — want strictly better",
+				name, makespan, randMakespan)
+		}
+		if p99 >= randP99 {
+			t.Errorf("%s p99 sojourn %.2f, random %.2f — want strictly better",
+				name, p99, randP99)
+		}
+		t.Logf("%s: makespan %.1f (random %.1f), p99 %.2f (random %.2f)",
+			name, makespan, randMakespan, p99, randP99)
+	}
+}
+
+// TestAdaptiveShedsFailingAndSlowBackends pins the adaptive policy's
+// pheromone dynamics: after the workload, the slow and failing
+// backends hold a far smaller share of picks than the fast ones.
+func TestAdaptiveShedsFailingAndSlowBackends(t *testing.T) {
+	counts := make([]int, 4)
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		o := simulate(t, SchedAdaptive, seed, hetFleet(), 60, 4)
+		for _, idx := range o.picks {
+			counts[idx]++
+		}
+	}
+	fast := counts[0] + counts[1]
+	if counts[2] >= fast/2 {
+		t.Errorf("slow backend got %d picks vs %d fast picks — pheromone decay not shedding it",
+			counts[2], fast)
+	}
+	if counts[3] >= fast/2 {
+		t.Errorf("failing backend got %d picks vs %d fast picks", counts[3], fast)
+	}
+	t.Logf("adaptive pick shares: fast=%d+%d slow=%d failing=%d", counts[0], counts[1], counts[2], counts[3])
+}
+
+// TestSchedulerDeterminism pins that every policy's dispatch sequence
+// is a pure function of (policy, seed): two runs with the same seed
+// produce identical pick sequences, and a different seed changes the
+// sequence for the randomized policies.
+func TestSchedulerDeterminism(t *testing.T) {
+	for _, name := range SchedulerNames() {
+		a := simulate(t, name, 42, hetFleet(), 60, 4)
+		b := simulate(t, name, 42, hetFleet(), 60, 4)
+		if !reflect.DeepEqual(a.picks, b.picks) {
+			t.Errorf("%s: same seed produced different dispatch sequences", name)
+		}
+		if a.makespan != b.makespan {
+			t.Errorf("%s: same seed produced different makespans", name)
+		}
+		if name == SchedRandom || name == SchedP2C || name == SchedAdaptive {
+			c := simulate(t, name, 43, hetFleet(), 60, 4)
+			if reflect.DeepEqual(a.picks, c.picks) {
+				t.Errorf("%s: different seeds produced identical dispatch sequences", name)
+			}
+		}
+	}
+}
+
+// TestRoundRobinCycles pins the baseline's shape.
+func TestRoundRobinCycles(t *testing.T) {
+	s, _ := NewScheduler(SchedRoundRobin)
+	cands := []BackendInfo{{Index: 0}, {Index: 1}, {Index: 2}}
+	rng := rand.New(rand.NewSource(1))
+	var got []int
+	for i := 0; i < 6; i++ {
+		got = append(got, s.Pick(cands, rng))
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("roundrobin picks %v, want %v", got, want)
+	}
+}
+
+// TestP2CPrefersLessLoaded pins that when the two sampled backends
+// differ in inflight, p2c always takes the less loaded one.
+func TestP2CPrefersLessLoaded(t *testing.T) {
+	s, _ := NewScheduler(SchedP2C)
+	rng := rand.New(rand.NewSource(1))
+	cands := []BackendInfo{
+		{Index: 0, Inflight: 5},
+		{Index: 1, Inflight: 0},
+	}
+	for i := 0; i < 32; i++ {
+		if got := s.Pick(cands, rng); got != 1 {
+			t.Fatalf("pick %d: chose backend 0 with inflight 5 over backend 1 with 0", i)
+		}
+	}
+}
+
+// TestLeastLatencyProbesThenCommits pins the probe-first rule: every
+// unsampled backend is tried (lowest index first) before the policy
+// commits to the fastest estimate.
+func TestLeastLatencyProbesThenCommits(t *testing.T) {
+	s, _ := NewScheduler(SchedLeastLatency)
+	rng := rand.New(rand.NewSource(1))
+	cands := []BackendInfo{
+		{Index: 0, Latency: 0},
+		{Index: 1, Latency: 0},
+		{Index: 2, Latency: 0},
+	}
+	if got := s.Pick(cands, rng); got != 0 {
+		t.Fatalf("first probe went to %d, want 0", got)
+	}
+	cands[0].Latency = 2.0
+	if got := s.Pick(cands, rng); got != 1 {
+		t.Fatalf("second probe went to %d, want 1", got)
+	}
+	cands[1].Latency = 0.5
+	cands[2].Latency = 1.0
+	for i := 0; i < 8; i++ {
+		if got := s.Pick(cands, rng); got != 1 {
+			t.Fatalf("committed pick went to %d, want fastest backend 1", got)
+		}
+	}
+}
+
+// TestNewSchedulerRejectsUnknown pins the registry error.
+func TestNewSchedulerRejectsUnknown(t *testing.T) {
+	if _, err := NewScheduler("fifo"); err == nil {
+		t.Error("unknown scheduler name must be rejected")
+	}
+	names := SchedulerNames()
+	if len(names) != 5 {
+		t.Errorf("scheduler registry has %d names, want 5", len(names))
+	}
+	for _, n := range names {
+		if _, err := NewScheduler(n); err != nil {
+			t.Errorf("registered scheduler %q fails to build: %v", n, err)
+		}
+	}
+}

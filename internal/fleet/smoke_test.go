@@ -1,0 +1,288 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"pbrouter/internal/serve"
+)
+
+// TestFleetSmoke is the end-to-end fleet smoke behind `make
+// fleet-smoke`: it builds the real binaries (spsfleet with the race
+// detector on, so the whole campaign doubles as a race test of the
+// coordinator), boots three spsd backends plus the coordinator,
+// asserts one job of each kind comes back byte-identical to its CLI
+// twin, then drives a spsload campaign through the fleet, SIGKILLs a
+// backend mid-campaign, and requires zero errors — every unit lost
+// with the dead backend must be retried on the two survivors. Gated
+// behind SPSFLEET_SMOKE=1 so plain `go test ./...` stays fast.
+func TestFleetSmoke(t *testing.T) {
+	if os.Getenv("SPSFLEET_SMOKE") == "" {
+		t.Skip("set SPSFLEET_SMOKE=1 (make fleet-smoke) to run the end-to-end fleet smoke")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := t.TempDir()
+	work := t.TempDir()
+
+	build := exec.Command("go", "build", "-o", bin,
+		"./cmd/spsd", "./cmd/spsload", "./cmd/spssim", "./cmd/spsbench",
+		"./cmd/spsvalidate", "./cmd/spsresil")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	raceBuild := exec.Command("go", "build", "-race", "-o", bin, "./cmd/spsfleet")
+	raceBuild.Dir = root
+	if out, err := raceBuild.CombinedOutput(); err != nil {
+		t.Fatalf("build -race spsfleet: %v\n%s", err, out)
+	}
+	run := func(name string, args ...string) []byte {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(bin, name), args...)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("%s %s: %v\n%s", name, strings.Join(args, " "), err, stderr.Bytes())
+		}
+		return stdout.Bytes()
+	}
+
+	// CLI twin output for each fixture spec — the fleet must reproduce
+	// these byte for byte through three backends.
+	validateOut := filepath.Join(work, "validate_cli.json")
+	run("spsvalidate", "-cases", "4", "-duration", "5us", "-seed", "2", "-out", validateOut)
+	validateCLI, _ := os.ReadFile(validateOut)
+	cliOut := map[string][]byte{
+		"spec_sim.json":      run("spssim", "-json", "-load", "0.5", "-horizon", "5us", "-seed", "3"),
+		"spec_sweep.json":    run("spsbench", "-exp", "E1", "-quick", "-format", "json", "-seed", "1"),
+		"spec_validate.json": validateCLI,
+		"spec_resil.json":    run("spsresil", "-sweep", "failed-switches", "-max-failed", "1", "-horizon", "10us", "-json", "-out", "-"),
+	}
+
+	// Three real backends, then the coordinator over them.
+	var backends []*smokeProc
+	var urls []string
+	for _, name := range []string{"b1", "b2", "b3"} {
+		p := startSmokeProc(t, bin, work, "spsd", name,
+			"-addr", "127.0.0.1:0", "-workers", "2")
+		backends = append(backends, p)
+		urls = append(urls, "http://"+p.addr)
+	}
+	coord := startSmokeProc(t, bin, work, "spsfleet", "fleet",
+		"-addr", "127.0.0.1:0", "-backends", strings.Join(urls, ","),
+		"-sched", "p2c", "-seed", "1", "-workers", "4",
+		"-checkpoint-dir", filepath.Join(work, "ckpt"))
+
+	// One job of each kind; results must match the CLI bytes.
+	for spec, cli := range cliOut {
+		raw, err := os.ReadFile(filepath.Join("..", "serve", "testdata", spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := smokeFleetSubmit(t, coord.addr, raw)
+		st = smokeFleetWait(t, coord.addr, st.ID, 2*time.Minute)
+		if st.State != serve.StateDone {
+			t.Fatalf("%s job ended %s: %s", spec, st.State, st.Error)
+		}
+		got := smokeFleetGet(t, coord.addr, "/jobs/"+st.ID+"/result")
+		if !bytes.Equal(got, cli) {
+			t.Errorf("%s: fleet result differs from CLI output\n got: %s\nwant: %s", spec, got, cli)
+		}
+	}
+
+	// Load campaign through the fleet; SIGKILL backend 3 once the
+	// dispatch counters show the campaign is underway. spsload exits
+	// nonzero on any error, so a lost unit that isn't retried on the
+	// survivors fails the test.
+	load := exec.Command(filepath.Join(bin, "spsload"),
+		"-addr", coord.addr, "-clients", "8", "-jobs", "32", "-fleet")
+	var loadOut, loadErr bytes.Buffer
+	load.Stdout, load.Stderr = &loadOut, &loadErr
+	if err := load.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killDeadline := time.Now().Add(time.Minute)
+	for {
+		info := smokeFleetInfo(t, coord.addr)
+		picks := 0
+		for _, b := range info.Backends {
+			picks += b.Picks
+		}
+		if picks >= 8 {
+			break
+		}
+		if time.Now().After(killDeadline) {
+			t.Fatal("campaign never started dispatching units")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := backends[2].cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	backends[2].cmd.Wait()
+	t.Logf("SIGKILLed backend %s mid-campaign", urls[2])
+	if err := load.Wait(); err != nil {
+		t.Fatalf("spsload failed after backend kill: %v\nstdout:\n%s\nstderr:\n%s",
+			err, loadOut.Bytes(), loadErr.Bytes())
+	}
+	if !bytes.Contains(loadOut.Bytes(), []byte(" 0 errors")) {
+		t.Errorf("spsload report does not show zero errors:\n%s", loadOut.Bytes())
+	}
+	if !bytes.Contains(loadOut.Bytes(), []byte("fleet: scheduler p2c")) {
+		t.Errorf("spsload -fleet report missing:\n%s", loadOut.Bytes())
+	}
+	t.Logf("spsload:\n%s", loadOut.Bytes())
+
+	// The health prober must have marked the killed backend down, and
+	// no duplicate unit completions are allowed fleet-wide.
+	downDeadline := time.Now().Add(30 * time.Second)
+	for {
+		info := smokeFleetInfo(t, coord.addr)
+		if !info.Backends[2].Alive {
+			if info.DuplicateUnits != 0 {
+				t.Errorf("%d duplicate unit completions after failover, want 0", info.DuplicateUnits)
+			}
+			break
+		}
+		if time.Now().After(downDeadline) {
+			t.Fatal("killed backend still reported alive")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// With one backend dead, fresh jobs of every kind must still come
+	// back byte-identical on the survivors.
+	for spec, cli := range cliOut {
+		raw, err := os.ReadFile(filepath.Join("..", "serve", "testdata", spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := smokeFleetSubmit(t, coord.addr, raw)
+		st = smokeFleetWait(t, coord.addr, st.ID, 2*time.Minute)
+		if st.State != serve.StateDone {
+			t.Fatalf("%s post-kill job ended %s: %s", spec, st.State, st.Error)
+		}
+		got := smokeFleetGet(t, coord.addr, "/jobs/"+st.ID+"/result")
+		if !bytes.Equal(got, cli) {
+			t.Errorf("%s: post-kill fleet result differs from CLI output", spec)
+		}
+	}
+
+	// Clean SIGTERM drain; a detected data race makes the -race binary
+	// exit nonzero here.
+	if err := coord.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.cmd.Wait(); err != nil {
+		t.Fatalf("spsfleet exited uncleanly after SIGTERM: %v\n%s", err, coord.stderr.Bytes())
+	}
+	if bytes.Contains(coord.stderr.Bytes(), []byte("DATA RACE")) {
+		t.Fatalf("race detected in spsfleet:\n%s", coord.stderr.Bytes())
+	}
+}
+
+type smokeProc struct {
+	cmd    *exec.Cmd
+	addr   string
+	stderr *bytes.Buffer
+}
+
+// startSmokeProc launches a daemon binary on an ephemeral port and
+// waits for it to publish its bound address via -addr-file.
+func startSmokeProc(t *testing.T, bin, work, binary, name string, args ...string) *smokeProc {
+	t.Helper()
+	addrFile := filepath.Join(work, name+".addr")
+	cmd := exec.Command(filepath.Join(bin, binary), append(args, "-addr-file", addrFile)...)
+	stderr := &bytes.Buffer{}
+	cmd.Stderr = stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			return &smokeProc{cmd: cmd, addr: strings.TrimSpace(string(b)), stderr: stderr}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never published its address\n%s", binary, stderr.Bytes())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func smokeFleetGet(t *testing.T, addr, path string) []byte {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d: %s", path, resp.StatusCode, b)
+	}
+	return b
+}
+
+func smokeFleetInfo(t *testing.T, addr string) Info {
+	t.Helper()
+	var info Info
+	if err := json.Unmarshal(smokeFleetGet(t, addr, "/fleet"), &info); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func smokeFleetSubmit(t *testing.T, addr string, spec []byte) serve.Status {
+	t.Helper()
+	resp, err := http.Post("http://"+addr+"/jobs", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, b)
+	}
+	var st serve.Status
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func smokeFleetWait(t *testing.T, addr, id string, timeout time.Duration) serve.Status {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		var st serve.Status
+		if err := json.Unmarshal(smokeFleetGet(t, addr, "/jobs/"+id), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

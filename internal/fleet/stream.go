@@ -1,0 +1,90 @@
+package fleet
+
+import (
+	"encoding/json"
+	"sync"
+
+	"pbrouter/internal/serve"
+)
+
+// stream is a job's NDJSON event log, identical in shape to spsd's:
+// an append-only list of serialized events with a broadcast channel
+// that wakes followers, so late subscribers replay the backlog and
+// every follower sees the same deterministic stream.
+type stream struct {
+	mu     sync.Mutex
+	lines  [][]byte
+	closed bool
+	wake   chan struct{}
+}
+
+func newStream() *stream {
+	return &stream{wake: make(chan struct{})}
+}
+
+// publish appends one event, serialized as a single JSON line.
+func (s *stream) publish(v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.lines = append(s.lines, b)
+	close(s.wake)
+	s.wake = make(chan struct{})
+}
+
+// closeStream marks the stream finished and wakes all followers.
+func (s *stream) closeStream() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	close(s.wake)
+}
+
+// next returns the lines at and after index i. When none are ready it
+// returns a channel that closes on the next publish or close; done
+// reports that the stream has ended.
+func (s *stream) next(i int) (lines [][]byte, done bool, wait <-chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < len(s.lines) {
+		return s.lines[i:], false, nil
+	}
+	if s.closed {
+		return nil, true, nil
+	}
+	return nil, false, s.wake
+}
+
+// Stream event payloads, wire-compatible with spsd's stream events so
+// spsload and other clients parse both without caring which daemon
+// they dialed.
+
+type stateEvent struct {
+	Job   string      `json:"job"`
+	Event string      `json:"event"` // "state"
+	State serve.State `json:"state"`
+	Error string      `json:"error,omitempty"`
+}
+
+type unitStreamEvent struct {
+	Job   string `json:"job"`
+	Event string `json:"event"` // "unit"
+	Unit  int    `json:"unit"`  // completed units so far
+	Of    int    `json:"of"`
+}
+
+type progressEvent struct {
+	Job   string `json:"job"`
+	Event string `json:"event"` // "progress"
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+}

@@ -9,15 +9,21 @@ import (
 	"strings"
 )
 
-// checkpointSchema versions the on-disk job file.
-const checkpointSchema = "spsd-checkpoint/1"
+// CheckpointSchema versions the on-disk job file. The fleet
+// coordinator (internal/fleet) persists its jobs in the same format,
+// so one decoder serves both daemons.
+const CheckpointSchema = "spsd-checkpoint/1"
 
-// checkpointFile is one job on disk: <dir>/<id>.json. Queued and
-// running jobs persist their spec plus completed units so a restarted
-// daemon resumes them; terminal jobs keep their result so a restart
-// still serves it. Results and units are stored as raw JSON — every
-// job kind's result is JSON, so the file stays greppable.
-type checkpointFile struct {
+// Checkpoint is one job on disk: <dir>/<id>.json. Queued and running
+// jobs persist their spec plus completed units so a restarted daemon
+// resumes them; terminal jobs keep their result so a restart still
+// serves it. Results and units are stored as raw JSON — every job
+// kind's result is JSON, so the file stays greppable. The daemon
+// stores unit payloads directly (validate case chunks, resilience
+// sweep points, in prefix order); the fleet coordinator stores
+// {"unit":N,"payload":...} envelopes because its units complete out
+// of order.
+type Checkpoint struct {
 	Schema string            `json:"schema"`
 	ID     string            `json:"id"`
 	State  State             `json:"state"`
@@ -27,33 +33,46 @@ type checkpointFile struct {
 	Result json.RawMessage   `json:"result,omitempty"`
 }
 
-// writeCheckpoint persists the job atomically (temp file + rename).
-func writeCheckpoint(dir string, j *Job) error {
-	cp := checkpointFile{
-		Schema: checkpointSchema,
-		ID:     j.ID,
-		State:  j.State,
-		Error:  j.Error,
-		Spec:   j.Spec,
-		Units:  j.Units,
-		Result: json.RawMessage(j.Result),
+// DecodeCheckpoint parses one spsd-checkpoint/1 file.
+func DecodeCheckpoint(b []byte) (Checkpoint, error) {
+	var cp Checkpoint
+	if err := json.Unmarshal(b, &cp); err != nil {
+		return Checkpoint{}, err
 	}
+	if cp.Schema != CheckpointSchema {
+		return Checkpoint{}, fmt.Errorf("serve: unknown checkpoint schema %q", cp.Schema)
+	}
+	return cp, nil
+}
+
+// Encode serializes the checkpoint as its on-disk bytes.
+func (cp Checkpoint) Encode() ([]byte, error) {
+	cp.Schema = CheckpointSchema
 	b, err := json.MarshalIndent(cp, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteCheckpointFile persists the checkpoint atomically (temp file +
+// rename) as <dir>/<id>.json.
+func WriteCheckpointFile(dir string, cp Checkpoint) error {
+	b, err := cp.Encode()
 	if err != nil {
 		return err
 	}
-	tmp := filepath.Join(dir, j.ID+".json.tmp")
-	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+	tmp := filepath.Join(dir, cp.ID+".json.tmp")
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(dir, j.ID+".json"))
+	return os.Rename(tmp, filepath.Join(dir, cp.ID+".json"))
 }
 
-// loadCheckpoints reads every job file in the directory, in ID order.
-// Jobs that were queued or running when the daemon died come back
-// queued (their completed units intact); terminal jobs come back
-// exactly as they ended.
-func loadCheckpoints(dir string) ([]*Job, error) {
+// LoadCheckpointDir reads every checkpoint file in the directory, in
+// ID order. A missing directory is an empty fleet of jobs, not an
+// error.
+func LoadCheckpointDir(dir string) ([]Checkpoint, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -61,7 +80,7 @@ func loadCheckpoints(dir string) ([]*Job, error) {
 		}
 		return nil, err
 	}
-	var jobs []*Job
+	var cps []Checkpoint
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".json") {
@@ -71,13 +90,40 @@ func loadCheckpoints(dir string) ([]*Job, error) {
 		if err != nil {
 			return nil, err
 		}
-		var cp checkpointFile
-		if err := json.Unmarshal(b, &cp); err != nil {
+		cp, err := DecodeCheckpoint(b)
+		if err != nil {
 			return nil, fmt.Errorf("serve: checkpoint %s: %w", name, err)
 		}
-		if cp.Schema != checkpointSchema {
-			return nil, fmt.Errorf("serve: checkpoint %s: unknown schema %q", name, cp.Schema)
-		}
+		cps = append(cps, cp)
+	}
+	sort.Slice(cps, func(a, b int) bool { return cps[a].ID < cps[b].ID })
+	return cps, nil
+}
+
+// writeCheckpoint persists the job in checkpoint form.
+func writeCheckpoint(dir string, j *Job) error {
+	return WriteCheckpointFile(dir, Checkpoint{
+		Schema: CheckpointSchema,
+		ID:     j.ID,
+		State:  j.State,
+		Error:  j.Error,
+		Spec:   j.Spec,
+		Units:  j.Units,
+		Result: json.RawMessage(j.Result),
+	})
+}
+
+// loadCheckpoints restores the daemon's job table from dir. Jobs that
+// were queued or running when the daemon died come back queued (their
+// completed units intact); terminal jobs come back exactly as they
+// ended.
+func loadCheckpoints(dir string) ([]*Job, error) {
+	cps, err := LoadCheckpointDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var jobs []*Job
+	for _, cp := range cps {
 		j := &Job{
 			ID:     cp.ID,
 			Spec:   cp.Spec,
@@ -95,6 +141,5 @@ func loadCheckpoints(dir string) ([]*Job, error) {
 		}
 		jobs = append(jobs, j)
 	}
-	sort.Slice(jobs, func(a, b int) bool { return jobs[a].ID < jobs[b].ID })
 	return jobs, nil
 }

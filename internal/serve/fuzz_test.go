@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzCheckpointDecode fuzzes the spsd-checkpoint/1 decoder — the
+// format both the daemon's resume path and the fleet coordinator's
+// failover path trust. The decoder must never panic, and anything it
+// accepts must re-encode and decode to the same job identity.
+func FuzzCheckpointDecode(f *testing.F) {
+	seed := Checkpoint{
+		ID:    "j000007",
+		State: StateRunning,
+		Error: "",
+		Spec:  Spec{Kind: KindResilience},
+		Units: []json.RawMessage{
+			json.RawMessage(`{"index":0,"time_ps":0,"values":[0,1,0.5],"total_violations":0}`),
+		},
+		Result: json.RawMessage(`{"ok":true}`),
+	}
+	if b, err := seed.Encode(); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte(`{"schema":"spsd-checkpoint/1","id":"j000001","state":"done","spec":{"kind":"sim"}}`))
+	f.Add([]byte(`{"schema":"spsd-checkpoint/1","id":"f000002","state":"queued","spec":{"kind":"validate","validate":{"cases":20}},"units":[{"unit":1,"payload":[]}]}`))
+	f.Add([]byte(`{"schema":"spsd-checkpoint/2"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp, err := DecodeCheckpoint(data)
+		if err != nil {
+			return
+		}
+		if cp.Schema != CheckpointSchema {
+			t.Fatalf("decoder accepted schema %q", cp.Schema)
+		}
+		b, err := cp.Encode()
+		if err != nil {
+			t.Fatalf("accepted checkpoint fails to re-encode: %v", err)
+		}
+		again, err := DecodeCheckpoint(b)
+		if err != nil {
+			t.Fatalf("re-encoded checkpoint fails to decode: %v", err)
+		}
+		if again.ID != cp.ID || again.State != cp.State || len(again.Units) != len(cp.Units) {
+			t.Fatalf("round trip changed identity: %+v vs %+v", cp, again)
+		}
+	})
+}
+
+// FuzzUnitEvent fuzzes the NDJSON unit-stream event parser the fleet
+// client feeds every line a backend (or a flaky proxy in front of
+// one) sends. It must never panic, must reject unknown events, and
+// must only ever hand back terminal events that carry their payload —
+// byte-exact through the base64 wire encoding.
+func FuzzUnitEvent(f *testing.F) {
+	f.Add([]byte(`{"event":"start","unit":3}`))
+	f.Add([]byte(`{"event":"heartbeat"}`))
+	f.Add([]byte(`{"event":"unit_result","unit":0,"payload":"eyJvayI6dHJ1ZX0="`))
+	f.Add([]byte(`{"event":"unit_result","unit":0,"payload":"eyJvayI6dHJ1ZX0="}`))
+	f.Add([]byte(`{"event":"error","error":"boom"}`))
+	f.Add([]byte(`{"event":"unit_result"}`))
+	f.Add([]byte(`{"event":"stop"}`))
+	f.Add([]byte(`{"event":"unit_result","unit":0,"payload":{"index":0}}`)) // raw JSON, not base64
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		ev, err := ParseUnitEvent(line)
+		if err != nil {
+			return
+		}
+		switch ev.Event {
+		case UnitEventStart, UnitEventHeartbeat:
+		case UnitEventResult:
+			if len(ev.Payload) == 0 {
+				t.Fatal("parser accepted a unit_result without payload")
+			}
+		case UnitEventError:
+			if ev.Error == "" {
+				t.Fatal("parser accepted an error event without message")
+			}
+		default:
+			t.Fatalf("parser accepted unknown event %q", ev.Event)
+		}
+		// Accepted events round-trip through the emit path byte-exact.
+		b, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatalf("accepted event fails to marshal: %v", err)
+		}
+		again, err := ParseUnitEvent(b)
+		if err != nil {
+			t.Fatalf("re-marshaled event rejected: %v\n%s", err, b)
+		}
+		if !bytes.Equal(again.Payload, ev.Payload) {
+			t.Fatalf("payload changed in transit: %q vs %q", ev.Payload, again.Payload)
+		}
+	})
+}

@@ -19,6 +19,7 @@ import (
 //	DELETE /jobs/{id}         cancel a job
 //	GET    /jobs/{id}/result  the finished job's result JSON, verbatim
 //	GET    /jobs/{id}/stream  NDJSON event stream (follows until done)
+//	POST   /units             run one checkpoint unit (fleet dispatch)
 //	GET    /healthz           liveness (503 once draining)
 //	GET    /metrics           Prometheus text format
 //
@@ -34,6 +35,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("POST /units", s.handleUnits)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.apiRoutes(mux, s.cfg.APIPrefix)

@@ -77,7 +77,7 @@ func (j *Job) status() Status {
 		State:      j.State,
 		Error:      j.Error,
 		UnitsDone:  len(j.Units),
-		UnitsTotal: j.Spec.numUnits(),
+		UnitsTotal: j.Spec.UnitCount(),
 		HasResult:  len(j.Result) > 0,
 	}
 }

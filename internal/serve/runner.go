@@ -8,11 +8,9 @@ import (
 	"log/slog"
 
 	"pbrouter/internal/hbmswitch"
-	"pbrouter/internal/parallel"
 	"pbrouter/internal/resilience"
 	"pbrouter/internal/sim"
 	"pbrouter/internal/telemetry"
-	"pbrouter/internal/validate"
 	"pbrouter/router"
 )
 
@@ -166,26 +164,15 @@ func runSweep(ctx context.Context, spec *SweepSpec, env runEnv) ([]byte, error) 
 // identical to an uninterrupted spsvalidate run.
 func runValidate(ctx context.Context, spec *ValidateSpec, env runEnv) ([]byte, error) {
 	opts := spec.Options(env.workers)
-	var outcomes []validate.CaseOutcome
-	for _, u := range env.units {
-		var chunk []validate.CaseOutcome
-		if err := json.Unmarshal(u, &chunk); err != nil {
-			return nil, fmt.Errorf("serve: corrupt validate checkpoint unit: %w", err)
-		}
-		outcomes = append(outcomes, chunk...)
+	outcomes, err := decodeValidateUnits(env.units)
+	if err != nil {
+		return nil, err
 	}
 	if len(outcomes) > opts.Cases {
 		outcomes = outcomes[:opts.Cases]
 	}
-	for lo := len(outcomes); lo < opts.Cases; {
-		hi := lo + validateChunk
-		if hi > opts.Cases {
-			hi = opts.Cases
-		}
-		chunk, err := parallel.MapCtx(ctx, parallel.Workers(env.workers), hi-lo,
-			func(i int) (validate.CaseOutcome, error) {
-				return validate.RunCase(opts, lo+i), nil
-			})
+	for u := len(outcomes) / validateChunk; len(outcomes) < opts.Cases; u++ {
+		chunk, err := runValidateUnit(ctx, opts, u)
 		if err != nil {
 			return nil, err
 		}
@@ -194,17 +181,8 @@ func runValidate(ctx context.Context, spec *ValidateSpec, env runEnv) ([]byte, e
 			env.saveUnit(raw)
 		}
 		env.emit(progressEvent{Job: env.id, Event: "progress", Done: len(outcomes), Total: opts.Cases})
-		lo = hi
 	}
-	res := validate.Assemble(opts, outcomes)
-	var buf bytes.Buffer
-	if err := res.WriteJSON(&buf); err != nil {
-		return nil, err
-	}
-	if res.Failures > 0 {
-		return buf.Bytes(), &FoundError{N: res.Failures, What: "failing cases"}
-	}
-	return buf.Bytes(), nil
+	return assembleValidate(opts, outcomes)
 }
 
 // runResilience runs an availability sweep point by point — the same
@@ -215,13 +193,9 @@ func runValidate(ctx context.Context, spec *ValidateSpec, env runEnv) ([]byte, e
 func runResilience(ctx context.Context, cfg *resilience.SweepConfig, env runEnv) ([]byte, error) {
 	c := *cfg
 	c.Workers = env.workers
-	var pts []resilience.SweepPoint
-	for _, u := range env.units {
-		var pt resilience.SweepPoint
-		if err := json.Unmarshal(u, &pt); err != nil {
-			return nil, fmt.Errorf("serve: corrupt resilience checkpoint unit: %w", err)
-		}
-		pts = append(pts, pt)
+	pts, err := decodeResilienceUnits(env.units)
+	if err != nil {
+		return nil, err
 	}
 	if len(pts) > c.NumPoints() {
 		pts = pts[:c.NumPoints()]
@@ -246,13 +220,5 @@ func runResilience(ctx context.Context, cfg *resilience.SweepConfig, env runEnv)
 		}
 		env.emit(unitEvent{Job: env.id, Event: "unit", Unit: k + 1, Of: c.NumPoints()})
 	}
-	table, violations := c.Assemble(pts)
-	var buf bytes.Buffer
-	if err := table.WriteJSON(&buf); err != nil {
-		return nil, err
-	}
-	if (c.Validate == nil || *c.Validate) && violations > 0 {
-		return buf.Bytes(), &FoundError{N: violations, What: "invariant violations"}
-	}
-	return buf.Bytes(), nil
+	return assembleResilience(c, pts)
 }

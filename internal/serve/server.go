@@ -65,6 +65,10 @@ type Server struct {
 	baseCtx    context.Context
 	cancelJobs context.CancelFunc
 
+	// unitSem bounds concurrently executing /units requests (fleet
+	// dispatch) to the same width as the job worker pool.
+	unitSem chan struct{}
+
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	order    []string // job IDs in submission order
@@ -119,6 +123,7 @@ func New(cfg Config) (*Server, error) {
 		log:        log,
 		baseCtx:    ctx,
 		cancelJobs: cancel,
+		unitSem:    make(chan struct{}, cfg.Workers),
 		jobs:       make(map[string]*Job),
 		// Resumed jobs must fit alongside a full queue of new work.
 		queue:   make(chan *Job, cfg.QueueDepth+len(resumed)),
@@ -134,7 +139,7 @@ func New(cfg Config) (*Server, error) {
 		if j.State == StateQueued {
 			s.queue <- j
 			s.jobLog(j).Info("job resumed from checkpoint",
-				"units_done", len(j.Units), "units_total", j.Spec.numUnits())
+				"units_done", len(j.Units), "units_total", j.Spec.UnitCount())
 		}
 	}
 	return s, nil
@@ -359,7 +364,7 @@ func (s *Server) runJob(j *Job) {
 			j.cancel = nil
 			s.persistLocked(j)
 			s.jobLog(j).Info("job checkpointed for resume",
-				"units_done", len(j.Units), "units_total", j.Spec.numUnits())
+				"units_done", len(j.Units), "units_total", j.Spec.UnitCount())
 		} else {
 			s.finishLocked(j, StateCancelled, "cancelled", nil)
 		}

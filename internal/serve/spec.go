@@ -95,9 +95,12 @@ func (s Spec) Check() error {
 	}
 }
 
-// numUnits returns how many checkpoint units the job runs: resumable
-// kinds report their unit count, atomic kinds one.
-func (s Spec) numUnits() int {
+// UnitCount returns how many checkpoint units the job runs: resumable
+// kinds report their unit count (validate: 16-case chunks, resilience:
+// sweep points), atomic kinds one. Units are the granularity both of
+// the daemon's mid-job checkpoints and of the fleet coordinator's
+// dispatch (see RunUnit).
+func (s Spec) UnitCount() int {
 	switch s.Kind {
 	case KindValidate:
 		return (s.Validate.Cases + validateChunk - 1) / validateChunk
