@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-save bench-smoke bench-diff repro fuzz fuzz-smoke validate resil serve-smoke ui-smoke fleet-smoke fmt vet clean figures
+.PHONY: all build test race cover bench bench-save bench-smoke bench-diff repro fuzz fuzz-smoke validate resil split-smoke serve-smoke ui-smoke fleet-smoke fmt vet clean figures
 
 all: build vet test race
 
@@ -85,6 +85,14 @@ resil:
 	$(GO) run ./cmd/spsresil -quick -sweep mtbf -j 8 -out /tmp/resil_mtbf.csv
 	cmp internal/resilience/testdata/quick_mtbf.csv /tmp/resil_mtbf.csv
 	@echo "resilience smoke: reports match fixtures"
+
+# Splitter-policy smoke: the quick policy × workload grid with the
+# validation observer on (see docs/splitpolicy.md) — exits non-zero on
+# any FIFO/conservation violation — plus the static byte-identity and
+# cross-worker determinism pins.
+split-smoke:
+	$(GO) run ./cmd/spssplit -quick -j 8 -out /dev/null
+	$(GO) test -run 'TestStaticMatchesResilience|TestCampaignWorkerByteIdentity|TestSweepWorkerByteIdentity' -count=1 ./internal/splitpolicy
 
 # Serving smoke: build the real binaries, run an actual spsd daemon,
 # submit one job of each kind, and require every result byte-identical

@@ -48,6 +48,7 @@ func main() {
 		drainGrace = flag.Duration("drain-grace", 10*time.Second, "how long a drain lets running jobs finish before checkpointing them")
 		ui         = flag.Bool("ui", false, "serve the embedded web dashboard at /")
 		apiPrefix  = flag.String("api-prefix", "/api/v1", "mount prefix of the versioned read-side API")
+		fleetURL   = flag.String("fleet", "", "spsfleet coordinator base URL; proxied at {api-prefix}/fleet for the dashboard's fleet panel")
 		logLevel   = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
 		logFormat  = flag.String("log-format", "json", "log encoding: json|text")
 	)
@@ -81,6 +82,7 @@ func main() {
 		Logger:         logger,
 		APIPrefix:      *apiPrefix,
 		UI:             *ui,
+		FleetURL:       *fleetURL,
 	})
 	if err != nil {
 		cli.Exit(cli.Outcome{RunErr: err})

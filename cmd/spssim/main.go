@@ -30,7 +30,7 @@ import (
 func main() {
 	var (
 		load    = flag.Float64("load", 0.9, "offered load per input in [0,1]")
-		matrix  = flag.String("matrix", "uniform", "traffic matrix: uniform|diagonal|hotspot|failover")
+		matrix  = flag.String("matrix", "uniform", "traffic matrix: uniform|diagonal|hotspot|incast|failover")
 		sizes   = flag.String("sizes", "imix", "packet sizes: imix|64|1500|uniform")
 		arrival = flag.String("arrival", "poisson", "arrival process: poisson|bursty")
 		horizon = flag.String("horizon", "50us", "simulated duration, e.g. 20us, 1ms")

@@ -29,7 +29,7 @@ func main() {
 		ports   = flag.Int("ports", 16, "switch port count N")
 		rate    = flag.Float64("rate", 2560, "port line rate in Gb/s")
 		load    = flag.Float64("load", 0.9, "offered load per input")
-		matrix  = flag.String("matrix", "uniform", "uniform|diagonal|hotspot|failover")
+		matrix  = flag.String("matrix", "uniform", "uniform|diagonal|hotspot|incast|failover")
 		sizes   = flag.String("sizes", "imix", "imix|64|1500|uniform")
 		arrival = flag.String("arrival", "poisson", "poisson|bursty")
 		horizon = flag.String("horizon", "100us", "trace duration")

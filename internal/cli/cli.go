@@ -45,6 +45,8 @@ func Matrix(name string, n int, load float64) (*traffic.Matrix, error) {
 		return traffic.Diagonal(n, load, 3), nil
 	case "hotspot":
 		return traffic.Hotspot(n, load, 0.05), nil
+	case "incast":
+		return traffic.Incast(n, load), nil
 	case "failover":
 		// The post-failure pattern: the last quarter of the outputs are
 		// down and their traffic has re-converged onto the survivors.
@@ -54,7 +56,7 @@ func Matrix(name string, n int, load float64) (*traffic.Matrix, error) {
 		}
 		return traffic.Failover(n, load, failed), nil
 	default:
-		return nil, fmt.Errorf("unknown matrix %q (uniform|diagonal|hotspot|failover)", name)
+		return nil, fmt.Errorf("unknown matrix %q (uniform|diagonal|hotspot|incast|failover)", name)
 	}
 }
 

@@ -1,0 +1,144 @@
+package optics
+
+import "testing"
+
+// Edge cases of the degraded-mode re-hash: a single surviving switch,
+// repeated degrade→repair round trips, chained degrades, and a fully
+// dimmed fiber population. Validate() must hold after every
+// transition — these are the states the splitpolicy engine walks
+// through on fail/repair churn.
+
+func TestDegradeSingleSurvivor(t *testing.T) {
+	for _, pat := range []Pattern{Contiguous, PseudoRandom} {
+		s := mustSplitter(t, 4, 16, 4, pat, 11)
+		alive := []bool{false, false, true, false}
+		d, err := s.Degrade(alive, 11)
+		if err != nil {
+			t.Fatalf("%v: %v", pat, err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%v: single-survivor splitter invalid: %v", pat, err)
+		}
+		// Every fiber of every ribbon must land on the lone survivor.
+		for r := 0; r < 4; r++ {
+			for f := 0; f < 16; f++ {
+				if got := d.SwitchFor(r, f); got != 2 {
+					t.Fatalf("%v: (%d,%d) on switch %d, want lone survivor 2", pat, r, f, got)
+				}
+			}
+		}
+		if d.Alpha() != s.Alpha() {
+			t.Fatalf("%v: alpha changed across degrade", pat)
+		}
+	}
+}
+
+func TestDegradeAllDeadRejected(t *testing.T) {
+	s := mustSplitter(t, 2, 8, 4, PseudoRandom, 5)
+	if _, err := s.Degrade([]bool{false, false, false, false}, 5); err == nil {
+		t.Fatal("degrading below one survivor must fail")
+	}
+}
+
+// TestDegradeRepairRoundTrips: degrade with a mask, repair back to all
+// alive, repeat with rotating masks. Every intermediate state must
+// validate, and repairing (all-alive Degrade) must return the original
+// healthy splitter — the receiver is never mutated.
+func TestDegradeRepairRoundTrips(t *testing.T) {
+	s := mustSplitter(t, 4, 16, 4, PseudoRandom, 23)
+	want := s.Assignment()
+	for round := 0; round < 8; round++ {
+		alive := []bool{true, true, true, true}
+		alive[round%4] = false
+		if round%3 == 0 {
+			alive[(round+1)%4] = false
+		}
+		d, err := s.Degrade(alive, uint64(round))
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("round %d: degraded state invalid: %v", round, err)
+		}
+		// Surviving fibers never move: only orphans are re-hashed.
+		for r := 0; r < 4; r++ {
+			for f := 0; f < 16; f++ {
+				if home := want[r][f]; alive[home] && d.SwitchFor(r, f) != home {
+					t.Fatalf("round %d: fiber (%d,%d) moved off its live home switch", round, r, f)
+				}
+			}
+		}
+		// Repair: an all-alive mask returns the original splitter object.
+		back, err := s.Degrade([]bool{true, true, true, true}, uint64(round))
+		if err != nil {
+			t.Fatalf("round %d repair: %v", round, err)
+		}
+		if back != s {
+			t.Fatalf("round %d: repair did not return the healthy splitter unchanged", round)
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatalf("round %d: repaired state invalid: %v", round, err)
+		}
+		for r := range want {
+			for f := range want[r] {
+				if s.SwitchFor(r, f) != want[r][f] {
+					t.Fatalf("round %d: degrade mutated the receiver at (%d,%d)", round, r, f)
+				}
+			}
+		}
+	}
+}
+
+// TestDegradeChained: degrading an already-degraded splitter (a second
+// switch dies before the first repairs) must still validate and keep
+// dead switches empty.
+func TestDegradeChained(t *testing.T) {
+	s := mustSplitter(t, 4, 16, 4, PseudoRandom, 31)
+	d1, err := s.Degrade([]bool{true, true, true, false}, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := d1.Degrade([]bool{true, false, true, false}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Validate(); err != nil {
+		t.Fatalf("chained degrade invalid: %v", err)
+	}
+	for r := 0; r < 4; r++ {
+		for f := 0; f < 16; f++ {
+			if sw := d2.SwitchFor(r, f); sw == 1 || sw == 3 {
+				t.Fatalf("fiber (%d,%d) assigned to dead switch %d", r, f, sw)
+			}
+		}
+	}
+}
+
+// TestDegradeAllFibersDim: with every fiber dimmed to zero offered
+// load, the degraded splitter still validates and reports zero load
+// and zero overload loss on every switch — dimming starves traffic,
+// it never breaks the assignment invariant.
+func TestDegradeAllFibersDim(t *testing.T) {
+	s := mustSplitter(t, 4, 16, 4, PseudoRandom, 41)
+	d, err := s.Degrade([]bool{true, false, true, true}, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := make([][]float64, 4)
+	for r := range loads {
+		loads[r] = make([]float64, 16) // all fibers dim to zero
+	}
+	for h, l := range d.SwitchLoads(loads) {
+		if l != 0 {
+			t.Fatalf("switch %d sees load %g from fully dimmed fibers", h, l)
+		}
+	}
+	for h, l := range d.OverloadLoss(loads) {
+		if l != 0 {
+			t.Fatalf("switch %d reports overload loss %g at zero load", h, l)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("fully dimmed degraded splitter invalid: %v", err)
+	}
+}

@@ -1,0 +1,85 @@
+package optics
+
+import "fmt"
+
+// The epoch-rehash API: splitter policies (internal/splitpolicy) read
+// the current assignment, compute a load-aware permutation of it, and
+// install the result as a new immutable splitter. Keeping Reassign
+// here — next to Validate — means no policy can ever install a table
+// that violates the evenness invariant the SPS decomposition rests on:
+// every live switch must still see (within one of) F/H' fibers from
+// every ribbon, or the H independent N×N switches stop being N×N
+// switches at 1/H of the package rate.
+
+// Assignment returns a deep copy of the fiber→switch table,
+// assign[ribbon][fiber] = switch. Mutating the copy never affects the
+// splitter; feed the edited table back through Reassign.
+func (s *Splitter) Assignment() [][]int {
+	out := make([][]int, s.N)
+	for r := range out {
+		out[r] = append([]int(nil), s.assign[r]...)
+	}
+	return out
+}
+
+// Reassign returns a new splitter carrying the given assignment table
+// and surviving-switch mask (nil, or all-true, means healthy). The
+// receiver is unchanged. The table is validated before it is accepted:
+// dimensions must match and every ribbon's fibers must spread within
+// one of even across the live switches — the same invariant Validate
+// enforces, so a policy bug surfaces here instead of as silent switch
+// overload.
+func (s *Splitter) Reassign(assign [][]int, alive []bool) (*Splitter, error) {
+	if len(assign) != s.N {
+		return nil, fmt.Errorf("optics: reassign table has %d ribbons, splitter has N=%d", len(assign), s.N)
+	}
+	for r, row := range assign {
+		if len(row) != s.F {
+			return nil, fmt.Errorf("optics: reassign ribbon %d has %d fibers, splitter has F=%d", r, len(row), s.F)
+		}
+	}
+	if alive != nil {
+		if len(alive) != s.H {
+			return nil, fmt.Errorf("optics: alive mask has %d entries, splitter has H=%d", len(alive), s.H)
+		}
+		all := true
+		for _, a := range alive {
+			if !a {
+				all = false
+				break
+			}
+		}
+		if all {
+			alive = nil // healthy: keep Degraded() false
+		}
+	}
+	n := &Splitter{N: s.N, F: s.F, H: s.H, pattern: s.pattern, assign: make([][]int, s.N)}
+	for r, row := range assign {
+		n.assign[r] = append([]int(nil), row...)
+	}
+	if alive != nil {
+		n.alive = append([]bool(nil), alive...)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("optics: reassign rejected: %w", err)
+	}
+	return n, nil
+}
+
+// MovedFibers counts the (ribbon, fiber) entries whose switch differs
+// between the two splitters — the rewiring cost of a rehash epoch.
+// Splitters of different dimensions count every fiber as moved.
+func MovedFibers(a, b *Splitter) int {
+	if a.N != b.N || a.F != b.F {
+		return a.N * a.F
+	}
+	moved := 0
+	for r := 0; r < a.N; r++ {
+		for f := 0; f < a.F; f++ {
+			if a.assign[r][f] != b.assign[r][f] {
+				moved++
+			}
+		}
+	}
+	return moved
+}

@@ -1,0 +1,129 @@
+package optics
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustSplitter(t *testing.T, n, f, h int, p Pattern, seed uint64) *Splitter {
+	t.Helper()
+	s, err := NewSplitter(n, f, h, p, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAssignmentIsADeepCopy(t *testing.T) {
+	s := mustSplitter(t, 4, 16, 4, PseudoRandom, 7)
+	a := s.Assignment()
+	if len(a) != 4 || len(a[0]) != 16 {
+		t.Fatalf("assignment shape %dx%d, want 4x16", len(a), len(a[0]))
+	}
+	for r := range a {
+		for f := range a[r] {
+			if a[r][f] != s.SwitchFor(r, f) {
+				t.Fatalf("assignment (%d,%d)=%d, SwitchFor=%d", r, f, a[r][f], s.SwitchFor(r, f))
+			}
+		}
+	}
+	was := s.SwitchFor(0, 0)
+	a[0][0] = (was + 1) % 4
+	if s.SwitchFor(0, 0) != was {
+		t.Fatal("mutating the Assignment copy changed the splitter")
+	}
+}
+
+func TestReassignRoundTripAndIndependence(t *testing.T) {
+	s := mustSplitter(t, 4, 16, 4, PseudoRandom, 7)
+	// Swap two fibers of ribbon 0 that live on different switches — a
+	// permutation, so per-switch counts are unchanged.
+	a := s.Assignment()
+	i, j := -1, -1
+	for f := 1; f < 16; f++ {
+		if a[0][f] != a[0][0] {
+			i, j = 0, f
+			break
+		}
+	}
+	if i < 0 {
+		t.Fatal("pseudo-random row is constant")
+	}
+	a[0][i], a[0][j] = a[0][j], a[0][i]
+	n, err := s.Reassign(a, nil)
+	if err != nil {
+		t.Fatalf("reassign: %v", err)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatalf("reassigned splitter invalid: %v", err)
+	}
+	if got := MovedFibers(s, n); got != 2 {
+		t.Fatalf("MovedFibers = %d, want 2", got)
+	}
+	if n.Degraded() {
+		t.Fatal("healthy reassign marked degraded")
+	}
+	// The original is untouched.
+	if s.SwitchFor(0, i) == n.SwitchFor(0, i) {
+		t.Fatal("swap did not take effect")
+	}
+}
+
+func TestReassignRejectsUnevenTables(t *testing.T) {
+	s := mustSplitter(t, 2, 8, 4, Contiguous, 0)
+	a := s.Assignment()
+	// Pile ribbon 0 entirely onto switch 0: violates evenness.
+	for f := range a[0] {
+		a[0][f] = 0
+	}
+	if _, err := s.Reassign(a, nil); err == nil || !strings.Contains(err.Error(), "reassign rejected") {
+		t.Fatalf("uneven table accepted (err=%v)", err)
+	}
+	// Wrong shape.
+	if _, err := s.Reassign(a[:1], nil); err == nil {
+		t.Fatal("short table accepted")
+	}
+	// Out-of-range switch index.
+	b := s.Assignment()
+	b[1][0] = 99
+	if _, err := s.Reassign(b, nil); err == nil {
+		t.Fatal("out-of-range switch accepted")
+	}
+}
+
+func TestReassignDegradedMask(t *testing.T) {
+	s := mustSplitter(t, 2, 8, 4, PseudoRandom, 3)
+	alive := []bool{true, false, true, true}
+	d, err := s.Degrade(alive, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-install the degraded table through Reassign with the mask: it
+	// must validate and stay degraded.
+	n, err := s.Reassign(d.Assignment(), alive)
+	if err != nil {
+		t.Fatalf("reassign degraded table: %v", err)
+	}
+	if !n.Degraded() {
+		t.Fatal("degraded mask lost")
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A table still feeding the dead switch must be rejected.
+	if _, err := s.Reassign(s.Assignment(), alive); err == nil {
+		t.Fatal("table feeding a dead switch accepted")
+	}
+	// An all-true mask normalizes to healthy.
+	n2, err := s.Reassign(s.Assignment(), []bool{true, true, true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.Degraded() {
+		t.Fatal("all-alive mask left the splitter degraded")
+	}
+	// A bad mask length is rejected.
+	if _, err := s.Reassign(s.Assignment(), []bool{true}); err == nil {
+		t.Fatal("short alive mask accepted")
+	}
+}

@@ -1,11 +1,16 @@
 package serve
 
 import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"runtime/debug"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"pbrouter/internal/corestats"
@@ -33,6 +38,7 @@ func (s *Server) apiRoutes(mux *http.ServeMux, prefix string) {
 	mux.HandleFunc("GET "+prefix+"/jobs/{id}/trace", s.handleAPITrace)
 	mux.HandleFunc("GET "+prefix+"/server", s.handleAPIServer)
 	mux.HandleFunc("GET "+prefix+"/queue", s.handleAPIQueue)
+	mux.HandleFunc("GET "+prefix+"/fleet", s.handleAPIFleet)
 }
 
 // ListQuery filters and pages GET /api/v1/jobs.
@@ -287,6 +293,65 @@ func (s *Server) handleAPIServer(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleAPIQueue(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Queue())
+}
+
+// FleetStatus is the wire form of GET /api/v1/fleet: the upstream
+// coordinator's /fleet report verbatim (the fleet.Info shape) plus its
+// spsfleet_* metric lines from the Prometheus exposition.
+type FleetStatus struct {
+	Fleet   json.RawMessage `json:"fleet"`
+	Metrics []string        `json:"metrics"`
+}
+
+// handleAPIFleet proxies the configured spsfleet coordinator's /fleet
+// report and metrics for the dashboard's fleet-health panel. The
+// daemon stays a pure proxy: the report bytes are the coordinator's
+// own, so the panel shows exactly what `curl $fleet/fleet` shows.
+func (s *Server) handleAPIFleet(w http.ResponseWriter, r *http.Request) {
+	base := strings.TrimRight(s.cfg.FleetURL, "/")
+	if base == "" {
+		writeError(w, http.StatusNotFound, "no fleet coordinator configured (start spsd with -fleet URL)")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+	defer cancel()
+	info, err := fleetGET(ctx, base+"/fleet")
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "fleet coordinator unreachable: "+err.Error())
+		return
+	}
+	if !json.Valid(info) {
+		writeError(w, http.StatusBadGateway, "fleet coordinator returned invalid JSON")
+		return
+	}
+	st := FleetStatus{Fleet: json.RawMessage(info), Metrics: []string{}}
+	// Metrics are best-effort: a coordinator that predates /metrics
+	// still renders the backend table.
+	if raw, err := fleetGET(ctx, base+"/metrics"); err == nil {
+		for _, line := range strings.Split(string(raw), "\n") {
+			if strings.HasPrefix(line, "spsfleet_") {
+				st.Metrics = append(st.Metrics, line)
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// fleetGET fetches one coordinator endpoint with a bounded body read.
+func fleetGET(ctx context.Context, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s returned %s", url, resp.Status)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 }
 
 // queryInt parses an optional non-negative integer query parameter.

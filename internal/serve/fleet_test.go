@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestFleetProxyDisabledReturns404 pins the no-coordinator error: a
+// daemon started without -fleet answers the dashboard's fleet poll
+// with a clear 404 rather than a confusing upstream error.
+func TestFleetProxyDisabledReturns404(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	code, body := getBody(t, ts.URL+api+"/fleet")
+	if code != http.StatusNotFound {
+		t.Fatalf("GET /fleet without coordinator: HTTP %d, want 404 (%s)", code, body)
+	}
+	if !bytes.Contains(body, []byte("no fleet coordinator configured")) {
+		t.Fatalf("404 body should explain the missing -fleet flag, got %s", body)
+	}
+}
+
+// TestFleetProxyPassesReportAndFiltersMetrics points the daemon at a
+// fake coordinator and checks the two halves of the panel payload: the
+// /fleet JSON arrives verbatim, and only spsfleet_-prefixed metric
+// lines survive the filter.
+func TestFleetProxyPassesReportAndFiltersMetrics(t *testing.T) {
+	report := `{"service":"spsfleet","scheduler":"p2c","backends":[{"url":"http://b0","alive":true,"picks":7}]}`
+	metrics := strings.Join([]string{
+		"# HELP spsfleet_units_total units dispatched",
+		"spsfleet_units_total 42",
+		"spsfleet_backend_alive{url=\"http://b0\"} 1",
+		"go_goroutines 12",
+		"process_cpu_seconds_total 0.5",
+	}, "\n") + "\n"
+	coord := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/fleet":
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(report))
+		case "/metrics":
+			w.Write([]byte(metrics))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer coord.Close()
+
+	_, ts := newTestServer(t, Config{Workers: 1, FleetURL: coord.URL})
+	code, body := getBody(t, ts.URL+api+"/fleet")
+	if code != http.StatusOK {
+		t.Fatalf("GET /fleet: HTTP %d: %s", code, body)
+	}
+	var got FleetStatus
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("bad payload %v: %s", err, body)
+	}
+
+	// Verbatim passthrough: the panel must show exactly what the
+	// coordinator reports, not a re-marshalled approximation.
+	var want, have any
+	if err := json.Unmarshal([]byte(report), &want); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(got.Fleet, &have); err != nil {
+		t.Fatalf("fleet field is not the coordinator report: %v (%s)", err, got.Fleet)
+	}
+	wb, _ := json.Marshal(want)
+	hb, _ := json.Marshal(have)
+	if !bytes.Equal(wb, hb) {
+		t.Fatalf("fleet report mangled in transit:\n got %s\nwant %s", hb, wb)
+	}
+
+	if len(got.Metrics) != 2 {
+		t.Fatalf("metrics = %q, want exactly the 2 spsfleet_ samples", got.Metrics)
+	}
+	for _, line := range got.Metrics {
+		if !strings.HasPrefix(line, "spsfleet_") {
+			t.Fatalf("non-fleet metric leaked through the filter: %q", line)
+		}
+	}
+}
+
+// TestFleetProxyUpstreamDownIs502 kills the coordinator and checks the
+// panel gets a gateway error it can render, not a hang or a 500.
+func TestFleetProxyUpstreamDownIs502(t *testing.T) {
+	coord := httptest.NewServer(http.NotFoundHandler())
+	url := coord.URL
+	coord.Close()
+
+	_, ts := newTestServer(t, Config{Workers: 1, FleetURL: url})
+	code, body := getBody(t, ts.URL+api+"/fleet")
+	if code != http.StatusBadGateway {
+		t.Fatalf("GET /fleet with dead coordinator: HTTP %d, want 502 (%s)", code, body)
+	}
+	if !bytes.Contains(body, []byte("fleet coordinator unreachable")) {
+		t.Fatalf("502 body should name the unreachable coordinator, got %s", body)
+	}
+}

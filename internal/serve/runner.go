@@ -10,6 +10,7 @@ import (
 	"pbrouter/internal/hbmswitch"
 	"pbrouter/internal/resilience"
 	"pbrouter/internal/sim"
+	"pbrouter/internal/splitpolicy"
 	"pbrouter/internal/telemetry"
 	"pbrouter/router"
 )
@@ -60,6 +61,8 @@ func runSpec(ctx context.Context, spec Spec, env runEnv) ([]byte, error) {
 		return runValidate(ctx, spec.Validate, env)
 	case KindResilience:
 		return runResilience(ctx, spec.Resilience, env)
+	case KindSplit:
+		return runSplit(ctx, spec.Split, env)
 	default:
 		return nil, fmt.Errorf("serve: unknown job kind %q", spec.Kind)
 	}
@@ -221,4 +224,42 @@ func runResilience(ctx context.Context, cfg *resilience.SweepConfig, env runEnv)
 		env.emit(unitEvent{Job: env.id, Event: "unit", Unit: k + 1, Of: c.NumPoints()})
 	}
 	return assembleResilience(c, pts)
+}
+
+// runSplit runs a splitter-policy sweep point by point — the same grid
+// in the same order as spssplit — checkpointing each completed point
+// and streaming its per-epoch split.policy.* series. The assembled
+// table serializes through telemetry.Series.WriteJSON, the writer
+// behind spssplit -json.
+func runSplit(ctx context.Context, cfg *splitpolicy.SweepConfig, env runEnv) ([]byte, error) {
+	c := *cfg
+	c.Workers = env.workers
+	pts, err := decodeSplitUnits(env.units)
+	if err != nil {
+		return nil, err
+	}
+	if len(pts) > c.NumPoints() {
+		pts = pts[:c.NumPoints()]
+	}
+	for k := len(pts); k < c.NumPoints(); k++ {
+		pt, rep, err := c.RunPoint(ctx, k)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, pt)
+		if k == 0 {
+			env.emit(probesEvent{Job: env.id, Event: "probes", Names: rep.Series.Names})
+		}
+		for i, t := range rep.Series.Times {
+			env.emit(sampleEvent{Job: env.id, Event: "sample", Point: k, TimePs: t, Values: rep.Series.Rows[i]})
+		}
+		if env.saveSeries != nil {
+			env.saveSeries(k, rep.Series)
+		}
+		if raw, err := json.Marshal(pt); err == nil && env.saveUnit != nil {
+			env.saveUnit(raw)
+		}
+		env.emit(unitEvent{Job: env.id, Event: "unit", Unit: k + 1, Of: c.NumPoints()})
+	}
+	return assembleSplit(c, pts)
 }

@@ -51,6 +51,11 @@ type Config struct {
 	APIPrefix string
 	// UI serves the embedded web dashboard at / when true.
 	UI bool
+	// FleetURL is the base URL of an spsfleet coordinator; when set,
+	// GET {APIPrefix}/fleet proxies its /fleet report and spsfleet_*
+	// metrics so the dashboard can render fleet health next to the
+	// local job table. Empty disables the endpoint.
+	FleetURL string
 }
 
 // Server owns the job table, the bounded admission queue, and the

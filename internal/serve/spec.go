@@ -13,6 +13,7 @@
 //	sweep      ≡ spsbench -format json   (router.Result.WriteJSON)
 //	validate   ≡ spsvalidate -out -      (validate.SweepResult.WriteJSON)
 //	resilience ≡ spsresil -json -out -   (telemetry.Series.WriteJSON)
+//	split      ≡ spssplit -json -out -   (telemetry.Series.WriteJSON)
 package serve
 
 import (
@@ -23,6 +24,7 @@ import (
 	"pbrouter/internal/hbmswitch"
 	"pbrouter/internal/resilience"
 	"pbrouter/internal/sim"
+	"pbrouter/internal/splitpolicy"
 	"pbrouter/internal/traffic"
 	"pbrouter/internal/validate"
 	"pbrouter/router"
@@ -37,6 +39,7 @@ const (
 	KindSweep      Kind = "sweep"      // one paper experiment (E1..E15, A1..A3)
 	KindValidate   Kind = "validate"   // randomized differential-validation sweep
 	KindResilience Kind = "resilience" // availability sweep under injected faults
+	KindSplit      Kind = "split"      // splitter-policy sweep (policy × workload grid)
 )
 
 // Spec is a job specification as submitted to POST /jobs: a kind plus
@@ -44,11 +47,12 @@ const (
 // CLI flag defaults, so {"kind":"sim"} runs exactly what a bare
 // `spssim` runs.
 type Spec struct {
-	Kind       Kind                    `json:"kind"`
-	Sim        *SimSpec                `json:"sim,omitempty"`
-	Sweep      *SweepSpec              `json:"sweep,omitempty"`
-	Validate   *ValidateSpec           `json:"validate,omitempty"`
-	Resilience *resilience.SweepConfig `json:"resilience,omitempty"`
+	Kind       Kind                     `json:"kind"`
+	Sim        *SimSpec                 `json:"sim,omitempty"`
+	Sweep      *SweepSpec               `json:"sweep,omitempty"`
+	Validate   *ValidateSpec            `json:"validate,omitempty"`
+	Resilience *resilience.SweepConfig  `json:"resilience,omitempty"`
+	Split      *splitpolicy.SweepConfig `json:"split,omitempty"`
 }
 
 // Normalize fills the active sub-spec (creating it if absent) with its
@@ -75,6 +79,11 @@ func (s *Spec) Normalize() {
 			s.Resilience = &resilience.SweepConfig{}
 		}
 		s.Resilience.Normalize()
+	case KindSplit:
+		if s.Split == nil {
+			s.Split = &splitpolicy.SweepConfig{}
+		}
+		s.Split.Normalize()
 	}
 }
 
@@ -89,9 +98,11 @@ func (s Spec) Check() error {
 		return s.Validate.Check()
 	case KindResilience:
 		return s.Resilience.Check()
+	case KindSplit:
+		return s.Split.Check()
 	default:
-		return fmt.Errorf("serve: unknown job kind %q (%s|%s|%s|%s)",
-			s.Kind, KindSim, KindSweep, KindValidate, KindResilience)
+		return fmt.Errorf("serve: unknown job kind %q (%s|%s|%s|%s|%s)",
+			s.Kind, KindSim, KindSweep, KindValidate, KindResilience, KindSplit)
 	}
 }
 
@@ -106,6 +117,8 @@ func (s Spec) UnitCount() int {
 		return (s.Validate.Cases + validateChunk - 1) / validateChunk
 	case KindResilience:
 		return s.Resilience.NumPoints()
+	case KindSplit:
+		return s.Split.NumPoints()
 	default:
 		return 1
 	}
@@ -115,7 +128,7 @@ func (s Spec) UnitCount() int {
 // Normalize applies the same defaults the flag set declares.
 type SimSpec struct {
 	Load      float64  `json:"load,omitempty"`       // offered load per input in [0,1]
-	Matrix    string   `json:"matrix,omitempty"`     // uniform|diagonal|hotspot|failover
+	Matrix    string   `json:"matrix,omitempty"`     // uniform|diagonal|hotspot|incast|failover
 	Sizes     string   `json:"sizes,omitempty"`      // imix|64|1500|uniform
 	Arrival   string   `json:"arrival,omitempty"`    // poisson|bursty
 	HorizonPs sim.Time `json:"horizon_ps,omitempty"` // simulated duration

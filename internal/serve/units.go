@@ -9,6 +9,7 @@ import (
 
 	"pbrouter/internal/parallel"
 	"pbrouter/internal/resilience"
+	"pbrouter/internal/splitpolicy"
 	"pbrouter/internal/validate"
 )
 
@@ -66,6 +67,14 @@ func RunUnit(ctx context.Context, spec Spec, u, workers int) (json.RawMessage, e
 		return json.Marshal(chunk)
 	case KindResilience:
 		c := *spec.Resilience
+		c.Workers = workers
+		pt, _, err := c.RunPoint(ctx, u)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(pt)
+	case KindSplit:
+		c := *spec.Split
 		c.Workers = workers
 		pt, _, err := c.RunPoint(ctx, u)
 		if err != nil {
@@ -139,6 +148,12 @@ func AssembleUnits(spec Spec, units []json.RawMessage) ([]byte, error) {
 			return nil, err
 		}
 		return assembleResilience(*spec.Resilience, pts)
+	case KindSplit:
+		pts, err := decodeSplitUnits(units)
+		if err != nil {
+			return nil, err
+		}
+		return assembleSplit(*spec.Split, pts)
 	case KindSim:
 		// The unit is the report JSON; recover the invariant-violation
 		// verdict runSim derives from the in-memory report.
@@ -177,6 +192,33 @@ func decodeResilienceUnits(units []json.RawMessage) ([]resilience.SweepPoint, er
 		var pt resilience.SweepPoint
 		if err := json.Unmarshal(u, &pt); err != nil {
 			return nil, fmt.Errorf("serve: corrupt resilience checkpoint unit: %w", err)
+		}
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}
+
+// assembleSplit serializes the policy-sweep table from the complete
+// point list, mirroring spssplit's exit semantics.
+func assembleSplit(c splitpolicy.SweepConfig, pts []splitpolicy.SweepPoint) ([]byte, error) {
+	table, violations := c.Assemble(pts)
+	var buf bytes.Buffer
+	if err := table.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	if (c.Validate == nil || *c.Validate) && violations > 0 {
+		return buf.Bytes(), &FoundError{N: violations, What: "invariant violations"}
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeSplitUnits decodes checkpointed policy-sweep points.
+func decodeSplitUnits(units []json.RawMessage) ([]splitpolicy.SweepPoint, error) {
+	var pts []splitpolicy.SweepPoint
+	for _, u := range units {
+		var pt splitpolicy.SweepPoint
+		if err := json.Unmarshal(u, &pt); err != nil {
+			return nil, fmt.Errorf("serve: corrupt split checkpoint unit: %w", err)
 		}
 		pts = append(pts, pt)
 	}

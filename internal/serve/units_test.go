@@ -12,6 +12,7 @@ import (
 
 	"pbrouter/internal/resilience"
 	"pbrouter/internal/sim"
+	"pbrouter/internal/splitpolicy"
 )
 
 // unitTestSpecs is one quick spec per job kind, multi-unit where the
@@ -30,6 +31,12 @@ func unitTestSpecs() map[string]Spec {
 		"resilience": {Kind: KindResilience, Resilience: &resilience.SweepConfig{
 			Mode: resilience.ModeFailedSwitches, MaxFailed: 2,
 			HorizonPs: 5 * sim.Microsecond, Seed: 5,
+		}},
+		"split": {Kind: KindSplit, Split: &splitpolicy.SweepConfig{
+			Policies:  []string{splitpolicy.PolicyStatic, splitpolicy.PolicyLeastLoaded},
+			Workloads: []string{splitpolicy.WorkloadAdversarial},
+			N:         4, F: 8, H: 4,
+			HorizonPs: 4 * sim.Microsecond, Epochs: 2, Seed: 5,
 		}},
 	}
 }
@@ -58,6 +65,9 @@ func TestRunUnitAssembleMatchesRunSpec(t *testing.T) {
 			}
 			if name == "resilience" && n != 3 {
 				t.Fatalf("resilience spec has %d units, want 3", n)
+			}
+			if name == "split" && n != 2 {
+				t.Fatalf("split spec has %d units, want 2", n)
 			}
 			units := make([]json.RawMessage, n)
 			for u := 0; u < n; u++ {

@@ -1,0 +1,227 @@
+package splitpolicy
+
+import (
+	"strings"
+	"testing"
+
+	"pbrouter/internal/hbmswitch"
+	"pbrouter/internal/optics"
+	"pbrouter/internal/resilience"
+	"pbrouter/internal/sim"
+	"pbrouter/internal/sps"
+	"pbrouter/internal/traffic"
+)
+
+// testCampaign returns the small, fast SPS the resilience tests use: 4
+// ribbons x 8 fibers over 4 switches (α=2) with single-stack HBM.
+func testCampaign(policy string, load float64, horizon sim.Time, epochs int) Campaign {
+	spsCfg := sps.Config{
+		N: 4, F: 8, H: 4,
+		WDM:     optics.WDM{Wavelengths: 16, ChannelRate: 20 * sim.Gbps},
+		Pattern: optics.PseudoRandom,
+		Seed:    0x5e5,
+	}
+	swCfg := hbmswitch.Scaled(1, spsCfg.PortRate())
+	swCfg.PFI.N = spsCfg.N
+	swCfg.Speedup = 1.1
+	swCfg.FlushTimeout = 100 * sim.Nanosecond
+	return Campaign{
+		SPS:      spsCfg,
+		Switch:   swCfg,
+		Policy:   policy,
+		Load:     load,
+		Kind:     traffic.Poisson,
+		Sizes:    traffic.IMIX(),
+		Horizon:  horizon,
+		Epochs:   epochs,
+		Seed:     21,
+		Validate: true,
+	}
+}
+
+// TestStaticMatchesResilienceEngine is the baseline pin: a static
+// single-epoch campaign must reproduce the resilience engine's result
+// bit for bit — same goodput, same violations — because the static
+// policy IS the pre-policy code path (same splitter, same per-switch
+// seeds, same traffic construction).
+func TestStaticMatchesResilienceEngine(t *testing.T) {
+	const horizon = 12 * sim.Microsecond
+	c := testCampaign(PolicyStatic, 0.9, horizon, 1)
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := resilience.Campaign{
+		SPS: c.SPS, Switch: c.Switch, Load: c.Load,
+		Kind: c.Kind, Sizes: c.Sizes,
+		Horizon: horizon, Seed: c.Seed, Validate: true,
+	}
+	want, err := ref.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, exp := rep.Epochs[0].GoodputGbps, want.Epochs[0].GoodputGbps; got != exp {
+		t.Fatalf("static goodput %v != resilience engine %v — static is no longer byte-identical to the paper baseline", got, exp)
+	}
+	if rep.Rehashes != 0 || rep.MovedFibers != 0 {
+		t.Fatalf("static policy rehashed: %d rehashes, %d moved fibers", rep.Rehashes, rep.MovedFibers)
+	}
+	if vs := rep.Violations(); len(vs) > 0 {
+		t.Fatalf("static campaign violated invariants: %v", vs)
+	}
+}
+
+// TestStaticMatchesResilienceUnderOutage: the pin must also hold with
+// a switch down — the static policy falls back to the same Degrade
+// call at the same seed.
+func TestStaticMatchesResilienceUnderOutage(t *testing.T) {
+	const horizon = 12 * sim.Microsecond
+	c := testCampaign(PolicyStatic, 0.9, horizon, 1)
+	c.Faults = resilience.SwitchOutage([]int{1}, 0, sim.Forever)
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := resilience.Campaign{
+		SPS: c.SPS, Switch: c.Switch, Load: c.Load,
+		Kind: c.Kind, Sizes: c.Sizes, Faults: c.Faults,
+		Horizon: horizon, Seed: c.Seed, Validate: true,
+	}
+	want, err := ref.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, exp := rep.Epochs[0].GoodputGbps, want.Epochs[0].GoodputGbps; got != exp {
+		t.Fatalf("degraded static goodput %v != resilience engine %v", got, exp)
+	}
+}
+
+// TestAdaptiveInvariantsAcrossRehashEpochs: every adaptive policy must
+// run a multi-epoch campaign — rehashing at each boundary — with zero
+// FIFO/conservation violations and structurally valid assignments
+// (Reassign rejects invalid tables, so Run erroring would catch that).
+func TestAdaptiveInvariantsAcrossRehashEpochs(t *testing.T) {
+	for _, name := range []string{PolicyLeastLoaded, PolicyP2C, PolicyAdaptive} {
+		c := testCampaign(name, 0.9, 12*sim.Microsecond, 3)
+		rep, err := c.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(rep.Epochs) != 3 {
+			t.Fatalf("%s: got %d epochs, want 3", name, len(rep.Epochs))
+		}
+		if vs := rep.Violations(); len(vs) > 0 {
+			t.Fatalf("%s: rehash epochs violated invariants: %v", name, vs)
+		}
+	}
+}
+
+// TestAdaptiveInvariantsUnderChurn: rehashing while switches fail and
+// repair mid-campaign — assignments must track the alive mask and the
+// invariants must hold in every epoch.
+func TestAdaptiveInvariantsUnderChurn(t *testing.T) {
+	c := testCampaign(PolicyAdaptive, 0.8, 12*sim.Microsecond, 3)
+	c.Faults = []resilience.Fault{
+		{Kind: resilience.SwitchFailure, Switch: 2, Fail: 3 * sim.Microsecond, Repair: 9 * sim.Microsecond},
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := rep.Violations(); len(vs) > 0 {
+		t.Fatalf("churn campaign violated invariants: %v", vs)
+	}
+}
+
+// TestAdaptiveBeatsStaticOnAdversarial is the subsystem's acceptance
+// criterion: under the adversarial concentration workload (α hot
+// fibers per ribbon, everything else dark) a load-aware policy must
+// beat the paper's static pseudo-random assignment on max-over-mean
+// switch load.
+func TestAdaptiveBeatsStaticOnAdversarial(t *testing.T) {
+	mom := make(map[string]float64)
+	for _, name := range []string{PolicyStatic, PolicyLeastLoaded, PolicyAdaptive} {
+		c := testCampaign(name, 0.9, 12*sim.Microsecond, 2)
+		c.Flows = sps.Adversarial(c.SPS, c.Seed)
+		for i := range c.Flows {
+			c.Flows[i].Rate *= 0.9
+		}
+		rep, err := c.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		mom[name] = rep.OfferedMaxOverMean
+	}
+	if mom[PolicyLeastLoaded] >= mom[PolicyStatic] {
+		t.Fatalf("leastloaded MoM %v does not beat static %v on adversarial concentration",
+			mom[PolicyLeastLoaded], mom[PolicyStatic])
+	}
+	// The greedy policy can spread α hot fibers per ribbon perfectly.
+	if mom[PolicyLeastLoaded] > 1.0001 {
+		t.Fatalf("leastloaded MoM %v should be ~1.0 on the adversarial pattern", mom[PolicyLeastLoaded])
+	}
+}
+
+// TestCampaignWorkerByteIdentity: the per-switch seeds depend only on
+// (epoch, switch), so the serialized report must not change with the
+// worker count.
+func TestCampaignWorkerByteIdentity(t *testing.T) {
+	out := make([]string, 2)
+	for i, workers := range []int{1, 7} {
+		c := testCampaign(PolicyAdaptive, 0.9, 8*sim.Microsecond, 2)
+		c.Workers = workers
+		rep, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var csv, js strings.Builder
+		if err := rep.WriteCSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WriteJSON(&js); err != nil {
+			t.Fatal(err)
+		}
+		out[i] = csv.String() + js.String()
+	}
+	if out[0] != out[1] {
+		t.Fatal("campaign report differs between -j 1 and -j 7")
+	}
+}
+
+// TestSeriesColumns: the telemetry trajectory must carry the
+// split.policy.* probes with one row per epoch.
+func TestSeriesColumns(t *testing.T) {
+	c := testCampaign(PolicyLeastLoaded, 0.9, 8*sim.Microsecond, 2)
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Series.Rows) != 2 {
+		t.Fatalf("series has %d rows, want 2", len(rep.Series.Rows))
+	}
+	for _, name := range rep.Series.Names {
+		if !strings.HasPrefix(name, "split.policy.") {
+			t.Fatalf("series column %q missing the split.policy. prefix", name)
+		}
+	}
+}
+
+// TestCampaignChecks: bad configurations must be rejected up front.
+func TestCampaignChecks(t *testing.T) {
+	c := testCampaign("nosuch", 0.9, 8*sim.Microsecond, 2)
+	if _, err := c.Run(); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	c = testCampaign(PolicyStatic, 0.9, 0, 2)
+	if _, err := c.Run(); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+	c = testCampaign(PolicyStatic, 0.9, 8*sim.Microsecond, 0)
+	if _, err := c.Run(); err == nil {
+		t.Fatal("zero epochs accepted")
+	}
+	c = testCampaign(PolicyStatic, 1.5, 8*sim.Microsecond, 1)
+	if _, err := c.Run(); err == nil {
+		t.Fatal("load above 1 accepted")
+	}
+}

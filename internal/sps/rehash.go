@@ -1,0 +1,33 @@
+package sps
+
+// Policy-facing wiring for the splitter-rehash subsystem
+// (internal/splitpolicy): a deployment can swap in a re-hashed
+// assignment table at an epoch boundary, and exposes the per-fiber
+// offered-load view a load-aware policy senses.
+
+// Reassign returns a deployment on a new splitter carrying the given
+// fiber→switch table and surviving-switch mask (nil = healthy). The
+// table is validated by optics.Splitter.Reassign — a policy can never
+// install an assignment that breaks the evenness invariant. The
+// receiver is unchanged.
+func (d *Deployment) Reassign(assign [][]int, alive []bool) (*Deployment, error) {
+	sp, err := d.Splitter.Reassign(assign, alive)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{Cfg: d.Cfg, Splitter: sp}, nil
+}
+
+// FiberLoads aggregates flows into per-(ribbon, fiber) offered load,
+// in units of one fiber's capacity — the sensing input of a splitter
+// policy. Independent of the current assignment.
+func (d *Deployment) FiberLoads(flows []Flow) [][]float64 {
+	out := make([][]float64, d.Cfg.N)
+	for r := range out {
+		out[r] = make([]float64, d.Cfg.F)
+	}
+	for _, f := range flows {
+		out[f.SrcRibbon][f.Fiber] += f.Rate
+	}
+	return out
+}

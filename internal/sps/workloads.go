@@ -1,0 +1,85 @@
+package sps
+
+import "pbrouter/internal/sim"
+
+// Flow populations for the splitter-policy sweeps (cmd/spssplit): the
+// heavy-tailed and many→one patterns ROADMAP's workload-realism item
+// calls for, at the flow level where the splitter's fiber→switch
+// assignment — not the per-switch matrix — is what decides who
+// overloads.
+
+// Elephants builds a heavy-tailed flow population per ribbon: a few
+// elephant flows carry elephantShare of the ribbon's load, the
+// remaining mice split the rest. One in eight flows is an elephant.
+// Fibers are chosen by hashing each flow's 5-tuple (the upstream
+// ECMP/LAG placement), destinations uniform — so a handful of fibers
+// carry most of the bytes and a load-oblivious splitter concentrates
+// them by luck of the hash. Load is the per-ribbon total in units of
+// one fiber's capacity per fiber (as ECMPUniform).
+func Elephants(cfg Config, flowsPerRibbon int, load, elephantShare float64, seed uint64) []Flow {
+	if flowsPerRibbon < 8 {
+		flowsPerRibbon = 8
+	}
+	if elephantShare < 0 {
+		elephantShare = 0
+	}
+	if elephantShare > 1 {
+		elephantShare = 1
+	}
+	rng := sim.NewRNG(seed)
+	elephants := flowsPerRibbon / 8
+	mice := flowsPerRibbon - elephants
+	total := load * float64(cfg.F)
+	perElephant := total * elephantShare / float64(elephants)
+	perMouse := total * (1 - elephantShare) / float64(mice)
+	var flows []Flow
+	for r := 0; r < cfg.N; r++ {
+		for i := 0; i < flowsPerRibbon; i++ {
+			rate := perMouse
+			if i < elephants {
+				rate = perElephant
+			}
+			t := randomTuple(rng)
+			flows = append(flows, Flow{
+				SrcRibbon: r,
+				Fiber:     t.Member(uint32(seed), cfg.F),
+				DstRibbon: rng.Intn(cfg.N),
+				Rate:      rate,
+				Tuple:     t,
+			})
+		}
+	}
+	return flows
+}
+
+// IncastFlows models many→one at the flow level: every ribbon sends
+// its whole load to destination ribbon 0 (the traffic.Incast matrix
+// seen package-wide), flows placed on fibers by 5-tuple hash. The
+// per-fiber load is capped at 0.97/N so the hot output column of each
+// HBM switch stays admissible — the same convention traffic.Incast
+// uses — while the fiber-level concentration still stresses the
+// splitter.
+func IncastFlows(cfg Config, flowsPerRibbon int, load float64, seed uint64) []Flow {
+	if flowsPerRibbon < 1 {
+		flowsPerRibbon = 1
+	}
+	if max := 0.97 / float64(cfg.N); load > max {
+		load = max
+	}
+	rng := sim.NewRNG(seed)
+	perFlow := load * float64(cfg.F) / float64(flowsPerRibbon)
+	var flows []Flow
+	for r := 0; r < cfg.N; r++ {
+		for i := 0; i < flowsPerRibbon; i++ {
+			t := randomTuple(rng)
+			flows = append(flows, Flow{
+				SrcRibbon: r,
+				Fiber:     t.Member(uint32(seed), cfg.F),
+				DstRibbon: 0,
+				Rate:      perFlow,
+				Tuple:     t,
+			})
+		}
+	}
+	return flows
+}

@@ -1,0 +1,35 @@
+package traffic
+
+import "testing"
+
+func TestIncastConcentratesOnOutputZero(t *testing.T) {
+	m := Incast(8, 0.1)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if m.Rates[i][0] != 0.1 {
+			t.Fatalf("input %d sends %g to output 0, want 0.1", i, m.Rates[i][0])
+		}
+		for j := 1; j < 8; j++ {
+			if m.Rates[i][j] != 0 {
+				t.Fatalf("input %d leaks %g to output %d", i, m.Rates[i][j], j)
+			}
+		}
+	}
+	if got, want := m.ColLoad(0), 0.8; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("hot column load %g, want %g", got, want)
+	}
+}
+
+func TestIncastCapsLoadForAdmissibility(t *testing.T) {
+	for _, n := range []int{4, 8, 16} {
+		m := Incast(n, 0.99)
+		if !m.Admissible(1e-9) {
+			t.Fatalf("n=%d: incast matrix inadmissible, hot column %g", n, m.ColLoad(0))
+		}
+		if got, want := m.ColLoad(0), 0.97; got > want+1e-9 {
+			t.Fatalf("n=%d: hot column %g exceeds the 0.97 cap", n, got)
+		}
+	}
+}

@@ -107,6 +107,25 @@ func Concentrated(n int, load float64, k int) *Matrix {
 	return m
 }
 
+// Incast returns the many→one matrix: every input sends its whole
+// load to output 0 — the hot column absorbs n·load while the other
+// N-1 ports idle. This is the datacenter incast pattern (a fan-in
+// barrier: many senders answer one receiver at once) and the pure
+// single-column stress for output buffering, harder than Hotspot
+// (which spreads most load uniformly) and the k=1 corner Concentrated
+// approaches. The load is capped at 0.97/n so the hot column sum stays
+// admissible — the same convention as Concentrated and Failover.
+func Incast(n int, load float64) *Matrix {
+	if max := 0.97 / float64(n); load > max {
+		load = max
+	}
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		m.Rates[i][0] = load
+	}
+	return m
+}
+
 // Failover returns the matrix seen after a mid-run failure shifted
 // load onto the survivors: every one of the n inputs spreads its whole
 // load evenly over the outputs NOT listed in failed (traffic for a

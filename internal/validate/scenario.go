@@ -57,8 +57,8 @@ type Scenario struct {
 	PortGbps float64 `json:"port_gbps"`
 	Speedup  float64 `json:"speedup"`
 
-	// Matrix is uniform|diagonal|hotspot|concentrated; Load is the
-	// per-input offered load the matrix is built at.
+	// Matrix is uniform|diagonal|hotspot|concentrated|incast; Load is
+	// the per-input offered load the matrix is built at.
 	Matrix     string  `json:"matrix"`
 	Load       float64 `json:"load"`
 	Shift      int     `json:"shift,omitempty"`
@@ -172,6 +172,13 @@ func Generate(seed uint64) Scenario {
 	} else {
 		sc.HorizonUs = round1(8 + 22*rng.Float64())
 	}
+	// Incast widening, drawn last so every earlier draw — and with it
+	// every scenario generated before this knob existed — is unchanged
+	// for a given seed: a quarter of the uniform cases become the
+	// many→one pattern instead.
+	if sc.Matrix == "uniform" && rng.Float64() < 0.25 {
+		sc.Matrix = "incast"
+	}
 	return sc
 }
 
@@ -260,6 +267,8 @@ func (sc Scenario) BuildMatrix() (*traffic.Matrix, error) {
 		return traffic.Hotspot(sc.N, sc.Load, sc.HotFrac), nil
 	case "concentrated":
 		return traffic.Concentrated(sc.N, sc.Load, sc.HotOutputs), nil
+	case "incast":
+		return traffic.Incast(sc.N, sc.Load), nil
 	}
 	return nil, fmt.Errorf("validate: unknown matrix %q", sc.Matrix)
 }

@@ -59,6 +59,10 @@ export function traceURL(id) {
   return PREFIX + "/jobs/" + encodeURIComponent(id) + "/trace";
 }
 
+export function fleetInfo() {
+  return getJSON("/fleet");
+}
+
 export async function health() {
   const res = await fetch("/healthz");
   return res.json();

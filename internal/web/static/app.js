@@ -17,6 +17,7 @@ for (const btn of document.querySelectorAll("nav button")) {
     btn.classList.add("active");
     $("#tab-" + btn.dataset.tab).classList.add("active");
     if (btn.dataset.tab === "server") refreshServer();
+    if (btn.dataset.tab === "fleet") refreshFleet();
   });
 }
 
@@ -346,6 +347,48 @@ function pct(a, b) {
   return b ? ((100 * a) / b).toFixed(1) + "%" : "0%";
 }
 
+// ---- fleet panel -----------------------------------------------------
+
+// refreshFleet renders the spsfleet coordinator's /fleet report, which
+// the daemon proxies at /api/v1/fleet when started with -fleet URL.
+async function refreshFleet() {
+  const status = $("#fleet-status");
+  try {
+    const f = await api.fleetInfo();
+    status.textContent = "";
+    const info = f.fleet || {};
+    kvTable($("#fleet-info"), info, [
+      ["service", (i) => i.service || "spsfleet"],
+      ["scheduler", (i) => i.scheduler || ""],
+      ["draining", (i) => Boolean(i.draining)],
+      ["uptime", (i) => (i.uptime_seconds || 0).toFixed(0) + " s"],
+      ["unit retries", (i) => i.unit_retries || 0],
+      ["duplicate units", (i) => i.duplicate_units || 0],
+    ]);
+    const tbody = $("#fleet-backends tbody");
+    tbody.replaceChildren(
+      ...(info.backends || []).map((b) => {
+        const tr = document.createElement("tr");
+        tr.innerHTML = `
+          <td>${b.url}</td>
+          <td><span class="state ${b.alive ? "done" : "failed"}">${b.alive ? "up" : "down"}</span></td>
+          <td>${b.inflight || 0}</td>
+          <td>${((b.latency_ewma_seconds || 0) * 1000).toFixed(1)} ms</td>
+          <td>${b.picks || 0}</td>
+          <td>${b.units_ok || 0}</td>
+          <td>${b.units_err || 0}</td>`;
+        return tr;
+      }),
+    );
+    $("#fleet-metrics").textContent = (f.metrics || []).join("\n") || "—";
+  } catch (err) {
+    status.textContent = String(err);
+    $("#fleet-info").replaceChildren();
+    $("#fleet-backends tbody").replaceChildren();
+    $("#fleet-metrics").textContent = "—";
+  }
+}
+
 // ---- boot ------------------------------------------------------------
 
 renderComposer();
@@ -355,4 +398,5 @@ setInterval(refreshHealth, 5000);
 setInterval(() => {
   if ($("#tab-jobs").classList.contains("active")) refreshJobs();
   if ($("#tab-server").classList.contains("active")) refreshServer();
+  if ($("#tab-fleet").classList.contains("active")) refreshFleet();
 }, 3000);

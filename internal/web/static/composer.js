@@ -5,7 +5,7 @@
 export const SCHEMAS = {
   sim: [
     { key: "load", label: "offered load", type: "number", step: 0.05, def: 0.9 },
-    { key: "matrix", label: "traffic matrix", type: "select", options: ["uniform", "diagonal", "hotspot", "failover"], def: "uniform" },
+    { key: "matrix", label: "traffic matrix", type: "select", options: ["uniform", "diagonal", "hotspot", "incast", "failover"], def: "uniform" },
     { key: "sizes", label: "packet sizes", type: "select", options: ["imix", "64", "1500", "uniform"], def: "imix" },
     { key: "arrival", label: "arrivals", type: "select", options: ["poisson", "bursty"], def: "poisson" },
     { key: "horizon_us", label: "horizon (µs)", type: "number", step: 1, def: 50 },
@@ -37,6 +37,14 @@ export const SCHEMAS = {
     { key: "load", label: "offered load", type: "number", step: 0.05, def: 0 },
     { key: "seed", label: "seed", type: "number", step: 1, def: 0 },
   ],
+  split: [
+    { key: "policy", label: "policy", type: "select", options: ["all", "static", "leastloaded", "p2c", "adaptive"], def: "all" },
+    { key: "workload", label: "workload", type: "select", options: ["all", "adversarial", "elephants", "incast", "churn"], def: "all" },
+    { key: "load", label: "offered load", type: "number", step: 0.05, def: 0.9 },
+    { key: "horizon_us", label: "horizon (µs)", type: "number", step: 1, def: 40 },
+    { key: "epochs", label: "rehash epochs", type: "number", step: 1, def: 4 },
+    { key: "seed", label: "seed", type: "number", step: 1, def: 1 },
+  ],
 };
 
 // buildSpec converts form values into a POST /jobs body, omitting
@@ -53,9 +61,15 @@ export function buildSpec(kind, values) {
     body[f.key] = v;
   }
   // The wire spec uses horizon_ps; the form uses µs for humans.
-  if (body.horizon_us !== undefined && kind === "sim") {
+  if (body.horizon_us !== undefined && (kind === "sim" || kind === "split")) {
     body.horizon_ps = Math.round(body.horizon_us * 1e6);
     delete body.horizon_us;
+  }
+  // The split sweep takes lists of policies/workloads; the composer
+  // picks one (or "all", which the server expands via Normalize).
+  if (kind === "split") {
+    if (body.policy) { body.policies = [body.policy]; delete body.policy; }
+    if (body.workload) { body.workloads = [body.workload]; delete body.workload; }
   }
   if (Object.keys(body).length) spec[kind] = body;
   return spec;
