@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-save bench-smoke bench-diff repro fuzz fuzz-smoke validate resil split-smoke serve-smoke ui-smoke fleet-smoke fmt vet clean figures
+.PHONY: all build test race cover bench bench-save bench-smoke bench-diff repro fuzz fuzz-smoke validate resil split-smoke arch-smoke serve-smoke ui-smoke fleet-smoke fmt vet clean figures
 
 all: build vet test race
 
@@ -93,6 +93,14 @@ resil:
 split-smoke:
 	$(GO) run ./cmd/spssplit -quick -j 8 -out /dev/null
 	$(GO) test -run 'TestStaticMatchesResilience|TestCampaignWorkerByteIdentity|TestSweepWorkerByteIdentity' -count=1 ./internal/splitpolicy
+
+# Architecture-arena smoke: the quick (architecture × workload) grid
+# with the SPS validation observer on — exits non-zero on any
+# invariant violation — plus the cross-worker byte-identity, column
+# stream-identity, and heavy-tail separation pins (docs/workloads.md).
+arch-smoke:
+	$(GO) run ./cmd/spsarch -quick -j 8 -out /dev/null
+	$(GO) test -run 'TestGridContract|TestWorkerByteIdentity|TestColumnStreamIdentity|TestHeavyTailSeparation' -count=1 ./internal/arch
 
 # Serving smoke: build the real binaries, run an actual spsd daemon,
 # submit one job of each kind, and require every result byte-identical

@@ -23,8 +23,10 @@ import (
 	"pbrouter/internal/cli"
 	"pbrouter/internal/hbmswitch"
 	"pbrouter/internal/serve"
+	"pbrouter/internal/sim"
 	"pbrouter/internal/telemetry"
 	"pbrouter/internal/traffic"
+	"pbrouter/internal/workload"
 )
 
 func main() {
@@ -41,9 +43,15 @@ func main() {
 		bypass  = flag.Bool("bypass", true, "enable HBM bypass")
 		stacks  = flag.Int("stacks", 4, "HBM stacks (4 = reference; 1 = scaled switch)")
 		replay  = flag.String("replay", "", "replay a trafficgen trace instead of generating traffic")
-		refresh = flag.Bool("refresh", false, "enable the REFsb refresh scheduler")
-		sched   = flag.String("sched", "wheel", "event-queue implementation: wheel|heap (byte-identical output; heap is the legacy differential baseline)")
-		jsonOut = flag.Bool("json", false, "write the report as JSON to stdout (the serving daemon's wire format) instead of the human summary")
+
+		wl       = flag.String("workload", "uniform", "flow-level workload: uniform|heavytail|onoff|diurnal|replay (non-uniform kinds replace -arrival)")
+		flowDist = flag.String("flow-dist", "", "heavytail flow-size distribution: pareto|lognormal")
+		tail     = flag.Float64("tail", 0, "heavytail Pareto tail index in (1,5] (0 = default)")
+		burst    = flag.Float64("burst-ratio", 0, "onoff peak/mean load ratio >= 1 (0 = default)")
+		wlReplay = flag.String("replay-ndjson", "", "NDJSON workload trace (with -workload replay)")
+		refresh  = flag.Bool("refresh", false, "enable the REFsb refresh scheduler")
+		sched    = flag.String("sched", "wheel", "event-queue implementation: wheel|heap (byte-identical output; heap is the legacy differential baseline)")
+		jsonOut  = flag.Bool("json", false, "write the report as JSON to stdout (the serving daemon's wire format) instead of the human summary")
 
 		telemetryOut = flag.String("telemetry", "", "write simulated-time telemetry to this file (.json for JSON, else CSV; - for stdout)")
 		telePeriod   = flag.String("telemetry-period", "1us", "telemetry sampling period (simulated time)")
@@ -57,10 +65,18 @@ func main() {
 	if err != nil {
 		cli.Exit(cli.Outcome{UsageErr: err})
 	}
+	wf := cli.WorkloadFlags{
+		Kind: *wl, FlowDist: *flowDist, TailAlpha: *tail,
+		BurstRatio: *burst, ReplayPath: *wlReplay,
+	}
 	cli.Check(
 		cli.ValidateSample("-trace-sample", *traceSample),
 		cli.ValidateCount("-stacks", *stacks),
+		wf.Validate(),
 	)
+	if *replay != "" && wf.Kind != workload.KindUniform {
+		cli.Exit(cli.Outcome{UsageErr: fmt.Errorf("-replay (binary trace) and -workload %s are mutually exclusive", wf.Kind)})
+	}
 
 	// The daemon's "sim" jobs resolve their switch and traffic through
 	// this same spec, which is what keeps `spssim -json` byte-identical
@@ -122,6 +138,20 @@ func main() {
 			cli.Exit(cli.Outcome{RunErr: fmt.Errorf("trace has %d ports, switch has %d", ts.Header().N, cfg.PFI.N)})
 		}
 		stream = ts
+	} else if wf.Kind != workload.KindUniform {
+		m, err := cli.Matrix(*matrix, cfg.PFI.N, *load)
+		if err != nil {
+			cli.Exit(cli.Outcome{UsageErr: err})
+		}
+		dist, err := cli.Sizes(*sizes)
+		if err != nil {
+			cli.Exit(cli.Outcome{UsageErr: err})
+		}
+		wcfg := wf.Config()
+		wcfg.Sizes = dist
+		if stream, err = workload.New(wcfg, m, cfg.PortRate, sim.NewRNG(*seed)); err != nil {
+			cli.Exit(cli.Outcome{UsageErr: err})
+		}
 	} else {
 		if stream, err = spec.NewStream(cfg); err != nil {
 			cli.Exit(cli.Outcome{UsageErr: err})

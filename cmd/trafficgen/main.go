@@ -6,6 +6,13 @@
 //	trafficgen -out core.trace -ports 16 -load 0.9 -matrix uniform \
 //	           -sizes imix -arrival bursty -horizon 100us -seed 7
 //
+// Realistic workloads (flow-level generators from internal/workload):
+//
+//	trafficgen -out ht.trace -workload heavytail -tail 1.2
+//	trafficgen -out burst.trace -workload onoff -burst-ratio 8
+//	trafficgen -out day.ndjson -ndjson -workload diurnal
+//	trafficgen -out re.trace -workload replay -replay day.ndjson
+//
 // Inspect:
 //
 //	trafficgen -stats core.trace
@@ -20,24 +27,36 @@ import (
 	"pbrouter/internal/cli"
 	"pbrouter/internal/sim"
 	"pbrouter/internal/traffic"
+	"pbrouter/internal/workload"
 )
 
 func main() {
 	var (
-		out     = flag.String("out", "", "trace file to write")
-		stats   = flag.String("stats", "", "trace file to inspect")
-		ports   = flag.Int("ports", 16, "switch port count N")
-		rate    = flag.Float64("rate", 2560, "port line rate in Gb/s")
-		load    = flag.Float64("load", 0.9, "offered load per input")
-		matrix  = flag.String("matrix", "uniform", "uniform|diagonal|hotspot|incast|failover")
-		sizes   = flag.String("sizes", "imix", "imix|64|1500|uniform")
-		arrival = flag.String("arrival", "poisson", "poisson|bursty")
-		horizon = flag.String("horizon", "100us", "trace duration")
-		seed    = flag.Uint64("seed", 1, "random seed")
+		out      = flag.String("out", "", "trace file to write")
+		stats    = flag.String("stats", "", "trace file to inspect")
+		ports    = flag.Int("ports", 16, "switch port count N")
+		rate     = flag.Float64("rate", 2560, "port line rate in Gb/s")
+		load     = flag.Float64("load", 0.9, "offered load per input")
+		matrix   = flag.String("matrix", "uniform", "uniform|diagonal|hotspot|incast|failover")
+		sizes    = flag.String("sizes", "imix", "imix|64|1500|uniform")
+		arrival  = flag.String("arrival", "poisson", "poisson|bursty (classic workload only)")
+		wl       = flag.String("workload", "uniform", "uniform|heavytail|onoff|diurnal|replay")
+		flowDist = flag.String("flow-dist", "", "heavytail flow-size distribution: pareto|lognormal")
+		tail     = flag.Float64("tail", 0, "heavytail Pareto tail index in (1,5] (0 = default)")
+		burst    = flag.Float64("burst-ratio", 0, "onoff peak/mean load ratio >= 1 (0 = default)")
+		replay   = flag.String("replay", "", "NDJSON trace to replay (with -workload replay)")
+		reScale  = flag.Float64("replay-scale", 0, "replay time-compression (0 = rescale to -load)")
+		ndjson   = flag.Bool("ndjson", false, "write the portable NDJSON record format instead of the binary trace")
+		horizon  = flag.String("horizon", "100us", "trace duration")
+		seed     = flag.Uint64("seed", 1, "random seed")
 	)
 	flag.Parse()
 
-	cli.Check(cli.ValidateCount("-ports", *ports))
+	wf := cli.WorkloadFlags{
+		Kind: *wl, FlowDist: *flowDist, TailAlpha: *tail,
+		BurstRatio: *burst, ReplayPath: *replay, ReplayScale: *reScale,
+	}
+	cli.Check(cli.ValidateCount("-ports", *ports), wf.Validate())
 
 	switch {
 	case *stats != "":
@@ -46,7 +65,7 @@ func main() {
 			os.Exit(1)
 		}
 	case *out != "":
-		if err := generate(*out, *ports, *rate, *load, *matrix, *sizes, *arrival, *horizon, *seed); err != nil {
+		if err := generate(*out, *ports, *rate, *load, *matrix, *sizes, *arrival, *horizon, *seed, wf, *ndjson); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -56,7 +75,8 @@ func main() {
 	}
 }
 
-func generate(path string, ports int, rateGbps, load float64, matrix, sizes, arrival, horizon string, seed uint64) error {
+func generate(path string, ports int, rateGbps, load float64, matrix, sizes, arrival, horizon string,
+	seed uint64, wf cli.WorkloadFlags, ndjson bool) error {
 	hz, err := cli.Duration("-horizon", horizon)
 	if err != nil {
 		return err
@@ -69,9 +89,22 @@ func generate(path string, ports int, rateGbps, load float64, matrix, sizes, arr
 	if err != nil {
 		return err
 	}
-	kind, err := cli.Arrival(arrival)
-	if err != nil {
-		return err
+	lineRate := sim.Rate(rateGbps) * sim.Gbps
+	var stream traffic.Stream
+	if wf.Kind == workload.KindUniform {
+		// The classic path keeps the -arrival knob (the flow-level
+		// generators define their own arrival structure).
+		kind, err := cli.Arrival(arrival)
+		if err != nil {
+			return err
+		}
+		stream = traffic.NewMux(traffic.UniformSources(m, lineRate, kind, dist, sim.NewRNG(seed)))
+	} else {
+		wcfg := wf.Config()
+		wcfg.Sizes = dist
+		if stream, err = workload.New(wcfg, m, lineRate, sim.NewRNG(seed)); err != nil {
+			return err
+		}
 	}
 
 	f, err := os.Create(path)
@@ -79,15 +112,20 @@ func generate(path string, ports int, rateGbps, load float64, matrix, sizes, arr
 		return err
 	}
 	defer f.Close()
+	if ndjson {
+		recs := workload.Capture(stream, hz)
+		if err := workload.WriteRecords(f, recs); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d records over %v to %s\n", len(recs), hz, path)
+		return nil
+	}
 	tw, err := traffic.NewTraceWriter(f, ports)
 	if err != nil {
 		return err
 	}
-	lineRate := sim.Rate(rateGbps) * sim.Gbps
-	srcs := traffic.UniformSources(m, lineRate, kind, dist, sim.NewRNG(seed))
-	mux := traffic.NewMux(srcs)
 	for {
-		p, at := mux.Next()
+		p, at := stream.Next()
 		if p == nil || at > hz {
 			break
 		}

@@ -1,0 +1,293 @@
+// Package arch is the cross-architecture arena: it runs one workload
+// stream through every router design the paper compares — the SPS HBM
+// switch, the ideal output-queued reference, the spray+reorder
+// statistical switch, the k×k mesh, the three-stage PPS, and a
+// crosspoint-queued crossbar — and reports a unified
+// (architecture × workload) grid of throughput, delay percentiles,
+// and buffering peaks. Where router/ experiments probe each design
+// against hand-built worst cases, the arena asks the §2 design-process
+// question under *realistic* traffic (package workload): which
+// architectures survive heavy tails, bursts, and day-curves, and at
+// what buffering cost.
+package arch
+
+import (
+	"fmt"
+
+	"pbrouter/internal/baseline"
+	"pbrouter/internal/hbm"
+	"pbrouter/internal/hbmswitch"
+	"pbrouter/internal/sim"
+	"pbrouter/internal/stats"
+	"pbrouter/internal/traffic"
+	"pbrouter/internal/validate"
+)
+
+// Architectures, in canonical grid order. SPS first (the paper's
+// design), OQ second (the ideal every column is normalized against).
+const (
+	ArchSPS   = "sps"   // §3 single-port HBM switch (hbmswitch)
+	ArchOQ    = "oq"    // ideal output-queued shared memory
+	ArchCQ    = "cq"    // crosspoint-queued crossbar (FlexCross-style)
+	ArchSpray = "spray" // random channel spraying + output resequencing
+	ArchPPS   = "pps"   // three-stage parallel packet switch (§2.1 D3)
+	ArchMesh  = "mesh"  // k×k mesh of small switches (§2.1 D2)
+)
+
+// ArchNames lists every architecture in canonical order.
+func ArchNames() []string {
+	return []string{ArchSPS, ArchOQ, ArchCQ, ArchSpray, ArchPPS, ArchMesh}
+}
+
+// ppsSpeedup is the internal speedup of the PPS middle stage — the
+// same 1.1 convention the SPS cells use, so the two load-balanced
+// designs are compared at equal internal capacity margin.
+const ppsSpeedup = 1.1
+
+// Cell is the unified measurement of one (architecture, workload)
+// grid cell. Every architecture maps its own instrumentation onto
+// these fields, so cells are directly comparable across designs.
+type Cell struct {
+	// Throughput is delivered-by-horizon work over offered work —
+	// 1.0 means the design kept up, below it the cell fell behind
+	// (backlog) or dropped (loss).
+	Throughput float64 `json:"throughput"`
+	// LatencyP50/P99 of delivered packets. For spray and PPS this is
+	// the memory/middle-stage completion delay (resequencing wait is
+	// accounted separately as ReorderPeak).
+	LatencyP50 sim.Time `json:"latency_p50_ps"`
+	LatencyP99 sim.Time `json:"latency_p99_ps"`
+	// QueuePeak is the design's peak buffering in bytes: tail SRAM for
+	// SPS, output queue for OQ, crosspoint backlog for CQ, middle-stage
+	// queue for PPS, stranded in-network backlog for the mesh.
+	QueuePeak int64 `json:"queue_peak_bytes"`
+	// ReorderPeak is the output resequencing buffer high-water (spray
+	// and PPS only; the others deliver in order).
+	ReorderPeak int64 `json:"reorder_peak_bytes"`
+	// LossFrac is dropped bytes over offered bytes (CQ's crosspoint
+	// overruns; SPS only when memory is made small).
+	LossFrac float64 `json:"loss_frac"`
+	// OEOStages is the optical-electrical conversion count per packet:
+	// 1 for single-stage designs, 3 for PPS, measured mean hops for the
+	// mesh (§2.1 Challenge 3).
+	OEOStages float64 `json:"oeo_stages"`
+	// Violations counts failed validation invariants (SPS cells run
+	// under the full structural observer; baselines have none).
+	Violations int `json:"violations"`
+}
+
+// runSPS drives the HBM switch under the full validation observer.
+func (c SweepConfig) runSPS(stream traffic.Stream, m *traffic.Matrix) (Cell, []validate.Violation, error) {
+	cfg := hbmswitch.Scaled(c.Stacks, c.portRate())
+	cfg.PFI.N = c.N
+	cfg.Speedup = 1.1
+	cfg.FlushTimeout = 100 * sim.Nanosecond
+	cfg.Shadow = c.Validate == nil || *c.Validate
+	sw, err := hbmswitch.New(cfg)
+	if err != nil {
+		return Cell{}, nil, err
+	}
+	var obs *validate.Observer
+	if cfg.Shadow {
+		obs = validate.NewObserver(cfg, c.HorizonPs)
+		sw.SetProbe(obs.Probe())
+	}
+	// Run's error is the first of rep.Errors; the observer reports all
+	// of them as violations, so it is not returned here.
+	rep, _ := sw.Run(stream, c.HorizonPs)
+	cell := Cell{
+		LatencyP50: rep.LatencyP50,
+		LatencyP99: rep.LatencyP99,
+		QueuePeak:  rep.TailHighWater,
+		LossFrac:   rep.LossFraction,
+		OEOStages:  1,
+	}
+	if rep.OfferedLoad > 0 {
+		cell.Throughput = rep.Throughput / rep.OfferedLoad
+	}
+	var vs []validate.Violation
+	if obs != nil {
+		vs = obs.CheckEpoch(rep, m.Admissible(1e-6))
+	}
+	cell.Violations = len(vs)
+	return cell, vs, nil
+}
+
+// runOQ drives the ideal output-queued reference.
+func (c SweepConfig) runOQ(stream traffic.Stream) (Cell, error) {
+	sw := baseline.NewOQSwitch(c.N, c.portRate())
+	hist := stats.NewLatencyHistogram()
+	var offered, byHorizon stats.Counter
+	for {
+		p, at := stream.Next()
+		if p == nil || at > c.HorizonPs {
+			break
+		}
+		offered.Add(p.Size)
+		dep := sw.Arrive(p)
+		hist.AddTime(dep - p.Arrival)
+		if dep <= c.HorizonPs {
+			byHorizon.Add(p.Size)
+		}
+	}
+	cell := Cell{
+		LatencyP50: hist.PercentileTime(0.50),
+		LatencyP99: hist.PercentileTime(0.99),
+		QueuePeak:  sw.MaxHighWater(),
+		OEOStages:  1,
+	}
+	if offered.Bytes > 0 {
+		cell.Throughput = float64(byHorizon.Bytes) / float64(offered.Bytes)
+	}
+	return cell, nil
+}
+
+// runCQ drives the crosspoint-queued crossbar.
+func (c SweepConfig) runCQ(stream traffic.Stream) (Cell, error) {
+	sw := baseline.NewCQSwitch(c.N, c.portRate(), c.CrosspointKB*1024)
+	sw.SetHorizon(c.HorizonPs)
+	for {
+		p, at := stream.Next()
+		if p == nil || at > c.HorizonPs {
+			break
+		}
+		sw.Arrive(p)
+	}
+	sw.Finish()
+	cell := Cell{
+		LatencyP50: sw.Latency.PercentileTime(0.50),
+		LatencyP99: sw.Latency.PercentileTime(0.99),
+		QueuePeak:  sw.MaxHighWater(),
+		OEOStages:  1,
+	}
+	if sw.Offered.Bytes > 0 {
+		cell.Throughput = float64(sw.DeliveredByHorizon()) / float64(sw.Offered.Bytes)
+		cell.LossFrac = float64(sw.Dropped.Bytes) / float64(sw.Offered.Bytes)
+	}
+	return cell, nil
+}
+
+// runSpray drives the spray+reorder statistical switch. The channel
+// choice RNG is part of the architecture, not the workload, so it is
+// seeded independently of the stream.
+func (c SweepConfig) runSpray(stream traffic.Stream) (Cell, error) {
+	geo, tim := hbm.HBM4Geometry(c.Stacks), hbm.HBM4Timing()
+	sw := baseline.NewSpraySwitch(geo, tim, sim.NewRNG(c.Seed+0x5954a7))
+	hist := stats.NewLatencyHistogram()
+	var offered, byHorizon stats.Counter
+	for {
+		p, at := stream.Next()
+		if p == nil || at > c.HorizonPs {
+			break
+		}
+		offered.Add(p.Size)
+		done := sw.Arrive(p)
+		hist.AddTime(done - p.Arrival)
+		if done <= c.HorizonPs {
+			byHorizon.Add(p.Size)
+		}
+	}
+	sw.Finish()
+	cell := Cell{
+		LatencyP50:  hist.PercentileTime(0.50),
+		LatencyP99:  hist.PercentileTime(0.99),
+		QueuePeak:   sw.PeakReorderBufferBytes(),
+		ReorderPeak: sw.PeakReorderBufferBytes(),
+		OEOStages:   1,
+	}
+	if offered.Bytes > 0 {
+		cell.Throughput = float64(byHorizon.Bytes) / float64(offered.Bytes)
+	}
+	return cell, nil
+}
+
+// runPPS drives the three-stage parallel packet switch.
+func (c SweepConfig) runPPS(stream traffic.Stream) (Cell, error) {
+	sw := baseline.NewPPS(c.N, c.H, c.portRate(), ppsSpeedup)
+	hist := stats.NewLatencyHistogram()
+	var offered, byHorizon stats.Counter
+	for {
+		p, at := stream.Next()
+		if p == nil || at > c.HorizonPs {
+			break
+		}
+		offered.Add(p.Size)
+		done := sw.Arrive(p)
+		hist.AddTime(done - p.Arrival)
+		if done <= c.HorizonPs {
+			byHorizon.Add(p.Size)
+		}
+	}
+	sw.Finish()
+	cell := Cell{
+		LatencyP50:  hist.PercentileTime(0.50),
+		LatencyP99:  hist.PercentileTime(0.99),
+		ReorderPeak: sw.PeakReorderBufferBytes(),
+		OEOStages:   baseline.OEOStages,
+	}
+	if offered.Bytes > 0 {
+		cell.Throughput = float64(byHorizon.Bytes) / float64(offered.Bytes)
+	}
+	return cell, nil
+}
+
+// runMesh drives the event-level k×k mesh.
+func (c SweepConfig) runMesh(stream traffic.Stream) (Cell, error) {
+	k := isqrt(c.N)
+	if k*k != c.N {
+		return Cell{}, fmt.Errorf("arch: mesh needs a square port count, got N=%d", c.N)
+	}
+	ms, err := baseline.NewMeshSim(k, c.portRate())
+	if err != nil {
+		return Cell{}, err
+	}
+	rep, err := ms.RunStream(stream, c.HorizonPs)
+	if err != nil {
+		return Cell{}, err
+	}
+	cell := Cell{
+		LatencyP50: rep.LatencyP50,
+		LatencyP99: rep.LatencyP99,
+		QueuePeak:  rep.OfferedBytes - rep.ByHorizonBytes,
+		OEOStages:  rep.MeanHops,
+	}
+	if rep.OfferedBytes > 0 {
+		cell.Throughput = float64(rep.ByHorizonBytes) / float64(rep.OfferedBytes)
+	}
+	return cell, nil
+}
+
+// runCell dispatches one architecture. The returned violations are
+// non-empty only for SPS (the only design with a structural observer).
+func (c SweepConfig) runCell(arch string, stream traffic.Stream, m *traffic.Matrix) (Cell, []validate.Violation, error) {
+	switch arch {
+	case ArchSPS:
+		return c.runSPS(stream, m)
+	case ArchOQ:
+		cell, err := c.runOQ(stream)
+		return cell, nil, err
+	case ArchCQ:
+		cell, err := c.runCQ(stream)
+		return cell, nil, err
+	case ArchSpray:
+		cell, err := c.runSpray(stream)
+		return cell, nil, err
+	case ArchPPS:
+		cell, err := c.runPPS(stream)
+		return cell, nil, err
+	case ArchMesh:
+		cell, err := c.runMesh(stream)
+		return cell, nil, err
+	default:
+		return Cell{}, nil, fmt.Errorf("arch: unknown architecture %q", arch)
+	}
+}
+
+// isqrt is the integer square root for small n.
+func isqrt(n int) int {
+	k := 0
+	for (k+1)*(k+1) <= n {
+		k++
+	}
+	return k
+}

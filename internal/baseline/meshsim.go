@@ -26,8 +26,8 @@ type MeshSim struct {
 	busyUntil []sim.Time
 	linkBits  []int64
 
-	flow *Mesh // reuse the routing geometry
-	mux  *traffic.Mux
+	flow   *Mesh // reuse the routing geometry
+	stream traffic.Stream
 
 	offered     stats.Counter
 	delivered   stats.Counter
@@ -144,7 +144,7 @@ func (ms *MeshSim) eject(p *packet.Packet, hops int) {
 // pump schedules the next arrival; evMeshArrive injects it and pumps
 // again, keeping one arrival event in flight.
 func (ms *MeshSim) pump() {
-	p, at := ms.mux.Next()
+	p, at := ms.stream.Next()
 	if p == nil || at > ms.horizon {
 		return
 	}
@@ -165,6 +165,11 @@ type MeshReport struct {
 	DeliveredFrac  float64
 	OfferedPackets int64
 	DeliveredAtEnd int64
+	// Byte-level accounting for cross-architecture comparisons:
+	// OfferedBytes−ByHorizonBytes is the backlog stranded inside the
+	// mesh when the horizon strikes.
+	OfferedBytes   int64
+	ByHorizonBytes int64
 }
 
 // Run injects traffic from the matrix until the horizon and lets
@@ -175,10 +180,19 @@ func (ms *MeshSim) Run(tm *traffic.Matrix, sizes traffic.SizeDist, horizon sim.T
 	if tm.N != n {
 		return nil, fmt.Errorf("baseline: matrix %d ports, mesh has %d nodes", tm.N, n)
 	}
+	srcs := traffic.UniformSources(tm, ms.LinkRate, traffic.Poisson, sizes, sim.NewRNG(seed))
+	return ms.RunStream(traffic.NewMux(srcs), horizon)
+}
+
+// RunStream is Run for an externally built packet stream (any
+// workload generator): packets are injected at their stream arrival
+// times until the horizon, then in-flight packets drain. Packet ports
+// must lie in [0, K²).
+func (ms *MeshSim) RunStream(stream traffic.Stream, horizon sim.Time) (*MeshReport, error) {
+	n := ms.K * ms.K
 	ms.horizon = horizon
 	ms.warmup = horizon / 3
-	srcs := traffic.UniformSources(tm, ms.LinkRate, traffic.Poisson, sizes, sim.NewRNG(seed))
-	ms.mux = traffic.NewMux(srcs)
+	ms.stream = stream
 	ms.pump()
 	ms.sched.Run()
 
@@ -189,6 +203,8 @@ func (ms *MeshSim) Run(tm *traffic.Matrix, sizes traffic.SizeDist, horizon sim.T
 		MeanHops:       ms.hops.Mean(),
 		OfferedPackets: ms.offered.Packets,
 		DeliveredAtEnd: ms.delivered.Packets,
+		OfferedBytes:   ms.offered.Bytes,
+		ByHorizonBytes: ms.byHorizon.Bytes,
 	}
 	if steadyCap > 0 {
 		rep.Throughput = float64(ms.deliveredSt.Bits()) / steadyCap

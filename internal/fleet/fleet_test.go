@@ -9,9 +9,11 @@ import (
 	"testing"
 	"time"
 
+	"pbrouter/internal/arch"
 	"pbrouter/internal/resilience"
 	"pbrouter/internal/serve"
 	"pbrouter/internal/sim"
+	"pbrouter/internal/workload"
 )
 
 // quickSpecs is one small deterministic spec per job kind, multi-unit
@@ -30,6 +32,11 @@ func quickSpecs() map[string]serve.Spec {
 		"resilience": {Kind: serve.KindResilience, Resilience: &resilience.SweepConfig{
 			Mode: resilience.ModeFailedSwitches, MaxFailed: 2,
 			HorizonPs: 5 * sim.Microsecond, Seed: 5,
+		}},
+		"arch": {Kind: serve.KindArch, Arch: &arch.SweepConfig{
+			Archs:     []string{arch.ArchOQ, arch.ArchCQ},
+			Workloads: []string{workload.KindUniform},
+			N:         4, HorizonPs: 4 * sim.Microsecond, Seed: 5,
 		}},
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log/slog"
 
+	"pbrouter/internal/arch"
 	"pbrouter/internal/hbmswitch"
 	"pbrouter/internal/resilience"
 	"pbrouter/internal/sim"
@@ -63,6 +64,8 @@ func runSpec(ctx context.Context, spec Spec, env runEnv) ([]byte, error) {
 		return runResilience(ctx, spec.Resilience, env)
 	case KindSplit:
 		return runSplit(ctx, spec.Split, env)
+	case KindArch:
+		return runArch(ctx, spec.Arch, env)
 	default:
 		return nil, fmt.Errorf("serve: unknown job kind %q", spec.Kind)
 	}
@@ -262,4 +265,41 @@ func runSplit(ctx context.Context, cfg *splitpolicy.SweepConfig, env runEnv) ([]
 		env.emit(unitEvent{Job: env.id, Event: "unit", Unit: k + 1, Of: c.NumPoints()})
 	}
 	return assembleSplit(c, pts)
+}
+
+// runArch runs a cross-architecture arena grid cell by cell — the same
+// cells in the same order as spsarch — checkpointing each completed
+// cell and streaming its arch.* series. The assembled table serializes
+// through telemetry.Series.WriteJSON, the writer behind spsarch -json.
+func runArch(ctx context.Context, cfg *arch.SweepConfig, env runEnv) ([]byte, error) {
+	c := *cfg
+	c.Workers = env.workers
+	pts, err := decodeArchUnits(env.units)
+	if err != nil {
+		return nil, err
+	}
+	if len(pts) > c.NumPoints() {
+		pts = pts[:c.NumPoints()]
+	}
+	for k := len(pts); k < c.NumPoints(); k++ {
+		pt, rep, err := c.RunPoint(ctx, k)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, pt)
+		if k == 0 {
+			env.emit(probesEvent{Job: env.id, Event: "probes", Names: rep.Series.Names})
+		}
+		for i, t := range rep.Series.Times {
+			env.emit(sampleEvent{Job: env.id, Event: "sample", Point: k, TimePs: t, Values: rep.Series.Rows[i]})
+		}
+		if env.saveSeries != nil {
+			env.saveSeries(k, rep.Series)
+		}
+		if raw, err := json.Marshal(pt); err == nil && env.saveUnit != nil {
+			env.saveUnit(raw)
+		}
+		env.emit(unitEvent{Job: env.id, Event: "unit", Unit: k + 1, Of: c.NumPoints()})
+	}
+	return assembleArch(c, pts)
 }

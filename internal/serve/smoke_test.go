@@ -36,7 +36,7 @@ func TestServeSmoke(t *testing.T) {
 
 	build := exec.Command("go", "build", "-o", bin,
 		"./cmd/spsd", "./cmd/spsload", "./cmd/spssim", "./cmd/spsbench",
-		"./cmd/spsvalidate", "./cmd/spsresil", "./cmd/spssplit")
+		"./cmd/spsvalidate", "./cmd/spsresil", "./cmd/spssplit", "./cmd/spsarch")
 	build.Dir = root
 	if out, err := build.CombinedOutput(); err != nil {
 		t.Fatalf("build: %v\n%s", err, out)
@@ -64,6 +64,7 @@ func TestServeSmoke(t *testing.T) {
 		"spec_resil.json":    run("spsresil", "-sweep", "failed-switches", "-max-failed", "1", "-horizon", "10us", "-json", "-out", "-"),
 		"spec_split.json": run("spssplit", "-policies", "static,leastloaded", "-workloads", "adversarial",
 			"-N", "4", "-F", "8", "-H", "4", "-horizon", "4us", "-epochs", "2", "-seed", "5", "-json", "-out", "-"),
+		"spec_arch.json": run("spsarch", "-quick", "-seed", "5", "-json", "-out", "-"),
 	}
 	fixtures := map[string]string{
 		"spec_sim.json":      "sim_quick.json",
@@ -71,6 +72,7 @@ func TestServeSmoke(t *testing.T) {
 		"spec_validate.json": "validate_quick.json",
 		"spec_resil.json":    "resil_quick.json",
 		"spec_split.json":    "split_quick.json",
+		"spec_arch.json":     "arch_quick.json",
 	}
 	for spec, fixture := range fixtures {
 		want, err := os.ReadFile(filepath.Join("testdata", fixture))

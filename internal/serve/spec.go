@@ -14,11 +14,13 @@
 //	validate   ≡ spsvalidate -out -      (validate.SweepResult.WriteJSON)
 //	resilience ≡ spsresil -json -out -   (telemetry.Series.WriteJSON)
 //	split      ≡ spssplit -json -out -   (telemetry.Series.WriteJSON)
+//	arch       ≡ spsarch -json -out -    (telemetry.Series.WriteJSON)
 package serve
 
 import (
 	"fmt"
 
+	"pbrouter/internal/arch"
 	"pbrouter/internal/cli"
 	"pbrouter/internal/core"
 	"pbrouter/internal/hbmswitch"
@@ -40,6 +42,7 @@ const (
 	KindValidate   Kind = "validate"   // randomized differential-validation sweep
 	KindResilience Kind = "resilience" // availability sweep under injected faults
 	KindSplit      Kind = "split"      // splitter-policy sweep (policy × workload grid)
+	KindArch       Kind = "arch"       // cross-architecture arena (architecture × workload grid)
 )
 
 // Spec is a job specification as submitted to POST /jobs: a kind plus
@@ -53,6 +56,7 @@ type Spec struct {
 	Validate   *ValidateSpec            `json:"validate,omitempty"`
 	Resilience *resilience.SweepConfig  `json:"resilience,omitempty"`
 	Split      *splitpolicy.SweepConfig `json:"split,omitempty"`
+	Arch       *arch.SweepConfig        `json:"arch,omitempty"`
 }
 
 // Normalize fills the active sub-spec (creating it if absent) with its
@@ -84,6 +88,11 @@ func (s *Spec) Normalize() {
 			s.Split = &splitpolicy.SweepConfig{}
 		}
 		s.Split.Normalize()
+	case KindArch:
+		if s.Arch == nil {
+			s.Arch = &arch.SweepConfig{}
+		}
+		s.Arch.Normalize()
 	}
 }
 
@@ -100,9 +109,11 @@ func (s Spec) Check() error {
 		return s.Resilience.Check()
 	case KindSplit:
 		return s.Split.Check()
+	case KindArch:
+		return s.Arch.Check()
 	default:
-		return fmt.Errorf("serve: unknown job kind %q (%s|%s|%s|%s|%s)",
-			s.Kind, KindSim, KindSweep, KindValidate, KindResilience, KindSplit)
+		return fmt.Errorf("serve: unknown job kind %q (%s|%s|%s|%s|%s|%s)",
+			s.Kind, KindSim, KindSweep, KindValidate, KindResilience, KindSplit, KindArch)
 	}
 }
 
@@ -119,6 +130,8 @@ func (s Spec) UnitCount() int {
 		return s.Resilience.NumPoints()
 	case KindSplit:
 		return s.Split.NumPoints()
+	case KindArch:
+		return s.Arch.NumPoints()
 	default:
 		return 1
 	}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 
+	"pbrouter/internal/arch"
 	"pbrouter/internal/parallel"
 	"pbrouter/internal/resilience"
 	"pbrouter/internal/splitpolicy"
@@ -75,6 +76,14 @@ func RunUnit(ctx context.Context, spec Spec, u, workers int) (json.RawMessage, e
 		return json.Marshal(pt)
 	case KindSplit:
 		c := *spec.Split
+		c.Workers = workers
+		pt, _, err := c.RunPoint(ctx, u)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(pt)
+	case KindArch:
+		c := *spec.Arch
 		c.Workers = workers
 		pt, _, err := c.RunPoint(ctx, u)
 		if err != nil {
@@ -154,6 +163,12 @@ func AssembleUnits(spec Spec, units []json.RawMessage) ([]byte, error) {
 			return nil, err
 		}
 		return assembleSplit(*spec.Split, pts)
+	case KindArch:
+		pts, err := decodeArchUnits(units)
+		if err != nil {
+			return nil, err
+		}
+		return assembleArch(*spec.Arch, pts)
 	case KindSim:
 		// The unit is the report JSON; recover the invariant-violation
 		// verdict runSim derives from the in-memory report.
@@ -219,6 +234,33 @@ func decodeSplitUnits(units []json.RawMessage) ([]splitpolicy.SweepPoint, error)
 		var pt splitpolicy.SweepPoint
 		if err := json.Unmarshal(u, &pt); err != nil {
 			return nil, fmt.Errorf("serve: corrupt split checkpoint unit: %w", err)
+		}
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}
+
+// assembleArch serializes the arena grid table from the complete cell
+// list, mirroring spsarch's exit semantics.
+func assembleArch(c arch.SweepConfig, pts []arch.SweepPoint) ([]byte, error) {
+	table, violations := c.Assemble(pts)
+	var buf bytes.Buffer
+	if err := table.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	if (c.Validate == nil || *c.Validate) && violations > 0 {
+		return buf.Bytes(), &FoundError{N: violations, What: "invariant violations"}
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeArchUnits decodes checkpointed arena grid cells.
+func decodeArchUnits(units []json.RawMessage) ([]arch.SweepPoint, error) {
+	var pts []arch.SweepPoint
+	for _, u := range units {
+		var pt arch.SweepPoint
+		if err := json.Unmarshal(u, &pt); err != nil {
+			return nil, fmt.Errorf("serve: corrupt arch checkpoint unit: %w", err)
 		}
 		pts = append(pts, pt)
 	}

@@ -10,9 +10,11 @@ import (
 	"testing"
 	"time"
 
+	"pbrouter/internal/arch"
 	"pbrouter/internal/resilience"
 	"pbrouter/internal/sim"
 	"pbrouter/internal/splitpolicy"
+	"pbrouter/internal/workload"
 )
 
 // unitTestSpecs is one quick spec per job kind, multi-unit where the
@@ -37,6 +39,11 @@ func unitTestSpecs() map[string]Spec {
 			Workloads: []string{splitpolicy.WorkloadAdversarial},
 			N:         4, F: 8, H: 4,
 			HorizonPs: 4 * sim.Microsecond, Epochs: 2, Seed: 5,
+		}},
+		"arch": {Kind: KindArch, Arch: &arch.SweepConfig{
+			Archs:     []string{arch.ArchOQ, arch.ArchCQ},
+			Workloads: []string{workload.KindUniform},
+			N:         4, HorizonPs: 4 * sim.Microsecond, Seed: 5,
 		}},
 	}
 }
@@ -68,6 +75,9 @@ func TestRunUnitAssembleMatchesRunSpec(t *testing.T) {
 			}
 			if name == "split" && n != 2 {
 				t.Fatalf("split spec has %d units, want 2", n)
+			}
+			if name == "arch" && n != 2 {
+				t.Fatalf("arch spec has %d units, want 2", n)
 			}
 			units := make([]json.RawMessage, n)
 			for u := 0; u < n; u++ {

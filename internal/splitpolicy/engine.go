@@ -227,7 +227,8 @@ func (c *Campaign) Run() (*Report, error) {
 
 	rep := &Report{Policy: c.Policy}
 	cur := dep
-	var prev Sense // previous epoch's measurements for the policy
+	var prev Sense     // previous epoch's measurements for the policy
+	var ewma []float64 // EWMA per-switch load across epochs → Sense.PredictedLoad
 
 	for e := 0; e < c.Epochs; e++ {
 		if err := c.ctx().Err(); err != nil {
@@ -253,6 +254,7 @@ func (c *Campaign) Run() (*Report, error) {
 			SwitchLoad:     prev.SwitchLoad,
 			DeliveredBytes: prev.DeliveredBytes,
 			QueuePeak:      prev.QueuePeak,
+			PredictedLoad:  prev.PredictedLoad,
 			Alive:          st.Alive,
 		}
 		prevSplitter := cur.Splitter
@@ -357,6 +359,8 @@ func (c *Campaign) Run() (*Report, error) {
 			QueuePeak:      queuePeak,
 			Alive:          st.Alive,
 		}
+		ewma = updateEWMA(ewma, prev.SwitchLoad)
+		prev.PredictedLoad = ewma
 		policy.Observe(prev)
 	}
 
@@ -375,6 +379,26 @@ func (c *Campaign) Run() (*Report, error) {
 	}
 	rep.Series = buildSeries(rep.Epochs)
 	return rep, nil
+}
+
+// predictEWMAAlpha weights the newest epoch in the per-switch load
+// forecast. 0.5 halves a stale epoch's influence every boundary —
+// responsive enough for the 4-epoch default campaigns, smooth enough
+// that one adversarial epoch does not dominate the prediction.
+const predictEWMAAlpha = 0.5
+
+// updateEWMA folds the epoch's measured per-switch loads into the
+// running forecast, returning a fresh slice (senses must not alias).
+func updateEWMA(ewma, loads []float64) []float64 {
+	out := make([]float64, len(loads))
+	if len(ewma) != len(loads) {
+		copy(out, loads)
+		return out
+	}
+	for i, l := range loads {
+		out[i] = predictEWMAAlpha*l + (1-predictEWMAAlpha)*ewma[i]
+	}
+	return out
 }
 
 // normalizeLoads converts per-switch offered load from fiber-capacity

@@ -188,6 +188,56 @@ func TestCampaignWorkerByteIdentity(t *testing.T) {
 	}
 }
 
+// TestPredictedLoadEWMA pins the Sense forecast arithmetic: the first
+// sample seeds the EWMA, later samples fold in at predictEWMAAlpha,
+// a fleet-size change resets it, and every update returns a fresh
+// slice (senses handed to policies must never alias engine state).
+func TestPredictedLoadEWMA(t *testing.T) {
+	first := []float64{0.75, 0.25}
+	ewma := updateEWMA(nil, first)
+	if ewma[0] != 0.75 || ewma[1] != 0.25 {
+		t.Fatalf("seed EWMA = %v, want the first sample verbatim", ewma)
+	}
+	next := updateEWMA(ewma, []float64{0.25, 0.75})
+	if next[0] != 0.5 || next[1] != 0.5 {
+		t.Fatalf("EWMA after fold = %v, want [0.5 0.5] at alpha %v", next, predictEWMAAlpha)
+	}
+	if &next[0] == &ewma[0] {
+		t.Fatal("updateEWMA returned an aliasing slice")
+	}
+	if reset := updateEWMA(next, []float64{1, 2, 3}); reset[0] != 1 || reset[1] != 2 || reset[2] != 3 {
+		t.Fatalf("EWMA after fleet-size change = %v, want the new sample verbatim", reset)
+	}
+}
+
+// TestStaticByteIdentityWithPrediction: a multi-epoch static campaign
+// exercises the EWMA update at every boundary, and its serialized
+// report must stay run-to-run byte-identical with zero rehashes — the
+// forecast is maintained without random draws, so adding it cannot
+// perturb the paper-baseline static path.
+func TestStaticByteIdentityWithPrediction(t *testing.T) {
+	out := make([]string, 2)
+	for i := range out {
+		c := testCampaign(PolicyStatic, 0.9, 12*sim.Microsecond, 3)
+		rep, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Rehashes != 0 || rep.MovedFibers != 0 {
+			t.Fatalf("static campaign rehashed with prediction on: %d rehashes, %d moved fibers",
+				rep.Rehashes, rep.MovedFibers)
+		}
+		var js strings.Builder
+		if err := rep.WriteJSON(&js); err != nil {
+			t.Fatal(err)
+		}
+		out[i] = js.String()
+	}
+	if out[0] != out[1] {
+		t.Fatal("static multi-epoch report is not run-to-run byte-identical")
+	}
+}
+
 // TestSeriesColumns: the telemetry trajectory must carry the
 // split.policy.* probes with one row per epoch.
 func TestSeriesColumns(t *testing.T) {

@@ -59,6 +59,12 @@ type Sense struct {
 	// high water in bytes); nil before the first epoch ran.
 	DeliveredBytes []int64
 	QueuePeak      []int64
+	// PredictedLoad is the engine's one-step forecast of per-switch
+	// load: an EWMA over every previous epoch's SwitchLoad. Policies
+	// that act on it react to the trend rather than the last sample;
+	// nil before the first epoch ran. Maintained without random draws,
+	// so ignoring it keeps a policy's RNG stream untouched.
+	PredictedLoad []float64
 	// Alive marks the surviving switches for the coming epoch.
 	Alive []bool
 }

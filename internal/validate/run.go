@@ -9,6 +9,7 @@ import (
 	"pbrouter/internal/hbmswitch"
 	"pbrouter/internal/sim"
 	"pbrouter/internal/traffic"
+	"pbrouter/internal/workload"
 )
 
 // Options tune one validation run.
@@ -114,10 +115,22 @@ func execute(sc Scenario) (hbmswitch.Config, *hbmswitch.Report, *runProbe, error
 	}
 	pr := newRunProbe(cfg, sc.Horizon())
 	sw.SetProbe(pr)
-	srcs := traffic.UniformSources(m, cfg.PortRate, kind, dist, sim.NewRNG(sc.Seed))
+	var stream traffic.Stream
+	if sc.Workload != "" {
+		// Flow-level generator: same matrix, same seed, same sizes —
+		// only the arrival structure changes.
+		stream, err = workload.New(workload.Config{Kind: sc.Workload, Sizes: dist},
+			m, cfg.PortRate, sim.NewRNG(sc.Seed))
+		if err != nil {
+			return cfg, nil, nil, err
+		}
+	} else {
+		srcs := traffic.UniformSources(m, cfg.PortRate, kind, dist, sim.NewRNG(sc.Seed))
+		stream = traffic.NewMux(srcs)
+	}
 	// Run's error is the first entry of rep.Errors; the invariant
 	// evaluation reports all of them, so it is not returned here.
-	rep, _ := sw.Run(traffic.NewMux(srcs), sc.Horizon())
+	rep, _ := sw.Run(stream, sc.Horizon())
 	return cfg, rep, pr, nil
 }
 
@@ -139,12 +152,21 @@ func evaluate(sc Scenario, cfg hbmswitch.Config, rep *hbmswitch.Report, pr *runP
 		stuckBits := (n*float64(cfg.PFI.FrameBytes()) + n*n*float64(cfg.PFI.BatchBytes)) * 8 / 2
 		unbiased = stuckBits/(rep.OfferedLoad*capacityBits) <= 0.01
 	}
+	// Flow-level workloads (heavytail trains, ON/OFF peaks at
+	// BurstRatio x mean, diurnal crests) are transiently inadmissible
+	// even when the matrix means are admissible, so the finite-window
+	// OQ-mimicry oracles — calibrated for the classic Poisson/bursty
+	// muxes — lose their premise: the shadow drains a burst backlog
+	// faster than the frame-filling switch inside the horizon. The
+	// structural invariants (conservation, FIFO, residency, SRAM,
+	// full delivery) still apply unchanged.
+	classic := sc.Workload == ""
 	exp := Expect{
 		FullDelivery: admissible && !sc.SmallMemory,
 		SRAMBudget:   true,
-		MimicryGap: admissible && !sc.SmallMemory && unbiased &&
+		MimicryGap: classic && admissible && !sc.SmallMemory && unbiased &&
 			steadyWindow >= minGapWindow && rep.DroppedPackets == 0,
-		MimicryBound: sc.Pad && sc.Bypass && sc.FlushNs > 0 && !sc.SmallMemory,
+		MimicryBound: classic && sc.Pad && sc.Bypass && sc.FlushNs > 0 && !sc.SmallMemory,
 	}
 	vs := CheckReport(cfg, rep, exp)
 	vs = append(vs, crossCheck(pr, rep)...)

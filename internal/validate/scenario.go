@@ -70,6 +70,13 @@ type Scenario struct {
 	FixedBytes int    `json:"fixed_bytes,omitempty"`
 	Arrival    string `json:"arrival"` // poisson|bursty
 
+	// Workload, when set, replaces the per-source Poisson/bursty mux
+	// with a flow-level generator from internal/workload
+	// (heavytail|onoff|diurnal) driven by the same matrix and seed.
+	// Empty keeps the classic mux, so every scenario generated before
+	// this knob existed is unchanged.
+	Workload string `json:"workload,omitempty"`
+
 	Pad     bool  `json:"pad"`
 	Bypass  bool  `json:"bypass"`
 	FlushNs int64 `json:"flush_ns,omitempty"`
@@ -179,6 +186,14 @@ func Generate(seed uint64) Scenario {
 	if sc.Matrix == "uniform" && rng.Float64() < 0.25 {
 		sc.Matrix = "incast"
 	}
+	// Realistic-workload widening, drawn after the incast knob under
+	// the same draw-last rule: a fraction of cases swap the mux for a
+	// flow-level generator. The mimicry invariants must hold under
+	// heavy tails, bursts, and day-curves too — the SPS claim is not
+	// Poisson-only.
+	if rng.Float64() < 0.30 {
+		sc.Workload = []string{"heavytail", "onoff", "diurnal"}[rng.Intn(3)]
+	}
 	return sc
 }
 
@@ -201,6 +216,7 @@ func (sc Scenario) Mutated(fault string) Scenario {
 		sc.Sizes = "fixed"
 		sc.FixedBytes = 1500
 		sc.Arrival = "poisson"
+		sc.Workload = ""
 		// Force the pure write+read memory path: bypass would let the
 		// tail SRAM route around the starved HBM and mask the defect.
 		sc.Pad, sc.Bypass = false, false
@@ -310,6 +326,9 @@ func (sc Scenario) String() string {
 	s := fmt.Sprintf("seed=%d N=%d stacks=%d γ=%d S=%d port=%gG x%.2f %s/%.2f %s %s %gus",
 		sc.Seed, sc.N, sc.Stacks, sc.Gamma, sc.SegBytes, sc.PortGbps, sc.Speedup,
 		sc.Matrix, sc.Load, sc.Sizes, sc.Arrival, sc.HorizonUs)
+	if sc.Workload != "" {
+		s += " workload=" + sc.Workload
+	}
 	if sc.Fault != "" {
 		s += " fault=" + sc.Fault
 	}

@@ -118,6 +118,11 @@ func shrinkSteps(sc Scenario) []shrinkStep {
 		cand.Arrival = "poisson"
 		add(cand, "arrival=poisson")
 	}
+	if sc.Workload != "" {
+		cand := sc
+		cand.Workload = ""
+		add(cand, "workload=off")
+	}
 	if sc.Refresh {
 		cand := sc
 		cand.Refresh = false

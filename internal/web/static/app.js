@@ -180,6 +180,7 @@ const PRESETS = {
   ],
   hbm: (names) => match(names, /hbm\.util$/).map((c) => ({ name: names[c], cols: [c] })),
   split: (names) => match(names, /split\./).map((c) => ({ name: names[c], cols: [c] })),
+  arch: (names) => match(names, /^arch\./).map((c) => ({ name: names[c], cols: [c] })),
   core: (names) => match(names, /^core\./).map((c) => ({ name: names[c], cols: [c] })),
   resil: (names) =>
     match(names, /^(availability|capacity_fraction)$/).map((c) => ({ name: names[c], cols: [c] })),

@@ -45,6 +45,16 @@ export const SCHEMAS = {
     { key: "epochs", label: "rehash epochs", type: "number", step: 1, def: 4 },
     { key: "seed", label: "seed", type: "number", step: 1, def: 1 },
   ],
+  arch: [
+    { key: "arch", label: "architecture", type: "select", options: ["all", "sps", "oq", "cq", "spray", "pps", "mesh"], def: "all" },
+    { key: "workload", label: "workload", type: "select", options: ["all", "uniform", "heavytail", "onoff", "diurnal", "replay"], def: "all" },
+    { key: "n", label: "ports N", type: "number", step: 1, def: 16 },
+    { key: "load", label: "offered load", type: "number", step: 0.05, def: 0.9 },
+    { key: "tail_alpha", label: "Pareto tail α", type: "number", step: 0.1, def: 1.3 },
+    { key: "burst_ratio", label: "ON/OFF peak/mean", type: "number", step: 0.5, def: 4 },
+    { key: "horizon_us", label: "horizon (µs)", type: "number", step: 1, def: 40 },
+    { key: "seed", label: "seed", type: "number", step: 1, def: 1 },
+  ],
 };
 
 // buildSpec converts form values into a POST /jobs body, omitting
@@ -61,14 +71,15 @@ export function buildSpec(kind, values) {
     body[f.key] = v;
   }
   // The wire spec uses horizon_ps; the form uses µs for humans.
-  if (body.horizon_us !== undefined && (kind === "sim" || kind === "split")) {
+  if (body.horizon_us !== undefined && (kind === "sim" || kind === "split" || kind === "arch")) {
     body.horizon_ps = Math.round(body.horizon_us * 1e6);
     delete body.horizon_us;
   }
-  // The split sweep takes lists of policies/workloads; the composer
-  // picks one (or "all", which the server expands via Normalize).
-  if (kind === "split") {
+  // The split and arch sweeps take lists; the composer picks one
+  // (or "all", which the server expands via Normalize).
+  if (kind === "split" || kind === "arch") {
     if (body.policy) { body.policies = [body.policy]; delete body.policy; }
+    if (body.arch) { body.archs = [body.arch]; delete body.arch; }
     if (body.workload) { body.workloads = [body.workload]; delete body.workload; }
   }
   if (Object.keys(body).length) spec[kind] = body;

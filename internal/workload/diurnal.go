@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"math"
+
+	"pbrouter/internal/packet"
+	"pbrouter/internal/sim"
+	"pbrouter/internal/traffic"
+)
+
+// Diurnal modulates an inner packet stream with a sinusoidal
+// day-curve: the instantaneous load swings between mean−a and peak
+// (= mean+a) with the configured period. It works by thinning — the
+// inner stream runs at the peak rate and each packet survives with
+// probability load(t)/peak — which preserves the Poisson property of
+// the inner arrivals at every instant (a thinned Poisson process is
+// Poisson at the thinned rate). Sequence numbers are reassigned after
+// thinning so consumers still see dense per-(input,output) sequences.
+type Diurnal struct {
+	inner  traffic.Stream
+	rng    *sim.RNG
+	mean   float64
+	amp    float64 // absolute load swing: peak − mean
+	peak   float64
+	period float64
+	seqs   map[uint64]int64
+}
+
+// NewDiurnal wraps inner (built at the peak load) with the day-curve
+// between mean and peak over the given period.
+func NewDiurnal(inner traffic.Stream, mean, peak float64, period sim.Time, rng *sim.RNG) *Diurnal {
+	if peak < mean {
+		peak = mean
+	}
+	return &Diurnal{
+		inner:  inner,
+		rng:    rng,
+		mean:   mean,
+		amp:    peak - mean,
+		peak:   peak,
+		period: float64(period),
+		seqs:   make(map[uint64]int64),
+	}
+}
+
+// loadAt is the instantaneous target load at time t.
+func (d *Diurnal) loadAt(t sim.Time) float64 {
+	return d.mean + d.amp*math.Sin(2*math.Pi*float64(t)/d.period)
+}
+
+// Next implements traffic.Stream.
+func (d *Diurnal) Next() (*packet.Packet, sim.Time) {
+	for {
+		p, at := d.inner.Next()
+		if p == nil {
+			return nil, 0
+		}
+		if d.rng.Float64()*d.peak < d.loadAt(at) {
+			key := uint64(uint32(p.Input))<<32 | uint64(uint32(p.Output))
+			p.Seq = d.seqs[key]
+			d.seqs[key]++
+			return p, at
+		}
+	}
+}

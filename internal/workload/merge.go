@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"pbrouter/internal/packet"
+	"pbrouter/internal/sim"
+	"pbrouter/internal/traffic"
+)
+
+// Merged interleaves per-input streams into one global stream in
+// arrival order and assigns dense per-(input,output) sequence numbers
+// in that order — the same contract traffic.Mux provides for concrete
+// Sources, generalized to any traffic.Stream. Ties break toward the
+// lower stream index, so the merge is deterministic.
+type Merged struct {
+	streams []traffic.Stream
+	head    []*packet.Packet
+	at      []sim.Time
+	primed  bool
+	seqs    map[uint64]int64
+}
+
+// Merge builds the k-way merge over the given streams.
+func Merge(streams ...traffic.Stream) *Merged {
+	return &Merged{
+		streams: streams,
+		head:    make([]*packet.Packet, len(streams)),
+		at:      make([]sim.Time, len(streams)),
+		seqs:    make(map[uint64]int64),
+	}
+}
+
+// Next implements traffic.Stream.
+func (g *Merged) Next() (*packet.Packet, sim.Time) {
+	if !g.primed {
+		for i, s := range g.streams {
+			g.head[i], g.at[i] = s.Next()
+		}
+		g.primed = true
+	}
+	best := -1
+	for i, p := range g.head {
+		if p == nil {
+			continue
+		}
+		if best < 0 || g.at[i] < g.at[best] {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, 0
+	}
+	p, at := g.head[best], g.at[best]
+	g.head[best], g.at[best] = g.streams[best].Next()
+	key := uint64(uint32(p.Input))<<32 | uint64(uint32(p.Output))
+	p.Seq = g.seqs[key]
+	g.seqs[key]++
+	return p, at
+}
